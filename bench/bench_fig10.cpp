@@ -1,0 +1,37 @@
+// Figure 10: performance overhead of the sandboxed lenet kernels (bitwise
+// fencing) against native execution, per kernel, plus the §7.4 cache
+// analysis.
+#include <cstdio>
+
+#include "simgpu/device_spec.hpp"
+#include "simgpu/timing.hpp"
+#include "workloads/apps.hpp"
+
+int main() {
+  using namespace grd;
+  const simgpu::TimingModel model(simgpu::QuadroRtxA4000());
+
+  std::printf("Figure 10: sandboxed-kernel overhead vs native, lenet kernel "
+              "mix (bitwise fencing)\n\n");
+  std::printf("%-18s %9s %7s %7s %9s\n", "kernel", "overhead", "L1-hit",
+              "L2-hit", "cyc/thr");
+  double total = 0, l1 = 0, l2 = 0;
+  for (const auto& kernel : workloads::LenetKernelMix()) {
+    const double overhead = model.RelativeOverhead(
+        kernel.profile, simgpu::ProtectionMode::kFencingBitwise);
+    std::printf("%-18s %8.2f%% %6.0f%% %6.0f%% %9.0f\n", kernel.name.c_str(),
+                100.0 * overhead, 100.0 * kernel.profile.cache.l1_hit,
+                100.0 * kernel.profile.cache.l2_hit,
+                model.ThreadCycles(kernel.profile,
+                                   simgpu::ProtectionMode::kNone));
+    total += overhead;
+    l1 += kernel.profile.cache.l1_hit;
+    l2 += kernel.profile.cache.l2_hit;
+  }
+  const auto n = workloads::LenetKernelMix().size();
+  std::printf("\nAverage overhead : %.1f%% (paper: 3.2%%)\n",
+              100.0 * total / n);
+  std::printf("Average L1 hit   : %.0f%% (paper: 37%%)\n", 100.0 * l1 / n);
+  std::printf("Average L2 hit   : %.0f%% (paper: 72%%)\n", 100.0 * l2 / n);
+  return 0;
+}

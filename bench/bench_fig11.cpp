@@ -1,0 +1,38 @@
+// Figure 11: Guardian overhead on the GeForce RTX 3080 Ti (cv, rnn, lenet)
+// — §7.5 "similar overhead across different GPU types".
+#include <cstdio>
+
+#include "simgpu/device_spec.hpp"
+#include "workloads/harness.hpp"
+
+int main() {
+  using namespace grd::workloads;
+  Harness geforce(grd::simgpu::GeForceRtx3080Ti());
+  Harness quadro(grd::simgpu::QuadroRtxA4000());
+
+  std::printf("Figure 11: standalone execution on GeForce RTX 3080 Ti "
+              "(seconds)\n\n");
+  std::printf("%-8s %9s %9s %9s %9s %10s %10s\n", "net", "Native", "Grd-noP",
+              "fence-bit", "checking", "ovh(GeF)", "ovh(Quad)");
+  for (const char* app : {"cv", "rnn", "lenet"}) {
+    const AppRun run{app, 0, false};
+    const double native =
+        geforce.RunStandalone(run, Deployment::kNative).seconds;
+    const double noprot =
+        geforce.RunStandalone(run, Deployment::kGuardianNoProtection).seconds;
+    const double bitwise =
+        geforce.RunStandalone(run, Deployment::kGuardianBitwise).seconds;
+    const double checking =
+        geforce.RunStandalone(run, Deployment::kGuardianChecking).seconds;
+    const double q_native =
+        quadro.RunStandalone(run, Deployment::kNative).seconds;
+    const double q_bitwise =
+        quadro.RunStandalone(run, Deployment::kGuardianBitwise).seconds;
+    std::printf("%-8s %9.3f %9.3f %9.3f %9.3f %9.1f%% %9.1f%%\n", app, native,
+                noprot, bitwise, checking, 100.0 * (bitwise / native - 1.0),
+                100.0 * (q_bitwise / q_native - 1.0));
+  }
+  std::printf("\nPaper: cv 12%%, rnn 10%%, lenet 13%% on GeForce; checking "
+              "~1.8x; similar overheads across GPU types\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 5: bit-masking latency (8 cycles) compared to the latency of the
+// memory hierarchy levels, plus the §7.4 overhead bands these imply.
+#include <cstdio>
+
+#include "simgpu/device_spec.hpp"
+#include "simgpu/timing.hpp"
+
+int main() {
+  using namespace grd::simgpu;
+  const DeviceSpec spec = QuadroRtxA4000();
+  const TimingModel model(spec);
+
+  std::printf("Figure 5: bit-masking latency vs memory latencies\n\n");
+  std::printf("  bit-masking (AND+OR)    : %2d cycles\n", 2 * spec.alu_cycles);
+  std::printf("  load L1 hit             : %2d cycles\n", spec.l1_hit_latency);
+  std::printf("  load L2 hit             : %d cycles\n", spec.l2_hit_latency);
+  std::printf("  load/store global       : %d cycles\n", spec.global_latency);
+
+  KernelProfile pure;
+  pure.loads = 100;
+  pure.cache = CacheProfile::AllL1();
+  std::printf("\nImplied fencing overhead (pure-memory kernel):\n");
+  std::printf("  100%% L1 hits           : %5.1f%% (paper: ~30%%)\n",
+              100.0 * model.RelativeOverhead(
+                          pure, ProtectionMode::kFencingBitwise));
+  pure.cache = CacheProfile::AllGlobal();
+  std::printf("  all-global             : %5.1f%% (paper: 2-5%%)\n",
+              100.0 * model.RelativeOverhead(
+                          pure, ProtectionMode::kFencingBitwise));
+  return 0;
+}

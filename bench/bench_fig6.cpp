@@ -1,0 +1,52 @@
+// Figure 6: multi-tenant GPU sharing — total execution time of the Table 4
+// workload mixes (A-P) under Native time-sharing, MPS, Guardian without
+// protection, and Guardian address fencing (bitwise).
+#include <cstdio>
+
+#include "simgpu/device_spec.hpp"
+#include "workloads/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace grd::workloads;
+  // --full runs the paper's epoch counts; default scales by 10 for speed.
+  const std::uint64_t scale =
+      (argc > 1 && std::string(argv[1]) == "--full") ? 1 : 10;
+  Harness harness(grd::simgpu::QuadroRtxA4000());
+
+  std::printf("Figure 6: co-located execution time (seconds), Table 4 "
+              "mixes, epoch scale 1/%llu\n\n",
+              static_cast<unsigned long long>(scale));
+  std::printf("%-3s %-34s %9s %9s %9s %9s %7s %7s\n", "ID", "Workload",
+              "Native", "MPS", "Grd-noP", "Grd-fence", "vsNat", "vsMPS");
+
+  double sum_vs_native = 0, sum_vs_mps = 0, sum_noprot_vs_mps = 0;
+  int count = 0;
+  for (const auto& mix : Table4Workloads()) {
+    const auto runs = Harness::ExpandMix(mix, scale);
+    const double native =
+        harness.RunColocated(runs, Deployment::kNative).seconds;
+    const double mps = harness.RunColocated(runs, Deployment::kMps).seconds;
+    const double noprot =
+        harness.RunColocated(runs, Deployment::kGuardianNoProtection).seconds;
+    const double fence =
+        harness.RunColocated(runs, Deployment::kGuardianBitwise).seconds;
+    std::printf("%-3s %-34s %9.3f %9.3f %9.3f %9.3f %6.1f%% %6.2f%%\n",
+                mix.id.c_str(), mix.name.c_str(), native, mps, noprot, fence,
+                100.0 * (native / fence - 1.0), 100.0 * (fence / mps - 1.0));
+    sum_vs_native += native / fence;
+    sum_vs_mps += fence / mps;
+    sum_noprot_vs_mps += noprot / mps;
+    ++count;
+  }
+  std::printf("\nAverages across A-P:\n");
+  std::printf("  Guardian fencing vs native time-sharing : %.1f%% faster "
+              "(paper: 23%% faster, up to 2x)\n",
+              100.0 * (sum_vs_native / count - 1.0));
+  std::printf("  Guardian fencing vs MPS                 : %.2f%% slower "
+              "(paper: 4.84%%)\n",
+              100.0 * (sum_vs_mps / count - 1.0));
+  std::printf("  Guardian w/o protection vs MPS          : %+.2f%% "
+              "(paper: +0.05%%)\n",
+              100.0 * (sum_noprot_vs_mps / count - 1.0));
+  return 0;
+}

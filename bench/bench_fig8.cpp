@@ -1,0 +1,52 @@
+// Figure 8: standalone imagenet-scale networks — (a) Caffe training
+// (googlenet/alexnet/caffenet) and (b) PyTorch training+inference
+// (vgg11/mobilenetv2/resnet50) under the five deployments.
+#include <cstdio>
+
+#include "simgpu/device_spec.hpp"
+#include "workloads/harness.hpp"
+
+namespace {
+
+using namespace grd::workloads;
+
+void Row(const Harness& harness, const char* app, bool inference = false) {
+  const AppRun run{app, 0, inference};
+  const double native =
+      harness.RunStandalone(run, Deployment::kNative).seconds;
+  const double noprot =
+      harness.RunStandalone(run, Deployment::kGuardianNoProtection).seconds;
+  const double bitwise =
+      harness.RunStandalone(run, Deployment::kGuardianBitwise).seconds;
+  const double modulo =
+      harness.RunStandalone(run, Deployment::kGuardianModulo).seconds;
+  const double checking =
+      harness.RunStandalone(run, Deployment::kGuardianChecking).seconds;
+  std::printf("%-14s %9.2f %9.2f %9.2f %9.2f %9.2f %7.1f%% %7.1f%%\n", app,
+              native, noprot, bitwise, modulo, checking,
+              100.0 * (noprot / native - 1.0),
+              100.0 * (bitwise / native - 1.0));
+}
+
+}  // namespace
+
+int main() {
+  Harness harness(grd::simgpu::QuadroRtxA4000());
+  std::printf("Figure 8: imagenet-scale networks, standalone (seconds)\n\n");
+  std::printf("%-14s %9s %9s %9s %9s %9s %8s %8s\n", "net", "Native",
+              "Grd-noP", "fence-bit", "fence-mod", "checking", "noP-ovh",
+              "bit-ovh");
+  std::printf("(a) Caffe training\n");
+  for (const char* app : {"googlenet", "alexnet", "caffenet"})
+    Row(harness, app);
+  std::printf("(b) PyTorch training\n");
+  for (const char* app : {"vgg11", "mobilenetv2", "resnet50"})
+    Row(harness, app);
+  std::printf("(b) PyTorch inference\n");
+  for (const char* app : {"vgg11", "mobilenetv2", "resnet50"})
+    Row(harness, app, /*inference=*/true);
+  std::printf("\nPaper bands: fencing 4.5-10%% over native (Caffe); "
+              "interception 1.36-6%% (Caffe), ~5.5%% (PyTorch); fencing vs "
+              "no-protection 2.9-4.3%% (Caffe), ~7.6%% (PyTorch)\n");
+  return 0;
+}

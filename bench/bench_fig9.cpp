@@ -1,0 +1,58 @@
+// Figure 9: per-thread register usage of sandboxed kernels vs native, under
+// (a) no optimization (-G: one architectural register per virtual register)
+// and (b) -O3 (linear-scan reuse over live ranges). Run over a generated
+// kernel corpus; prints the histogram of extra registers.
+#include <cstdio>
+#include <map>
+
+#include "common/rng.hpp"
+#include "ptx/generator.hpp"
+#include "ptxpatcher/patcher.hpp"
+#include "ptxpatcher/regmodel.hpp"
+
+int main() {
+  using namespace grd;
+  using namespace grd::ptxpatcher;
+
+  std::map<long, std::size_t> histogram_noopt, histogram_o3;
+  std::size_t kernels = 0;
+
+  Rng rng(2024);
+  PatchOptions options;
+  auto account = [&](const ptx::Kernel& kernel) {
+    auto patched = PatchKernel(kernel, options);
+    if (!patched.ok()) return;
+    const RegisterUsage native = EstimateRegisterUsage(kernel);
+    const RegisterUsage sandboxed = EstimateRegisterUsage(patched->kernel);
+    histogram_noopt[static_cast<long>(sandboxed.no_opt) -
+                    static_cast<long>(native.no_opt)]++;
+    histogram_o3[static_cast<long>(sandboxed.optimized) -
+                 static_cast<long>(native.optimized)]++;
+    ++kernels;
+  };
+
+  for (const auto& kernel : ptx::MakeSampleModule().kernels) account(kernel);
+  // A corpus shaped like the Caffe library row of Table 3, scaled down.
+  ptx::LibraryCorpusSpec spec{"corpus", 1000, 4, 67440, 25460};
+  ptx::GenerateCorpus(spec, /*seed=*/7, account);
+
+  auto print = [&](const char* title, const std::map<long, std::size_t>& h) {
+    std::printf("%s\n", title);
+    std::printf("%-18s %-10s %s\n", "extra registers", "#kernels", "share");
+    for (const auto& [delta, count] : h) {
+      std::printf("%-18ld %-10zu %5.1f%%\n", delta, count,
+                  100.0 * static_cast<double>(count) /
+                      static_cast<double>(kernels));
+    }
+    std::printf("\n");
+  };
+
+  std::printf("Figure 9: Guardian per-thread register usage vs native "
+              "(%zu kernels)\n\n", kernels);
+  print("(a) No optimizations (-G)", histogram_noopt);
+  print("(b) Optimization level 3 (-O3)", histogram_o3);
+  std::printf("Paper: -G: up to 4 extra registers in 62%% of kernels; "
+              "-O3: 71%% none, 13%% one, 7%% two; spilling in 0.9%% of "
+              "PyTorch kernels\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Table 2: GPU specifications used in the evaluation.
+#include <cstdio>
+
+#include "simgpu/device_spec.hpp"
+
+int main() {
+  const auto quadro = grd::simgpu::QuadroRtxA4000();
+  const auto geforce = grd::simgpu::GeForceRtx3080Ti();
+  std::printf("Table 2: GPU specifications used for the evaluation\n\n");
+  std::printf("%-28s %-14s %-14s\n", "Specification", quadro.name.c_str(),
+              geforce.name.c_str());
+  auto row = [](const char* name, auto a, auto b) {
+    std::printf("%-28s %-14lld %-14lld\n", name, (long long)a, (long long)b);
+  };
+  std::printf("%-28s %-14s %-14s\n", "Compute Capability",
+              quadro.compute_capability.c_str(),
+              geforce.compute_capability.c_str());
+  row("#SMs", quadro.sms, geforce.sms);
+  row("#CUDA cores", quadro.cuda_cores, geforce.cuda_cores);
+  row("L1 (KB)", quadro.l1_kb, geforce.l1_kb);
+  row("L2 (KB)", quadro.l2_kb, geforce.l2_kb);
+  row("Global memory (GB)", quadro.global_mem_bytes >> 30,
+      geforce.global_mem_bytes >> 30);
+  row("#Registers / Thread", quadro.regs_per_thread, geforce.regs_per_thread);
+  row("L1 hit latency (cycles)", quadro.l1_hit_latency,
+      geforce.l1_hit_latency);
+  row("L2 hit latency (cycles)", quadro.l2_hit_latency,
+      geforce.l2_hit_latency);
+  std::printf("%-28s %-14.0f %-14.0f\n", "Global memory BW (GB/s)",
+              quadro.global_bw_gbps, geforce.global_bw_gbps);
+  std::printf("%-28s %-14s %-14s\n", "Error Correction Code",
+              quadro.ecc ? "Yes" : "No", geforce.ecc ? "Yes" : "No");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Table 5: host-side cost in CPU cycles of the operations Guardian performs
+// per intercepted kernel launch. These are REAL measurements of the real
+// manager code paths (pointerToSymbol lookup in a std::unordered_map,
+// parameter-array augmentation), timed with rdtsc, exactly like the paper's
+// methodology (§7.6: 10 runs, min and max excluded).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/cycle_clock.hpp"
+#include "guardian/grdlib.hpp"
+#include "guardian/manager.hpp"
+#include "guardian/transport.hpp"
+#include "ptx/generator.hpp"
+#include "ptx/printer.hpp"
+#include "ptxpatcher/patcher.hpp"
+#include "simgpu/device_spec.hpp"
+
+namespace {
+
+using namespace grd;
+
+// Trimmed mean over 10 samples, min/max excluded (§7.6).
+template <typename Fn>
+double TrimmedMeanCycles(Fn&& fn) {
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 10; ++i) samples.push_back(CycleClock::Measure(fn));
+  std::sort(samples.begin(), samples.end());
+  const auto sum =
+      std::accumulate(samples.begin() + 1, samples.end() - 1, std::uint64_t{0});
+  return static_cast<double>(sum) / 8.0;
+}
+
+struct LaunchFixture {
+  LaunchFixture()
+      : gpu(simgpu::QuadroRtxA4000()),
+        manager(&gpu, guardian::ManagerOptions{}),
+        transport(&manager) {
+    auto connected = guardian::GrdLib::Connect(&transport, 16ull << 20);
+    lib.emplace(std::move(*connected));
+    // Populate pointerToSymbol with many kernels so the lookup is realistic.
+    const std::string ptx_text = ptx::Print(ptx::MakeSampleModule());
+    for (int i = 0; i < 64; ++i) {
+      auto module = lib->cuModuleLoadData(ptx_text);
+      auto function = lib->cuModuleGetFunction(*module, "kernel");
+      fn = *function;
+    }
+    (void)lib->cudaMalloc(&buffer, 4096);
+  }
+
+  simcuda::Gpu gpu;
+  guardian::GrdManager manager;
+  guardian::LoopbackTransport transport;
+  std::optional<guardian::GrdLib> lib;
+  simcuda::FunctionId fn = 0;
+  simcuda::DevicePtr buffer = 0;
+};
+
+LaunchFixture& Fixture() {
+  static LaunchFixture fixture;
+  return fixture;
+}
+
+void BM_LookupGpuKernel(benchmark::State& state) {
+  auto& f = Fixture();
+  std::unordered_map<std::uint64_t, std::string> pointer_to_symbol;
+  for (std::uint64_t i = 0; i < 4096; ++i)
+    pointer_to_symbol[i] = "kernel_" + std::to_string(i);
+  std::uint64_t key = 1;
+  double cycles = 0;
+  for (auto _ : state) {
+    cycles = TrimmedMeanCycles([&] {
+      benchmark::DoNotOptimize(pointer_to_symbol.find(key));
+      key = (key * 2862933555777941757ull + 3037000493ull) % 4096;
+    });
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["cycles"] = cycles;
+  (void)f;
+}
+BENCHMARK(BM_LookupGpuKernel);
+
+void BM_AugmentKernelParams(benchmark::State& state) {
+  const auto grd_args = ptxpatcher::ComputeGrdArgs(
+      ptxpatcher::BoundsCheckMode::kFencingBitwise, 1ull << 20, 1ull << 20);
+  const std::vector<ptxexec::KernelArg> original = {
+      ptxexec::KernelArg::U64(0x1000), ptxexec::KernelArg::U32(5),
+      ptxexec::KernelArg::U64(0x2000), ptxexec::KernelArg::U32(7)};
+  double cycles = 0;
+  for (auto _ : state) {
+    cycles = TrimmedMeanCycles([&] {
+      std::vector<ptxexec::KernelArg> augmented;
+      augmented.reserve(original.size() + 2);
+      for (const auto& arg : original) augmented.push_back(arg);
+      augmented.push_back(ptxexec::KernelArg::U64(grd_args.arg0));
+      augmented.push_back(ptxexec::KernelArg::U64(grd_args.arg1));
+      benchmark::DoNotOptimize(augmented.data());
+    });
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["cycles"] = cycles;
+}
+BENCHMARK(BM_AugmentKernelParams);
+
+void BM_FullInterceptedLaunch(benchmark::State& state) {
+  auto& f = Fixture();
+  simcuda::LaunchConfig config;
+  config.block = {1, 1, 1};
+  double cycles = 0;
+  for (auto _ : state) {
+    cycles = TrimmedMeanCycles([&] {
+      (void)f.lib->cudaLaunchKernel(
+          f.fn, config,
+          {ptxexec::KernelArg::U64(f.buffer), ptxexec::KernelArg::U32(1)});
+    });
+    benchmark::DoNotOptimize(cycles);
+  }
+  state.counters["cycles"] = cycles;
+}
+BENCHMARK(BM_FullInterceptedLaunch);
+
+void BM_ManagerMeasuredTable5(benchmark::State& state) {
+  // The manager's own rdtsc accounting across many launches — the numbers
+  // a deployment would report for Table 5.
+  auto& f = Fixture();
+  simcuda::LaunchConfig config;
+  config.block = {1, 1, 1};
+  for (auto _ : state) {
+    (void)f.lib->cudaLaunchKernel(
+        f.fn, config,
+        {ptxexec::KernelArg::U64(f.buffer), ptxexec::KernelArg::U32(1)});
+  }
+  const auto& stats = f.manager.stats();
+  if (stats.launches > 0) {
+    state.counters["lookup_cycles_per_launch"] =
+        static_cast<double>(stats.lookup_cycles) /
+        static_cast<double>(stats.launches);
+    state.counters["augment_cycles_per_launch"] =
+        static_cast<double>(stats.augment_cycles) /
+        static_cast<double>(stats.launches);
+  }
+}
+BENCHMARK(BM_ManagerMeasuredTable5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Scenario: dynamic multi-tenancy — the operational features around the
+// core protection mechanism.
+//
+//  1. Standalone fast path (§4.2.3): a lone tenant runs native, unpatched
+//     kernels; the moment a second tenant registers, launches switch to the
+//     sandboxed versions.
+//  2. Progressive partition growth (§4.4 future work): a tenant outgrows
+//     its partition and doubles it in place; the fencing mask follows.
+//  3. Kernel revocation (TReM [53]): an endless kernel is terminated and
+//     only its owner is failed.
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "guardian/grdlib.hpp"
+#include "guardian/manager.hpp"
+#include "guardian/transport.hpp"
+#include "ptx/generator.hpp"
+#include "ptx/printer.hpp"
+#include "simgpu/device_spec.hpp"
+
+using namespace grd;
+using guardian::GrdLib;
+using ptxexec::KernelArg;
+using simcuda::DevicePtr;
+
+int main() {
+  simcuda::Gpu gpu(simgpu::QuadroRtxA4000());
+  guardian::ManagerOptions options;
+  options.standalone_fast_path = true;
+  options.max_kernel_instructions = 100'000;
+  guardian::GrdManager manager(&gpu, options);
+  guardian::LoopbackTransport transport(&manager);
+
+  // --- 1. standalone fast path ---
+  std::printf("1. standalone fast path\n");
+  auto solo = GrdLib::Connect(&transport, 1 << 20);
+  if (!solo.ok()) return 1;
+  auto module = solo->cuModuleLoadData(ptx::Print(ptx::MakeSampleModule()));
+  auto kernel = solo->cuModuleGetFunction(*module, "kernel");
+  DevicePtr buf = 0;
+  (void)solo->cudaMalloc(&buf, 4096);
+  simcuda::LaunchConfig config;
+  config.block = {8, 1, 1};
+  (void)solo->cudaLaunchKernel(*kernel, config,
+                               {KernelArg::U64(buf), KernelArg::U32(0)});
+  std::printf("   1 tenant : native launches = %llu, sandboxed = %llu\n",
+              (unsigned long long)manager.stats().native_launches,
+              (unsigned long long)manager.stats().sandboxed_launches);
+
+  auto second = GrdLib::Connect(&transport, 1 << 20);
+  if (!second.ok()) return 1;
+  (void)solo->cudaLaunchKernel(*kernel, config,
+                               {KernelArg::U64(buf), KernelArg::U32(0)});
+  std::printf("   2 tenants: native launches = %llu, sandboxed = %llu "
+              "(protection engaged automatically)\n\n",
+              (unsigned long long)manager.stats().native_launches,
+              (unsigned long long)manager.stats().sandboxed_launches);
+
+  // --- 2. partition growth ---
+  std::printf("2. progressive partition growth\n");
+  std::printf("   before: %s partition\n",
+              HumanBytes(solo->partition_size()).c_str());
+  DevicePtr big = 0;
+  const Status oom = solo->cudaMalloc(&big, 900 << 10);
+  const Status oom2 = solo->cudaMalloc(&big, 900 << 10);
+  std::printf("   two 900 KB allocations: %s then %s\n",
+              oom.ToString().c_str(), oom2.ToString().c_str());
+  if (solo->GrowPartition().ok()) {
+    std::printf("   grown to %s; retrying: %s\n\n",
+                HumanBytes(solo->partition_size()).c_str(),
+                solo->cudaMalloc(&big, 900 << 10).ToString().c_str());
+  }
+
+  // --- 3. revocation ---
+  std::printf("3. endless-kernel revocation\n");
+  auto spin_module = second->cuModuleLoadData(R"(
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry spin()
+{
+    .reg .b32 %r<2>;
+LOOP:
+    add.s32 %r1, %r1, 1;
+    bra LOOP;
+}
+)");
+  auto spin = second->cuModuleGetFunction(*spin_module, "spin");
+  const Status revoked =
+      second->cudaLaunchKernel(*spin, simcuda::LaunchConfig{}, {});
+  std::printf("   spinning tenant: %s\n", revoked.ToString().c_str());
+  DevicePtr probe = 0;
+  std::printf("   spinner next call: %s\n",
+              second->cudaMalloc(&probe, 64).ToString().c_str());
+  std::printf("   other tenant    : %s (unaffected)\n",
+              solo->cudaMalloc(&probe, 64).ToString().c_str());
+  return 0;
+}

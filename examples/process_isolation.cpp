@@ -1,0 +1,119 @@
+// Scenario: the paper's actual deployment shape — client applications and
+// the grdManager in DIFFERENT PROCESSES, exchanging CUDA calls over
+// shared-memory rings (per-application channels, §4).
+//
+// The parent process runs the grdManager and its round-robin server pump;
+// two forked children act as tenant applications. Each child allocates,
+// uploads, launches the Listing-1 kernel, and reads results back — entirely
+// through IPC. One child then attempts the cross-tenant OOB write and the
+// parent verifies containment.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "guardian/grdlib.hpp"
+#include "guardian/manager.hpp"
+#include "guardian/transport.hpp"
+#include "ipc/channel.hpp"
+#include "ptx/generator.hpp"
+#include "ptx/printer.hpp"
+#include "simgpu/device_spec.hpp"
+
+using namespace grd;
+using guardian::GrdLib;
+using ptxexec::KernelArg;
+using simcuda::DevicePtr;
+
+namespace {
+
+constexpr std::uint64_t kRingBytes = 1 << 20;
+
+// Child tenant body: returns 0 on success.
+int RunTenant(void* channel_region, bool attack) {
+  ipc::Channel channel(channel_region, kRingBytes, /*initialize=*/false);
+  guardian::ChannelTransport transport(&channel);
+  auto lib = GrdLib::Connect(&transport, 8 << 20);
+  if (!lib.ok()) return 10;
+
+  auto module =
+      lib->cuModuleLoadData(ptx::Print(ptx::MakeSampleModule()));
+  if (!module.ok()) return 11;
+
+  DevicePtr buf = 0;
+  if (!lib->cudaMalloc(&buf, 4096).ok()) return 12;
+
+  if (!attack) {
+    auto fn = lib->cuModuleGetFunction(*module, "kernel");
+    simcuda::LaunchConfig config;
+    config.block = {16, 1, 1};
+    if (!lib->cudaLaunchKernel(*fn, config,
+                               {KernelArg::U64(buf), KernelArg::U32(3)})
+             .ok())
+      return 13;
+    std::uint32_t value = 0;
+    if (!lib->cudaMemcpy(&value, buf + 12, 4,
+                         simcuda::MemcpyKind::kDeviceToHost)
+             .ok())
+      return 14;
+    return value == 15 ? 0 : 15;  // last tid of 16 threads
+  }
+
+  // The attacker: blind OOB store far outside its own partition.
+  auto fn = lib->cuModuleGetFunction(*module, "oob_writer");
+  const Status s = lib->cudaLaunchKernel(
+      *fn, simcuda::LaunchConfig{},
+      {KernelArg::U64(buf), KernelArg::U64(512ull << 20),
+       KernelArg::U32(666)});
+  // Fencing: the launch SUCCEEDS (wraps) and nobody else is harmed.
+  return s.ok() ? 0 : 16;
+}
+
+}  // namespace
+
+int main() {
+  auto region_a = ipc::SharedRegion::Create(ipc::Channel::RegionSize(kRingBytes));
+  auto region_b = ipc::SharedRegion::Create(ipc::Channel::RegionSize(kRingBytes));
+  if (!region_a.ok() || !region_b.ok()) return 1;
+  ipc::Channel channel_a(region_a->addr(), kRingBytes, /*initialize=*/true);
+  ipc::Channel channel_b(region_b->addr(), kRingBytes, /*initialize=*/true);
+
+  const pid_t tenant1 = fork();
+  if (tenant1 == 0) _exit(RunTenant(region_a->addr(), /*attack=*/false));
+  const pid_t tenant2 = fork();
+  if (tenant2 == 0) _exit(RunTenant(region_b->addr(), /*attack=*/true));
+
+  // Parent: the grdManager process.
+  simcuda::Gpu gpu(simgpu::QuadroRtxA4000());
+  guardian::GrdManager manager(&gpu, guardian::ManagerOptions{});
+  guardian::ManagerServer server(&manager);
+  server.AddChannel(&channel_a);
+  server.AddChannel(&channel_b);
+
+  std::atomic<bool> stop{false};
+  std::thread pump([&] { server.Run(stop); });
+
+  int status1 = 0, status2 = 0;
+  (void)waitpid(tenant1, &status1, 0);
+  (void)waitpid(tenant2, &status2, 0);
+  stop.store(true);
+  pump.join();
+
+  const int code1 = WIFEXITED(status1) ? WEXITSTATUS(status1) : -1;
+  const int code2 = WIFEXITED(status2) ? WEXITSTATUS(status2) : -1;
+  std::printf("tenant 1 (honest)  : exit %d %s\n", code1,
+              code1 == 0 ? "(kernel ran, results correct)" : "(FAILED)");
+  std::printf("tenant 2 (attacker): exit %d %s\n", code2,
+              code2 == 0 ? "(OOB store wrapped into own partition)"
+                         : "(FAILED)");
+  std::printf("manager: %llu sandboxed launches, %llu faults, "
+              "%llu transfers checked\n",
+              static_cast<unsigned long long>(
+                  manager.stats().sandboxed_launches),
+              static_cast<unsigned long long>(manager.stats().faults_contained),
+              static_cast<unsigned long long>(
+                  manager.stats().transfers_checked));
+  return (code1 == 0 && code2 == 0) ? 0 : 1;
+}

@@ -1,0 +1,144 @@
+#include "baselines/mps.hpp"
+
+namespace grd::baselines {
+
+std::uint64_t MpsMemoryFootprint(std::size_t num_clients) {
+  if (num_clients == 0) return 0;
+  return kFirstContextFootprint +
+         (num_clients - 1) * kExtraContextFootprint;
+}
+
+MpsClient::MpsClient(MpsServer* server, simcuda::Gpu* gpu)
+    : server_(server), inner_(gpu) {}
+
+Status MpsClient::CheckServer() const {
+  if (server_->failed())
+    return Unavailable(
+        "MPS server crashed after a client fault; all clients terminated");
+  return OkStatus();
+}
+
+Status MpsClient::Propagate(Status status) {
+  // OOB device faults surface as OutOfRange/PermissionDenied from the
+  // execution layer; they leave the MPS server in an undefined state.
+  if (status.code() == StatusCode::kOutOfRange ||
+      status.code() == StatusCode::kPermissionDenied) {
+    server_->MarkFailed();
+  }
+  return status;
+}
+
+Status MpsClient::cudaMalloc(simcuda::DevicePtr* ptr, std::uint64_t size) {
+  GRD_RETURN_IF_ERROR(CheckServer());
+  return inner_.cudaMalloc(ptr, size);
+}
+Status MpsClient::cudaFree(simcuda::DevicePtr ptr) {
+  GRD_RETURN_IF_ERROR(CheckServer());
+  return inner_.cudaFree(ptr);
+}
+Status MpsClient::cudaMemcpy(void* dst_host, simcuda::DevicePtr src_dev,
+                             std::uint64_t size, simcuda::MemcpyKind kind) {
+  GRD_RETURN_IF_ERROR(CheckServer());
+  return inner_.cudaMemcpy(dst_host, src_dev, size, kind);
+}
+Status MpsClient::cudaMemcpyH2D(simcuda::DevicePtr dst, const void* src,
+                                std::uint64_t size) {
+  GRD_RETURN_IF_ERROR(CheckServer());
+  return inner_.cudaMemcpyH2D(dst, src, size);
+}
+Status MpsClient::cudaMemcpyD2D(simcuda::DevicePtr dst,
+                                simcuda::DevicePtr src, std::uint64_t size) {
+  GRD_RETURN_IF_ERROR(CheckServer());
+  return inner_.cudaMemcpyD2D(dst, src, size);
+}
+Status MpsClient::cudaMemset(simcuda::DevicePtr dst, int value,
+                             std::uint64_t size) {
+  GRD_RETURN_IF_ERROR(CheckServer());
+  return inner_.cudaMemset(dst, value, size);
+}
+Status MpsClient::cudaLaunchKernel(simcuda::FunctionId func,
+                                   const simcuda::LaunchConfig& config,
+                                   std::vector<ptxexec::KernelArg> args) {
+  GRD_RETURN_IF_ERROR(CheckServer());
+  return Propagate(inner_.cudaLaunchKernel(func, config, std::move(args)));
+}
+Status MpsClient::cudaStreamCreate(simcuda::StreamId* stream) {
+  GRD_RETURN_IF_ERROR(CheckServer());
+  return inner_.cudaStreamCreate(stream);
+}
+Status MpsClient::cudaStreamDestroy(simcuda::StreamId stream) {
+  return inner_.cudaStreamDestroy(stream);
+}
+Status MpsClient::cudaStreamSynchronize(simcuda::StreamId stream) {
+  GRD_RETURN_IF_ERROR(CheckServer());
+  return inner_.cudaStreamSynchronize(stream);
+}
+Status MpsClient::cudaStreamIsCapturing(simcuda::StreamId stream,
+                                        bool* capturing) {
+  return inner_.cudaStreamIsCapturing(stream, capturing);
+}
+Status MpsClient::cudaStreamGetCaptureInfo(simcuda::StreamId stream,
+                                           std::uint64_t* capture_id) {
+  return inner_.cudaStreamGetCaptureInfo(stream, capture_id);
+}
+Status MpsClient::cudaEventCreateWithFlags(simcuda::EventId* event,
+                                           std::uint32_t flags) {
+  GRD_RETURN_IF_ERROR(CheckServer());
+  return inner_.cudaEventCreateWithFlags(event, flags);
+}
+Status MpsClient::cudaEventDestroy(simcuda::EventId event) {
+  return inner_.cudaEventDestroy(event);
+}
+Status MpsClient::cudaEventRecord(simcuda::EventId event,
+                                  simcuda::StreamId stream) {
+  GRD_RETURN_IF_ERROR(CheckServer());
+  return inner_.cudaEventRecord(event, stream);
+}
+Status MpsClient::cudaDeviceSynchronize() {
+  GRD_RETURN_IF_ERROR(CheckServer());
+  return inner_.cudaDeviceSynchronize();
+}
+Result<const simcuda::ExportTable*> MpsClient::cudaGetExportTable(
+    simcuda::ExportTableId id) {
+  return inner_.cudaGetExportTable(id);
+}
+Result<simcuda::ModuleId> MpsClient::RegisterFatBinary(
+    const std::string& ptx) {
+  GRD_RETURN_IF_ERROR(CheckServer());
+  return inner_.RegisterFatBinary(ptx);
+}
+Result<simcuda::FunctionId> MpsClient::RegisterFunction(
+    simcuda::ModuleId module, const std::string& kernel) {
+  return inner_.RegisterFunction(module, kernel);
+}
+Result<simcuda::ModuleId> MpsClient::cuModuleLoadData(const std::string& ptx) {
+  GRD_RETURN_IF_ERROR(CheckServer());
+  return inner_.cuModuleLoadData(ptx);
+}
+Result<simcuda::FunctionId> MpsClient::cuModuleGetFunction(
+    simcuda::ModuleId module, const std::string& kernel) {
+  return inner_.cuModuleGetFunction(module, kernel);
+}
+Status MpsClient::cuLaunchKernel(simcuda::FunctionId func,
+                                 const simcuda::LaunchConfig& config,
+                                 std::vector<ptxexec::KernelArg> args) {
+  GRD_RETURN_IF_ERROR(CheckServer());
+  return Propagate(inner_.cuLaunchKernel(func, config, std::move(args)));
+}
+Status MpsClient::cuMemAlloc(simcuda::DevicePtr* ptr, std::uint64_t size) {
+  return cudaMalloc(ptr, size);
+}
+Status MpsClient::cuMemFree(simcuda::DevicePtr ptr) { return cudaFree(ptr); }
+Status MpsClient::cuMemcpyHtoD(simcuda::DevicePtr dst, const void* src,
+                               std::uint64_t size) {
+  return cudaMemcpyH2D(dst, src, size);
+}
+Status MpsClient::cuMemcpyDtoH(void* dst, simcuda::DevicePtr src,
+                               std::uint64_t size) {
+  return cudaMemcpy(dst, src, size, simcuda::MemcpyKind::kDeviceToHost);
+}
+const simgpu::DeviceSpec& MpsClient::GetDeviceSpec() const {
+  return inner_.GetDeviceSpec();
+}
+
+}  // namespace grd::baselines

@@ -1,0 +1,117 @@
+// NVIDIA MPS simulation (paper §2.2, Table 1 row "MPS").
+//
+// Semantics reproduced:
+//  - spatial sharing: clients submit concurrently through one server;
+//  - memory protection: per-client ASID-style isolation (an access to a
+//    foreign or unmapped address faults) — implemented with the same
+//    ownership registry native contexts use;
+//  - NO fault isolation: the MPS server shares one copy of GPU storage and
+//    scheduling resources across clients, so a device fault in ANY client
+//    transitions the server to FAILED and kills all co-running clients
+//    ("when a kernel of an MPS client performs an illegal memory access,
+//    both the MPS server and other co-running clients are terminated");
+//  - per-client context footprint: 176 MB for the first context plus
+//    ~186 MB per additional client (reproduces 734 MB @ 4 clients and
+//    2.8 GB @ 16 clients vs Guardian's constant 176 MB).
+#pragma once
+
+#include <memory>
+
+#include "simcuda/native.hpp"
+
+namespace grd::baselines {
+
+// Driver-observed context costs (§2.2 arithmetic).
+constexpr std::uint64_t kFirstContextFootprint = 176ull << 20;
+constexpr std::uint64_t kExtraContextFootprint = 186ull << 20;
+
+std::uint64_t MpsMemoryFootprint(std::size_t num_clients);
+
+class MpsServer;
+
+// An MPS client: the full CudaApi surface, executing against the shared GPU
+// with per-client protection but server-coupled fault behaviour.
+class MpsClient final : public simcuda::CudaApi {
+ public:
+  MpsClient(MpsServer* server, simcuda::Gpu* gpu);
+
+  Status cudaMalloc(simcuda::DevicePtr* ptr, std::uint64_t size) override;
+  Status cudaFree(simcuda::DevicePtr ptr) override;
+  Status cudaMemcpy(void* dst_host, simcuda::DevicePtr src_dev,
+                    std::uint64_t size, simcuda::MemcpyKind kind) override;
+  Status cudaMemcpyH2D(simcuda::DevicePtr dst_dev, const void* src_host,
+                       std::uint64_t size) override;
+  Status cudaMemcpyD2D(simcuda::DevicePtr dst_dev, simcuda::DevicePtr src_dev,
+                       std::uint64_t size) override;
+  Status cudaMemset(simcuda::DevicePtr dst, int value,
+                    std::uint64_t size) override;
+  Status cudaLaunchKernel(simcuda::FunctionId func,
+                          const simcuda::LaunchConfig& config,
+                          std::vector<ptxexec::KernelArg> args) override;
+  Status cudaStreamCreate(simcuda::StreamId* stream) override;
+  Status cudaStreamDestroy(simcuda::StreamId stream) override;
+  Status cudaStreamSynchronize(simcuda::StreamId stream) override;
+  Status cudaStreamIsCapturing(simcuda::StreamId stream,
+                               bool* capturing) override;
+  Status cudaStreamGetCaptureInfo(simcuda::StreamId stream,
+                                  std::uint64_t* capture_id) override;
+  Status cudaEventCreateWithFlags(simcuda::EventId* event,
+                                  std::uint32_t flags) override;
+  Status cudaEventDestroy(simcuda::EventId event) override;
+  Status cudaEventRecord(simcuda::EventId event,
+                         simcuda::StreamId stream) override;
+  Status cudaDeviceSynchronize() override;
+  Result<const simcuda::ExportTable*> cudaGetExportTable(
+      simcuda::ExportTableId id) override;
+  Result<simcuda::ModuleId> RegisterFatBinary(const std::string& ptx) override;
+  Result<simcuda::FunctionId> RegisterFunction(
+      simcuda::ModuleId module, const std::string& kernel) override;
+  Result<simcuda::ModuleId> cuModuleLoadData(const std::string& ptx) override;
+  Result<simcuda::FunctionId> cuModuleGetFunction(
+      simcuda::ModuleId module, const std::string& kernel) override;
+  Status cuLaunchKernel(simcuda::FunctionId func,
+                        const simcuda::LaunchConfig& config,
+                        std::vector<ptxexec::KernelArg> args) override;
+  Status cuMemAlloc(simcuda::DevicePtr* ptr, std::uint64_t size) override;
+  Status cuMemFree(simcuda::DevicePtr ptr) override;
+  Status cuMemcpyHtoD(simcuda::DevicePtr dst, const void* src,
+                      std::uint64_t size) override;
+  Status cuMemcpyDtoH(void* dst, simcuda::DevicePtr src,
+                      std::uint64_t size) override;
+  const simgpu::DeviceSpec& GetDeviceSpec() const override;
+
+ private:
+  Status CheckServer() const;
+  // A device fault (sticky error on the inner context) poisons the server.
+  Status Propagate(Status status);
+
+  MpsServer* server_;
+  simcuda::NativeCuda inner_;
+};
+
+class MpsServer {
+ public:
+  explicit MpsServer(simcuda::Gpu* gpu) : gpu_(gpu) {}
+
+  std::unique_ptr<MpsClient> CreateClient() {
+    ++client_count_;
+    return std::make_unique<MpsClient>(this, gpu_);
+  }
+
+  bool failed() const noexcept { return failed_; }
+  void MarkFailed() noexcept { failed_ = true; }
+  std::size_t client_count() const noexcept { return client_count_; }
+
+  // Device memory consumed by MPS contexts alone (no user data) — the §2.2
+  // comparison against Guardian's single 176 MB context.
+  std::uint64_t GpuMemoryFootprint() const {
+    return MpsMemoryFootprint(client_count_);
+  }
+
+ private:
+  simcuda::Gpu* gpu_;
+  bool failed_ = false;
+  std::size_t client_count_ = 0;
+};
+
+}  // namespace grd::baselines

@@ -1,0 +1,23 @@
+#include "common/cycle_clock.hpp"
+
+#include <chrono>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
+namespace grd {
+
+std::uint64_t CycleClock::Now() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __rdtsc();
+#else
+  // Assume ~1 cycle/ns; good enough for relative comparisons in Table 5.
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+}  // namespace grd

@@ -1,0 +1,25 @@
+// CycleClock: cycle-granularity timestamps for the Table 5 host-side
+// micro-measurements (the paper uses rdtsc). Falls back to a
+// steady_clock-derived pseudo-cycle count on non-x86 targets.
+#pragma once
+
+#include <cstdint>
+
+namespace grd {
+
+class CycleClock {
+ public:
+  // Current timestamp-counter value.
+  static std::uint64_t Now() noexcept;
+
+  // Measure `fn` and return elapsed cycles. Meant for micro-benchmarks, so
+  // it does not attempt serialization; callers should repeat and aggregate.
+  template <typename Fn>
+  static std::uint64_t Measure(Fn&& fn) noexcept(noexcept(fn())) {
+    const std::uint64_t begin = Now();
+    fn();
+    return Now() - begin;
+  }
+};
+
+}  // namespace grd

@@ -1,0 +1,20 @@
+#include "common/logging.hpp"
+
+namespace grd {
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Write(LogLevel level, std::string_view component,
+                   std::string_view msg) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  static constexpr std::string_view kNames[] = {"DEBUG", "INFO", "WARN",
+                                                "ERROR"};
+  std::lock_guard<std::mutex> lock(mu_);
+  std::clog << '[' << kNames[static_cast<int>(level)] << "] [" << component
+            << "] " << msg << '\n';
+}
+
+}  // namespace grd

@@ -1,0 +1,54 @@
+// Minimal leveled logger. Defaults to WARN so tests/benches stay quiet; the
+// examples raise it to INFO to narrate the Guardian call flow.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace grd {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  LogLevel level() const noexcept { return level_; }
+
+  void Write(LogLevel level, std::string_view component, std::string_view msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+namespace internal {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() { Logger::Instance().Write(level_, component_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define GRD_LOG(level, component) ::grd::internal::LogLine(level, component)
+#define GRD_LOG_DEBUG(component) GRD_LOG(::grd::LogLevel::kDebug, component)
+#define GRD_LOG_INFO(component) GRD_LOG(::grd::LogLevel::kInfo, component)
+#define GRD_LOG_WARN(component) GRD_LOG(::grd::LogLevel::kWarn, component)
+#define GRD_LOG_ERROR(component) GRD_LOG(::grd::LogLevel::kError, component)
+
+}  // namespace grd

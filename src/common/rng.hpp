@@ -1,0 +1,61 @@
+// Deterministic xoshiro256** RNG. All simulator randomness (cache-hit draws,
+// workload jitter, property-test inputs) flows through this so experiments
+// are reproducible run to run.
+#pragma once
+
+#include <cstdint>
+
+namespace grd {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept {
+    // splitmix64 expansion of the seed into the 4-word state.
+    std::uint64_t z = seed;
+    for (auto& s : state_) {
+      z += 0x9E3779B97F4A7C15ull;
+      std::uint64_t w = z;
+      w = (w ^ (w >> 30)) * 0xBF58476D1CE4E5B9ull;
+      w = (w ^ (w >> 27)) * 0x94D049BB133111EBull;
+      s = w ^ (w >> 31);
+    }
+  }
+
+  std::uint64_t Next() noexcept {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t NextBelow(std::uint64_t bound) noexcept {
+    return bound == 0 ? 0 : Next() % bound;
+  }
+
+  // Uniform in [lo, hi].
+  std::uint64_t NextInRange(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + NextBelow(hi - lo + 1);
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() noexcept {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli draw with probability p.
+  bool NextBool(double p) noexcept { return NextDouble() < p; }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace grd

@@ -1,0 +1,126 @@
+// Status / Result<T>: lightweight error propagation used across all Guardian
+// modules. We deliberately avoid exceptions on hot paths (CUDA-call
+// interception, kernel launch) and return Status codes mirroring the CUDA
+// error model; exceptions are reserved for programming errors.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace grd {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfMemory,
+  kOutOfRange,       // bounds-check violation (address checking mode)
+  kPermissionDenied, // operation touches another tenant's partition
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kUnavailable,      // e.g. MPS server crashed / channel closed
+  kAborted,          // e.g. client killed by fault propagation
+  kDeadlineExceeded,
+};
+
+std::string_view StatusCodeName(StatusCode code) noexcept;
+
+// Value-semantic status: code + optional message. `Ok()` carries no
+// allocation; error paths may allocate for the message.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept : code_(StatusCode::kOk) {}
+  explicit Status(StatusCode code, std::string message = {})
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() noexcept { return Status(); }
+
+  bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  StatusCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+inline Status OkStatus() noexcept { return Status::Ok(); }
+Status InvalidArgument(std::string msg);
+Status NotFound(std::string msg);
+Status AlreadyExists(std::string msg);
+Status OutOfMemory(std::string msg);
+Status OutOfRange(std::string msg);
+Status PermissionDenied(std::string msg);
+Status FailedPrecondition(std::string msg);
+Status Unimplemented(std::string msg);
+Status Internal(std::string msg);
+Status Unavailable(std::string msg);
+Status Aborted(std::string msg);
+
+// Result<T>: either a value or a non-OK Status. Minimal expected<T>-style
+// type so the codebase does not depend on std::expected availability.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : storage_(std::move(status)) {}  // NOLINT
+
+  bool ok() const noexcept { return std::holds_alternative<T>(storage_); }
+
+  const Status& status() const noexcept {
+    static const Status kOk{};
+    if (ok()) return kOk;
+    return std::get<Status>(storage_);
+  }
+
+  T& value() & { return std::get<T>(storage_); }
+  const T& value() const& { return std::get<T>(storage_); }
+  T&& value() && { return std::get<T>(std::move(storage_)); }
+
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+// Propagate a non-OK status from an expression producing Status.
+#define GRD_RETURN_IF_ERROR(expr)                        \
+  do {                                                   \
+    ::grd::Status grd_status_ = (expr);                  \
+    if (!grd_status_.ok()) return grd_status_;           \
+  } while (0)
+
+// Assign the value of a Result<T> expression or propagate its status.
+#define GRD_ASSIGN_OR_RETURN(lhs, expr)                  \
+  GRD_ASSIGN_OR_RETURN_IMPL_(                            \
+      GRD_STATUS_CONCAT_(grd_result_, __LINE__), lhs, expr)
+#define GRD_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)       \
+  auto tmp = (expr);                                     \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value()
+#define GRD_STATUS_CONCAT_(a, b) GRD_STATUS_CONCAT_IMPL_(a, b)
+#define GRD_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace grd

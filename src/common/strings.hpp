@@ -1,0 +1,25 @@
+// Small string helpers shared by the PTX toolchain and report printers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace grd {
+
+std::string ToHex(std::uint64_t v);
+
+// "176 MB", "2.8 GB" style human-readable byte counts (paper §2.2 numbers).
+std::string HumanBytes(std::uint64_t bytes);
+
+std::vector<std::string_view> SplitLines(std::string_view text);
+
+std::string_view TrimWhitespace(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+// Join with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace grd

@@ -1,0 +1,43 @@
+#include "guardian/bounds_table.hpp"
+
+#include "common/strings.hpp"
+
+namespace grd::guardian {
+
+Status PartitionBoundsTable::Insert(ClientId client, PartitionBounds bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!table_.emplace(client, bounds).second)
+    return AlreadyExists("client " + std::to_string(client) +
+                         " already has a partition");
+  return OkStatus();
+}
+
+Status PartitionBoundsTable::Remove(ClientId client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (table_.erase(client) == 0)
+    return NotFound("client " + std::to_string(client) + " has no partition");
+  return OkStatus();
+}
+
+Result<PartitionBounds> PartitionBoundsTable::Lookup(ClientId client) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = table_.find(client);
+  if (it == table_.end())
+    return Status(
+        NotFound("client " + std::to_string(client) + " has no partition"));
+  return it->second;
+}
+
+Status PartitionBoundsTable::CheckTransfer(ClientId client, std::uint64_t addr,
+                                           std::uint64_t len) const {
+  GRD_ASSIGN_OR_RETURN(PartitionBounds bounds, Lookup(client));
+  if (!bounds.Contains(addr, len)) {
+    return PermissionDenied("transfer " + ToHex(addr) + "+" +
+                            std::to_string(len) +
+                            " outside partition of client " +
+                            std::to_string(client));
+  }
+  return OkStatus();
+}
+
+}  // namespace grd::guardian

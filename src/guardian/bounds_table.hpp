@@ -1,0 +1,51 @@
+// The partition bounds table (paper §4.2.1): per-application base address,
+// size and fencing mask, consulted on every host-initiated transfer
+// (§4.2.2) and on every kernel launch to append the fencing arguments
+// (§4.2.3).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/bits.hpp"
+#include "common/status.hpp"
+
+namespace grd::guardian {
+
+using ClientId = std::uint64_t;
+
+struct PartitionBounds {
+  std::uint64_t base = 0;
+  std::uint64_t size = 0;
+
+  std::uint64_t mask() const noexcept { return PartitionMask(size); }
+  std::uint64_t end() const noexcept { return base + size; }
+  bool Contains(std::uint64_t addr, std::uint64_t len) const noexcept {
+    return addr >= base && len <= size && addr - base <= size - len;
+  }
+};
+
+class PartitionBoundsTable {
+ public:
+  Status Insert(ClientId client, PartitionBounds bounds);
+  Status Remove(ClientId client);
+  Result<PartitionBounds> Lookup(ClientId client) const;
+
+  // Validates a host-initiated transfer touching [addr, addr+len) on behalf
+  // of `client` (paper §4.2.2: "every host-initiated transfer is checked at
+  // run-time to verify that it falls in a valid range").
+  Status CheckTransfer(ClientId client, std::uint64_t addr,
+                       std::uint64_t len) const;
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return table_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<ClientId, PartitionBounds> table_;
+};
+
+}  // namespace grd::guardian

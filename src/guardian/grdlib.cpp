@@ -1,0 +1,286 @@
+#include "guardian/grdlib.hpp"
+
+namespace grd::guardian {
+
+using ipc::Bytes;
+using ipc::Reader;
+using ipc::Writer;
+using protocol::Op;
+using simcuda::DevicePtr;
+
+ipc::Writer GrdLib::NewRequest(Op op) const {
+  Writer writer;
+  protocol::WriteHeader(writer, op, client_);
+  return writer;
+}
+
+Result<Reader> GrdLib::Call(Writer request, Bytes* response_storage) const {
+  GRD_ASSIGN_OR_RETURN(*response_storage,
+                       transport_->Call(std::move(request).Take()));
+  return protocol::DecodeResponse(*response_storage);
+}
+
+Status GrdLib::CallNoPayload(Writer request) const {
+  Bytes storage;
+  auto reader = Call(std::move(request), &storage);
+  return reader.ok() ? OkStatus() : reader.status();
+}
+
+Result<GrdLib> GrdLib::Connect(ClientTransport* transport,
+                               std::uint64_t memory_requirement) {
+  GrdLib lib(transport);
+  Writer request;
+  protocol::WriteHeader(request, Op::kRegisterClient, 0);
+  request.Put<std::uint64_t>(memory_requirement);
+  Bytes storage;
+  GRD_ASSIGN_OR_RETURN(Reader reader, lib.Call(std::move(request), &storage));
+  GRD_ASSIGN_OR_RETURN(lib.client_, reader.Get<std::uint64_t>());
+  GRD_ASSIGN_OR_RETURN(lib.partition_base_, reader.Get<std::uint64_t>());
+  GRD_ASSIGN_OR_RETURN(lib.partition_size_, reader.Get<std::uint64_t>());
+  GRD_RETURN_IF_ERROR(lib.FetchDeviceSpec());
+  return lib;
+}
+
+Status GrdLib::FetchDeviceSpec() {
+  Bytes storage;
+  GRD_ASSIGN_OR_RETURN(Reader reader,
+                       Call(NewRequest(Op::kGetDeviceSpec), &storage));
+  GRD_ASSIGN_OR_RETURN(device_spec_.name, reader.GetString());
+  GRD_ASSIGN_OR_RETURN(device_spec_.compute_capability, reader.GetString());
+  GRD_ASSIGN_OR_RETURN(device_spec_.sms, reader.Get<std::int32_t>());
+  GRD_ASSIGN_OR_RETURN(device_spec_.cuda_cores, reader.Get<std::int32_t>());
+  GRD_ASSIGN_OR_RETURN(device_spec_.l1_kb, reader.Get<std::int32_t>());
+  GRD_ASSIGN_OR_RETURN(device_spec_.l2_kb, reader.Get<std::int32_t>());
+  GRD_ASSIGN_OR_RETURN(device_spec_.global_mem_bytes,
+                       reader.Get<std::uint64_t>());
+  return OkStatus();
+}
+
+Status GrdLib::Disconnect() {
+  return CallNoPayload(NewRequest(Op::kDisconnect));
+}
+
+Status GrdLib::GrowPartition() {
+  Bytes storage;
+  GRD_ASSIGN_OR_RETURN(Reader reader,
+                       Call(NewRequest(Op::kGrowPartition), &storage));
+  GRD_ASSIGN_OR_RETURN(partition_base_, reader.Get<std::uint64_t>());
+  GRD_ASSIGN_OR_RETURN(partition_size_, reader.Get<std::uint64_t>());
+  return OkStatus();
+}
+
+Status GrdLib::cudaMalloc(DevicePtr* ptr, std::uint64_t size) {
+  Writer request = NewRequest(Op::kMalloc);
+  request.Put<std::uint64_t>(size);
+  Bytes storage;
+  GRD_ASSIGN_OR_RETURN(Reader reader, Call(std::move(request), &storage));
+  GRD_ASSIGN_OR_RETURN(*ptr, reader.Get<std::uint64_t>());
+  return OkStatus();
+}
+
+Status GrdLib::cudaFree(DevicePtr ptr) {
+  Writer request = NewRequest(Op::kFree);
+  request.Put<std::uint64_t>(ptr);
+  return CallNoPayload(std::move(request));
+}
+
+Status GrdLib::cudaMemcpy(void* dst_host, DevicePtr src_dev,
+                          std::uint64_t size, simcuda::MemcpyKind kind) {
+  if (kind != simcuda::MemcpyKind::kDeviceToHost)
+    return InvalidArgument("this overload serves D2H; use the typed methods");
+  Writer request = NewRequest(Op::kMemcpyD2H);
+  request.Put<std::uint64_t>(src_dev);
+  request.Put<std::uint64_t>(size);
+  Bytes storage;
+  GRD_ASSIGN_OR_RETURN(Reader reader, Call(std::move(request), &storage));
+  GRD_ASSIGN_OR_RETURN(Bytes payload, reader.GetBlob());
+  if (payload.size() != size) return Internal("short D2H payload");
+  std::memcpy(dst_host, payload.data(), size);
+  return OkStatus();
+}
+
+Status GrdLib::cudaMemcpyH2D(DevicePtr dst_dev, const void* src_host,
+                             std::uint64_t size) {
+  Writer request = NewRequest(Op::kMemcpyH2D);
+  request.Put<std::uint64_t>(dst_dev);
+  request.PutBlob(src_host, size);
+  return CallNoPayload(std::move(request));
+}
+
+Status GrdLib::cudaMemcpyD2D(DevicePtr dst_dev, DevicePtr src_dev,
+                             std::uint64_t size) {
+  Writer request = NewRequest(Op::kMemcpyD2D);
+  request.Put<std::uint64_t>(dst_dev);
+  request.Put<std::uint64_t>(src_dev);
+  request.Put<std::uint64_t>(size);
+  return CallNoPayload(std::move(request));
+}
+
+Status GrdLib::cudaMemset(DevicePtr dst, int value, std::uint64_t size) {
+  Writer request = NewRequest(Op::kMemset);
+  request.Put<std::uint64_t>(dst);
+  request.Put<std::uint32_t>(static_cast<std::uint32_t>(value));
+  request.Put<std::uint64_t>(size);
+  return CallNoPayload(std::move(request));
+}
+
+Status GrdLib::cudaLaunchKernel(simcuda::FunctionId func,
+                                const simcuda::LaunchConfig& config,
+                                std::vector<ptxexec::KernelArg> args) {
+  Writer request = NewRequest(Op::kLaunchKernel);
+  request.Put<std::uint64_t>(func);
+  request.Put<std::uint32_t>(config.grid.x);
+  request.Put<std::uint32_t>(config.grid.y);
+  request.Put<std::uint32_t>(config.grid.z);
+  request.Put<std::uint32_t>(config.block.x);
+  request.Put<std::uint32_t>(config.block.y);
+  request.Put<std::uint32_t>(config.block.z);
+  request.Put<std::uint64_t>(config.stream);
+  request.Put<std::uint32_t>(static_cast<std::uint32_t>(args.size()));
+  for (const auto& arg : args) {
+    request.Put<std::uint64_t>(arg.bits);
+    request.Put<std::uint8_t>(arg.size);
+  }
+  return CallNoPayload(std::move(request));
+}
+
+Status GrdLib::cudaStreamCreate(simcuda::StreamId* stream) {
+  Bytes storage;
+  GRD_ASSIGN_OR_RETURN(Reader reader,
+                       Call(NewRequest(Op::kStreamCreate), &storage));
+  GRD_ASSIGN_OR_RETURN(*stream, reader.Get<std::uint64_t>());
+  return OkStatus();
+}
+
+Status GrdLib::cudaStreamDestroy(simcuda::StreamId stream) {
+  Writer request = NewRequest(Op::kStreamDestroy);
+  request.Put<std::uint64_t>(stream);
+  return CallNoPayload(std::move(request));
+}
+
+Status GrdLib::cudaStreamSynchronize(simcuda::StreamId stream) {
+  Writer request = NewRequest(Op::kStreamSynchronize);
+  request.Put<std::uint64_t>(stream);
+  return CallNoPayload(std::move(request));
+}
+
+Status GrdLib::cudaStreamIsCapturing(simcuda::StreamId stream,
+                                     bool* capturing) {
+  Writer request = NewRequest(Op::kStreamIsCapturing);
+  request.Put<std::uint64_t>(stream);
+  Bytes storage;
+  GRD_ASSIGN_OR_RETURN(Reader reader, Call(std::move(request), &storage));
+  GRD_ASSIGN_OR_RETURN(std::uint64_t value, reader.Get<std::uint64_t>());
+  *capturing = value != 0;
+  return OkStatus();
+}
+
+Status GrdLib::cudaStreamGetCaptureInfo(simcuda::StreamId stream,
+                                        std::uint64_t* capture_id) {
+  Writer request = NewRequest(Op::kStreamGetCaptureInfo);
+  request.Put<std::uint64_t>(stream);
+  Bytes storage;
+  GRD_ASSIGN_OR_RETURN(Reader reader, Call(std::move(request), &storage));
+  GRD_ASSIGN_OR_RETURN(*capture_id, reader.Get<std::uint64_t>());
+  return OkStatus();
+}
+
+Status GrdLib::cudaEventCreateWithFlags(simcuda::EventId* event,
+                                        std::uint32_t flags) {
+  Writer request = NewRequest(Op::kEventCreate);
+  request.Put<std::uint32_t>(flags);
+  Bytes storage;
+  GRD_ASSIGN_OR_RETURN(Reader reader, Call(std::move(request), &storage));
+  GRD_ASSIGN_OR_RETURN(*event, reader.Get<std::uint64_t>());
+  return OkStatus();
+}
+
+Status GrdLib::cudaEventDestroy(simcuda::EventId event) {
+  Writer request = NewRequest(Op::kEventDestroy);
+  request.Put<std::uint64_t>(event);
+  return CallNoPayload(std::move(request));
+}
+
+Status GrdLib::cudaEventRecord(simcuda::EventId event,
+                               simcuda::StreamId stream) {
+  Writer request = NewRequest(Op::kEventRecord);
+  request.Put<std::uint64_t>(event);
+  request.Put<std::uint64_t>(stream);
+  return CallNoPayload(std::move(request));
+}
+
+Status GrdLib::cudaDeviceSynchronize() {
+  return CallNoPayload(NewRequest(Op::kDeviceSynchronize));
+}
+
+Result<const simcuda::ExportTable*> GrdLib::cudaGetExportTable(
+    simcuda::ExportTableId id) {
+  const auto index = static_cast<std::size_t>(id);
+  if (index >= export_tables_.size())
+    return Status(NotFound("unknown export table"));
+  if (export_tables_[index] != nullptr) return export_tables_[index].get();
+  Writer request = NewRequest(Op::kGetExportTable);
+  request.Put<std::uint8_t>(static_cast<std::uint8_t>(id));
+  Bytes storage;
+  GRD_ASSIGN_OR_RETURN(Reader reader, Call(std::move(request), &storage));
+  GRD_ASSIGN_OR_RETURN(std::uint8_t table_id, reader.Get<std::uint8_t>());
+  GRD_ASSIGN_OR_RETURN(std::uint32_t count, reader.Get<std::uint32_t>());
+  auto table = std::make_unique<simcuda::ExportTable>();
+  table->id = static_cast<simcuda::ExportTableId>(table_id);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    GRD_ASSIGN_OR_RETURN(std::string name, reader.GetString());
+    table->entries.push_back({std::move(name)});
+  }
+  export_tables_[index] = std::move(table);
+  return export_tables_[index].get();
+}
+
+Result<simcuda::ModuleId> GrdLib::RegisterFatBinary(const std::string& ptx) {
+  return cuModuleLoadData(ptx);
+}
+
+Result<simcuda::FunctionId> GrdLib::RegisterFunction(
+    simcuda::ModuleId module, const std::string& kernel) {
+  return cuModuleGetFunction(module, kernel);
+}
+
+Result<simcuda::ModuleId> GrdLib::cuModuleLoadData(const std::string& ptx) {
+  Writer request = NewRequest(Op::kModuleLoadData);
+  request.PutString(ptx);
+  Bytes storage;
+  GRD_ASSIGN_OR_RETURN(Reader reader, Call(std::move(request), &storage));
+  return reader.Get<std::uint64_t>();
+}
+
+Result<simcuda::FunctionId> GrdLib::cuModuleGetFunction(
+    simcuda::ModuleId module, const std::string& kernel) {
+  Writer request = NewRequest(Op::kModuleGetFunction);
+  request.Put<std::uint64_t>(module);
+  request.PutString(kernel);
+  Bytes storage;
+  GRD_ASSIGN_OR_RETURN(Reader reader, Call(std::move(request), &storage));
+  return reader.Get<std::uint64_t>();
+}
+
+Status GrdLib::cuLaunchKernel(simcuda::FunctionId func,
+                              const simcuda::LaunchConfig& config,
+                              std::vector<ptxexec::KernelArg> args) {
+  return cudaLaunchKernel(func, config, std::move(args));
+}
+
+Status GrdLib::cuMemAlloc(DevicePtr* ptr, std::uint64_t size) {
+  return cudaMalloc(ptr, size);
+}
+
+Status GrdLib::cuMemFree(DevicePtr ptr) { return cudaFree(ptr); }
+
+Status GrdLib::cuMemcpyHtoD(DevicePtr dst, const void* src,
+                            std::uint64_t size) {
+  return cudaMemcpyH2D(dst, src, size);
+}
+
+Status GrdLib::cuMemcpyDtoH(void* dst, DevicePtr src, std::uint64_t size) {
+  return cudaMemcpy(dst, src, size, simcuda::MemcpyKind::kDeviceToHost);
+}
+
+}  // namespace grd::guardian

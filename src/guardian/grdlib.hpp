@@ -1,0 +1,120 @@
+// grdLib: the client-side dynamically-loadable library (paper §4.1).
+//
+// In the paper grdLib is LD_PRELOADed so that every CUDA runtime and driver
+// symbol — including the implicit calls issued inside closed-source
+// accelerated libraries, and the driver library pulled in via dlopen() —
+// resolves into it; the native CUDA libraries are removed from the search
+// path so a missed symbol fails loudly instead of escaping interception.
+// Here grdLib implements the same seam (`simcuda::CudaApi`): any
+// application or simulated library written against the API runs unmodified
+// on top of Guardian, and there is no other route to the device.
+//
+// Every method serializes the call and forwards it to the grdManager; host
+// memory never crosses the boundary except as explicit message payloads
+// (the per-application shared-memory segment of the paper).
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "guardian/protocol.hpp"
+#include "guardian/transport.hpp"
+#include "simcuda/api.hpp"
+
+namespace grd::guardian {
+
+class GrdLib final : public simcuda::CudaApi {
+ public:
+  // Registers with the grdManager, reserving a partition of at least
+  // `memory_requirement` bytes (§4.2.1: applications declare their memory
+  // requirement at initialization).
+  static Result<GrdLib> Connect(ClientTransport* transport,
+                                std::uint64_t memory_requirement);
+
+  GrdLib(GrdLib&&) = default;
+  GrdLib(const GrdLib&) = delete;
+
+  ClientId client_id() const noexcept { return client_; }
+  std::uint64_t partition_base() const noexcept { return partition_base_; }
+  std::uint64_t partition_size() const noexcept { return partition_size_; }
+
+  Status Disconnect();
+
+  // Progressive allocation extension (§4.4 future work): asks the manager
+  // to double this client's partition in place. On success the local
+  // partition view is refreshed; subsequent launches use the new mask.
+  Status GrowPartition();
+
+  // ---- CudaApi (runtime) ----
+  Status cudaMalloc(simcuda::DevicePtr* ptr, std::uint64_t size) override;
+  Status cudaFree(simcuda::DevicePtr ptr) override;
+  Status cudaMemcpy(void* dst_host, simcuda::DevicePtr src_dev,
+                    std::uint64_t size, simcuda::MemcpyKind kind) override;
+  Status cudaMemcpyH2D(simcuda::DevicePtr dst_dev, const void* src_host,
+                       std::uint64_t size) override;
+  Status cudaMemcpyD2D(simcuda::DevicePtr dst_dev, simcuda::DevicePtr src_dev,
+                       std::uint64_t size) override;
+  Status cudaMemset(simcuda::DevicePtr dst, int value,
+                    std::uint64_t size) override;
+  Status cudaLaunchKernel(simcuda::FunctionId func,
+                          const simcuda::LaunchConfig& config,
+                          std::vector<ptxexec::KernelArg> args) override;
+  Status cudaStreamCreate(simcuda::StreamId* stream) override;
+  Status cudaStreamDestroy(simcuda::StreamId stream) override;
+  Status cudaStreamSynchronize(simcuda::StreamId stream) override;
+  Status cudaStreamIsCapturing(simcuda::StreamId stream,
+                               bool* capturing) override;
+  Status cudaStreamGetCaptureInfo(simcuda::StreamId stream,
+                                  std::uint64_t* capture_id) override;
+  Status cudaEventCreateWithFlags(simcuda::EventId* event,
+                                  std::uint32_t flags) override;
+  Status cudaEventDestroy(simcuda::EventId event) override;
+  Status cudaEventRecord(simcuda::EventId event,
+                         simcuda::StreamId stream) override;
+  Status cudaDeviceSynchronize() override;
+  Result<const simcuda::ExportTable*> cudaGetExportTable(
+      simcuda::ExportTableId id) override;
+  Result<simcuda::ModuleId> RegisterFatBinary(const std::string& ptx) override;
+  Result<simcuda::FunctionId> RegisterFunction(
+      simcuda::ModuleId module, const std::string& kernel) override;
+
+  // ---- CudaApi (driver) ----
+  Result<simcuda::ModuleId> cuModuleLoadData(const std::string& ptx) override;
+  Result<simcuda::FunctionId> cuModuleGetFunction(
+      simcuda::ModuleId module, const std::string& kernel) override;
+  Status cuLaunchKernel(simcuda::FunctionId func,
+                        const simcuda::LaunchConfig& config,
+                        std::vector<ptxexec::KernelArg> args) override;
+  Status cuMemAlloc(simcuda::DevicePtr* ptr, std::uint64_t size) override;
+  Status cuMemFree(simcuda::DevicePtr ptr) override;
+  Status cuMemcpyHtoD(simcuda::DevicePtr dst, const void* src,
+                      std::uint64_t size) override;
+  Status cuMemcpyDtoH(void* dst, simcuda::DevicePtr src,
+                      std::uint64_t size) override;
+
+  const simgpu::DeviceSpec& GetDeviceSpec() const override {
+    return device_spec_;
+  }
+
+ private:
+  explicit GrdLib(ClientTransport* transport) : transport_(transport) {}
+
+  ipc::Writer NewRequest(protocol::Op op) const;
+  Result<ipc::Reader> Call(ipc::Writer request,
+                           ipc::Bytes* response_storage) const;
+  Status CallNoPayload(ipc::Writer request) const;
+  Status FetchDeviceSpec();
+
+  ClientTransport* transport_;
+  ClientId client_ = 0;
+  std::uint64_t partition_base_ = 0;
+  std::uint64_t partition_size_ = 0;
+  simgpu::DeviceSpec device_spec_;
+  // Export tables are reconstructed once and cached (paper: grdLib provides
+  // a minimal implementation of the hidden functions).
+  mutable std::array<std::unique_ptr<simcuda::ExportTable>,
+                     simcuda::kExportTableCount>
+      export_tables_;
+};
+
+}  // namespace grd::guardian

@@ -1,0 +1,63 @@
+// Guardian's GPU memory partitioning (paper §4.2.1).
+//
+// At startup the allocator reserves the whole device. Each application gets
+// one contiguous partition, rounded up to a power of two and aligned to its
+// own size so that the fencing mask is simply `size - 1` (§4.4 "aligns the
+// partitions in power-of-two sizes"). cudaMalloc/cudaFree from each client
+// are served by a first-fit sub-allocator inside its partition, mirroring
+// the PyTorch/TensorFlow power-of-two caching-allocator behaviour the paper
+// leans on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/status.hpp"
+#include "guardian/bounds_table.hpp"
+#include "simcuda/gpu.hpp"
+
+namespace grd::guardian {
+
+class PartitionAllocator {
+ public:
+  // Manages [0, device_bytes). The first 64 KiB are reserved so no
+  // partition starts at device address 0 (keeps nullptr distinguishable).
+  // `growth_headroom` aligns each partition to size << headroom so that up
+  // to `headroom` in-place doublings keep the power-of-two mask invariant
+  // (0 = paper baseline: exact size alignment, no growth possible).
+  explicit PartitionAllocator(std::uint64_t device_bytes,
+                              int growth_headroom = 1);
+
+  // Creates a partition of at least `requested_bytes` (rounded to the next
+  // power of two, aligned to its size).
+  Result<PartitionBounds> CreatePartition(std::uint64_t requested_bytes);
+  Status ReleasePartition(std::uint64_t base);
+
+  // Progressive allocation (the §4.4 future-work extension): doubles the
+  // partition in place. Requires (a) the partition base to be aligned to
+  // the doubled size — so the power-of-two mask invariant survives — and
+  // (b) the adjacent range [base+size, base+2*size) to be free.
+  Result<PartitionBounds> GrowPartition(std::uint64_t base);
+
+  // cudaMalloc / cudaFree inside an existing partition.
+  Result<std::uint64_t> AllocateIn(std::uint64_t partition_base,
+                                   std::uint64_t size);
+  Status FreeIn(std::uint64_t partition_base, std::uint64_t addr);
+
+  std::uint64_t device_bytes() const noexcept { return device_bytes_; }
+  std::size_t partition_count() const noexcept { return partitions_.size(); }
+
+ private:
+  struct Partition {
+    PartitionBounds bounds;
+    std::unique_ptr<simcuda::DeviceAllocator> suballocator;
+  };
+
+  std::uint64_t device_bytes_;
+  int growth_headroom_;
+  simcuda::DeviceAllocator carver_;  // carves size-aligned partitions
+  std::unordered_map<std::uint64_t, Partition> partitions_;  // by base
+};
+
+}  // namespace grd::guardian

@@ -1,0 +1,89 @@
+// Wire protocol between grdLib (client) and grdManager (server).
+//
+// Every CUDA runtime/driver call grdLib intercepts becomes one
+// request/response exchange (paper §4.1: "the intercepted CUDA calls are
+// forwarded to another process, the grdManager, which is the only entity
+// with GPU access"). Requests carry the client id assigned at registration;
+// the manager validates it against the channel's owner.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "ipc/serializer.hpp"
+
+namespace grd::guardian::protocol {
+
+enum class Op : std::uint32_t {
+  kRegisterClient = 1,
+  kDisconnect,
+  kMalloc,
+  kFree,
+  kMemcpyH2D,
+  kMemcpyD2H,
+  kMemcpyD2D,
+  kMemset,
+  kLaunchKernel,
+  kStreamCreate,
+  kStreamDestroy,
+  kStreamSynchronize,
+  kStreamIsCapturing,
+  kStreamGetCaptureInfo,
+  kEventCreate,
+  kEventDestroy,
+  kEventRecord,
+  kDeviceSynchronize,
+  kGetExportTable,
+  kModuleLoadData,
+  kModuleGetFunction,
+  kGetDeviceSpec,
+  kGrowPartition,
+};
+
+struct RequestHeader {
+  Op op{};
+  std::uint64_t client = 0;
+};
+
+inline void WriteHeader(ipc::Writer& writer, Op op, std::uint64_t client) {
+  writer.Put<std::uint32_t>(static_cast<std::uint32_t>(op));
+  writer.Put<std::uint64_t>(client);
+}
+
+inline Result<RequestHeader> ReadHeader(ipc::Reader& reader) {
+  RequestHeader header;
+  GRD_ASSIGN_OR_RETURN(std::uint32_t op, reader.Get<std::uint32_t>());
+  header.op = static_cast<Op>(op);
+  GRD_ASSIGN_OR_RETURN(header.client, reader.Get<std::uint64_t>());
+  return header;
+}
+
+// Responses: u8 ok flag; on failure a status code + message follow, on
+// success the op-specific payload.
+inline ipc::Bytes EncodeError(const Status& status) {
+  ipc::Writer writer;
+  writer.Put<std::uint8_t>(0);
+  writer.Put<std::uint8_t>(static_cast<std::uint8_t>(status.code()));
+  writer.PutString(status.message());
+  return std::move(writer).Take();
+}
+
+inline ipc::Bytes EncodeOk(ipc::Writer payload = {}) {
+  ipc::Writer writer;
+  writer.Put<std::uint8_t>(1);
+  ipc::Bytes body = std::move(payload).Take();
+  for (const std::uint8_t b : body) writer.Put<std::uint8_t>(b);
+  return std::move(writer).Take();
+}
+
+// Returns a Reader positioned at the payload, or the decoded error status.
+inline Result<ipc::Reader> DecodeResponse(const ipc::Bytes& response) {
+  ipc::Reader reader(response);
+  GRD_ASSIGN_OR_RETURN(std::uint8_t ok, reader.Get<std::uint8_t>());
+  if (ok != 0) return reader;
+  GRD_ASSIGN_OR_RETURN(std::uint8_t code, reader.Get<std::uint8_t>());
+  GRD_ASSIGN_OR_RETURN(std::string message, reader.GetString());
+  return Status(static_cast<StatusCode>(code), std::move(message));
+}
+
+}  // namespace grd::guardian::protocol

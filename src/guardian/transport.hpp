@@ -1,0 +1,153 @@
+// Client-side transport abstractions and the manager's round-robin server
+// pump.
+//
+// Deployment shapes:
+//  - LoopbackTransport: client and manager in one thread (unit tests,
+//    single-address-space experiments). The call is a direct function call.
+//  - ChannelTransport: client talks over an ipc::Channel (shared-memory
+//    rings); the manager runs a ManagerServer pump in another thread or —
+//    with SharedRegion + fork — another process, which is the paper's actual
+//    deployment (§4: applications and grdManager in different address
+//    spaces).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "guardian/manager.hpp"
+#include "ipc/channel.hpp"
+
+namespace grd::guardian {
+
+class ClientTransport {
+ public:
+  virtual ~ClientTransport() = default;
+  virtual Result<ipc::Bytes> Call(const ipc::Bytes& request) = 0;
+};
+
+class LoopbackTransport final : public ClientTransport {
+ public:
+  explicit LoopbackTransport(GrdManager* manager) : manager_(manager) {}
+  Result<ipc::Bytes> Call(const ipc::Bytes& request) override {
+    return manager_->HandleRequest(request);
+  }
+
+ private:
+  GrdManager* manager_;
+};
+
+class ChannelTransport final : public ClientTransport {
+ public:
+  explicit ChannelTransport(ipc::Channel* channel) : channel_(channel) {}
+  Result<ipc::Bytes> Call(const ipc::Bytes& request) override {
+    return channel_->Call(request);
+  }
+
+ private:
+  ipc::Channel* channel_;
+};
+
+// Serves client channels. The paper's grdManager uses round-robin (§4.2.4)
+// and leaves richer policies as future work; this server implements three:
+//  - kRoundRobin   : one request per channel per sweep (paper default);
+//  - kPriority     : strict priority — the highest-priority channel with a
+//                    pending request is served first each sweep;
+//  - kWeightedFair : deficit round robin — each sweep grants a channel
+//                    `weight` credits and serves up to that many requests.
+class ManagerServer {
+ public:
+  enum class Policy : std::uint8_t { kRoundRobin, kPriority, kWeightedFair };
+
+  explicit ManagerServer(GrdManager* manager, Policy policy = Policy::kRoundRobin)
+      : manager_(manager), policy_(policy) {}
+
+  void AddChannel(ipc::Channel* channel, double weight = 1.0,
+                  int priority = 0) {
+    channels_.push_back(Entry{channel, weight, priority, 0.0});
+  }
+
+  Policy policy() const noexcept { return policy_; }
+
+  // One scheduling sweep; returns the number of requests served.
+  std::size_t ServeOnce() {
+    switch (policy_) {
+      case Policy::kRoundRobin: return ServeRoundRobin();
+      case Policy::kPriority: return ServePriority();
+      case Policy::kWeightedFair: return ServeWeightedFair();
+    }
+    return 0;
+  }
+
+  // Pump until `stop` becomes true and all rings are drained.
+  void Run(const std::atomic<bool>& stop) {
+    while (true) {
+      const std::size_t served = ServeOnce();
+      if (served == 0) {
+        if (stop.load(std::memory_order_acquire)) return;
+        std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  struct Entry {
+    ipc::Channel* channel;
+    double weight;
+    int priority;
+    double deficit;
+  };
+
+  bool ServeOne(Entry& entry) {
+    auto request = entry.channel->request().TryRead();
+    if (!request.ok()) return false;
+    const ipc::Bytes response = manager_->HandleRequest(*request);
+    // A failed response write means the client vanished; drop silently.
+    (void)entry.channel->response().Write(response);
+    return true;
+  }
+
+  std::size_t ServeRoundRobin() {
+    std::size_t served = 0;
+    for (Entry& entry : channels_) served += ServeOne(entry) ? 1 : 0;
+    return served;
+  }
+
+  std::size_t ServePriority() {
+    // Strict priority: scan channels in descending priority order and serve
+    // the first pending request; at most one request per sweep so lower
+    // priorities are still polled when high ones go idle.
+    std::vector<Entry*> order;
+    order.reserve(channels_.size());
+    for (Entry& entry : channels_) order.push_back(&entry);
+    std::sort(order.begin(), order.end(), [](const Entry* a, const Entry* b) {
+      return a->priority > b->priority;
+    });
+    for (Entry* entry : order) {
+      if (ServeOne(*entry)) return 1;
+    }
+    return 0;
+  }
+
+  std::size_t ServeWeightedFair() {
+    std::size_t served = 0;
+    for (Entry& entry : channels_) {
+      entry.deficit += entry.weight;
+      while (entry.deficit >= 1.0 && ServeOne(entry)) {
+        entry.deficit -= 1.0;
+        ++served;
+      }
+      // An idle channel keeps no credit (classic DRR resets empty queues).
+      if (entry.deficit >= 1.0) entry.deficit = 0.0;
+    }
+    return served;
+  }
+
+  GrdManager* manager_;
+  Policy policy_;
+  std::vector<Entry> channels_;
+};
+
+}  // namespace grd::guardian

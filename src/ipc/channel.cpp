@@ -1,0 +1,19 @@
+#include "ipc/channel.hpp"
+
+#include <sys/mman.h>
+
+namespace grd::ipc {
+
+Result<SharedRegion> SharedRegion::Create(std::uint64_t size) {
+  void* addr = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (addr == MAP_FAILED)
+    return Status(Internal("mmap(MAP_SHARED|MAP_ANONYMOUS) failed"));
+  return SharedRegion(addr, size);
+}
+
+SharedRegion::~SharedRegion() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+}
+
+}  // namespace grd::ipc

@@ -1,0 +1,110 @@
+#include "ipc/shm_ring.hpp"
+
+#include <cstring>
+#include <thread>
+
+namespace grd::ipc {
+namespace {
+// Spin for a while before yielding; IPC latency dominates the paper's
+// "Guardian w/o protection" overhead, so the fast path must stay in
+// user space.
+constexpr int kSpinsBeforeYield = 256;
+
+void Backoff(int& spins) {
+  if (++spins < kSpinsBeforeYield) return;
+  std::this_thread::yield();
+  spins = 0;
+}
+}  // namespace
+
+ShmRing::ShmRing(void* region, std::uint64_t data_capacity, bool initialize) {
+  header_ = static_cast<Header*>(region);
+  data_ = static_cast<std::uint8_t*>(region) + sizeof(Header);
+  if (initialize) {
+    new (header_) Header();
+    header_->capacity = data_capacity;
+  }
+}
+
+void ShmRing::CopyIn(std::uint64_t pos, const void* src, std::uint64_t len) {
+  const std::uint64_t cap = header_->capacity;
+  const std::uint64_t offset = pos % cap;
+  const std::uint64_t first = std::min(len, cap - offset);
+  std::memcpy(data_ + offset, src, first);
+  if (first < len) {
+    std::memcpy(data_, static_cast<const std::uint8_t*>(src) + first,
+                len - first);
+  }
+}
+
+void ShmRing::CopyOut(std::uint64_t pos, void* dst, std::uint64_t len) const {
+  const std::uint64_t cap = header_->capacity;
+  const std::uint64_t offset = pos % cap;
+  const std::uint64_t first = std::min(len, cap - offset);
+  std::memcpy(dst, data_ + offset, first);
+  if (first < len) {
+    std::memcpy(static_cast<std::uint8_t*>(dst) + first, data_, len - first);
+  }
+}
+
+Status ShmRing::WaitForSpace(std::uint64_t needed) {
+  if (needed > header_->capacity)
+    return InvalidArgument("message larger than ring capacity");
+  int spins = 0;
+  while (true) {
+    if (header_->closed.load(std::memory_order_acquire))
+      return Unavailable("ring closed");
+    const std::uint64_t head = header_->head.load(std::memory_order_acquire);
+    const std::uint64_t tail = header_->tail.load(std::memory_order_relaxed);
+    if (header_->capacity - (tail - head) >= needed) return OkStatus();
+    Backoff(spins);
+  }
+}
+
+Status ShmRing::Write(const Bytes& message) {
+  const std::uint64_t frame = sizeof(std::uint32_t) + message.size();
+  GRD_RETURN_IF_ERROR(WaitForSpace(frame));
+  const std::uint64_t tail = header_->tail.load(std::memory_order_relaxed);
+  const auto len = static_cast<std::uint32_t>(message.size());
+  CopyIn(tail, &len, sizeof(len));
+  if (!message.empty()) CopyIn(tail + sizeof(len), message.data(), message.size());
+  header_->tail.store(tail + frame, std::memory_order_release);
+  return OkStatus();
+}
+
+Result<Bytes> ShmRing::TryRead() {
+  const std::uint64_t head = header_->head.load(std::memory_order_relaxed);
+  const std::uint64_t tail = header_->tail.load(std::memory_order_acquire);
+  if (tail == head) {
+    if (header_->closed.load(std::memory_order_acquire))
+      return Status(Unavailable("ring closed"));
+    return Status(NotFound("ring empty"));
+  }
+  std::uint32_t len = 0;
+  CopyOut(head, &len, sizeof(len));
+  Bytes message(len);
+  if (len > 0) CopyOut(head + sizeof(len), message.data(), len);
+  header_->head.store(head + sizeof(len) + len, std::memory_order_release);
+  return message;
+}
+
+Result<Bytes> ShmRing::Read() {
+  int spins = 0;
+  while (true) {
+    auto message = TryRead();
+    if (message.ok()) return message;
+    if (message.status().code() == StatusCode::kUnavailable)
+      return message.status();
+    Backoff(spins);
+  }
+}
+
+void ShmRing::Close() {
+  header_->closed.store(1, std::memory_order_release);
+}
+
+bool ShmRing::closed() const noexcept {
+  return header_->closed.load(std::memory_order_acquire) != 0;
+}
+
+}  // namespace grd::ipc

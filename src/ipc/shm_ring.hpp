@@ -1,0 +1,68 @@
+// SPSC shared-memory ring buffer carrying length-prefixed messages.
+//
+// This is the per-application IPC channel of the paper (§4): grdLib writes
+// CUDA-call requests into the request ring, the grdManager consumes them and
+// writes results into the response ring. The ring lives in a caller-provided
+// region, which may be plain heap (thread-to-thread) or a MAP_SHARED mapping
+// (process-to-process; see ShmSegment) — the layout is position-independent.
+//
+// Single-producer / single-consumer: one client per channel, the manager is
+// the only consumer; cross-application concurrency comes from having one
+// channel per client (paper: "a separate shared memory segment per
+// application").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "ipc/serializer.hpp"
+
+namespace grd::ipc {
+
+class ShmRing {
+ public:
+  struct Header {
+    std::atomic<std::uint64_t> head{0};  // consumer position
+    std::atomic<std::uint64_t> tail{0};  // producer position
+    std::uint64_t capacity = 0;          // data bytes
+    std::atomic<std::uint32_t> closed{0};
+  };
+
+  // Total bytes a region must provide for a ring with `data_capacity` bytes
+  // of payload space.
+  static constexpr std::uint64_t RegionSize(std::uint64_t data_capacity) {
+    return sizeof(Header) + data_capacity;
+  }
+
+  // Constructs the ring inside `region` (placement-initializes the header
+  // when `initialize` is true; attach with false from the second process).
+  ShmRing(void* region, std::uint64_t data_capacity, bool initialize);
+
+  // Blocking write of one message (spin + yield backoff). Fails if the
+  // message cannot ever fit or the ring is closed.
+  Status Write(const Bytes& message);
+
+  // Blocking read of the next message. Fails with kUnavailable when the
+  // ring is closed and drained.
+  Result<Bytes> Read();
+
+  // Non-blocking read: returns NotFound immediately when empty.
+  Result<Bytes> TryRead();
+
+  void Close();
+  bool closed() const noexcept;
+
+  std::uint64_t capacity() const noexcept { return header_->capacity; }
+
+ private:
+  Status WaitForSpace(std::uint64_t needed);
+
+  void CopyIn(std::uint64_t pos, const void* src, std::uint64_t len);
+  void CopyOut(std::uint64_t pos, void* dst, std::uint64_t len) const;
+
+  Header* header_;
+  std::uint8_t* data_;
+};
+
+}  // namespace grd::ipc

@@ -1,0 +1,31 @@
+#include "ptx/ast.hpp"
+
+namespace grd::ptx {
+
+KernelStats ComputeStats(const Kernel& kernel) {
+  KernelStats stats;
+  for (const auto& stmt : kernel.body) {
+    if (const auto* reg = std::get_if<RegDecl>(&stmt)) {
+      stats.registers_declared +=
+          reg->is_range ? static_cast<std::size_t>(reg->count)
+                        : reg->names.size();
+      continue;
+    }
+    const auto* inst = std::get_if<Instruction>(&stmt);
+    if (inst == nullptr) continue;
+    if (inst->IsProtectedMemoryAccess()) {
+      if (inst->IsLoad()) {
+        ++stats.loads;
+      } else {
+        ++stats.stores;
+      }
+    } else if (inst->opcode == "brx") {
+      ++stats.indirect_branches;
+    } else {
+      ++stats.other_instructions;
+    }
+  }
+  return stats;
+}
+
+}  // namespace grd::ptx

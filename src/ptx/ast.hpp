@@ -1,0 +1,244 @@
+// Typed AST for the PTX subset Guardian instruments. The same structures are
+// consumed by the printer (to re-emit instrumented PTX), the PTX-patcher
+// (paper §4.3) and the functional interpreter (ptxexec).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "ptx/types.hpp"
+
+namespace grd::ptx {
+
+// One instruction operand. PTX operand grammar is small: registers,
+// immediates, memory references `[base+offset]`, bare identifiers (labels,
+// param names, function names) and register vectors `{%r1, %r2}`.
+struct Operand {
+  enum class Kind : std::uint8_t {
+    kRegister,    // %rd4, %tid (special registers keep their dotted suffix)
+    kImmediate,   // 42, -1, 0x10, 3.5, 0f3F800000
+    kMemory,      // [%rd4], [%rd4+8], [kernel_param_0]
+    kIdentifier,  // label / param / func name used as a value
+    kVector,      // {%r1, %r2, %r3, %r4}
+  };
+
+  Kind kind = Kind::kIdentifier;
+  std::string name;           // register/identifier name, or memory base
+  std::int64_t ival = 0;      // immediate integer value
+  double fval = 0.0;          // immediate float value
+  bool is_float_imm = false;  // distinguishes 3.5 from 3
+  std::string raw_float;      // original float spelling (e.g. 0f3F800000)
+  std::int64_t offset = 0;    // memory displacement
+  std::vector<std::string> vec;  // vector element register names
+
+  static Operand Reg(std::string name_) {
+    Operand op;
+    op.kind = Kind::kRegister;
+    op.name = std::move(name_);
+    return op;
+  }
+  static Operand Imm(std::int64_t v) {
+    Operand op;
+    op.kind = Kind::kImmediate;
+    op.ival = v;
+    return op;
+  }
+  static Operand FImm(double v, std::string raw = {}) {
+    Operand op;
+    op.kind = Kind::kImmediate;
+    op.fval = v;
+    op.is_float_imm = true;
+    op.raw_float = std::move(raw);
+    return op;
+  }
+  static Operand Mem(std::string base, std::int64_t offset_ = 0) {
+    Operand op;
+    op.kind = Kind::kMemory;
+    op.name = std::move(base);
+    op.offset = offset_;
+    return op;
+  }
+  static Operand Id(std::string name_) {
+    Operand op;
+    op.kind = Kind::kIdentifier;
+    op.name = std::move(name_);
+    return op;
+  }
+  static Operand Vec(std::vector<std::string> elems) {
+    Operand op;
+    op.kind = Kind::kVector;
+    op.vec = std::move(elems);
+    return op;
+  }
+
+  // Memory base registers start with '%'; param-symbol bases do not.
+  bool MemBaseIsRegister() const noexcept {
+    return !name.empty() && name.front() == '%';
+  }
+
+  bool operator==(const Operand&) const = default;
+};
+
+// Guard predicate: `@%p bra L;` / `@!%p ...`.
+struct Predicate {
+  std::string reg;
+  bool negated = false;
+  bool operator==(const Predicate&) const = default;
+};
+
+// An executable PTX instruction: opcode plus dot-separated modifiers.
+// `ld.global.u32 %r2, [%rd4];` -> opcode "ld", modifiers {"global","u32"}.
+// `cvta.to.global.u64`         -> opcode "cvta", modifiers {"to","global","u64"}.
+struct Instruction {
+  std::optional<Predicate> pred;
+  std::string opcode;
+  std::vector<std::string> modifiers;
+  std::vector<Operand> operands;
+
+  bool HasModifier(std::string_view m) const noexcept {
+    for (const auto& mod : modifiers)
+      if (mod == m) return true;
+    return false;
+  }
+
+  // The operand scalar type: last type-shaped modifier (PTX puts it last).
+  std::optional<Type> TypeModifier() const {
+    for (auto it = modifiers.rbegin(); it != modifiers.rend(); ++it) {
+      if (auto t = ParseType(*it)) return t;
+    }
+    return std::nullopt;
+  }
+
+  // Explicit state space on ld/st/atom (global/local/shared/param/const).
+  // Absent space means a generic access.
+  std::optional<StateSpace> SpaceModifier() const {
+    for (const auto& mod : modifiers) {
+      if (auto s = ParseStateSpace(mod)) {
+        if (*s != StateSpace::kReg) return s;
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Vector width suffix (v2/v4) if present; 1 otherwise.
+  int VectorWidth() const noexcept {
+    if (HasModifier("v2")) return 2;
+    if (HasModifier("v4")) return 4;
+    return 1;
+  }
+
+  bool IsLoad() const noexcept { return opcode == "ld"; }
+  bool IsStore() const noexcept { return opcode == "st"; }
+
+  // Loads/stores the paper's threat model protects: global/local/generic
+  // data accesses (param/shared/const reads are not cross-tenant reachable).
+  bool IsProtectedMemoryAccess() const {
+    if (!IsLoad() && !IsStore()) return false;
+    const auto space = SpaceModifier().value_or(StateSpace::kGeneric);
+    return IsProtectedSpace(space);
+  }
+
+  bool operator==(const Instruction&) const = default;
+};
+
+// `LBB0_1:`
+struct Label {
+  std::string name;
+  bool operator==(const Label&) const = default;
+};
+
+// `.reg .b64 %rd<5>;` (range form) or `.reg .pred %p;` (named form).
+struct RegDecl {
+  Type type = Type::kB32;
+  bool is_range = false;
+  std::string prefix;              // "%rd" for range form
+  int count = 0;                   // <5> -> 5
+  std::vector<std::string> names;  // named form
+  bool operator==(const RegDecl&) const = default;
+};
+
+// `.shared .align 4 .b8 smem[1024];` and .local/.global/.const variables.
+struct VarDecl {
+  StateSpace space = StateSpace::kShared;
+  Type type = Type::kB8;
+  std::string name;
+  int align = 0;        // 0 = unspecified
+  std::int64_t array_size = -1;  // -1 = scalar
+  bool operator==(const VarDecl&) const = default;
+};
+
+// `ts: .branchtargets L1, L2, L3;` — target table for brx.idx (paper §3
+// flags brx.idx as unsafe: the index register can be out of range).
+struct BranchTargetsDecl {
+  std::string name;
+  std::vector<std::string> labels;
+  bool operator==(const BranchTargetsDecl&) const = default;
+};
+
+using Statement =
+    std::variant<Instruction, Label, RegDecl, VarDecl, BranchTargetsDecl>;
+
+// `.param .u64 kernel_param_0` in an entry signature.
+struct Param {
+  Type type = Type::kU64;
+  std::string name;
+  int align = 0;
+  std::int64_t array_size = -1;
+  bool operator==(const Param&) const = default;
+};
+
+// A `.entry` kernel or a `.func` device function (instrumented identically,
+// paper §4.3).
+struct Kernel {
+  std::string name;
+  bool is_entry = true;
+  bool visible = true;
+  std::vector<Param> params;
+  std::vector<Statement> body;
+
+  bool operator==(const Kernel&) const = default;
+};
+
+// A parsed PTX translation unit.
+struct Module {
+  std::string version = "7.7";
+  std::string target = "sm_86";
+  int address_size = 64;
+  std::vector<VarDecl> globals;
+  std::vector<Kernel> kernels;
+
+  const Kernel* FindKernel(std::string_view name) const {
+    for (const auto& k : kernels)
+      if (k.name == name) return &k;
+    return nullptr;
+  }
+  Kernel* FindKernel(std::string_view name) {
+    for (auto& k : kernels)
+      if (k.name == name) return &k;
+    return nullptr;
+  }
+
+  bool operator==(const Module&) const = default;
+};
+
+// Static per-kernel instruction statistics (drives Table 3 and the timing
+// model).
+struct KernelStats {
+  std::size_t loads = 0;              // protected loads (global/local/generic)
+  std::size_t stores = 0;             // protected stores
+  std::size_t other_instructions = 0;
+  std::size_t indirect_branches = 0;
+  std::size_t registers_declared = 0;
+
+  std::size_t total_instructions() const noexcept {
+    return loads + stores + other_instructions + indirect_branches;
+  }
+};
+
+KernelStats ComputeStats(const Kernel& kernel);
+
+}  // namespace grd::ptx

@@ -1,0 +1,233 @@
+#include "ptx/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstring>
+
+namespace grd::ptx {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+// Parses the hex-float forms 0fXXXXXXXX (f32 bits) / 0dXXXXXXXXXXXXXXXX
+// (f64 bits) used by nvcc for float literals.
+bool ParseHexFloat(std::string_view text, double* out) {
+  if (text.size() < 3 || text[0] != '0') return false;
+  const char kind = text[1];
+  const std::string_view digits = text.substr(2);
+  std::uint64_t bits = 0;
+  auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), bits, 16);
+  if (ec != std::errc() || ptr != digits.data() + digits.size()) return false;
+  if (kind == 'f' || kind == 'F') {
+    if (digits.size() != 8) return false;
+    float f;
+    const auto b32 = static_cast<std::uint32_t>(bits);
+    std::memcpy(&f, &b32, sizeof(f));
+    *out = f;
+    return true;
+  }
+  if (kind == 'd' || kind == 'D') {
+    if (digits.size() != 16) return false;
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    *out = d;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view src) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  int line = 1;
+  const std::size_t n = src.size();
+
+  auto push = [&](TokenKind kind, std::string text) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n) return InvalidArgument("unterminated block comment");
+      i += 2;
+      continue;
+    }
+    // Directives: '.' followed by identifier.
+    if (c == '.' && i + 1 < n && IsIdentStart(src[i + 1])) {
+      std::size_t j = i + 1;
+      while (j < n && IsIdentChar(src[j])) ++j;
+      push(TokenKind::kDirective, std::string(src.substr(i + 1, j - i - 1)));
+      i = j;
+      continue;
+    }
+    // Registers: '%' ident with optional dotted suffix chain (%tid.x).
+    if (c == '%') {
+      std::size_t j = i + 1;
+      while (j < n && IsIdentChar(src[j])) ++j;
+      while (j + 1 < n && src[j] == '.' && IsIdentChar(src[j + 1])) {
+        ++j;
+        while (j < n && IsIdentChar(src[j])) ++j;
+      }
+      if (j == i + 1) return InvalidArgument("bare '%' at line " +
+                                             std::to_string(line));
+      push(TokenKind::kRegister, std::string(src.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    // Numbers: integers (dec/hex, optional leading '-' handled by parser as
+    // punct except we fold it here when directly followed by a digit),
+    // floats (with '.', 'e', or hex-float 0f/0d forms).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::size_t j = i;
+      if (src[j] == '-') ++j;
+      bool is_float = false;
+      // Hex-float?
+      if (j + 1 < n && src[j] == '0' &&
+          (src[j + 1] == 'f' || src[j + 1] == 'F' || src[j + 1] == 'd' ||
+           src[j + 1] == 'D')) {
+        std::size_t k = j + 2;
+        std::size_t hex_digits = 0;
+        while (k < n && std::isxdigit(static_cast<unsigned char>(src[k]))) {
+          ++k;
+          ++hex_digits;
+        }
+        if (hex_digits == 8 || hex_digits == 16) {
+          const std::string text(src.substr(i, k - i));
+          double value = 0.0;
+          const std::string_view body =
+              src[i] == '-' ? std::string_view(text).substr(1) : text;
+          if (!ParseHexFloat(body, &value))
+            return InvalidArgument("bad hex float '" + text + "'");
+          if (src[i] == '-') value = -value;
+          Token t;
+          t.kind = TokenKind::kFloat;
+          t.text = text;
+          t.fval = value;
+          t.line = line;
+          tokens.push_back(std::move(t));
+          i = k;
+          continue;
+        }
+      }
+      // Hex integer?
+      if (j + 1 < n && src[j] == '0' && (src[j + 1] == 'x' || src[j + 1] == 'X')) {
+        std::size_t k = j + 2;
+        while (k < n && std::isxdigit(static_cast<unsigned char>(src[k]))) ++k;
+        const std::string text(src.substr(i, k - i));
+        std::uint64_t mag = 0;
+        const auto first = text.data() + (text[0] == '-' ? 3 : 2);
+        auto [p, ec] = std::from_chars(first, text.data() + text.size(), mag, 16);
+        if (ec != std::errc() || p != text.data() + text.size())
+          return InvalidArgument("bad hex literal '" + text + "'");
+        Token t;
+        t.kind = TokenKind::kInteger;
+        t.text = text;
+        t.ival = text[0] == '-' ? -static_cast<std::int64_t>(mag)
+                                : static_cast<std::int64_t>(mag);
+        t.line = line;
+        tokens.push_back(std::move(t));
+        i = k;
+        continue;
+      }
+      // Decimal integer or float.
+      std::size_t k = j;
+      while (k < n && std::isdigit(static_cast<unsigned char>(src[k]))) ++k;
+      if (k < n && (src[k] == '.' || src[k] == 'e' || src[k] == 'E')) {
+        is_float = true;
+        if (src[k] == '.') {
+          ++k;
+          while (k < n && std::isdigit(static_cast<unsigned char>(src[k]))) ++k;
+        }
+        if (k < n && (src[k] == 'e' || src[k] == 'E')) {
+          ++k;
+          if (k < n && (src[k] == '+' || src[k] == '-')) ++k;
+          while (k < n && std::isdigit(static_cast<unsigned char>(src[k]))) ++k;
+        }
+      }
+      const std::string text(src.substr(i, k - i));
+      Token t;
+      t.line = line;
+      t.text = text;
+      if (is_float) {
+        t.kind = TokenKind::kFloat;
+        t.fval = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.kind = TokenKind::kInteger;
+        // Parse sign+magnitude.
+        std::int64_t v = 0;
+        const bool neg = text[0] == '-';
+        const char* first = text.data() + (neg ? 1 : 0);
+        std::uint64_t mag = 0;
+        auto [p, ec] = std::from_chars(first, text.data() + text.size(), mag);
+        if (ec != std::errc() || p != text.data() + text.size())
+          return InvalidArgument("bad integer literal '" + text + "'");
+        v = neg ? -static_cast<std::int64_t>(mag)
+                : static_cast<std::int64_t>(mag);
+        t.ival = v;
+      }
+      tokens.push_back(std::move(t));
+      i = k;
+      continue;
+    }
+    // Identifiers.
+    if (IsIdentStart(c)) {
+      std::size_t j = i;
+      while (j < n && IsIdentChar(src[j])) ++j;
+      push(TokenKind::kIdentifier, std::string(src.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    // Punctuation.
+    static constexpr std::string_view kPunct = ",;:[](){}+-@!<>=|";
+    if (kPunct.find(c) != std::string_view::npos) {
+      push(TokenKind::kPunct, std::string(1, c));
+      ++i;
+      continue;
+    }
+    return InvalidArgument("unexpected character '" + std::string(1, c) +
+                           "' at line " + std::to_string(line));
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = line;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace grd::ptx

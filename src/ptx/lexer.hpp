@@ -1,0 +1,40 @@
+// PTX tokenizer. PTX is whitespace-separated with a small punctuation set;
+// comments are C-style (// and /* */).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace grd::ptx {
+
+enum class TokenKind : std::uint8_t {
+  kDirective,   // .visible .entry .param .reg ...
+  kIdentifier,  // kernel, kernel_param_0, LBB0_1
+  kRegister,    // %rd4, %tid.x, %p1
+  kInteger,     // 42, -7, 0x1F
+  kFloat,       // 3.5, 0f3F800000, 0d4008000000000000
+  kPunct,       // , ; : [ ] ( ) { } + @ ! < > =
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       // spelling (without % for registers? no: full)
+  std::int64_t ival = 0;  // for kInteger
+  double fval = 0.0;      // for kFloat
+  int line = 0;
+
+  bool Is(TokenKind k) const noexcept { return kind == k; }
+  bool IsPunct(char c) const noexcept {
+    return kind == TokenKind::kPunct && text.size() == 1 && text[0] == c;
+  }
+};
+
+// Tokenizes `source`; returns the token stream terminated by a kEnd token.
+Result<std::vector<Token>> Lex(std::string_view source);
+
+}  // namespace grd::ptx

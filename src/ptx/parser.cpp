@@ -1,0 +1,387 @@
+#include "ptx/parser.hpp"
+
+#include <utility>
+
+#include "ptx/lexer.hpp"
+
+namespace grd::ptx {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Module> ParseModule() {
+    Module module;
+    while (!At(TokenKind::kEnd)) {
+      const Token& tok = Peek();
+      if (tok.Is(TokenKind::kDirective)) {
+        if (tok.text == "version") {
+          Advance();
+          if (At(TokenKind::kFloat) || At(TokenKind::kInteger)) {
+            module.version = Peek().text;
+            Advance();
+          } else {
+            return Err("expected version number");
+          }
+          continue;
+        }
+        if (tok.text == "target") {
+          Advance();
+          if (!At(TokenKind::kIdentifier)) return Err("expected target name");
+          module.target = Peek().text;
+          Advance();
+          while (PeekPunct(',')) {  // `.target sm_86, debug`
+            Advance();
+            if (!At(TokenKind::kIdentifier)) return Err("expected target opt");
+            Advance();
+          }
+          continue;
+        }
+        if (tok.text == "address_size") {
+          Advance();
+          if (!At(TokenKind::kInteger)) return Err("expected address size");
+          module.address_size = static_cast<int>(Peek().ival);
+          Advance();
+          continue;
+        }
+        if (tok.text == "visible" || tok.text == "entry" ||
+            tok.text == "func" || tok.text == "weak") {
+          GRD_ASSIGN_OR_RETURN(Kernel kernel, ParseKernel());
+          module.kernels.push_back(std::move(kernel));
+          continue;
+        }
+        if (tok.text == "global" || tok.text == "const" ||
+            tok.text == "shared") {
+          GRD_ASSIGN_OR_RETURN(VarDecl decl, ParseVarDecl());
+          GRD_RETURN_IF_ERROR(ExpectPunct(';'));
+          module.globals.push_back(std::move(decl));
+          continue;
+        }
+        return Err("unexpected module-level directive ." + tok.text);
+      }
+      return Err("unexpected token '" + tok.text + "' at module level");
+    }
+    return module;
+  }
+
+ private:
+  const Token& Peek(std::size_t ahead = 0) const {
+    const std::size_t idx = pos_ + ahead;
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+  bool At(TokenKind kind) const { return Peek().kind == kind; }
+  bool PeekPunct(char c, std::size_t ahead = 0) const {
+    return Peek(ahead).IsPunct(c);
+  }
+  bool AtDirective(std::string_view name) const {
+    return Peek().Is(TokenKind::kDirective) && Peek().text == name;
+  }
+  void Advance() { ++pos_; }
+
+  Status Err(std::string msg) const {
+    return InvalidArgument(msg + " (line " + std::to_string(Peek().line) + ")");
+  }
+
+  Status ExpectPunct(char c) {
+    if (!PeekPunct(c)) {
+      return Err(std::string("expected '") + c + "', found '" + Peek().text +
+                 "'");
+    }
+    Advance();
+    return OkStatus();
+  }
+
+  Result<Type> ExpectType() {
+    if (!At(TokenKind::kDirective)) return Status(Err("expected type"));
+    const auto type = ParseType(Peek().text);
+    if (!type) return Status(Err("unknown type ." + Peek().text));
+    Advance();
+    return *type;
+  }
+
+  // [.visible|.weak] (.entry|.func) name ( params ) { body }
+  Result<Kernel> ParseKernel() {
+    Kernel kernel;
+    kernel.visible = false;
+    if (AtDirective("visible") || AtDirective("weak")) {
+      kernel.visible = Peek().text == "visible";
+      Advance();
+    }
+    if (AtDirective("entry")) {
+      kernel.is_entry = true;
+    } else if (AtDirective("func")) {
+      kernel.is_entry = false;
+    } else {
+      return Status(Err("expected .entry or .func"));
+    }
+    Advance();
+    if (!At(TokenKind::kIdentifier)) return Status(Err("expected kernel name"));
+    kernel.name = Peek().text;
+    Advance();
+
+    if (PeekPunct('(')) {
+      Advance();
+      while (!PeekPunct(')')) {
+        GRD_ASSIGN_OR_RETURN(Param param, ParseParam());
+        kernel.params.push_back(std::move(param));
+        if (PeekPunct(',')) Advance();
+      }
+      Advance();  // ')'
+    }
+    GRD_RETURN_IF_ERROR(ExpectPunct('{'));
+    while (!PeekPunct('}')) {
+      if (At(TokenKind::kEnd)) return Status(Err("unterminated kernel body"));
+      GRD_ASSIGN_OR_RETURN(Statement stmt, ParseStatement());
+      kernel.body.push_back(std::move(stmt));
+    }
+    Advance();  // '}'
+    return kernel;
+  }
+
+  // .param [.align N] .type name [ '[' N ']' ]
+  Result<Param> ParseParam() {
+    if (!AtDirective("param")) return Status(Err("expected .param"));
+    Advance();
+    Param param;
+    if (AtDirective("align")) {
+      Advance();
+      if (!At(TokenKind::kInteger)) return Status(Err("expected alignment"));
+      param.align = static_cast<int>(Peek().ival);
+      Advance();
+    }
+    GRD_ASSIGN_OR_RETURN(param.type, ExpectType());
+    if (!At(TokenKind::kIdentifier)) return Status(Err("expected param name"));
+    param.name = Peek().text;
+    Advance();
+    if (PeekPunct('[')) {
+      Advance();
+      if (!At(TokenKind::kInteger)) return Status(Err("expected array size"));
+      param.array_size = Peek().ival;
+      Advance();
+      GRD_RETURN_IF_ERROR(ExpectPunct(']'));
+    }
+    return param;
+  }
+
+  // (.global|.const|.shared|.local) [.align N] .type name ['[' N ']']
+  Result<VarDecl> ParseVarDecl() {
+    VarDecl decl;
+    const auto space = ParseStateSpace(Peek().text);
+    if (!space) return Status(Err("expected state space"));
+    decl.space = *space;
+    Advance();
+    if (AtDirective("align")) {
+      Advance();
+      if (!At(TokenKind::kInteger)) return Status(Err("expected alignment"));
+      decl.align = static_cast<int>(Peek().ival);
+      Advance();
+    }
+    GRD_ASSIGN_OR_RETURN(decl.type, ExpectType());
+    if (!At(TokenKind::kIdentifier)) return Status(Err("expected var name"));
+    decl.name = Peek().text;
+    Advance();
+    if (PeekPunct('[')) {
+      Advance();
+      if (!At(TokenKind::kInteger)) return Status(Err("expected array size"));
+      decl.array_size = Peek().ival;
+      Advance();
+      GRD_RETURN_IF_ERROR(ExpectPunct(']'));
+    }
+    return decl;
+  }
+
+  Result<Statement> ParseStatement() {
+    // Label (possibly a .branchtargets table).
+    if (At(TokenKind::kIdentifier) && PeekPunct(':', 1)) {
+      std::string name = Peek().text;
+      Advance();
+      Advance();  // ':'
+      if (AtDirective("branchtargets")) {
+        Advance();
+        BranchTargetsDecl table;
+        table.name = std::move(name);
+        while (At(TokenKind::kIdentifier)) {
+          table.labels.push_back(Peek().text);
+          Advance();
+          if (PeekPunct(',')) Advance();
+        }
+        GRD_RETURN_IF_ERROR(ExpectPunct(';'));
+        return Statement{std::move(table)};
+      }
+      return Statement{Label{std::move(name)}};
+    }
+    // Declarations.
+    if (AtDirective("reg")) {
+      Advance();
+      RegDecl decl;
+      GRD_ASSIGN_OR_RETURN(decl.type, ExpectType());
+      while (true) {
+        if (!At(TokenKind::kRegister)) return Status(Err("expected register"));
+        std::string name = Peek().text;
+        Advance();
+        if (PeekPunct('<')) {
+          Advance();
+          if (!At(TokenKind::kInteger)) return Status(Err("expected count"));
+          decl.is_range = true;
+          decl.prefix = std::move(name);
+          decl.count = static_cast<int>(Peek().ival);
+          Advance();
+          GRD_RETURN_IF_ERROR(ExpectPunct('>'));
+        } else {
+          decl.names.push_back(std::move(name));
+        }
+        if (PeekPunct(',')) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      GRD_RETURN_IF_ERROR(ExpectPunct(';'));
+      return Statement{std::move(decl)};
+    }
+    if (AtDirective("shared") || AtDirective("local") ||
+        AtDirective("global") || AtDirective("const")) {
+      GRD_ASSIGN_OR_RETURN(VarDecl decl, ParseVarDecl());
+      GRD_RETURN_IF_ERROR(ExpectPunct(';'));
+      return Statement{std::move(decl)};
+    }
+    // Instruction.
+    GRD_ASSIGN_OR_RETURN(Instruction inst, ParseInstruction());
+    return Statement{std::move(inst)};
+  }
+
+  Result<Instruction> ParseInstruction() {
+    Instruction inst;
+    if (PeekPunct('@')) {
+      Advance();
+      Predicate pred;
+      if (PeekPunct('!')) {
+        pred.negated = true;
+        Advance();
+      }
+      if (!At(TokenKind::kRegister))
+        return Status(Err("expected predicate register"));
+      pred.reg = Peek().text;
+      Advance();
+      inst.pred = std::move(pred);
+    }
+    if (!At(TokenKind::kIdentifier)) return Status(Err("expected opcode"));
+    inst.opcode = Peek().text;
+    Advance();
+    while (At(TokenKind::kDirective)) {
+      inst.modifiers.push_back(Peek().text);
+      Advance();
+    }
+    while (!PeekPunct(';')) {
+      if (At(TokenKind::kEnd)) return Status(Err("unterminated instruction"));
+      GRD_ASSIGN_OR_RETURN(Operand op, ParseOperand());
+      inst.operands.push_back(std::move(op));
+      if (PeekPunct(',')) {
+        Advance();
+        continue;
+      }
+      if (PeekPunct('|')) {
+        // setp's optional second destination `%p|%q` — treat as separate
+        // operands; the printer re-joins them for the known opcodes.
+        Advance();
+        continue;
+      }
+      if (!PeekPunct(';'))
+        return Status(Err("expected ',' or ';' after operand, found '" +
+                          Peek().text + "'"));
+    }
+    Advance();  // ';'
+    return inst;
+  }
+
+  Result<Operand> ParseOperand() {
+    const Token& tok = Peek();
+    if (tok.Is(TokenKind::kRegister)) {
+      Advance();
+      return Operand::Reg(tok.text);
+    }
+    if (tok.Is(TokenKind::kInteger)) {
+      Advance();
+      return Operand::Imm(tok.ival);
+    }
+    if (tok.Is(TokenKind::kFloat)) {
+      Advance();
+      return Operand::FImm(tok.fval, tok.text);
+    }
+    if (tok.Is(TokenKind::kIdentifier)) {
+      Advance();
+      // `name + offset` form used with variables; fold into identifier memory
+      // references only inside brackets, so here it's a plain identifier.
+      return Operand::Id(tok.text);
+    }
+    if (tok.IsPunct('[')) {
+      Advance();
+      std::string base;
+      if (At(TokenKind::kRegister) || At(TokenKind::kIdentifier)) {
+        base = Peek().text;
+        Advance();
+      } else {
+        return Status(Err("expected memory base"));
+      }
+      std::int64_t offset = 0;
+      if (PeekPunct('+')) {
+        Advance();
+        if (!At(TokenKind::kInteger)) return Status(Err("expected offset"));
+        offset = Peek().ival;
+        Advance();
+      } else if (At(TokenKind::kInteger) && Peek().ival < 0) {
+        // `[%rd4+-8]` lexes '+' then -8; `[%rd4-8]` lexes as register then -8.
+        offset = Peek().ival;
+        Advance();
+      }
+      GRD_RETURN_IF_ERROR(ExpectPunct(']'));
+      return Operand::Mem(std::move(base), offset);
+    }
+    if (tok.IsPunct('{')) {
+      Advance();
+      std::vector<std::string> elems;
+      while (!PeekPunct('}')) {
+        if (!At(TokenKind::kRegister))
+          return Status(Err("expected register in vector operand"));
+        elems.push_back(Peek().text);
+        Advance();
+        if (PeekPunct(',')) Advance();
+      }
+      Advance();  // '}'
+      return Operand::Vec(std::move(elems));
+    }
+    if (tok.IsPunct('(')) {
+      // Call argument list `(a, b)` — flatten to a vector-like operand with
+      // paren spelling preserved by the printer for `call`.
+      Advance();
+      std::vector<std::string> elems;
+      while (!PeekPunct(')')) {
+        if (At(TokenKind::kRegister) || At(TokenKind::kIdentifier)) {
+          elems.push_back(Peek().text);
+          Advance();
+        } else {
+          return Status(Err("expected call argument"));
+        }
+        if (PeekPunct(',')) Advance();
+      }
+      Advance();  // ')'
+      Operand op = Operand::Vec(std::move(elems));
+      return op;
+    }
+    return Status(Err("unexpected operand token '" + tok.text + "'"));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Module> Parse(std::string_view source) {
+  GRD_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseModule();
+}
+
+}  // namespace grd::ptx

@@ -1,0 +1,16 @@
+// Recursive-descent parser for the PTX subset (entries, device functions,
+// register/variable declarations, labels, branch-target tables, and the full
+// instruction/operand grammar emitted by our generators and by hand-written
+// fixtures mirroring nvcc output).
+#pragma once
+
+#include <string_view>
+
+#include "common/status.hpp"
+#include "ptx/ast.hpp"
+
+namespace grd::ptx {
+
+Result<Module> Parse(std::string_view source);
+
+}  // namespace grd::ptx

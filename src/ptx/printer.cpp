@@ -1,0 +1,163 @@
+#include "ptx/printer.hpp"
+
+#include <sstream>
+
+namespace grd::ptx {
+namespace {
+
+void PrintOperandTo(std::ostringstream& os, const Operand& op) {
+  switch (op.kind) {
+    case Operand::Kind::kRegister:
+    case Operand::Kind::kIdentifier:
+      os << op.name;
+      break;
+    case Operand::Kind::kImmediate:
+      if (op.is_float_imm) {
+        if (!op.raw_float.empty()) {
+          os << op.raw_float;
+        } else {
+          os << op.fval;
+        }
+      } else {
+        os << op.ival;
+      }
+      break;
+    case Operand::Kind::kMemory:
+      os << '[' << op.name;
+      if (op.offset != 0) os << '+' << op.offset;
+      os << ']';
+      break;
+    case Operand::Kind::kVector: {
+      os << '{';
+      for (std::size_t i = 0; i < op.vec.size(); ++i) {
+        if (i) os << ", ";
+        os << op.vec[i];
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+
+void PrintInstructionTo(std::ostringstream& os, const Instruction& inst) {
+  if (inst.pred) {
+    os << '@';
+    if (inst.pred->negated) os << '!';
+    os << inst.pred->reg << ' ';
+  }
+  os << inst.opcode;
+  for (const auto& mod : inst.modifiers) os << '.' << mod;
+  for (std::size_t i = 0; i < inst.operands.size(); ++i) {
+    os << (i == 0 ? " " : ", ");
+    PrintOperandTo(os, inst.operands[i]);
+  }
+  os << ';';
+}
+
+void PrintParamTo(std::ostringstream& os, const Param& param) {
+  os << ".param ";
+  if (param.align > 0) os << ".align " << param.align << ' ';
+  os << '.' << TypeName(param.type) << ' ' << param.name;
+  if (param.array_size >= 0) os << '[' << param.array_size << ']';
+}
+
+void PrintVarDeclTo(std::ostringstream& os, const VarDecl& decl) {
+  os << '.' << StateSpaceName(decl.space) << ' ';
+  if (decl.align > 0) os << ".align " << decl.align << ' ';
+  os << '.' << TypeName(decl.type) << ' ' << decl.name;
+  if (decl.array_size >= 0) os << '[' << decl.array_size << ']';
+  os << ';';
+}
+
+void PrintStatementTo(std::ostringstream& os, const Statement& stmt) {
+  if (const auto* inst = std::get_if<Instruction>(&stmt)) {
+    os << "    ";
+    PrintInstructionTo(os, *inst);
+    os << '\n';
+    return;
+  }
+  if (const auto* label = std::get_if<Label>(&stmt)) {
+    os << label->name << ":\n";
+    return;
+  }
+  if (const auto* reg = std::get_if<RegDecl>(&stmt)) {
+    os << "    .reg ." << TypeName(reg->type) << ' ';
+    if (reg->is_range) {
+      os << reg->prefix << '<' << reg->count << '>';
+    } else {
+      for (std::size_t i = 0; i < reg->names.size(); ++i) {
+        if (i) os << ", ";
+        os << reg->names[i];
+      }
+    }
+    os << ";\n";
+    return;
+  }
+  if (const auto* var = std::get_if<VarDecl>(&stmt)) {
+    os << "    ";
+    PrintVarDeclTo(os, *var);
+    os << '\n';
+    return;
+  }
+  if (const auto* table = std::get_if<BranchTargetsDecl>(&stmt)) {
+    os << table->name << ": .branchtargets ";
+    for (std::size_t i = 0; i < table->labels.size(); ++i) {
+      if (i) os << ", ";
+      os << table->labels[i];
+    }
+    os << ";\n";
+    return;
+  }
+}
+
+void PrintKernelTo(std::ostringstream& os, const Kernel& kernel) {
+  if (kernel.visible) os << ".visible ";
+  os << (kernel.is_entry ? ".entry " : ".func ") << kernel.name << '(';
+  for (std::size_t i = 0; i < kernel.params.size(); ++i) {
+    if (i) os << ", ";
+    os << '\n' << "    ";
+    PrintParamTo(os, kernel.params[i]);
+  }
+  if (!kernel.params.empty()) os << '\n';
+  os << ")\n{\n";
+  for (const auto& stmt : kernel.body) PrintStatementTo(os, stmt);
+  os << "}\n";
+}
+
+}  // namespace
+
+std::string Print(const Operand& op) {
+  std::ostringstream os;
+  PrintOperandTo(os, op);
+  return os.str();
+}
+
+std::string Print(const Instruction& inst) {
+  std::ostringstream os;
+  PrintInstructionTo(os, inst);
+  return os.str();
+}
+
+std::string Print(const Kernel& kernel) {
+  std::ostringstream os;
+  PrintKernelTo(os, kernel);
+  return os.str();
+}
+
+std::string Print(const Module& module) {
+  std::ostringstream os;
+  os << ".version " << module.version << '\n';
+  os << ".target " << module.target << '\n';
+  os << ".address_size " << module.address_size << '\n' << '\n';
+  for (const auto& global : module.globals) {
+    PrintVarDeclTo(os, global);
+    os << '\n';
+  }
+  for (const auto& kernel : module.kernels) {
+    os << '\n';
+    PrintKernelTo(os, kernel);
+  }
+  return os.str();
+}
+
+}  // namespace grd::ptx

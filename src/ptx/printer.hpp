@@ -1,0 +1,17 @@
+// Emits PTX text from the AST. Print(Parse(text)) re-parses to the same AST
+// (round-trip property covered in tests); this is what the grdManager feeds
+// to the (simulated) JIT after patching.
+#pragma once
+
+#include <string>
+
+#include "ptx/ast.hpp"
+
+namespace grd::ptx {
+
+std::string Print(const Module& module);
+std::string Print(const Kernel& kernel);
+std::string Print(const Instruction& inst);
+std::string Print(const Operand& op);
+
+}  // namespace grd::ptx

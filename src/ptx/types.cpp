@@ -1,0 +1,70 @@
+#include "ptx/types.hpp"
+
+namespace grd::ptx {
+
+std::string_view TypeName(Type t) noexcept {
+  switch (t) {
+    case Type::kU8: return "u8";
+    case Type::kU16: return "u16";
+    case Type::kU32: return "u32";
+    case Type::kU64: return "u64";
+    case Type::kS8: return "s8";
+    case Type::kS16: return "s16";
+    case Type::kS32: return "s32";
+    case Type::kS64: return "s64";
+    case Type::kB8: return "b8";
+    case Type::kB16: return "b16";
+    case Type::kB32: return "b32";
+    case Type::kB64: return "b64";
+    case Type::kF16: return "f16";
+    case Type::kF32: return "f32";
+    case Type::kF64: return "f64";
+    case Type::kPred: return "pred";
+  }
+  return "?";
+}
+
+std::optional<Type> ParseType(std::string_view name) {
+  if (name == "u8") return Type::kU8;
+  if (name == "u16") return Type::kU16;
+  if (name == "u32") return Type::kU32;
+  if (name == "u64") return Type::kU64;
+  if (name == "s8") return Type::kS8;
+  if (name == "s16") return Type::kS16;
+  if (name == "s32") return Type::kS32;
+  if (name == "s64") return Type::kS64;
+  if (name == "b8") return Type::kB8;
+  if (name == "b16") return Type::kB16;
+  if (name == "b32") return Type::kB32;
+  if (name == "b64") return Type::kB64;
+  if (name == "f16") return Type::kF16;
+  if (name == "f32") return Type::kF32;
+  if (name == "f64") return Type::kF64;
+  if (name == "pred") return Type::kPred;
+  return std::nullopt;
+}
+
+std::string_view StateSpaceName(StateSpace s) noexcept {
+  switch (s) {
+    case StateSpace::kReg: return "reg";
+    case StateSpace::kParam: return "param";
+    case StateSpace::kGlobal: return "global";
+    case StateSpace::kLocal: return "local";
+    case StateSpace::kShared: return "shared";
+    case StateSpace::kConst: return "const";
+    case StateSpace::kGeneric: return "generic";
+  }
+  return "?";
+}
+
+std::optional<StateSpace> ParseStateSpace(std::string_view name) {
+  if (name == "reg") return StateSpace::kReg;
+  if (name == "param") return StateSpace::kParam;
+  if (name == "global") return StateSpace::kGlobal;
+  if (name == "local") return StateSpace::kLocal;
+  if (name == "shared") return StateSpace::kShared;
+  if (name == "const") return StateSpace::kConst;
+  return std::nullopt;
+}
+
+}  // namespace grd::ptx

@@ -1,0 +1,69 @@
+// PTX scalar types and state spaces (PTX ISA 7.x subset, see NVIDIA doc [45]
+// in the paper). The patcher and the interpreter both key off these enums.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace grd::ptx {
+
+enum class Type : std::uint8_t {
+  kU8, kU16, kU32, kU64,
+  kS8, kS16, kS32, kS64,
+  kB8, kB16, kB32, kB64,
+  kF16, kF32, kF64,
+  kPred,
+};
+
+// Byte width of a scalar type (pred counts as 1).
+constexpr std::size_t TypeSize(Type t) noexcept {
+  switch (t) {
+    case Type::kU8: case Type::kS8: case Type::kB8: case Type::kPred:
+      return 1;
+    case Type::kU16: case Type::kS16: case Type::kB16: case Type::kF16:
+      return 2;
+    case Type::kU32: case Type::kS32: case Type::kB32: case Type::kF32:
+      return 4;
+    case Type::kU64: case Type::kS64: case Type::kB64: case Type::kF64:
+      return 8;
+  }
+  return 0;
+}
+
+constexpr bool IsFloat(Type t) noexcept {
+  return t == Type::kF16 || t == Type::kF32 || t == Type::kF64;
+}
+
+constexpr bool IsSigned(Type t) noexcept {
+  return t == Type::kS8 || t == Type::kS16 || t == Type::kS32 ||
+         t == Type::kS64;
+}
+
+std::string_view TypeName(Type t) noexcept;           // "u64", "f32", ...
+std::optional<Type> ParseType(std::string_view name);  // from "u64" etc.
+
+enum class StateSpace : std::uint8_t {
+  kReg,
+  kParam,
+  kGlobal,
+  kLocal,
+  kShared,
+  kConst,
+  kGeneric,  // no explicit space on ld/st
+};
+
+std::string_view StateSpaceName(StateSpace s) noexcept;  // "global", ...
+std::optional<StateSpace> ParseStateSpace(std::string_view name);
+
+// True for the memory spaces Guardian protects (paper §3: global and local
+// memory; registers/shared are unreachable cross-kernel, heap/const/texture
+// are out of scope). Generic addresses may point to global, so they are
+// protected conservatively.
+constexpr bool IsProtectedSpace(StateSpace s) noexcept {
+  return s == StateSpace::kGlobal || s == StateSpace::kLocal ||
+         s == StateSpace::kGeneric;
+}
+
+}  // namespace grd::ptx

@@ -1,0 +1,204 @@
+#include "ptx/validator.hpp"
+
+#include <cctype>
+#include <unordered_map>
+#include <unordered_set>
+#include <variant>
+
+namespace grd::ptx {
+namespace {
+
+bool IsSpecialRegister(const std::string& name) {
+  return name.find('.') != std::string::npos || name == "%laneid" ||
+         name == "%warpsize";
+}
+
+// Splits a register name like "%rd12" into prefix "%rd" and index 12.
+// Returns false for names without a trailing index (e.g. "%p" named form).
+bool SplitRegisterName(const std::string& name, std::string* prefix,
+                       int* index) {
+  std::size_t digits = 0;
+  while (digits < name.size() &&
+         std::isdigit(static_cast<unsigned char>(
+             name[name.size() - 1 - digits]))) {
+    ++digits;
+  }
+  if (digits == 0) return false;
+  *prefix = name.substr(0, name.size() - digits);
+  *index = std::stoi(name.substr(name.size() - digits));
+  return true;
+}
+
+class KernelValidator {
+ public:
+  KernelValidator(const Module& module, const Kernel& kernel,
+                  ValidationReport* report)
+      : module_(module), kernel_(kernel), report_(report) {}
+
+  void Run() {
+    CollectDeclarations();
+    CheckStatements();
+  }
+
+ private:
+  void Issue(std::string message) {
+    report_->issues.push_back({kernel_.name, std::move(message)});
+  }
+
+  void CollectDeclarations() {
+    for (const auto& param : kernel_.params) {
+      if (!params_.insert(param.name).second)
+        Issue("duplicate parameter " + param.name);
+    }
+    for (const auto& stmt : kernel_.body) {
+      if (const auto* reg = std::get_if<RegDecl>(&stmt)) {
+        if (reg->is_range) {
+          // %r<N> declares %r0 .. %r(N-1); nvcc-generated code uses
+          // 1-based indices too, so accept index < max(N, declared+1).
+          auto& limit = ranges_[reg->prefix];
+          limit = std::max(limit, reg->count);
+        } else {
+          for (const auto& name : reg->names) named_regs_.insert(name);
+        }
+      } else if (const auto* var = std::get_if<VarDecl>(&stmt)) {
+        vars_.insert(var->name);
+      } else if (const auto* label = std::get_if<Label>(&stmt)) {
+        if (!labels_.insert(label->name).second)
+          Issue("duplicate label " + label->name);
+      } else if (const auto* table = std::get_if<BranchTargetsDecl>(&stmt)) {
+        tables_[table->name] = table->labels;
+      }
+    }
+    for (const auto& global : module_.globals) vars_.insert(global.name);
+  }
+
+  void CheckRegister(const std::string& name) {
+    if (IsSpecialRegister(name)) return;
+    if (named_regs_.count(name)) return;
+    std::string prefix;
+    int index = 0;
+    if (SplitRegisterName(name, &prefix, &index)) {
+      const auto it = ranges_.find(prefix);
+      if (it != ranges_.end() && index <= it->second) return;
+    }
+    Issue("register " + name + " used without declaration");
+  }
+
+  void CheckIdentifier(const std::string& name, bool as_branch_target) {
+    if (as_branch_target) {
+      if (!labels_.count(name))
+        Issue("branch target " + name + " is not a label in this kernel");
+      return;
+    }
+    if (vars_.count(name) || params_.count(name) || labels_.count(name) ||
+        tables_.count(name)) {
+      return;
+    }
+    Issue("identifier " + name + " does not resolve");
+  }
+
+  void CheckMemoryBase(const Instruction& inst, const Operand& op) {
+    if (op.MemBaseIsRegister()) {
+      CheckRegister(op.name);
+      return;
+    }
+    const auto space = inst.SpaceModifier().value_or(StateSpace::kGeneric);
+    if (space == StateSpace::kParam) {
+      if (!params_.count(op.name))
+        Issue("ld.param from unknown parameter " + op.name);
+      return;
+    }
+    if (!vars_.count(op.name))
+      Issue("memory base symbol " + op.name + " does not resolve");
+  }
+
+  void CheckStatements() {
+    for (const auto& stmt : kernel_.body) {
+      const auto* inst = std::get_if<Instruction>(&stmt);
+      if (inst == nullptr) continue;
+      if (inst->pred) CheckRegister(inst->pred->reg);
+
+      if (inst->opcode == "bra") {
+        if (inst->operands.size() != 1) {
+          Issue("bra expects exactly one target");
+        } else {
+          CheckIdentifier(inst->operands[0].name, /*as_branch_target=*/true);
+        }
+        continue;
+      }
+      if (inst->opcode == "brx") {
+        if (inst->operands.size() != 2) {
+          Issue("brx.idx expects index and table");
+          continue;
+        }
+        CheckRegister(inst->operands[0].name);
+        const auto it = tables_.find(inst->operands[1].name);
+        if (it == tables_.end()) {
+          Issue("brx.idx table " + inst->operands[1].name + " not declared");
+        } else {
+          for (const auto& target : it->second)
+            CheckIdentifier(target, /*as_branch_target=*/true);
+        }
+        continue;
+      }
+
+      for (const auto& op : inst->operands) {
+        switch (op.kind) {
+          case Operand::Kind::kRegister:
+            CheckRegister(op.name);
+            break;
+          case Operand::Kind::kMemory:
+            CheckMemoryBase(*inst, op);
+            break;
+          case Operand::Kind::kVector:
+            for (const auto& elem : op.vec) CheckRegister(elem);
+            break;
+          case Operand::Kind::kIdentifier:
+            CheckIdentifier(op.name, /*as_branch_target=*/false);
+            break;
+          case Operand::Kind::kImmediate:
+            break;
+        }
+      }
+
+      if ((inst->IsLoad() || inst->IsStore()) && inst->operands.size() != 2)
+        Issue(inst->opcode + " expects 2 operands");
+    }
+  }
+
+  const Module& module_;
+  const Kernel& kernel_;
+  ValidationReport* report_;
+  std::unordered_set<std::string> params_;
+  std::unordered_set<std::string> named_regs_;
+  std::unordered_map<std::string, int> ranges_;
+  std::unordered_set<std::string> vars_;
+  std::unordered_set<std::string> labels_;
+  std::unordered_map<std::string, std::vector<std::string>> tables_;
+};
+
+}  // namespace
+
+ValidationReport Validate(const Module& module) {
+  ValidationReport report;
+  std::unordered_set<std::string> names;
+  for (const auto& kernel : module.kernels) {
+    if (!names.insert(kernel.name).second)
+      report.issues.push_back({"", "duplicate kernel name " + kernel.name});
+    KernelValidator(module, kernel, &report).Run();
+  }
+  return report;
+}
+
+Status ValidateOrError(const Module& module) {
+  const ValidationReport report = Validate(module);
+  if (report.ok()) return OkStatus();
+  const auto& first = report.issues.front();
+  return InvalidArgument(
+      "invalid PTX" +
+      (first.kernel.empty() ? std::string() : " in kernel " + first.kernel) +
+      ": " + first.message + " (" + std::to_string(report.issues.size()) +
+      " issue(s) total)");
+}
+
+}  // namespace grd::ptx

@@ -1,0 +1,43 @@
+// Semantic validation of parsed PTX modules.
+//
+// The assembler-level checks the paper relies on for control-flow safety
+// (§3: "The assembler will report errors if the labels are absent from the
+// PTX file or are incorrect") plus the declaration discipline a real ptxas
+// enforces. The grdManager validates every client-supplied module before
+// sandboxing it, so malformed PTX is rejected at the trust boundary with a
+// precise diagnostic instead of failing deep inside the JIT/interpreter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "ptx/ast.hpp"
+
+namespace grd::ptx {
+
+struct ValidationIssue {
+  std::string kernel;   // empty for module-level issues
+  std::string message;
+};
+
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+  bool ok() const noexcept { return issues.empty(); }
+};
+
+// Checks, per kernel:
+//  - every register operand is covered by a .reg declaration (range or
+//    named) or is a special register;
+//  - every bra/brx target label and every .branchtargets entry resolves;
+//  - brx.idx tables are declared;
+//  - every ld.param symbol names a declared parameter;
+//  - memory-base symbols resolve to params, shared variables or globals;
+//  - labels are not duplicated;
+// and per module: kernel names are unique.
+ValidationReport Validate(const Module& module);
+
+// Convenience: first issue as an error Status, OK when clean.
+Status ValidateOrError(const Module& module);
+
+}  // namespace grd::ptx

@@ -1,0 +1,64 @@
+// Functional PTX interpreter.
+//
+// Executes kernels instruction-by-instruction against the simulated GPU
+// global memory, with a thread-grid model (blocks, threads, bar.sync
+// lockstep phases, per-block shared memory). Because the instrumented
+// fencing/checking instructions are ordinary PTX, patched kernels run
+// through the same interpreter — the wrap-around semantics of Figure 4 are
+// produced by actually executing the AND/OR, not by special-casing.
+//
+// Supported subset: the full instruction vocabulary produced by ptx/generator
+// and ptxpatcher (ld/st over param/global/local/shared/generic incl. v2/v4,
+// mov/cvta/cvt, integer and f32/f64 arithmetic, logicals/shifts, setp/selp,
+// bra/brx.idx/bar.sync/ret/exit/trap). Unsupported opcodes abort the launch
+// with kUnimplemented rather than mis-executing.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "ptx/ast.hpp"
+#include "ptxexec/launch.hpp"
+#include "simgpu/memory.hpp"
+
+namespace grd::ptxexec {
+
+// A device-side fault (what the real GPU would raise as an Xid error /
+// illegal-address exception).
+struct DeviceFault {
+  Status status;
+  std::uint64_t address = 0;
+  std::uint64_t thread_linear_id = 0;
+  std::string kernel;
+};
+
+class Interpreter {
+ public:
+  // `client` is the tenant id handed to the access policy on global accesses.
+  Interpreter(simgpu::GlobalMemory* memory, simgpu::AccessPolicy* policy,
+              std::uint64_t client)
+      : memory_(memory), policy_(policy), client_(client) {}
+
+  // Executes `kernel_name` from `module`. On a device fault, returns the
+  // fault status (and the fault detail via last_fault()).
+  Result<ExecStats> Execute(const ptx::Module& module,
+                            std::string_view kernel_name,
+                            const LaunchParams& params);
+
+  const DeviceFault& last_fault() const noexcept { return last_fault_; }
+
+  // Safety valve for runaway kernels (paper §4.3 mentions TReM-style
+  // termination of endless kernels as the companion mechanism).
+  void set_max_instructions_per_thread(std::uint64_t limit) noexcept {
+    max_instructions_per_thread_ = limit;
+  }
+
+ private:
+  simgpu::GlobalMemory* memory_;
+  simgpu::AccessPolicy* policy_;
+  std::uint64_t client_;
+  DeviceFault last_fault_;
+  std::uint64_t max_instructions_per_thread_ = 10'000'000;
+};
+
+}  // namespace grd::ptxexec

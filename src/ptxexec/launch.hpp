@@ -1,0 +1,53 @@
+// Kernel launch descriptors shared by the interpreter and the runtimes.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace grd::ptxexec {
+
+struct Dim3 {
+  std::uint32_t x = 1, y = 1, z = 1;
+  std::uint64_t Count() const noexcept {
+    return static_cast<std::uint64_t>(x) * y * z;
+  }
+};
+
+// A kernel argument as raw bits (mirrors CUDA's void** kernelParams: the
+// launch path does not know types; the kernel's .param decls do).
+struct KernelArg {
+  std::uint64_t bits = 0;
+  std::uint8_t size = 8;
+
+  static KernelArg U64(std::uint64_t v) { return {v, 8}; }
+  static KernelArg U32(std::uint32_t v) { return {v, 4}; }
+  static KernelArg F32(float v) {
+    std::uint32_t b;
+    std::memcpy(&b, &v, sizeof(b));
+    return {b, 4};
+  }
+  static KernelArg F64(double v) {
+    std::uint64_t b;
+    std::memcpy(&b, &v, sizeof(b));
+    return {b, 8};
+  }
+};
+
+struct LaunchParams {
+  Dim3 grid;
+  Dim3 block;
+  std::vector<KernelArg> args;
+};
+
+// Execution statistics returned by a functional run.
+struct ExecStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t global_loads = 0;
+  std::uint64_t global_stores = 0;
+  std::uint64_t shared_accesses = 0;
+  std::uint64_t threads = 0;
+};
+
+}  // namespace grd::ptxexec

@@ -1,0 +1,33 @@
+#include "ptxpatcher/analyzer.hpp"
+
+#include <variant>
+
+namespace grd::ptxpatcher {
+
+SafetyReport AnalyzeKernelSafety(const ptx::Kernel& kernel) {
+  SafetyReport report;
+  auto flag = [&](std::string reason) {
+    report.safe = false;
+    if (report.reasons.size() < 8) report.reasons.push_back(std::move(reason));
+  };
+  for (const auto& stmt : kernel.body) {
+    const auto* inst = std::get_if<ptx::Instruction>(&stmt);
+    if (inst == nullptr) continue;
+    if (inst->IsProtectedMemoryAccess()) {
+      flag(std::string(inst->IsLoad() ? "load" : "store") +
+           " from unverifiable address (" + inst->opcode + "." +
+           (inst->modifiers.empty() ? "?" : inst->modifiers.front()) + ")");
+    }
+    if (inst->opcode == "brx") {
+      flag("indirect branch with runtime index (brx.idx)");
+    }
+    if (inst->opcode == "call") {
+      // Callee may perform protected accesses; without whole-module
+      // call-graph analysis, treat as unsafe.
+      flag("call to device function (callee not analyzed)");
+    }
+  }
+  return report;
+}
+
+}  // namespace grd::ptxpatcher

@@ -1,0 +1,31 @@
+// Static PTX safety analysis (paper §2.2: Guardian "can be turned-off on
+// demand, so standalone or safe applications (checked with static analysis
+// [30]) incur no overhead").
+//
+// A kernel is *statically safe* when it cannot perform an out-of-bounds
+// access no matter what its inputs are — conservatively: it has no
+// global/local/generic loads or stores and no indirect branches. Such
+// kernels need no sandboxing; the patcher can emit them unchanged and the
+// launch path skips the parameter augmentation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ptx/ast.hpp"
+
+namespace grd::ptxpatcher {
+
+struct SafetyReport {
+  bool safe = true;
+  // First few reasons the kernel is unsafe (empty when safe).
+  std::vector<std::string> reasons;
+};
+
+SafetyReport AnalyzeKernelSafety(const ptx::Kernel& kernel);
+
+inline bool IsStaticallySafe(const ptx::Kernel& kernel) {
+  return AnalyzeKernelSafety(kernel).safe;
+}
+
+}  // namespace grd::ptxpatcher

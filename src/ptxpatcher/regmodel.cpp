@@ -1,0 +1,135 @@
+#include "ptxpatcher/regmodel.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+namespace grd::ptxpatcher {
+namespace {
+
+using ptx::Instruction;
+using ptx::Operand;
+
+bool IsSpecialRegister(const std::string& name) {
+  return name.find('.') != std::string::npos || name == "%laneid" ||
+         name == "%warpsize";
+}
+
+// Collects the virtual registers an instruction reads and the one it writes.
+// PTX convention: operand 0 is the destination except for st/bra/brx/bar,
+// whose operands are all sources.
+void CollectUses(const Instruction& inst, std::vector<std::string>* reads,
+                 std::string* write) {
+  const bool has_dest = !(inst.opcode == "st" || inst.opcode == "bra" ||
+                          inst.opcode == "brx" || inst.opcode == "bar" ||
+                          inst.opcode == "ret" || inst.opcode == "exit" ||
+                          inst.opcode == "trap" || inst.opcode == "call");
+  if (inst.pred) reads->push_back(inst.pred->reg);
+  for (std::size_t i = 0; i < inst.operands.size(); ++i) {
+    const Operand& op = inst.operands[i];
+    switch (op.kind) {
+      case Operand::Kind::kRegister:
+        if (IsSpecialRegister(op.name)) break;
+        if (has_dest && i == 0) {
+          *write = op.name;
+        } else {
+          reads->push_back(op.name);
+        }
+        break;
+      case Operand::Kind::kMemory:
+        if (op.MemBaseIsRegister()) reads->push_back(op.name);
+        break;
+      case Operand::Kind::kVector:
+        for (const auto& elem : op.vec) {
+          if (has_dest && i == 0) {
+            // Vector destination: each element is written; count as writes by
+            // treating them as short-lived defs (approximation: read+write).
+            reads->push_back(elem);
+          } else {
+            reads->push_back(elem);
+          }
+        }
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+RegisterUsage EstimateRegisterUsage(const ptx::Kernel& kernel) {
+  // Linearize instructions and compute, per virtual register, the first def
+  // and last use position. Branches make this approximate; treating the last
+  // textual use as the live-range end is the conservative convention.
+  std::vector<const Instruction*> code;
+  for (const auto& stmt : kernel.body) {
+    if (const auto* inst = std::get_if<Instruction>(&stmt))
+      code.push_back(inst);
+  }
+
+  struct Range {
+    std::size_t first = 0;
+    std::size_t last = 0;
+  };
+  std::unordered_map<std::string, Range> ranges;
+  // Instrumentation values (%grdreg/%grdtmp/...) are trivially
+  // rematerializable — a single ld.param or add — so an -O3 allocator keeps
+  // them live only around each individual use instead of pinning a register
+  // for the whole kernel. Model them as per-use point ranges.
+  std::vector<Range> point_ranges;
+
+  const auto is_remat = [](const std::string& name) {
+    return name.rfind("%grd", 0) == 0;
+  };
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    std::vector<std::string> reads;
+    std::string write;
+    CollectUses(*code[i], &reads, &write);
+    std::vector<std::string> remat_here;  // dedup per instruction
+    auto touch = [&](const std::string& name) {
+      if (is_remat(name)) {
+        if (std::find(remat_here.begin(), remat_here.end(), name) ==
+            remat_here.end()) {
+          remat_here.push_back(name);
+          point_ranges.push_back(Range{i, i});
+        }
+        // Still counted once for the -G (no-reuse) total.
+        ranges.try_emplace(name, Range{i, i});
+        return;
+      }
+      auto [it, inserted] = ranges.try_emplace(name, Range{i, i});
+      if (!inserted) it->second.last = i;
+    };
+    for (const auto& r : reads) touch(r);
+    if (!write.empty()) touch(write);
+  }
+
+  RegisterUsage usage;
+  usage.no_opt = ranges.size();
+
+  // Max simultaneously live ranges (sweep over positions).
+  std::vector<int> delta(code.size() + 2, 0);
+  for (const auto& [name, range] : ranges) {
+    if (is_remat(name)) continue;  // covered by point ranges below
+    delta[range.first] += 1;
+    delta[range.last + 1] -= 1;
+  }
+  for (const auto& range : point_ranges) {
+    delta[range.first] += 1;
+    delta[range.last + 1] -= 1;
+  }
+  int live = 0;
+  int max_live = 0;
+  for (int d : delta) {
+    live += d;
+    max_live = std::max(max_live, live);
+  }
+  usage.optimized = static_cast<std::size_t>(max_live);
+  return usage;
+}
+
+}  // namespace grd::ptxpatcher

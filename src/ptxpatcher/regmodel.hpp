@@ -1,0 +1,30 @@
+// Register-pressure model for Figure 9.
+//
+// The paper compiles sandboxed PTX with `ptxas -G` (no optimization) and
+// `-O3` and reports per-thread register deltas: without optimization most
+// kernels pay up to 4 extra registers; with -O3 the allocator reuses dead
+// registers and 71% of kernels need none.
+//
+// We model both allocators over the PTX virtual registers:
+//  - no-opt: one architectural register per distinct virtual register
+//    (ptxas -G does essentially this);
+//  - O3: linear-scan allocation over live ranges — the maximum number of
+//    simultaneously live virtual registers. Guardian's temps have short,
+//    disjoint live ranges, so they usually fold into existing dead slots,
+//    which is exactly why the measured -O3 delta is usually zero.
+#pragma once
+
+#include <cstddef>
+
+#include "ptx/ast.hpp"
+
+namespace grd::ptxpatcher {
+
+struct RegisterUsage {
+  std::size_t no_opt = 0;     // distinct virtual registers (-G behaviour)
+  std::size_t optimized = 0;  // max simultaneously live (-O3 behaviour)
+};
+
+RegisterUsage EstimateRegisterUsage(const ptx::Kernel& kernel);
+
+}  // namespace grd::ptxpatcher

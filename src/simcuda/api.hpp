@@ -1,0 +1,98 @@
+// The CUDA runtime + driver call surface (the paper's interception level,
+// Figure 2).
+//
+// In the real system grdLib is an LD_PRELOADed .so exporting the same
+// symbols as libcudart/libcuda; applications and CUDA-accelerated libraries
+// resolve their calls into it. In this reproduction the same seam is the
+// abstract `CudaApi` interface: applications and the simulated accelerated
+// libraries (simlibs) are written against `CudaApi&`, and the binding chosen
+// at run time decides who serves the calls:
+//   - simcuda::NativeCuda     -> direct device access, one context per app
+//   - guardian::GrdLib        -> forwards every call to the grdManager (§4.1)
+//   - baselines::MpsClientApi -> MPS-style shared spatial sharing
+// Swapping the binding without touching application code is exactly the
+// transparency property the paper claims.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "ptxexec/launch.hpp"
+#include "simcuda/handles.hpp"
+#include "simgpu/device_spec.hpp"
+
+namespace grd::simcuda {
+
+struct LaunchConfig {
+  ptxexec::Dim3 grid;
+  ptxexec::Dim3 block;
+  StreamId stream = kDefaultStream;
+};
+
+// An entry in an undocumented export table (modelled; see handles.hpp).
+struct ExportTableEntry {
+  std::string name;
+};
+struct ExportTable {
+  ExportTableId id{};
+  std::vector<ExportTableEntry> entries;
+};
+
+class CudaApi {
+ public:
+  virtual ~CudaApi() = default;
+
+  // ---- CUDA runtime API ------------------------------------------------
+  virtual Status cudaMalloc(DevicePtr* ptr, std::uint64_t size) = 0;
+  virtual Status cudaFree(DevicePtr ptr) = 0;
+  virtual Status cudaMemcpy(void* dst_host, DevicePtr src_dev,
+                            std::uint64_t size, MemcpyKind kind) = 0;
+  // H2D form (separate methods keep host pointers on the caller's side of
+  // any process boundary).
+  virtual Status cudaMemcpyH2D(DevicePtr dst_dev, const void* src_host,
+                               std::uint64_t size) = 0;
+  virtual Status cudaMemcpyD2D(DevicePtr dst_dev, DevicePtr src_dev,
+                               std::uint64_t size) = 0;
+  virtual Status cudaMemset(DevicePtr dst, int value, std::uint64_t size) = 0;
+  virtual Status cudaLaunchKernel(FunctionId func, const LaunchConfig& config,
+                                  std::vector<ptxexec::KernelArg> args) = 0;
+  virtual Status cudaStreamCreate(StreamId* stream) = 0;
+  virtual Status cudaStreamDestroy(StreamId stream) = 0;
+  virtual Status cudaStreamSynchronize(StreamId stream) = 0;
+  virtual Status cudaStreamIsCapturing(StreamId stream, bool* capturing) = 0;
+  virtual Status cudaStreamGetCaptureInfo(StreamId stream,
+                                          std::uint64_t* capture_id) = 0;
+  virtual Status cudaEventCreateWithFlags(EventId* event,
+                                          std::uint32_t flags) = 0;
+  virtual Status cudaEventDestroy(EventId event) = 0;
+  virtual Status cudaEventRecord(EventId event, StreamId stream) = 0;
+  virtual Status cudaDeviceSynchronize() = 0;
+  virtual Result<const ExportTable*> cudaGetExportTable(ExportTableId id) = 0;
+
+  // Hidden registration entry points (what __cudaRegisterFatBinary /
+  // __cudaRegisterFunction do when a CUDA binary is loaded): make the
+  // embedded PTX known and bind host symbols to kernels.
+  virtual Result<ModuleId> RegisterFatBinary(const std::string& ptx) = 0;
+  virtual Result<FunctionId> RegisterFunction(ModuleId module,
+                                              const std::string& kernel) = 0;
+
+  // ---- CUDA driver API ---------------------------------------------------
+  virtual Result<ModuleId> cuModuleLoadData(const std::string& ptx) = 0;
+  virtual Result<FunctionId> cuModuleGetFunction(ModuleId module,
+                                                 const std::string& kernel) = 0;
+  virtual Status cuLaunchKernel(FunctionId func, const LaunchConfig& config,
+                                std::vector<ptxexec::KernelArg> args) = 0;
+  virtual Status cuMemAlloc(DevicePtr* ptr, std::uint64_t size) = 0;
+  virtual Status cuMemFree(DevicePtr ptr) = 0;
+  virtual Status cuMemcpyHtoD(DevicePtr dst, const void* src,
+                              std::uint64_t size) = 0;
+  virtual Status cuMemcpyDtoH(void* dst, DevicePtr src,
+                              std::uint64_t size) = 0;
+
+  // ---- Introspection -----------------------------------------------------
+  virtual const simgpu::DeviceSpec& GetDeviceSpec() const = 0;
+};
+
+}  // namespace grd::simcuda

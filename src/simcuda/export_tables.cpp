@@ -1,0 +1,85 @@
+#include "simcuda/export_tables.hpp"
+
+namespace grd::simcuda {
+namespace {
+
+ExportTable MakeTable(ExportTableId id,
+                      std::initializer_list<const char*> names) {
+  ExportTable table;
+  table.id = id;
+  for (const char* name : names) table.entries.push_back({name});
+  return table;
+}
+
+std::array<ExportTable, kExportTableCount> BuildTables() {
+  return {
+      MakeTable(ExportTableId::kContextLocalStorage,
+                {"ctxLocalStorageCreate", "ctxLocalStorageDestroy",
+                 "ctxLocalStorageGet", "ctxLocalStorageSet",
+                 "ctxLocalStorageGetState", "ctxLocalStoragePeek",
+                 "ctxLocalStorageSwap", "ctxLocalStorageClone",
+                 "ctxLocalStorageReserve", "ctxLocalStorageRelease",
+                 "ctxLocalStorageBind", "ctxLocalStorageUnbind",
+                 "ctxLocalStorageQuery", "ctxLocalStorageFlush"}),
+      MakeTable(ExportTableId::kPrimaryContext,
+                {"primaryCtxRetain", "primaryCtxRelease", "primaryCtxReset",
+                 "primaryCtxGetState", "primaryCtxSetFlags",
+                 "primaryCtxGetDevice", "primaryCtxIsActive",
+                 "primaryCtxGetVersion", "primaryCtxValidate",
+                 "primaryCtxNotify", "primaryCtxPin", "primaryCtxUnpin"}),
+      MakeTable(ExportTableId::kMemoryManagement,
+                {"memPoolCreateInternal", "memPoolDestroyInternal",
+                 "memPoolTrimInternal", "memGetHandleInternal",
+                 "memImportHandleInternal", "memExportHandleInternal",
+                 "memRetainAllocationInternal", "memReleaseAllocationInternal",
+                 "memGetAllocationPropsInternal", "memMapInternal",
+                 "memUnmapInternal", "memSetAccessInternal",
+                 "memGetAccessInternal", "memAddressReserveInternal",
+                 "memAddressFreeInternal"}),
+      MakeTable(ExportTableId::kStreamOrdering,
+                {"streamGetId", "streamGetPriorityInternal",
+                 "streamGetFlagsInternal", "streamGetCtxInternal",
+                 "streamBatchMemOpInternal", "streamWaitValueInternal",
+                 "streamWriteValueInternal", "streamGetCaptureState",
+                 "streamUpdateCaptureDeps", "streamGetGreenCtx",
+                 "streamNotifyDependents", "streamIsLegacyDefault"}),
+      MakeTable(ExportTableId::kKernelLaunchInternal,
+                {"launchKernelInternal", "launchCooperativeInternal",
+                 "launchHostFuncInternal", "launchGridInternal",
+                 "funcGetModuleInternal", "funcGetAttributesInternal",
+                 "funcSetCacheConfigInternal", "funcGetParamInfoInternal",
+                 "funcGetNameInternal", "kernelGetFunctionInternal",
+                 "kernelGetLibraryInternal", "kernelSetAttributeInternal",
+                 "occupancyMaxBlocksInternal", "occupancyAvailableInternal"}),
+      MakeTable(ExportTableId::kProfilerControl,
+                {"profilerStartInternal", "profilerStopInternal",
+                 "profilerPushRangeInternal", "profilerPopRangeInternal",
+                 "profilerNameStreamInternal", "profilerNameCtxInternal",
+                 "profilerGetCountersInternal", "profilerResetInternal",
+                 "profilerAttachInternal", "profilerDetachInternal"}),
+      MakeTable(ExportTableId::kGraphsInternal,
+                {"graphCreateInternal", "graphDestroyInternal",
+                 "graphAddNodeInternal", "graphRemoveNodeInternal",
+                 "graphInstantiateInternal", "graphLaunchInternal",
+                 "graphExecUpdateInternal", "graphCloneInternal",
+                 "graphNodeGetTypeInternal", "graphGetNodesInternal",
+                 "graphGetEdgesInternal", "graphAddDependenciesInternal",
+                 "graphUploadInternal", "graphRetainUserObjectInternal",
+                 "graphReleaseUserObjectInternal"}),
+  };
+}
+
+}  // namespace
+
+const std::array<ExportTable, kExportTableCount>& BuiltinExportTables() {
+  static const auto tables = BuildTables();
+  return tables;
+}
+
+std::size_t TotalExportedFunctions() {
+  std::size_t total = 0;
+  for (const auto& table : BuiltinExportTables()) total += table.entries.size();
+  return total;
+}
+
+}  // namespace grd::simcuda

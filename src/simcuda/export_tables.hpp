@@ -1,0 +1,21 @@
+// Modelled contents of the undocumented cudaGetExportTable() tables.
+//
+// Paper §4.1: PyTorch and Caffe pull about seven export tables containing
+// more than 90 hidden functions; grdLib must provide (a minimal
+// implementation of) them or the frameworks fail at startup. We model the
+// seven tables with representative entry names; the entries are opaque
+// capabilities whose presence (not behaviour) is what the frameworks check.
+#pragma once
+
+#include <array>
+
+#include "simcuda/api.hpp"
+
+namespace grd::simcuda {
+
+const std::array<ExportTable, kExportTableCount>& BuiltinExportTables();
+
+// Total number of hidden functions across all tables (paper: "more than 90").
+std::size_t TotalExportedFunctions();
+
+}  // namespace grd::simcuda

@@ -1,0 +1,168 @@
+#include "simcuda/gpu.hpp"
+
+#include "common/bits.hpp"
+#include "common/strings.hpp"
+
+namespace grd::simcuda {
+
+DeviceAllocator::DeviceAllocator(std::uint64_t size_bytes) : size_(size_bytes) {
+  free_by_addr_[0] = size_bytes;
+}
+
+Result<std::uint64_t> DeviceAllocator::Allocate(std::uint64_t size,
+                                                std::uint64_t align) {
+  if (size == 0) return Status(InvalidArgument("zero-size allocation"));
+  if (!IsPowerOfTwo(align))
+    return Status(InvalidArgument("alignment must be a power of two"));
+  for (auto it = free_by_addr_.begin(); it != free_by_addr_.end(); ++it) {
+    const std::uint64_t block_addr = it->first;
+    const std::uint64_t block_size = it->second;
+    const std::uint64_t aligned = AlignUp(block_addr, align);
+    const std::uint64_t padding = aligned - block_addr;
+    if (block_size < padding + size) continue;
+    free_by_addr_.erase(it);
+    if (padding > 0) free_by_addr_[block_addr] = padding;
+    const std::uint64_t tail = block_size - padding - size;
+    if (tail > 0) free_by_addr_[aligned + size] = tail;
+    allocations_[aligned] = Allocation{size};
+    allocated_bytes_ += size;
+    return aligned;
+  }
+  return Status(OutOfMemory("device allocator exhausted for " +
+                            std::to_string(size) + " bytes"));
+}
+
+Status DeviceAllocator::AllocateAt(std::uint64_t addr, std::uint64_t size) {
+  if (size == 0) return InvalidArgument("zero-size allocation");
+  for (auto it = free_by_addr_.begin(); it != free_by_addr_.end(); ++it) {
+    const std::uint64_t block_addr = it->first;
+    const std::uint64_t block_size = it->second;
+    if (addr < block_addr || addr + size > block_addr + block_size) continue;
+    free_by_addr_.erase(it);
+    if (addr > block_addr) free_by_addr_[block_addr] = addr - block_addr;
+    const std::uint64_t tail = block_addr + block_size - (addr + size);
+    if (tail > 0) free_by_addr_[addr + size] = tail;
+    allocations_[addr] = Allocation{size};
+    allocated_bytes_ += size;
+    return OkStatus();
+  }
+  return AlreadyExists("range " + ToHex(addr) + "+" + std::to_string(size) +
+                       " is not free");
+}
+
+Status DeviceAllocator::GrowInPlace(std::uint64_t addr, std::uint64_t extra) {
+  const auto alloc_it = allocations_.find(addr);
+  if (alloc_it == allocations_.end())
+    return NotFound("no allocation at " + ToHex(addr));
+  const std::uint64_t end = addr + alloc_it->second.size;
+  const auto free_it = free_by_addr_.find(end);
+  if (free_it == free_by_addr_.end() || free_it->second < extra)
+    return FailedPrecondition("adjacent range after " + ToHex(addr) +
+                              " is not free for " + std::to_string(extra) +
+                              " bytes");
+  const std::uint64_t remaining = free_it->second - extra;
+  free_by_addr_.erase(free_it);
+  if (remaining > 0) free_by_addr_[end + extra] = remaining;
+  alloc_it->second.size += extra;
+  allocated_bytes_ += extra;
+  return OkStatus();
+}
+
+void DeviceAllocator::ExtendCapacity(std::uint64_t extra) {
+  free_by_addr_[size_] = extra;
+  size_ += extra;
+  Coalesce();
+}
+
+Status DeviceAllocator::Free(std::uint64_t addr) {
+  const auto it = allocations_.find(addr);
+  if (it == allocations_.end())
+    return InvalidArgument("free of unallocated device pointer " +
+                           ToHex(addr));
+  const std::uint64_t size = it->second.size;
+  allocations_.erase(it);
+  allocated_bytes_ -= size;
+  free_by_addr_[addr] = size;
+  Coalesce();
+  return OkStatus();
+}
+
+void DeviceAllocator::Coalesce() {
+  for (auto it = free_by_addr_.begin(); it != free_by_addr_.end();) {
+    auto next = std::next(it);
+    if (next != free_by_addr_.end() && it->first + it->second == next->first) {
+      it->second += next->second;
+      free_by_addr_.erase(next);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void OwnershipRegistry::Record(std::uint64_t addr, std::uint64_t size,
+                               ContextId owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[addr] = Entry{size, owner};
+}
+
+Status OwnershipRegistry::Remove(std::uint64_t addr, ContextId owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(addr);
+  if (it == entries_.end())
+    return NotFound("no allocation at " + ToHex(addr));
+  if (it->second.owner != owner)
+    return PermissionDenied("context " + std::to_string(owner) +
+                            " freeing allocation of context " +
+                            std::to_string(it->second.owner));
+  entries_.erase(it);
+  return OkStatus();
+}
+
+void OwnershipRegistry::RemoveAllForContext(ContextId owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.owner == owner) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Result<ContextId> OwnershipRegistry::OwnerOf(std::uint64_t addr,
+                                             std::uint64_t size) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.upper_bound(addr);
+  if (it == entries_.begin()) return Status(NotFound("unmapped address"));
+  --it;
+  if (addr + size > it->first + it->second.size)
+    return Status(NotFound("range extends past the containing allocation"));
+  return it->second.owner;
+}
+
+std::uint64_t OwnershipRegistry::BytesOwnedBy(ContextId owner) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [addr, entry] : entries_) {
+    if (entry.owner == owner) total += entry.size;
+  }
+  return total;
+}
+
+Status OwnershipRegistry::CheckAccess(std::uint64_t client, std::uint64_t addr,
+                                      std::uint64_t size, bool is_write) {
+  auto owner = OwnerOf(addr, size);
+  if (!owner.ok()) {
+    return OutOfRange("device fault: " + std::string(is_write ? "write" : "read") +
+                      " of unmapped address " + ToHex(addr));
+  }
+  if (*owner != client) {
+    return PermissionDenied(
+        "device fault: context " + std::to_string(client) +
+        " touched memory of context " + std::to_string(*owner) + " at " +
+        ToHex(addr));
+  }
+  return OkStatus();
+}
+
+}  // namespace grd::simcuda

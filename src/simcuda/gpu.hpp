@@ -1,0 +1,108 @@
+// The shared physical GPU: spec + global memory + allocation registry.
+//
+// The registry maps device allocations to their owning CUDA context, which
+// gives the native runtime per-context memory protection (a context cannot
+// touch pages of another context, §2.1), and gives the MPS baseline its
+// per-client ASID-style protection. Guardian bypasses this registry: the
+// grdManager owns the whole device and enforces partitions itself.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "common/status.hpp"
+#include "simgpu/device_spec.hpp"
+#include "simgpu/memory.hpp"
+
+namespace grd::simcuda {
+
+using ContextId = std::uint64_t;
+
+// First-fit free-list allocator over the device address range. Used directly
+// by native contexts; Guardian's partition allocator reserves through it.
+class DeviceAllocator {
+ public:
+  explicit DeviceAllocator(std::uint64_t size_bytes);
+
+  Result<std::uint64_t> Allocate(std::uint64_t size, std::uint64_t align = 256);
+  // Claims exactly [addr, addr+size) if that range is currently free
+  // (partition growth needs the block adjacent to an existing partition).
+  Status AllocateAt(std::uint64_t addr, std::uint64_t size);
+  Status Free(std::uint64_t addr);
+  // Enlarges the allocation at `addr` by `extra` bytes by claiming the
+  // directly adjacent free range (fails if it is not free).
+  Status GrowInPlace(std::uint64_t addr, std::uint64_t extra);
+  // Appends `extra` bytes of fresh capacity at the end of the managed range.
+  void ExtendCapacity(std::uint64_t extra);
+
+  std::uint64_t allocated_bytes() const noexcept { return allocated_bytes_; }
+  std::uint64_t free_bytes() const noexcept { return size_ - allocated_bytes_; }
+
+ private:
+  struct Allocation {
+    std::uint64_t size = 0;
+  };
+  std::uint64_t size_;
+  std::uint64_t allocated_bytes_ = 0;
+  std::map<std::uint64_t, std::uint64_t> free_by_addr_;  // addr -> size
+  std::map<std::uint64_t, Allocation> allocations_;      // addr -> meta
+
+  void Coalesce();
+};
+
+// Ownership registry + context-isolation access policy.
+class OwnershipRegistry final : public simgpu::AccessPolicy {
+ public:
+  void Record(std::uint64_t addr, std::uint64_t size, ContextId owner);
+  Status Remove(std::uint64_t addr, ContextId owner);
+  void RemoveAllForContext(ContextId owner);
+
+  // Which context owns the allocation containing [addr, addr+size)?
+  // NotFound if the range is not inside a live allocation.
+  Result<ContextId> OwnerOf(std::uint64_t addr, std::uint64_t size) const;
+
+  std::uint64_t BytesOwnedBy(ContextId owner) const;
+
+  // AccessPolicy: `client` is the accessing context. Real GPUs fault on
+  // unmapped or foreign addresses; so do we.
+  Status CheckAccess(std::uint64_t client, std::uint64_t addr,
+                     std::uint64_t size, bool is_write) override;
+
+ private:
+  struct Entry {
+    std::uint64_t size = 0;
+    ContextId owner = 0;
+  };
+  std::map<std::uint64_t, Entry> entries_;
+  mutable std::mutex mu_;
+};
+
+// A physical GPU shared by all runtimes in the process/simulation.
+class Gpu {
+ public:
+  explicit Gpu(simgpu::DeviceSpec spec)
+      : spec_(std::move(spec)),
+        memory_(spec_.global_mem_bytes),
+        allocator_(spec_.global_mem_bytes) {}
+
+  const simgpu::DeviceSpec& spec() const noexcept { return spec_; }
+  simgpu::GlobalMemory& memory() noexcept { return memory_; }
+  DeviceAllocator& allocator() noexcept { return allocator_; }
+  OwnershipRegistry& ownership() noexcept { return ownership_; }
+
+  ContextId NextContextId() noexcept { return next_context_id_++; }
+
+  // Per-context footprint accounting (the §2.2 MPS-vs-Guardian memory
+  // comparison): every CUDA context costs fixed driver-side device memory.
+  static constexpr std::uint64_t kContextFootprintBytes = 176ull << 20;
+
+ private:
+  simgpu::DeviceSpec spec_;
+  simgpu::GlobalMemory memory_;
+  DeviceAllocator allocator_;
+  OwnershipRegistry ownership_;
+  ContextId next_context_id_ = 1;
+};
+
+}  // namespace grd::simcuda

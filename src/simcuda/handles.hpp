@@ -1,0 +1,40 @@
+// Handle and enum types for the simulated CUDA runtime/driver surface.
+#pragma once
+
+#include <cstdint>
+
+#include "ptxexec/launch.hpp"
+
+namespace grd::simcuda {
+
+using DevicePtr = std::uint64_t;  // device address (cudaMalloc result)
+using StreamId = std::uint64_t;   // 0 = default stream
+using EventId = std::uint64_t;
+using ModuleId = std::uint64_t;   // CUmodule
+using FunctionId = std::uint64_t; // CUfunction / host launch symbol
+
+constexpr StreamId kDefaultStream = 0;
+
+enum class MemcpyKind : std::uint8_t {
+  kHostToDevice,
+  kDeviceToHost,
+  kDeviceToDevice,
+  kHostToHost,
+};
+
+// The undocumented export-table identifiers (paper §4.1: PyTorch and Caffe
+// pull ~7 tables with >90 functions through cudaGetExportTable()). We model
+// the tables the frameworks touch.
+enum class ExportTableId : std::uint8_t {
+  kContextLocalStorage,
+  kPrimaryContext,
+  kMemoryManagement,
+  kStreamOrdering,
+  kKernelLaunchInternal,
+  kProfilerControl,
+  kGraphsInternal,
+};
+
+constexpr int kExportTableCount = 7;
+
+}  // namespace grd::simcuda

@@ -1,0 +1,225 @@
+#include "simcuda/native.hpp"
+
+#include "ptx/parser.hpp"
+#include "ptxexec/interpreter.hpp"
+#include "simcuda/export_tables.hpp"
+
+namespace grd::simcuda {
+
+NativeCuda::NativeCuda(Gpu* gpu) : gpu_(gpu), context_(gpu->NextContextId()) {
+  streams_[kDefaultStream] = false;
+}
+
+NativeCuda::~NativeCuda() {
+  // Destroying the context releases its device memory (driver behaviour).
+  gpu_->ownership().RemoveAllForContext(context_);
+}
+
+Status NativeCuda::CheckHealthy() const {
+  if (!sticky_error_.ok())
+    return FailedPrecondition("context in sticky error state: " +
+                              sticky_error_.ToString());
+  return OkStatus();
+}
+
+Status NativeCuda::OwnDeviceRange(DevicePtr addr, std::uint64_t size) const {
+  auto owner = gpu_->ownership().OwnerOf(addr, size);
+  if (!owner.ok())
+    return InvalidArgument("device pointer not from cudaMalloc");
+  if (*owner != context_)
+    return PermissionDenied("device pointer belongs to another context");
+  return OkStatus();
+}
+
+Status NativeCuda::cudaMalloc(DevicePtr* ptr, std::uint64_t size) {
+  GRD_RETURN_IF_ERROR(CheckHealthy());
+  GRD_ASSIGN_OR_RETURN(std::uint64_t addr, gpu_->allocator().Allocate(size));
+  gpu_->ownership().Record(addr, size, context_);
+  *ptr = addr;
+  return OkStatus();
+}
+
+Status NativeCuda::cudaFree(DevicePtr ptr) {
+  GRD_RETURN_IF_ERROR(CheckHealthy());
+  GRD_RETURN_IF_ERROR(gpu_->ownership().Remove(ptr, context_));
+  return gpu_->allocator().Free(ptr);
+}
+
+Status NativeCuda::cudaMemcpy(void* dst_host, DevicePtr src_dev,
+                              std::uint64_t size, MemcpyKind kind) {
+  GRD_RETURN_IF_ERROR(CheckHealthy());
+  if (kind != MemcpyKind::kDeviceToHost)
+    return InvalidArgument("this overload serves D2H; use the typed methods");
+  GRD_RETURN_IF_ERROR(OwnDeviceRange(src_dev, size));
+  return gpu_->memory().Read(src_dev, dst_host, size);
+}
+
+Status NativeCuda::cudaMemcpyH2D(DevicePtr dst_dev, const void* src_host,
+                                 std::uint64_t size) {
+  GRD_RETURN_IF_ERROR(CheckHealthy());
+  GRD_RETURN_IF_ERROR(OwnDeviceRange(dst_dev, size));
+  return gpu_->memory().Write(dst_dev, src_host, size);
+}
+
+Status NativeCuda::cudaMemcpyD2D(DevicePtr dst_dev, DevicePtr src_dev,
+                                 std::uint64_t size) {
+  GRD_RETURN_IF_ERROR(CheckHealthy());
+  GRD_RETURN_IF_ERROR(OwnDeviceRange(dst_dev, size));
+  GRD_RETURN_IF_ERROR(OwnDeviceRange(src_dev, size));
+  return gpu_->memory().Copy(dst_dev, src_dev, size);
+}
+
+Status NativeCuda::cudaMemset(DevicePtr dst, int value, std::uint64_t size) {
+  GRD_RETURN_IF_ERROR(CheckHealthy());
+  GRD_RETURN_IF_ERROR(OwnDeviceRange(dst, size));
+  return gpu_->memory().Fill(dst, static_cast<std::uint8_t>(value), size);
+}
+
+Status NativeCuda::Launch(FunctionId func, const LaunchConfig& config,
+                          std::vector<ptxexec::KernelArg> args) {
+  GRD_RETURN_IF_ERROR(CheckHealthy());
+  const auto fn = functions_.find(func);
+  if (fn == functions_.end())
+    return InvalidArgument("unknown kernel function handle");
+  if (!streams_.count(config.stream))
+    return InvalidArgument("unknown stream");
+  const auto module = modules_.find(fn->second.module);
+  if (module == modules_.end())
+    return Internal("function refers to an unloaded module");
+
+  ptxexec::Interpreter interpreter(&gpu_->memory(), &gpu_->ownership(),
+                                   context_);
+  ptxexec::LaunchParams params;
+  params.grid = config.grid;
+  params.block = config.block;
+  params.args = std::move(args);
+  auto stats = interpreter.Execute(module->second, fn->second.kernel, params);
+  if (!stats.ok()) {
+    // Device fault: CUDA makes the error sticky for the whole context.
+    sticky_error_ = stats.status();
+    return stats.status();
+  }
+  return OkStatus();
+}
+
+Status NativeCuda::cudaLaunchKernel(FunctionId func,
+                                    const LaunchConfig& config,
+                                    std::vector<ptxexec::KernelArg> args) {
+  return Launch(func, config, std::move(args));
+}
+
+Status NativeCuda::cudaStreamCreate(StreamId* stream) {
+  GRD_RETURN_IF_ERROR(CheckHealthy());
+  *stream = next_stream_++;
+  streams_[*stream] = false;
+  return OkStatus();
+}
+
+Status NativeCuda::cudaStreamDestroy(StreamId stream) {
+  if (stream == kDefaultStream)
+    return InvalidArgument("cannot destroy the default stream");
+  return streams_.erase(stream) ? OkStatus()
+                                : InvalidArgument("unknown stream");
+}
+
+Status NativeCuda::cudaStreamSynchronize(StreamId stream) {
+  GRD_RETURN_IF_ERROR(CheckHealthy());
+  return streams_.count(stream) ? OkStatus()
+                                : InvalidArgument("unknown stream");
+}
+
+Status NativeCuda::cudaStreamIsCapturing(StreamId stream, bool* capturing) {
+  if (!streams_.count(stream)) return InvalidArgument("unknown stream");
+  *capturing = streams_[stream];
+  return OkStatus();
+}
+
+Status NativeCuda::cudaStreamGetCaptureInfo(StreamId stream,
+                                            std::uint64_t* capture_id) {
+  if (!streams_.count(stream)) return InvalidArgument("unknown stream");
+  *capture_id = 0;  // not capturing
+  return OkStatus();
+}
+
+Status NativeCuda::cudaEventCreateWithFlags(EventId* event,
+                                            std::uint32_t flags) {
+  GRD_RETURN_IF_ERROR(CheckHealthy());
+  *event = next_event_++;
+  events_[*event] = flags;
+  return OkStatus();
+}
+
+Status NativeCuda::cudaEventDestroy(EventId event) {
+  return events_.erase(event) ? OkStatus() : InvalidArgument("unknown event");
+}
+
+Status NativeCuda::cudaEventRecord(EventId event, StreamId stream) {
+  if (!events_.count(event)) return InvalidArgument("unknown event");
+  if (!streams_.count(stream)) return InvalidArgument("unknown stream");
+  return OkStatus();
+}
+
+Status NativeCuda::cudaDeviceSynchronize() { return CheckHealthy(); }
+
+Result<const ExportTable*> NativeCuda::cudaGetExportTable(ExportTableId id) {
+  const auto& tables = BuiltinExportTables();
+  for (const auto& table : tables) {
+    if (table.id == id) return &table;
+  }
+  return Status(NotFound("unknown export table"));
+}
+
+Result<ModuleId> NativeCuda::RegisterFatBinary(const std::string& ptx) {
+  return cuModuleLoadData(ptx);
+}
+
+Result<FunctionId> NativeCuda::RegisterFunction(ModuleId module,
+                                                const std::string& kernel) {
+  return cuModuleGetFunction(module, kernel);
+}
+
+Result<ModuleId> NativeCuda::cuModuleLoadData(const std::string& ptx) {
+  GRD_RETURN_IF_ERROR(CheckHealthy());
+  GRD_ASSIGN_OR_RETURN(ptx::Module module, ptx::Parse(ptx));
+  const ModuleId id = next_module_++;
+  modules_[id] = std::move(module);
+  return id;
+}
+
+Result<FunctionId> NativeCuda::cuModuleGetFunction(ModuleId module,
+                                                   const std::string& kernel) {
+  const auto it = modules_.find(module);
+  if (it == modules_.end()) return Status(InvalidArgument("unknown module"));
+  if (it->second.FindKernel(kernel) == nullptr)
+    return Status(NotFound("kernel " + kernel + " not in module"));
+  const FunctionId id = next_function_++;
+  functions_[id] = Function{module, kernel};
+  return id;
+}
+
+Status NativeCuda::cuLaunchKernel(FunctionId func, const LaunchConfig& config,
+                                  std::vector<ptxexec::KernelArg> args) {
+  return Launch(func, config, std::move(args));
+}
+
+Status NativeCuda::cuMemAlloc(DevicePtr* ptr, std::uint64_t size) {
+  return cudaMalloc(ptr, size);
+}
+
+Status NativeCuda::cuMemFree(DevicePtr ptr) { return cudaFree(ptr); }
+
+Status NativeCuda::cuMemcpyHtoD(DevicePtr dst, const void* src,
+                                std::uint64_t size) {
+  return cudaMemcpyH2D(dst, src, size);
+}
+
+Status NativeCuda::cuMemcpyDtoH(void* dst, DevicePtr src,
+                                std::uint64_t size) {
+  return cudaMemcpy(dst, src, size, MemcpyKind::kDeviceToHost);
+}
+
+const simgpu::DeviceSpec& NativeCuda::GetDeviceSpec() const {
+  return gpu_->spec();
+}
+
+}  // namespace grd::simcuda

@@ -1,0 +1,99 @@
+// NativeCuda: the default CUDA runtime + driver implementation.
+//
+// One instance per application; each instance creates its own CUDA context
+// on the shared Gpu (paper §2.1), so applications are memory- and
+// fault-isolated from each other exactly the way per-context page tables
+// isolate them on real hardware — but they can only time-share the device.
+// A device-side fault aborts the faulting launch and poisons only this
+// context (sticky error), matching CUDA's per-context error semantics.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "ptx/ast.hpp"
+#include "simcuda/api.hpp"
+#include "simcuda/gpu.hpp"
+
+namespace grd::simcuda {
+
+class NativeCuda final : public CudaApi {
+ public:
+  explicit NativeCuda(Gpu* gpu);
+  ~NativeCuda() override;
+
+  NativeCuda(const NativeCuda&) = delete;
+  NativeCuda& operator=(const NativeCuda&) = delete;
+
+  // ---- runtime ----
+  Status cudaMalloc(DevicePtr* ptr, std::uint64_t size) override;
+  Status cudaFree(DevicePtr ptr) override;
+  Status cudaMemcpy(void* dst_host, DevicePtr src_dev, std::uint64_t size,
+                    MemcpyKind kind) override;
+  Status cudaMemcpyH2D(DevicePtr dst_dev, const void* src_host,
+                       std::uint64_t size) override;
+  Status cudaMemcpyD2D(DevicePtr dst_dev, DevicePtr src_dev,
+                       std::uint64_t size) override;
+  Status cudaMemset(DevicePtr dst, int value, std::uint64_t size) override;
+  Status cudaLaunchKernel(FunctionId func, const LaunchConfig& config,
+                          std::vector<ptxexec::KernelArg> args) override;
+  Status cudaStreamCreate(StreamId* stream) override;
+  Status cudaStreamDestroy(StreamId stream) override;
+  Status cudaStreamSynchronize(StreamId stream) override;
+  Status cudaStreamIsCapturing(StreamId stream, bool* capturing) override;
+  Status cudaStreamGetCaptureInfo(StreamId stream,
+                                  std::uint64_t* capture_id) override;
+  Status cudaEventCreateWithFlags(EventId* event, std::uint32_t flags) override;
+  Status cudaEventDestroy(EventId event) override;
+  Status cudaEventRecord(EventId event, StreamId stream) override;
+  Status cudaDeviceSynchronize() override;
+  Result<const ExportTable*> cudaGetExportTable(ExportTableId id) override;
+  Result<ModuleId> RegisterFatBinary(const std::string& ptx) override;
+  Result<FunctionId> RegisterFunction(ModuleId module,
+                                      const std::string& kernel) override;
+
+  // ---- driver ----
+  Result<ModuleId> cuModuleLoadData(const std::string& ptx) override;
+  Result<FunctionId> cuModuleGetFunction(ModuleId module,
+                                         const std::string& kernel) override;
+  Status cuLaunchKernel(FunctionId func, const LaunchConfig& config,
+                        std::vector<ptxexec::KernelArg> args) override;
+  Status cuMemAlloc(DevicePtr* ptr, std::uint64_t size) override;
+  Status cuMemFree(DevicePtr ptr) override;
+  Status cuMemcpyHtoD(DevicePtr dst, const void* src,
+                      std::uint64_t size) override;
+  Status cuMemcpyDtoH(void* dst, DevicePtr src, std::uint64_t size) override;
+
+  const simgpu::DeviceSpec& GetDeviceSpec() const override;
+
+  ContextId context_id() const noexcept { return context_; }
+  // Sticky device error, CUDA-style: once a kernel faults, subsequent calls
+  // fail until the context is destroyed.
+  const Status& sticky_error() const noexcept { return sticky_error_; }
+
+ private:
+  Status CheckHealthy() const;
+  Status OwnDeviceRange(DevicePtr addr, std::uint64_t size) const;
+  Status Launch(FunctionId func, const LaunchConfig& config,
+                std::vector<ptxexec::KernelArg> args);
+
+  Gpu* gpu_;
+  ContextId context_;
+  Status sticky_error_;
+
+  struct Function {
+    ModuleId module = 0;
+    std::string kernel;
+  };
+  std::unordered_map<ModuleId, ptx::Module> modules_;
+  std::unordered_map<FunctionId, Function> functions_;
+  std::unordered_map<StreamId, bool> streams_;  // id -> capturing
+  std::unordered_map<EventId, std::uint32_t> events_;
+  ModuleId next_module_ = 1;
+  FunctionId next_function_ = 1;
+  StreamId next_stream_ = 1;
+  EventId next_event_ = 1;
+};
+
+}  // namespace grd::simcuda

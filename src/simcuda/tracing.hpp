@@ -1,0 +1,155 @@
+// TracingCudaApi: a decorator over any CudaApi that counts every runtime and
+// driver call flowing through the interception surface. Used to reproduce
+// Table 6 (implicit CUDA calls behind high-level accelerated-library calls)
+// and by tests asserting that grdLib forwards *everything*.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "simcuda/api.hpp"
+
+namespace grd::simcuda {
+
+class TracingCudaApi final : public CudaApi {
+ public:
+  explicit TracingCudaApi(CudaApi* inner) : inner_(inner) {}
+
+  const std::map<std::string, std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+  void ResetCounts() { counts_.clear(); }
+  std::uint64_t TotalCalls() const {
+    std::uint64_t total = 0;
+    for (const auto& [name, count] : counts_) total += count;
+    return total;
+  }
+  std::uint64_t CountOf(const std::string& name) const {
+    const auto it = counts_.find(name);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  Status cudaMalloc(DevicePtr* ptr, std::uint64_t size) override {
+    ++counts_["cudaMalloc"];
+    return inner_->cudaMalloc(ptr, size);
+  }
+  Status cudaFree(DevicePtr ptr) override {
+    ++counts_["cudaFree"];
+    return inner_->cudaFree(ptr);
+  }
+  Status cudaMemcpy(void* dst, DevicePtr src, std::uint64_t size,
+                    MemcpyKind kind) override {
+    ++counts_["cudaMemcpy"];
+    return inner_->cudaMemcpy(dst, src, size, kind);
+  }
+  Status cudaMemcpyH2D(DevicePtr dst, const void* src,
+                       std::uint64_t size) override {
+    ++counts_["cudaMemcpy"];
+    return inner_->cudaMemcpyH2D(dst, src, size);
+  }
+  Status cudaMemcpyD2D(DevicePtr dst, DevicePtr src,
+                       std::uint64_t size) override {
+    ++counts_["cudaMemcpy"];
+    return inner_->cudaMemcpyD2D(dst, src, size);
+  }
+  Status cudaMemset(DevicePtr dst, int value, std::uint64_t size) override {
+    ++counts_["cudaMemset"];
+    return inner_->cudaMemset(dst, value, size);
+  }
+  Status cudaLaunchKernel(FunctionId func, const LaunchConfig& config,
+                          std::vector<ptxexec::KernelArg> args) override {
+    ++counts_["cudaLaunchKernel"];
+    return inner_->cudaLaunchKernel(func, config, std::move(args));
+  }
+  Status cudaStreamCreate(StreamId* stream) override {
+    ++counts_["cudaStreamCreate"];
+    return inner_->cudaStreamCreate(stream);
+  }
+  Status cudaStreamDestroy(StreamId stream) override {
+    ++counts_["cudaStreamDestroy"];
+    return inner_->cudaStreamDestroy(stream);
+  }
+  Status cudaStreamSynchronize(StreamId stream) override {
+    ++counts_["cudaStreamSynchronize"];
+    return inner_->cudaStreamSynchronize(stream);
+  }
+  Status cudaStreamIsCapturing(StreamId stream, bool* capturing) override {
+    ++counts_["cudaStreamIsCapturing"];
+    return inner_->cudaStreamIsCapturing(stream, capturing);
+  }
+  Status cudaStreamGetCaptureInfo(StreamId stream,
+                                  std::uint64_t* capture_id) override {
+    ++counts_["cudaStreamGetCaptureInfo"];
+    return inner_->cudaStreamGetCaptureInfo(stream, capture_id);
+  }
+  Status cudaEventCreateWithFlags(EventId* event,
+                                  std::uint32_t flags) override {
+    ++counts_["cudaEventCreateWithFlags"];
+    return inner_->cudaEventCreateWithFlags(event, flags);
+  }
+  Status cudaEventDestroy(EventId event) override {
+    ++counts_["cudaEventDestroy"];
+    return inner_->cudaEventDestroy(event);
+  }
+  Status cudaEventRecord(EventId event, StreamId stream) override {
+    ++counts_["cudaEventRecord"];
+    return inner_->cudaEventRecord(event, stream);
+  }
+  Status cudaDeviceSynchronize() override {
+    ++counts_["cudaDeviceSynchronize"];
+    return inner_->cudaDeviceSynchronize();
+  }
+  Result<const ExportTable*> cudaGetExportTable(ExportTableId id) override {
+    ++counts_["cudaGetExportTable"];
+    return inner_->cudaGetExportTable(id);
+  }
+  Result<ModuleId> RegisterFatBinary(const std::string& ptx) override {
+    ++counts_["__cudaRegisterFatBinary"];
+    return inner_->RegisterFatBinary(ptx);
+  }
+  Result<FunctionId> RegisterFunction(ModuleId module,
+                                      const std::string& kernel) override {
+    ++counts_["__cudaRegisterFunction"];
+    return inner_->RegisterFunction(module, kernel);
+  }
+  Result<ModuleId> cuModuleLoadData(const std::string& ptx) override {
+    ++counts_["cuModuleLoadData"];
+    return inner_->cuModuleLoadData(ptx);
+  }
+  Result<FunctionId> cuModuleGetFunction(ModuleId module,
+                                         const std::string& kernel) override {
+    ++counts_["cuModuleGetFunction"];
+    return inner_->cuModuleGetFunction(module, kernel);
+  }
+  Status cuLaunchKernel(FunctionId func, const LaunchConfig& config,
+                        std::vector<ptxexec::KernelArg> args) override {
+    ++counts_["cuLaunchKernel"];
+    return inner_->cuLaunchKernel(func, config, std::move(args));
+  }
+  Status cuMemAlloc(DevicePtr* ptr, std::uint64_t size) override {
+    ++counts_["cuMemAlloc"];
+    return inner_->cuMemAlloc(ptr, size);
+  }
+  Status cuMemFree(DevicePtr ptr) override {
+    ++counts_["cuMemFree"];
+    return inner_->cuMemFree(ptr);
+  }
+  Status cuMemcpyHtoD(DevicePtr dst, const void* src,
+                      std::uint64_t size) override {
+    ++counts_["cuMemcpyHtoD"];
+    return inner_->cuMemcpyHtoD(dst, src, size);
+  }
+  Status cuMemcpyDtoH(void* dst, DevicePtr src, std::uint64_t size) override {
+    ++counts_["cuMemcpyDtoH"];
+    return inner_->cuMemcpyDtoH(dst, src, size);
+  }
+  const simgpu::DeviceSpec& GetDeviceSpec() const override {
+    return inner_->GetDeviceSpec();
+  }
+
+ private:
+  CudaApi* inner_;
+  std::map<std::string, std::uint64_t> counts_;
+};
+
+}  // namespace grd::simcuda

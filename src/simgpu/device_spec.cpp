@@ -1,0 +1,37 @@
+#include "simgpu/device_spec.hpp"
+
+namespace grd::simgpu {
+
+DeviceSpec QuadroRtxA4000() {
+  DeviceSpec spec;
+  spec.name = "RTX A4000";
+  spec.compute_capability = "8.6";
+  spec.sms = 48;
+  spec.cuda_cores = 6144;
+  spec.l1_kb = 128;
+  spec.l2_kb = 4096;
+  spec.global_mem_bytes = 16ull << 30;
+  spec.regs_per_thread = 255;
+  spec.ecc = true;
+  spec.global_bw_gbps = 448.0;
+  spec.clock_ghz = 1.56;
+  return spec;
+}
+
+DeviceSpec GeForceRtx3080Ti() {
+  DeviceSpec spec;
+  spec.name = "RTX 3080 Ti";
+  spec.compute_capability = "8.6";
+  spec.sms = 80;
+  spec.cuda_cores = 10240;
+  spec.l1_kb = 128;
+  spec.l2_kb = 6144;
+  spec.global_mem_bytes = 12ull << 30;
+  spec.regs_per_thread = 255;
+  spec.ecc = false;
+  spec.global_bw_gbps = 912.0;
+  spec.clock_ghz = 1.67;
+  return spec;
+}
+
+}  // namespace grd::simgpu

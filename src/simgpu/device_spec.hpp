@@ -1,0 +1,50 @@
+// GPU device descriptors (paper Table 2) plus the latency constants the
+// paper's cost analysis uses (Figure 5, §7.4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace grd::simgpu {
+
+struct DeviceSpec {
+  std::string name;
+  std::string compute_capability = "8.6";
+  int sms = 48;
+  int cuda_cores = 6144;
+  int l1_kb = 128;
+  int l2_kb = 4096;
+  std::uint64_t global_mem_bytes = 16ull << 30;
+  int regs_per_thread = 255;
+  bool ecc = false;
+
+  // Latencies in GPU cycles (paper Table 2 & Figure 5 & §7.4 use 28-cycle L1,
+  // 193-cycle L2 (180 in §7.4's lenet profile), 220-350-cycle global; we use
+  // the §7.4 representative 285-cycle midpoint for global).
+  int l1_hit_latency = 28;
+  int l2_hit_latency = 193;
+  int global_latency = 285;
+  double global_bw_gbps = 448.0;
+
+  // Host-visible costs.
+  double clock_ghz = 1.56;
+  // Context-switch cost for time-sharing in GPU cycles. The paper cites
+  // 100s-of-milliseconds-scale resets only for MIG; CUDA context switches
+  // are tens of microseconds (§2.2 "costly context switches").
+  std::uint64_t context_switch_cycles = 50'000;
+  // Device-side cost of one ALU/bitwise instruction (paper cites 4 cycles
+  // per bitwise op [3]).
+  int alu_cycles = 4;
+
+  // PCIe v4 x16 effective host<->device bandwidth, bytes per GPU cycle.
+  double pcie_bytes_per_cycle = 16.0;
+};
+
+// Quadro RTX A4000: the paper's primary evaluation GPU (all experiments
+// except §7.5).
+DeviceSpec QuadroRtxA4000();
+
+// GeForce RTX 3080 Ti: the §7.5 secondary GPU.
+DeviceSpec GeForceRtx3080Ti();
+
+}  // namespace grd::simgpu

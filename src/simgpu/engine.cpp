@@ -1,0 +1,169 @@
+#include "simgpu/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace grd::simgpu {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Max-min fair allocation: distributes `capacity` among demands with
+// per-entry caps. Classic water-filling: repeatedly grant the unsatisfied
+// entries an equal share; entries whose cap is below the share keep the cap
+// and release the remainder.
+void WaterFill(std::vector<double>& caps, std::vector<double>& rates,
+               double capacity) {
+  const std::size_t n = caps.size();
+  rates.assign(n, 0.0);
+  std::vector<bool> done(n, false);
+  std::size_t remaining = n;
+  while (remaining > 0 && capacity > kEps) {
+    const double share = capacity / static_cast<double>(remaining);
+    bool any_capped = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (done[i]) continue;
+      if (caps[i] <= share + kEps) {
+        rates[i] = caps[i];
+        capacity -= caps[i];
+        done[i] = true;
+        --remaining;
+        any_capped = true;
+      }
+    }
+    if (!any_capped) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!done[i]) rates[i] = share;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+GpuOp MakeKernelOp(const DeviceSpec& spec, double thread_cycles,
+                   std::uint64_t threads, std::string label) {
+  const double lanes =
+      std::min<double>(static_cast<double>(threads), spec.cuda_cores);
+  return GpuOp::Kernel(thread_cycles * static_cast<double>(threads),
+                       std::max(lanes, 1.0), std::move(label));
+}
+
+SharingEngine::StreamId SharingEngine::AddStream() {
+  streams_.emplace_back();
+  return streams_.size() - 1;
+}
+
+void SharingEngine::Enqueue(StreamId stream, GpuOp op) {
+  streams_[stream].push_back(std::move(op));
+}
+
+SharingEngine::RunResult SharingEngine::Run() {
+  struct StreamState {
+    std::size_t next = 0;     // next op index
+    double remaining = 0.0;   // remaining work of the active op
+    bool active = false;
+  };
+  const std::size_t n = streams_.size();
+  std::vector<StreamState> state(n);
+  RunResult result;
+  result.stream_finish.assign(n, 0.0);
+
+  auto activate = [&](std::size_t s) {
+    auto& st = state[s];
+    if (!st.active && st.next < streams_[s].size()) {
+      st.remaining = streams_[s][st.next].work;
+      st.active = true;
+      // Zero-work ops complete immediately below.
+    }
+  };
+  for (std::size_t s = 0; s < n; ++s) activate(s);
+
+  double now = 0.0;
+  while (true) {
+    // Collect active ops per resource and water-fill.
+    std::vector<std::size_t> kernel_streams, memcpy_streams, host_streams;
+    bool any_active = false;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (!state[s].active) continue;
+      any_active = true;
+      const auto& op = streams_[s][state[s].next];
+      if (op.kind == GpuOp::Kind::kKernel) kernel_streams.push_back(s);
+      if (op.kind == GpuOp::Kind::kMemcpy) memcpy_streams.push_back(s);
+      if (op.kind == GpuOp::Kind::kHostSerial) host_streams.push_back(s);
+    }
+    if (!any_active) break;
+
+    std::vector<double> rates_all(n, 0.0);
+    {
+      std::vector<double> caps, rates;
+      for (std::size_t s : kernel_streams)
+        caps.push_back(streams_[s][state[s].next].max_rate);
+      WaterFill(caps, rates, static_cast<double>(spec_.cuda_cores));
+      for (std::size_t i = 0; i < kernel_streams.size(); ++i)
+        rates_all[kernel_streams[i]] = rates[i];
+    }
+    {
+      std::vector<double> caps, rates;
+      for (std::size_t s : memcpy_streams)
+        caps.push_back(streams_[s][state[s].next].max_rate);
+      WaterFill(caps, rates, spec_.pcie_bytes_per_cycle);
+      for (std::size_t i = 0; i < memcpy_streams.size(); ++i)
+        rates_all[memcpy_streams[i]] = rates[i];
+    }
+    {
+      // One dispatcher thread: processor-sharing with total capacity 1.
+      std::vector<double> caps, rates;
+      for (std::size_t s : host_streams)
+        caps.push_back(streams_[s][state[s].next].max_rate);
+      WaterFill(caps, rates, 1.0);
+      for (std::size_t i = 0; i < host_streams.size(); ++i)
+        rates_all[host_streams[i]] = rates[i];
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      if (state[s].active &&
+          streams_[s][state[s].next].kind == GpuOp::Kind::kDelay) {
+        rates_all[s] = 1.0;  // delays progress in real time, uncontended
+      }
+    }
+
+    // Time to the earliest completion.
+    double dt = std::numeric_limits<double>::infinity();
+    for (std::size_t s = 0; s < n; ++s) {
+      if (!state[s].active) continue;
+      if (rates_all[s] <= kEps) continue;  // starved this round
+      dt = std::min(dt, state[s].remaining / rates_all[s]);
+    }
+    if (!std::isfinite(dt)) {
+      // All active ops starved: cannot happen with non-empty capacity, but
+      // guard against zero-capacity misconfiguration.
+      break;
+    }
+    dt = std::max(dt, 0.0);
+
+    // Advance.
+    double lanes_in_use = 0.0;
+    for (std::size_t s : kernel_streams) lanes_in_use += rates_all[s];
+    result.lane_busy_integral += lanes_in_use * dt;
+    now += dt;
+    for (std::size_t s = 0; s < n; ++s) {
+      auto& st = state[s];
+      if (!st.active) continue;
+      st.remaining -= rates_all[s] * dt;
+      if (st.remaining <= kEps) {
+        st.active = false;
+        ++st.next;
+        result.stream_finish[s] = now;
+        activate(s);
+      }
+    }
+  }
+
+  result.total_cycles = now;
+  streams_.clear();
+  return result;
+}
+
+}  // namespace grd::simgpu

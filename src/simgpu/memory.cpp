@@ -1,0 +1,91 @@
+#include "simgpu/memory.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace grd::simgpu {
+
+Status GlobalMemory::CheckRange(std::uint64_t addr, std::uint64_t len) const {
+  if (len > size_ || addr > size_ - len) {
+    return OutOfRange("device access " + ToHex(addr) + "+" +
+                      std::to_string(len) + " beyond device memory (" +
+                      std::to_string(size_) + " bytes)");
+  }
+  return OkStatus();
+}
+
+const std::uint8_t* GlobalMemory::PageForRead(std::uint64_t page_index) const {
+  const auto it = pages_.find(page_index);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+std::uint8_t* GlobalMemory::PageForWrite(std::uint64_t page_index) {
+  auto& page = pages_[page_index];
+  if (!page) {
+    page = std::make_unique<std::uint8_t[]>(kPageSize);
+    std::memset(page.get(), 0, kPageSize);
+  }
+  return page.get();
+}
+
+Status GlobalMemory::Read(std::uint64_t addr, void* dst,
+                          std::uint64_t len) const {
+  GRD_RETURN_IF_ERROR(CheckRange(addr, len));
+  auto* out = static_cast<std::uint8_t*>(dst);
+  while (len > 0) {
+    const std::uint64_t page_index = addr / kPageSize;
+    const std::uint64_t offset = addr % kPageSize;
+    const std::uint64_t chunk = std::min(len, kPageSize - offset);
+    if (const std::uint8_t* page = PageForRead(page_index)) {
+      std::memcpy(out, page + offset, chunk);
+    } else {
+      std::memset(out, 0, chunk);
+    }
+    out += chunk;
+    addr += chunk;
+    len -= chunk;
+  }
+  return OkStatus();
+}
+
+Status GlobalMemory::Write(std::uint64_t addr, const void* src,
+                           std::uint64_t len) {
+  GRD_RETURN_IF_ERROR(CheckRange(addr, len));
+  const auto* in = static_cast<const std::uint8_t*>(src);
+  while (len > 0) {
+    const std::uint64_t page_index = addr / kPageSize;
+    const std::uint64_t offset = addr % kPageSize;
+    const std::uint64_t chunk = std::min(len, kPageSize - offset);
+    std::memcpy(PageForWrite(page_index) + offset, in, chunk);
+    in += chunk;
+    addr += chunk;
+    len -= chunk;
+  }
+  return OkStatus();
+}
+
+Status GlobalMemory::Fill(std::uint64_t addr, std::uint8_t value,
+                          std::uint64_t len) {
+  GRD_RETURN_IF_ERROR(CheckRange(addr, len));
+  while (len > 0) {
+    const std::uint64_t page_index = addr / kPageSize;
+    const std::uint64_t offset = addr % kPageSize;
+    const std::uint64_t chunk = std::min(len, kPageSize - offset);
+    std::memset(PageForWrite(page_index) + offset, value, chunk);
+    addr += chunk;
+    len -= chunk;
+  }
+  return OkStatus();
+}
+
+Status GlobalMemory::Copy(std::uint64_t dst, std::uint64_t src,
+                          std::uint64_t len) {
+  GRD_RETURN_IF_ERROR(CheckRange(dst, len));
+  GRD_RETURN_IF_ERROR(CheckRange(src, len));
+  std::vector<std::uint8_t> buffer(static_cast<std::size_t>(len));
+  GRD_RETURN_IF_ERROR(Read(src, buffer.data(), len));
+  return Write(dst, buffer.data(), len);
+}
+
+}  // namespace grd::simgpu

@@ -1,0 +1,82 @@
+// Simulated GPU global memory: a sparse, byte-addressable store over the
+// device address range [0, global_mem_bytes). Sparse 64 KiB paging keeps a
+// "16 GB" device cheap to host. Kernels executed by ptxexec really read and
+// write this store, so cross-tenant corruption and wrap-around effects are
+// observable, not just modeled.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace grd::simgpu {
+
+// Access-control hook consulted on every device-side global access (and on
+// host-initiated transfers by the runtimes). Implementations:
+//  - simcuda native: per-context allocation ownership (a context cannot touch
+//    another context's memory -> fault, like real per-context page tables);
+//  - MPS baseline: per-client protection, fault kills everyone (grd::baselines);
+//  - single-context stream sharing (Guardian w/o protection): allow-all --
+//    which is exactly the unsafety Guardian closes.
+class AccessPolicy {
+ public:
+  virtual ~AccessPolicy() = default;
+  // `client` identifies the tenant on whose behalf the access runs.
+  virtual Status CheckAccess(std::uint64_t client, std::uint64_t addr,
+                             std::uint64_t size, bool is_write) = 0;
+};
+
+// Allow-everything policy (single shared CUDA context, paper Figure 1).
+class AllowAllPolicy final : public AccessPolicy {
+ public:
+  Status CheckAccess(std::uint64_t, std::uint64_t, std::uint64_t,
+                     bool) override {
+    return OkStatus();
+  }
+};
+
+class GlobalMemory {
+ public:
+  explicit GlobalMemory(std::uint64_t size_bytes) : size_(size_bytes) {}
+
+  std::uint64_t size() const noexcept { return size_; }
+
+  // Bytes currently backed by host pages (diagnostics).
+  std::uint64_t resident_bytes() const noexcept {
+    return pages_.size() * kPageSize;
+  }
+
+  Status Read(std::uint64_t addr, void* dst, std::uint64_t len) const;
+  Status Write(std::uint64_t addr, const void* src, std::uint64_t len);
+  Status Fill(std::uint64_t addr, std::uint8_t value, std::uint64_t len);
+  // Device-to-device copy (cudaMemcpyD2D path).
+  Status Copy(std::uint64_t dst, std::uint64_t src, std::uint64_t len);
+
+  template <typename T>
+  Result<T> Load(std::uint64_t addr) const {
+    T v{};
+    GRD_RETURN_IF_ERROR(Read(addr, &v, sizeof(T)));
+    return v;
+  }
+  template <typename T>
+  Status Store(std::uint64_t addr, const T& v) {
+    return Write(addr, &v, sizeof(T));
+  }
+
+ private:
+  static constexpr std::uint64_t kPageSize = 64 * 1024;
+
+  Status CheckRange(std::uint64_t addr, std::uint64_t len) const;
+  const std::uint8_t* PageForRead(std::uint64_t page_index) const;
+  std::uint8_t* PageForWrite(std::uint64_t page_index);
+
+  std::uint64_t size_;
+  // 64 KiB copy-on-first-touch pages; absent pages read as zero.
+  std::unordered_map<std::uint64_t, std::unique_ptr<std::uint8_t[]>> pages_;
+};
+
+}  // namespace grd::simgpu

@@ -1,0 +1,68 @@
+#include "simgpu/timing.hpp"
+
+namespace grd::simgpu {
+
+const char* ProtectionModeName(ProtectionMode mode) noexcept {
+  switch (mode) {
+    case ProtectionMode::kNone: return "no-protection";
+    case ProtectionMode::kFencingBitwise: return "fencing-bitwise";
+    case ProtectionMode::kFencingModulo: return "fencing-modulo";
+    case ProtectionMode::kChecking: return "checking";
+  }
+  return "?";
+}
+
+double TimingModel::AverageAccessLatency(const CacheProfile& cache) const {
+  const double l1 = cache.l1_hit * cache.warp_uniformity;
+  const double l2 = (1.0 - l1) * cache.l2_hit;
+  const double global = 1.0 - l1 - l2;
+  return l1 * spec_.l1_hit_latency + l2 * spec_.l2_hit_latency +
+         global * spec_.global_latency;
+}
+
+double TimingModel::ProtectionCyclesPerAccess(
+    ProtectionMode mode, double offset_mode_fraction) const {
+  const double alu = spec_.alu_cycles;
+  switch (mode) {
+    case ProtectionMode::kNone:
+      return 0.0;
+    case ProtectionMode::kFencingBitwise:
+      // 2 bitwise instructions; base+offset needs an extra add into a temp
+      // register plus the two bitwise ops on it (4 instructions total).
+      return (2.0 + offset_mode_fraction * 2.0) * alu;
+    case ProtectionMode::kFencingModulo:
+      // Inline 64-bit modulo: 7 instructions = 28 cycles (paper §4.4).
+      return 28.0 + offset_mode_fraction * 1.0 * alu;
+    case ProtectionMode::kChecking:
+      // Conditional checks through the Address Divergence Unit: 80 cycles
+      // per bound, and each access checks both the lower and the upper
+      // bound; base+offset adds up to 8 instructions (32 cycles) per access.
+      return 160.0 + offset_mode_fraction * 32.0;
+  }
+  return 0.0;
+}
+
+double TimingModel::ThreadCycles(const KernelProfile& profile,
+                                 ProtectionMode mode) const {
+  const double access_latency = AverageAccessLatency(profile.cache);
+  const double accesses =
+      static_cast<double>(profile.loads + profile.stores);
+  const double base = accesses * access_latency +
+                      static_cast<double>(profile.alu_ops) * spec_.alu_cycles;
+  const double extra =
+      accesses * ProtectionCyclesPerAccess(mode, profile.offset_mode_fraction);
+  // The two extra ld.param at kernel entry (mask + base) are amortized over
+  // the whole kernel; charge them once.
+  const double prologue =
+      mode == ProtectionMode::kNone ? 0.0 : 2.0 * spec_.l1_hit_latency;
+  return base + extra + prologue;
+}
+
+double TimingModel::RelativeOverhead(const KernelProfile& profile,
+                                     ProtectionMode mode) const {
+  const double native = ThreadCycles(profile, ProtectionMode::kNone);
+  if (native <= 0.0) return 0.0;
+  return ThreadCycles(profile, mode) / native - 1.0;
+}
+
+}  // namespace grd::simgpu

@@ -1,0 +1,84 @@
+// Analytic kernel timing model.
+//
+// The paper's overhead analysis (§4.4, §7.4, Figure 5) is latency-based: a
+// load/store costs 28 cycles from L1, ~193 from L2, 220-350 from global
+// memory; each fencing instruction costs ~4 ALU cycles. A kernel's device
+// time is dominated by its memory accesses, so Guardian's relative overhead
+// is (extra ALU cycles per access) / (average access latency) — small when
+// data is in global memory, large (28-57%) when everything hits in L1.
+// This model reproduces exactly that arithmetic.
+#pragma once
+
+#include <cstdint>
+
+#include "simgpu/device_spec.hpp"
+
+namespace grd::simgpu {
+
+// Cache behaviour of a kernel (measured per kernel by Nsight in the paper;
+// we carry measured/representative ratios on each workload kernel).
+struct CacheProfile {
+  double l1_hit = 0.37;  // lenet average (paper §7.4)
+  double l2_hit = 0.72;  // of L1 misses, fraction hitting L2
+  // §7.4 (2): "cache hits result in a lower load/store instruction latency
+  // in the rare case that every thread in the warp hits in the cache" [4].
+  // A hit only shortens the warp's instruction when the whole warp hits;
+  // this factor scales the *effective* L1 benefit (1.0 = perfectly
+  // coalesced warps).
+  double warp_uniformity = 1.0;
+
+  static CacheProfile AllL1() { return {1.0, 1.0, 1.0}; }
+  static CacheProfile AllGlobal() { return {0.0, 0.0, 1.0}; }
+};
+
+// Bounds-checking deployment modes (paper §4.4 and §6 "deployments").
+enum class ProtectionMode : std::uint8_t {
+  kNone,            // Guardian w/o protection (interception only)
+  kFencingBitwise,  // AND+OR, 2 instructions / 8 cycles
+  kFencingModulo,   // inline 64-bit modulo, 7 instructions / 28 cycles
+  kChecking,        // conditional checks, ~80 cycles (Address Divergence Unit)
+};
+
+const char* ProtectionModeName(ProtectionMode mode) noexcept;
+
+// Static instruction profile of one kernel (derived from the PTX via
+// ptx::ComputeStats, or synthesized for workload kernels).
+struct KernelProfile {
+  std::uint64_t loads = 0;           // protected global/local loads per thread
+  std::uint64_t stores = 0;          // protected stores per thread
+  std::uint64_t alu_ops = 0;         // other instructions per thread
+  double offset_mode_fraction = 0.0; // fraction of accesses using base+offset
+  CacheProfile cache;
+};
+
+class TimingModel {
+ public:
+  explicit TimingModel(const DeviceSpec& spec) : spec_(spec) {}
+
+  // Average latency of one load/store under the cache profile.
+  double AverageAccessLatency(const CacheProfile& cache) const;
+
+  // Extra device cycles per protected access for a protection mode.
+  // Base addressing: bitwise = 2 instr (8 cy), modulo = 7 instr (28 cy),
+  // checking = 80 cy. base+offset addressing adds a temp-register add for
+  // the fencing modes (paper §4.3, §7.2: "up to eight instructions (32
+  // cycles)" for the offset mode).
+  double ProtectionCyclesPerAccess(ProtectionMode mode,
+                                   double offset_mode_fraction) const;
+
+  // Device cycles one thread of this kernel takes.
+  double ThreadCycles(const KernelProfile& profile,
+                      ProtectionMode mode) const;
+
+  // Guardian's relative overhead for this kernel vs native (e.g. 0.032
+  // means +3.2%).
+  double RelativeOverhead(const KernelProfile& profile,
+                          ProtectionMode mode) const;
+
+  const DeviceSpec& spec() const noexcept { return spec_; }
+
+ private:
+  DeviceSpec spec_;
+};
+
+}  // namespace grd::simgpu

@@ -1,0 +1,120 @@
+#include "simlibs/cublas.hpp"
+
+#include "simlibs/kernels_ptx.hpp"
+
+namespace grd::simlibs {
+
+using ptxexec::KernelArg;
+using simcuda::DevicePtr;
+using simcuda::LaunchConfig;
+using simcuda::MemcpyKind;
+
+Result<Cublas> Cublas::Create(simcuda::CudaApi& api) {
+  Cublas lib(api);
+  GRD_RETURN_IF_ERROR(lib.Init());
+  return lib;
+}
+
+Cublas::Cublas(Cublas&& other) noexcept
+    : api_(other.api_),
+      module_(other.module_),
+      idamax_fn_(other.idamax_fn_),
+      ddot1_fn_(other.ddot1_fn_),
+      ddot2_fn_(other.ddot2_fn_),
+      sgemm_fn_(other.sgemm_fn_),
+      workspace_(other.workspace_),
+      events_(std::move(other.events_)) {
+  other.moved_from_ = true;
+}
+
+Status Cublas::Init() {
+  // Load the library fatbin (real cuBLAS resolves its cubins at handle
+  // creation too; module loads are not part of the Table 6 row).
+  GRD_ASSIGN_OR_RETURN(module_,
+                       api_->cuModuleLoadData(std::string(CublasPtx())));
+  GRD_ASSIGN_OR_RETURN(idamax_fn_,
+                       api_->cuModuleGetFunction(module_, "grd_idamax"));
+  GRD_ASSIGN_OR_RETURN(ddot1_fn_,
+                       api_->cuModuleGetFunction(module_, "grd_ddot_stage1"));
+  GRD_ASSIGN_OR_RETURN(ddot2_fn_,
+                       api_->cuModuleGetFunction(module_, "grd_ddot_stage2"));
+  GRD_ASSIGN_OR_RETURN(sgemm_fn_,
+                       api_->cuModuleGetFunction(module_, "grd_sgemm"));
+
+  // Table 6 cublasCreate row: 3 cudaMalloc, 18 cudaEventCreateWithFlags,
+  // 2 cudaFree. The two probe allocations size the workspace, then are
+  // released; the third stays as the library workspace.
+  DevicePtr probe_a = 0, probe_b = 0;
+  GRD_RETURN_IF_ERROR(api_->cudaMalloc(&probe_a, 4096));
+  GRD_RETURN_IF_ERROR(api_->cudaMalloc(&probe_b, 4096));
+  GRD_RETURN_IF_ERROR(api_->cudaMalloc(&workspace_, 64 * 1024));
+  events_.resize(18);
+  for (auto& event : events_) {
+    GRD_RETURN_IF_ERROR(api_->cudaEventCreateWithFlags(&event, /*flags=*/2));
+  }
+  GRD_RETURN_IF_ERROR(api_->cudaFree(probe_a));
+  GRD_RETURN_IF_ERROR(api_->cudaFree(probe_b));
+  return OkStatus();
+}
+
+Cublas::~Cublas() {
+  if (moved_from_ || api_ == nullptr) return;
+  // Best-effort teardown (cublasDestroy); errors are ignored like the real
+  // library's destructor path.
+  for (const auto event : events_) (void)api_->cudaEventDestroy(event);
+  if (workspace_ != 0) (void)api_->cudaFree(workspace_);
+}
+
+Result<std::uint32_t> Cublas::Idamax(DevicePtr x, std::uint32_t n) {
+  std::uint64_t capture_id = 0;
+  GRD_RETURN_IF_ERROR(
+      api_->cudaStreamGetCaptureInfo(simcuda::kDefaultStream, &capture_id));
+  LaunchConfig config;  // single-thread scan kernel
+  GRD_RETURN_IF_ERROR(api_->cudaLaunchKernel(
+      idamax_fn_, config,
+      {KernelArg::U64(x), KernelArg::U32(n), KernelArg::U64(workspace_)}));
+  GRD_RETURN_IF_ERROR(
+      api_->cudaEventRecord(events_[0], simcuda::kDefaultStream));
+  GRD_RETURN_IF_ERROR(
+      api_->cudaStreamGetCaptureInfo(simcuda::kDefaultStream, &capture_id));
+  std::uint32_t result = 0;
+  GRD_RETURN_IF_ERROR(api_->cudaMemcpy(&result, workspace_, sizeof(result),
+                                       MemcpyKind::kDeviceToHost));
+  return result;
+}
+
+Result<double> Cublas::Ddot(DevicePtr x, DevicePtr y, std::uint32_t n) {
+  std::uint64_t capture_id = 0;
+  GRD_RETURN_IF_ERROR(
+      api_->cudaStreamGetCaptureInfo(simcuda::kDefaultStream, &capture_id));
+  LaunchConfig config;
+  GRD_RETURN_IF_ERROR(api_->cudaLaunchKernel(
+      ddot1_fn_, config,
+      {KernelArg::U64(x), KernelArg::U64(y), KernelArg::U32(n),
+       KernelArg::U64(workspace_ + 64)}));
+  GRD_RETURN_IF_ERROR(api_->cudaLaunchKernel(
+      ddot2_fn_, config,
+      {KernelArg::U64(workspace_ + 64), KernelArg::U64(workspace_)}));
+  GRD_RETURN_IF_ERROR(
+      api_->cudaEventRecord(events_[1], simcuda::kDefaultStream));
+  GRD_RETURN_IF_ERROR(
+      api_->cudaStreamGetCaptureInfo(simcuda::kDefaultStream, &capture_id));
+  double result = 0;
+  GRD_RETURN_IF_ERROR(api_->cudaMemcpy(&result, workspace_, sizeof(result),
+                                       MemcpyKind::kDeviceToHost));
+  return result;
+}
+
+Status Cublas::Sgemm(DevicePtr a, DevicePtr b, DevicePtr c, std::uint32_t m,
+                     std::uint32_t n, std::uint32_t k) {
+  LaunchConfig config;
+  const std::uint32_t outputs = m * n;
+  config.block = {128, 1, 1};
+  config.grid = {(outputs + 127) / 128, 1, 1};
+  return api_->cudaLaunchKernel(
+      sgemm_fn_, config,
+      {KernelArg::U64(a), KernelArg::U64(b), KernelArg::U64(c),
+       KernelArg::U32(m), KernelArg::U32(n), KernelArg::U32(k)});
+}
+
+}  // namespace grd::simlibs

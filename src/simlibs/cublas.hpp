@@ -1,0 +1,60 @@
+// Simulated cuBLAS front end.
+//
+// High-level calls issue the same implicit CUDA runtime/driver calls the
+// paper measured (Table 6):
+//   cublasCreate : cudaMalloc x3, cudaEventCreateWithFlags x18, cudaFree x2
+//   cublasIdamax : cudaLaunchKernel x1, cudaMemcpy x1, cudaEventRecord x1,
+//                  cudaStreamGetCaptureInfo x2
+//   cublasDdot   : cudaLaunchKernel x2, cudaMemcpy x1, cudaEventRecord x1,
+//                  cudaStreamGetCaptureInfo x2
+// The kernels are real (embedded PTX) and compute real results, so the same
+// class serves functional examples and interception benchmarks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "simcuda/api.hpp"
+
+namespace grd::simlibs {
+
+class Cublas {
+ public:
+  // cublasCreate(): allocates library workspaces and the internal event
+  // pool through the (interceptable) runtime.
+  static Result<Cublas> Create(simcuda::CudaApi& api);
+  ~Cublas();
+
+  Cublas(Cublas&& other) noexcept;
+  Cublas& operator=(Cublas&&) = delete;
+  Cublas(const Cublas&) = delete;
+
+  // index of max |x[i]|, 1-based (0 when n == 0). x: device array of f64.
+  Result<std::uint32_t> Idamax(simcuda::DevicePtr x, std::uint32_t n);
+
+  // dot(x, y) over f64 device arrays.
+  Result<double> Ddot(simcuda::DevicePtr x, simcuda::DevicePtr y,
+                      std::uint32_t n);
+
+  // C[m,n] = A[m,k] * B[k,n], f32 row-major device matrices.
+  Status Sgemm(simcuda::DevicePtr a, simcuda::DevicePtr b, simcuda::DevicePtr c,
+               std::uint32_t m, std::uint32_t n, std::uint32_t k);
+
+ private:
+  explicit Cublas(simcuda::CudaApi& api) : api_(&api) {}
+  Status Init();
+
+  simcuda::CudaApi* api_;
+  bool moved_from_ = false;
+  simcuda::ModuleId module_ = 0;
+  simcuda::FunctionId idamax_fn_ = 0;
+  simcuda::FunctionId ddot1_fn_ = 0;
+  simcuda::FunctionId ddot2_fn_ = 0;
+  simcuda::FunctionId sgemm_fn_ = 0;
+  simcuda::DevicePtr workspace_ = 0;  // survives handle lifetime
+  std::vector<simcuda::EventId> events_;
+};
+
+}  // namespace grd::simlibs

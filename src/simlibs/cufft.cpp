@@ -1,0 +1,47 @@
+#include "simlibs/cufft.hpp"
+
+#include <array>
+
+#include "simlibs/kernels_ptx.hpp"
+
+namespace grd::simlibs {
+
+using ptxexec::KernelArg;
+
+Result<Cufft> Cufft::Create(simcuda::CudaApi& api) {
+  Cufft lib(api);
+  GRD_RETURN_IF_ERROR(lib.Init());
+  return lib;
+}
+
+Status Cufft::Init() {
+  GRD_ASSIGN_OR_RETURN(module_,
+                       api_->cuModuleLoadData(std::string(CufftPtx())));
+  GRD_ASSIGN_OR_RETURN(pass_fn_,
+                       api_->cuModuleGetFunction(module_, "grd_fft_pass"));
+  return OkStatus();
+}
+
+Status Cufft::ExecC2C(simcuda::DevicePtr in, simcuda::DevicePtr out,
+                      std::uint32_t n) {
+  bool capturing = false;
+  GRD_RETURN_IF_ERROR(
+      api_->cudaStreamIsCapturing(simcuda::kDefaultStream, &capturing));
+
+  // Twiddle factors are computed on the host and staged per execution
+  // (cuMemAlloc + 2x cuMemcpyHtoD + cuMemFree in the Table 6 row).
+  simcuda::DevicePtr twiddle = 0;
+  GRD_RETURN_IF_ERROR(api_->cuMemAlloc(&twiddle, 16));
+  const std::array<float, 2> w_real_imag = {1.0f, 0.0f};  // identity twiddle
+  GRD_RETURN_IF_ERROR(api_->cuMemcpyHtoD(twiddle, &w_real_imag[0], 4));
+  GRD_RETURN_IF_ERROR(api_->cuMemcpyHtoD(twiddle + 4, &w_real_imag[1], 4));
+
+  simcuda::LaunchConfig config;  // single-thread pass kernel
+  GRD_RETURN_IF_ERROR(api_->cuLaunchKernel(
+      pass_fn_, config,
+      {KernelArg::U64(in), KernelArg::U64(out), KernelArg::U64(twiddle),
+       KernelArg::U32(n)}));
+  return api_->cuMemFree(twiddle);
+}
+
+}  // namespace grd::simlibs

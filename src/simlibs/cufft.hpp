@@ -1,0 +1,31 @@
+// Simulated cuFFT front end. cufftExecC2C issues the Table 6 implicit mix:
+// cuMemAlloc x1, cuMemcpyHtoD x2, cuLaunchKernel x1, cuMemFree x1,
+// cudaStreamIsCapturing x1 — all through the driver API, which is why the
+// paper must intercept the driver library too (not just the runtime).
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "simcuda/api.hpp"
+
+namespace grd::simlibs {
+
+class Cufft {
+ public:
+  static Result<Cufft> Create(simcuda::CudaApi& api);
+
+  // Complex-to-complex pass over n interleaved f32 pairs.
+  Status ExecC2C(simcuda::DevicePtr in, simcuda::DevicePtr out,
+                 std::uint32_t n);
+
+ private:
+  explicit Cufft(simcuda::CudaApi& api) : api_(&api) {}
+  Status Init();
+
+  simcuda::CudaApi* api_;
+  simcuda::ModuleId module_ = 0;
+  simcuda::FunctionId pass_fn_ = 0;
+};
+
+}  // namespace grd::simlibs

@@ -1,0 +1,32 @@
+#include "simlibs/curand.hpp"
+
+#include "simlibs/kernels_ptx.hpp"
+
+namespace grd::simlibs {
+
+using ptxexec::KernelArg;
+
+Result<Curand> Curand::Create(simcuda::CudaApi& api, std::uint32_t seed) {
+  Curand lib(api, seed);
+  GRD_RETURN_IF_ERROR(lib.Init());
+  return lib;
+}
+
+Status Curand::Init() {
+  GRD_ASSIGN_OR_RETURN(module_,
+                       api_->cuModuleLoadData(std::string(CurandPtx())));
+  GRD_ASSIGN_OR_RETURN(rand_fn_,
+                       api_->cuModuleGetFunction(module_, "grd_rand"));
+  return OkStatus();
+}
+
+Status Curand::Generate(simcuda::DevicePtr out, std::uint32_t n) {
+  simcuda::LaunchConfig config;
+  const Status status = api_->cudaLaunchKernel(
+      rand_fn_, config,
+      {KernelArg::U64(out), KernelArg::U32(n), KernelArg::U32(seed_)});
+  seed_ += n;  // advance the sequence
+  return status;
+}
+
+}  // namespace grd::simlibs

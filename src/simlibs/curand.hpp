@@ -1,0 +1,29 @@
+// Simulated cuRAND front end: LCG generator kernel.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "simcuda/api.hpp"
+
+namespace grd::simlibs {
+
+class Curand {
+ public:
+  static Result<Curand> Create(simcuda::CudaApi& api, std::uint32_t seed = 1);
+
+  // Fills `out` (u32 device array of length n) with pseudo-randoms.
+  Status Generate(simcuda::DevicePtr out, std::uint32_t n);
+
+ private:
+  Curand(simcuda::CudaApi& api, std::uint32_t seed)
+      : api_(&api), seed_(seed) {}
+  Status Init();
+
+  simcuda::CudaApi* api_;
+  std::uint32_t seed_;
+  simcuda::ModuleId module_ = 0;
+  simcuda::FunctionId rand_fn_ = 0;
+};
+
+}  // namespace grd::simlibs

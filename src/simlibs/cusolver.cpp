@@ -1,0 +1,42 @@
+#include "simlibs/cusolver.hpp"
+
+#include "simlibs/kernels_ptx.hpp"
+
+namespace grd::simlibs {
+
+using ptxexec::KernelArg;
+
+Result<Cusolver> Cusolver::Create(simcuda::CudaApi& api) {
+  Cusolver lib(api);
+  GRD_RETURN_IF_ERROR(lib.Init());
+  return lib;
+}
+
+Status Cusolver::Init() {
+  GRD_ASSIGN_OR_RETURN(module_,
+                       api_->cuModuleLoadData(std::string(CusolverPtx())));
+  GRD_ASSIGN_OR_RETURN(factor_fn_,
+                       api_->cuModuleGetFunction(module_, "grd_csrqr_factor"));
+  GRD_ASSIGN_OR_RETURN(solve_fn_,
+                       api_->cuModuleGetFunction(module_, "grd_csrqr_solve"));
+  return OkStatus();
+}
+
+Status Cusolver::SpDcsrqr(simcuda::DevicePtr values, simcuda::DevicePtr b,
+                          simcuda::DevicePtr x, std::uint32_t n) {
+  GRD_RETURN_IF_ERROR(api_->cuMemAlloc(&qr_workspace_, n * 8ull));
+  const std::uint32_t permutation_seed = 0;
+  GRD_RETURN_IF_ERROR(
+      api_->cuMemcpyHtoD(qr_workspace_, &permutation_seed, 4));
+  simcuda::LaunchConfig config;
+  GRD_RETURN_IF_ERROR(api_->cudaLaunchKernel(
+      factor_fn_, config,
+      {KernelArg::U64(values), KernelArg::U64(qr_workspace_),
+       KernelArg::U32(n)}));
+  return api_->cudaLaunchKernel(
+      solve_fn_, config,
+      {KernelArg::U64(qr_workspace_), KernelArg::U64(b), KernelArg::U64(x),
+       KernelArg::U32(n)});
+}
+
+}  // namespace grd::simlibs

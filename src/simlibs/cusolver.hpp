@@ -1,0 +1,34 @@
+// Simulated cuSOLVER front end. cusolverSpDcsrqr issues the Table 6 mix:
+// cudaLaunchKernel x2, cuMemcpyHtoD x1, cuMemAlloc x1 (the QR workspace is
+// allocated per solve and retained by the handle, as the missing cuMemFree
+// in the paper's trace suggests).
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "simcuda/api.hpp"
+
+namespace grd::simlibs {
+
+class Cusolver {
+ public:
+  static Result<Cusolver> Create(simcuda::CudaApi& api);
+
+  // Solves diag(values) * x = b for f64 device arrays of length n (a
+  // diagonal stand-in for the sparse QR path, same call shape).
+  Status SpDcsrqr(simcuda::DevicePtr values, simcuda::DevicePtr b,
+                  simcuda::DevicePtr x, std::uint32_t n);
+
+ private:
+  explicit Cusolver(simcuda::CudaApi& api) : api_(&api) {}
+  Status Init();
+
+  simcuda::CudaApi* api_;
+  simcuda::ModuleId module_ = 0;
+  simcuda::FunctionId factor_fn_ = 0;
+  simcuda::FunctionId solve_fn_ = 0;
+  simcuda::DevicePtr qr_workspace_ = 0;
+};
+
+}  // namespace grd::simlibs

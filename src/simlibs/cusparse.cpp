@@ -1,0 +1,37 @@
+#include "simlibs/cusparse.hpp"
+
+#include "simlibs/kernels_ptx.hpp"
+
+namespace grd::simlibs {
+
+using ptxexec::KernelArg;
+
+Result<Cusparse> Cusparse::Create(simcuda::CudaApi& api) {
+  Cusparse lib(api);
+  GRD_RETURN_IF_ERROR(lib.Init());
+  return lib;
+}
+
+Status Cusparse::Init() {
+  GRD_ASSIGN_OR_RETURN(module_,
+                       api_->cuModuleLoadData(std::string(CusparsePtx())));
+  GRD_ASSIGN_OR_RETURN(scale_fn_,
+                       api_->cuModuleGetFunction(module_, "grd_scale"));
+  GRD_ASSIGN_OR_RETURN(axpy_fn_,
+                       api_->cuModuleGetFunction(module_, "grd_axpy"));
+  return OkStatus();
+}
+
+Status Cusparse::Axpby(float alpha, simcuda::DevicePtr x, float beta,
+                       simcuda::DevicePtr y, std::uint32_t n) {
+  simcuda::LaunchConfig config;
+  GRD_RETURN_IF_ERROR(api_->cudaLaunchKernel(
+      scale_fn_, config,
+      {KernelArg::U64(y), KernelArg::F32(beta), KernelArg::U32(n)}));
+  return api_->cudaLaunchKernel(
+      axpy_fn_, config,
+      {KernelArg::U64(x), KernelArg::U64(y), KernelArg::F32(alpha),
+       KernelArg::U32(n)});
+}
+
+}  // namespace grd::simlibs

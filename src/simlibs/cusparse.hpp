@@ -1,0 +1,30 @@
+// Simulated cuSPARSE front end. cusparseAxpby issues exactly two
+// cudaLaunchKernel calls (Table 6): a scale stage and an axpy stage.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "simcuda/api.hpp"
+
+namespace grd::simlibs {
+
+class Cusparse {
+ public:
+  static Result<Cusparse> Create(simcuda::CudaApi& api);
+
+  // y = alpha * x + beta * y over f32 device arrays of length n.
+  Status Axpby(float alpha, simcuda::DevicePtr x, float beta,
+               simcuda::DevicePtr y, std::uint32_t n);
+
+ private:
+  explicit Cusparse(simcuda::CudaApi& api) : api_(&api) {}
+  Status Init();
+
+  simcuda::CudaApi* api_;
+  simcuda::ModuleId module_ = 0;
+  simcuda::FunctionId scale_fn_ = 0;
+  simcuda::FunctionId axpy_fn_ = 0;
+};
+
+}  // namespace grd::simlibs

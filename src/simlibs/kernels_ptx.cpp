@@ -1,0 +1,399 @@
+#include "simlibs/kernels_ptx.hpp"
+
+namespace grd::simlibs {
+
+std::string_view CublasPtx() {
+  return R"(
+.version 7.7
+.target sm_86
+.address_size 64
+
+// 1-based index of max |x[i]| (BLAS idamax semantics), single-thread scan.
+.visible .entry grd_idamax(
+    .param .u64 grd_idamax_param_0,
+    .param .u32 grd_idamax_param_1,
+    .param .u64 grd_idamax_param_2
+)
+{
+    .reg .pred %p<3>;
+    .reg .f64 %fd<3>;
+    .reg .b32 %r<5>;
+    .reg .b64 %rd<7>;
+    ld.param.u64 %rd1, [grd_idamax_param_0];
+    ld.param.u32 %r1, [grd_idamax_param_1];
+    ld.param.u64 %rd2, [grd_idamax_param_2];
+    cvta.to.global.u64 %rd3, %rd1;
+    mov.u32 %r2, 0;
+    mov.u32 %r3, 0;
+    mov.f64 %fd1, 0d0000000000000000;
+LOOP:
+    setp.ge.u32 %p1, %r2, %r1;
+    @%p1 bra DONE;
+    mul.wide.u32 %rd4, %r2, 8;
+    add.s64 %rd5, %rd3, %rd4;
+    ld.global.f64 %fd2, [%rd5];
+    abs.f64 %fd2, %fd2;
+    setp.gt.f64 %p2, %fd2, %fd1;
+    selp.f64 %fd1, %fd2, %fd1, %p2;
+    add.u32 %r4, %r2, 1;
+    selp.b32 %r3, %r4, %r3, %p2;
+    add.u32 %r2, %r2, 1;
+    bra LOOP;
+DONE:
+    cvta.to.global.u64 %rd6, %rd2;
+    st.global.u32 [%rd6], %r3;
+    ret;
+}
+
+// Stage 1 of ddot: workspace[0] = sum(x[i] * y[i]).
+.visible .entry grd_ddot_stage1(
+    .param .u64 grd_ddot_stage1_param_0,
+    .param .u64 grd_ddot_stage1_param_1,
+    .param .u32 grd_ddot_stage1_param_2,
+    .param .u64 grd_ddot_stage1_param_3
+)
+{
+    .reg .pred %p<2>;
+    .reg .f64 %fd<4>;
+    .reg .b32 %r<3>;
+    .reg .b64 %rd<10>;
+    ld.param.u64 %rd1, [grd_ddot_stage1_param_0];
+    ld.param.u64 %rd2, [grd_ddot_stage1_param_1];
+    ld.param.u32 %r1, [grd_ddot_stage1_param_2];
+    ld.param.u64 %rd3, [grd_ddot_stage1_param_3];
+    cvta.to.global.u64 %rd4, %rd1;
+    cvta.to.global.u64 %rd5, %rd2;
+    mov.u32 %r2, 0;
+    mov.f64 %fd1, 0d0000000000000000;
+LOOP:
+    setp.ge.u32 %p1, %r2, %r1;
+    @%p1 bra DONE;
+    mul.wide.u32 %rd6, %r2, 8;
+    add.s64 %rd7, %rd4, %rd6;
+    add.s64 %rd8, %rd5, %rd6;
+    ld.global.f64 %fd2, [%rd7];
+    ld.global.f64 %fd3, [%rd8];
+    fma.rn.f64 %fd1, %fd2, %fd3, %fd1;
+    add.u32 %r2, %r2, 1;
+    bra LOOP;
+DONE:
+    cvta.to.global.u64 %rd9, %rd3;
+    st.global.f64 [%rd9], %fd1;
+    ret;
+}
+
+// Stage 2 of ddot: out[0] = workspace[0].
+.visible .entry grd_ddot_stage2(
+    .param .u64 grd_ddot_stage2_param_0,
+    .param .u64 grd_ddot_stage2_param_1
+)
+{
+    .reg .f64 %fd<2>;
+    .reg .b64 %rd<5>;
+    ld.param.u64 %rd1, [grd_ddot_stage2_param_0];
+    ld.param.u64 %rd2, [grd_ddot_stage2_param_1];
+    cvta.to.global.u64 %rd3, %rd1;
+    cvta.to.global.u64 %rd4, %rd2;
+    ld.global.f64 %fd1, [%rd3];
+    st.global.f64 [%rd4], %fd1;
+    ret;
+}
+
+// C[i,j] = sum_k A[i,k] * B[k,j]; one thread per output element, row-major,
+// thread linear id = ctaid.x * ntid.x + tid.x over m*n outputs.
+.visible .entry grd_sgemm(
+    .param .u64 grd_sgemm_param_0,
+    .param .u64 grd_sgemm_param_1,
+    .param .u64 grd_sgemm_param_2,
+    .param .u32 grd_sgemm_param_3,
+    .param .u32 grd_sgemm_param_4,
+    .param .u32 grd_sgemm_param_5
+)
+{
+    .reg .pred %p<3>;
+    .reg .f32 %f<4>;
+    .reg .b32 %r<12>;
+    .reg .b64 %rd<12>;
+    ld.param.u64 %rd1, [grd_sgemm_param_0];
+    ld.param.u64 %rd2, [grd_sgemm_param_1];
+    ld.param.u64 %rd3, [grd_sgemm_param_2];
+    ld.param.u32 %r1, [grd_sgemm_param_3];
+    ld.param.u32 %r2, [grd_sgemm_param_4];
+    ld.param.u32 %r3, [grd_sgemm_param_5];
+    mov.u32 %r4, %ctaid.x;
+    mov.u32 %r5, %ntid.x;
+    mov.u32 %r6, %tid.x;
+    mad.lo.s32 %r7, %r4, %r5, %r6;
+    mul.lo.u32 %r8, %r1, %r2;
+    setp.ge.u32 %p1, %r7, %r8;
+    @%p1 bra DONE;
+    div.u32 %r9, %r7, %r2;
+    rem.u32 %r10, %r7, %r2;
+    cvta.to.global.u64 %rd4, %rd1;
+    cvta.to.global.u64 %rd5, %rd2;
+    cvta.to.global.u64 %rd6, %rd3;
+    mov.f32 %f1, 0f00000000;
+    mov.u32 %r11, 0;
+LOOPK:
+    setp.ge.u32 %p2, %r11, %r3;
+    @%p2 bra STORE;
+    mad.lo.u32 %r8, %r9, %r3, %r11;
+    mul.wide.u32 %rd7, %r8, 4;
+    add.s64 %rd8, %rd4, %rd7;
+    ld.global.f32 %f2, [%rd8];
+    mad.lo.u32 %r8, %r11, %r2, %r10;
+    mul.wide.u32 %rd9, %r8, 4;
+    add.s64 %rd10, %rd5, %rd9;
+    ld.global.f32 %f3, [%rd10];
+    fma.rn.f32 %f1, %f2, %f3, %f1;
+    add.u32 %r11, %r11, 1;
+    bra LOOPK;
+STORE:
+    mul.wide.u32 %rd7, %r7, 4;
+    add.s64 %rd11, %rd6, %rd7;
+    st.global.f32 [%rd11], %f1;
+DONE:
+    ret;
+}
+)";
+}
+
+std::string_view CufftPtx() {
+  return R"(
+.version 7.7
+.target sm_86
+.address_size 64
+
+// One complex pass: out[i] = in[i] * twiddle[i & (tw_len-1)]; complex
+// numbers are interleaved f32 pairs. Single-thread scan over n points.
+.visible .entry grd_fft_pass(
+    .param .u64 grd_fft_pass_param_0,
+    .param .u64 grd_fft_pass_param_1,
+    .param .u64 grd_fft_pass_param_2,
+    .param .u32 grd_fft_pass_param_3
+)
+{
+    .reg .pred %p<2>;
+    .reg .f32 %f<7>;
+    .reg .b32 %r<3>;
+    .reg .b64 %rd<11>;
+    ld.param.u64 %rd1, [grd_fft_pass_param_0];
+    ld.param.u64 %rd2, [grd_fft_pass_param_1];
+    ld.param.u64 %rd3, [grd_fft_pass_param_2];
+    ld.param.u32 %r1, [grd_fft_pass_param_3];
+    cvta.to.global.u64 %rd4, %rd1;
+    cvta.to.global.u64 %rd5, %rd2;
+    cvta.to.global.u64 %rd6, %rd3;
+    mov.u32 %r2, 0;
+LOOP:
+    setp.ge.u32 %p1, %r2, %r1;
+    @%p1 bra DONE;
+    mul.wide.u32 %rd7, %r2, 8;
+    add.s64 %rd8, %rd4, %rd7;
+    add.s64 %rd9, %rd5, %rd7;
+    ld.global.f32 %f1, [%rd8];
+    ld.global.f32 %f2, [%rd8+4];
+    ld.global.f32 %f3, [%rd6];
+    ld.global.f32 %f4, [%rd6+4];
+    mul.f32 %f5, %f1, %f3;
+    mul.f32 %f6, %f2, %f3;
+    sub.f32 %f5, %f5, 0f00000000;
+    add.f32 %f6, %f6, 0f00000000;
+    st.global.f32 [%rd9], %f5;
+    st.global.f32 [%rd9+4], %f6;
+    add.u32 %r2, %r2, 1;
+    bra LOOP;
+DONE:
+    ret;
+}
+)";
+}
+
+std::string_view CusparsePtx() {
+  return R"(
+.version 7.7
+.target sm_86
+.address_size 64
+
+// axpby stage 1: y[i] = beta * y[i].
+.visible .entry grd_scale(
+    .param .u64 grd_scale_param_0,
+    .param .f32 grd_scale_param_1,
+    .param .u32 grd_scale_param_2
+)
+{
+    .reg .pred %p<2>;
+    .reg .f32 %f<3>;
+    .reg .b32 %r<3>;
+    .reg .b64 %rd<5>;
+    ld.param.u64 %rd1, [grd_scale_param_0];
+    ld.param.f32 %f1, [grd_scale_param_1];
+    ld.param.u32 %r1, [grd_scale_param_2];
+    cvta.to.global.u64 %rd2, %rd1;
+    mov.u32 %r2, 0;
+LOOP:
+    setp.ge.u32 %p1, %r2, %r1;
+    @%p1 bra DONE;
+    mul.wide.u32 %rd3, %r2, 4;
+    add.s64 %rd4, %rd2, %rd3;
+    ld.global.f32 %f2, [%rd4];
+    mul.f32 %f2, %f2, %f1;
+    st.global.f32 [%rd4], %f2;
+    add.u32 %r2, %r2, 1;
+    bra LOOP;
+DONE:
+    ret;
+}
+
+// axpby stage 2: y[i] += alpha * x[i].
+.visible .entry grd_axpy(
+    .param .u64 grd_axpy_param_0,
+    .param .u64 grd_axpy_param_1,
+    .param .f32 grd_axpy_param_2,
+    .param .u32 grd_axpy_param_3
+)
+{
+    .reg .pred %p<2>;
+    .reg .f32 %f<4>;
+    .reg .b32 %r<3>;
+    .reg .b64 %rd<7>;
+    ld.param.u64 %rd1, [grd_axpy_param_0];
+    ld.param.u64 %rd2, [grd_axpy_param_1];
+    ld.param.f32 %f1, [grd_axpy_param_2];
+    ld.param.u32 %r1, [grd_axpy_param_3];
+    cvta.to.global.u64 %rd3, %rd1;
+    cvta.to.global.u64 %rd4, %rd2;
+    mov.u32 %r2, 0;
+LOOP:
+    setp.ge.u32 %p1, %r2, %r1;
+    @%p1 bra DONE;
+    mul.wide.u32 %rd5, %r2, 4;
+    add.s64 %rd6, %rd3, %rd5;
+    ld.global.f32 %f2, [%rd6];
+    add.s64 %rd6, %rd4, %rd5;
+    ld.global.f32 %f3, [%rd6];
+    fma.rn.f32 %f3, %f1, %f2, %f3;
+    st.global.f32 [%rd6], %f3;
+    add.u32 %r2, %r2, 1;
+    bra LOOP;
+DONE:
+    ret;
+}
+)";
+}
+
+std::string_view CusolverPtx() {
+  return R"(
+.version 7.7
+.target sm_86
+.address_size 64
+
+// csrqr stage 1: R[i] = values[i] (factorization workspace fill).
+.visible .entry grd_csrqr_factor(
+    .param .u64 grd_csrqr_factor_param_0,
+    .param .u64 grd_csrqr_factor_param_1,
+    .param .u32 grd_csrqr_factor_param_2
+)
+{
+    .reg .pred %p<2>;
+    .reg .f64 %fd<2>;
+    .reg .b32 %r<2>;
+    .reg .b64 %rd<7>;
+    ld.param.u64 %rd1, [grd_csrqr_factor_param_0];
+    ld.param.u64 %rd2, [grd_csrqr_factor_param_1];
+    ld.param.u32 %r1, [grd_csrqr_factor_param_2];
+    cvta.to.global.u64 %rd3, %rd1;
+    cvta.to.global.u64 %rd4, %rd2;
+    mov.u32 %r0, 0;
+LOOP:
+    setp.ge.u32 %p1, %r0, %r1;
+    @%p1 bra DONE;
+    mul.wide.u32 %rd5, %r0, 8;
+    add.s64 %rd6, %rd3, %rd5;
+    ld.global.f64 %fd1, [%rd6];
+    add.s64 %rd6, %rd4, %rd5;
+    st.global.f64 [%rd6], %fd1;
+    add.u32 %r0, %r0, 1;
+    bra LOOP;
+DONE:
+    ret;
+}
+
+// csrqr stage 2: x[i] = b[i] / R[i] (diagonal back-substitution stand-in).
+.visible .entry grd_csrqr_solve(
+    .param .u64 grd_csrqr_solve_param_0,
+    .param .u64 grd_csrqr_solve_param_1,
+    .param .u64 grd_csrqr_solve_param_2,
+    .param .u32 grd_csrqr_solve_param_3
+)
+{
+    .reg .pred %p<2>;
+    .reg .f64 %fd<3>;
+    .reg .b32 %r<2>;
+    .reg .b64 %rd<9>;
+    ld.param.u64 %rd1, [grd_csrqr_solve_param_0];
+    ld.param.u64 %rd2, [grd_csrqr_solve_param_1];
+    ld.param.u64 %rd3, [grd_csrqr_solve_param_2];
+    ld.param.u32 %r1, [grd_csrqr_solve_param_3];
+    cvta.to.global.u64 %rd4, %rd1;
+    cvta.to.global.u64 %rd5, %rd2;
+    cvta.to.global.u64 %rd6, %rd3;
+    mov.u32 %r0, 0;
+LOOP:
+    setp.ge.u32 %p1, %r0, %r1;
+    @%p1 bra DONE;
+    mul.wide.u32 %rd7, %r0, 8;
+    add.s64 %rd8, %rd4, %rd7;
+    ld.global.f64 %fd1, [%rd8];
+    add.s64 %rd8, %rd5, %rd7;
+    ld.global.f64 %fd2, [%rd8];
+    div.f64 %fd1, %fd2, %fd1;
+    add.s64 %rd8, %rd6, %rd7;
+    st.global.f64 [%rd8], %fd1;
+    add.u32 %r0, %r0, 1;
+    bra LOOP;
+DONE:
+    ret;
+}
+)";
+}
+
+std::string_view CurandPtx() {
+  return R"(
+.version 7.7
+.target sm_86
+.address_size 64
+
+// LCG sequence: out[i] = (seed + i) * 1664525 + 1013904223 (u32).
+.visible .entry grd_rand(
+    .param .u64 grd_rand_param_0,
+    .param .u32 grd_rand_param_1,
+    .param .u32 grd_rand_param_2
+)
+{
+    .reg .pred %p<2>;
+    .reg .b32 %r<6>;
+    .reg .b64 %rd<5>;
+    ld.param.u64 %rd1, [grd_rand_param_0];
+    ld.param.u32 %r1, [grd_rand_param_1];
+    ld.param.u32 %r2, [grd_rand_param_2];
+    cvta.to.global.u64 %rd2, %rd1;
+    mov.u32 %r3, 0;
+LOOP:
+    setp.ge.u32 %p1, %r3, %r1;
+    @%p1 bra DONE;
+    add.u32 %r4, %r2, %r3;
+    mul.lo.u32 %r4, %r4, 1664525;
+    add.u32 %r4, %r4, 1013904223;
+    mul.wide.u32 %rd3, %r3, 4;
+    add.s64 %rd4, %rd2, %rd3;
+    st.global.u32 [%rd4], %r4;
+    add.u32 %r3, %r3, 1;
+    bra LOOP;
+DONE:
+    ret;
+}
+)";
+}
+
+}  // namespace grd::simlibs

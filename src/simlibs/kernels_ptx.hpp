@@ -1,0 +1,31 @@
+// Embedded PTX for the simulated CUDA-accelerated libraries.
+//
+// Real cuBLAS/cuFFT/cuSPARSE/cuSOLVER/cuRAND ship PTX inside their fatbins
+// (which is why Guardian can instrument closed-source libraries at all,
+// paper §2.3/§3). Our simulated libraries do the same: each carries PTX
+// source that it loads through the CUDA driver API at handle-creation time,
+// so the interception layer sees exactly the module-load + implicit-call
+// traffic the paper describes.
+#pragma once
+
+#include <string_view>
+
+namespace grd::simlibs {
+
+// cuBLAS kernels: idamax (arg-max of |x|, 1-based), ddot (two-stage),
+// sgemm (one thread per output element).
+std::string_view CublasPtx();
+
+// cuFFT: complex pass kernel (copy-with-twiddle).
+std::string_view CufftPtx();
+
+// cuSPARSE: axpby split into scale + axpy stages (2 launches).
+std::string_view CusparsePtx();
+
+// cuSOLVER: csrqr factor + solve stages.
+std::string_view CusolverPtx();
+
+// cuRAND: LCG generator.
+std::string_view CurandPtx();
+
+}  // namespace grd::simlibs

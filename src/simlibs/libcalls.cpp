@@ -1,0 +1,75 @@
+#include "simlibs/libcalls.hpp"
+
+#include "common/rng.hpp"
+
+namespace grd::simlibs {
+namespace {
+
+// Deterministic per-name profile. The knobs that set a kernel's fencing
+// overhead are its cache locality (L1-resident kernels pay more, §7.4), its
+// compute density (ALU-heavy kernels amortize the checks), and its
+// base+offset fraction. We derive them from a per-name hash so the sweep is
+// stable and spans the paper's 0-13% band: triangular/banded level-2 BLAS
+// (tbmv, tpsv, syrkx...) are small and cache-resident -> high overhead;
+// streaming conversions (nrm2, gather, dense2sparse) are global-bound -> ~0%.
+simgpu::KernelProfile ProfileFor(const std::string& name,
+                                 double locality_bias) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : name) h = (h ^ static_cast<std::uint8_t>(c)) * 1099511628211ull;
+  grd::Rng rng(h);
+  simgpu::KernelProfile profile;
+  profile.loads = 24 + rng.NextBelow(64);
+  profile.stores = 8 + rng.NextBelow(24);
+  // Compute density: 1-4.5 ALU ops per access.
+  profile.alu_ops = static_cast<std::uint64_t>(
+      (profile.loads + profile.stores) * (1.0 + rng.NextDouble() * 3.5));
+  profile.offset_mode_fraction = rng.NextDouble() * 0.4;
+  profile.cache.l1_hit =
+      std::min(0.80, locality_bias * 0.9 + rng.NextDouble() * 0.25);
+  profile.cache.l2_hit = 0.5 + rng.NextDouble() * 0.45;
+  return profile;
+}
+
+LibraryCallDesc Call(const char* name, const char* library,
+                     double locality_bias) {
+  return {name, library, ProfileFor(name, locality_bias)};
+}
+
+std::vector<LibraryCallDesc> Build() {
+  // Locality biases follow the paper's measured overheads: calls that showed
+  // ~0% run out of global memory (bias ~0); the 8-13% calls are L1-resident
+  // (bias ~0.6).
+  return {
+      Call("hpr2", "cuBLAS", 0.35),    Call("hpr", "cuBLAS", 0.20),
+      Call("nrm2", "cuBLAS", 0.00),    Call("rot", "cuBLAS", 0.20),
+      Call("rotg", "cuBLAS", 0.00),    Call("rotm", "cuBLAS", 0.60),
+      Call("rotmg", "cuBLAS", 0.00),   Call("sbmv", "cuBLAS", 0.20),
+      Call("spmv", "cuBLAS", 0.00),    Call("spr", "cuBLAS", 0.00),
+      Call("symm", "cuBLAS", 0.08),    Call("symv", "cuBLAS", 0.25),
+      Call("syr2", "cuBLAS", 0.00),    Call("syr2k", "cuBLAS", 0.40),
+      Call("syr", "cuBLAS", 0.00),     Call("syrk", "cuBLAS", 0.50),
+      Call("syrkx", "cuBLAS", 0.55),   Call("tbmv", "cuBLAS", 0.08),
+      Call("tbsv", "cuBLAS", 0.25),    Call("tpmv", "cuBLAS", 0.50),
+      Call("tpsv", "cuBLAS", 0.40),    Call("trmm", "cuBLAS", 0.20),
+      Call("trmv", "cuBLAS", 0.35),    Call("trsmB.", "cuBLAS", 0.08),
+      Call("trsm", "cuBLAS", 0.55),    Call("trsv", "cuBLAS", 0.00),
+      Call("1dc2c", "cuFFT", 0.45),    Call("coosort", "cuSPARSE", 0.15),
+      Call("dense2sparse", "cuSPARSE", 0.20),
+      Call("gather", "cuSPARSE", 0.00),
+      Call("gpsvInter", "cuSPARSE", 0.00),
+      Call("rotsp", "cuSPARSE", 0.35), Call("scatter", "cuSPARSE", 0.08),
+      Call("spmmcooB.", "cuSPARSE", 0.40),
+      Call("spmmcsr", "cuSPARSE", 0.45),
+      Call("spmmcsrB.", "cuSPARSE", 0.45),
+      Call("spvv", "cuSPARSE", 0.08),
+  };
+}
+
+}  // namespace
+
+const std::vector<LibraryCallDesc>& Figure12Calls() {
+  static const std::vector<LibraryCallDesc> calls = Build();
+  return calls;
+}
+
+}  // namespace grd::simlibs

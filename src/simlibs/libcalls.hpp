@@ -1,0 +1,24 @@
+// The 37 CUDA-accelerated library calls of Figure 12 — cuBLAS level-2/3,
+// cuFFT and cuSPARSE sample-suite calls that are NOT exercised by the ML
+// frameworks. Each descriptor carries the kernel's instruction/cache profile
+// so the timing model can reproduce the per-call fencing overhead sweep
+// (0%-13% in the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simgpu/timing.hpp"
+
+namespace grd::simlibs {
+
+struct LibraryCallDesc {
+  std::string name;           // e.g. "hpr2", "spmmcsr"
+  std::string library;        // "cuBLAS", "cuFFT", "cuSPARSE"
+  simgpu::KernelProfile profile;
+};
+
+// All 37 calls, in the paper's Figure 12 order.
+const std::vector<LibraryCallDesc>& Figure12Calls();
+
+}  // namespace grd::simlibs

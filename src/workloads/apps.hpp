@@ -1,0 +1,57 @@
+// Application/workload descriptions (paper §6 "Applications and datasets").
+//
+// The paper drives Caffe/PyTorch networks (mnist/cifar/imagenet) and Rodinia
+// apps, which issue millions-to-billions of kernel launches. What the
+// evaluation depends on is the *stream of CUDA operations* these apps
+// produce — kernel launch sizes, instruction/cache profiles, memcpy volumes,
+// iteration counts — not model accuracy. Each AppSpec here captures exactly
+// that, with kernel mixes whose cache profiles reproduce the measured
+// numbers (lenet: 37% L1 / 72% L2 average hit rates, §7.4; per-kernel
+// fencing overheads 0-10% averaging ~3.2%, Figure 10).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simgpu/timing.hpp"
+
+namespace grd::workloads {
+
+struct WorkloadKernelDesc {
+  std::string name;
+  simgpu::KernelProfile profile;
+  std::uint64_t threads = 4096;      // launch size
+  int count_per_iteration = 1;       // launches of this kernel per iteration
+};
+
+struct AppSpec {
+  std::string name;
+  std::string framework;  // "Caffe", "PyTorch", "Rodinia"
+  std::vector<WorkloadKernelDesc> kernels;
+  std::uint64_t default_iterations = 100;  // scaled-down epochs/batches
+  std::uint64_t h2d_bytes_per_iteration = 1 << 20;
+  std::uint64_t d2h_bytes_per_iteration = 4 << 10;
+  std::uint64_t memory_bytes = 512ull << 20;  // partition requirement
+
+  std::uint64_t LaunchesPerIteration() const {
+    std::uint64_t total = 0;
+    for (const auto& k : kernels) total += k.count_per_iteration;
+    return total;
+  }
+};
+
+// ML networks: lenet, siamese, cifar10, cv (computer vision), rnn,
+// googlenet, alexnet, caffenet, vgg11, mobilenetv2, resnet50.
+// Rodinia: gaussian, lavamd, hotspot, particlefilter.
+const AppSpec& GetApp(const std::string& name);
+std::vector<std::string> AllAppNames();
+
+// Forward-only variant (Figures 7b/8b inference phases): half the kernel
+// mix (no backward pass), fewer iterations.
+AppSpec InferenceVariant(const AppSpec& training);
+
+// The 30 lenet kernels of Figure 10, in the paper's order.
+const std::vector<WorkloadKernelDesc>& LenetKernelMix();
+
+}  // namespace grd::workloads

@@ -1,0 +1,215 @@
+#include "workloads/harness.hpp"
+
+#include <algorithm>
+
+#include "simgpu/timing.hpp"
+
+namespace grd::workloads {
+
+using simgpu::GpuOp;
+using simgpu::MakeKernelOp;
+using simgpu::ProtectionMode;
+using simgpu::SharingEngine;
+using simgpu::TimingModel;
+
+const char* DeploymentName(Deployment deployment) noexcept {
+  switch (deployment) {
+    case Deployment::kNative: return "Native";
+    case Deployment::kMps: return "MPS";
+    case Deployment::kGuardianNoProtection: return "Guardian w/o protection";
+    case Deployment::kGuardianBitwise:
+      return "Guardian address fencing (bitwise op.)";
+    case Deployment::kGuardianModulo:
+      return "Guardian address fencing (modulo op.)";
+    case Deployment::kGuardianChecking: return "Guardian address checking";
+  }
+  return "?";
+}
+
+ProtectionMode Harness::ModeFor(Deployment deployment) const {
+  switch (deployment) {
+    case Deployment::kGuardianBitwise:
+      return ProtectionMode::kFencingBitwise;
+    case Deployment::kGuardianModulo:
+      return ProtectionMode::kFencingModulo;
+    case Deployment::kGuardianChecking:
+      return ProtectionMode::kChecking;
+    default:
+      return ProtectionMode::kNone;
+  }
+}
+
+Harness::LaunchCosts Harness::CostsFor(Deployment deployment) const {
+  // In the forwarded deployments the client only serializes and enqueues;
+  // the ~9000-cycle cudaLaunchKernel syscall is paid by the single server
+  // (MPS server / grdManager) that actually issues to the GPU. That shared
+  // dispatcher is what saturates under kernel storms (§7.1).
+  LaunchCosts launch;
+  switch (deployment) {
+    case Deployment::kNative:
+      launch.client_delay = costs_.native_launch;
+      break;
+    case Deployment::kMps:
+      launch.client_delay = costs_.mps_client;
+      launch.dispatch = costs_.native_launch + costs_.mps_dispatch;
+      break;
+    case Deployment::kGuardianNoProtection:
+      // Interception + forwarding + pointerToSymbol search, no augmentation
+      // (§7.2: the no-protection deployment still performs the lookup).
+      launch.client_delay = costs_.ipc_client;
+      launch.dispatch =
+          costs_.native_launch + costs_.guardian_dispatch + costs_.lookup;
+      break;
+    case Deployment::kGuardianBitwise:
+    case Deployment::kGuardianModulo:
+    case Deployment::kGuardianChecking:
+      launch.client_delay = costs_.ipc_client;
+      launch.dispatch = costs_.native_launch + costs_.guardian_dispatch +
+                        costs_.lookup + costs_.augment;
+      break;
+  }
+  return launch;
+}
+
+std::vector<AppRun> Harness::ExpandMix(const WorkloadMix& mix,
+                                       std::uint64_t epoch_scale) {
+  std::vector<AppRun> runs;
+  for (const auto& entry : mix.entries) {
+    const AppSpec& app = GetApp(entry.app);
+    std::uint64_t iterations =
+        entry.epochs > 0 ? entry.epochs : app.default_iterations;
+    iterations = std::max<std::uint64_t>(10, iterations / epoch_scale);
+    for (int i = 0; i < entry.instances; ++i) {
+      runs.push_back(AppRun{entry.app, iterations, false});
+    }
+  }
+  return runs;
+}
+
+void Harness::EnqueueApp(SharingEngine& engine,
+                         SharingEngine::StreamId stream, const AppRun& run,
+                         Deployment deployment) const {
+  const AppSpec& base = GetApp(run.app);
+  const AppSpec app = run.inference ? InferenceVariant(base) : base;
+  const std::uint64_t iterations =
+      run.iterations > 0 ? run.iterations : app.default_iterations;
+  const TimingModel timing(spec_);
+  const ProtectionMode mode = ModeFor(deployment);
+  const LaunchCosts launch = CostsFor(deployment);
+
+  for (std::uint64_t iter = 0; iter < iterations; ++iter) {
+    engine.Enqueue(stream,
+                   GpuOp::Memcpy(
+                       static_cast<double>(app.h2d_bytes_per_iteration),
+                       spec_.pcie_bytes_per_cycle, "h2d"));
+    for (const auto& kernel : app.kernels) {
+      const double thread_cycles = timing.ThreadCycles(kernel.profile, mode);
+      for (int rep = 0; rep < kernel.count_per_iteration; ++rep) {
+        engine.Enqueue(stream, GpuOp::Delay(launch.client_delay));
+        if (launch.dispatch > 0) {
+          engine.Enqueue(stream, GpuOp::HostSerial(launch.dispatch));
+        }
+        engine.Enqueue(stream,
+                       MakeKernelOp(spec_, thread_cycles, kernel.threads,
+                                    kernel.name));
+      }
+    }
+    engine.Enqueue(stream,
+                   GpuOp::Memcpy(
+                       static_cast<double>(app.d2h_bytes_per_iteration),
+                       spec_.pcie_bytes_per_cycle, "d2h"));
+  }
+}
+
+SimulationResult Harness::RunStandalone(const AppRun& run,
+                                        Deployment deployment) const {
+  SharingEngine engine(spec_);
+  const auto stream = engine.AddStream();
+  EnqueueApp(engine, stream, run, deployment);
+  const auto result = engine.Run();
+  SimulationResult out;
+  out.total_cycles = result.total_cycles;
+  out.seconds = result.total_cycles / (spec_.clock_ghz * 1e9);
+  out.per_client_cycles = result.stream_finish;
+  out.utilization = result.Utilization(spec_);
+  return out;
+}
+
+SimulationResult Harness::RunColocated(const std::vector<AppRun>& runs,
+                                       Deployment deployment) const {
+  SharingEngine engine(spec_);
+  SimulationResult out;
+
+  if (deployment == Deployment::kNative) {
+    // Default CUDA: one context active at a time. The driver time-slices at
+    // coarse granularity; we interleave per iteration and charge a context
+    // switch (TLB flush + state swap) whenever the active client changes.
+    // All work lands in one serialized stream.
+    const auto stream = engine.AddStream();
+    struct Cursor {
+      const AppRun* run;
+      std::uint64_t iterations;
+      std::uint64_t done = 0;
+    };
+    std::vector<Cursor> cursors;
+    for (const auto& run : runs) {
+      const AppSpec& app = GetApp(run.app);
+      cursors.push_back(Cursor{
+          &run, run.iterations > 0 ? run.iterations : app.default_iterations,
+          0});
+    }
+    const TimingModel timing(spec_);
+    const LaunchCosts launch = CostsFor(deployment);
+    int previous = -1;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t c = 0; c < cursors.size(); ++c) {
+        auto& cursor = cursors[c];
+        if (cursor.done >= cursor.iterations) continue;
+        progress = true;
+        if (previous != static_cast<int>(c) && previous != -1) {
+          engine.Enqueue(stream,
+                         GpuOp::Delay(static_cast<double>(
+                                          spec_.context_switch_cycles),
+                                      "ctx-switch"));
+        }
+        previous = static_cast<int>(c);
+        const AppSpec& app = GetApp(cursor.run->app);
+        engine.Enqueue(stream,
+                       GpuOp::Memcpy(
+                           static_cast<double>(app.h2d_bytes_per_iteration),
+                           spec_.pcie_bytes_per_cycle));
+        for (const auto& kernel : app.kernels) {
+          const double thread_cycles =
+              timing.ThreadCycles(kernel.profile, ProtectionMode::kNone);
+          for (int rep = 0; rep < kernel.count_per_iteration; ++rep) {
+            engine.Enqueue(stream, GpuOp::Delay(launch.client_delay));
+            engine.Enqueue(stream, MakeKernelOp(spec_, thread_cycles,
+                                                kernel.threads, kernel.name));
+          }
+        }
+        engine.Enqueue(stream,
+                       GpuOp::Memcpy(
+                           static_cast<double>(app.d2h_bytes_per_iteration),
+                           spec_.pcie_bytes_per_cycle));
+        ++cursor.done;
+      }
+    }
+  } else {
+    // Spatial sharing: one stream per client.
+    for (const auto& run : runs) {
+      const auto stream = engine.AddStream();
+      EnqueueApp(engine, stream, run, deployment);
+    }
+  }
+
+  const auto result = engine.Run();
+  out.total_cycles = result.total_cycles;
+  out.seconds = result.total_cycles / (spec_.clock_ghz * 1e9);
+  out.per_client_cycles = result.stream_finish;
+  out.utilization = result.Utilization(spec_);
+  return out;
+}
+
+}  // namespace grd::workloads

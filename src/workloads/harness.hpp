@@ -1,0 +1,102 @@
+// Deployment timing harness: lowers an AppSpec's operation stream onto the
+// SharingEngine under each deployment of the paper's evaluation (§6
+// "Baseline and Guardian Deployments") and reports execution time.
+//
+// Cost model per kernel launch:
+//   device side : TimingModel::ThreadCycles(profile, protection mode)
+//                 spread over min(threads, cores) lanes;
+//   host side   : the native cudaLaunchKernel syscall (~9000 cycles,
+//                 Table 5) as an in-stream delay, plus for the forwarded
+//                 deployments a client-side IPC cost and a server-side
+//                 dispatch cost. Dispatch runs on the single shared
+//                 dispatcher (MPS server / grdManager), so with thousands
+//                 of pending kernels the dispatcher saturates — the §7.1
+//                 workloads D/H/K/P effect.
+//   Guardian    : dispatch additionally pays the pointerToSymbol lookup
+//                 (~557 cycles) and, when protection is on, the parameter
+//                 array augmentation (~400 cycles) — Table 5.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simgpu/engine.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/table4.hpp"
+
+namespace grd::workloads {
+
+enum class Deployment : std::uint8_t {
+  kNative,              // default CUDA: time-sharing across clients
+  kMps,                 // spatial, protected, no fault isolation
+  kGuardianNoProtection,// interception + forwarding only
+  kGuardianBitwise,     // Guardian address fencing (bitwise ops)
+  kGuardianModulo,      // Guardian address fencing (inline modulo)
+  kGuardianChecking,    // Guardian address checking
+};
+
+const char* DeploymentName(Deployment deployment) noexcept;
+
+// Host-side cost constants (CPU cycles; Table 5 and §7.6).
+struct HostCostModel {
+  double native_launch = 9000;     // cudaLaunchKernel syscall
+  double lookup = 557;             // pointerToSymbol lookup
+  double augment = 400;            // parameter-array rebuild
+  double ipc_client = 560;         // grdLib serialize + ring write
+  double guardian_dispatch = 750;  // manager ring read + issue
+  double mps_client = 100;         // MPS client-side cost
+  double mps_dispatch = 1700;      // MPS server dispatch (shared)
+};
+
+struct AppRun {
+  std::string app;                   // AppSpec name
+  std::uint64_t iterations = 0;      // 0 = app default
+  bool inference = false;
+};
+
+struct SimulationResult {
+  double total_cycles = 0.0;
+  double seconds = 0.0;
+  std::vector<double> per_client_cycles;
+  double utilization = 0.0;
+};
+
+class Harness {
+ public:
+  explicit Harness(simgpu::DeviceSpec spec) : spec_(std::move(spec)) {}
+
+  // One application alone on the GPU (Figures 7, 8, 11).
+  SimulationResult RunStandalone(const AppRun& run,
+                                 Deployment deployment) const;
+
+  // Several applications co-located (Figure 6). Native = time-sharing with
+  // context switches; the rest are spatial.
+  SimulationResult RunColocated(const std::vector<AppRun>& runs,
+                                Deployment deployment) const;
+
+  // Expands a Table 4 mix into AppRuns, scaling paper epochs by
+  // 1/`epoch_scale` (>=1) to bound bench runtime.
+  static std::vector<AppRun> ExpandMix(const WorkloadMix& mix,
+                                       std::uint64_t epoch_scale);
+
+  const simgpu::DeviceSpec& spec() const noexcept { return spec_; }
+  const HostCostModel& costs() const noexcept { return costs_; }
+
+ private:
+  struct LaunchCosts {
+    double client_delay = 0.0;  // in-stream host latency
+    double dispatch = 0.0;      // shared-dispatcher work (0 = none)
+  };
+  LaunchCosts CostsFor(Deployment deployment) const;
+  simgpu::ProtectionMode ModeFor(Deployment deployment) const;
+
+  void EnqueueApp(simgpu::SharingEngine& engine,
+                  simgpu::SharingEngine::StreamId stream, const AppRun& run,
+                  Deployment deployment) const;
+
+  simgpu::DeviceSpec spec_;
+  HostCostModel costs_;
+};
+
+}  // namespace grd::workloads

@@ -1,0 +1,36 @@
+#include "workloads/table4.hpp"
+
+namespace grd::workloads {
+
+const std::vector<WorkloadMix>& Table4Workloads() {
+  static const std::vector<WorkloadMix> workloads = {
+      {"A", "2xlenet", {{"lenet", 500, 2}}},
+      {"B", "4xlenet", {{"lenet", 500, 4}}},
+      {"C", "2xcifar10", {{"cifar10", 100, 2}}},
+      {"D", "4xcifar10", {{"cifar10", 100, 4}}},
+      {"E", "2xgaussian", {{"gaussian", 0, 2}}},
+      {"F", "4xgaussian", {{"gaussian", 0, 4}}},
+      {"G", "2xlavamd", {{"lavamd", 0, 2}}},
+      {"H", "4xlavamd", {{"lavamd", 0, 4}}},
+      {"I", "lenet-siamese", {{"lenet", 500, 1}, {"siamese", 50, 1}}},
+      {"J", "siamese-cifar10", {{"siamese", 30, 1}, {"cifar10", 100, 1}}},
+      {"K",
+       "2xlenet-siamese-2xcifar10",
+       {{"lenet", 500, 2}, {"siamese", 30, 1}, {"cifar10", 100, 2}}},
+      {"L",
+       "3xlenet-siamese-2xcifar10",
+       {{"lenet", 500, 3}, {"siamese", 30, 1}, {"cifar10", 100, 2}}},
+      {"M", "hotspot-gaussian", {{"hotspot", 0, 1}, {"gaussian", 0, 1}}},
+      {"N", "gaussian-lavamd", {{"gaussian", 0, 1}, {"lavamd", 0, 1}}},
+      {"O", "particle-hotspot", {{"particle", 0, 1}, {"hotspot", 0, 1}}},
+      {"P",
+       "gaussian-hotspot-lavamd-particle",
+       {{"gaussian", 0, 1},
+        {"hotspot", 0, 1},
+        {"lavamd", 0, 1},
+        {"particle", 0, 1}}},
+  };
+  return workloads;
+}
+
+}  // namespace grd::workloads

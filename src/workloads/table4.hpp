@@ -1,0 +1,33 @@
+// The Table 4 workload mixes (A-P) used for the GPU-sharing evaluation
+// (Figure 6). Workloads A-H co-locate instances of the same app; I-P mix
+// different apps. Epoch counts follow the paper; the harness scales them
+// down uniformly so benches finish in seconds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace grd::workloads {
+
+struct WorkloadEntry {
+  std::string app;             // AppSpec name
+  std::uint64_t epochs = 0;    // paper epoch count (0 = app default)
+  int instances = 1;
+};
+
+struct WorkloadMix {
+  std::string id;    // "A" .. "P"
+  std::string name;  // e.g. "2xlenet"
+  std::vector<WorkloadEntry> entries;
+
+  int TotalClients() const {
+    int total = 0;
+    for (const auto& entry : entries) total += entry.instances;
+    return total;
+  }
+};
+
+// All 16 mixes in paper order.
+const std::vector<WorkloadMix>& Table4Workloads();
+
+}  // namespace grd::workloads

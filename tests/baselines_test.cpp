@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "baselines/mps.hpp"
+#include "ptx/generator.hpp"
+#include "ptx/printer.hpp"
+#include "simgpu/device_spec.hpp"
+
+namespace grd::baselines {
+namespace {
+
+using ptxexec::KernelArg;
+using simcuda::DevicePtr;
+using simcuda::MemcpyKind;
+
+std::string SamplePtx() { return ptx::Print(ptx::MakeSampleModule()); }
+
+TEST(MpsMemory, Section22Numbers) {
+  // §2.2: "With just four clients (no data included) the GPU memory
+  // consumption of MPS (734MB) is 4x larger than Guardian (176MB), whereas
+  // with 16 clients it rises to 16x more (2.8GB vs. 176MB)."
+  EXPECT_EQ(MpsMemoryFootprint(1), 176ull << 20);
+  EXPECT_EQ(MpsMemoryFootprint(4), 734ull << 20);
+  const double ratio_4 = static_cast<double>(MpsMemoryFootprint(4)) /
+                         static_cast<double>(176ull << 20);
+  EXPECT_NEAR(ratio_4, 4.17, 0.2);
+  const double gb_16 =
+      static_cast<double>(MpsMemoryFootprint(16)) / (1024.0 * 1024 * 1024);
+  EXPECT_NEAR(gb_16, 2.9, 0.15);  // "2.8GB"
+  EXPECT_EQ(MpsMemoryFootprint(0), 0u);
+}
+
+class MpsTest : public ::testing::Test {
+ protected:
+  MpsTest() : gpu_(simgpu::QuadroRtxA4000()), server_(&gpu_) {}
+
+  simcuda::Gpu gpu_;
+  MpsServer server_;
+};
+
+TEST_F(MpsTest, ClientsShareSpatiallyWithProtection) {
+  auto alice = server_.CreateClient();
+  auto bob = server_.CreateClient();
+  DevicePtr pa = 0, pb = 0;
+  ASSERT_TRUE(alice->cudaMalloc(&pa, 1024).ok());
+  ASSERT_TRUE(bob->cudaMalloc(&pb, 1024).ok());
+  const std::uint64_t v = 0xFEED;
+  ASSERT_TRUE(alice->cudaMemcpyH2D(pa, &v, 8).ok());
+  std::uint64_t back = 0;
+  ASSERT_TRUE(alice->cudaMemcpy(&back, pa, 8, MemcpyKind::kDeviceToHost).ok());
+  EXPECT_EQ(back, 0xFEEDull);
+  EXPECT_EQ(server_.client_count(), 2u);
+}
+
+TEST_F(MpsTest, OobFaultKillsServerAndAllClients) {
+  // The paper's §2.2 observation: one client's illegal access terminates
+  // the MPS server and every co-running client.
+  auto attacker = server_.CreateClient();
+  auto victim = server_.CreateClient();
+
+  DevicePtr victim_buf = 0;
+  ASSERT_TRUE(victim->cudaMalloc(&victim_buf, 4096).ok());
+
+  auto module = attacker->cuModuleLoadData(SamplePtx());
+  ASSERT_TRUE(module.ok());
+  auto fn = attacker->cuModuleGetFunction(*module, "oob_writer");
+  ASSERT_TRUE(fn.ok());
+  DevicePtr mine = 0;
+  ASSERT_TRUE(attacker->cudaMalloc(&mine, 4096).ok());
+
+  simcuda::LaunchConfig config;
+  const Status s = attacker->cudaLaunchKernel(
+      *fn, config,
+      {KernelArg::U64(mine), KernelArg::U64(victim_buf - mine),
+       KernelArg::U32(666)});
+  EXPECT_FALSE(s.ok());  // memory protection DID trigger (ASID TLB)
+  EXPECT_TRUE(server_.failed());
+
+  // ... but fault isolation did NOT hold: the victim is dead too.
+  DevicePtr more = 0;
+  EXPECT_EQ(victim->cudaMalloc(&more, 64).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(attacker->cudaMalloc(&more, 64).code(),
+            StatusCode::kUnavailable);
+}
+
+TEST_F(MpsTest, HealthyClientsUnaffectedByNormalErrors) {
+  // Host-side API errors (bad pointer to cudaFree etc.) must NOT take the
+  // server down — only device faults do.
+  auto a = server_.CreateClient();
+  auto b = server_.CreateClient();
+  EXPECT_FALSE(a->cudaFree(0xDEAD).ok());
+  EXPECT_FALSE(server_.failed());
+  DevicePtr p = 0;
+  EXPECT_TRUE(b->cudaMalloc(&p, 64).ok());
+}
+
+TEST_F(MpsTest, KernelsExecuteThroughMps) {
+  auto client = server_.CreateClient();
+  auto module = client->cuModuleLoadData(SamplePtx());
+  ASSERT_TRUE(module.ok());
+  auto fn = client->cuModuleGetFunction(*module, "kernel");
+  ASSERT_TRUE(fn.ok());
+  DevicePtr buf = 0;
+  ASSERT_TRUE(client->cudaMalloc(&buf, 256).ok());
+  simcuda::LaunchConfig config;
+  config.block = {8, 1, 1};
+  ASSERT_TRUE(client->cudaLaunchKernel(*fn, config,
+                                       {KernelArg::U64(buf),
+                                        KernelArg::U32(1)})
+                  .ok());
+  std::uint32_t v = 0;
+  ASSERT_TRUE(
+      client->cudaMemcpy(&v, buf + 4, 4, MemcpyKind::kDeviceToHost).ok());
+  EXPECT_EQ(v, 7u);
+}
+
+}  // namespace
+}  // namespace grd::baselines

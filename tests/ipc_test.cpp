@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <thread>
+
+#include "ipc/channel.hpp"
+#include "ipc/serializer.hpp"
+#include "ipc/shm_ring.hpp"
+
+namespace grd::ipc {
+namespace {
+
+TEST(Serializer, PodRoundTrip) {
+  Writer writer;
+  writer.Put<std::uint32_t>(42);
+  writer.Put<std::uint64_t>(0xDEADBEEFCAFEull);
+  writer.Put<double>(3.5);
+  Reader reader(writer.bytes());
+  EXPECT_EQ(*reader.Get<std::uint32_t>(), 42u);
+  EXPECT_EQ(*reader.Get<std::uint64_t>(), 0xDEADBEEFCAFEull);
+  EXPECT_DOUBLE_EQ(*reader.Get<double>(), 3.5);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(Serializer, StringsAndBlobs) {
+  Writer writer;
+  writer.PutString("cudaLaunchKernel");
+  const std::uint8_t payload[4] = {1, 2, 3, 4};
+  writer.PutBlob(payload, sizeof(payload));
+  writer.PutString("");
+  Reader reader(writer.bytes());
+  EXPECT_EQ(*reader.GetString(), "cudaLaunchKernel");
+  auto blob = reader.GetBlob();
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(blob->size(), 4u);
+  EXPECT_EQ((*blob)[3], 4u);
+  EXPECT_EQ(*reader.GetString(), "");
+}
+
+TEST(Serializer, TruncationDetected) {
+  Writer writer;
+  writer.Put<std::uint32_t>(7);
+  Reader reader(writer.bytes());
+  ASSERT_TRUE(reader.Get<std::uint32_t>().ok());
+  EXPECT_FALSE(reader.Get<std::uint64_t>().ok());
+  Reader reader2(writer.bytes());
+  EXPECT_FALSE(reader2.GetString().ok());  // length says 7, only 0 remain
+}
+
+TEST(ShmRing, SingleThreadMessageStream) {
+  std::vector<std::uint8_t> region(ShmRing::RegionSize(4096));
+  ShmRing ring(region.data(), 4096, /*initialize=*/true);
+  for (int i = 0; i < 100; ++i) {
+    Bytes message = {static_cast<std::uint8_t>(i),
+                     static_cast<std::uint8_t>(i + 1)};
+    ASSERT_TRUE(ring.Write(message).ok());
+    auto out = ring.TryRead();
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ((*out)[0], static_cast<std::uint8_t>(i));
+  }
+  EXPECT_EQ(ring.TryRead().status().code(), StatusCode::kNotFound);
+}
+
+TEST(ShmRing, WrapAround) {
+  // Capacity chosen so messages straddle the ring boundary repeatedly.
+  std::vector<std::uint8_t> region(ShmRing::RegionSize(64));
+  ShmRing ring(region.data(), 64, true);
+  for (int i = 0; i < 200; ++i) {
+    Bytes message(13, static_cast<std::uint8_t>(i));
+    ASSERT_TRUE(ring.Write(message).ok());
+    auto out = ring.TryRead();
+    ASSERT_TRUE(out.ok());
+    ASSERT_EQ(out->size(), 13u);
+    EXPECT_EQ((*out)[12], static_cast<std::uint8_t>(i));
+  }
+}
+
+TEST(ShmRing, OversizeMessageRejected) {
+  std::vector<std::uint8_t> region(ShmRing::RegionSize(64));
+  ShmRing ring(region.data(), 64, true);
+  Bytes big(65, 0);
+  EXPECT_EQ(ring.Write(big).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShmRing, CloseUnblocksReader) {
+  std::vector<std::uint8_t> region(ShmRing::RegionSize(4096));
+  ShmRing ring(region.data(), 4096, true);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ring.Close();
+  });
+  auto out = ring.Read();
+  EXPECT_EQ(out.status().code(), StatusCode::kUnavailable);
+  closer.join();
+}
+
+TEST(ShmRing, CrossThreadThroughput) {
+  std::vector<std::uint8_t> region(ShmRing::RegionSize(1 << 16));
+  ShmRing ring(region.data(), 1 << 16, true);
+  constexpr int kMessages = 20000;
+  std::thread producer([&] {
+    for (int i = 0; i < kMessages; ++i) {
+      Bytes message(sizeof(int));
+      std::memcpy(message.data(), &i, sizeof(int));
+      ASSERT_TRUE(ring.Write(message).ok());
+    }
+  });
+  for (int i = 0; i < kMessages; ++i) {
+    auto out = ring.Read();
+    ASSERT_TRUE(out.ok());
+    int value = -1;
+    std::memcpy(&value, out->data(), sizeof(int));
+    ASSERT_EQ(value, i);  // SPSC ordering
+  }
+  producer.join();
+}
+
+TEST(Channel, RequestResponseAcrossThreads) {
+  HeapChannel heap;
+  Channel& channel = heap.channel();
+  std::thread server([&] {
+    for (int i = 0; i < 50; ++i) {
+      auto request = channel.request().Read();
+      ASSERT_TRUE(request.ok());
+      Bytes response = *request;
+      response.push_back(0xFF);  // echo + marker
+      ASSERT_TRUE(channel.response().Write(response).ok());
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    Bytes request = {static_cast<std::uint8_t>(i)};
+    auto response = channel.Call(request);
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response->size(), 2u);
+    EXPECT_EQ((*response)[0], static_cast<std::uint8_t>(i));
+    EXPECT_EQ((*response)[1], 0xFF);
+  }
+  server.join();
+}
+
+TEST(Channel, CrossProcessViaForkAndSharedRegion) {
+  // The paper's real deployment shape: client and manager in different
+  // address spaces sharing a memory segment.
+  auto region = SharedRegion::Create(Channel::RegionSize(4096));
+  ASSERT_TRUE(region.ok());
+  Channel parent_channel(region->addr(), 4096, /*initialize=*/true);
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: attach and serve one doubling request.
+    Channel child_channel(region->addr(), 4096, /*initialize=*/false);
+    auto request = child_channel.request().Read();
+    if (!request.ok()) _exit(1);
+    std::uint32_t value = 0;
+    std::memcpy(&value, request->data(), sizeof(value));
+    value *= 2;
+    Bytes response(sizeof(value));
+    std::memcpy(response.data(), &value, sizeof(value));
+    _exit(child_channel.response().Write(response).ok() ? 0 : 1);
+  }
+
+  std::uint32_t value = 21;
+  Bytes request(sizeof(value));
+  std::memcpy(request.data(), &value, sizeof(value));
+  auto response = parent_channel.Call(request);
+  ASSERT_TRUE(response.ok());
+  std::uint32_t doubled = 0;
+  std::memcpy(&doubled, response->data(), sizeof(doubled));
+  EXPECT_EQ(doubled, 42u);
+
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+  EXPECT_TRUE(WIFEXITED(wstatus));
+  EXPECT_EQ(WEXITSTATUS(wstatus), 0);
+}
+
+}  // namespace
+}  // namespace grd::ipc

@@ -1,0 +1,199 @@
+// Cross-module property tests: invariants that must hold for arbitrary
+// inputs, swept with parameterized gtest.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "ipc/shm_ring.hpp"
+#include "simgpu/device_spec.hpp"
+#include "simgpu/engine.hpp"
+#include "workloads/harness.hpp"
+
+namespace grd {
+namespace {
+
+// --- fencing algebra --------------------------------------------------------
+
+class FenceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FenceProperty, AlwaysLandsInPartitionAndIsIdempotent) {
+  Rng rng(GetParam() * 6151 + 11);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t size = std::uint64_t{1}
+                               << rng.NextInRange(12, 34);  // 4 KB..16 GB
+    const std::uint64_t base =
+        (rng.Next() & ~(size - 1)) & ((std::uint64_t{1} << 46) - 1);
+    const std::uint64_t mask = PartitionMask(size);
+    const std::uint64_t addr = rng.Next();
+    const std::uint64_t fenced = FenceAddress(addr, base, mask);
+    // (1) always inside [base, base+size)
+    ASSERT_GE(fenced, base);
+    ASSERT_LT(fenced, base + size);
+    // (2) idempotent: fencing a fenced address is a no-op
+    ASSERT_EQ(FenceAddress(fenced, base, mask), fenced);
+    // (3) identity on in-bounds addresses
+    const std::uint64_t inside = base + (addr & mask);
+    ASSERT_EQ(FenceAddress(inside, base, mask), inside);
+    // (4) offset-preserving within the partition
+    ASSERT_EQ(fenced - base, addr & mask);
+  }
+}
+
+TEST_P(FenceProperty, ModuloAgreesWithBitwiseOnPow2) {
+  Rng rng(GetParam() * 7919 + 3);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t size = std::uint64_t{1} << rng.NextInRange(12, 30);
+    const std::uint64_t base =
+        (rng.Next() & ~(size - 1)) & ((std::uint64_t{1} << 40) - 1);
+    const std::uint64_t addr = base + rng.NextBelow(std::uint64_t{1} << 38);
+    ASSERT_EQ(FenceAddress(addr, base, PartitionMask(size)),
+              FenceAddressModulo(addr, base, size));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FenceProperty, ::testing::Range(0, 8));
+
+// --- sharing-engine invariants ---------------------------------------------
+
+class EngineProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineProperty, MakespanBoundsHold) {
+  // For any random op mix: max(stream work alone) <= makespan <= sum of all
+  // work (work conservation + no super-linear slowdown).
+  Rng rng(GetParam() * 104729 + 31);
+  const simgpu::DeviceSpec spec = simgpu::QuadroRtxA4000();
+  simgpu::SharingEngine engine(spec);
+  const int streams = 2 + static_cast<int>(rng.NextBelow(5));
+  std::vector<double> alone(streams, 0.0);
+  double serial_total = 0.0;
+  for (int s = 0; s < streams; ++s) {
+    const auto id = engine.AddStream();
+    const int ops = 1 + static_cast<int>(rng.NextBelow(20));
+    for (int o = 0; o < ops; ++o) {
+      const double cycles = 100.0 + rng.NextBelow(100000);
+      switch (rng.NextBelow(3)) {
+        case 0: {
+          const std::uint64_t threads = 32 + rng.NextBelow(20000);
+          engine.Enqueue(id, simgpu::MakeKernelOp(spec, cycles, threads));
+          const double duration =
+              cycles * static_cast<double>(threads) /
+              std::min<double>(static_cast<double>(threads), spec.cuda_cores);
+          alone[s] += duration;
+          serial_total += duration;
+          break;
+        }
+        case 1: {
+          engine.Enqueue(id, simgpu::GpuOp::Memcpy(
+                                 cycles * spec.pcie_bytes_per_cycle,
+                                 spec.pcie_bytes_per_cycle));
+          alone[s] += cycles;
+          serial_total += cycles;
+          break;
+        }
+        default:
+          engine.Enqueue(id, simgpu::GpuOp::Delay(cycles));
+          alone[s] += cycles;
+          serial_total += cycles;
+      }
+    }
+  }
+  const auto result = engine.Run();
+  double max_alone = 0;
+  for (const double a : alone) max_alone = std::max(max_alone, a);
+  EXPECT_GE(result.total_cycles, max_alone * (1 - 1e-9));
+  EXPECT_LE(result.total_cycles, serial_total * (1 + 1e-9));
+  // Per-stream finish times never exceed the makespan.
+  for (const double f : result.stream_finish)
+    EXPECT_LE(f, result.total_cycles * (1 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineProperty, ::testing::Range(0, 12));
+
+// --- harness monotonicity ----------------------------------------------------
+
+TEST(HarnessProperty, TimeGrowsWithIterations) {
+  const workloads::Harness harness(simgpu::QuadroRtxA4000());
+  double previous = 0;
+  for (const std::uint64_t iters : {10ull, 20ull, 40ull, 80ull}) {
+    const double t =
+        harness
+            .RunStandalone({"lenet", iters, false},
+                           workloads::Deployment::kGuardianBitwise)
+            .total_cycles;
+    EXPECT_GT(t, previous);
+    previous = t;
+  }
+}
+
+TEST(HarnessProperty, ColocationNeverFasterThanOneClient) {
+  const workloads::Harness harness(simgpu::QuadroRtxA4000());
+  const workloads::AppRun one{"cifar10", 30, false};
+  const double solo =
+      harness.RunColocated({one}, workloads::Deployment::kGuardianBitwise)
+          .total_cycles;
+  const double duo =
+      harness
+          .RunColocated({one, one}, workloads::Deployment::kGuardianBitwise)
+          .total_cycles;
+  EXPECT_GE(duo, solo * (1 - 1e-9));
+  EXPECT_LE(duo, 2.2 * solo);  // and never super-linearly slower
+}
+
+TEST(HarnessProperty, ProtectionModesAreOrderedForAllApps) {
+  const workloads::Harness harness(simgpu::QuadroRtxA4000());
+  using workloads::Deployment;
+  for (const auto& name : workloads::AllAppNames()) {
+    const workloads::AppRun run{name, 20, false};
+    const double native =
+        harness.RunStandalone(run, Deployment::kNative).total_cycles;
+    const double noprot =
+        harness.RunStandalone(run, Deployment::kGuardianNoProtection)
+            .total_cycles;
+    const double bitwise =
+        harness.RunStandalone(run, Deployment::kGuardianBitwise).total_cycles;
+    const double checking =
+        harness.RunStandalone(run, Deployment::kGuardianChecking)
+            .total_cycles;
+    EXPECT_LT(native, noprot) << name;
+    EXPECT_LT(noprot, bitwise) << name;
+    EXPECT_LT(bitwise, checking) << name;
+  }
+}
+
+// --- shm ring under randomized message sizes --------------------------------
+
+class RingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingProperty, RandomSizesCrossThreadPreserveContentAndOrder) {
+  Rng rng(GetParam() * 31337 + 5);
+  const std::uint64_t capacity = 1 << 12;
+  std::vector<std::uint8_t> region(ipc::ShmRing::RegionSize(capacity));
+  ipc::ShmRing ring(region.data(), capacity, true);
+
+  constexpr int kMessages = 2000;
+  // Pre-generate so producer/consumer agree without sharing the Rng.
+  std::vector<ipc::Bytes> messages;
+  messages.reserve(kMessages);
+  for (int i = 0; i < kMessages; ++i) {
+    ipc::Bytes m(rng.NextBelow(capacity / 2));
+    for (auto& byte : m) byte = static_cast<std::uint8_t>(rng.Next());
+    messages.push_back(std::move(m));
+  }
+
+  std::thread producer([&] {
+    for (const auto& m : messages) ASSERT_TRUE(ring.Write(m).ok());
+  });
+  for (int i = 0; i < kMessages; ++i) {
+    auto out = ring.Read();
+    ASSERT_TRUE(out.ok());
+    ASSERT_EQ(*out, messages[i]) << "message " << i;
+  }
+  producer.join();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RingProperty, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace grd

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "ptx/generator.hpp"
+#include "ptx/parser.hpp"
+#include "ptx/printer.hpp"
+
+namespace grd::ptx {
+namespace {
+
+TEST(Generator, StoreTidMatchesListing1Shape) {
+  const Kernel k = MakeStoreTidKernel();
+  ASSERT_EQ(k.params.size(), 2u);
+  const KernelStats stats = ComputeStats(k);
+  EXPECT_EQ(stats.loads, 0u);
+  EXPECT_EQ(stats.stores, 1u);
+}
+
+TEST(Generator, VecAddHasTwoLoadsOneStore) {
+  const KernelStats stats = ComputeStats(MakeVecAddKernel());
+  EXPECT_EQ(stats.loads, 2u);
+  EXPECT_EQ(stats.stores, 1u);
+}
+
+TEST(Generator, ReduceSharedAccessesNotCountedAsProtected) {
+  const Kernel k = MakeReduceKernel();
+  const KernelStats stats = ComputeStats(k);
+  // One global load (input) and one global store (output); the shared-memory
+  // staging traffic is exempt from protection (paper §3).
+  EXPECT_EQ(stats.loads, 1u);
+  EXPECT_EQ(stats.stores, 1u);
+}
+
+TEST(Generator, OffsetCopyUsesOffsetAddressing) {
+  const Kernel k = MakeOffsetCopyKernel();
+  bool found_nonzero_offset = false;
+  for (const auto& stmt : k.body) {
+    const auto* inst = std::get_if<Instruction>(&stmt);
+    if (inst == nullptr || !inst->IsProtectedMemoryAccess()) continue;
+    for (const auto& op : inst->operands) {
+      if (op.kind == Operand::Kind::kMemory && op.offset != 0)
+        found_nonzero_offset = true;
+    }
+  }
+  EXPECT_TRUE(found_nonzero_offset);
+}
+
+TEST(Generator, FuncKernelIsFunc) {
+  EXPECT_FALSE(MakeFuncStoreKernel().is_entry);
+}
+
+TEST(Generator, IndirectBranchKernelHasBrx) {
+  const KernelStats stats = ComputeStats(MakeIndirectBranchKernel());
+  EXPECT_EQ(stats.indirect_branches, 1u);
+}
+
+TEST(Generator, RandomKernelHonoursCounts) {
+  Rng rng(42);
+  for (const auto& [lds, sts] : std::vector<std::pair<int, int>>{
+           {0, 0}, {1, 0}, {0, 1}, {10, 5}, {83, 26}}) {
+    const Kernel k = MakeRandomKernel(rng, "k", lds, sts);
+    const KernelStats stats = ComputeStats(k);
+    EXPECT_EQ(stats.loads, static_cast<std::size_t>(lds));
+    EXPECT_EQ(stats.stores, static_cast<std::size_t>(sts));
+  }
+}
+
+TEST(Generator, SampleModuleParsesFromText) {
+  const Module m = MakeSampleModule();
+  auto reparsed = Parse(Print(m));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->kernels.size(), m.kernels.size());
+}
+
+TEST(Generator, Table3SpecsMatchPaper) {
+  const auto& corpora = Table3Corpora();
+  ASSERT_EQ(corpora.size(), 7u);
+  EXPECT_EQ(corpora[0].name, "cuBlas (v11)");
+  EXPECT_EQ(corpora[0].kernels, 4115u);
+  EXPECT_EQ(corpora[0].total_loads, 341249u);
+  EXPECT_EQ(corpora[0].total_stores, 106399u);
+  EXPECT_EQ(corpora[6].name, "PyTorch");
+  EXPECT_EQ(corpora[6].kernels, 27987u);
+  EXPECT_EQ(corpora[6].funcs, 319u);
+}
+
+TEST(Generator, CorpusTotalsMatchSpecExactly) {
+  // Use the small Rodinia corpus (23 kernels + 7 funcs) to keep this fast.
+  const LibraryCorpusSpec& spec = Table3Corpora()[4];
+  std::size_t loads = 0, stores = 0, kernels = 0, funcs = 0;
+  GenerateCorpus(spec, /*seed=*/1, [&](const Kernel& k) {
+    const KernelStats stats = ComputeStats(k);
+    loads += stats.loads;
+    stores += stats.stores;
+    (k.is_entry ? kernels : funcs)++;
+  });
+  EXPECT_EQ(loads, spec.total_loads);
+  EXPECT_EQ(stores, spec.total_stores);
+  EXPECT_EQ(kernels, spec.kernels);
+  EXPECT_EQ(funcs, spec.funcs);
+}
+
+TEST(Generator, CurandCorpusTotalsMatch) {
+  const LibraryCorpusSpec& spec = Table3Corpora()[2];  // cuRAND: 204 kernels
+  std::size_t loads = 0, stores = 0, units = 0;
+  GenerateCorpus(spec, /*seed=*/2, [&](const Kernel& k) {
+    const KernelStats stats = ComputeStats(k);
+    loads += stats.loads;
+    stores += stats.stores;
+    ++units;
+  });
+  EXPECT_EQ(loads, spec.total_loads);
+  EXPECT_EQ(stores, spec.total_stores);
+  EXPECT_EQ(units, spec.kernels + spec.funcs);
+}
+
+}  // namespace
+}  // namespace grd::ptx

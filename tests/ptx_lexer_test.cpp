@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "ptx/lexer.hpp"
+
+namespace grd::ptx {
+namespace {
+
+std::vector<Token> MustLex(std::string_view src) {
+  auto result = Lex(src);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? *result : std::vector<Token>{};
+}
+
+TEST(Lexer, Directives) {
+  const auto toks = MustLex(".visible .entry .param .u64");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kDirective);
+  EXPECT_EQ(toks[0].text, "visible");
+  EXPECT_EQ(toks[3].text, "u64");
+  EXPECT_EQ(toks[4].kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, RegistersWithDottedSuffix) {
+  const auto toks = MustLex("%rd4 %tid.x %p1");
+  EXPECT_EQ(toks[0].text, "%rd4");
+  EXPECT_EQ(toks[1].text, "%tid.x");
+  EXPECT_EQ(toks[1].kind, TokenKind::kRegister);
+  EXPECT_EQ(toks[2].text, "%p1");
+}
+
+TEST(Lexer, Integers) {
+  const auto toks = MustLex("42 -7 0x1F 0xFFFFFFFFFF");
+  EXPECT_EQ(toks[0].ival, 42);
+  EXPECT_EQ(toks[1].ival, -7);
+  EXPECT_EQ(toks[2].ival, 0x1F);
+  EXPECT_EQ(toks[3].ival, 0xFFFFFFFFFFll);
+}
+
+TEST(Lexer, Floats) {
+  const auto toks = MustLex("3.5 1e3 0f3F800000 0d4008000000000000");
+  EXPECT_EQ(toks[0].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(toks[0].fval, 3.5);
+  EXPECT_DOUBLE_EQ(toks[1].fval, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[2].fval, 1.0);   // f32 bits of 1.0
+  EXPECT_DOUBLE_EQ(toks[3].fval, 3.0);   // f64 bits of 3.0
+}
+
+TEST(Lexer, HexFloatKeepsSpelling) {
+  const auto toks = MustLex("0f3F800000");
+  EXPECT_EQ(toks[0].text, "0f3F800000");
+}
+
+TEST(Lexer, CommentsSkipped) {
+  const auto toks = MustLex("a // line comment\n/* block\ncomment */ b");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[1].line, 3);
+}
+
+TEST(Lexer, Punctuation) {
+  const auto toks = MustLex(", ; : [ ] ( ) { } @ ! < >");
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    EXPECT_EQ(toks[i].kind, TokenKind::kPunct);
+  }
+}
+
+TEST(Lexer, InstructionLine) {
+  const auto toks = MustLex("ld.global.u32 %r2, [%rd4+8];");
+  EXPECT_EQ(toks[0].text, "ld");
+  EXPECT_EQ(toks[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(toks[1].text, "global");
+  EXPECT_EQ(toks[1].kind, TokenKind::kDirective);
+  EXPECT_EQ(toks[2].text, "u32");
+  EXPECT_EQ(toks[3].text, "%r2");
+  EXPECT_TRUE(toks[4].IsPunct(','));
+  EXPECT_TRUE(toks[5].IsPunct('['));
+  EXPECT_EQ(toks[6].text, "%rd4");
+  EXPECT_TRUE(toks[7].IsPunct('+'));
+  EXPECT_EQ(toks[8].ival, 8);
+}
+
+TEST(Lexer, NegativeOffset) {
+  const auto toks = MustLex("[%rd4+-8]");
+  EXPECT_TRUE(toks[2].IsPunct('+'));
+  EXPECT_EQ(toks[3].ival, -8);
+}
+
+TEST(Lexer, RejectsBarePercent) {
+  EXPECT_FALSE(Lex("% x").ok());
+}
+
+TEST(Lexer, RejectsUnterminatedBlockComment) {
+  EXPECT_FALSE(Lex("/* foo").ok());
+}
+
+TEST(Lexer, RejectsUnknownCharacter) {
+  EXPECT_FALSE(Lex("a ` b").ok());
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  const auto toks = MustLex("a\nb\nc");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 3);
+}
+
+}  // namespace
+}  // namespace grd::ptx

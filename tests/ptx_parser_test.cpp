@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include "ptx/parser.hpp"
+#include "ptx/printer.hpp"
+
+namespace grd::ptx {
+namespace {
+
+// The paper's Listing 1 kernel, pre-instrumentation.
+constexpr std::string_view kListing1 = R"(
+.version 7.7
+.target sm_86
+.address_size 64
+
+.visible .entry kernel(
+    .param .u64 kernel_param_0,
+    .param .u32 kernel_param_1
+)
+{
+    .reg .b32 %r<3>;
+    .reg .b64 %rd<5>;
+    ld.param.u64 %rd1, [kernel_param_0];
+    ld.param.u32 %r1, [kernel_param_1];
+    cvta.to.global.u64 %rd2, %rd1;
+    mov.u32 %r2, %tid.x;
+    mul.wide.s32 %rd3, %r1, 4;
+    add.s64 %rd4, %rd2, %rd3;
+    st.global.u32 [%rd4], %r2;
+    ret;
+}
+)";
+
+Module MustParse(std::string_view src) {
+  auto result = Parse(src);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? std::move(*result) : Module{};
+}
+
+TEST(Parser, ModuleHeader) {
+  const Module m = MustParse(kListing1);
+  EXPECT_EQ(m.version, "7.7");
+  EXPECT_EQ(m.target, "sm_86");
+  EXPECT_EQ(m.address_size, 64);
+}
+
+TEST(Parser, KernelSignature) {
+  const Module m = MustParse(kListing1);
+  ASSERT_EQ(m.kernels.size(), 1u);
+  const Kernel& k = m.kernels[0];
+  EXPECT_EQ(k.name, "kernel");
+  EXPECT_TRUE(k.is_entry);
+  EXPECT_TRUE(k.visible);
+  ASSERT_EQ(k.params.size(), 2u);
+  EXPECT_EQ(k.params[0].type, Type::kU64);
+  EXPECT_EQ(k.params[0].name, "kernel_param_0");
+  EXPECT_EQ(k.params[1].type, Type::kU32);
+}
+
+TEST(Parser, RegDecls) {
+  const Module m = MustParse(kListing1);
+  const Kernel& k = m.kernels[0];
+  const auto* r0 = std::get_if<RegDecl>(&k.body[0]);
+  ASSERT_NE(r0, nullptr);
+  EXPECT_TRUE(r0->is_range);
+  EXPECT_EQ(r0->prefix, "%r");
+  EXPECT_EQ(r0->count, 3);
+  EXPECT_EQ(r0->type, Type::kB32);
+}
+
+TEST(Parser, Instructions) {
+  const Module m = MustParse(kListing1);
+  const Kernel& k = m.kernels[0];
+  const auto* ld = std::get_if<Instruction>(&k.body[2]);
+  ASSERT_NE(ld, nullptr);
+  EXPECT_EQ(ld->opcode, "ld");
+  EXPECT_EQ(ld->modifiers, (std::vector<std::string>{"param", "u64"}));
+  ASSERT_EQ(ld->operands.size(), 2u);
+  EXPECT_EQ(ld->operands[0].kind, Operand::Kind::kRegister);
+  EXPECT_EQ(ld->operands[0].name, "%rd1");
+  EXPECT_EQ(ld->operands[1].kind, Operand::Kind::kMemory);
+  EXPECT_EQ(ld->operands[1].name, "kernel_param_0");
+  EXPECT_FALSE(ld->operands[1].MemBaseIsRegister());
+
+  const auto* st = std::get_if<Instruction>(&k.body[8]);
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(st->opcode, "st");
+  EXPECT_TRUE(st->IsProtectedMemoryAccess());
+  EXPECT_TRUE(st->operands[0].MemBaseIsRegister());
+}
+
+TEST(Parser, SpaceAndTypeModifiers) {
+  const Module m = MustParse(kListing1);
+  const auto& st = std::get<Instruction>(m.kernels[0].body[8]);
+  EXPECT_EQ(st.SpaceModifier(), StateSpace::kGlobal);
+  EXPECT_EQ(st.TypeModifier(), Type::kU32);
+  const auto& ld = std::get<Instruction>(m.kernels[0].body[2]);
+  EXPECT_EQ(ld.SpaceModifier(), StateSpace::kParam);
+  EXPECT_FALSE(ld.IsProtectedMemoryAccess());  // param space is safe
+}
+
+TEST(Parser, PredicatedBranchAndLabel) {
+  const Module m = MustParse(R"(
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry k()
+{
+    .reg .pred %p<2>;
+    .reg .b32 %r<3>;
+    setp.ge.s32 %p1, %r1, %r2;
+    @%p1 bra LBB0_2;
+    mov.u32 %r1, 0;
+LBB0_2:
+    ret;
+}
+)");
+  const Kernel& k = m.kernels[0];
+  const auto& bra = std::get<Instruction>(k.body[3]);
+  ASSERT_TRUE(bra.pred.has_value());
+  EXPECT_EQ(bra.pred->reg, "%p1");
+  EXPECT_FALSE(bra.pred->negated);
+  EXPECT_EQ(bra.operands[0].kind, Operand::Kind::kIdentifier);
+  EXPECT_EQ(bra.operands[0].name, "LBB0_2");
+  const auto* label = std::get_if<Label>(&k.body[5]);
+  ASSERT_NE(label, nullptr);
+  EXPECT_EQ(label->name, "LBB0_2");
+}
+
+TEST(Parser, NegatedPredicate) {
+  const Module m = MustParse(R"(
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry k()
+{
+    .reg .pred %p<2>;
+    @!%p1 bra DONE;
+DONE:
+    ret;
+}
+)");
+  const auto& bra = std::get<Instruction>(m.kernels[0].body[1]);
+  ASSERT_TRUE(bra.pred.has_value());
+  EXPECT_TRUE(bra.pred->negated);
+}
+
+TEST(Parser, SharedVarAndBranchTargets) {
+  const Module m = MustParse(R"(
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry k(.param .u32 k_param_0)
+{
+    .shared .align 4 .b8 sdata[1024];
+    .reg .b32 %r<3>;
+ts: .branchtargets L0, L1;
+    brx.idx %r1, ts;
+L0:
+    ret;
+L1:
+    ret;
+}
+)");
+  const Kernel& k = m.kernels[0];
+  const auto* smem = std::get_if<VarDecl>(&k.body[0]);
+  ASSERT_NE(smem, nullptr);
+  EXPECT_EQ(smem->space, StateSpace::kShared);
+  EXPECT_EQ(smem->align, 4);
+  EXPECT_EQ(smem->array_size, 1024);
+  const auto* table = std::get_if<BranchTargetsDecl>(&k.body[2]);
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->name, "ts");
+  EXPECT_EQ(table->labels, (std::vector<std::string>{"L0", "L1"}));
+  const auto& brx = std::get<Instruction>(k.body[3]);
+  EXPECT_EQ(brx.opcode, "brx");
+  EXPECT_TRUE(brx.HasModifier("idx"));
+}
+
+TEST(Parser, DeviceFunc) {
+  const Module m = MustParse(R"(
+.version 7.7
+.target sm_86
+.address_size 64
+.func helper(.param .u64 helper_param_0)
+{
+    ret;
+}
+)");
+  ASSERT_EQ(m.kernels.size(), 1u);
+  EXPECT_FALSE(m.kernels[0].is_entry);
+  EXPECT_FALSE(m.kernels[0].visible);
+}
+
+TEST(Parser, MemoryOffsets) {
+  const Module m = MustParse(R"(
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry k()
+{
+    .reg .b32 %r<3>;
+    .reg .b64 %rd<3>;
+    ld.global.u32 %r1, [%rd1+8];
+    ld.global.u32 %r2, [%rd1+-16];
+    st.global.u32 [%rd2], %r1;
+    ret;
+}
+)");
+  const auto& k = m.kernels[0];
+  EXPECT_EQ(std::get<Instruction>(k.body[2]).operands[1].offset, 8);
+  EXPECT_EQ(std::get<Instruction>(k.body[3]).operands[1].offset, -16);
+  EXPECT_EQ(std::get<Instruction>(k.body[4]).operands[0].offset, 0);
+}
+
+TEST(Parser, VectorOperand) {
+  const Module m = MustParse(R"(
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry k()
+{
+    .reg .b32 %r<5>;
+    .reg .b64 %rd<2>;
+    ld.global.v4.u32 {%r1, %r2, %r3, %r4}, [%rd1];
+    ret;
+}
+)");
+  const auto& ld = std::get<Instruction>(m.kernels[0].body[2]);
+  EXPECT_EQ(ld.VectorWidth(), 4);
+  ASSERT_EQ(ld.operands[0].kind, Operand::Kind::kVector);
+  EXPECT_EQ(ld.operands[0].vec.size(), 4u);
+}
+
+TEST(Parser, GlobalVariables) {
+  const Module m = MustParse(R"(
+.version 7.7
+.target sm_86
+.address_size 64
+.global .align 8 .b8 lut[64];
+.const .f32 pi;
+)");
+  ASSERT_EQ(m.globals.size(), 2u);
+  EXPECT_EQ(m.globals[0].space, StateSpace::kGlobal);
+  EXPECT_EQ(m.globals[0].array_size, 64);
+  EXPECT_EQ(m.globals[1].space, StateSpace::kConst);
+  EXPECT_EQ(m.globals[1].array_size, -1);
+}
+
+TEST(Parser, ErrorOnGarbage) {
+  EXPECT_FALSE(Parse("garbage tokens here").ok());
+  EXPECT_FALSE(Parse(".version").ok());
+  EXPECT_FALSE(Parse(".visible .entry k( { }").ok());
+}
+
+TEST(Parser, ErrorOnUnterminatedBody) {
+  EXPECT_FALSE(Parse(R"(
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry k()
+{
+    ret;
+)").ok());
+}
+
+TEST(Parser, StatsCountProtectedAccesses) {
+  const Module m = MustParse(kListing1);
+  const KernelStats stats = ComputeStats(m.kernels[0]);
+  EXPECT_EQ(stats.loads, 0u);   // both loads are ld.param (safe space)
+  EXPECT_EQ(stats.stores, 1u);  // st.global
+  EXPECT_EQ(stats.registers_declared, 8u);  // %r<3> + %rd<5>
+}
+
+}  // namespace
+}  // namespace grd::ptx

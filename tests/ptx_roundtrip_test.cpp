@@ -1,0 +1,59 @@
+// Property tests: Print(ast) must re-parse to an identical AST for every
+// generator-produced kernel and for randomized kernels.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ptx/generator.hpp"
+#include "ptx/parser.hpp"
+#include "ptx/printer.hpp"
+
+namespace grd::ptx {
+namespace {
+
+void ExpectRoundTrip(const Module& module) {
+  const std::string text = Print(module);
+  auto reparsed = Parse(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n--- text ---\n" << text;
+  EXPECT_EQ(*reparsed, module) << "--- text ---\n" << text;
+}
+
+TEST(RoundTrip, SampleModule) { ExpectRoundTrip(MakeSampleModule()); }
+
+TEST(RoundTrip, EachSampleKernelIndividually) {
+  for (const Kernel& k : MakeSampleModule().kernels) {
+    Module m;
+    m.kernels.push_back(k);
+    ExpectRoundTrip(m);
+  }
+}
+
+TEST(RoundTrip, ModuleWithGlobals) {
+  Module m;
+  VarDecl lut;
+  lut.space = StateSpace::kGlobal;
+  lut.type = Type::kB8;
+  lut.name = "lut";
+  lut.align = 8;
+  lut.array_size = 256;
+  m.globals.push_back(lut);
+  m.kernels.push_back(MakeVecAddKernel());
+  ExpectRoundTrip(m);
+}
+
+class RandomKernelRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomKernelRoundTrip, Holds) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  Module m;
+  const int lds = static_cast<int>(rng.NextInRange(0, 40));
+  const int sts = static_cast<int>(rng.NextInRange(0, 20));
+  m.kernels.push_back(MakeRandomKernel(rng, "rk", lds, sts,
+                                       /*use_offset_mode=*/GetParam() % 2));
+  ExpectRoundTrip(m);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomKernelRoundTrip,
+                         ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace grd::ptx

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ptx/generator.hpp"
+#include "ptx/parser.hpp"
+#include "ptx/printer.hpp"
+#include "ptx/validator.hpp"
+#include "ptxpatcher/patcher.hpp"
+
+namespace grd::ptx {
+namespace {
+
+Module MustParse(std::string_view src) {
+  auto result = Parse(src);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? std::move(*result) : Module{};
+}
+
+constexpr std::string_view kHeader = R"(
+.version 7.7
+.target sm_86
+.address_size 64
+)";
+
+TEST(Validator, SampleModuleIsClean) {
+  const auto report = Validate(MakeSampleModule());
+  EXPECT_TRUE(report.ok()) << report.issues.front().kernel << ": "
+                           << report.issues.front().message;
+}
+
+TEST(Validator, PatchedModulesStayClean) {
+  // The patcher must only produce PTX that the validator (and so a real
+  // assembler) accepts — for every mode.
+  for (const auto mode :
+       {ptxpatcher::BoundsCheckMode::kFencingBitwise,
+        ptxpatcher::BoundsCheckMode::kFencingModulo,
+        ptxpatcher::BoundsCheckMode::kChecking}) {
+    ptxpatcher::PatchOptions options;
+    options.mode = mode;
+    auto patched = ptxpatcher::PatchModule(MakeSampleModule(), options);
+    ASSERT_TRUE(patched.ok());
+    const auto report = Validate(*patched);
+    EXPECT_TRUE(report.ok())
+        << ptxpatcher::BoundsCheckModeName(mode) << ": "
+        << (report.ok() ? "" : report.issues.front().message);
+  }
+}
+
+TEST(Validator, UndeclaredRegister) {
+  const Module m = MustParse(std::string(kHeader) + R"(
+.visible .entry k()
+{
+    .reg .b32 %r<2>;
+    add.s32 %r1, %r1, %r9;
+    ret;
+}
+)");
+  const auto report = Validate(m);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.issues[0].message.find("%r9"), std::string::npos);
+}
+
+TEST(Validator, NamedRegisterFormAccepted) {
+  const Module m = MustParse(std::string(kHeader) + R"(
+.visible .entry k()
+{
+    .reg .pred %flag;
+    .reg .b32 %r<3>;
+    setp.eq.s32 %flag, %r1, %r2;
+    ret;
+}
+)");
+  EXPECT_TRUE(Validate(m).ok());
+}
+
+TEST(Validator, DanglingBranchTarget) {
+  const Module m = MustParse(std::string(kHeader) + R"(
+.visible .entry k()
+{
+    .reg .pred %p<2>;
+    @%p1 bra NOWHERE;
+    ret;
+}
+)");
+  const auto report = Validate(m);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.issues[0].message.find("NOWHERE"), std::string::npos);
+}
+
+TEST(Validator, BranchTableWithMissingLabel) {
+  const Module m = MustParse(std::string(kHeader) + R"(
+.visible .entry k(.param .u32 p0)
+{
+    .reg .b32 %r<2>;
+    ld.param.u32 %r1, [p0];
+ts: .branchtargets L0, MISSING;
+    brx.idx %r1, ts;
+L0:
+    ret;
+}
+)");
+  const auto report = Validate(m);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.issues[0].message.find("MISSING"), std::string::npos);
+}
+
+TEST(Validator, UndeclaredBranchTable) {
+  const Module m = MustParse(std::string(kHeader) + R"(
+.visible .entry k()
+{
+    .reg .b32 %r<2>;
+    brx.idx %r1, ghost_table;
+    ret;
+}
+)");
+  EXPECT_FALSE(Validate(m).ok());
+}
+
+TEST(Validator, UnknownParameter) {
+  const Module m = MustParse(std::string(kHeader) + R"(
+.visible .entry k(.param .u64 k_param_0)
+{
+    .reg .b64 %rd<2>;
+    ld.param.u64 %rd1, [k_param_7];
+    ret;
+}
+)");
+  const auto report = Validate(m);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.issues[0].message.find("k_param_7"), std::string::npos);
+}
+
+TEST(Validator, DuplicateLabel) {
+  const Module m = MustParse(std::string(kHeader) + R"(
+.visible .entry k()
+{
+L:
+L:
+    ret;
+}
+)");
+  EXPECT_FALSE(Validate(m).ok());
+}
+
+TEST(Validator, DuplicateKernelNames) {
+  Module m;
+  m.kernels.push_back(MakeVecAddKernel("same"));
+  m.kernels.push_back(MakeSaxpyKernel("same"));
+  const auto report = Validate(m);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.issues[0].message.find("same"), std::string::npos);
+}
+
+TEST(Validator, GlobalVariablesResolve) {
+  const Module m = MustParse(std::string(kHeader) + R"(
+.global .align 8 .b8 lut[64];
+.visible .entry k()
+{
+    .reg .b64 %rd<3>;
+    mov.u64 %rd1, lut;
+    ret;
+}
+)");
+  EXPECT_TRUE(Validate(m).ok());
+}
+
+TEST(Validator, ValidateOrErrorSummarizes) {
+  const Module m = MustParse(std::string(kHeader) + R"(
+.visible .entry k()
+{
+    add.s32 %r1, %r2, %r3;
+    ret;
+}
+)");
+  const Status s = ValidateOrError(m);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("issue(s) total"), std::string::npos);
+}
+
+TEST(Validator, RandomGeneratedKernelsAlwaysClean) {
+  Rng rng(77);
+  for (int i = 0; i < 40; ++i) {
+    Module m;
+    m.kernels.push_back(MakeRandomKernel(
+        rng, "rk", static_cast<int>(rng.NextBelow(30)),
+        static_cast<int>(rng.NextBelow(15)), rng.NextBool(0.5)));
+    const auto report = Validate(m);
+    EXPECT_TRUE(report.ok())
+        << (report.ok() ? "" : report.issues.front().message);
+  }
+}
+
+}  // namespace
+}  // namespace grd::ptx

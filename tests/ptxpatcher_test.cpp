@@ -1,0 +1,414 @@
+#include <gtest/gtest.h>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "ptx/generator.hpp"
+#include "ptx/parser.hpp"
+#include "ptx/printer.hpp"
+#include "ptxexec/interpreter.hpp"
+#include "ptxpatcher/patcher.hpp"
+#include "ptxpatcher/regmodel.hpp"
+
+namespace grd::ptxpatcher {
+namespace {
+
+using ptx::ComputeStats;
+using ptx::Kernel;
+using ptx::KernelStats;
+using ptxexec::Interpreter;
+using ptxexec::KernelArg;
+using ptxexec::LaunchParams;
+
+PatchedKernel MustPatch(const Kernel& kernel,
+                        BoundsCheckMode mode = BoundsCheckMode::kFencingBitwise) {
+  PatchOptions options;
+  options.mode = mode;
+  auto result = PatchKernel(kernel, options);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? std::move(*result) : PatchedKernel{};
+}
+
+TEST(Patcher, AppendsTwoParams) {
+  const auto patched = MustPatch(ptx::MakeStoreTidKernel());
+  ASSERT_EQ(patched.kernel.params.size(), 4u);
+  EXPECT_EQ(patched.kernel.params[2].name, "kernel_grd_base");
+  EXPECT_EQ(patched.kernel.params[3].name, "kernel_grd_bound");
+  EXPECT_EQ(patched.kernel.params[2].type, ptx::Type::kU64);
+  EXPECT_EQ(patched.stats.extra_params, 2);
+}
+
+TEST(Patcher, CountsMatchKernelStats) {
+  for (const Kernel& k : ptx::MakeSampleModule().kernels) {
+    const KernelStats stats = ComputeStats(k);
+    const auto patched = MustPatch(k);
+    EXPECT_EQ(patched.stats.patched_loads, stats.loads) << k.name;
+    EXPECT_EQ(patched.stats.patched_stores, stats.stores) << k.name;
+  }
+}
+
+TEST(Patcher, BitwiseInsertsTwoInstructionsPerDirectAccess) {
+  // Listing 1: exactly two bitwise instructions per load/store (plus the two
+  // ld.param at entry).
+  const auto patched = MustPatch(ptx::MakeStoreTidKernel());
+  // 1 store, direct addressing: 2 (ld.param) + 2 (and/or) = 4.
+  EXPECT_EQ(patched.stats.inserted_instructions, 4u);
+  EXPECT_EQ(patched.stats.patched_offset_accesses, 0u);
+}
+
+TEST(Patcher, OffsetModeAddsTempMaterialization) {
+  const auto patched = MustPatch(ptx::MakeOffsetCopyKernel());
+  // 8 accesses; 6 have non-zero immediate offsets (i=1..3 for ld and st).
+  EXPECT_EQ(patched.stats.patched_offset_accesses, 6u);
+  // 2 ld.param + per zero-offset access 2, per offset access 3.
+  EXPECT_EQ(patched.stats.inserted_instructions, 2u + 2 * 2u + 6 * 3u);
+}
+
+TEST(Patcher, PatchedPtxContainsAndOrSequence) {
+  const auto patched = MustPatch(ptx::MakeStoreTidKernel());
+  const std::string text = ptx::Print(patched.kernel);
+  EXPECT_NE(text.find("and.b64 %grdtmp1, %rd4, %grdreg2;"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("or.b64 %grdtmp1, %grdtmp1, %grdreg1;"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ld.param.u64 %grdreg1, [kernel_grd_base];"),
+            std::string::npos)
+      << text;
+}
+
+TEST(Patcher, PatchedKernelReparses) {
+  for (const Kernel& k : ptx::MakeSampleModule().kernels) {
+    for (const auto mode :
+         {BoundsCheckMode::kFencingBitwise, BoundsCheckMode::kFencingModulo,
+          BoundsCheckMode::kChecking}) {
+      const auto patched = MustPatch(k, mode);
+      ptx::Module m;
+      m.kernels.push_back(patched.kernel);
+      auto reparsed = ptx::Parse(ptx::Print(m));
+      ASSERT_TRUE(reparsed.ok())
+          << k.name << " " << BoundsCheckModeName(mode) << ": "
+          << reparsed.status();
+      EXPECT_EQ(reparsed->kernels[0], patched.kernel);
+    }
+  }
+}
+
+TEST(Patcher, SharedAccessesUntouched) {
+  const auto patched = MustPatch(ptx::MakeReduceKernel());
+  // Only 1 global load + 1 global store are protected; shared ld/st keep
+  // their original operands.
+  EXPECT_EQ(patched.stats.patched_loads, 1u);
+  EXPECT_EQ(patched.stats.patched_stores, 1u);
+  const std::string text = ptx::Print(patched.kernel);
+  EXPECT_NE(text.find("st.shared.f32 [%rd8], %f1;"), std::string::npos);
+}
+
+TEST(Patcher, FuncInstrumentedLikeEntry) {
+  const auto patched = MustPatch(ptx::MakeFuncStoreKernel());
+  EXPECT_FALSE(patched.kernel.is_entry);
+  EXPECT_EQ(patched.stats.patched_stores, 1u);
+  EXPECT_EQ(patched.stats.extra_params, 2);
+}
+
+TEST(Patcher, BrxIdxClamped) {
+  const auto patched = MustPatch(ptx::MakeIndirectBranchKernel());
+  EXPECT_EQ(patched.stats.patched_indirect_branches, 1u);
+  const std::string text = ptx::Print(patched.kernel);
+  EXPECT_NE(text.find("min.u32 %grdidx1, %r1, 2;"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("brx.idx %grdidx1, ts;"), std::string::npos) << text;
+}
+
+TEST(Patcher, RejectsReservedParamCollision) {
+  Kernel k = ptx::MakeStoreTidKernel();
+  ptx::Param fake;
+  fake.type = ptx::Type::kU64;
+  fake.name = GrdParam0Name(k.name);
+  k.params.push_back(fake);
+  PatchOptions options;
+  EXPECT_EQ(PatchKernel(k, options).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(Patcher, ModuleAggregation) {
+  PatchStats aggregate;
+  PatchOptions options;
+  auto patched = PatchModule(ptx::MakeSampleModule(), options, &aggregate);
+  ASSERT_TRUE(patched.ok()) << patched.status();
+  std::size_t loads = 0, stores = 0;
+  for (const Kernel& k : ptx::MakeSampleModule().kernels) {
+    const KernelStats stats = ComputeStats(k);
+    loads += stats.loads;
+    stores += stats.stores;
+  }
+  EXPECT_EQ(aggregate.patched_loads, loads);
+  EXPECT_EQ(aggregate.patched_stores, stores);
+}
+
+TEST(Patcher, GrdArgsPerMode) {
+  const std::uint64_t base = 0x7fa2d0000000ull;
+  const std::uint64_t size = 16ull << 20;
+  const auto bitwise =
+      ComputeGrdArgs(BoundsCheckMode::kFencingBitwise, base, size);
+  EXPECT_EQ(bitwise.arg0, base);
+  EXPECT_EQ(bitwise.arg1, 0x000000FFFFFFull);  // Figure 4 mask
+  const auto modulo =
+      ComputeGrdArgs(BoundsCheckMode::kFencingModulo, base, size);
+  EXPECT_EQ(modulo.arg1, size);
+  const auto checking = ComputeGrdArgs(BoundsCheckMode::kChecking, base, size);
+  EXPECT_EQ(checking.arg1, base + size);
+}
+
+// ---- Functional properties: run the patched PTX through the interpreter --
+
+class PatchedExecution : public ::testing::Test {
+ protected:
+  PatchedExecution() : memory_(64ull << 20), interp_(&memory_, &allow_, 1) {}
+
+  // Launches `kernel` patched with `mode`, over partition [base, base+size).
+  Status RunPatched(const Kernel& kernel, BoundsCheckMode mode,
+                    std::uint64_t base, std::uint64_t size,
+                    std::vector<KernelArg> args, ptxexec::Dim3 block = {1, 1, 1}) {
+    PatchOptions options;
+    options.mode = mode;
+    auto patched = PatchKernel(kernel, options);
+    if (!patched.ok()) return patched.status();
+    ptx::Module m;
+    m.kernels.push_back(patched->kernel);
+    const GrdArgs grd = ComputeGrdArgs(mode, base, size);
+    args.push_back(KernelArg::U64(grd.arg0));
+    args.push_back(KernelArg::U64(grd.arg1));
+    LaunchParams params;
+    params.block = block;
+    params.args = std::move(args);
+    auto stats = interp_.Execute(m, kernel.name, params);
+    return stats.ok() ? OkStatus() : stats.status();
+  }
+
+  simgpu::GlobalMemory memory_;
+  simgpu::AllowAllPolicy allow_;
+  Interpreter interp_;
+};
+
+TEST_F(PatchedExecution, InBoundsStoreUnchanged) {
+  // A[5] = tid inside the partition: patched kernel behaves identically.
+  const std::uint64_t base = 1ull << 20, size = 1ull << 20;
+  ASSERT_TRUE(RunPatched(ptx::MakeStoreTidKernel(),
+                         BoundsCheckMode::kFencingBitwise, base, size,
+                         {KernelArg::U64(base), KernelArg::U32(5)},
+                         {4, 1, 1})
+                  .ok());
+  auto v = memory_.Load<std::uint32_t>(base + 20);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 3u);
+}
+
+TEST_F(PatchedExecution, OobWriteWrapsIntoOwnPartition) {
+  // Figure 4: the attack store lands inside the attacker's own partition;
+  // the victim's data survives.
+  const std::uint64_t attacker = 2ull << 20;  // [2 MiB, 3 MiB)
+  const std::uint64_t size = 1ull << 20;
+  const std::uint64_t victim = 8ull << 20;
+  ASSERT_TRUE(memory_.Store<std::uint32_t>(victim, 777).ok());
+
+  ASSERT_TRUE(RunPatched(ptx::MakeOobWriterKernel(),
+                         BoundsCheckMode::kFencingBitwise, attacker, size,
+                         {KernelArg::U64(attacker),
+                          KernelArg::U64(victim - attacker),
+                          KernelArg::U32(666)})
+                  .ok());
+
+  auto untouched = memory_.Load<std::uint32_t>(victim);
+  ASSERT_TRUE(untouched.ok());
+  EXPECT_EQ(*untouched, 777u);  // victim intact
+  // The wrapped store landed at (victim & mask) | attacker_base.
+  const std::uint64_t wrapped =
+      FenceAddress(victim, attacker, PartitionMask(size));
+  ASSERT_GE(wrapped, attacker);
+  ASSERT_LT(wrapped, attacker + size);
+  auto wrapped_value = memory_.Load<std::uint32_t>(wrapped);
+  ASSERT_TRUE(wrapped_value.ok());
+  EXPECT_EQ(*wrapped_value, 666u);
+}
+
+TEST_F(PatchedExecution, ModuloFencingAlsoWraps) {
+  const std::uint64_t attacker = 2ull << 20;
+  const std::uint64_t size = 1ull << 20;
+  const std::uint64_t victim = 8ull << 20;
+  ASSERT_TRUE(memory_.Store<std::uint32_t>(victim, 777).ok());
+  ASSERT_TRUE(RunPatched(ptx::MakeOobWriterKernel(),
+                         BoundsCheckMode::kFencingModulo, attacker, size,
+                         {KernelArg::U64(attacker),
+                          KernelArg::U64(victim - attacker),
+                          KernelArg::U32(666)})
+                  .ok());
+  auto untouched = memory_.Load<std::uint32_t>(victim);
+  ASSERT_TRUE(untouched.ok());
+  EXPECT_EQ(*untouched, 777u);
+}
+
+TEST_F(PatchedExecution, ModuloWorksForNonPowerOfTwoPartitions) {
+  // §4.4: modulo fencing does not require power-of-two alignment.
+  const std::uint64_t base = 3ull << 20;
+  const std::uint64_t size = (1ull << 20) + 4096;  // not a power of two
+  const std::uint64_t victim = 16ull << 20;
+  ASSERT_TRUE(memory_.Store<std::uint32_t>(victim, 777).ok());
+  ASSERT_TRUE(RunPatched(ptx::MakeOobWriterKernel(),
+                         BoundsCheckMode::kFencingModulo, base, size,
+                         {KernelArg::U64(base), KernelArg::U64(victim - base),
+                          KernelArg::U32(666)})
+                  .ok());
+  auto untouched = memory_.Load<std::uint32_t>(victim);
+  ASSERT_TRUE(untouched.ok());
+  EXPECT_EQ(*untouched, 777u);
+}
+
+TEST_F(PatchedExecution, CheckingModeTrapsOnOob) {
+  const std::uint64_t base = 2ull << 20, size = 1ull << 20;
+  const std::uint64_t victim = 8ull << 20;
+  const Status s = RunPatched(ptx::MakeOobWriterKernel(),
+                              BoundsCheckMode::kChecking, base, size,
+                              {KernelArg::U64(base),
+                               KernelArg::U64(victim - base),
+                               KernelArg::U32(666)});
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  // Victim untouched.
+  auto v = memory_.Load<std::uint32_t>(victim);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 0u);
+}
+
+TEST_F(PatchedExecution, CheckingModeAllowsInBounds) {
+  const std::uint64_t base = 2ull << 20, size = 1ull << 20;
+  EXPECT_TRUE(RunPatched(ptx::MakeOobWriterKernel(),
+                         BoundsCheckMode::kChecking, base, size,
+                         {KernelArg::U64(base), KernelArg::U64(64),
+                          KernelArg::U32(5)})
+                  .ok());
+  auto v = memory_.Load<std::uint32_t>(base + 64);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 5u);
+}
+
+TEST_F(PatchedExecution, BrxClampPreventsFault) {
+  // Out-of-table selector 7 on a 3-entry table: native faults (covered in
+  // ptxexec tests); the patched kernel clamps to arm 2 and completes.
+  const std::uint64_t base = 1ull << 20, size = 1ull << 20;
+  ASSERT_TRUE(RunPatched(ptx::MakeIndirectBranchKernel(),
+                         BoundsCheckMode::kFencingBitwise, base, size,
+                         {KernelArg::U64(base), KernelArg::U32(7)})
+                  .ok());
+  auto v = memory_.Load<std::uint32_t>(base);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 30u);  // clamped to last arm
+}
+
+TEST_F(PatchedExecution, VecAddEquivalentWhenInBounds) {
+  // Equivalence property: for in-bounds data the patched kernel computes
+  // exactly what the native kernel computes.
+  const std::uint64_t base = 4ull << 20, size = 1ull << 20;
+  const std::uint64_t a = base, b = base + 0x10000, c = base + 0x20000;
+  const int n = 64;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(memory_.Store<float>(a + i * 4, static_cast<float>(i)).ok());
+    ASSERT_TRUE(memory_.Store<float>(b + i * 4, 1.0f).ok());
+  }
+  ASSERT_TRUE(RunPatched(ptx::MakeVecAddKernel(),
+                         BoundsCheckMode::kFencingBitwise, base, size,
+                         {KernelArg::U64(a), KernelArg::U64(b),
+                          KernelArg::U64(c), KernelArg::U32(n)},
+                         {64, 1, 1})
+                  .ok());
+  for (int i = 0; i < n; ++i) {
+    auto v = memory_.Load<float>(c + i * 4);
+    ASSERT_TRUE(v.ok());
+    EXPECT_FLOAT_EQ(*v, static_cast<float>(i + 1));
+  }
+}
+
+// Property sweep: random kernels, all three modes, execution inside the
+// partition must succeed and never touch memory outside it.
+class PatchedRandomKernels
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PatchedRandomKernels, NeverEscapesPartition) {
+  const auto [seed, mode_index] = GetParam();
+  Rng rng(seed * 104729 + 7);
+  const auto mode = static_cast<BoundsCheckMode>(mode_index);
+
+  simgpu::GlobalMemory memory(32ull << 20);
+  simgpu::AllowAllPolicy allow;
+  Interpreter interp(&memory, &allow, 1);
+
+  const std::uint64_t base = 1ull << 20;
+  const std::uint64_t size = 1ull << 20;
+  // Poison a sentinel outside the partition.
+  const std::uint64_t sentinel = 4ull << 20;
+  ASSERT_TRUE(memory.Store<std::uint64_t>(sentinel, 0x5EBA5E11ull).ok());
+
+  const Kernel kernel = ptx::MakeRandomKernel(
+      rng, "rk", static_cast<int>(rng.NextInRange(1, 24)),
+      static_cast<int>(rng.NextInRange(1, 12)), rng.NextBool(0.5));
+  PatchOptions options;
+  options.mode = mode;
+  auto patched = PatchKernel(kernel, options);
+  ASSERT_TRUE(patched.ok()) << patched.status();
+  ptx::Module m;
+  m.kernels.push_back(patched->kernel);
+
+  const GrdArgs grd = ComputeGrdArgs(mode, base, size);
+  LaunchParams params;
+  params.block = {32, 1, 1};
+  params.args = {KernelArg::U64(base), KernelArg::U32(0),
+                 KernelArg::U64(grd.arg0), KernelArg::U64(grd.arg1)};
+  auto stats = interp.Execute(m, "rk", params);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+
+  auto v = memory.Load<std::uint64_t>(sentinel);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 0x5EBA5E11ull);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PatchedRandomKernels,
+                         ::testing::Combine(::testing::Range(0, 12),
+                                            ::testing::Values(0, 1, 2)));
+
+// ---- Register model (Figure 9) ----------------------------------------
+
+TEST(RegModel, NoOptCountsDistinctRegisters) {
+  const Kernel k = ptx::MakeStoreTidKernel();
+  const RegisterUsage native = EstimateRegisterUsage(k);
+  // %rd1..4, %r1..2 -> 6 distinct virtual registers actually used.
+  EXPECT_EQ(native.no_opt, 6u);
+  EXPECT_LE(native.optimized, native.no_opt);
+}
+
+TEST(RegModel, PatchedAddsFewRegistersNoOpt) {
+  const Kernel k = ptx::MakeStoreTidKernel();
+  const auto patched = MustPatch(k);
+  const RegisterUsage native = EstimateRegisterUsage(k);
+  const RegisterUsage sandboxed = EstimateRegisterUsage(patched.kernel);
+  const std::size_t delta = sandboxed.no_opt - native.no_opt;
+  EXPECT_GE(delta, 2u);  // at least base+mask
+  EXPECT_LE(delta, 4u);  // Figure 9a: up to 4 extra registers
+}
+
+TEST(RegModel, OptimizedDeltaSmallerThanNoOptDelta) {
+  // Figure 9b: with -O3 most kernels pay nothing because the fencing temps
+  // have short live ranges.
+  std::size_t sum_noopt_delta = 0, sum_opt_delta = 0, n = 0;
+  for (const Kernel& k : ptx::MakeSampleModule().kernels) {
+    const auto patched = MustPatch(k);
+    const RegisterUsage native = EstimateRegisterUsage(k);
+    const RegisterUsage sandboxed = EstimateRegisterUsage(patched.kernel);
+    sum_noopt_delta += sandboxed.no_opt - native.no_opt;
+    sum_opt_delta += sandboxed.optimized >= native.optimized
+                         ? sandboxed.optimized - native.optimized
+                         : 0;
+    ++n;
+  }
+  EXPECT_LT(sum_opt_delta, sum_noopt_delta);
+}
+
+}  // namespace
+}  // namespace grd::ptxpatcher

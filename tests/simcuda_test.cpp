@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "ptx/generator.hpp"
+#include "ptx/printer.hpp"
+#include "simcuda/export_tables.hpp"
+#include "simcuda/native.hpp"
+#include "simcuda/tracing.hpp"
+#include "simgpu/device_spec.hpp"
+
+namespace grd::simcuda {
+namespace {
+
+class NativeCudaTest : public ::testing::Test {
+ protected:
+  NativeCudaTest() : gpu_(simgpu::QuadroRtxA4000()), api_(&gpu_) {}
+
+  Result<FunctionId> LoadKernel(NativeCuda& api, const std::string& name) {
+    ptx::Module m;
+    m.kernels.push_back([&] {
+      for (auto& k : ptx::MakeSampleModule().kernels) {
+        if (k.name == name) return k;
+      }
+      return ptx::Kernel{};
+    }());
+    GRD_ASSIGN_OR_RETURN(ModuleId module,
+                         api.cuModuleLoadData(ptx::Print(m)));
+    return api.cuModuleGetFunction(module, name);
+  }
+
+  Gpu gpu_;
+  NativeCuda api_;
+};
+
+TEST_F(NativeCudaTest, MallocFreeRoundTrip) {
+  DevicePtr ptr = 0;
+  ASSERT_TRUE(api_.cudaMalloc(&ptr, 4096).ok());
+  EXPECT_EQ(gpu_.allocator().allocated_bytes(), 4096u);
+  ASSERT_TRUE(api_.cudaFree(ptr).ok());
+  EXPECT_EQ(gpu_.allocator().allocated_bytes(), 0u);
+}
+
+TEST_F(NativeCudaTest, FreeForeignPointerRejected) {
+  NativeCuda other(&gpu_);
+  DevicePtr ptr = 0;
+  ASSERT_TRUE(other.cudaMalloc(&ptr, 4096).ok());
+  EXPECT_EQ(api_.cudaFree(ptr).code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(NativeCudaTest, MemcpyRoundTrip) {
+  DevicePtr ptr = 0;
+  ASSERT_TRUE(api_.cudaMalloc(&ptr, 64).ok());
+  const std::uint32_t data[4] = {1, 2, 3, 4};
+  ASSERT_TRUE(api_.cudaMemcpyH2D(ptr, data, sizeof(data)).ok());
+  std::uint32_t back[4] = {};
+  ASSERT_TRUE(
+      api_.cudaMemcpy(back, ptr, sizeof(back), MemcpyKind::kDeviceToHost)
+          .ok());
+  EXPECT_EQ(back[3], 4u);
+}
+
+TEST_F(NativeCudaTest, MemcpyToForeignBufferRejected) {
+  // Host-initiated transfers are checked against context ownership: this is
+  // the H2D attack vector Guardian closes with the partition table (§4.2.2);
+  // native CUDA closes it with per-context allocations.
+  NativeCuda other(&gpu_);
+  DevicePtr foreign = 0;
+  ASSERT_TRUE(other.cudaMalloc(&foreign, 64).ok());
+  const std::uint32_t v = 7;
+  EXPECT_EQ(api_.cudaMemcpyH2D(foreign, &v, sizeof(v)).code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(NativeCudaTest, MemsetAndD2D) {
+  DevicePtr a = 0, b = 0;
+  ASSERT_TRUE(api_.cudaMalloc(&a, 64).ok());
+  ASSERT_TRUE(api_.cudaMalloc(&b, 64).ok());
+  ASSERT_TRUE(api_.cudaMemset(a, 0xCD, 64).ok());
+  ASSERT_TRUE(api_.cudaMemcpyD2D(b, a, 64).ok());
+  std::uint8_t back = 0;
+  ASSERT_TRUE(api_.cudaMemcpy(&back, b + 63, 1, MemcpyKind::kDeviceToHost)
+                  .ok());
+  EXPECT_EQ(back, 0xCD);
+}
+
+TEST_F(NativeCudaTest, LaunchKernelExecutes) {
+  auto fn = LoadKernel(api_, "kernel");
+  ASSERT_TRUE(fn.ok()) << fn.status();
+  DevicePtr buf = 0;
+  ASSERT_TRUE(api_.cudaMalloc(&buf, 256).ok());
+  LaunchConfig config;
+  config.block = {4, 1, 1};
+  ASSERT_TRUE(api_.cudaLaunchKernel(*fn, config,
+                                    {ptxexec::KernelArg::U64(buf),
+                                     ptxexec::KernelArg::U32(2)})
+                  .ok());
+  std::uint32_t v = 0;
+  ASSERT_TRUE(api_.cudaMemcpy(&v, buf + 8, 4, MemcpyKind::kDeviceToHost).ok());
+  EXPECT_EQ(v, 3u);
+}
+
+TEST_F(NativeCudaTest, KernelTouchingForeignMemoryFaults) {
+  // Cross-context isolation: the OOB writer reaching into another context's
+  // allocation faults (per-context page tables, §2.1) and only poisons the
+  // attacker's context.
+  NativeCuda victim_api(&gpu_);
+  DevicePtr victim = 0;
+  ASSERT_TRUE(victim_api.cudaMalloc(&victim, 4096).ok());
+
+  auto fn = LoadKernel(api_, "oob_writer");
+  ASSERT_TRUE(fn.ok());
+  DevicePtr mine = 0;
+  ASSERT_TRUE(api_.cudaMalloc(&mine, 4096).ok());
+  LaunchConfig config;
+  const Status s = api_.cudaLaunchKernel(
+      *fn, config,
+      {ptxexec::KernelArg::U64(mine),
+       ptxexec::KernelArg::U64(victim - mine), ptxexec::KernelArg::U32(666)});
+  EXPECT_EQ(s.code(), StatusCode::kPermissionDenied);
+
+  // Sticky error on the faulting context only.
+  DevicePtr more = 0;
+  EXPECT_EQ(api_.cudaMalloc(&more, 64).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(victim_api.cudaMalloc(&more, 64).ok());
+}
+
+TEST_F(NativeCudaTest, StreamsAndEvents) {
+  StreamId stream = 0;
+  ASSERT_TRUE(api_.cudaStreamCreate(&stream).ok());
+  EXPECT_NE(stream, kDefaultStream);
+  bool capturing = true;
+  ASSERT_TRUE(api_.cudaStreamIsCapturing(stream, &capturing).ok());
+  EXPECT_FALSE(capturing);
+  EventId event = 0;
+  ASSERT_TRUE(api_.cudaEventCreateWithFlags(&event, 0).ok());
+  ASSERT_TRUE(api_.cudaEventRecord(event, stream).ok());
+  ASSERT_TRUE(api_.cudaStreamSynchronize(stream).ok());
+  ASSERT_TRUE(api_.cudaEventDestroy(event).ok());
+  ASSERT_TRUE(api_.cudaStreamDestroy(stream).ok());
+  EXPECT_FALSE(api_.cudaStreamDestroy(kDefaultStream).ok());
+}
+
+TEST_F(NativeCudaTest, ModuleLoadRejectsBadPtx) {
+  EXPECT_FALSE(api_.cuModuleLoadData("this is not ptx").ok());
+}
+
+TEST_F(NativeCudaTest, GetFunctionRejectsUnknownKernel) {
+  ptx::Module m;
+  m.kernels.push_back(ptx::MakeVecAddKernel());
+  auto module = api_.cuModuleLoadData(ptx::Print(m));
+  ASSERT_TRUE(module.ok());
+  EXPECT_EQ(api_.cuModuleGetFunction(*module, "nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(NativeCudaTest, ExportTablesPresent) {
+  // Paper §4.1: ~7 tables, >90 hidden functions.
+  EXPECT_EQ(kExportTableCount, 7);
+  EXPECT_GT(TotalExportedFunctions(), 90u);
+  auto table = api_.cudaGetExportTable(ExportTableId::kPrimaryContext);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->id, ExportTableId::kPrimaryContext);
+  EXPECT_FALSE((*table)->entries.empty());
+}
+
+TEST_F(NativeCudaTest, ContextMemoryReleasedOnDestruction) {
+  {
+    NativeCuda ephemeral(&gpu_);
+    DevicePtr p = 0;
+    ASSERT_TRUE(ephemeral.cudaMalloc(&p, 1024).ok());
+    EXPECT_TRUE(gpu_.ownership().OwnerOf(p, 1024).ok());
+  }
+  // Ownership entries for the destroyed context are gone.
+  EXPECT_EQ(gpu_.ownership().BytesOwnedBy(2), 0u);
+}
+
+TEST(DeviceAllocator, FirstFitAndCoalescing) {
+  DeviceAllocator alloc(1 << 20);
+  auto a = alloc.Allocate(1000);
+  auto b = alloc.Allocate(1000);
+  auto c = alloc.Allocate(1000);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_TRUE(alloc.Free(*b).ok());
+  // Freed middle block is reused.
+  auto d = alloc.Allocate(500);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, *b);
+  ASSERT_TRUE(alloc.Free(*a).ok());
+  ASSERT_TRUE(alloc.Free(*c).ok());
+  ASSERT_TRUE(alloc.Free(*d).ok());
+  // Everything coalesced back: a full-size allocation fits again.
+  auto full = alloc.Allocate((1 << 20) - 256, 256);
+  EXPECT_TRUE(full.ok()) << full.status();
+}
+
+TEST(DeviceAllocator, AlignmentRespected) {
+  DeviceAllocator alloc(1 << 20);
+  ASSERT_TRUE(alloc.Allocate(10).ok());
+  auto aligned = alloc.Allocate(100, 4096);
+  ASSERT_TRUE(aligned.ok());
+  EXPECT_EQ(*aligned % 4096, 0u);
+}
+
+TEST(DeviceAllocator, ExhaustionReported) {
+  DeviceAllocator alloc(1024);
+  EXPECT_TRUE(alloc.Allocate(512).ok());
+  EXPECT_EQ(alloc.Allocate(4096).status().code(), StatusCode::kOutOfMemory);
+  EXPECT_FALSE(alloc.Allocate(0).ok());
+  EXPECT_FALSE(alloc.Free(999).ok());
+}
+
+TEST(Tracing, CountsForwardedCalls) {
+  Gpu gpu(simgpu::QuadroRtxA4000());
+  NativeCuda native(&gpu);
+  TracingCudaApi traced(&native);
+  DevicePtr p = 0;
+  ASSERT_TRUE(traced.cudaMalloc(&p, 64).ok());
+  std::uint32_t v = 5;
+  ASSERT_TRUE(traced.cudaMemcpyH2D(p, &v, 4).ok());
+  ASSERT_TRUE(traced.cudaFree(p).ok());
+  EXPECT_EQ(traced.CountOf("cudaMalloc"), 1u);
+  EXPECT_EQ(traced.CountOf("cudaMemcpy"), 1u);
+  EXPECT_EQ(traced.CountOf("cudaFree"), 1u);
+  EXPECT_EQ(traced.TotalCalls(), 3u);
+  traced.ResetCounts();
+  EXPECT_EQ(traced.TotalCalls(), 0u);
+}
+
+}  // namespace
+}  // namespace grd::simcuda

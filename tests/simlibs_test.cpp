@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "simcuda/native.hpp"
+#include "simcuda/tracing.hpp"
+#include "simgpu/device_spec.hpp"
+#include "simlibs/cublas.hpp"
+#include "simlibs/cufft.hpp"
+#include "simlibs/curand.hpp"
+#include "simlibs/cusolver.hpp"
+#include "simlibs/cusparse.hpp"
+#include "simlibs/libcalls.hpp"
+
+namespace grd::simlibs {
+namespace {
+
+using simcuda::DevicePtr;
+using simcuda::MemcpyKind;
+
+class SimlibsTest : public ::testing::Test {
+ protected:
+  SimlibsTest()
+      : gpu_(simgpu::QuadroRtxA4000()), native_(&gpu_), traced_(&native_) {}
+
+  DevicePtr Upload(const void* data, std::uint64_t size) {
+    DevicePtr ptr = 0;
+    EXPECT_TRUE(native_.cudaMalloc(&ptr, size).ok());
+    EXPECT_TRUE(native_.cudaMemcpyH2D(ptr, data, size).ok());
+    return ptr;
+  }
+
+  simcuda::Gpu gpu_;
+  simcuda::NativeCuda native_;
+  simcuda::TracingCudaApi traced_;
+};
+
+TEST_F(SimlibsTest, CublasCreateImplicitCalls) {
+  // Table 6 row "cublasCreate": cudaMalloc x3, cudaEventCreateWithFlags x18,
+  // cudaFree x2 -> 23 implicit runtime calls.
+  auto lib = Cublas::Create(traced_);
+  ASSERT_TRUE(lib.ok()) << lib.status();
+  EXPECT_EQ(traced_.CountOf("cudaMalloc"), 3u);
+  EXPECT_EQ(traced_.CountOf("cudaEventCreateWithFlags"), 18u);
+  EXPECT_EQ(traced_.CountOf("cudaFree"), 2u);
+  EXPECT_EQ(traced_.CountOf("cudaMalloc") +
+                traced_.CountOf("cudaEventCreateWithFlags") +
+                traced_.CountOf("cudaFree"),
+            23u);
+}
+
+TEST_F(SimlibsTest, CublasIdamaxImplicitCallsAndResult) {
+  auto lib = Cublas::Create(traced_);
+  ASSERT_TRUE(lib.ok());
+  const double xs[5] = {1.0, -9.5, 3.0, 9.0, -2.0};
+  const DevicePtr x = Upload(xs, sizeof(xs));
+  traced_.ResetCounts();
+  auto idx = lib->Idamax(x, 5);
+  ASSERT_TRUE(idx.ok()) << idx.status();
+  EXPECT_EQ(*idx, 2u);  // |-9.5| max, 1-based
+  // Table 6 row "cublasIdamax": 1 launch, 1 memcpy, 1 event record,
+  // 2 stream capture queries -> 5 calls.
+  EXPECT_EQ(traced_.CountOf("cudaLaunchKernel"), 1u);
+  EXPECT_EQ(traced_.CountOf("cudaMemcpy"), 1u);
+  EXPECT_EQ(traced_.CountOf("cudaEventRecord"), 1u);
+  EXPECT_EQ(traced_.CountOf("cudaStreamGetCaptureInfo"), 2u);
+  EXPECT_EQ(traced_.TotalCalls(), 5u);
+}
+
+TEST_F(SimlibsTest, CublasDdotImplicitCallsAndResult) {
+  auto lib = Cublas::Create(traced_);
+  ASSERT_TRUE(lib.ok());
+  const double xs[4] = {1, 2, 3, 4};
+  const double ys[4] = {10, 20, 30, 40};
+  const DevicePtr x = Upload(xs, sizeof(xs));
+  const DevicePtr y = Upload(ys, sizeof(ys));
+  traced_.ResetCounts();
+  auto dot = lib->Ddot(x, y, 4);
+  ASSERT_TRUE(dot.ok()) << dot.status();
+  EXPECT_DOUBLE_EQ(*dot, 300.0);
+  // Table 6 row "cublasDdot": 2 launches, 1 memcpy, 1 record, 2 capture -> 6.
+  EXPECT_EQ(traced_.CountOf("cudaLaunchKernel"), 2u);
+  EXPECT_EQ(traced_.TotalCalls(), 6u);
+}
+
+TEST_F(SimlibsTest, CublasSgemmComputes) {
+  auto lib = Cublas::Create(native_);
+  ASSERT_TRUE(lib.ok());
+  // A = [[1,2],[3,4]], B = [[5,6],[7,8]] -> C = [[19,22],[43,50]].
+  const float a[4] = {1, 2, 3, 4};
+  const float b[4] = {5, 6, 7, 8};
+  const DevicePtr da = Upload(a, sizeof(a));
+  const DevicePtr db = Upload(b, sizeof(b));
+  DevicePtr dc = 0;
+  ASSERT_TRUE(native_.cudaMalloc(&dc, sizeof(a)).ok());
+  ASSERT_TRUE(lib->Sgemm(da, db, dc, 2, 2, 2).ok());
+  float c[4] = {};
+  ASSERT_TRUE(
+      native_.cudaMemcpy(c, dc, sizeof(c), MemcpyKind::kDeviceToHost).ok());
+  EXPECT_FLOAT_EQ(c[0], 19);
+  EXPECT_FLOAT_EQ(c[1], 22);
+  EXPECT_FLOAT_EQ(c[2], 43);
+  EXPECT_FLOAT_EQ(c[3], 50);
+}
+
+TEST_F(SimlibsTest, CufftExecImplicitCalls) {
+  auto lib = Cufft::Create(traced_);
+  ASSERT_TRUE(lib.ok());
+  const float signal[8] = {1, 0, 2, 0, 3, 0, 4, 0};  // 4 complex points
+  const DevicePtr in = Upload(signal, sizeof(signal));
+  DevicePtr out = 0;
+  ASSERT_TRUE(native_.cudaMalloc(&out, sizeof(signal)).ok());
+  traced_.ResetCounts();
+  ASSERT_TRUE(lib->ExecC2C(in, out, 4).ok());
+  // Table 6 row "cufftExecC2C": cuMemcpyHtoD x2, cuMemAlloc x1, cuMemFree x1,
+  // cuLaunchKernel x1, cudaStreamIsCapturing x1 -> 6.
+  EXPECT_EQ(traced_.CountOf("cuMemcpyHtoD"), 2u);
+  EXPECT_EQ(traced_.CountOf("cuMemAlloc"), 1u);
+  EXPECT_EQ(traced_.CountOf("cuMemFree"), 1u);
+  EXPECT_EQ(traced_.CountOf("cuLaunchKernel"), 1u);
+  EXPECT_EQ(traced_.CountOf("cudaStreamIsCapturing"), 1u);
+  EXPECT_EQ(traced_.TotalCalls(), 6u);
+  // Identity twiddle: output equals input.
+  float result[8] = {};
+  ASSERT_TRUE(native_.cudaMemcpy(result, out, sizeof(result),
+                                 MemcpyKind::kDeviceToHost)
+                  .ok());
+  EXPECT_FLOAT_EQ(result[4], 3.0f);
+}
+
+TEST_F(SimlibsTest, CusparseAxpbyImplicitCallsAndResult) {
+  auto lib = Cusparse::Create(traced_);
+  ASSERT_TRUE(lib.ok());
+  const float xs[4] = {1, 1, 1, 1};
+  const float ys[4] = {2, 2, 2, 2};
+  const DevicePtr x = Upload(xs, sizeof(xs));
+  const DevicePtr y = Upload(ys, sizeof(ys));
+  traced_.ResetCounts();
+  ASSERT_TRUE(lib->Axpby(3.0f, x, 0.5f, y, 4).ok());
+  // Table 6 row "cusparseAxpby": cudaLaunchKernel x2 and nothing else.
+  EXPECT_EQ(traced_.CountOf("cudaLaunchKernel"), 2u);
+  EXPECT_EQ(traced_.TotalCalls(), 2u);
+  float result[4] = {};
+  ASSERT_TRUE(native_.cudaMemcpy(result, y, sizeof(result),
+                                 MemcpyKind::kDeviceToHost)
+                  .ok());
+  EXPECT_FLOAT_EQ(result[0], 4.0f);  // 3*1 + 0.5*2
+}
+
+TEST_F(SimlibsTest, CusolverImplicitCallsAndResult) {
+  auto lib = Cusolver::Create(traced_);
+  ASSERT_TRUE(lib.ok());
+  const double values[3] = {2.0, 4.0, 8.0};
+  const double rhs[3] = {10.0, 20.0, 40.0};
+  const DevicePtr vals = Upload(values, sizeof(values));
+  const DevicePtr b = Upload(rhs, sizeof(rhs));
+  DevicePtr x = 0;
+  ASSERT_TRUE(native_.cudaMalloc(&x, sizeof(rhs)).ok());
+  traced_.ResetCounts();
+  ASSERT_TRUE(lib->SpDcsrqr(vals, b, x, 3).ok());
+  // Table 6 row "cusolverSpDcsrqr": cudaLaunchKernel x2, cuMemcpyHtoD x1,
+  // cuMemAlloc x1 -> 4.
+  EXPECT_EQ(traced_.CountOf("cudaLaunchKernel"), 2u);
+  EXPECT_EQ(traced_.CountOf("cuMemcpyHtoD"), 1u);
+  EXPECT_EQ(traced_.CountOf("cuMemAlloc"), 1u);
+  EXPECT_EQ(traced_.TotalCalls(), 4u);
+  double result[3] = {};
+  ASSERT_TRUE(native_.cudaMemcpy(result, x, sizeof(result),
+                                 MemcpyKind::kDeviceToHost)
+                  .ok());
+  EXPECT_DOUBLE_EQ(result[0], 5.0);
+  EXPECT_DOUBLE_EQ(result[2], 5.0);
+}
+
+TEST_F(SimlibsTest, CurandGeneratesDeterministicSequence) {
+  auto lib = Curand::Create(native_, /*seed=*/42);
+  ASSERT_TRUE(lib.ok());
+  DevicePtr out = 0;
+  ASSERT_TRUE(native_.cudaMalloc(&out, 16).ok());
+  ASSERT_TRUE(lib->Generate(out, 4).ok());
+  std::uint32_t values[4] = {};
+  ASSERT_TRUE(native_.cudaMemcpy(values, out, sizeof(values),
+                                 MemcpyKind::kDeviceToHost)
+                  .ok());
+  EXPECT_EQ(values[0], 42u * 1664525u + 1013904223u);
+  EXPECT_EQ(values[1], 43u * 1664525u + 1013904223u);
+  EXPECT_NE(values[2], values[3]);
+}
+
+TEST(Figure12Calls, ThirtySevenCallsWithPaperBandOverheads) {
+  const auto& calls = Figure12Calls();
+  ASSERT_EQ(calls.size(), 37u);
+  EXPECT_EQ(calls.front().name, "hpr2");
+  EXPECT_EQ(calls.back().name, "spvv");
+  const simgpu::TimingModel model(simgpu::QuadroRtxA4000());
+  double total = 0.0;
+  for (const auto& call : calls) {
+    const double overhead = model.RelativeOverhead(
+        call.profile, simgpu::ProtectionMode::kFencingBitwise);
+    EXPECT_GE(overhead, 0.0) << call.name;
+    EXPECT_LE(overhead, 0.14) << call.name;  // Figure 12 band: 0-13%
+    total += overhead;
+  }
+  // Paper: ~4% average across the suite.
+  const double average = total / static_cast<double>(calls.size());
+  EXPECT_GT(average, 0.015);
+  EXPECT_LT(average, 0.07);
+}
+
+}  // namespace
+}  // namespace grd::simlibs

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include "simgpu/device_spec.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/harness.hpp"
+#include "workloads/table4.hpp"
+
+namespace grd::workloads {
+namespace {
+
+TEST(Apps, RegistryContainsAllEvaluationApps) {
+  for (const char* name :
+       {"lenet", "siamese", "cifar10", "cv", "rnn", "googlenet", "alexnet",
+        "caffenet", "vgg11", "mobilenetv2", "resnet50", "gaussian", "lavamd",
+        "hotspot", "particle"}) {
+    EXPECT_NO_THROW(GetApp(name)) << name;
+  }
+  EXPECT_THROW(GetApp("nope"), std::out_of_range);
+  EXPECT_EQ(AllAppNames().size(), 15u);
+}
+
+TEST(Apps, LenetMixMatchesFigure10) {
+  const auto& mix = LenetKernelMix();
+  ASSERT_EQ(mix.size(), 30u);
+  EXPECT_EQ(mix[0].name, "sgemm_1");
+  EXPECT_EQ(mix[2].name, "im2col");
+  EXPECT_EQ(mix.back().name, "accuracyfw");
+}
+
+TEST(Apps, LenetCacheAveragesNearMeasured) {
+  // §7.4: lenet average L1 hit 37%, L2 hit 72%.
+  double l1 = 0, l2 = 0;
+  for (const auto& kernel : LenetKernelMix()) {
+    l1 += kernel.profile.cache.l1_hit;
+    l2 += kernel.profile.cache.l2_hit;
+  }
+  l1 /= LenetKernelMix().size();
+  l2 /= LenetKernelMix().size();
+  EXPECT_NEAR(l1, 0.37, 0.08);
+  EXPECT_NEAR(l2, 0.72, 0.08);
+}
+
+TEST(Apps, LenetPerKernelOverheadsInFigure10Band) {
+  const simgpu::TimingModel model(simgpu::QuadroRtxA4000());
+  double total = 0;
+  for (const auto& kernel : LenetKernelMix()) {
+    const double overhead = model.RelativeOverhead(
+        kernel.profile, simgpu::ProtectionMode::kFencingBitwise);
+    EXPECT_GE(overhead, 0.0) << kernel.name;
+    EXPECT_LE(overhead, 0.11) << kernel.name;  // Figure 10: 0-10%
+    total += overhead;
+  }
+  EXPECT_NEAR(total / LenetKernelMix().size(), 0.032, 0.015);  // avg ~3.2%
+}
+
+TEST(Apps, InferenceVariantDropsBackwardKernels) {
+  const AppSpec& training = GetApp("cifar10");
+  const AppSpec inference = InferenceVariant(training);
+  EXPECT_LT(inference.kernels.size(), training.kernels.size());
+  for (const auto& kernel : inference.kernels) {
+    EXPECT_EQ(kernel.name.find("bw"), std::string::npos);
+  }
+  EXPECT_LT(inference.default_iterations, training.default_iterations);
+}
+
+TEST(Table4, SixteenMixes) {
+  const auto& mixes = Table4Workloads();
+  ASSERT_EQ(mixes.size(), 16u);
+  EXPECT_EQ(mixes[0].id, "A");
+  EXPECT_EQ(mixes[0].name, "2xlenet");
+  EXPECT_EQ(mixes[1].TotalClients(), 4);       // B = 4xlenet
+  EXPECT_EQ(mixes[15].id, "P");
+  EXPECT_EQ(mixes[15].TotalClients(), 4);      // 4 different apps
+  EXPECT_EQ(mixes[11].TotalClients(), 6);      // L = 3+1+2
+  for (const auto& mix : mixes) {
+    EXPECT_GE(mix.TotalClients(), 2);
+    EXPECT_LE(mix.TotalClients(), 6);          // paper: 2-6 clients
+    for (const auto& entry : mix.entries) EXPECT_NO_THROW(GetApp(entry.app));
+  }
+}
+
+class HarnessTest : public ::testing::Test {
+ protected:
+  HarnessTest() : harness_(simgpu::QuadroRtxA4000()) {}
+
+  double Standalone(const std::string& app, Deployment deployment,
+                    std::uint64_t iterations = 50) {
+    return harness_.RunStandalone({app, iterations, false}, deployment)
+        .total_cycles;
+  }
+
+  Harness harness_;
+};
+
+TEST_F(HarnessTest, StandaloneDeploymentOrdering) {
+  // Figure 7/8 ordering: native < noprot < bitwise < modulo < checking.
+  for (const char* app : {"lenet", "cifar10", "resnet50"}) {
+    const double native = Standalone(app, Deployment::kNative);
+    const double noprot = Standalone(app, Deployment::kGuardianNoProtection);
+    const double bitwise = Standalone(app, Deployment::kGuardianBitwise);
+    const double modulo = Standalone(app, Deployment::kGuardianModulo);
+    const double checking = Standalone(app, Deployment::kGuardianChecking);
+    EXPECT_LT(native, noprot) << app;
+    EXPECT_LT(noprot, bitwise) << app;
+    EXPECT_LT(bitwise, modulo) << app;
+    EXPECT_LT(modulo, checking) << app;
+  }
+}
+
+TEST_F(HarnessTest, BitwiseOverheadInPaperBand) {
+  // §7.2: Guardian bitwise fencing is 4%-12% over native, ~9% on average.
+  double total = 0;
+  int count = 0;
+  for (const char* app :
+       {"lenet", "siamese", "cifar10", "googlenet", "alexnet", "caffenet",
+        "vgg11", "mobilenetv2", "resnet50"}) {
+    const double native = Standalone(app, Deployment::kNative);
+    const double bitwise = Standalone(app, Deployment::kGuardianBitwise);
+    const double overhead = bitwise / native - 1.0;
+    EXPECT_GT(overhead, 0.02) << app;
+    EXPECT_LT(overhead, 0.16) << app;
+    total += overhead;
+    ++count;
+  }
+  const double average = total / count;
+  EXPECT_GT(average, 0.04);
+  EXPECT_LT(average, 0.13);
+}
+
+TEST_F(HarnessTest, ModuloAndCheckingMuchWorse) {
+  // §7.2: modulo ≈ +29% vs native; checking ≈ 1.7x.
+  double modulo_total = 0, checking_total = 0;
+  int count = 0;
+  for (const char* app : {"lenet", "siamese", "cifar10"}) {
+    const double native = Standalone(app, Deployment::kNative);
+    modulo_total += Standalone(app, Deployment::kGuardianModulo) / native;
+    checking_total += Standalone(app, Deployment::kGuardianChecking) / native;
+    ++count;
+  }
+  const double modulo_ratio = modulo_total / count;
+  const double checking_ratio = checking_total / count;
+  EXPECT_GT(modulo_ratio, 1.12);
+  EXPECT_LT(modulo_ratio, 1.45);
+  EXPECT_GT(checking_ratio, 1.4);
+  EXPECT_LT(checking_ratio, 2.1);
+}
+
+TEST_F(HarnessTest, SpatialBeatsTimeSharing) {
+  // Figure 6: Guardian bitwise is ~23% faster than native time-sharing on
+  // average, up to ~2x for low-occupancy mixes (B, D).
+  const auto& mixes = Table4Workloads();
+  double speedup_total = 0;
+  int count = 0;
+  for (const auto& mix : mixes) {
+    const auto runs = Harness::ExpandMix(mix, /*epoch_scale=*/20);
+    const double native =
+        harness_.RunColocated(runs, Deployment::kNative).total_cycles;
+    const double guardian =
+        harness_.RunColocated(runs, Deployment::kGuardianBitwise)
+            .total_cycles;
+    EXPECT_LT(guardian, native) << mix.id;
+    speedup_total += native / guardian;
+    ++count;
+  }
+  const double average_speedup = speedup_total / count;
+  EXPECT_GT(average_speedup, 1.15);
+  EXPECT_LT(average_speedup, 2.6);
+}
+
+TEST_F(HarnessTest, GuardianCloseToMps) {
+  // §7.1: Guardian bitwise ≈ 4.84% slower than MPS on average; Guardian
+  // without protection ≈ MPS (0.05%).
+  const auto& mixes = Table4Workloads();
+  double fencing_total = 0, noprot_total = 0;
+  int count = 0;
+  for (const auto& mix : mixes) {
+    const auto runs = Harness::ExpandMix(mix, /*epoch_scale=*/20);
+    const double mps =
+        harness_.RunColocated(runs, Deployment::kMps).total_cycles;
+    const double bitwise =
+        harness_.RunColocated(runs, Deployment::kGuardianBitwise)
+            .total_cycles;
+    const double noprot =
+        harness_.RunColocated(runs, Deployment::kGuardianNoProtection)
+            .total_cycles;
+    fencing_total += bitwise / mps;
+    noprot_total += noprot / mps;
+    ++count;
+  }
+  EXPECT_NEAR(fencing_total / count, 1.05, 0.05);
+  EXPECT_NEAR(noprot_total / count, 1.0, 0.04);
+}
+
+TEST_F(HarnessTest, GuardianNoProtBeatsMpsUnderKernelStorms) {
+  // §7.1: with thousands of pending kernels (D, H, K, P) the MPS server
+  // becomes the bottleneck and Guardian w/o protection wins.
+  const auto& mixes = Table4Workloads();
+  for (const auto& mix : mixes) {
+    if (mix.id != "D" && mix.id != "H" && mix.id != "K" && mix.id != "P")
+      continue;
+    const auto runs = Harness::ExpandMix(mix, /*epoch_scale=*/20);
+    const double mps =
+        harness_.RunColocated(runs, Deployment::kMps).total_cycles;
+    const double noprot =
+        harness_.RunColocated(runs, Deployment::kGuardianNoProtection)
+            .total_cycles;
+    EXPECT_LT(noprot, mps) << mix.id;
+  }
+}
+
+TEST_F(HarnessTest, GeForceOverheadsSimilar) {
+  // §7.5: Guardian's overhead is similar across GPU models (Figure 11).
+  Harness geforce(simgpu::GeForceRtx3080Ti());
+  for (const char* app : {"cv", "rnn", "lenet"}) {
+    const double native =
+        geforce.RunStandalone({app, 50, false}, Deployment::kNative)
+            .total_cycles;
+    const double bitwise =
+        geforce.RunStandalone({app, 50, false}, Deployment::kGuardianBitwise)
+            .total_cycles;
+    const double overhead = bitwise / native - 1.0;
+    EXPECT_GT(overhead, 0.02) << app;
+    EXPECT_LT(overhead, 0.17) << app;  // paper: 10-13% on the GeForce
+  }
+}
+
+TEST_F(HarnessTest, InferenceRunsShorterThanTraining) {
+  const double train = Standalone("lenet", Deployment::kNative, 100);
+  const double infer =
+      harness_.RunStandalone({"lenet", 100, true}, Deployment::kNative)
+          .total_cycles;
+  EXPECT_LT(infer, train);
+}
+
+TEST_F(HarnessTest, ExpandMixScalesEpochs) {
+  const auto& mix = Table4Workloads()[0];  // A: 2xlenet @ 500 epochs
+  const auto runs = Harness::ExpandMix(mix, 10);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].iterations, 50u);
+  const auto full = Harness::ExpandMix(mix, 1);
+  EXPECT_EQ(full[0].iterations, 500u);
+}
+
+}  // namespace
+}  // namespace grd::workloads
