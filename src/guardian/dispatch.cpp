@@ -1,0 +1,39 @@
+#include "guardian/dispatch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace grd::guardian {
+
+void Dispatcher::Register(protocol::Op op, HandlerDescriptor descriptor) {
+  // Registration misuse is a programming error at startup, not a request
+  // error — fail loudly in every build type (a silently ignored duplicate
+  // would serve the wrong handler forever).
+  if (!descriptor.run)
+    throw std::logic_error("handler '" + descriptor.name +
+                           "' has no execute pipeline");
+  const bool inserted =
+      handlers_
+          .emplace(static_cast<std::uint32_t>(op), std::move(descriptor))
+          .second;
+  if (!inserted)
+    throw std::logic_error(
+        "duplicate opcode registration: " +
+        std::to_string(static_cast<std::uint32_t>(op)));
+}
+
+const HandlerDescriptor* Dispatcher::Find(protocol::Op op) const {
+  const auto it = handlers_.find(static_cast<std::uint32_t>(op));
+  return it == handlers_.end() ? nullptr : &it->second;
+}
+
+std::vector<protocol::Op> Dispatcher::RegisteredOps() const {
+  std::vector<protocol::Op> ops;
+  ops.reserve(handlers_.size());
+  for (const auto& [raw, descriptor] : handlers_)
+    ops.push_back(static_cast<protocol::Op>(raw));
+  std::sort(ops.begin(), ops.end());
+  return ops;
+}
+
+}  // namespace grd::guardian

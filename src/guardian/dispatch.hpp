@@ -1,0 +1,97 @@
+// Dispatch layer of the grdManager (see ARCHITECTURE.md).
+//
+// Replaces the monolithic opcode switch with a typed handler registry:
+// every protocol::Op maps to a HandlerDescriptor whose pipeline runs three
+// stages — decode (wire payload → typed request struct), validate (check
+// the typed request against session/execution state) and execute (perform
+// it, producing the response payload). Adding an RPC is one Register call
+// in handlers.cpp, not a switch edit spread across the manager.
+//
+// The registry is populated once at manager construction and immutable
+// afterwards, so lookups need no locking even under the multi-worker
+// server.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "guardian/protocol.hpp"
+#include "ipc/serializer.hpp"
+
+namespace grd::guardian {
+
+struct ExecutionContext;
+class SessionRegistry;
+struct ClientSession;
+
+// Everything a handler stage may touch. `session` is bound (and its mutex
+// held) by the dispatcher iff the descriptor declares kRequired.
+struct HandlerContext {
+  ExecutionContext& exec;
+  SessionRegistry& sessions;
+  ClientSession* session = nullptr;
+};
+
+enum class SessionPolicy : std::uint8_t {
+  kNotRequired,  // runs without a client id (registration only)
+  kRequired,     // client id must resolve to a live, non-failed session
+};
+
+struct HandlerDescriptor {
+  std::string name;
+  SessionPolicy session = SessionPolicy::kRequired;
+  // Fused decode→validate→execute pipeline (composed by Dispatcher::Register
+  // for typed handlers). Never throws; errors become error responses.
+  std::function<Result<ipc::Writer>(HandlerContext&, ipc::Reader&)> run;
+};
+
+class Dispatcher {
+ public:
+  template <typename Req>
+  using DecodeFn = Result<Req> (*)(ipc::Reader&);
+  template <typename Req>
+  using ValidateFn = Status (*)(HandlerContext&, const Req&);
+  template <typename Req>
+  using ExecuteFn = Result<ipc::Writer> (*)(HandlerContext&, Req&);
+
+  // Raw registration for handlers that manage their own pipeline.
+  void Register(protocol::Op op, HandlerDescriptor descriptor);
+
+  // Typed registration: stages are stateless function pointers; `validate`
+  // may be null when decoding alone establishes validity.
+  template <typename Req>
+  void Register(protocol::Op op, std::string name, SessionPolicy policy,
+                DecodeFn<Req> decode, ValidateFn<Req> validate,
+                ExecuteFn<Req> execute) {
+    HandlerDescriptor descriptor;
+    descriptor.name = std::move(name);
+    descriptor.session = policy;
+    descriptor.run = [decode, validate, execute](
+                         HandlerContext& ctx,
+                         ipc::Reader& req) -> Result<ipc::Writer> {
+      GRD_ASSIGN_OR_RETURN(Req decoded, decode(req));
+      if (validate != nullptr) GRD_RETURN_IF_ERROR(validate(ctx, decoded));
+      return execute(ctx, decoded);
+    };
+    Register(op, std::move(descriptor));
+  }
+
+  // Null for unregistered opcodes.
+  const HandlerDescriptor* Find(protocol::Op op) const;
+
+  std::size_t size() const noexcept { return handlers_.size(); }
+  // Registered opcodes in ascending order (introspection/tests).
+  std::vector<protocol::Op> RegisteredOps() const;
+
+ private:
+  std::unordered_map<std::uint32_t, HandlerDescriptor> handlers_;
+};
+
+// Populates `dispatcher` with every RPC of the wire protocol (handlers.cpp).
+void RegisterBuiltinHandlers(Dispatcher& dispatcher);
+
+}  // namespace grd::guardian

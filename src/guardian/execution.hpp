@@ -1,0 +1,95 @@
+// Execution layer of the grdManager (see ARCHITECTURE.md).
+//
+// Everything the request handlers share across sessions lives here: the
+// simulated GPU, the partition allocator, the bounds table, the sandbox
+// cache and the cost counters. Each piece is guarded separately so that a
+// multi-worker server only serializes where the hardware model demands it:
+//  - `partition_mu` covers the partition allocator plus the paired bounds
+//    table updates (create/release/grow must be atomic with their bounds
+//    entry);
+//  - `gpu_mu` serializes device-memory traffic and kernel execution — the
+//    simulated device is one physical GPU; host-side work (decode, PTX
+//    parsing, patching) runs concurrently outside it;
+//  - the bounds table and the sandbox cache carry their own internal locks;
+//  - `ManagerStats` counters are relaxed atomics, safe to bump from any
+//    worker.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "guardian/bounds_table.hpp"
+#include "guardian/partition_allocator.hpp"
+#include "guardian/sandbox_cache.hpp"
+#include "ptxpatcher/patcher.hpp"
+#include "simcuda/gpu.hpp"
+
+namespace grd::guardian {
+
+struct ManagerOptions {
+  // Bounds-checking method used for sandboxing (§4.4).
+  ptxpatcher::BoundsCheckMode mode =
+      ptxpatcher::BoundsCheckMode::kFencingBitwise;
+  // false = "Guardian w/o protection": interception and forwarding only
+  // (the paper's ablation deployment built on Arax-style sharing).
+  bool protection_enabled = true;
+  // §4.2.3: "when the grdManager detects that an application runs
+  // standalone, it issues a native kernel". Off by default so multi-tenant
+  // tests and the overhead benchmarks exercise the sandboxed path even with
+  // a single client; the paper's deployment turns it on.
+  bool standalone_fast_path = false;
+  // §2.2 extension: statically safe kernels (no protected accesses) are
+  // not instrumented at all.
+  bool skip_statically_safe = false;
+  // TReM-style revocation [53]: kernels exceeding this per-thread
+  // instruction budget are terminated and the client is failed, so an
+  // endless (possibly wrap-around-corrupted) kernel cannot hold the GPU.
+  std::uint64_t max_kernel_instructions = 10'000'000;
+  // Entry cap for the content-addressed sandbox cache (LRU-evicted), so a
+  // tenant cycling unique PTX cannot grow the manager without bound.
+  std::size_t sandbox_cache_capacity = SandboxCache::kDefaultCapacity;
+};
+
+// Host-side cost counters backing Table 5, plus server health counters.
+// Relaxed atomics: exact per-field totals matter, cross-field consistency
+// does not.
+struct ManagerStats {
+  std::atomic<std::uint64_t> launches{0};
+  std::atomic<std::uint64_t> sandboxed_launches{0};
+  std::atomic<std::uint64_t> native_launches{0};
+  std::atomic<std::uint64_t> lookup_cycles{0};   // pointerToSymbol lookups
+  std::atomic<std::uint64_t> augment_cycles{0};  // kernel-parameter rebuilds
+  std::atomic<std::uint64_t> transfers_checked{0};
+  std::atomic<std::uint64_t> transfers_rejected{0};
+  std::atomic<std::uint64_t> faults_contained{0};
+  // Responses the server could not deliver because the client's channel
+  // vanished (counted by ManagerServer::ServeOne, never silently dropped).
+  std::atomic<std::uint64_t> responses_dropped{0};
+  // Sandbox cache effectiveness: modules actually run through the PTX
+  // patcher vs. loads served from the content-addressed cache (§4.2.3 patch
+  // cost, amortized across tenants loading the same library).
+  std::atomic<std::uint64_t> ptx_modules_patched{0};
+  std::atomic<std::uint64_t> ptx_cache_hits{0};
+};
+
+struct ExecutionContext {
+  ExecutionContext(simcuda::Gpu* gpu_in, ManagerOptions options_in)
+      : gpu(gpu_in),
+        options(options_in),
+        sandbox_cache(options_in.sandbox_cache_capacity),
+        partitions(gpu_in->spec().global_mem_bytes) {}
+
+  simcuda::Gpu* gpu;
+  const ManagerOptions options;
+  ManagerStats stats;
+  SandboxCache sandbox_cache;  // internally locked
+
+  std::mutex partition_mu;  // guards `partitions` + paired `bounds` updates
+  PartitionAllocator partitions;
+  PartitionBoundsTable bounds;  // internally locked (read-mostly)
+
+  std::mutex gpu_mu;  // serializes device memory ops and kernel execution
+};
+
+}  // namespace grd::guardian

@@ -1,0 +1,581 @@
+// Builtin RPC handlers: every opcode of the wire protocol registered against
+// the dispatch layer as a decode/validate/execute pipeline. This file is the
+// only place that knows both the wire layout and the execution-layer
+// semantics of a call; adding an RPC is one Register call here.
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/cycle_clock.hpp"
+#include "common/logging.hpp"
+#include "guardian/dispatch.hpp"
+#include "guardian/execution.hpp"
+#include "guardian/session.hpp"
+#include "ptx/parser.hpp"
+#include "ptx/validator.hpp"
+#include "ptxexec/interpreter.hpp"
+#include "simcuda/export_tables.hpp"
+
+namespace grd::guardian {
+namespace {
+
+using ipc::Reader;
+using ipc::Writer;
+using protocol::Op;
+
+struct NoPayload {};
+Result<NoPayload> DecodeNone(Reader&) { return NoPayload{}; }
+
+struct IdReq {
+  std::uint64_t id = 0;
+};
+Result<IdReq> DecodeId(Reader& req) {
+  IdReq out;
+  GRD_ASSIGN_OR_RETURN(out.id, req.Get<std::uint64_t>());
+  return out;
+}
+
+// Bounds check shared by every host-initiated transfer (§4.2.2), with the
+// Table-5 accounting the paper reports.
+Status CheckTransfer(HandlerContext& ctx, std::uint64_t addr,
+                     std::uint64_t len) {
+  ++ctx.exec.stats.transfers_checked;
+  const Status check = ctx.exec.bounds.CheckTransfer(ctx.session->id, addr, len);
+  if (!check.ok()) ++ctx.exec.stats.transfers_rejected;
+  return check;
+}
+
+// ---- register / disconnect ------------------------------------------------
+
+Result<IdReq> DecodeRegister(Reader& req) {
+  // Clients declare their memory requirement at initialization (§4.2.1:
+  // "normal in cloud environments, where users buy instances with specific
+  // resources").
+  return DecodeId(req);
+}
+
+Result<Writer> ExecuteRegister(HandlerContext& ctx, IdReq& req) {
+  // The session is findable the moment Create returns, so everything below
+  // reads the local `bounds`/id copies, never the (unlocked) shared session.
+  ClientId id = 0;
+  PartitionBounds bounds;
+  {
+    std::lock_guard<std::mutex> lock(ctx.exec.partition_mu);
+    GRD_ASSIGN_OR_RETURN(bounds, ctx.exec.partitions.CreatePartition(req.id));
+    // New sessions are published under gpu_mu so a concurrently executing
+    // native (standalone fast path) kernel finishes before the tenant count
+    // it was predicated on changes — see ExecuteLaunch.
+    std::lock_guard<std::mutex> gpu_lock(ctx.exec.gpu_mu);
+    id = ctx.sessions.Create(bounds)->id;
+    GRD_RETURN_IF_ERROR(ctx.exec.bounds.Insert(id, bounds));
+  }
+  GRD_LOG_INFO("grdManager") << "client " << id << " registered, partition ["
+                             << bounds.base << ", " << bounds.end() << ")";
+  Writer out;
+  out.Put<std::uint64_t>(id);
+  out.Put<std::uint64_t>(bounds.base);
+  out.Put<std::uint64_t>(bounds.size);
+  return out;
+}
+
+Result<Writer> ExecuteDisconnect(HandlerContext& ctx, NoPayload&) {
+  const ClientId id = ctx.session->id;
+  const std::uint64_t base = ctx.session->partition.base;
+  // Kill the session before releasing its partition: a worker that already
+  // resolved this session (its mutex is held here) must observe the
+  // disconnect instead of operating on a released — possibly reassigned —
+  // partition range.
+  ctx.session->disconnected = true;
+  GRD_RETURN_IF_ERROR(ctx.sessions.Erase(id));
+  std::lock_guard<std::mutex> lock(ctx.exec.partition_mu);
+  GRD_RETURN_IF_ERROR(ctx.exec.bounds.Remove(id));
+  GRD_RETURN_IF_ERROR(ctx.exec.partitions.ReleasePartition(base));
+  return Writer{};
+}
+
+// ---- device memory --------------------------------------------------------
+
+Result<Writer> ExecuteMalloc(HandlerContext& ctx, IdReq& req) {
+  std::lock_guard<std::mutex> lock(ctx.exec.partition_mu);
+  GRD_ASSIGN_OR_RETURN(
+      std::uint64_t addr,
+      ctx.exec.partitions.AllocateIn(ctx.session->partition.base, req.id));
+  Writer out;
+  out.Put<std::uint64_t>(addr);
+  return out;
+}
+
+Result<Writer> ExecuteFree(HandlerContext& ctx, IdReq& req) {
+  std::lock_guard<std::mutex> lock(ctx.exec.partition_mu);
+  GRD_RETURN_IF_ERROR(
+      ctx.exec.partitions.FreeIn(ctx.session->partition.base, req.id));
+  return Writer{};
+}
+
+struct MemcpyH2DReq {
+  std::uint64_t dst = 0;
+  ipc::Bytes payload;
+};
+Result<MemcpyH2DReq> DecodeMemcpyH2D(Reader& req) {
+  MemcpyH2DReq out;
+  GRD_ASSIGN_OR_RETURN(out.dst, req.Get<std::uint64_t>());
+  GRD_ASSIGN_OR_RETURN(out.payload, req.GetBlob());
+  return out;
+}
+Status ValidateMemcpyH2D(HandlerContext& ctx, const MemcpyH2DReq& req) {
+  return CheckTransfer(ctx, req.dst, req.payload.size());
+}
+Result<Writer> ExecuteMemcpyH2D(HandlerContext& ctx, MemcpyH2DReq& req) {
+  std::lock_guard<std::mutex> lock(ctx.exec.gpu_mu);
+  GRD_RETURN_IF_ERROR(ctx.exec.gpu->memory().Write(
+      req.dst, req.payload.data(), req.payload.size()));
+  return Writer{};
+}
+
+struct RangeReq {
+  std::uint64_t addr = 0;
+  std::uint64_t size = 0;
+};
+Result<RangeReq> DecodeRange(Reader& req) {
+  RangeReq out;
+  GRD_ASSIGN_OR_RETURN(out.addr, req.Get<std::uint64_t>());
+  GRD_ASSIGN_OR_RETURN(out.size, req.Get<std::uint64_t>());
+  return out;
+}
+Status ValidateRange(HandlerContext& ctx, const RangeReq& req) {
+  return CheckTransfer(ctx, req.addr, req.size);
+}
+Result<Writer> ExecuteMemcpyD2H(HandlerContext& ctx, RangeReq& req) {
+  ipc::Bytes payload(req.size);
+  {
+    std::lock_guard<std::mutex> lock(ctx.exec.gpu_mu);
+    GRD_RETURN_IF_ERROR(
+        ctx.exec.gpu->memory().Read(req.addr, payload.data(), req.size));
+  }
+  Writer out;
+  out.PutBlob(payload.data(), payload.size());
+  return out;
+}
+
+struct MemcpyD2DReq {
+  std::uint64_t dst = 0;
+  std::uint64_t src = 0;
+  std::uint64_t size = 0;
+};
+Result<MemcpyD2DReq> DecodeMemcpyD2D(Reader& req) {
+  MemcpyD2DReq out;
+  GRD_ASSIGN_OR_RETURN(out.dst, req.Get<std::uint64_t>());
+  GRD_ASSIGN_OR_RETURN(out.src, req.Get<std::uint64_t>());
+  GRD_ASSIGN_OR_RETURN(out.size, req.Get<std::uint64_t>());
+  return out;
+}
+Status ValidateMemcpyD2D(HandlerContext& ctx, const MemcpyD2DReq& req) {
+  // §4.2.2: for cudaMemcpy-family calls both destination and source are
+  // checked — D2D within one GPU address space is the classic cross-tenant
+  // vector.
+  ctx.exec.stats.transfers_checked += 2;
+  Status check =
+      ctx.exec.bounds.CheckTransfer(ctx.session->id, req.dst, req.size);
+  if (check.ok())
+    check = ctx.exec.bounds.CheckTransfer(ctx.session->id, req.src, req.size);
+  if (!check.ok()) ++ctx.exec.stats.transfers_rejected;
+  return check;
+}
+Result<Writer> ExecuteMemcpyD2D(HandlerContext& ctx, MemcpyD2DReq& req) {
+  std::lock_guard<std::mutex> lock(ctx.exec.gpu_mu);
+  GRD_RETURN_IF_ERROR(ctx.exec.gpu->memory().Copy(req.dst, req.src, req.size));
+  return Writer{};
+}
+
+struct MemsetReq {
+  std::uint64_t dst = 0;
+  std::uint32_t value = 0;
+  std::uint64_t size = 0;
+};
+Result<MemsetReq> DecodeMemset(Reader& req) {
+  MemsetReq out;
+  GRD_ASSIGN_OR_RETURN(out.dst, req.Get<std::uint64_t>());
+  GRD_ASSIGN_OR_RETURN(out.value, req.Get<std::uint32_t>());
+  GRD_ASSIGN_OR_RETURN(out.size, req.Get<std::uint64_t>());
+  return out;
+}
+Status ValidateMemset(HandlerContext& ctx, const MemsetReq& req) {
+  return CheckTransfer(ctx, req.dst, req.size);
+}
+Result<Writer> ExecuteMemset(HandlerContext& ctx, MemsetReq& req) {
+  std::lock_guard<std::mutex> lock(ctx.exec.gpu_mu);
+  GRD_RETURN_IF_ERROR(ctx.exec.gpu->memory().Fill(
+      req.dst, static_cast<std::uint8_t>(req.value), req.size));
+  return Writer{};
+}
+
+// ---- modules / kernels ----------------------------------------------------
+
+struct ModuleLoadReq {
+  std::string ptx_text;
+};
+Result<ModuleLoadReq> DecodeModuleLoad(Reader& req) {
+  ModuleLoadReq out;
+  GRD_ASSIGN_OR_RETURN(out.ptx_text, req.GetString());
+  return out;
+}
+Result<Writer> ExecuteModuleLoad(HandlerContext& ctx, ModuleLoadReq& req) {
+  GRD_ASSIGN_OR_RETURN(ptx::Module native, ptx::Parse(req.ptx_text));
+  // Reject semantically broken PTX at the trust boundary (undeclared
+  // registers, dangling branch targets, unknown parameters) before it
+  // reaches the patcher or the device.
+  GRD_RETURN_IF_ERROR(ptx::ValidateOrError(native));
+  ClientModule module;
+  if (ctx.exec.options.protection_enabled) {
+    // Offline sandboxing (§4.3), served through the content-addressed cache:
+    // N tenants loading identical PTX patch it once (§4.2.3 cost amortized).
+    ptxpatcher::PatchOptions patch_options;
+    patch_options.mode = ctx.exec.options.mode;
+    patch_options.skip_statically_safe = ctx.exec.options.skip_statically_safe;
+    GRD_ASSIGN_OR_RETURN(SandboxCache::Lookup cached,
+                         ctx.exec.sandbox_cache.GetOrPatch(
+                             req.ptx_text, native, patch_options));
+    if (cached.patched_now)
+      ++ctx.exec.stats.ptx_modules_patched;
+    else
+      ++ctx.exec.stats.ptx_cache_hits;
+    module.sandboxed = std::move(cached.module);
+  }
+  module.native = std::move(native);
+  const std::uint64_t id = ctx.session->next_module++;
+  ctx.session->modules.emplace(id, std::move(module));
+  Writer out;
+  out.Put<std::uint64_t>(id);
+  return out;
+}
+
+struct GetFunctionReq {
+  std::uint64_t module = 0;
+  std::string kernel;
+};
+Result<GetFunctionReq> DecodeGetFunction(Reader& req) {
+  GetFunctionReq out;
+  GRD_ASSIGN_OR_RETURN(out.module, req.Get<std::uint64_t>());
+  GRD_ASSIGN_OR_RETURN(out.kernel, req.GetString());
+  return out;
+}
+Status ValidateGetFunction(HandlerContext& ctx, const GetFunctionReq& req) {
+  const auto it = ctx.session->modules.find(req.module);
+  if (it == ctx.session->modules.end())
+    return InvalidArgument("unknown module");
+  if (it->second.native.FindKernel(req.kernel) == nullptr)
+    return NotFound("kernel " + req.kernel + " not in module");
+  return OkStatus();
+}
+Result<Writer> ExecuteGetFunction(HandlerContext& ctx, GetFunctionReq& req) {
+  const std::uint64_t fn = ctx.session->next_function++;
+  ctx.session->pointer_to_symbol[fn] = FunctionEntry{req.module, req.kernel};
+  Writer out;
+  out.Put<std::uint64_t>(fn);
+  return out;
+}
+
+struct LaunchReq {
+  std::uint64_t fn = 0;
+  std::uint64_t stream = 0;
+  ptxexec::LaunchParams params;
+};
+Result<LaunchReq> DecodeLaunch(Reader& req) {
+  LaunchReq out;
+  GRD_ASSIGN_OR_RETURN(out.fn, req.Get<std::uint64_t>());
+  GRD_ASSIGN_OR_RETURN(out.params.grid.x, req.Get<std::uint32_t>());
+  GRD_ASSIGN_OR_RETURN(out.params.grid.y, req.Get<std::uint32_t>());
+  GRD_ASSIGN_OR_RETURN(out.params.grid.z, req.Get<std::uint32_t>());
+  GRD_ASSIGN_OR_RETURN(out.params.block.x, req.Get<std::uint32_t>());
+  GRD_ASSIGN_OR_RETURN(out.params.block.y, req.Get<std::uint32_t>());
+  GRD_ASSIGN_OR_RETURN(out.params.block.z, req.Get<std::uint32_t>());
+  GRD_ASSIGN_OR_RETURN(out.stream, req.Get<std::uint64_t>());
+  GRD_ASSIGN_OR_RETURN(std::uint32_t argc, req.Get<std::uint32_t>());
+  // argc is attacker-controlled: bound it by the bytes actually present
+  // (9 per arg) before reserving, or a hostile count makes the trusted
+  // manager attempt a multi-GB allocation.
+  constexpr std::uint32_t kBytesPerArg =
+      sizeof(std::uint64_t) + sizeof(std::uint8_t);
+  if (argc > req.remaining() / kBytesPerArg)
+    return Status(OutOfRange("message truncated"));
+  out.params.args.reserve(argc + 2);
+  for (std::uint32_t i = 0; i < argc; ++i) {
+    GRD_ASSIGN_OR_RETURN(std::uint64_t bits, req.Get<std::uint64_t>());
+    GRD_ASSIGN_OR_RETURN(std::uint8_t size, req.Get<std::uint8_t>());
+    out.params.args.push_back(ptxexec::KernelArg{bits, size});
+  }
+  return out;
+}
+Status ValidateLaunch(HandlerContext& ctx, const LaunchReq& req) {
+  if (!ctx.session->streams.count(req.stream))
+    return InvalidArgument("unknown stream");
+  return OkStatus();
+}
+Result<Writer> ExecuteLaunch(HandlerContext& ctx, LaunchReq& req) {
+  ExecutionContext& exec = ctx.exec;
+  ClientSession& client = *ctx.session;
+  ++exec.stats.launches;
+
+  // (1) pointerToSymbol lookup (Table 5 "Lookup GPU kernel").
+  const std::uint64_t lookup_begin = CycleClock::Now();
+  const auto entry_it = client.pointer_to_symbol.find(req.fn);
+  exec.stats.lookup_cycles += CycleClock::Now() - lookup_begin;
+  if (entry_it == client.pointer_to_symbol.end())
+    return Status(InvalidArgument("unknown kernel function handle"));
+  const FunctionEntry& entry = entry_it->second;
+  const ClientModule& module = client.modules.at(entry.module);
+
+  // gpu_mu is taken before the native-vs-sandboxed decision: registration
+  // publishes new sessions under the same lock, so "runs standalone" cannot
+  // become false between the check and the unfenced kernel finishing (the
+  // multi-worker TOCTOU on §4.2.3's fast path).
+  std::unique_lock<std::mutex> gpu_lock(exec.gpu_mu);
+  const bool use_native =
+      !exec.options.protection_enabled ||
+      (exec.options.standalone_fast_path && ctx.sessions.size() == 1);
+
+  if (!use_native) {
+    // (2) augment the parameter array with mask and base (Table 5
+    // "Augment kernel params", §4.2.3).
+    const std::uint64_t augment_begin = CycleClock::Now();
+    const auto grd_args = ptxpatcher::ComputeGrdArgs(
+        exec.options.mode, client.partition.base, client.partition.size);
+    std::vector<ptxexec::KernelArg> augmented;
+    augmented.reserve(req.params.args.size() + 2);
+    for (const auto& arg : req.params.args) augmented.push_back(arg);
+    augmented.push_back(ptxexec::KernelArg::U64(grd_args.arg0));
+    augmented.push_back(ptxexec::KernelArg::U64(grd_args.arg1));
+    req.params.args = std::move(augmented);
+    exec.stats.augment_cycles += CycleClock::Now() - augment_begin;
+    ++exec.stats.sandboxed_launches;
+  } else {
+    ++exec.stats.native_launches;
+  }
+
+  // (3) issue the kernel. Device-side protection comes from the sandboxed
+  // PTX itself; the manager's single context sees the whole device. The
+  // device executes one kernel at a time (gpu_mu).
+  simgpu::AllowAllPolicy policy;
+  ptxexec::Interpreter interpreter(&exec.gpu->memory(), &policy, client.id);
+  interpreter.set_max_instructions_per_thread(
+      exec.options.max_kernel_instructions);
+  const ptx::Module& module_to_run =
+      use_native ? module.native : *module.sandboxed;
+  auto run = interpreter.Execute(module_to_run, entry.kernel, req.params);
+  gpu_lock.unlock();
+  if (!run.ok()) {
+    // Fault isolation: only the faulting client is terminated (§5 "OOB
+    // fault isolation"); co-running clients are untouched.
+    client.failed = true;
+    ++exec.stats.faults_contained;
+    GRD_LOG_WARN("grdManager")
+        << "device fault in client " << client.id << " kernel "
+        << entry.kernel << ": " << run.status().ToString();
+    return run.status();
+  }
+  return Writer{};
+}
+
+// ---- streams / events -----------------------------------------------------
+
+Result<Writer> ExecuteStreamCreate(HandlerContext& ctx, NoPayload&) {
+  const std::uint64_t id = ctx.session->next_stream++;
+  ctx.session->streams[id] = false;
+  Writer out;
+  out.Put<std::uint64_t>(id);
+  return out;
+}
+
+Result<Writer> ExecuteStreamDestroy(HandlerContext& ctx, IdReq& req) {
+  if (req.id == 0)
+    return Status(InvalidArgument("cannot destroy default stream"));
+  if (ctx.session->streams.erase(req.id) == 0)
+    return Status(InvalidArgument("unknown stream"));
+  return Writer{};
+}
+
+Status ValidateKnownStream(HandlerContext& ctx, const IdReq& req) {
+  if (!ctx.session->streams.count(req.id))
+    return InvalidArgument("unknown stream");
+  return OkStatus();
+}
+
+Result<Writer> ExecuteStreamSynchronize(HandlerContext&, IdReq&) {
+  return Writer{};
+}
+
+Result<Writer> ExecuteStreamCaptureQuery(HandlerContext&, IdReq&) {
+  Writer out;
+  out.Put<std::uint64_t>(0);  // not capturing / capture id 0
+  return out;
+}
+
+struct EventCreateReq {
+  std::uint32_t flags = 0;
+};
+Result<EventCreateReq> DecodeEventCreate(Reader& req) {
+  EventCreateReq out;
+  GRD_ASSIGN_OR_RETURN(out.flags, req.Get<std::uint32_t>());
+  return out;
+}
+Result<Writer> ExecuteEventCreate(HandlerContext& ctx, EventCreateReq& req) {
+  const std::uint64_t id = ctx.session->next_event++;
+  ctx.session->events[id] = req.flags;
+  Writer out;
+  out.Put<std::uint64_t>(id);
+  return out;
+}
+
+Result<Writer> ExecuteEventDestroy(HandlerContext& ctx, IdReq& req) {
+  if (ctx.session->events.erase(req.id) == 0)
+    return Status(InvalidArgument("unknown event"));
+  return Writer{};
+}
+
+struct EventRecordReq {
+  std::uint64_t event = 0;
+  std::uint64_t stream = 0;
+};
+Result<EventRecordReq> DecodeEventRecord(Reader& req) {
+  EventRecordReq out;
+  GRD_ASSIGN_OR_RETURN(out.event, req.Get<std::uint64_t>());
+  GRD_ASSIGN_OR_RETURN(out.stream, req.Get<std::uint64_t>());
+  return out;
+}
+Status ValidateEventRecord(HandlerContext& ctx, const EventRecordReq& req) {
+  if (!ctx.session->events.count(req.event) ||
+      !ctx.session->streams.count(req.stream))
+    return InvalidArgument("unknown event or stream");
+  return OkStatus();
+}
+Result<Writer> ExecuteEventRecord(HandlerContext&, EventRecordReq&) {
+  return Writer{};
+}
+
+Result<Writer> ExecuteDeviceSynchronize(HandlerContext&, NoPayload&) {
+  return Writer{};
+}
+
+// ---- introspection --------------------------------------------------------
+
+struct ExportTableReq {
+  std::uint8_t id = 0;
+};
+Result<ExportTableReq> DecodeExportTable(Reader& req) {
+  ExportTableReq out;
+  GRD_ASSIGN_OR_RETURN(out.id, req.Get<std::uint8_t>());
+  return out;
+}
+Status ValidateExportTable(HandlerContext&, const ExportTableReq& req) {
+  if (req.id >= simcuda::kExportTableCount)
+    return NotFound("unknown export table");
+  return OkStatus();
+}
+Result<Writer> ExecuteExportTable(HandlerContext&, ExportTableReq& req) {
+  const auto& table = simcuda::BuiltinExportTables()[req.id];
+  Writer out;
+  out.Put<std::uint8_t>(req.id);
+  out.Put<std::uint32_t>(static_cast<std::uint32_t>(table.entries.size()));
+  for (const auto& entry : table.entries) out.PutString(entry.name);
+  return out;
+}
+
+Result<Writer> ExecuteGetDeviceSpec(HandlerContext& ctx, NoPayload&) {
+  const auto& spec = ctx.exec.gpu->spec();
+  Writer out;
+  out.PutString(spec.name);
+  out.PutString(spec.compute_capability);
+  out.Put<std::int32_t>(spec.sms);
+  out.Put<std::int32_t>(spec.cuda_cores);
+  out.Put<std::int32_t>(spec.l1_kb);
+  out.Put<std::int32_t>(spec.l2_kb);
+  out.Put<std::uint64_t>(spec.global_mem_bytes);
+  return out;
+}
+
+Result<Writer> ExecuteGrowPartition(HandlerContext& ctx, NoPayload&) {
+  ClientSession& client = *ctx.session;
+  PartitionBounds grown;
+  {
+    std::lock_guard<std::mutex> lock(ctx.exec.partition_mu);
+    GRD_ASSIGN_OR_RETURN(
+        grown, ctx.exec.partitions.GrowPartition(client.partition.base));
+    GRD_RETURN_IF_ERROR(ctx.exec.bounds.Remove(client.id));
+    GRD_RETURN_IF_ERROR(ctx.exec.bounds.Insert(client.id, grown));
+  }
+  client.partition = grown;
+  GRD_LOG_INFO("grdManager") << "client " << client.id
+                             << " partition grown to " << grown.size
+                             << " bytes";
+  Writer out;
+  out.Put<std::uint64_t>(grown.base);
+  out.Put<std::uint64_t>(grown.size);
+  return out;
+}
+
+}  // namespace
+
+void RegisterBuiltinHandlers(Dispatcher& d) {
+  const auto session = SessionPolicy::kRequired;
+  const auto sessionless = SessionPolicy::kNotRequired;
+
+  d.Register<IdReq>(Op::kRegisterClient, "RegisterClient", sessionless,
+                    DecodeRegister, nullptr, ExecuteRegister);
+  d.Register<NoPayload>(Op::kDisconnect, "Disconnect", session, DecodeNone,
+                        nullptr, ExecuteDisconnect);
+
+  d.Register<IdReq>(Op::kMalloc, "Malloc", session, DecodeId, nullptr,
+                    ExecuteMalloc);
+  d.Register<IdReq>(Op::kFree, "Free", session, DecodeId, nullptr,
+                    ExecuteFree);
+  d.Register<MemcpyH2DReq>(Op::kMemcpyH2D, "MemcpyH2D", session,
+                           DecodeMemcpyH2D, ValidateMemcpyH2D,
+                           ExecuteMemcpyH2D);
+  d.Register<RangeReq>(Op::kMemcpyD2H, "MemcpyD2H", session, DecodeRange,
+                       ValidateRange, ExecuteMemcpyD2H);
+  d.Register<MemcpyD2DReq>(Op::kMemcpyD2D, "MemcpyD2D", session,
+                           DecodeMemcpyD2D, ValidateMemcpyD2D,
+                           ExecuteMemcpyD2D);
+  d.Register<MemsetReq>(Op::kMemset, "Memset", session, DecodeMemset,
+                        ValidateMemset, ExecuteMemset);
+
+  d.Register<ModuleLoadReq>(Op::kModuleLoadData, "ModuleLoadData", session,
+                            DecodeModuleLoad, nullptr, ExecuteModuleLoad);
+  d.Register<GetFunctionReq>(Op::kModuleGetFunction, "ModuleGetFunction",
+                             session, DecodeGetFunction, ValidateGetFunction,
+                             ExecuteGetFunction);
+  d.Register<LaunchReq>(Op::kLaunchKernel, "LaunchKernel", session,
+                        DecodeLaunch, ValidateLaunch, ExecuteLaunch);
+
+  d.Register<NoPayload>(Op::kStreamCreate, "StreamCreate", session,
+                        DecodeNone, nullptr, ExecuteStreamCreate);
+  d.Register<IdReq>(Op::kStreamDestroy, "StreamDestroy", session, DecodeId,
+                    nullptr, ExecuteStreamDestroy);
+  d.Register<IdReq>(Op::kStreamSynchronize, "StreamSynchronize", session,
+                    DecodeId, ValidateKnownStream, ExecuteStreamSynchronize);
+  d.Register<IdReq>(Op::kStreamIsCapturing, "StreamIsCapturing", session,
+                    DecodeId, ValidateKnownStream, ExecuteStreamCaptureQuery);
+  d.Register<IdReq>(Op::kStreamGetCaptureInfo, "StreamGetCaptureInfo",
+                    session, DecodeId, ValidateKnownStream,
+                    ExecuteStreamCaptureQuery);
+
+  d.Register<EventCreateReq>(Op::kEventCreate, "EventCreate", session,
+                             DecodeEventCreate, nullptr, ExecuteEventCreate);
+  d.Register<IdReq>(Op::kEventDestroy, "EventDestroy", session, DecodeId,
+                    nullptr, ExecuteEventDestroy);
+  d.Register<EventRecordReq>(Op::kEventRecord, "EventRecord", session,
+                             DecodeEventRecord, ValidateEventRecord,
+                             ExecuteEventRecord);
+  d.Register<NoPayload>(Op::kDeviceSynchronize, "DeviceSynchronize", session,
+                        DecodeNone, nullptr, ExecuteDeviceSynchronize);
+
+  d.Register<ExportTableReq>(Op::kGetExportTable, "GetExportTable", session,
+                             DecodeExportTable, ValidateExportTable,
+                             ExecuteExportTable);
+  d.Register<NoPayload>(Op::kGetDeviceSpec, "GetDeviceSpec", session,
+                        DecodeNone, nullptr, ExecuteGetDeviceSpec);
+  d.Register<NoPayload>(Op::kGrowPartition, "GrowPartition", session,
+                        DecodeNone, nullptr, ExecuteGrowPartition);
+}
+
+}  // namespace grd::guardian

@@ -1,301 +1,16 @@
 #include "guardian/manager.hpp"
 
-#include "common/cycle_clock.hpp"
-#include "common/logging.hpp"
-#include "ptx/parser.hpp"
-#include "ptx/validator.hpp"
-#include "ptxexec/interpreter.hpp"
-#include "simcuda/export_tables.hpp"
+#include <mutex>
 
 namespace grd::guardian {
 
 using ipc::Bytes;
 using ipc::Reader;
 using ipc::Writer;
-using protocol::Op;
 
 GrdManager::GrdManager(simcuda::Gpu* gpu, ManagerOptions options)
-    : gpu_(gpu),
-      options_(options),
-      partitions_(gpu->spec().global_mem_bytes) {}
-
-Result<GrdManager::ClientState*> GrdManager::FindClient(ClientId id) {
-  const auto it = clients_.find(id);
-  if (it == clients_.end())
-    return Status(NotFound("unknown client " + std::to_string(id)));
-  if (it->second.failed)
-    return Status(
-        Aborted("client " + std::to_string(id) +
-                " was terminated after a device fault"));
-  return &it->second;
-}
-
-Result<Writer> GrdManager::HandleRegister(Reader& req) {
-  // Clients declare their memory requirement at initialization (§4.2.1:
-  // "normal in cloud environments, where users buy instances with specific
-  // resources").
-  GRD_ASSIGN_OR_RETURN(std::uint64_t memory_requirement,
-                       req.Get<std::uint64_t>());
-  GRD_ASSIGN_OR_RETURN(PartitionBounds bounds,
-                       partitions_.CreatePartition(memory_requirement));
-  const ClientId id = next_client_++;
-  GRD_RETURN_IF_ERROR(bounds_.Insert(id, bounds));
-  ClientState state;
-  state.id = id;
-  state.partition = bounds;
-  state.streams[0] = false;  // default stream
-  clients_.emplace(id, std::move(state));
-  GRD_LOG_INFO("grdManager") << "client " << id << " registered, partition ["
-                             << bounds.base << ", " << bounds.end() << ")";
-  Writer out;
-  out.Put<std::uint64_t>(id);
-  out.Put<std::uint64_t>(bounds.base);
-  out.Put<std::uint64_t>(bounds.size);
-  return out;
-}
-
-Result<Writer> GrdManager::HandleDisconnect(ClientState& client) {
-  const ClientId id = client.id;
-  const std::uint64_t base = client.partition.base;
-  clients_.erase(id);
-  GRD_RETURN_IF_ERROR(bounds_.Remove(id));
-  GRD_RETURN_IF_ERROR(partitions_.ReleasePartition(base));
-  return Writer{};
-}
-
-Result<Writer> GrdManager::HandleMalloc(ClientState& client, Reader& req) {
-  GRD_ASSIGN_OR_RETURN(std::uint64_t size, req.Get<std::uint64_t>());
-  GRD_ASSIGN_OR_RETURN(std::uint64_t addr,
-                       partitions_.AllocateIn(client.partition.base, size));
-  Writer out;
-  out.Put<std::uint64_t>(addr);
-  return out;
-}
-
-Result<Writer> GrdManager::HandleFree(ClientState& client, Reader& req) {
-  GRD_ASSIGN_OR_RETURN(std::uint64_t addr, req.Get<std::uint64_t>());
-  GRD_RETURN_IF_ERROR(partitions_.FreeIn(client.partition.base, addr));
-  return Writer{};
-}
-
-Result<Writer> GrdManager::HandleMemcpyH2D(ClientState& client, Reader& req) {
-  GRD_ASSIGN_OR_RETURN(std::uint64_t dst, req.Get<std::uint64_t>());
-  GRD_ASSIGN_OR_RETURN(Bytes payload, req.GetBlob());
-  ++stats_.transfers_checked;
-  const Status check = bounds_.CheckTransfer(client.id, dst, payload.size());
-  if (!check.ok()) {
-    ++stats_.transfers_rejected;
-    return check;
-  }
-  GRD_RETURN_IF_ERROR(gpu_->memory().Write(dst, payload.data(),
-                                           payload.size()));
-  return Writer{};
-}
-
-Result<Writer> GrdManager::HandleMemcpyD2H(ClientState& client, Reader& req) {
-  GRD_ASSIGN_OR_RETURN(std::uint64_t src, req.Get<std::uint64_t>());
-  GRD_ASSIGN_OR_RETURN(std::uint64_t size, req.Get<std::uint64_t>());
-  ++stats_.transfers_checked;
-  const Status check = bounds_.CheckTransfer(client.id, src, size);
-  if (!check.ok()) {
-    ++stats_.transfers_rejected;
-    return check;
-  }
-  Bytes payload(size);
-  GRD_RETURN_IF_ERROR(gpu_->memory().Read(src, payload.data(), size));
-  Writer out;
-  out.PutBlob(payload.data(), payload.size());
-  return out;
-}
-
-Result<Writer> GrdManager::HandleMemcpyD2D(ClientState& client, Reader& req) {
-  GRD_ASSIGN_OR_RETURN(std::uint64_t dst, req.Get<std::uint64_t>());
-  GRD_ASSIGN_OR_RETURN(std::uint64_t src, req.Get<std::uint64_t>());
-  GRD_ASSIGN_OR_RETURN(std::uint64_t size, req.Get<std::uint64_t>());
-  // §4.2.2: for cudaMemcpy-family calls both destination and source are
-  // checked — D2D within one GPU address space is the classic cross-tenant
-  // vector.
-  stats_.transfers_checked += 2;
-  Status check = bounds_.CheckTransfer(client.id, dst, size);
-  if (check.ok()) check = bounds_.CheckTransfer(client.id, src, size);
-  if (!check.ok()) {
-    ++stats_.transfers_rejected;
-    return check;
-  }
-  GRD_RETURN_IF_ERROR(gpu_->memory().Copy(dst, src, size));
-  return Writer{};
-}
-
-Result<Writer> GrdManager::HandleMemset(ClientState& client, Reader& req) {
-  GRD_ASSIGN_OR_RETURN(std::uint64_t dst, req.Get<std::uint64_t>());
-  GRD_ASSIGN_OR_RETURN(std::uint32_t value, req.Get<std::uint32_t>());
-  GRD_ASSIGN_OR_RETURN(std::uint64_t size, req.Get<std::uint64_t>());
-  ++stats_.transfers_checked;
-  const Status check = bounds_.CheckTransfer(client.id, dst, size);
-  if (!check.ok()) {
-    ++stats_.transfers_rejected;
-    return check;
-  }
-  GRD_RETURN_IF_ERROR(
-      gpu_->memory().Fill(dst, static_cast<std::uint8_t>(value), size));
-  return Writer{};
-}
-
-Result<Writer> GrdManager::HandleModuleLoad(ClientState& client, Reader& req) {
-  GRD_ASSIGN_OR_RETURN(std::string ptx_text, req.GetString());
-  GRD_ASSIGN_OR_RETURN(ptx::Module native, ptx::Parse(ptx_text));
-  // Reject semantically broken PTX at the trust boundary (undeclared
-  // registers, dangling branch targets, unknown parameters) before it
-  // reaches the patcher or the device.
-  GRD_RETURN_IF_ERROR(ptx::ValidateOrError(native));
-  ClientModule module;
-  if (options_.protection_enabled) {
-    // Offline sandboxing (§4.3). In the paper this happens at PTX-extraction
-    // time; the manager compiles sandboxed PTX at initialization to avoid
-    // JIT overhead at launch (§4.4) — here: at module registration.
-    ptxpatcher::PatchOptions patch_options;
-    patch_options.mode = options_.mode;
-    patch_options.skip_statically_safe = options_.skip_statically_safe;
-    GRD_ASSIGN_OR_RETURN(module.sandboxed,
-                         ptxpatcher::PatchModule(native, patch_options));
-  }
-  module.native = std::move(native);
-  const std::uint64_t id = client.next_module++;
-  client.modules.emplace(id, std::move(module));
-  Writer out;
-  out.Put<std::uint64_t>(id);
-  return out;
-}
-
-Result<Writer> GrdManager::HandleGetFunction(ClientState& client,
-                                             Reader& req) {
-  GRD_ASSIGN_OR_RETURN(std::uint64_t module_id, req.Get<std::uint64_t>());
-  GRD_ASSIGN_OR_RETURN(std::string kernel, req.GetString());
-  const auto it = client.modules.find(module_id);
-  if (it == client.modules.end())
-    return Status(InvalidArgument("unknown module"));
-  if (it->second.native.FindKernel(kernel) == nullptr)
-    return Status(NotFound("kernel " + kernel + " not in module"));
-  const std::uint64_t fn = client.next_function++;
-  client.pointer_to_symbol[fn] = FunctionEntry{module_id, kernel};
-  Writer out;
-  out.Put<std::uint64_t>(fn);
-  return out;
-}
-
-Result<Writer> GrdManager::HandleLaunch(ClientState& client, Reader& req) {
-  GRD_ASSIGN_OR_RETURN(std::uint64_t fn, req.Get<std::uint64_t>());
-  ptxexec::LaunchParams params;
-  GRD_ASSIGN_OR_RETURN(params.grid.x, req.Get<std::uint32_t>());
-  GRD_ASSIGN_OR_RETURN(params.grid.y, req.Get<std::uint32_t>());
-  GRD_ASSIGN_OR_RETURN(params.grid.z, req.Get<std::uint32_t>());
-  GRD_ASSIGN_OR_RETURN(params.block.x, req.Get<std::uint32_t>());
-  GRD_ASSIGN_OR_RETURN(params.block.y, req.Get<std::uint32_t>());
-  GRD_ASSIGN_OR_RETURN(params.block.z, req.Get<std::uint32_t>());
-  GRD_ASSIGN_OR_RETURN(std::uint64_t stream, req.Get<std::uint64_t>());
-  GRD_ASSIGN_OR_RETURN(std::uint32_t argc, req.Get<std::uint32_t>());
-  params.args.reserve(argc + 2);
-  for (std::uint32_t i = 0; i < argc; ++i) {
-    GRD_ASSIGN_OR_RETURN(std::uint64_t bits, req.Get<std::uint64_t>());
-    GRD_ASSIGN_OR_RETURN(std::uint8_t size, req.Get<std::uint8_t>());
-    params.args.push_back(ptxexec::KernelArg{bits, size});
-  }
-  if (!client.streams.count(stream))
-    return Status(InvalidArgument("unknown stream"));
-
-  ++stats_.launches;
-
-  // (1) pointerToSymbol lookup (Table 5 "Lookup GPU kernel").
-  const std::uint64_t lookup_begin = CycleClock::Now();
-  const auto entry_it = client.pointer_to_symbol.find(fn);
-  stats_.lookup_cycles += CycleClock::Now() - lookup_begin;
-  if (entry_it == client.pointer_to_symbol.end())
-    return Status(InvalidArgument("unknown kernel function handle"));
-  const FunctionEntry& entry = entry_it->second;
-  const ClientModule& module = client.modules.at(entry.module);
-
-  const bool use_native =
-      !options_.protection_enabled ||
-      (options_.standalone_fast_path && clients_.size() == 1);
-
-  if (!use_native) {
-    // (2) augment the parameter array with mask and base (Table 5
-    // "Augment kernel params", §4.2.3).
-    const std::uint64_t augment_begin = CycleClock::Now();
-    const auto grd_args = ptxpatcher::ComputeGrdArgs(
-        options_.mode, client.partition.base, client.partition.size);
-    std::vector<ptxexec::KernelArg> augmented;
-    augmented.reserve(params.args.size() + 2);
-    for (const auto& arg : params.args) augmented.push_back(arg);
-    augmented.push_back(ptxexec::KernelArg::U64(grd_args.arg0));
-    augmented.push_back(ptxexec::KernelArg::U64(grd_args.arg1));
-    params.args = std::move(augmented);
-    stats_.augment_cycles += CycleClock::Now() - augment_begin;
-    ++stats_.sandboxed_launches;
-  } else {
-    ++stats_.native_launches;
-  }
-
-  // (3) issue the kernel. Device-side protection comes from the sandboxed
-  // PTX itself; the manager's single context sees the whole device.
-  simgpu::AllowAllPolicy policy;
-  ptxexec::Interpreter interpreter(&gpu_->memory(), &policy, client.id);
-  interpreter.set_max_instructions_per_thread(
-      options_.max_kernel_instructions);
-  const auto& module_to_run =
-      use_native ? module.native : module.sandboxed;
-  auto exec = interpreter.Execute(module_to_run, entry.kernel, params);
-  if (!exec.ok()) {
-    // Fault isolation: only the faulting client is terminated (§5 "OOB
-    // fault isolation"); co-running clients are untouched.
-    client.failed = true;
-    ++stats_.faults_contained;
-    GRD_LOG_WARN("grdManager")
-        << "device fault in client " << client.id << " kernel "
-        << entry.kernel << ": " << exec.status().ToString();
-    return exec.status();
-  }
-  return Writer{};
-}
-
-Result<Writer> GrdManager::HandleGetExportTable(Reader& req) {
-  GRD_ASSIGN_OR_RETURN(std::uint8_t id, req.Get<std::uint8_t>());
-  if (id >= simcuda::kExportTableCount)
-    return Status(NotFound("unknown export table"));
-  const auto& table = simcuda::BuiltinExportTables()[id];
-  Writer out;
-  out.Put<std::uint8_t>(id);
-  out.Put<std::uint32_t>(static_cast<std::uint32_t>(table.entries.size()));
-  for (const auto& entry : table.entries) out.PutString(entry.name);
-  return out;
-}
-
-Result<Writer> GrdManager::HandleGetDeviceSpec() {
-  const auto& spec = gpu_->spec();
-  Writer out;
-  out.PutString(spec.name);
-  out.PutString(spec.compute_capability);
-  out.Put<std::int32_t>(spec.sms);
-  out.Put<std::int32_t>(spec.cuda_cores);
-  out.Put<std::int32_t>(spec.l1_kb);
-  out.Put<std::int32_t>(spec.l2_kb);
-  out.Put<std::uint64_t>(spec.global_mem_bytes);
-  return out;
-}
-
-Result<Writer> GrdManager::HandleGrowPartition(ClientState& client) {
-  GRD_ASSIGN_OR_RETURN(PartitionBounds grown,
-                       partitions_.GrowPartition(client.partition.base));
-  GRD_RETURN_IF_ERROR(bounds_.Remove(client.id));
-  GRD_RETURN_IF_ERROR(bounds_.Insert(client.id, grown));
-  client.partition = grown;
-  GRD_LOG_INFO("grdManager") << "client " << client.id
-                             << " partition grown to " << grown.size
-                             << " bytes";
-  Writer out;
-  out.Put<std::uint64_t>(grown.base);
-  out.Put<std::uint64_t>(grown.size);
-  return out;
+    : exec_(gpu, options) {
+  RegisterBuiltinHandlers(dispatcher_);
 }
 
 ipc::Bytes GrdManager::HandleRequest(const Bytes& request) {
@@ -303,103 +18,34 @@ ipc::Bytes GrdManager::HandleRequest(const Bytes& request) {
   auto header = protocol::ReadHeader(reader);
   if (!header.ok()) return protocol::EncodeError(header.status());
 
-  // Registration is the only op without an existing client.
-  if (header->op == Op::kRegisterClient) {
-    auto out = HandleRegister(reader);
+  const HandlerDescriptor* descriptor = dispatcher_.Find(header->op);
+  if (descriptor == nullptr)
+    return protocol::EncodeError(Unimplemented("unknown op"));
+
+  HandlerContext ctx{exec_, sessions_, nullptr};
+
+  if (descriptor->session == SessionPolicy::kNotRequired) {
+    auto out = descriptor->run(ctx, reader);
     return out.ok() ? protocol::EncodeOk(std::move(*out))
                     : protocol::EncodeError(out.status());
   }
 
-  auto client = FindClient(header->client);
-  if (!client.ok()) return protocol::EncodeError(client.status());
-  ClientState& state = **client;
+  auto found = sessions_.Find(header->client);
+  if (!found.ok()) return protocol::EncodeError(found.status());
+  const std::shared_ptr<ClientSession> session = std::move(*found);
 
-  Result<Writer> out = Status(Unimplemented("unknown op"));
-  switch (header->op) {
-    case Op::kDisconnect: out = HandleDisconnect(state); break;
-    case Op::kMalloc: out = HandleMalloc(state, reader); break;
-    case Op::kFree: out = HandleFree(state, reader); break;
-    case Op::kMemcpyH2D: out = HandleMemcpyH2D(state, reader); break;
-    case Op::kMemcpyD2H: out = HandleMemcpyD2H(state, reader); break;
-    case Op::kMemcpyD2D: out = HandleMemcpyD2D(state, reader); break;
-    case Op::kMemset: out = HandleMemset(state, reader); break;
-    case Op::kLaunchKernel: out = HandleLaunch(state, reader); break;
-    case Op::kModuleLoadData: out = HandleModuleLoad(state, reader); break;
-    case Op::kModuleGetFunction: out = HandleGetFunction(state, reader); break;
-    case Op::kGetExportTable: out = HandleGetExportTable(reader); break;
-    case Op::kGetDeviceSpec: out = HandleGetDeviceSpec(); break;
-    case Op::kGrowPartition: out = HandleGrowPartition(state); break;
-    case Op::kStreamCreate: {
-      const std::uint64_t id = state.next_stream++;
-      state.streams[id] = false;
-      Writer w;
-      w.Put<std::uint64_t>(id);
-      out = std::move(w);
-      break;
-    }
-    case Op::kStreamDestroy: {
-      auto id = reader.Get<std::uint64_t>();
-      if (!id.ok()) { out = id.status(); break; }
-      if (*id == 0) { out = Status(InvalidArgument("cannot destroy default stream")); break; }
-      out = state.streams.erase(*id) ? Result<Writer>(Writer{})
-                                     : Status(InvalidArgument("unknown stream"));
-      break;
-    }
-    case Op::kStreamSynchronize: {
-      auto id = reader.Get<std::uint64_t>();
-      if (!id.ok()) { out = id.status(); break; }
-      out = state.streams.count(*id) ? Result<Writer>(Writer{})
-                                     : Status(InvalidArgument("unknown stream"));
-      break;
-    }
-    case Op::kStreamIsCapturing:
-    case Op::kStreamGetCaptureInfo: {
-      auto id = reader.Get<std::uint64_t>();
-      if (!id.ok()) { out = id.status(); break; }
-      if (!state.streams.count(*id)) {
-        out = Status(InvalidArgument("unknown stream"));
-        break;
-      }
-      Writer w;
-      w.Put<std::uint64_t>(0);  // not capturing / capture id 0
-      out = std::move(w);
-      break;
-    }
-    case Op::kEventCreate: {
-      auto flags = reader.Get<std::uint32_t>();
-      if (!flags.ok()) { out = flags.status(); break; }
-      const std::uint64_t id = state.next_event++;
-      state.events[id] = *flags;
-      Writer w;
-      w.Put<std::uint64_t>(id);
-      out = std::move(w);
-      break;
-    }
-    case Op::kEventDestroy: {
-      auto id = reader.Get<std::uint64_t>();
-      if (!id.ok()) { out = id.status(); break; }
-      out = state.events.erase(*id) ? Result<Writer>(Writer{})
-                                    : Status(InvalidArgument("unknown event"));
-      break;
-    }
-    case Op::kEventRecord: {
-      auto id = reader.Get<std::uint64_t>();
-      if (!id.ok()) { out = id.status(); break; }
-      auto stream = reader.Get<std::uint64_t>();
-      if (!stream.ok()) { out = stream.status(); break; }
-      if (!state.events.count(*id) || !state.streams.count(*stream)) {
-        out = Status(InvalidArgument("unknown event or stream"));
-        break;
-      }
-      out = Writer{};
-      break;
-    }
-    case Op::kDeviceSynchronize:
-      out = Writer{};
-      break;
-    default:
-      break;
-  }
+  // Per-session serialization: one request at a time per client, while
+  // requests of different sessions run concurrently on other workers.
+  std::lock_guard<std::mutex> session_lock(session->mu);
+  if (session->disconnected)
+    return protocol::EncodeError(
+        NotFound("unknown client " + std::to_string(session->id)));
+  if (session->failed)
+    return protocol::EncodeError(
+        Aborted("client " + std::to_string(session->id) +
+                " was terminated after a device fault"));
+  ctx.session = session.get();
+  auto out = descriptor->run(ctx, reader);
   return out.ok() ? protocol::EncodeOk(std::move(*out))
                   : protocol::EncodeError(out.status());
 }

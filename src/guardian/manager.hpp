@@ -7,61 +7,32 @@
 //    partition (§4.2.1);
 //  - validates every host-initiated transfer against the partition bounds
 //    table (§4.2.2);
-//  - sandboxes every registered PTX module with the PTX-patcher and, on
-//    launch, looks up the sandboxed kernel in the pointerToSymbol map and
-//    appends the partition mask/base arguments (§4.2.3, Table 5);
-//  - executes calls from different clients on different streams, selecting
-//    requests round-robin (§4.2.4 — see ManagerServer in transport.hpp);
+//  - sandboxes every registered PTX module with the PTX-patcher (through a
+//    content-addressed cache shared across tenants) and, on launch, looks up
+//    the sandboxed kernel in the pointerToSymbol map and appends the
+//    partition mask/base arguments (§4.2.3, Table 5);
+//  - executes calls from different clients on different streams (§4.2.4 —
+//    see ManagerServer in transport.hpp);
 //  - contains device faults to the faulting client (the whole point).
+//
+// Since the layered refactor the class is a thin facade wiring three layers
+// (see ARCHITECTURE.md):
+//   session   — SessionRegistry / ClientSession (session.hpp)
+//   dispatch  — typed handler registry (dispatch.hpp, handlers.cpp)
+//   execution — shared GPU/partition/bounds state (execution.hpp)
+// HandleRequest is thread-safe: the multi-worker ManagerServer calls it
+// concurrently from several workers.
 #pragma once
 
 #include <cstdint>
-#include <string>
-#include <unordered_map>
-#include <vector>
 
-#include "guardian/bounds_table.hpp"
-#include "guardian/partition_allocator.hpp"
+#include "guardian/dispatch.hpp"
+#include "guardian/execution.hpp"
 #include "guardian/protocol.hpp"
+#include "guardian/session.hpp"
 #include "ipc/serializer.hpp"
-#include "ptx/ast.hpp"
-#include "ptxpatcher/patcher.hpp"
-#include "simcuda/gpu.hpp"
 
 namespace grd::guardian {
-
-struct ManagerOptions {
-  // Bounds-checking method used for sandboxing (§4.4).
-  ptxpatcher::BoundsCheckMode mode =
-      ptxpatcher::BoundsCheckMode::kFencingBitwise;
-  // false = "Guardian w/o protection": interception and forwarding only
-  // (the paper's ablation deployment built on Arax-style sharing).
-  bool protection_enabled = true;
-  // §4.2.3: "when the grdManager detects that an application runs
-  // standalone, it issues a native kernel". Off by default so multi-tenant
-  // tests and the overhead benchmarks exercise the sandboxed path even with
-  // a single client; the paper's deployment turns it on.
-  bool standalone_fast_path = false;
-  // §2.2 extension: statically safe kernels (no protected accesses) are
-  // not instrumented at all.
-  bool skip_statically_safe = false;
-  // TReM-style revocation [53]: kernels exceeding this per-thread
-  // instruction budget are terminated and the client is failed, so an
-  // endless (possibly wrap-around-corrupted) kernel cannot hold the GPU.
-  std::uint64_t max_kernel_instructions = 10'000'000;
-};
-
-// Host-side cost counters backing Table 5.
-struct ManagerStats {
-  std::uint64_t launches = 0;
-  std::uint64_t sandboxed_launches = 0;
-  std::uint64_t native_launches = 0;
-  std::uint64_t lookup_cycles = 0;   // pointerToSymbol lookups
-  std::uint64_t augment_cycles = 0;  // kernel-parameter array rebuilds
-  std::uint64_t transfers_checked = 0;
-  std::uint64_t transfers_rejected = 0;
-  std::uint64_t faults_contained = 0;
-};
 
 class GrdManager {
  public:
@@ -69,12 +40,20 @@ class GrdManager {
 
   // Full request dispatcher (one IPC message in, one out). Never throws and
   // never returns a malformed response; internal errors become error
-  // responses.
+  // responses. Safe to call concurrently.
   ipc::Bytes HandleRequest(const ipc::Bytes& request);
 
-  const ManagerStats& stats() const noexcept { return stats_; }
-  const ManagerOptions& options() const noexcept { return options_; }
-  std::size_t active_clients() const noexcept { return clients_.size(); }
+  const ManagerStats& stats() const noexcept { return exec_.stats; }
+  const ManagerOptions& options() const noexcept { return exec_.options; }
+  std::size_t active_clients() const noexcept { return sessions_.size(); }
+
+  const Dispatcher& dispatcher() const noexcept { return dispatcher_; }
+  const SandboxCache& sandbox_cache() const noexcept {
+    return exec_.sandbox_cache;
+  }
+
+  // Called by the transport when a response could not be delivered.
+  void NoteDroppedResponse() noexcept { ++exec_.stats.responses_dropped; }
 
   // Device memory the sharing layer itself consumes: exactly one context
   // regardless of client count (§2.2: 176 MB vs MPS's per-client growth).
@@ -83,56 +62,9 @@ class GrdManager {
   }
 
  private:
-  struct ClientModule {
-    ptx::Module native;
-    ptx::Module sandboxed;  // empty when protection is disabled
-  };
-  struct FunctionEntry {
-    std::uint64_t module = 0;
-    std::string kernel;
-  };
-  struct ClientState {
-    ClientId id = 0;
-    PartitionBounds partition;
-    bool failed = false;
-    std::uint64_t next_module = 1;
-    std::uint64_t next_function = 1;
-    std::uint64_t next_stream = 1;
-    std::uint64_t next_event = 1;
-    std::unordered_map<std::uint64_t, ClientModule> modules;
-    // The paper's pointerToSymbol map: client launch handle -> sandboxed
-    // kernel symbol.
-    std::unordered_map<std::uint64_t, FunctionEntry> pointer_to_symbol;
-    std::unordered_map<std::uint64_t, bool> streams;
-    std::unordered_map<std::uint64_t, std::uint32_t> events;
-  };
-
-  Result<ClientState*> FindClient(ClientId id);
-
-  // Typed handlers (REQ = already-parsed request reader; each returns the
-  // response payload writer or an error).
-  Result<ipc::Writer> HandleRegister(ipc::Reader& req);
-  Result<ipc::Writer> HandleDisconnect(ClientState& client);
-  Result<ipc::Writer> HandleMalloc(ClientState& client, ipc::Reader& req);
-  Result<ipc::Writer> HandleFree(ClientState& client, ipc::Reader& req);
-  Result<ipc::Writer> HandleMemcpyH2D(ClientState& client, ipc::Reader& req);
-  Result<ipc::Writer> HandleMemcpyD2H(ClientState& client, ipc::Reader& req);
-  Result<ipc::Writer> HandleMemcpyD2D(ClientState& client, ipc::Reader& req);
-  Result<ipc::Writer> HandleMemset(ClientState& client, ipc::Reader& req);
-  Result<ipc::Writer> HandleLaunch(ClientState& client, ipc::Reader& req);
-  Result<ipc::Writer> HandleModuleLoad(ClientState& client, ipc::Reader& req);
-  Result<ipc::Writer> HandleGetFunction(ClientState& client, ipc::Reader& req);
-  Result<ipc::Writer> HandleGetExportTable(ipc::Reader& req);
-  Result<ipc::Writer> HandleGetDeviceSpec();
-  Result<ipc::Writer> HandleGrowPartition(ClientState& client);
-
-  simcuda::Gpu* gpu_;
-  ManagerOptions options_;
-  PartitionAllocator partitions_;
-  PartitionBoundsTable bounds_;
-  std::unordered_map<ClientId, ClientState> clients_;
-  ClientId next_client_ = 1;
-  ManagerStats stats_;
+  ExecutionContext exec_;
+  SessionRegistry sessions_;
+  Dispatcher dispatcher_;
 };
 
 }  // namespace grd::guardian

@@ -1,0 +1,106 @@
+#include "guardian/sandbox_cache.hpp"
+
+namespace grd::guardian {
+
+std::uint64_t HashPtxSource(const std::string& source) noexcept {
+  std::uint64_t hash = 14695981039346656037ull;  // FNV offset basis
+  for (const char c : source) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 1099511628211ull;  // FNV prime
+  }
+  return hash;
+}
+
+SandboxCache::Key SandboxCache::MakeKey(
+    const std::string& source,
+    const ptxpatcher::PatchOptions& options) noexcept {
+  Key key;
+  key.content_hash = HashPtxSource(source);
+  key.mode = static_cast<std::uint8_t>(options.mode);
+  key.skip_statically_safe = options.skip_statically_safe;
+  key.protect_indirect_branches = options.protect_indirect_branches;
+  return key;
+}
+
+Result<SandboxCache::Lookup> SandboxCache::GetOrPatch(
+    const std::string& source, const ptx::Module& parsed,
+    const ptxpatcher::PatchOptions& options) {
+  const Key key = MakeKey(source, options);
+
+  std::shared_ptr<Slot> slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& chain = slots_[key];
+    for (const auto& candidate : chain) {
+      if (candidate->source == source) {
+        slot = candidate;
+        break;
+      }
+    }
+    if (!slot) {
+      slot = std::make_shared<Slot>();
+      slot->source = source;
+      chain.push_back(slot);
+      ++slot_count_;
+    }
+    slot->last_use = ++use_tick_;
+    EvictLocked();
+  }
+
+  // The global lock is released: patching one module does not block loads
+  // of different modules. Same-module loads serialize on the slot mutex and
+  // all but the first observe `done`.
+  std::lock_guard<std::mutex> lock(slot->mu);
+  if (slot->done) {
+    if (!slot->status.ok()) return slot->status;  // cached failure, not a hit
+    ++stats_.hits;
+    return Lookup{slot->module, /*patched_now=*/false};
+  }
+
+  auto patched = ptxpatcher::PatchModule(parsed, options);
+  slot->done = true;
+  if (!patched.ok()) {
+    slot->status = patched.status();
+    return slot->status;
+  }
+  ++stats_.patches;
+  slot->module = std::make_shared<const ptx::Module>(std::move(*patched));
+  return Lookup{slot->module, /*patched_now=*/true};
+}
+
+void SandboxCache::EvictLocked() {
+  while (slot_count_ > capacity_) {
+    // Find the least-recently-used idle slot. A slot with use_count > 1 is
+    // held by a worker (being patched or just handed out this call) and is
+    // skipped — which also protects the entry acquired above.
+    auto victim_it = slots_.end();
+    std::size_t victim_index = 0;
+    std::uint64_t oldest = 0;
+    for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+      auto& chain = it->second;
+      for (std::size_t i = 0; i < chain.size(); ++i) {
+        if (chain[i].use_count() > 1) continue;
+        if (victim_it == slots_.end() || chain[i]->last_use < oldest) {
+          victim_it = it;
+          victim_index = i;
+          oldest = chain[i]->last_use;
+        }
+      }
+    }
+    if (victim_it == slots_.end()) return;  // everything in flight
+    auto& chain = victim_it->second;
+    chain.erase(chain.begin() + victim_index);
+    // Drop the emptied map node too, or unique-source churn would grow the
+    // key map without bound while the slot count stays capped.
+    if (chain.empty()) slots_.erase(victim_it);
+    ++stats_.evictions;
+    --slot_count_;
+  }
+}
+
+std::size_t SandboxCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slot_count_;
+}
+
+}  // namespace grd::guardian

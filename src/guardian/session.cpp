@@ -1,0 +1,36 @@
+#include "guardian/session.hpp"
+
+namespace grd::guardian {
+
+std::shared_ptr<ClientSession> SessionRegistry::Create(
+    PartitionBounds partition) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const ClientId id = next_id_++;
+  auto session = std::make_shared<ClientSession>(id);
+  session->partition = partition;
+  sessions_.emplace(id, session);
+  return session;
+}
+
+Result<std::shared_ptr<ClientSession>> SessionRegistry::Find(
+    ClientId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end())
+    return Status(NotFound("unknown client " + std::to_string(id)));
+  return it->second;
+}
+
+Status SessionRegistry::Erase(ClientId id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (sessions_.erase(id) == 0)
+    return NotFound("unknown client " + std::to_string(id));
+  return OkStatus();
+}
+
+std::size_t SessionRegistry::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace grd::guardian

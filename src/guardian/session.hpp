@@ -1,0 +1,85 @@
+// Session layer of the grdManager (see ARCHITECTURE.md).
+//
+// One ClientSession per registered tenant, owning everything the paper keeps
+// per-application: the partition view, loaded modules, the pointerToSymbol
+// map (§4.2.3), streams and events. Each session carries its own mutex —
+// the dispatch layer holds it for the duration of a request, so a session's
+// state is only ever touched by one worker at a time while different
+// sessions proceed concurrently.
+//
+// The SessionRegistry is the only cross-session structure: a shared_mutex
+// protected id → session map. Lookups (every request) take the shared lock;
+// register/disconnect take the exclusive one. Sessions are handed out as
+// shared_ptr so a disconnect racing with an in-flight request on another
+// worker never frees state under it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "guardian/bounds_table.hpp"
+#include "ptx/ast.hpp"
+
+namespace grd::guardian {
+
+struct ClientModule {
+  ptx::Module native;
+  // Owned by the SandboxCache and shared across tenants loading identical
+  // PTX; null when protection is disabled.
+  std::shared_ptr<const ptx::Module> sandboxed;
+};
+
+struct FunctionEntry {
+  std::uint64_t module = 0;
+  std::string kernel;
+};
+
+struct ClientSession {
+  explicit ClientSession(ClientId id_in) : id(id_in) {
+    streams[0] = false;  // default stream
+  }
+
+  const ClientId id;
+  // Serializes request handling for this session (held by the dispatcher).
+  std::mutex mu;
+
+  PartitionBounds partition;
+  bool failed = false;
+  // Set by Disconnect under `mu`: a worker that resolved this session
+  // before the disconnect landed must not touch the released partition.
+  bool disconnected = false;
+  std::uint64_t next_module = 1;
+  std::uint64_t next_function = 1;
+  std::uint64_t next_stream = 1;
+  std::uint64_t next_event = 1;
+  std::unordered_map<std::uint64_t, ClientModule> modules;
+  // The paper's pointerToSymbol map: client launch handle -> sandboxed
+  // kernel symbol.
+  std::unordered_map<std::uint64_t, FunctionEntry> pointer_to_symbol;
+  std::unordered_map<std::uint64_t, bool> streams;
+  std::unordered_map<std::uint64_t, std::uint32_t> events;
+};
+
+class SessionRegistry {
+ public:
+  // Creates a session for a freshly assigned client id covering `partition`.
+  std::shared_ptr<ClientSession> Create(PartitionBounds partition);
+
+  // NotFound for ids that never registered or already disconnected.
+  Result<std::shared_ptr<ClientSession>> Find(ClientId id) const;
+
+  Status Erase(ClientId id);
+
+  std::size_t size() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  ClientId next_id_ = 1;
+  std::unordered_map<ClientId, std::shared_ptr<ClientSession>> sessions_;
+};
+
+}  // namespace grd::guardian

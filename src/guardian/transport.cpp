@@ -1,0 +1,123 @@
+#include "guardian/transport.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace grd::guardian {
+
+void ManagerServer::AddChannel(ipc::Channel* channel, double weight,
+                               int priority) {
+  auto entry = std::make_unique<Entry>();
+  entry->channel = channel;
+  entry->weight = weight;
+  entry->priority = priority;
+  channels_.push_back(std::move(entry));
+  // Channels are fixed before Run()/Start(), so the priority order can be
+  // computed here instead of sorting on every sweep.
+  priority_order_.push_back(channels_.back().get());
+  std::stable_sort(priority_order_.begin(), priority_order_.end(),
+                   [](const Entry* a, const Entry* b) {
+                     return a->priority > b->priority;
+                   });
+}
+
+bool ManagerServer::ServeOne(Entry& entry) {
+  auto request = entry.channel->request().TryRead();
+  if (!request.ok()) return false;
+  const ipc::Bytes response = manager_->HandleRequest(*request);
+  const Status written = entry.channel->response().Write(response);
+  if (!written.ok()) {
+    // The client vanished mid-call. The work is done and cannot be undone;
+    // account for the undeliverable response instead of dropping silently.
+    manager_->NoteDroppedResponse();
+    GRD_LOG_WARN("ManagerServer")
+        << "dropped response for vanished client channel: "
+        << written.ToString();
+  }
+  return true;
+}
+
+std::size_t ManagerServer::SweepRoundRobin() {
+  std::size_t served = 0;
+  for (auto& entry : channels_) {
+    if (!Claim(*entry)) continue;
+    served += ServeOne(*entry) ? 1 : 0;
+    Release(*entry);
+  }
+  return served;
+}
+
+std::size_t ManagerServer::SweepPriority() {
+  // Strict priority: scan channels in descending priority order (precomputed
+  // in AddChannel) and serve the first pending request; at most one request
+  // per sweep so lower priorities are still polled when high ones go idle.
+  for (Entry* entry : priority_order_) {
+    if (!Claim(*entry)) continue;
+    const bool served = ServeOne(*entry);
+    Release(*entry);
+    if (served) return 1;
+  }
+  return 0;
+}
+
+std::size_t ManagerServer::SweepWeightedFair() {
+  std::size_t served = 0;
+  for (auto& entry : channels_) {
+    if (!Claim(*entry)) continue;
+    entry->deficit += entry->weight;
+    while (entry->deficit >= 1.0 && ServeOne(*entry)) {
+      entry->deficit -= 1.0;
+      ++served;
+    }
+    // An idle channel keeps no credit (classic DRR resets empty queues).
+    if (entry->deficit >= 1.0) entry->deficit = 0.0;
+    Release(*entry);
+  }
+  return served;
+}
+
+std::size_t ManagerServer::ServeOnce() {
+  switch (policy_) {
+    case Policy::kRoundRobin: return SweepRoundRobin();
+    case Policy::kPriority: return SweepPriority();
+    case Policy::kWeightedFair: return SweepWeightedFair();
+  }
+  return 0;
+}
+
+void ManagerServer::WorkerLoop(const std::atomic<bool>& stop) {
+  IdleBackoff backoff;
+  while (true) {
+    const std::size_t served = ServeOnce();
+    if (served > 0) {
+      backoff.Reset();
+      continue;
+    }
+    if (stop.load(std::memory_order_acquire)) return;
+    backoff.Pause();
+  }
+}
+
+void ManagerServer::Run(const std::atomic<bool>& stop) {
+  std::vector<std::thread> extra;
+  extra.reserve(workers_ - 1);
+  for (std::size_t i = 1; i < workers_; ++i)
+    extra.emplace_back([this, &stop] { WorkerLoop(stop); });
+  WorkerLoop(stop);
+  for (std::thread& worker : extra) worker.join();
+}
+
+void ManagerServer::Start() {
+  if (self_runner_.joinable()) return;  // already running
+  self_stop_.store(false, std::memory_order_release);
+  self_runner_ = std::thread([this] { Run(self_stop_); });
+}
+
+void ManagerServer::Stop() {
+  if (!self_runner_.joinable()) return;
+  self_stop_.store(true, std::memory_order_release);
+  self_runner_.join();
+}
+
+}  // namespace grd::guardian

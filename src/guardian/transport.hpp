@@ -1,5 +1,4 @@
-// Client-side transport abstractions and the manager's round-robin server
-// pump.
+// Client-side transport abstractions and the manager's request server.
 //
 // Deployment shapes:
 //  - LoopbackTransport: client and manager in one thread (unit tests,
@@ -9,11 +8,20 @@
 //    with SharedRegion + fork — another process, which is the paper's actual
 //    deployment (§4: applications and grdManager in different address
 //    spaces).
+//
+// ManagerServer serves client channels with one of three scheduling
+// policies (§4.2.4 — the paper uses round-robin and leaves richer policies
+// as future work) and, since the layered refactor, with a configurable
+// worker pool: `workers` threads pull requests concurrently, each channel
+// claimed by at most one worker at a time so per-session ordering is
+// preserved while different tenants' requests overlap.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -50,8 +58,39 @@ class ChannelTransport final : public ClientTransport {
   ipc::Channel* channel_;
 };
 
-// Serves client channels. The paper's grdManager uses round-robin (§4.2.4)
-// and leaves richer policies as future work; this server implements three:
+// Bounded spin → yield → exponential-sleep backoff for idle polling loops,
+// so an idle manager worker does not burn a core while staying responsive
+// under load.
+class IdleBackoff {
+ public:
+  void Pause() {
+    ++idle_rounds_;
+    if (idle_rounds_ <= kSpinRounds) return;  // hot: re-poll immediately
+    if (idle_rounds_ <= kSpinRounds + kYieldRounds) {
+      std::this_thread::yield();
+      return;
+    }
+    sleep_us_ = sleep_us_ == 0 ? kMinSleepUs
+                               : std::min(sleep_us_ * 2, kMaxSleepUs);
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us_));
+  }
+
+  void Reset() noexcept {
+    idle_rounds_ = 0;
+    sleep_us_ = 0;
+  }
+
+ private:
+  static constexpr std::uint32_t kSpinRounds = 64;
+  static constexpr std::uint32_t kYieldRounds = 32;
+  static constexpr std::uint64_t kMinSleepUs = 50;
+  static constexpr std::uint64_t kMaxSleepUs = 1000;
+
+  std::uint32_t idle_rounds_ = 0;
+  std::uint64_t sleep_us_ = 0;
+};
+
+// Serves client channels. Scheduling policies:
 //  - kRoundRobin   : one request per channel per sweep (paper default);
 //  - kPriority     : strict priority — the highest-priority channel with a
 //                    pending request is served first each sweep;
@@ -61,93 +100,69 @@ class ManagerServer {
  public:
   enum class Policy : std::uint8_t { kRoundRobin, kPriority, kWeightedFair };
 
-  explicit ManagerServer(GrdManager* manager, Policy policy = Policy::kRoundRobin)
-      : manager_(manager), policy_(policy) {}
+  explicit ManagerServer(GrdManager* manager,
+                         Policy policy = Policy::kRoundRobin,
+                         std::size_t workers = 1)
+      : manager_(manager),
+        policy_(policy),
+        workers_(workers == 0 ? 1 : workers) {}
 
+  ~ManagerServer() { Stop(); }
+
+  // Channels must be added before Run()/Start().
   void AddChannel(ipc::Channel* channel, double weight = 1.0,
-                  int priority = 0) {
-    channels_.push_back(Entry{channel, weight, priority, 0.0});
-  }
+                  int priority = 0);
 
   Policy policy() const noexcept { return policy_; }
+  std::size_t workers() const noexcept { return workers_; }
 
-  // One scheduling sweep; returns the number of requests served.
-  std::size_t ServeOnce() {
-    switch (policy_) {
-      case Policy::kRoundRobin: return ServeRoundRobin();
-      case Policy::kPriority: return ServePriority();
-      case Policy::kWeightedFair: return ServeWeightedFair();
-    }
-    return 0;
-  }
+  // One scheduling sweep on the calling thread; returns requests served.
+  // Channels currently claimed by another worker are skipped.
+  std::size_t ServeOnce();
 
-  // Pump until `stop` becomes true and all rings are drained.
-  void Run(const std::atomic<bool>& stop) {
-    while (true) {
-      const std::size_t served = ServeOnce();
-      if (served == 0) {
-        if (stop.load(std::memory_order_acquire)) return;
-        std::this_thread::yield();
-      }
-    }
-  }
+  // Pump with `workers` threads (the calling thread counts as one) until
+  // `stop` becomes true and this worker's sweep finds all rings drained.
+  void Run(const std::atomic<bool>& stop);
+
+  // Convenience: Run() on internally managed threads. Stop() joins them;
+  // it is also called by the destructor.
+  void Start();
+  void Stop();
 
  private:
   struct Entry {
-    ipc::Channel* channel;
-    double weight;
-    int priority;
-    double deficit;
+    ipc::Channel* channel = nullptr;
+    double weight = 1.0;
+    int priority = 0;
+    double deficit = 0.0;              // guarded by the busy claim
+    std::atomic<bool> busy{false};     // one worker per channel at a time
   };
 
-  bool ServeOne(Entry& entry) {
-    auto request = entry.channel->request().TryRead();
-    if (!request.ok()) return false;
-    const ipc::Bytes response = manager_->HandleRequest(*request);
-    // A failed response write means the client vanished; drop silently.
-    (void)entry.channel->response().Write(response);
-    return true;
+  // Claims `entry` for the calling worker; false when another worker has it.
+  static bool Claim(Entry& entry) noexcept {
+    bool expected = false;
+    return entry.busy.compare_exchange_strong(expected, true,
+                                              std::memory_order_acquire);
+  }
+  static void Release(Entry& entry) noexcept {
+    entry.busy.store(false, std::memory_order_release);
   }
 
-  std::size_t ServeRoundRobin() {
-    std::size_t served = 0;
-    for (Entry& entry : channels_) served += ServeOne(entry) ? 1 : 0;
-    return served;
-  }
-
-  std::size_t ServePriority() {
-    // Strict priority: scan channels in descending priority order and serve
-    // the first pending request; at most one request per sweep so lower
-    // priorities are still polled when high ones go idle.
-    std::vector<Entry*> order;
-    order.reserve(channels_.size());
-    for (Entry& entry : channels_) order.push_back(&entry);
-    std::sort(order.begin(), order.end(), [](const Entry* a, const Entry* b) {
-      return a->priority > b->priority;
-    });
-    for (Entry* entry : order) {
-      if (ServeOne(*entry)) return 1;
-    }
-    return 0;
-  }
-
-  std::size_t ServeWeightedFair() {
-    std::size_t served = 0;
-    for (Entry& entry : channels_) {
-      entry.deficit += entry.weight;
-      while (entry.deficit >= 1.0 && ServeOne(entry)) {
-        entry.deficit -= 1.0;
-        ++served;
-      }
-      // An idle channel keeps no credit (classic DRR resets empty queues).
-      if (entry.deficit >= 1.0) entry.deficit = 0.0;
-    }
-    return served;
-  }
+  bool ServeOne(Entry& entry);  // requires the claim
+  std::size_t SweepRoundRobin();
+  std::size_t SweepPriority();
+  std::size_t SweepWeightedFair();
+  void WorkerLoop(const std::atomic<bool>& stop);
 
   GrdManager* manager_;
   Policy policy_;
-  std::vector<Entry> channels_;
+  std::size_t workers_;
+  std::vector<std::unique_ptr<Entry>> channels_;
+  // Descending-priority view of channels_, maintained by AddChannel.
+  std::vector<Entry*> priority_order_;
+
+  std::atomic<bool> self_stop_{false};
+  std::thread self_runner_;
 };
 
 }  // namespace grd::guardian

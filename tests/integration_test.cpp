@@ -212,11 +212,14 @@ TEST_F(FullStackTest, ManyTenantsManyKernels) {
 }
 
 TEST_F(FullStackTest, ConcurrentClientsOverThreadedChannels) {
-  // Multi-threaded clients hammering one manager through real rings.
+  // Multi-threaded clients hammering one manager through real rings, served
+  // by a multi-worker pump (3 workers dispatching concurrently).
   constexpr int kClients = 4;
   constexpr int kOpsPerClient = 50;
   std::vector<std::unique_ptr<ipc::HeapChannel>> heaps;
-  guardian::ManagerServer server(&manager_);
+  guardian::ManagerServer server(&manager_,
+                                 guardian::ManagerServer::Policy::kRoundRobin,
+                                 /*workers=*/3);
   for (int i = 0; i < kClients; ++i) {
     heaps.push_back(std::make_unique<ipc::HeapChannel>());
     server.AddChannel(&heaps.back()->channel());

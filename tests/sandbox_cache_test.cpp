@@ -1,0 +1,215 @@
+// SandboxCache coverage: content-addressed patch sharing across tenants,
+// mode-keyed entries, collision safety and concurrent loads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "guardian/grdlib.hpp"
+#include "guardian/manager.hpp"
+#include "guardian/sandbox_cache.hpp"
+#include "guardian/transport.hpp"
+#include "ptx/generator.hpp"
+#include "ptx/parser.hpp"
+#include "ptx/printer.hpp"
+#include "simgpu/device_spec.hpp"
+
+namespace grd::guardian {
+namespace {
+
+using ptxexec::KernelArg;
+using simcuda::DevicePtr;
+using simcuda::MemcpyKind;
+
+std::string SamplePtx() { return ptx::Print(ptx::MakeSampleModule()); }
+
+TEST(SandboxCacheTest, SecondLookupOfIdenticalSourceHitsCache) {
+  SandboxCache cache;
+  const std::string source = SamplePtx();
+  auto parsed = ptx::Parse(source);
+  ASSERT_TRUE(parsed.ok());
+  ptxpatcher::PatchOptions options;
+
+  auto first = cache.GetOrPatch(source, *parsed, options);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_TRUE(first->patched_now);
+
+  auto second = cache.GetOrPatch(source, *parsed, options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->patched_now);
+  // Shared immutable module, not a copy.
+  EXPECT_EQ(first->module.get(), second->module.get());
+
+  EXPECT_EQ(cache.stats().patches, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SandboxCacheTest, DifferentBoundsCheckModesDoNotCollide) {
+  SandboxCache cache;
+  const std::string source = SamplePtx();
+  auto parsed = ptx::Parse(source);
+  ASSERT_TRUE(parsed.ok());
+
+  ptxpatcher::PatchOptions bitwise;
+  bitwise.mode = ptxpatcher::BoundsCheckMode::kFencingBitwise;
+  ptxpatcher::PatchOptions modulo;
+  modulo.mode = ptxpatcher::BoundsCheckMode::kFencingModulo;
+  ptxpatcher::PatchOptions checking;
+  checking.mode = ptxpatcher::BoundsCheckMode::kChecking;
+
+  auto a = cache.GetOrPatch(source, *parsed, bitwise);
+  auto b = cache.GetOrPatch(source, *parsed, modulo);
+  auto c = cache.GetOrPatch(source, *parsed, checking);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_TRUE(a->patched_now);
+  EXPECT_TRUE(b->patched_now);
+  EXPECT_TRUE(c->patched_now);
+  EXPECT_NE(a->module.get(), b->module.get());
+  EXPECT_NE(b->module.get(), c->module.get());
+  EXPECT_EQ(cache.stats().patches, 3u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.size(), 3u);
+
+  // Instrumentation genuinely differs across modes (the bitwise module
+  // fences with and/or, the modulo module with rem).
+  EXPECT_NE(ptx::Print(*a->module), ptx::Print(*b->module));
+}
+
+TEST(SandboxCacheTest, PatchFlagVariantsAreDistinctEntries) {
+  SandboxCache cache;
+  const std::string source = SamplePtx();
+  auto parsed = ptx::Parse(source);
+  ASSERT_TRUE(parsed.ok());
+
+  ptxpatcher::PatchOptions plain;
+  ptxpatcher::PatchOptions skip_safe = plain;
+  skip_safe.skip_statically_safe = true;
+  auto a = cache.GetOrPatch(source, *parsed, plain);
+  auto b = cache.GetOrPatch(source, *parsed, skip_safe);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(b->patched_now);  // not served from the plain entry
+  EXPECT_EQ(cache.stats().patches, 2u);
+}
+
+TEST(SandboxCacheTest, CapacityIsEnforcedWithLruEviction) {
+  SandboxCache cache(/*capacity=*/2);
+  ptxpatcher::PatchOptions options;
+  // Three distinct sources: version-comment variants of the sample module.
+  std::vector<std::string> sources;
+  for (int i = 0; i < 3; ++i)
+    sources.push_back(SamplePtx() + "\n// variant " + std::to_string(i));
+  std::vector<ptx::Module> parsed;
+  for (const auto& source : sources) {
+    auto module = ptx::Parse(source);
+    ASSERT_TRUE(module.ok());
+    parsed.push_back(std::move(*module));
+  }
+
+  ASSERT_TRUE(cache.GetOrPatch(sources[0], parsed[0], options).ok());
+  ASSERT_TRUE(cache.GetOrPatch(sources[1], parsed[1], options).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  // Third entry evicts the least-recently-used (source 0).
+  ASSERT_TRUE(cache.GetOrPatch(sources[2], parsed[2], options).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // Source 1 is still cached; source 0 must be re-patched.
+  auto hit = cache.GetOrPatch(sources[1], parsed[1], options);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_FALSE(hit->patched_now);
+  auto repatch = cache.GetOrPatch(sources[0], parsed[0], options);
+  ASSERT_TRUE(repatch.ok());
+  EXPECT_TRUE(repatch->patched_now);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(SandboxCacheTest, HashPtxSourceIsStableAndDiscriminating) {
+  const std::string a = SamplePtx();
+  EXPECT_EQ(HashPtxSource(a), HashPtxSource(a));
+  EXPECT_NE(HashPtxSource(a), HashPtxSource(a + " "));
+  EXPECT_NE(HashPtxSource(""), HashPtxSource(" "));
+}
+
+TEST(SandboxCacheTest, TwoClientsLoadingIdenticalPtxPatchOnce) {
+  // The acceptance property: identical PTX loaded by 2 clients is patched
+  // exactly once, observable through the manager's stats.
+  simcuda::Gpu gpu(simgpu::QuadroRtxA4000());
+  GrdManager manager(&gpu, ManagerOptions{});
+  LoopbackTransport transport(&manager);
+  auto alice = GrdLib::Connect(&transport, 4 << 20);
+  auto bob = GrdLib::Connect(&transport, 4 << 20);
+  ASSERT_TRUE(alice.ok() && bob.ok());
+
+  const std::string source = SamplePtx();
+  auto module_a = alice->cuModuleLoadData(source);
+  auto module_b = bob->cuModuleLoadData(source);
+  ASSERT_TRUE(module_a.ok() && module_b.ok());
+  EXPECT_EQ(manager.stats().ptx_modules_patched, 1u);
+  EXPECT_EQ(manager.stats().ptx_cache_hits, 1u);
+  EXPECT_EQ(manager.sandbox_cache().size(), 1u);
+
+  // Both tenants launch from the shared sandboxed module; each is fenced to
+  // its own partition.
+  for (auto* lib : {&*alice, &*bob}) {
+    auto fn = lib->cuModuleGetFunction(
+        lib == &*alice ? *module_a : *module_b, "copyk");
+    ASSERT_TRUE(fn.ok());
+    DevicePtr in = 0, out = 0;
+    ASSERT_TRUE(lib->cudaMalloc(&in, 256).ok());
+    ASSERT_TRUE(lib->cudaMalloc(&out, 256).ok());
+    std::vector<std::uint32_t> data(64, lib == &*alice ? 7u : 9u);
+    ASSERT_TRUE(lib->cudaMemcpyH2D(in, data.data(), 256).ok());
+    simcuda::LaunchConfig config;
+    config.block = {64, 1, 1};
+    ASSERT_TRUE(lib->cudaLaunchKernel(*fn, config,
+                                      {KernelArg::U64(in), KernelArg::U64(out),
+                                       KernelArg::U32(64)})
+                    .ok());
+    std::uint32_t check = 0;
+    ASSERT_TRUE(
+        lib->cudaMemcpy(&check, out, 4, MemcpyKind::kDeviceToHost).ok());
+    EXPECT_EQ(check, lib == &*alice ? 7u : 9u);
+  }
+  EXPECT_EQ(manager.stats().sandboxed_launches, 2u);
+  // Still exactly one patch after both launches.
+  EXPECT_EQ(manager.stats().ptx_modules_patched, 1u);
+}
+
+TEST(SandboxCacheTest, ConcurrentIdenticalLoadsPatchOnce) {
+  simcuda::Gpu gpu(simgpu::QuadroRtxA4000());
+  GrdManager manager(&gpu, ManagerOptions{});
+  LoopbackTransport transport(&manager);
+  const std::string source = SamplePtx();
+
+  constexpr int kThreads = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      auto lib = GrdLib::Connect(&transport, 1 << 20);
+      if (!lib.ok() || !lib->cuModuleLoadData(source).ok()) ++failures;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(manager.stats().ptx_modules_patched, 1u);
+  EXPECT_EQ(manager.stats().ptx_cache_hits,
+            static_cast<std::uint64_t>(kThreads - 1));
+}
+
+TEST(SandboxCacheTest, ProtectionDisabledBypassesCache) {
+  simcuda::Gpu gpu(simgpu::QuadroRtxA4000());
+  ManagerOptions options;
+  options.protection_enabled = false;
+  GrdManager manager(&gpu, options);
+  LoopbackTransport transport(&manager);
+  auto lib = GrdLib::Connect(&transport, 1 << 20);
+  ASSERT_TRUE(lib.ok());
+  ASSERT_TRUE(lib->cuModuleLoadData(SamplePtx()).ok());
+  EXPECT_EQ(manager.stats().ptx_modules_patched, 0u);
+  EXPECT_EQ(manager.sandbox_cache().size(), 0u);
+}
+
+}  // namespace
+}  // namespace grd::guardian
