@@ -66,5 +66,48 @@ int main() {
   std::printf("cached load (mean)  : %.1f us  (%.1fx faster)\n", cached_us,
               cached_us > 0 ? first_us / cached_us : 0.0);
 
-  return manager.stats().ptx_modules_patched == 1 ? 0 : 1;
+  // Phase 2: a tenant cycling unique PTX against a small cache — LRU keeps
+  // the manager bounded and the eviction counters account for what was
+  // reclaimed.
+  constexpr std::size_t kSmallCapacity = 8;
+  constexpr int kUniqueModules = 32;
+  guardian::ManagerOptions bounded_options;
+  bounded_options.sandbox_cache_capacity = kSmallCapacity;
+  guardian::GrdManager bounded(&gpu, bounded_options);
+  guardian::LoopbackTransport bounded_transport(&bounded);
+  auto churn = guardian::GrdLib::Connect(&bounded_transport, 1ull << 20);
+  if (!churn.ok()) {
+    std::printf("connect failed: %s\n", churn.status().ToString().c_str());
+    return 1;
+  }
+  for (int i = 0; i < kUniqueModules; ++i) {
+    // Distinct kernel name => distinct source => distinct cache entry.
+    ptx::Module module;
+    module.kernels.push_back(
+        ptx::MakeStoreTidKernel("churn_" + std::to_string(i)));
+    auto loaded = churn->cuModuleLoadData(ptx::Print(module));
+    if (!loaded.ok()) {
+      std::printf("churn load failed: %s\n",
+                  loaded.status().ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("\nunique-PTX churn, cache capacity %zu, %d loads:\n",
+              kSmallCapacity, kUniqueModules);
+  std::printf("cache entries live  : %zu\n", bounded.sandbox_cache().size());
+  std::printf("evictions           : %llu\n",
+              static_cast<unsigned long long>(
+                  bounded.stats().sandbox_cache_evictions));
+  std::printf("bytes reclaimed     : %llu\n",
+              static_cast<unsigned long long>(
+                  bounded.stats().sandbox_cache_bytes_reclaimed));
+
+  const bool amortized = manager.stats().ptx_modules_patched == 1;
+  const bool bounded_ok =
+      bounded.sandbox_cache().size() <= kSmallCapacity &&
+      bounded.stats().sandbox_cache_evictions ==
+          kUniqueModules - kSmallCapacity &&
+      bounded.stats().sandbox_cache_bytes_reclaimed > 0;
+  if (!bounded_ok) std::printf("FAIL: eviction accounting off\n");
+  return amortized && bounded_ok ? 0 : 1;
 }

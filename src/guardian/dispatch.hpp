@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -27,13 +28,19 @@ namespace grd::guardian {
 struct ExecutionContext;
 class SessionRegistry;
 struct ClientSession;
+class Dispatcher;
 
 // Everything a handler stage may touch. `session` is bound (and its mutex
-// held) by the dispatcher iff the descriptor declares kRequired.
+// held) by the dispatcher iff the descriptor declares kRequired;
+// `session_ref` is the owning pointer behind it, for handlers that enqueue
+// asynchronous work outliving the request. `dispatcher` lets the batch
+// handler re-dispatch its sub-requests.
 struct HandlerContext {
   ExecutionContext& exec;
   SessionRegistry& sessions;
   ClientSession* session = nullptr;
+  std::shared_ptr<ClientSession> session_ref;
+  const Dispatcher* dispatcher = nullptr;
 };
 
 enum class SessionPolicy : std::uint8_t {

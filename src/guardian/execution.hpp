@@ -2,24 +2,31 @@
 //
 // Everything the request handlers share across sessions lives here: the
 // simulated GPU, the partition allocator, the bounds table, the sandbox
-// cache and the cost counters. Each piece is guarded separately so that a
-// multi-worker server only serializes where the hardware model demands it:
+// cache, the device scheduler and the cost counters. Each piece is guarded
+// separately so that a multi-worker server only serializes where the
+// hardware model demands it:
 //  - `partition_mu` covers the partition allocator plus the paired bounds
 //    table updates (create/release/grow must be atomic with their bounds
-//    entry);
-//  - `gpu_mu` serializes device-memory traffic and kernel execution — the
-//    simulated device is one physical GPU; host-side work (decode, PTX
-//    parsing, patching) runs concurrently outside it;
+//    entry) — the only allocator-critical section left;
+//  - device-memory traffic and kernel execution go through the
+//    GpuScheduler: per-stream FIFO queues drained by an executor pool under
+//    an SM-occupancy model, replacing the old `gpu_mu` big lock;
+//  - `native_mu` fences the §4.2.3 standalone fast path: a native
+//    (unfenced) kernel holds it shared while resident, registration takes
+//    it exclusively after publishing a new session, so an unprotected
+//    kernel never overlaps a partition it did not know about;
 //  - the bounds table and the sandbox cache carry their own internal locks;
 //  - `ManagerStats` counters are relaxed atomics, safe to bump from any
-//    worker.
+//    worker or executor.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <shared_mutex>
 
 #include "guardian/bounds_table.hpp"
+#include "guardian/gpu_scheduler.hpp"
 #include "guardian/partition_allocator.hpp"
 #include "guardian/sandbox_cache.hpp"
 #include "ptxpatcher/patcher.hpp"
@@ -49,6 +56,14 @@ struct ManagerOptions {
   // Entry cap for the content-addressed sandbox cache (LRU-evicted), so a
   // tenant cycling unique PTX cannot grow the manager without bound.
   std::size_t sandbox_cache_capacity = SandboxCache::kDefaultCapacity;
+  // Executor threads draining the device scheduler's stream queues — the
+  // simulated equivalent of how many kernels/copies make progress at once.
+  std::size_t scheduler_executors = 2;
+  // >0: executors dilate each finished op's modeled device cycles into a
+  // real sleep of cycles × this many nanoseconds, so co-resident kernels
+  // genuinely overlap in wall-clock time (bench_stream_overlap). 0 =
+  // functional-only execution, no sleeps.
+  double device_time_ns_per_cycle = 0.0;
 };
 
 // Host-side cost counters backing Table 5, plus server health counters.
@@ -68,17 +83,42 @@ struct ManagerStats {
   std::atomic<std::uint64_t> responses_dropped{0};
   // Sandbox cache effectiveness: modules actually run through the PTX
   // patcher vs. loads served from the content-addressed cache (§4.2.3 patch
-  // cost, amortized across tenants loading the same library).
+  // cost, amortized across tenants loading the same library), plus the LRU
+  // eviction totals mirrored from SandboxCache::Stats.
   std::atomic<std::uint64_t> ptx_modules_patched{0};
   std::atomic<std::uint64_t> ptx_cache_hits{0};
+  std::atomic<std::uint64_t> sandbox_cache_evictions{0};
+  std::atomic<std::uint64_t> sandbox_cache_bytes_reclaimed{0};
+  // Device-scheduler traffic and occupancy (maintained by GpuScheduler and
+  // the launch/memcpy handlers).
+  std::atomic<std::uint64_t> kernels_enqueued{0};
+  std::atomic<std::uint64_t> memcpys_enqueued{0};
+  std::atomic<std::uint64_t> scheduler_ops_completed{0};
+  std::atomic<std::uint64_t> peak_resident_kernels{0};
+  std::atomic<std::uint64_t> peak_sms_in_use{0};
+  std::atomic<std::uint64_t> peak_queue_depth{0};
+  // Batched IPC (grdLib coalescing adjacent async calls into one message).
+  std::atomic<std::uint64_t> batches_decoded{0};
+  std::atomic<std::uint64_t> batched_ops{0};
 };
+
+// Monotone-max update for ManagerStats peak/mirror counters: never lets a
+// stale snapshot regress the published value.
+inline void BumpCounterMax(std::atomic<std::uint64_t>& counter,
+                           std::uint64_t value) {
+  std::uint64_t seen = counter.load(std::memory_order_relaxed);
+  while (seen < value && !counter.compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
+  }
+}
 
 struct ExecutionContext {
   ExecutionContext(simcuda::Gpu* gpu_in, ManagerOptions options_in)
       : gpu(gpu_in),
         options(options_in),
         sandbox_cache(options_in.sandbox_cache_capacity),
-        partitions(gpu_in->spec().global_mem_bytes) {}
+        partitions(gpu_in->spec().global_mem_bytes),
+        scheduler(gpu_in->spec(), options_in.scheduler_executors, &stats) {}
 
   simcuda::Gpu* gpu;
   const ManagerOptions options;
@@ -89,7 +129,14 @@ struct ExecutionContext {
   PartitionAllocator partitions;
   PartitionBoundsTable bounds;  // internally locked (read-mostly)
 
-  std::mutex gpu_mu;  // serializes device memory ops and kernel execution
+  // Standalone fast-path fence (see file comment). Shared by an executing
+  // native kernel, exclusive (empty critical section) by registration.
+  std::shared_mutex native_mu;
+
+  // Declared last: destroyed first, so executor threads are joined before
+  // any state they might touch goes away. The manager also shuts it down
+  // explicitly before tearing down the session registry.
+  GpuScheduler scheduler;
 };
 
 }  // namespace grd::guardian

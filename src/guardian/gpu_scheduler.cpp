@@ -1,0 +1,296 @@
+#include "guardian/gpu_scheduler.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "guardian/execution.hpp"
+
+namespace grd::guardian {
+
+// All fields are guarded by the owning scheduler's mu_.
+struct GpuWorkItem {
+  enum class Kind : std::uint8_t { kKernel, kCopy, kEventRecord, kWaitEvent };
+  enum class State : std::uint8_t { kQueued, kRunning, kDone };
+
+  Kind kind = Kind::kKernel;
+  State state = State::kQueued;
+  std::function<Status()> body;  // kernels and copies only
+  int sm_footprint = 0;
+  GpuTicket depends_on;  // kWaitEvent: the record snapshot to wait for
+  Status status;
+};
+
+class GpuStream {
+ public:
+  friend class GpuScheduler;
+
+ private:
+  std::deque<GpuTicket> queue_;
+  bool active_ = false;     // one op of this stream is on an executor
+  bool destroyed_ = false;  // retired: enqueues fail
+  Status first_error_;      // sticky, reported by SynchronizeStream
+};
+
+namespace {
+
+using Kind = GpuWorkItem::Kind;
+using State = GpuWorkItem::State;
+
+GpuTicket FailedTicket(Status status) {
+  auto op = std::make_shared<GpuWorkItem>();
+  op->state = State::kDone;
+  op->status = std::move(status);
+  return op;
+}
+
+}  // namespace
+
+GpuScheduler::GpuScheduler(const simgpu::DeviceSpec& spec,
+                           std::size_t executors, ManagerStats* stats)
+    : spec_(spec),
+      executor_count_(std::clamp<std::size_t>(executors, 1, 64)),
+      stats_(stats) {
+  executors_.reserve(executor_count_);
+  for (std::size_t i = 0; i < executor_count_; ++i)
+    executors_.emplace_back([this] { ExecutorLoop(); });
+}
+
+GpuScheduler::~GpuScheduler() { Shutdown(); }
+
+std::shared_ptr<GpuStream> GpuScheduler::CreateStream() {
+  auto stream = std::shared_ptr<GpuStream>(new GpuStream());
+  std::lock_guard<std::mutex> lock(mu_);
+  streams_.push_back(stream);
+  return stream;
+}
+
+GpuTicket GpuScheduler::Submit(GpuStream& stream, GpuTicket op,
+                               GpuEvent* record_into, GpuEvent* wait_on) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stream.destroyed_ || stopped_)
+      return FailedTicket(InvalidArgument("stream is destroyed"));
+    if (wait_on != nullptr)
+      op->depends_on = wait_on->last_record;  // snapshot, CUDA semantics
+    stream.queue_.push_back(op);
+    ++queued_ops_;
+    if (record_into != nullptr) record_into->last_record = op;
+    if (stats_ != nullptr)
+      BumpCounterMax(stats_->peak_queue_depth, queued_ops_);
+  }
+  cv_.notify_all();
+  return op;
+}
+
+GpuTicket GpuScheduler::EnqueueKernel(GpuStream& stream,
+                                      std::function<Status()> body,
+                                      int sm_footprint) {
+  auto op = std::make_shared<GpuWorkItem>();
+  op->kind = Kind::kKernel;
+  op->body = std::move(body);
+  op->sm_footprint = std::clamp(sm_footprint, 1, std::max(1, spec_.sms));
+  return Submit(stream, std::move(op), nullptr, nullptr);
+}
+
+GpuTicket GpuScheduler::EnqueueCopy(GpuStream& stream,
+                                    std::function<Status()> body) {
+  auto op = std::make_shared<GpuWorkItem>();
+  op->kind = Kind::kCopy;
+  op->body = std::move(body);
+  return Submit(stream, std::move(op), nullptr, nullptr);
+}
+
+GpuTicket GpuScheduler::RecordEvent(GpuStream& stream, GpuEvent& event) {
+  auto op = std::make_shared<GpuWorkItem>();
+  op->kind = Kind::kEventRecord;
+  return Submit(stream, std::move(op), &event, nullptr);
+}
+
+GpuTicket GpuScheduler::EnqueueWaitEvent(GpuStream& stream, GpuEvent& event) {
+  auto op = std::make_shared<GpuWorkItem>();
+  op->kind = Kind::kWaitEvent;
+  return Submit(stream, std::move(op), nullptr, &event);
+}
+
+Status GpuScheduler::Wait(const GpuTicket& ticket) {
+  if (ticket == nullptr) return InvalidArgument("null ticket");
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return ticket->state == State::kDone; });
+  return ticket->status;
+}
+
+Status GpuScheduler::SynchronizeStream(GpuStream& stream) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return stream.queue_.empty() && !stream.active_; });
+  return stream.first_error_;
+}
+
+Status GpuScheduler::SynchronizeEvent(GpuEvent& event) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const GpuTicket record = event.last_record;
+  if (record == nullptr) return OkStatus();  // never recorded: complete
+  cv_.wait(lock, [&] { return record->state == State::kDone; });
+  return record->status;
+}
+
+Status GpuScheduler::DestroyStream(GpuStream& stream) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stream.destroyed_) return InvalidArgument("stream already destroyed");
+  // Drain rather than orphan: queued work keeps its ordering guarantees,
+  // then the stream is retired for good.
+  cv_.wait(lock, [&] { return stream.queue_.empty() && !stream.active_; });
+  stream.destroyed_ = true;
+  return stream.first_error_;
+}
+
+void GpuScheduler::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    for (const auto& weak : streams_) {
+      const auto stream = weak.lock();
+      if (stream == nullptr) continue;
+      for (const auto& op : stream->queue_) {
+        if (op->state == State::kQueued) {
+          op->state = State::kDone;
+          op->status = Aborted("scheduler shut down with work queued");
+        }
+      }
+      stream->queue_.clear();
+    }
+    queued_ops_ = 0;
+  }
+  cv_.notify_all();
+  for (auto& thread : executors_) thread.join();
+  executors_.clear();
+}
+
+int GpuScheduler::sms_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sms_in_use_;
+}
+
+int GpuScheduler::resident_kernels() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_kernels_;
+}
+
+void GpuScheduler::UpdatePeaksLocked() {
+  if (stats_ == nullptr) return;
+  BumpCounterMax(stats_->peak_resident_kernels,
+                 static_cast<std::uint64_t>(resident_kernels_));
+  BumpCounterMax(stats_->peak_sms_in_use,
+                 static_cast<std::uint64_t>(sms_in_use_));
+}
+
+bool GpuScheduler::ScanLocked(GpuTicket* op,
+                              std::shared_ptr<GpuStream>* stream) {
+  op->reset();
+  stream->reset();
+  bool completed_marker = false;
+  // Prune dead stream slots so a churning tenant cannot grow the scan list.
+  streams_.erase(std::remove_if(streams_.begin(), streams_.end(),
+                                [](const std::weak_ptr<GpuStream>& weak) {
+                                  const auto s = weak.lock();
+                                  return s == nullptr ||
+                                         (s->destroyed_ && s->queue_.empty());
+                                }),
+                 streams_.end());
+  const std::size_t n = streams_.size();
+  if (n == 0) return completed_marker;
+  rotor_ %= n;
+  // Keep sweeping while markers resolve: a record completing may unblock a
+  // wait in a stream the sweep already passed.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t index = (rotor_ + i) % n;
+      const auto s = streams_[index].lock();
+      if (s == nullptr || s->active_ || s->queue_.empty()) continue;
+      const GpuTicket& head = s->queue_.front();
+      switch (head->kind) {
+        case Kind::kEventRecord:
+          FinishLocked(*s, head, OkStatus());
+          completed_marker = progressed = true;
+          break;
+        case Kind::kWaitEvent:
+          if (head->depends_on == nullptr ||
+              head->depends_on->state == State::kDone) {
+            FinishLocked(*s, head, OkStatus());
+            completed_marker = progressed = true;
+          }
+          break;
+        case Kind::kKernel:
+          if (sms_in_use_ + head->sm_footprint <= spec_.sms) {
+            *op = head;
+            *stream = s;
+            rotor_ = (index + 1) % n;
+            return completed_marker;
+          }
+          break;
+        case Kind::kCopy:
+          if (copies_in_flight_ < std::max(1, spec_.copy_engines)) {
+            *op = head;
+            *stream = s;
+            rotor_ = (index + 1) % n;
+            return completed_marker;
+          }
+          break;
+      }
+    }
+  }
+  return completed_marker;
+}
+
+void GpuScheduler::FinishLocked(GpuStream& stream, const GpuTicket& op,
+                                Status status) {
+  op->status = std::move(status);
+  op->state = State::kDone;
+  if (!op->status.ok() && stream.first_error_.ok())
+    stream.first_error_ = op->status;
+  if (!stream.queue_.empty() && stream.queue_.front() == op)
+    stream.queue_.pop_front();
+  if (queued_ops_ > 0) --queued_ops_;
+  if (stats_ != nullptr)
+    stats_->scheduler_ops_completed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void GpuScheduler::ExecutorLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    GpuTicket op;
+    std::shared_ptr<GpuStream> stream;
+    const bool completed_marker = ScanLocked(&op, &stream);
+    if (completed_marker) cv_.notify_all();
+    if (op == nullptr) {
+      if (stopped_) return;
+      cv_.wait(lock);
+      continue;
+    }
+    op->state = State::kRunning;
+    stream->active_ = true;
+    if (op->kind == Kind::kKernel) {
+      sms_in_use_ += op->sm_footprint;
+      ++resident_kernels_;
+      UpdatePeaksLocked();
+    } else if (op->kind == Kind::kCopy) {
+      ++copies_in_flight_;
+    }
+    lock.unlock();
+    Status status = op->body ? op->body() : OkStatus();
+    lock.lock();
+    if (op->kind == Kind::kKernel) {
+      sms_in_use_ -= op->sm_footprint;
+      --resident_kernels_;
+    } else if (op->kind == Kind::kCopy) {
+      --copies_in_flight_;
+    }
+    stream->active_ = false;
+    FinishLocked(*stream, op, std::move(status));
+    cv_.notify_all();
+  }
+}
+
+}  // namespace grd::guardian

@@ -1,0 +1,138 @@
+// Device scheduler of the grdManager execution layer (see ARCHITECTURE.md).
+//
+// Replaces the old `gpu_mu` big lock: instead of serializing every kernel
+// and memcpy behind one mutex, each CUDA stream is a real FIFO work queue
+// and an executor pool drains the queues under an SM-occupancy model taken
+// from simgpu's device spec (§4.2.4). Independent tenants' — and
+// independent streams' — kernels co-reside on the simulated device as long
+// as their combined SM footprint fits; same-stream ordering is preserved
+// because only the head of a queue is ever runnable and a stream never has
+// two operations in flight.
+//
+// Work item kinds:
+//  - kernels    : carry an SM footprint; admitted when enough SMs are free;
+//  - copies     : occupy one of the spec's DMA copy-engine slots, never SMs;
+//  - event records / event waits: zero-cost markers resolved by the scan
+//    loop itself, giving cudaEventRecord / cudaStreamWaitEvent real
+//    cross-stream dependency semantics.
+//
+// Completion state is exposed through opaque tickets (`GpuTicket`);
+// synchronization RPCs (StreamSynchronize / EventSynchronize /
+// DeviceSynchronize) block on them, which makes those calls real waits
+// instead of the no-ops they used to be.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+#include "simgpu/device_spec.hpp"
+
+namespace grd::guardian {
+
+struct ManagerStats;
+
+// Internal work-item record; opaque outside the scheduler.
+struct GpuWorkItem;
+using GpuTicket = std::shared_ptr<GpuWorkItem>;
+
+// One CUDA stream: a FIFO of work items. Created by
+// GpuScheduler::CreateStream and owned by the session layer via shared_ptr;
+// all state lives behind the scheduler's lock.
+class GpuStream;
+
+// One CUDA event. `last_record` snapshots the most recent EventRecord op —
+// CUDA semantics: waits/synchronizes target the record in effect at call
+// time. Guarded by the scheduler's lock (only touched through scheduler
+// calls).
+struct GpuEvent {
+  explicit GpuEvent(std::uint32_t flags_in = 0) : flags(flags_in) {}
+  const std::uint32_t flags;
+  GpuTicket last_record;
+};
+
+class GpuScheduler {
+ public:
+  // `stats` may be null (standalone use in tests); when set, the scheduler
+  // maintains the occupancy/queue-depth counters in ManagerStats.
+  GpuScheduler(const simgpu::DeviceSpec& spec, std::size_t executors,
+               ManagerStats* stats);
+  ~GpuScheduler();
+
+  GpuScheduler(const GpuScheduler&) = delete;
+  GpuScheduler& operator=(const GpuScheduler&) = delete;
+
+  std::shared_ptr<GpuStream> CreateStream();
+
+  // FIFO-enqueues a kernel body occupying `sm_footprint` SMs. The body runs
+  // on an executor thread once every earlier op of the stream finished and
+  // the footprint fits into the free SMs.
+  GpuTicket EnqueueKernel(GpuStream& stream, std::function<Status()> body,
+                          int sm_footprint);
+  // FIFO-enqueues a copy operation: occupies one DMA copy-engine slot
+  // (spec.copy_engines concurrent), no SM occupancy.
+  GpuTicket EnqueueCopy(GpuStream& stream, std::function<Status()> body);
+  // Marks `event` as recorded once every earlier op of `stream` finished.
+  GpuTicket RecordEvent(GpuStream& stream, GpuEvent& event);
+  // Blocks later ops of `stream` until the record `event` currently carries
+  // completes (no record yet = no-op, as in CUDA).
+  GpuTicket EnqueueWaitEvent(GpuStream& stream, GpuEvent& event);
+
+  // Blocks until the ticket's op completed; returns its status.
+  Status Wait(const GpuTicket& ticket);
+  // Drains the stream; returns its sticky first-error status (OkStatus when
+  // every op so far succeeded).
+  Status SynchronizeStream(GpuStream& stream);
+  // Blocks until the record `event` currently carries completed.
+  Status SynchronizeEvent(GpuEvent& event);
+  // Drains the stream, then retires it: later enqueues fail with
+  // InvalidArgument instead of orphaning work.
+  Status DestroyStream(GpuStream& stream);
+
+  // Cancels all queued work (tickets complete with kAborted), joins the
+  // executor pool. Idempotent; called by the destructor and by the manager
+  // before session state is torn down.
+  void Shutdown();
+
+  // Introspection (benches/tests).
+  int sms_in_use() const;
+  int resident_kernels() const;
+  std::size_t executors() const noexcept { return executor_count_; }
+  const simgpu::DeviceSpec& spec() const noexcept { return spec_; }
+
+ private:
+  // Common enqueue path: destroyed/stopped check, FIFO push, queue-depth
+  // accounting, wake-up. `record_into` binds the op as the event's newest
+  // record; `wait_on` snapshots the event's current record as a dependency.
+  GpuTicket Submit(GpuStream& stream, GpuTicket op, GpuEvent* record_into,
+                   GpuEvent* wait_on);
+  void ExecutorLoop();
+  // Completes ready marker ops and picks the next runnable body op.
+  // Requires mu_ held. Returns true when any marker completed.
+  bool ScanLocked(GpuTicket* op, std::shared_ptr<GpuStream>* stream);
+  void FinishLocked(GpuStream& stream, const GpuTicket& op, Status status);
+  void UpdatePeaksLocked();
+
+  const simgpu::DeviceSpec spec_;
+  const std::size_t executor_count_;
+  ManagerStats* const stats_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::weak_ptr<GpuStream>> streams_;
+  std::size_t rotor_ = 0;  // round-robin start index for the scan
+  int sms_in_use_ = 0;
+  int resident_kernels_ = 0;
+  int copies_in_flight_ = 0;  // bounded by spec_.copy_engines
+  std::uint64_t queued_ops_ = 0;
+  bool stopped_ = false;
+  std::vector<std::thread> executors_;
+};
+
+}  // namespace grd::guardian

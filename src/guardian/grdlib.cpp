@@ -1,5 +1,7 @@
 #include "guardian/grdlib.hpp"
 
+#include <algorithm>
+
 namespace grd::guardian {
 
 using ipc::Bytes;
@@ -8,6 +10,11 @@ using ipc::Writer;
 using protocol::Op;
 using simcuda::DevicePtr;
 
+namespace {
+// Keep batch envelopes comfortably below the 1 MiB ring capacity.
+constexpr std::uint64_t kMaxPendingBytes = 256 * 1024;
+}  // namespace
+
 ipc::Writer GrdLib::NewRequest(Op op) const {
   Writer writer;
   protocol::WriteHeader(writer, op, client_);
@@ -15,6 +22,9 @@ ipc::Writer GrdLib::NewRequest(Op op) const {
 }
 
 Result<Reader> GrdLib::Call(Writer request, Bytes* response_storage) const {
+  // Any buffered async calls are ordered before this one; their errors
+  // surface here (CUDA-style deferred async error reporting).
+  GRD_RETURN_IF_ERROR(FlushBatch());
   GRD_ASSIGN_OR_RETURN(*response_storage,
                        transport_->Call(std::move(request).Take()));
   return protocol::DecodeResponse(*response_storage);
@@ -24,6 +34,50 @@ Status GrdLib::CallNoPayload(Writer request) const {
   Bytes storage;
   auto reader = Call(std::move(request), &storage);
   return reader.ok() ? OkStatus() : reader.status();
+}
+
+void GrdLib::EnableBatching(std::size_t max_pending) {
+  batching_enabled_ = true;
+  // Clamp to the envelope limit the manager enforces: a larger setting
+  // would make every flush an oversize batch rejected wholesale.
+  max_pending_ = std::clamp<std::size_t>(max_pending, 1,
+                                         protocol::kMaxBatchOps);
+}
+
+Status GrdLib::BufferAsync(Writer request) const {
+  Bytes bytes = std::move(request).Take();
+  pending_bytes_ += bytes.size();
+  pending_.push_back(std::move(bytes));
+  if (pending_.size() >= max_pending_ || pending_bytes_ >= kMaxPendingBytes)
+    return FlushBatch();
+  return OkStatus();
+}
+
+Status GrdLib::FlushBatch() const {
+  if (pending_.empty()) return OkStatus();
+  Writer envelope;
+  protocol::WriteHeader(envelope, Op::kBatch, client_);
+  envelope.Put<std::uint32_t>(static_cast<std::uint32_t>(pending_.size()));
+  for (const auto& sub : pending_) envelope.PutBlob(sub.data(), sub.size());
+  const std::size_t sent = pending_.size();
+  pending_.clear();
+  pending_bytes_ = 0;
+  GRD_ASSIGN_OR_RETURN(Bytes response,
+                       transport_->Call(std::move(envelope).Take()));
+  GRD_ASSIGN_OR_RETURN(Reader reader, protocol::DecodeResponse(response));
+  ++batches_sent_;
+  GRD_ASSIGN_OR_RETURN(std::uint32_t executed, reader.Get<std::uint32_t>());
+  if (executed > sent) return Internal("batch response count mismatch");
+  for (std::uint32_t i = 0; i < executed; ++i) {
+    GRD_ASSIGN_OR_RETURN(Bytes sub_bytes, reader.GetBlob());
+    auto sub = protocol::DecodeResponse(sub_bytes);
+    // The manager stops at the first failure, so at most the last executed
+    // sub-response is an error; everything after it never ran.
+    if (!sub.ok()) return sub.status();
+  }
+  if (executed < sent)
+    return Internal("batch aborted without an error response");
+  return OkStatus();
 }
 
 Result<GrdLib> GrdLib::Connect(ClientTransport* transport,
@@ -107,6 +161,20 @@ Status GrdLib::cudaMemcpyH2D(DevicePtr dst_dev, const void* src_host,
   return CallNoPayload(std::move(request));
 }
 
+Status GrdLib::cudaMemcpyH2DAsync(DevicePtr dst_dev, const void* src_host,
+                                  std::uint64_t size,
+                                  simcuda::StreamId stream) {
+  Writer request = NewRequest(Op::kMemcpyH2DAsync);
+  request.Put<std::uint64_t>(dst_dev);
+  request.Put<std::uint64_t>(stream);
+  request.PutBlob(src_host, size);
+  // The payload is serialized into the message, so the caller's buffer is
+  // reusable on return even though the copy completes later.
+  if (batching_enabled_ && stream != simcuda::kDefaultStream)
+    return BufferAsync(std::move(request));
+  return CallNoPayload(std::move(request));
+}
+
 Status GrdLib::cudaMemcpyD2D(DevicePtr dst_dev, DevicePtr src_dev,
                              std::uint64_t size) {
   Writer request = NewRequest(Op::kMemcpyD2D);
@@ -141,6 +209,10 @@ Status GrdLib::cudaLaunchKernel(simcuda::FunctionId func,
     request.Put<std::uint64_t>(arg.bits);
     request.Put<std::uint8_t>(arg.size);
   }
+  // Non-default-stream launches are fire-and-forget (faults surface at the
+  // next sync), so they can ride in a batch with adjacent async calls.
+  if (batching_enabled_ && config.stream != simcuda::kDefaultStream)
+    return BufferAsync(std::move(request));
   return CallNoPayload(std::move(request));
 }
 
@@ -206,6 +278,26 @@ Status GrdLib::cudaEventRecord(simcuda::EventId event,
   Writer request = NewRequest(Op::kEventRecord);
   request.Put<std::uint64_t>(event);
   request.Put<std::uint64_t>(stream);
+  // Records are fire-and-forget markers, so they batch with the launches
+  // and copies around them (FIFO within the envelope preserves order).
+  if (batching_enabled_ && stream != simcuda::kDefaultStream)
+    return BufferAsync(std::move(request));
+  return CallNoPayload(std::move(request));
+}
+
+Status GrdLib::cudaEventSynchronize(simcuda::EventId event) {
+  Writer request = NewRequest(Op::kEventSynchronize);
+  request.Put<std::uint64_t>(event);
+  return CallNoPayload(std::move(request));
+}
+
+Status GrdLib::cudaStreamWaitEvent(simcuda::StreamId stream,
+                                   simcuda::EventId event) {
+  Writer request = NewRequest(Op::kStreamWaitEvent);
+  request.Put<std::uint64_t>(event);
+  request.Put<std::uint64_t>(stream);
+  if (batching_enabled_ && stream != simcuda::kDefaultStream)
+    return BufferAsync(std::move(request));
   return CallNoPayload(std::move(request));
 }
 

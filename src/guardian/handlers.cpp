@@ -2,8 +2,22 @@
 // the dispatch layer as a decode/validate/execute pipeline. This file is the
 // only place that knows both the wire layout and the execution-layer
 // semantics of a call; adding an RPC is one Register call here.
+//
+// Since the stream-aware execution engine, kernel launches, memcpys and
+// event records ENQUEUE onto the session's GpuScheduler streams instead of
+// executing inline under a big lock. Synchronous RPCs (the blocking memcpy
+// family, default-stream launches, the Synchronize calls) enqueue and then
+// wait on the returned ticket; asynchronous ones reply immediately and
+// surface faults at the next synchronization point via the session's
+// sticky `failed` flag.
+#include <algorithm>
+#include <chrono>
+#include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/cycle_clock.hpp"
@@ -15,6 +29,7 @@
 #include "ptx/validator.hpp"
 #include "ptxexec/interpreter.hpp"
 #include "simcuda/export_tables.hpp"
+#include "simgpu/timing.hpp"
 
 namespace grd::guardian {
 namespace {
@@ -45,6 +60,40 @@ Status CheckTransfer(HandlerContext& ctx, std::uint64_t addr,
   return check;
 }
 
+// Dilates `cycles` of modeled device time into a real executor sleep when
+// the manager was configured with a time scale (bench_stream_overlap and
+// the overlap tests); no-op in the default functional-only configuration.
+void SimulateDeviceCycles(const ExecutionContext& exec, double cycles) {
+  const double ns = exec.options.device_time_ns_per_cycle;
+  if (ns <= 0.0 || cycles <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::nanoseconds(static_cast<std::int64_t>(cycles * ns)));
+}
+
+// Resolves a validated stream id to its scheduler queue.
+std::shared_ptr<GpuStream> StreamOf(HandlerContext& ctx, std::uint64_t id) {
+  return ctx.session->streams.at(id);
+}
+
+// Legacy default-stream semantics (the half that matters for correctness):
+// a blocking default-stream operation is ordered after everything already
+// queued on the session's other streams, so launch-on-created-stream
+// followed by a blocking memcpy behaves as it did under the serialized
+// engine. Sticky stream errors surface here, like any blocking CUDA call.
+Status SyncOtherStreams(HandlerContext& ctx) {
+  for (auto& [id, stream] : ctx.session->streams) {
+    if (id == 0) continue;
+    GRD_RETURN_IF_ERROR(ctx.exec.scheduler.SynchronizeStream(*stream));
+  }
+  return OkStatus();
+}
+
+Status ValidateKnownStream(HandlerContext& ctx, const IdReq& req) {
+  if (!ctx.session->streams.count(req.id))
+    return InvalidArgument("unknown stream");
+  return OkStatus();
+}
+
 // ---- register / disconnect ------------------------------------------------
 
 Result<IdReq> DecodeRegister(Reader& req) {
@@ -62,12 +111,16 @@ Result<Writer> ExecuteRegister(HandlerContext& ctx, IdReq& req) {
   {
     std::lock_guard<std::mutex> lock(ctx.exec.partition_mu);
     GRD_ASSIGN_OR_RETURN(bounds, ctx.exec.partitions.CreatePartition(req.id));
-    // New sessions are published under gpu_mu so a concurrently executing
-    // native (standalone fast path) kernel finishes before the tenant count
-    // it was predicated on changes — see ExecuteLaunch.
-    std::lock_guard<std::mutex> gpu_lock(ctx.exec.gpu_mu);
-    id = ctx.sessions.Create(bounds)->id;
+    id = ctx.sessions.Create(bounds, ctx.exec.scheduler.CreateStream())->id;
     GRD_RETURN_IF_ERROR(ctx.exec.bounds.Insert(id, bounds));
+  }
+  if (ctx.exec.options.standalone_fast_path) {
+    // Fast-path fence: a native (unfenced) kernel that observed "runs
+    // standalone" holds native_mu shared while resident. Taking it
+    // exclusively *after* publishing the session means any such kernel has
+    // finished before this tenant's partition goes live, and later kernels
+    // see the new tenant count and sandbox themselves.
+    std::unique_lock<std::shared_mutex> fence(ctx.exec.native_mu);
   }
   GRD_LOG_INFO("grdManager") << "client " << id << " registered, partition ["
                              << bounds.base << ", " << bounds.end() << ")";
@@ -81,6 +134,11 @@ Result<Writer> ExecuteRegister(HandlerContext& ctx, IdReq& req) {
 Result<Writer> ExecuteDisconnect(HandlerContext& ctx, NoPayload&) {
   const ClientId id = ctx.session->id;
   const std::uint64_t base = ctx.session->partition.base;
+  // Drain this tenant's in-flight work before the partition is reassigned:
+  // an async kernel enqueued before the disconnect must not touch a range a
+  // new tenant may inherit.
+  for (auto& [stream_id, stream] : ctx.session->streams)
+    (void)ctx.exec.scheduler.SynchronizeStream(*stream);
   // Kill the session before releasing its partition: a worker that already
   // resolved this session (its mutex is held here) must observe the
   // disconnect instead of operating on a released — possibly reassigned —
@@ -112,6 +170,21 @@ Result<Writer> ExecuteFree(HandlerContext& ctx, IdReq& req) {
   return Writer{};
 }
 
+// Enqueues a host-initiated copy of `bytes` bytes running `body` on
+// `stream`, charging the modeled copy-engine time.
+GpuTicket EnqueueCopyOp(HandlerContext& ctx, GpuStream& stream,
+                        std::uint64_t bytes, std::function<Status()> body) {
+  ExecutionContext* exec = &ctx.exec;
+  ++exec->stats.memcpys_enqueued;
+  return exec->scheduler.EnqueueCopy(
+      stream, [exec, bytes, body = std::move(body)]() -> Status {
+        GRD_RETURN_IF_ERROR(body());
+        SimulateDeviceCycles(
+            *exec, simgpu::MemcpyDeviceCycles(exec->gpu->spec(), bytes));
+        return OkStatus();
+      });
+}
+
 struct MemcpyH2DReq {
   std::uint64_t dst = 0;
   ipc::Bytes payload;
@@ -126,9 +199,48 @@ Status ValidateMemcpyH2D(HandlerContext& ctx, const MemcpyH2DReq& req) {
   return CheckTransfer(ctx, req.dst, req.payload.size());
 }
 Result<Writer> ExecuteMemcpyH2D(HandlerContext& ctx, MemcpyH2DReq& req) {
-  std::lock_guard<std::mutex> lock(ctx.exec.gpu_mu);
-  GRD_RETURN_IF_ERROR(ctx.exec.gpu->memory().Write(
-      req.dst, req.payload.data(), req.payload.size()));
+  // Synchronous cudaMemcpy: ordered after the session's other streams
+  // (legacy default stream), enqueued on stream 0, completion awaited.
+  GRD_RETURN_IF_ERROR(SyncOtherStreams(ctx));
+  simgpu::GlobalMemory* memory = &ctx.exec.gpu->memory();
+  const std::uint64_t dst = req.dst;
+  auto ticket = EnqueueCopyOp(
+      ctx, *StreamOf(ctx, 0), req.payload.size(),
+      [memory, dst, payload = std::move(req.payload)]() -> Status {
+        return memory->Write(dst, payload.data(), payload.size());
+      });
+  GRD_RETURN_IF_ERROR(ctx.exec.scheduler.Wait(ticket));
+  return Writer{};
+}
+
+struct MemcpyH2DAsyncReq {
+  std::uint64_t dst = 0;
+  std::uint64_t stream = 0;
+  ipc::Bytes payload;
+};
+Result<MemcpyH2DAsyncReq> DecodeMemcpyH2DAsync(Reader& req) {
+  MemcpyH2DAsyncReq out;
+  GRD_ASSIGN_OR_RETURN(out.dst, req.Get<std::uint64_t>());
+  GRD_ASSIGN_OR_RETURN(out.stream, req.Get<std::uint64_t>());
+  GRD_ASSIGN_OR_RETURN(out.payload, req.GetBlob());
+  return out;
+}
+Status ValidateMemcpyH2DAsync(HandlerContext& ctx,
+                              const MemcpyH2DAsyncReq& req) {
+  if (!ctx.session->streams.count(req.stream))
+    return InvalidArgument("unknown stream");
+  return CheckTransfer(ctx, req.dst, req.payload.size());
+}
+Result<Writer> ExecuteMemcpyH2DAsync(HandlerContext& ctx,
+                                     MemcpyH2DAsyncReq& req) {
+  // The payload already lives in manager memory (it crossed the ring), so
+  // the copy can complete after this RPC returns — true async semantics.
+  simgpu::GlobalMemory* memory = &ctx.exec.gpu->memory();
+  const std::uint64_t dst = req.dst;
+  EnqueueCopyOp(ctx, *StreamOf(ctx, req.stream), req.payload.size(),
+                [memory, dst, payload = std::move(req.payload)]() -> Status {
+                  return memory->Write(dst, payload.data(), payload.size());
+                });
   return Writer{};
 }
 
@@ -146,12 +258,19 @@ Status ValidateRange(HandlerContext& ctx, const RangeReq& req) {
   return CheckTransfer(ctx, req.addr, req.size);
 }
 Result<Writer> ExecuteMemcpyD2H(HandlerContext& ctx, RangeReq& req) {
+  GRD_RETURN_IF_ERROR(SyncOtherStreams(ctx));
   ipc::Bytes payload(req.size);
-  {
-    std::lock_guard<std::mutex> lock(ctx.exec.gpu_mu);
-    GRD_RETURN_IF_ERROR(
-        ctx.exec.gpu->memory().Read(req.addr, payload.data(), req.size));
-  }
+  simgpu::GlobalMemory* memory = &ctx.exec.gpu->memory();
+  const std::uint64_t addr = req.addr;
+  const std::uint64_t size = req.size;
+  std::uint8_t* out_bytes = payload.data();
+  // The handler waits on the ticket before touching `payload`, so handing
+  // the raw buffer pointer to the executor is safe.
+  auto ticket = EnqueueCopyOp(ctx, *StreamOf(ctx, 0), size,
+                              [memory, addr, size, out_bytes]() -> Status {
+                                return memory->Read(addr, out_bytes, size);
+                              });
+  GRD_RETURN_IF_ERROR(ctx.exec.scheduler.Wait(ticket));
   Writer out;
   out.PutBlob(payload.data(), payload.size());
   return out;
@@ -182,8 +301,16 @@ Status ValidateMemcpyD2D(HandlerContext& ctx, const MemcpyD2DReq& req) {
   return check;
 }
 Result<Writer> ExecuteMemcpyD2D(HandlerContext& ctx, MemcpyD2DReq& req) {
-  std::lock_guard<std::mutex> lock(ctx.exec.gpu_mu);
-  GRD_RETURN_IF_ERROR(ctx.exec.gpu->memory().Copy(req.dst, req.src, req.size));
+  GRD_RETURN_IF_ERROR(SyncOtherStreams(ctx));
+  simgpu::GlobalMemory* memory = &ctx.exec.gpu->memory();
+  const std::uint64_t dst = req.dst;
+  const std::uint64_t src = req.src;
+  const std::uint64_t size = req.size;
+  auto ticket = EnqueueCopyOp(ctx, *StreamOf(ctx, 0), size,
+                              [memory, dst, src, size]() -> Status {
+                                return memory->Copy(dst, src, size);
+                              });
+  GRD_RETURN_IF_ERROR(ctx.exec.scheduler.Wait(ticket));
   return Writer{};
 }
 
@@ -203,9 +330,16 @@ Status ValidateMemset(HandlerContext& ctx, const MemsetReq& req) {
   return CheckTransfer(ctx, req.dst, req.size);
 }
 Result<Writer> ExecuteMemset(HandlerContext& ctx, MemsetReq& req) {
-  std::lock_guard<std::mutex> lock(ctx.exec.gpu_mu);
-  GRD_RETURN_IF_ERROR(ctx.exec.gpu->memory().Fill(
-      req.dst, static_cast<std::uint8_t>(req.value), req.size));
+  GRD_RETURN_IF_ERROR(SyncOtherStreams(ctx));
+  simgpu::GlobalMemory* memory = &ctx.exec.gpu->memory();
+  const std::uint64_t dst = req.dst;
+  const auto value = static_cast<std::uint8_t>(req.value);
+  const std::uint64_t size = req.size;
+  auto ticket = EnqueueCopyOp(ctx, *StreamOf(ctx, 0), size,
+                              [memory, dst, value, size]() -> Status {
+                                return memory->Fill(dst, value, size);
+                              });
+  GRD_RETURN_IF_ERROR(ctx.exec.scheduler.Wait(ticket));
   return Writer{};
 }
 
@@ -240,6 +374,15 @@ Result<Writer> ExecuteModuleLoad(HandlerContext& ctx, ModuleLoadReq& req) {
     else
       ++ctx.exec.stats.ptx_cache_hits;
     module.sandboxed = std::move(cached.module);
+    // Mirror the cache's LRU accounting into the manager stats so operators
+    // see evictions next to the hit/patch counters (monotone max: a racing
+    // stale snapshot must never regress the published value).
+    const auto& cache_stats = ctx.exec.sandbox_cache.stats();
+    BumpCounterMax(ctx.exec.stats.sandbox_cache_evictions,
+                   cache_stats.evictions.load(std::memory_order_relaxed));
+    BumpCounterMax(
+        ctx.exec.stats.sandbox_cache_bytes_reclaimed,
+        cache_stats.bytes_reclaimed.load(std::memory_order_relaxed));
   }
   module.native = std::move(native);
   const std::uint64_t id = ctx.session->next_module++;
@@ -325,54 +468,94 @@ Result<Writer> ExecuteLaunch(HandlerContext& ctx, LaunchReq& req) {
   const FunctionEntry& entry = entry_it->second;
   const ClientModule& module = client.modules.at(entry.module);
 
-  // gpu_mu is taken before the native-vs-sandboxed decision: registration
-  // publishes new sessions under the same lock, so "runs standalone" cannot
-  // become false between the check and the unfenced kernel finishing (the
-  // multi-worker TOCTOU on §4.2.3's fast path).
-  std::unique_lock<std::mutex> gpu_lock(exec.gpu_mu);
-  const bool use_native =
-      !exec.options.protection_enabled ||
-      (exec.options.standalone_fast_path && ctx.sessions.size() == 1);
+  // (2) build the kernel body the executor pool will run. Everything it
+  // touches is captured by value or owned via shared_ptr: the session mutex
+  // is NOT held on the executor, and the session's partition may even grow
+  // after this enqueue (CUDA async semantics — the launch-time view rules).
+  ExecutionContext* exec_ptr = &exec;
+  SessionRegistry* sessions = &ctx.sessions;
+  const int footprint = simgpu::SmFootprint(
+      exec.gpu->spec(), req.params.grid.Count(), req.params.block.Count());
+  auto body = [exec_ptr, sessions, session = ctx.session_ref,
+               native = &module.native, sandboxed = module.sandboxed,
+               kernel = entry.kernel, params = std::move(req.params),
+               partition = client.partition]() mutable -> Status {
+    ExecutionContext& ex = *exec_ptr;
+    // Native-vs-sandboxed is decided at execution time: with queued work,
+    // the tenant count at enqueue is stale by the time the kernel runs.
+    // A native run holds native_mu shared so registration can fence it
+    // (see ExecuteRegister).
+    std::shared_lock<std::shared_mutex> native_guard(ex.native_mu,
+                                                     std::defer_lock);
+    bool use_native = !ex.options.protection_enabled;
+    if (!use_native && ex.options.standalone_fast_path) {
+      native_guard.lock();
+      if (sessions->size() == 1)
+        use_native = true;
+      else
+        native_guard.unlock();
+    }
 
-  if (!use_native) {
-    // (2) augment the parameter array with mask and base (Table 5
-    // "Augment kernel params", §4.2.3).
-    const std::uint64_t augment_begin = CycleClock::Now();
-    const auto grd_args = ptxpatcher::ComputeGrdArgs(
-        exec.options.mode, client.partition.base, client.partition.size);
-    std::vector<ptxexec::KernelArg> augmented;
-    augmented.reserve(req.params.args.size() + 2);
-    for (const auto& arg : req.params.args) augmented.push_back(arg);
-    augmented.push_back(ptxexec::KernelArg::U64(grd_args.arg0));
-    augmented.push_back(ptxexec::KernelArg::U64(grd_args.arg1));
-    req.params.args = std::move(augmented);
-    exec.stats.augment_cycles += CycleClock::Now() - augment_begin;
-    ++exec.stats.sandboxed_launches;
-  } else {
-    ++exec.stats.native_launches;
-  }
+    if (!use_native) {
+      // (3) augment the parameter array with mask and base (Table 5
+      // "Augment kernel params", §4.2.3).
+      const std::uint64_t augment_begin = CycleClock::Now();
+      const auto grd_args = ptxpatcher::ComputeGrdArgs(
+          ex.options.mode, partition.base, partition.size);
+      params.args.push_back(ptxexec::KernelArg::U64(grd_args.arg0));
+      params.args.push_back(ptxexec::KernelArg::U64(grd_args.arg1));
+      ex.stats.augment_cycles += CycleClock::Now() - augment_begin;
+      ++ex.stats.sandboxed_launches;
+    } else {
+      ++ex.stats.native_launches;
+    }
 
-  // (3) issue the kernel. Device-side protection comes from the sandboxed
-  // PTX itself; the manager's single context sees the whole device. The
-  // device executes one kernel at a time (gpu_mu).
-  simgpu::AllowAllPolicy policy;
-  ptxexec::Interpreter interpreter(&exec.gpu->memory(), &policy, client.id);
-  interpreter.set_max_instructions_per_thread(
-      exec.options.max_kernel_instructions);
-  const ptx::Module& module_to_run =
-      use_native ? module.native : *module.sandboxed;
-  auto run = interpreter.Execute(module_to_run, entry.kernel, req.params);
-  gpu_lock.unlock();
-  if (!run.ok()) {
-    // Fault isolation: only the faulting client is terminated (§5 "OOB
-    // fault isolation"); co-running clients are untouched.
-    client.failed = true;
-    ++exec.stats.faults_contained;
-    GRD_LOG_WARN("grdManager")
-        << "device fault in client " << client.id << " kernel "
-        << entry.kernel << ": " << run.status().ToString();
-    return run.status();
-  }
+    // (4) run the kernel. Device-side protection comes from the sandboxed
+    // PTX itself; the manager's single context sees the whole device, and
+    // co-resident kernels share it under the scheduler's occupancy model.
+    simgpu::AllowAllPolicy policy;
+    ptxexec::Interpreter interpreter(&ex.gpu->memory(), &policy, session->id);
+    interpreter.set_max_instructions_per_thread(
+        ex.options.max_kernel_instructions);
+    const ptx::Module& module_to_run = use_native ? *native : *sandboxed;
+    auto run = interpreter.Execute(module_to_run, kernel, params);
+    if (native_guard.owns_lock()) native_guard.unlock();
+    if (!run.ok()) {
+      // Fault isolation: only the faulting client is terminated (§5 "OOB
+      // fault isolation"); co-running clients are untouched. The counter is
+      // bumped before the failed flag becomes visible so an observer that
+      // sees the session failed also sees the fault counted.
+      ++ex.stats.faults_contained;
+      session->failed.store(true, std::memory_order_release);
+      GRD_LOG_WARN("grdManager")
+          << "device fault in client " << session->id << " kernel " << kernel
+          << ": " << run.status().ToString();
+      return run.status();
+    }
+    // Modeled duration uses the footprint of the geometry that actually
+    // executed (ExecStats), not the admission-time estimate.
+    const std::uint64_t threads_per_block =
+        run->blocks > 0 ? std::max<std::uint64_t>(1, run->threads / run->blocks)
+                        : 1;
+    const int executed_footprint = simgpu::SmFootprint(
+        ex.gpu->spec(), run->blocks, threads_per_block);
+    SimulateDeviceCycles(
+        ex, simgpu::KernelDeviceCycles(
+                ex.gpu->spec(), run->instructions,
+                run->global_loads + run->global_stores, run->threads,
+                executed_footprint));
+    return OkStatus();
+  };
+
+  // Legacy default-stream semantics: the launch is ordered after the
+  // session's other streams and the RPC completes (reporting faults)
+  // synchronously. Non-default streams are truly async; their faults
+  // surface at the next synchronization point.
+  if (req.stream == 0) GRD_RETURN_IF_ERROR(SyncOtherStreams(ctx));
+  auto ticket = exec.scheduler.EnqueueKernel(*StreamOf(ctx, req.stream),
+                                             std::move(body), footprint);
+  ++exec.stats.kernels_enqueued;
+  if (req.stream == 0) GRD_RETURN_IF_ERROR(exec.scheduler.Wait(ticket));
   return Writer{};
 }
 
@@ -380,7 +563,7 @@ Result<Writer> ExecuteLaunch(HandlerContext& ctx, LaunchReq& req) {
 
 Result<Writer> ExecuteStreamCreate(HandlerContext& ctx, NoPayload&) {
   const std::uint64_t id = ctx.session->next_stream++;
-  ctx.session->streams[id] = false;
+  ctx.session->streams[id] = ctx.exec.scheduler.CreateStream();
   Writer out;
   out.Put<std::uint64_t>(id);
   return out;
@@ -389,18 +572,20 @@ Result<Writer> ExecuteStreamCreate(HandlerContext& ctx, NoPayload&) {
 Result<Writer> ExecuteStreamDestroy(HandlerContext& ctx, IdReq& req) {
   if (req.id == 0)
     return Status(InvalidArgument("cannot destroy default stream"));
-  if (ctx.session->streams.erase(req.id) == 0)
+  const auto it = ctx.session->streams.find(req.id);
+  if (it == ctx.session->streams.end())
     return Status(InvalidArgument("unknown stream"));
+  // Drain-then-retire: queued work completes (or fails) before the handle
+  // disappears, so nothing is orphaned and EventRecord on this stream from
+  // now on is InvalidArgument.
+  GRD_RETURN_IF_ERROR(ctx.exec.scheduler.DestroyStream(*it->second));
+  ctx.session->streams.erase(it);
   return Writer{};
 }
 
-Status ValidateKnownStream(HandlerContext& ctx, const IdReq& req) {
-  if (!ctx.session->streams.count(req.id))
-    return InvalidArgument("unknown stream");
-  return OkStatus();
-}
-
-Result<Writer> ExecuteStreamSynchronize(HandlerContext&, IdReq&) {
+Result<Writer> ExecuteStreamSynchronize(HandlerContext& ctx, IdReq& req) {
+  GRD_RETURN_IF_ERROR(
+      ctx.exec.scheduler.SynchronizeStream(*StreamOf(ctx, req.id)));
   return Writer{};
 }
 
@@ -420,7 +605,7 @@ Result<EventCreateReq> DecodeEventCreate(Reader& req) {
 }
 Result<Writer> ExecuteEventCreate(HandlerContext& ctx, EventCreateReq& req) {
   const std::uint64_t id = ctx.session->next_event++;
-  ctx.session->events[id] = req.flags;
+  ctx.session->events[id] = std::make_shared<GpuEvent>(req.flags);
   Writer out;
   out.Put<std::uint64_t>(id);
   return out;
@@ -432,28 +617,121 @@ Result<Writer> ExecuteEventDestroy(HandlerContext& ctx, IdReq& req) {
   return Writer{};
 }
 
-struct EventRecordReq {
+struct EventStreamReq {
   std::uint64_t event = 0;
   std::uint64_t stream = 0;
 };
-Result<EventRecordReq> DecodeEventRecord(Reader& req) {
-  EventRecordReq out;
+Result<EventStreamReq> DecodeEventStream(Reader& req) {
+  EventStreamReq out;
   GRD_ASSIGN_OR_RETURN(out.event, req.Get<std::uint64_t>());
   GRD_ASSIGN_OR_RETURN(out.stream, req.Get<std::uint64_t>());
   return out;
 }
-Status ValidateEventRecord(HandlerContext& ctx, const EventRecordReq& req) {
+Status ValidateEventStream(HandlerContext& ctx, const EventStreamReq& req) {
   if (!ctx.session->events.count(req.event) ||
       !ctx.session->streams.count(req.stream))
     return InvalidArgument("unknown event or stream");
   return OkStatus();
 }
-Result<Writer> ExecuteEventRecord(HandlerContext&, EventRecordReq&) {
+Result<Writer> ExecuteEventRecord(HandlerContext& ctx, EventStreamReq& req) {
+  ctx.exec.scheduler.RecordEvent(*StreamOf(ctx, req.stream),
+                                 *ctx.session->events.at(req.event));
   return Writer{};
 }
 
-Result<Writer> ExecuteDeviceSynchronize(HandlerContext&, NoPayload&) {
+Result<Writer> ExecuteStreamWaitEvent(HandlerContext& ctx,
+                                      EventStreamReq& req) {
+  ctx.exec.scheduler.EnqueueWaitEvent(*StreamOf(ctx, req.stream),
+                                      *ctx.session->events.at(req.event));
   return Writer{};
+}
+
+Status ValidateKnownEvent(HandlerContext& ctx, const IdReq& req) {
+  if (!ctx.session->events.count(req.id))
+    return InvalidArgument("unknown event");
+  return OkStatus();
+}
+Result<Writer> ExecuteEventSynchronize(HandlerContext& ctx, IdReq& req) {
+  GRD_RETURN_IF_ERROR(
+      ctx.exec.scheduler.SynchronizeEvent(*ctx.session->events.at(req.id)));
+  return Writer{};
+}
+
+Result<Writer> ExecuteDeviceSynchronize(HandlerContext& ctx, NoPayload&) {
+  // CUDA semantics scoped to the tenant: drain every stream this session
+  // owns; the first sticky error (e.g. an async kernel fault) surfaces here.
+  Status first;
+  for (auto& [id, stream] : ctx.session->streams) {
+    const Status s = ctx.exec.scheduler.SynchronizeStream(*stream);
+    if (!s.ok() && first.ok()) first = s;
+  }
+  GRD_RETURN_IF_ERROR(first);
+  return Writer{};
+}
+
+// ---- batched IPC ----------------------------------------------------------
+
+// Ops grdLib may coalesce into one kBatch message: asynchronous calls whose
+// responses carry no payload the client needs before its next call.
+bool IsBatchable(Op op) {
+  switch (op) {
+    case Op::kLaunchKernel:
+    case Op::kMemcpyH2DAsync:
+    case Op::kEventRecord:
+    case Op::kStreamWaitEvent:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Raw-pipeline handler: decodes the envelope, re-dispatches each
+// sub-request through the registry under the already-held session lock, and
+// stops at the first failure so a client cannot run work past an error it
+// has not seen yet.
+Result<Writer> RunBatch(HandlerContext& ctx, Reader& req) {
+  GRD_ASSIGN_OR_RETURN(std::uint32_t count, req.Get<std::uint32_t>());
+  if (count == 0 || count > protocol::kMaxBatchOps)
+    return Status(InvalidArgument("batch of " + std::to_string(count) +
+                                  " sub-requests (limit " +
+                                  std::to_string(protocol::kMaxBatchOps) +
+                                  ")"));
+  ++ctx.exec.stats.batches_decoded;
+  std::vector<ipc::Bytes> responses;
+  responses.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    GRD_ASSIGN_OR_RETURN(ipc::Bytes sub_bytes, req.GetBlob());
+    Reader sub(sub_bytes);
+    ipc::Bytes response;
+    auto header = protocol::ReadHeader(sub);
+    if (!header.ok()) {
+      response = protocol::EncodeError(header.status());
+    } else if (header->client != ctx.session->id) {
+      response = protocol::EncodeError(
+          PermissionDenied("batch sub-request for another client"));
+    } else if (!IsBatchable(header->op)) {
+      response = protocol::EncodeError(
+          InvalidArgument("opcode not allowed in a batch"));
+    } else {
+      const HandlerDescriptor* descriptor = ctx.dispatcher->Find(header->op);
+      if (descriptor == nullptr) {
+        response = protocol::EncodeError(Unimplemented("unknown op"));
+      } else {
+        ++ctx.exec.stats.batched_ops;
+        auto out = descriptor->run(ctx, sub);
+        response = out.ok() ? protocol::EncodeOk(std::move(*out))
+                            : protocol::EncodeError(out.status());
+      }
+    }
+    const bool failed = response.empty() || response[0] == 0;
+    responses.push_back(std::move(response));
+    if (failed) break;  // abort-on-first-error: later sub-ops never ran
+  }
+  Writer out;
+  out.Put<std::uint32_t>(static_cast<std::uint32_t>(responses.size()));
+  for (const auto& response : responses)
+    out.PutBlob(response.data(), response.size());
+  return out;
 }
 
 // ---- introspection --------------------------------------------------------
@@ -531,6 +809,9 @@ void RegisterBuiltinHandlers(Dispatcher& d) {
   d.Register<MemcpyH2DReq>(Op::kMemcpyH2D, "MemcpyH2D", session,
                            DecodeMemcpyH2D, ValidateMemcpyH2D,
                            ExecuteMemcpyH2D);
+  d.Register<MemcpyH2DAsyncReq>(Op::kMemcpyH2DAsync, "MemcpyH2DAsync",
+                                session, DecodeMemcpyH2DAsync,
+                                ValidateMemcpyH2DAsync, ExecuteMemcpyH2DAsync);
   d.Register<RangeReq>(Op::kMemcpyD2H, "MemcpyD2H", session, DecodeRange,
                        ValidateRange, ExecuteMemcpyD2H);
   d.Register<MemcpyD2DReq>(Op::kMemcpyD2D, "MemcpyD2D", session,
@@ -563,11 +844,22 @@ void RegisterBuiltinHandlers(Dispatcher& d) {
                              DecodeEventCreate, nullptr, ExecuteEventCreate);
   d.Register<IdReq>(Op::kEventDestroy, "EventDestroy", session, DecodeId,
                     nullptr, ExecuteEventDestroy);
-  d.Register<EventRecordReq>(Op::kEventRecord, "EventRecord", session,
-                             DecodeEventRecord, ValidateEventRecord,
+  d.Register<EventStreamReq>(Op::kEventRecord, "EventRecord", session,
+                             DecodeEventStream, ValidateEventStream,
                              ExecuteEventRecord);
+  d.Register<EventStreamReq>(Op::kStreamWaitEvent, "StreamWaitEvent", session,
+                             DecodeEventStream, ValidateEventStream,
+                             ExecuteStreamWaitEvent);
+  d.Register<IdReq>(Op::kEventSynchronize, "EventSynchronize", session,
+                    DecodeId, ValidateKnownEvent, ExecuteEventSynchronize);
   d.Register<NoPayload>(Op::kDeviceSynchronize, "DeviceSynchronize", session,
                         DecodeNone, nullptr, ExecuteDeviceSynchronize);
+
+  HandlerDescriptor batch;
+  batch.name = "Batch";
+  batch.session = SessionPolicy::kRequired;
+  batch.run = RunBatch;
+  d.Register(Op::kBatch, std::move(batch));
 
   d.Register<ExportTableReq>(Op::kGetExportTable, "GetExportTable", session,
                              DecodeExportTable, ValidateExportTable,

@@ -13,6 +13,12 @@ GrdManager::GrdManager(simcuda::Gpu* gpu, ManagerOptions options)
   RegisterBuiltinHandlers(dispatcher_);
 }
 
+GrdManager::~GrdManager() {
+  // Join the executor pool while the session registry is still intact:
+  // in-flight kernel bodies may read it (standalone fast-path check).
+  exec_.scheduler.Shutdown();
+}
+
 ipc::Bytes GrdManager::HandleRequest(const Bytes& request) {
   Reader reader(request);
   auto header = protocol::ReadHeader(reader);
@@ -22,7 +28,7 @@ ipc::Bytes GrdManager::HandleRequest(const Bytes& request) {
   if (descriptor == nullptr)
     return protocol::EncodeError(Unimplemented("unknown op"));
 
-  HandlerContext ctx{exec_, sessions_, nullptr};
+  HandlerContext ctx{exec_, sessions_, nullptr, nullptr, &dispatcher_};
 
   if (descriptor->session == SessionPolicy::kNotRequired) {
     auto out = descriptor->run(ctx, reader);
@@ -40,11 +46,12 @@ ipc::Bytes GrdManager::HandleRequest(const Bytes& request) {
   if (session->disconnected)
     return protocol::EncodeError(
         NotFound("unknown client " + std::to_string(session->id)));
-  if (session->failed)
+  if (session->failed.load(std::memory_order_acquire))
     return protocol::EncodeError(
         Aborted("client " + std::to_string(session->id) +
                 " was terminated after a device fault"));
   ctx.session = session.get();
+  ctx.session_ref = session;
   auto out = descriptor->run(ctx, reader);
   return out.ok() ? protocol::EncodeOk(std::move(*out))
                   : protocol::EncodeError(out.status());

@@ -37,6 +37,9 @@ namespace grd::guardian {
 class GrdManager {
  public:
   GrdManager(simcuda::Gpu* gpu, ManagerOptions options);
+  // Quiesces the device scheduler (cancelling queued work, joining the
+  // executor pool) before any session state is torn down.
+  ~GrdManager();
 
   // Full request dispatcher (one IPC message in, one out). Never throws and
   // never returns a malformed response; internal errors become error
@@ -51,6 +54,7 @@ class GrdManager {
   const SandboxCache& sandbox_cache() const noexcept {
     return exec_.sandbox_cache;
   }
+  GpuScheduler& scheduler() noexcept { return exec_.scheduler; }
 
   // Called by the transport when a response could not be delivered.
   void NoteDroppedResponse() noexcept { ++exec_.stats.responses_dropped; }

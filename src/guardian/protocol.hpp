@@ -38,7 +38,20 @@ enum class Op : std::uint32_t {
   kModuleGetFunction,
   kGetDeviceSpec,
   kGrowPartition,
+  // Stream-aware execution engine (appended to keep earlier opcodes stable).
+  kMemcpyH2DAsync,
+  kStreamWaitEvent,
+  kEventSynchronize,
+  // Envelope carrying several async sub-requests in one ring message
+  // (grdLib coalesces adjacent launch/async-memcpy calls). Sub-requests
+  // execute in order; execution stops at the first failure.
+  kBatch,
 };
+
+// Upper bound on sub-requests per kBatch envelope, shared by the grdLib
+// buffer cap and the dispatcher's decode guard so a client-side setting can
+// never produce an envelope the manager rejects wholesale.
+inline constexpr std::uint32_t kMaxBatchOps = 64;
 
 struct RequestHeader {
   Op op{};

@@ -40,6 +40,7 @@ Result<SandboxCache::Lookup> SandboxCache::GetOrPatch(
     if (!slot) {
       slot = std::make_shared<Slot>();
       slot->source = source;
+      slot->footprint_bytes = 2 * source.size();  // source + ~patched module
       chain.push_back(slot);
       ++slot_count_;
     }
@@ -89,6 +90,7 @@ void SandboxCache::EvictLocked() {
     }
     if (victim_it == slots_.end()) return;  // everything in flight
     auto& chain = victim_it->second;
+    stats_.bytes_reclaimed += chain[victim_index]->footprint_bytes;
     chain.erase(chain.begin() + victim_index);
     // Drop the emptied map node too, or unique-source churn would grow the
     // key map without bound while the slot count stays capped.

@@ -51,6 +51,10 @@ class SandboxCache {
     std::atomic<std::uint64_t> patches{0};
     std::atomic<std::uint64_t> hits{0};
     std::atomic<std::uint64_t> evictions{0};
+    // Approximate bytes LRU eviction reclaimed (source text retained for
+    // collision-proofing plus the patched module, estimated at source
+    // size); mirrored into ManagerStats for operators.
+    std::atomic<std::uint64_t> bytes_reclaimed{0};
   };
 
   struct Lookup {
@@ -98,6 +102,11 @@ class SandboxCache {
     Status status{};  // non-OK when the cached patch failed
     std::shared_ptr<const ptx::Module> module;
     std::uint64_t last_use = 0;  // LRU tick, guarded by the cache's mu_
+    // Estimated resident footprint charged to bytes_reclaimed on eviction:
+    // the retained source plus the patched module (approximated by the
+    // source size again — patched PTX is the source plus a few fencing
+    // instructions per access).
+    std::uint64_t footprint_bytes = 0;
   };
 
   static Key MakeKey(const std::string& source,

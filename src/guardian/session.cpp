@@ -3,10 +3,10 @@
 namespace grd::guardian {
 
 std::shared_ptr<ClientSession> SessionRegistry::Create(
-    PartitionBounds partition) {
+    PartitionBounds partition, std::shared_ptr<GpuStream> default_stream) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   const ClientId id = next_id_++;
-  auto session = std::make_shared<ClientSession>(id);
+  auto session = std::make_shared<ClientSession>(id, std::move(default_stream));
   session->partition = partition;
   sessions_.emplace(id, session);
   return session;

@@ -2,10 +2,15 @@
 //
 // One ClientSession per registered tenant, owning everything the paper keeps
 // per-application: the partition view, loaded modules, the pointerToSymbol
-// map (§4.2.3), streams and events. Each session carries its own mutex —
-// the dispatch layer holds it for the duration of a request, so a session's
-// state is only ever touched by one worker at a time while different
-// sessions proceed concurrently.
+// map (§4.2.3), streams and events. Streams are real GpuScheduler work
+// queues and events carry completion state, so the stream/event RPCs have
+// CUDA semantics instead of being decorative. Each session carries its own
+// mutex — the dispatch layer holds it for the duration of a request, so a
+// session's state is only ever touched by one worker at a time while
+// different sessions proceed concurrently. Asynchronous kernel bodies run
+// on scheduler executors *without* the session mutex; they only touch the
+// atomic `failed` flag, captured-by-value launch state, and shared_ptr-held
+// modules, never the maps.
 //
 // The SessionRegistry is the only cross-session structure: a shared_mutex
 // protected id → session map. Lookups (every request) take the shared lock;
@@ -14,6 +19,7 @@
 // worker never frees state under it.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -22,6 +28,7 @@
 #include <unordered_map>
 
 #include "guardian/bounds_table.hpp"
+#include "guardian/gpu_scheduler.hpp"
 #include "ptx/ast.hpp"
 
 namespace grd::guardian {
@@ -39,8 +46,9 @@ struct FunctionEntry {
 };
 
 struct ClientSession {
-  explicit ClientSession(ClientId id_in) : id(id_in) {
-    streams[0] = false;  // default stream
+  ClientSession(ClientId id_in, std::shared_ptr<GpuStream> default_stream)
+      : id(id_in) {
+    streams[0] = std::move(default_stream);
   }
 
   const ClientId id;
@@ -48,7 +56,9 @@ struct ClientSession {
   std::mutex mu;
 
   PartitionBounds partition;
-  bool failed = false;
+  // Atomic because asynchronous kernel bodies set it from executor threads
+  // while the dispatcher reads it under `mu`.
+  std::atomic<bool> failed{false};
   // Set by Disconnect under `mu`: a worker that resolved this session
   // before the disconnect landed must not touch the released partition.
   bool disconnected = false;
@@ -60,14 +70,17 @@ struct ClientSession {
   // The paper's pointerToSymbol map: client launch handle -> sandboxed
   // kernel symbol.
   std::unordered_map<std::uint64_t, FunctionEntry> pointer_to_symbol;
-  std::unordered_map<std::uint64_t, bool> streams;
-  std::unordered_map<std::uint64_t, std::uint32_t> events;
+  // id 0 is the default stream, created at registration.
+  std::unordered_map<std::uint64_t, std::shared_ptr<GpuStream>> streams;
+  std::unordered_map<std::uint64_t, std::shared_ptr<GpuEvent>> events;
 };
 
 class SessionRegistry {
  public:
-  // Creates a session for a freshly assigned client id covering `partition`.
-  std::shared_ptr<ClientSession> Create(PartitionBounds partition);
+  // Creates a session for a freshly assigned client id covering `partition`,
+  // with `default_stream` installed as stream 0.
+  std::shared_ptr<ClientSession> Create(
+      PartitionBounds partition, std::shared_ptr<GpuStream> default_stream);
 
   // NotFound for ids that never registered or already disconnected.
   Result<std::shared_ptr<ClientSession>> Find(ClientId id) const;

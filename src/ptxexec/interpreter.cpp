@@ -701,6 +701,7 @@ Result<ExecStats> Interpreter::Execute(const ptx::Module& module,
   GRD_ASSIGN_OR_RETURN(Prepared prep, PrepareKernel(*kernel));
 
   ExecStats stats;
+  stats.blocks = params.grid.Count();
   for (std::uint32_t bz = 0; bz < params.grid.z; ++bz) {
     for (std::uint32_t by = 0; by < params.grid.y; ++by) {
       for (std::uint32_t bx = 0; bx < params.grid.x; ++bx) {

@@ -41,13 +41,16 @@ struct LaunchParams {
   std::vector<KernelArg> args;
 };
 
-// Execution statistics returned by a functional run.
+// Execution statistics returned by a functional run. The device scheduler
+// feeds these into simgpu's occupancy/timing model (SmFootprint /
+// KernelDeviceCycles), so the counts double as the timing engine's input.
 struct ExecStats {
   std::uint64_t instructions = 0;
   std::uint64_t global_loads = 0;
   std::uint64_t global_stores = 0;
   std::uint64_t shared_accesses = 0;
   std::uint64_t threads = 0;
+  std::uint64_t blocks = 0;
 };
 
 }  // namespace grd::ptxexec

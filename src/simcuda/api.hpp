@@ -56,6 +56,14 @@ class CudaApi {
   virtual Status cudaMemcpyD2D(DevicePtr dst_dev, DevicePtr src_dev,
                                std::uint64_t size) = 0;
   virtual Status cudaMemset(DevicePtr dst, int value, std::uint64_t size) = 0;
+  // Asynchronous H2D copy ordered on `stream`. Runtimes whose every call is
+  // synchronous (native, MPS) inherit this default; grdLib overrides it
+  // with a real enqueue on the manager's device scheduler.
+  virtual Status cudaMemcpyH2DAsync(DevicePtr dst_dev, const void* src_host,
+                                    std::uint64_t size, StreamId stream) {
+    (void)stream;
+    return cudaMemcpyH2D(dst_dev, src_host, size);
+  }
   virtual Status cudaLaunchKernel(FunctionId func, const LaunchConfig& config,
                                   std::vector<ptxexec::KernelArg> args) = 0;
   virtual Status cudaStreamCreate(StreamId* stream) = 0;
@@ -68,6 +76,18 @@ class CudaApi {
                                           std::uint32_t flags) = 0;
   virtual Status cudaEventDestroy(EventId event) = 0;
   virtual Status cudaEventRecord(EventId event, StreamId stream) = 0;
+  // Blocks until the event's most recent record completed. Synchronous
+  // runtimes have nothing outstanding, hence the trivial default.
+  virtual Status cudaEventSynchronize(EventId event) {
+    (void)event;
+    return OkStatus();
+  }
+  // Orders later work on `stream` after the event's most recent record.
+  virtual Status cudaStreamWaitEvent(StreamId stream, EventId event) {
+    (void)stream;
+    (void)event;
+    return OkStatus();
+  }
   virtual Status cudaDeviceSynchronize() = 0;
   virtual Result<const ExportTable*> cudaGetExportTable(ExportTableId id) = 0;
 

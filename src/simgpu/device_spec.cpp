@@ -12,6 +12,8 @@ DeviceSpec QuadroRtxA4000() {
   spec.l2_kb = 4096;
   spec.global_mem_bytes = 16ull << 30;
   spec.regs_per_thread = 255;
+  spec.max_threads_per_sm = 1536;  // GA104
+  spec.copy_engines = 2;
   spec.ecc = true;
   spec.global_bw_gbps = 448.0;
   spec.clock_ghz = 1.56;
@@ -28,6 +30,8 @@ DeviceSpec GeForceRtx3080Ti() {
   spec.l2_kb = 6144;
   spec.global_mem_bytes = 12ull << 30;
   spec.regs_per_thread = 255;
+  spec.max_threads_per_sm = 1536;  // GA102
+  spec.copy_engines = 2;
   spec.ecc = false;
   spec.global_bw_gbps = 912.0;
   spec.clock_ghz = 1.67;

@@ -16,6 +16,13 @@ struct DeviceSpec {
   int l2_kb = 4096;
   std::uint64_t global_mem_bytes = 16ull << 30;
   int regs_per_thread = 255;
+  // Resident-thread cap per SM (GA10x: 1536). The occupancy model uses it to
+  // derive how many blocks co-reside on one SM, hence a launch's SM
+  // footprint (§4.2.4 spatial sharing).
+  int max_threads_per_sm = 1536;
+  // Concurrent DMA transfers the device sustains (copy engines); bounds how
+  // many memcpy ops the guardian scheduler admits at once.
+  int copy_engines = 2;
   bool ecc = false;
 
   // Latencies in GPU cycles (paper Table 2 & Figure 5 & §7.4 use 28-cycle L1,

@@ -6,6 +6,19 @@
 
 namespace grd::simgpu {
 
+GlobalMemory::GlobalMemory(std::uint64_t size_bytes)
+    : size_(size_bytes),
+      page_count_((size_bytes + kPageSize - 1) / kPageSize),
+      pages_(new std::atomic<std::uint8_t*>[page_count_]) {
+  for (std::uint64_t i = 0; i < page_count_; ++i)
+    pages_[i].store(nullptr, std::memory_order_relaxed);
+}
+
+GlobalMemory::~GlobalMemory() {
+  for (std::uint64_t i = 0; i < page_count_; ++i)
+    delete[] pages_[i].load(std::memory_order_relaxed);
+}
+
 Status GlobalMemory::CheckRange(std::uint64_t addr, std::uint64_t len) const {
   if (len > size_ || addr > size_ - len) {
     return OutOfRange("device access " + ToHex(addr) + "+" +
@@ -15,18 +28,18 @@ Status GlobalMemory::CheckRange(std::uint64_t addr, std::uint64_t len) const {
   return OkStatus();
 }
 
-const std::uint8_t* GlobalMemory::PageForRead(std::uint64_t page_index) const {
-  const auto it = pages_.find(page_index);
-  return it == pages_.end() ? nullptr : it->second.get();
-}
-
 std::uint8_t* GlobalMemory::PageForWrite(std::uint64_t page_index) {
-  auto& page = pages_[page_index];
-  if (!page) {
-    page = std::make_unique<std::uint8_t[]>(kPageSize);
-    std::memset(page.get(), 0, kPageSize);
+  std::uint8_t* page = pages_[page_index].load(std::memory_order_acquire);
+  if (page != nullptr) return page;
+  auto fresh = std::make_unique<std::uint8_t[]>(kPageSize);
+  std::memset(fresh.get(), 0, kPageSize);
+  std::uint8_t* expected = nullptr;
+  if (pages_[page_index].compare_exchange_strong(expected, fresh.get(),
+                                                 std::memory_order_acq_rel)) {
+    resident_pages_.fetch_add(1, std::memory_order_relaxed);
+    return fresh.release();
   }
-  return page.get();
+  return expected;  // another thread installed it first; `fresh` is dropped
 }
 
 Status GlobalMemory::Read(std::uint64_t addr, void* dst,

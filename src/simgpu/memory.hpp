@@ -3,12 +3,20 @@
 // "16 GB" device cheap to host. Kernels executed by ptxexec really read and
 // write this store, so cross-tenant corruption and wrap-around effects are
 // observable, not just modeled.
+//
+// Concurrency: the page directory is a fixed array of atomic page pointers
+// (2 MiB of directory for a 16 GB device), so co-resident kernels under the
+// guardian device scheduler access memory without taking any lock — first
+// touch installs a page with a CAS, losers discard their allocation. Byte
+// ranges are NOT serialized against each other: racing writes to the *same*
+// bytes are a device-level data race exactly as on real hardware
+// (Guardian's partitioning keeps tenants on disjoint ranges).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/status.hpp"
@@ -41,13 +49,17 @@ class AllowAllPolicy final : public AccessPolicy {
 
 class GlobalMemory {
  public:
-  explicit GlobalMemory(std::uint64_t size_bytes) : size_(size_bytes) {}
+  explicit GlobalMemory(std::uint64_t size_bytes);
+  ~GlobalMemory();
+
+  GlobalMemory(const GlobalMemory&) = delete;
+  GlobalMemory& operator=(const GlobalMemory&) = delete;
 
   std::uint64_t size() const noexcept { return size_; }
 
   // Bytes currently backed by host pages (diagnostics).
   std::uint64_t resident_bytes() const noexcept {
-    return pages_.size() * kPageSize;
+    return resident_pages_.load(std::memory_order_relaxed) * kPageSize;
   }
 
   Status Read(std::uint64_t addr, void* dst, std::uint64_t len) const;
@@ -71,12 +83,19 @@ class GlobalMemory {
   static constexpr std::uint64_t kPageSize = 64 * 1024;
 
   Status CheckRange(std::uint64_t addr, std::uint64_t len) const;
-  const std::uint8_t* PageForRead(std::uint64_t page_index) const;
+  // Null when the page was never touched (reads as zero).
+  const std::uint8_t* PageForRead(std::uint64_t page_index) const {
+    return pages_[page_index].load(std::memory_order_acquire);
+  }
+  // Installs a zeroed page on first touch (lock-free, CAS losers discard).
   std::uint8_t* PageForWrite(std::uint64_t page_index);
 
   std::uint64_t size_;
-  // 64 KiB copy-on-first-touch pages; absent pages read as zero.
-  std::unordered_map<std::uint64_t, std::unique_ptr<std::uint8_t[]>> pages_;
+  std::uint64_t page_count_;
+  std::atomic<std::uint64_t> resident_pages_{0};
+  // Copy-on-first-touch 64 KiB pages behind atomic pointers; absent pages
+  // read as zero. Owned; freed in the destructor.
+  std::unique_ptr<std::atomic<std::uint8_t*>[]> pages_;
 };
 
 }  // namespace grd::simgpu

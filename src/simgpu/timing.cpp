@@ -1,5 +1,7 @@
 #include "simgpu/timing.hpp"
 
+#include <algorithm>
+
 namespace grd::simgpu {
 
 const char* ProtectionModeName(ProtectionMode mode) noexcept {
@@ -63,6 +65,44 @@ double TimingModel::RelativeOverhead(const KernelProfile& profile,
   const double native = ThreadCycles(profile, ProtectionMode::kNone);
   if (native <= 0.0) return 0.0;
   return ThreadCycles(profile, mode) / native - 1.0;
+}
+
+int SmFootprint(const DeviceSpec& spec, std::uint64_t blocks,
+                std::uint64_t threads_per_block) noexcept {
+  if (blocks == 0) blocks = 1;
+  if (threads_per_block == 0) threads_per_block = 1;
+  const std::uint64_t blocks_per_sm =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                     spec.max_threads_per_sm) /
+                                     threads_per_block);
+  const std::uint64_t needed = (blocks + blocks_per_sm - 1) / blocks_per_sm;
+  const std::uint64_t cap = spec.sms > 0 ? static_cast<std::uint64_t>(spec.sms)
+                                         : 1;
+  return static_cast<int>(std::min(needed, cap));
+}
+
+double KernelDeviceCycles(const DeviceSpec& spec, std::uint64_t instructions,
+                          std::uint64_t global_accesses, std::uint64_t threads,
+                          int sm_footprint) noexcept {
+  if (threads == 0 || sm_footprint <= 0) return 0.0;
+  const std::uint64_t alu_ops =
+      instructions > global_accesses ? instructions - global_accesses : 0;
+  const double thread_cycle_total =
+      static_cast<double>(alu_ops) * spec.alu_cycles +
+      static_cast<double>(global_accesses) * spec.global_latency;
+  // Lanes available to this kernel: its share of the device's cores.
+  const int cores_per_sm = spec.sms > 0 ? spec.cuda_cores / spec.sms : 1;
+  const double lanes =
+      std::max(1.0, static_cast<double>(sm_footprint) * cores_per_sm);
+  const double per_thread = thread_cycle_total / static_cast<double>(threads);
+  // Total work spread over the lanes, floored by one thread's critical path.
+  return std::max(per_thread, thread_cycle_total / lanes);
+}
+
+double MemcpyDeviceCycles(const DeviceSpec& spec, std::uint64_t bytes) noexcept {
+  const double rate = spec.pcie_bytes_per_cycle > 0 ? spec.pcie_bytes_per_cycle
+                                                    : 1.0;
+  return static_cast<double>(bytes) / rate;
 }
 
 }  // namespace grd::simgpu

@@ -81,4 +81,28 @@ class TimingModel {
   DeviceSpec spec_;
 };
 
+// ---- occupancy model (§4.2.4 substrate) -----------------------------------
+//
+// The device scheduler in the guardian layer co-schedules kernels by SM
+// footprint; the timing engine owns the arithmetic so the scheduler never
+// hard-codes device geometry.
+
+// SMs a launch of `blocks` blocks × `threads_per_block` threads occupies:
+// each SM hosts floor(max_threads_per_sm / threads_per_block) blocks (min 1),
+// and the result is clamped to [1, spec.sms] — a grid larger than the device
+// runs in waves on all SMs.
+int SmFootprint(const DeviceSpec& spec, std::uint64_t blocks,
+                std::uint64_t threads_per_block) noexcept;
+
+// Modeled device cycles for a finished kernel run, from its dynamic
+// instruction counts (ptxexec ExecStats): memory accesses at global latency,
+// everything else at ALU cost, spread over the lanes of `sm_footprint` SMs.
+double KernelDeviceCycles(const DeviceSpec& spec, std::uint64_t instructions,
+                          std::uint64_t global_accesses, std::uint64_t threads,
+                          int sm_footprint) noexcept;
+
+// Modeled cycles a host<->device or device<->device copy of `bytes` occupies
+// the copy engine.
+double MemcpyDeviceCycles(const DeviceSpec& spec, std::uint64_t bytes) noexcept;
+
 }  // namespace grd::simgpu

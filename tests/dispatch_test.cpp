@@ -19,16 +19,16 @@ TEST(DispatcherTest, BuiltinRegistryCoversEveryProtocolOp) {
   Dispatcher dispatcher;
   RegisterBuiltinHandlers(dispatcher);
   // Every op of the wire protocol has a handler — the enum is contiguous
-  // from kRegisterClient to kGrowPartition.
+  // from kRegisterClient to kBatch (the last opcode).
   for (auto raw = static_cast<std::uint32_t>(Op::kRegisterClient);
-       raw <= static_cast<std::uint32_t>(Op::kGrowPartition); ++raw) {
+       raw <= static_cast<std::uint32_t>(Op::kBatch); ++raw) {
     const auto* descriptor = dispatcher.Find(static_cast<Op>(raw));
     ASSERT_NE(descriptor, nullptr) << "op " << raw;
     EXPECT_FALSE(descriptor->name.empty());
     EXPECT_TRUE(static_cast<bool>(descriptor->run));
   }
   EXPECT_EQ(dispatcher.size(),
-            static_cast<std::size_t>(Op::kGrowPartition) -
+            static_cast<std::size_t>(Op::kBatch) -
                 static_cast<std::size_t>(Op::kRegisterClient) + 1);
 }
 
@@ -93,7 +93,7 @@ TEST(DispatcherTest, TypedRegistrationRunsAllThreeStages) {
   simcuda::Gpu gpu(simgpu::QuadroRtxA4000());
   ExecutionContext exec(&gpu, ManagerOptions{});
   SessionRegistry sessions;
-  HandlerContext ctx{exec, sessions, nullptr};
+  HandlerContext ctx{exec, sessions, nullptr, nullptr, &dispatcher};
 
   {  // happy path: decode → validate → execute
     ipc::Writer request;

@@ -1,0 +1,418 @@
+// Stream-aware execution engine coverage: same-stream FIFO ordering,
+// cross-stream/cross-tenant overlap under the SM-occupancy scheduler, event
+// dependencies, stream/event lifecycle, mid-flight fault containment and
+// batched IPC. Wall-clock overlap is made deterministic by dilating modeled
+// device time into executor sleeps (ManagerOptions::device_time_ns_per_cycle).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "guardian/grdlib.hpp"
+#include "guardian/manager.hpp"
+#include "guardian/transport.hpp"
+#include "ptx/generator.hpp"
+#include "ptx/printer.hpp"
+#include "simgpu/device_spec.hpp"
+#include "simgpu/timing.hpp"
+
+namespace grd::guardian {
+namespace {
+
+using ptxexec::KernelArg;
+using simcuda::DevicePtr;
+using simcuda::MemcpyKind;
+
+std::string SamplePtx() { return ptx::Print(ptx::MakeSampleModule()); }
+
+// ~10 µs of wall time per modeled device cycle-equivalent: big-grid kernels
+// sleep tens of milliseconds, giving overlap assertions a wide margin.
+constexpr double kSlowDeviceScale = 10'000.0;
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  void Init(ManagerOptions options) {
+    gpu_ = std::make_unique<simcuda::Gpu>(simgpu::QuadroRtxA4000());
+    manager_ = std::make_unique<GrdManager>(gpu_.get(), options);
+    transport_ = std::make_unique<LoopbackTransport>(manager_.get());
+  }
+
+  Result<GrdLib> Connect(std::uint64_t bytes = 16ull << 20) {
+    return GrdLib::Connect(transport_.get(), bytes);
+  }
+
+  Result<simcuda::FunctionId> LoadKernel(GrdLib& lib,
+                                         const std::string& kernel) {
+    GRD_ASSIGN_OR_RETURN(simcuda::ModuleId module,
+                         lib.cuModuleLoadData(SamplePtx()));
+    return lib.cuModuleGetFunction(module, kernel);
+  }
+
+  // Launches copyk(src -> dst, n) on `stream` with one 256-wide block per
+  // 256 elements.
+  Status LaunchCopy(GrdLib& lib, simcuda::FunctionId fn, DevicePtr src,
+                    DevicePtr dst, std::uint32_t n, simcuda::StreamId stream) {
+    simcuda::LaunchConfig config;
+    config.block = {256, 1, 1};
+    config.grid = {(n + 255) / 256, 1, 1};
+    config.stream = stream;
+    return lib.cudaLaunchKernel(
+        fn, config, {KernelArg::U64(src), KernelArg::U64(dst),
+                     KernelArg::U32(n)});
+  }
+
+  std::unique_ptr<simcuda::Gpu> gpu_;
+  std::unique_ptr<GrdManager> manager_;
+  std::unique_ptr<LoopbackTransport> transport_;
+};
+
+TEST(SmFootprintTest, OccupancyModelMatchesSpec) {
+  const auto spec = simgpu::QuadroRtxA4000();
+  // One 256-thread block fits on one SM.
+  EXPECT_EQ(simgpu::SmFootprint(spec, 1, 256), 1);
+  // 1536 threads per SM: six 256-thread blocks co-reside per SM.
+  EXPECT_EQ(simgpu::SmFootprint(spec, 12, 256), 2);
+  // A grid larger than the device clamps to all SMs.
+  EXPECT_EQ(simgpu::SmFootprint(spec, 100000, 1024), spec.sms);
+  // Degenerate dims still occupy one SM.
+  EXPECT_EQ(simgpu::SmFootprint(spec, 0, 0), 1);
+}
+
+TEST_F(SchedulerTest, SameStreamFifoOrdering) {
+  Init(ManagerOptions{});
+  auto lib = Connect();
+  ASSERT_TRUE(lib.ok()) << lib.status();
+  auto fn = LoadKernel(*lib, "copyk");
+  ASSERT_TRUE(fn.ok()) << fn.status();
+
+  constexpr std::uint32_t n = 512;
+  DevicePtr a = 0, b = 0, c = 0, d = 0;
+  for (DevicePtr* p : {&a, &b, &c, &d})
+    ASSERT_TRUE(lib->cudaMalloc(p, n * 4).ok());
+  std::vector<std::uint32_t> xs(n);
+  for (std::uint32_t i = 0; i < n; ++i) xs[i] = i * 7 + 1;
+  ASSERT_TRUE(lib->cudaMemcpyH2D(a, xs.data(), n * 4).ok());
+
+  simcuda::StreamId stream = 0;
+  ASSERT_TRUE(lib->cudaStreamCreate(&stream).ok());
+  // The chain a->b->c->d only produces d==a when the three kernels run in
+  // exactly the enqueue order.
+  ASSERT_TRUE(LaunchCopy(*lib, *fn, a, b, n, stream).ok());
+  ASSERT_TRUE(LaunchCopy(*lib, *fn, b, c, n, stream).ok());
+  ASSERT_TRUE(LaunchCopy(*lib, *fn, c, d, n, stream).ok());
+  ASSERT_TRUE(lib->cudaStreamSynchronize(stream).ok());
+
+  std::vector<std::uint32_t> out(n);
+  ASSERT_TRUE(
+      lib->cudaMemcpy(out.data(), d, n * 4, MemcpyKind::kDeviceToHost).ok());
+  EXPECT_EQ(out, xs);
+  EXPECT_GE(manager_->stats().kernels_enqueued, 3u);
+}
+
+TEST_F(SchedulerTest, CrossTenantKernelsOverlap) {
+  ManagerOptions options;
+  options.scheduler_executors = 4;
+  options.device_time_ns_per_cycle = kSlowDeviceScale;
+  Init(options);
+  auto alice = Connect();
+  auto bob = Connect();
+  ASSERT_TRUE(alice.ok() && bob.ok());
+  auto alice_fn = LoadKernel(*alice, "copyk");
+  auto bob_fn = LoadKernel(*bob, "copyk");
+  ASSERT_TRUE(alice_fn.ok() && bob_fn.ok());
+
+  constexpr std::uint32_t n = 4096;
+  DevicePtr asrc = 0, adst = 0, bsrc = 0, bdst = 0;
+  ASSERT_TRUE(alice->cudaMalloc(&asrc, n * 4).ok());
+  ASSERT_TRUE(alice->cudaMalloc(&adst, n * 4).ok());
+  ASSERT_TRUE(bob->cudaMalloc(&bsrc, n * 4).ok());
+  ASSERT_TRUE(bob->cudaMalloc(&bdst, n * 4).ok());
+  std::vector<std::uint32_t> data(n, 0xA11CEu);
+  ASSERT_TRUE(alice->cudaMemcpyH2D(asrc, data.data(), n * 4).ok());
+
+  // Alice's big copy kernel sleeps tens of milliseconds of modeled device
+  // time on its own stream; Bob's kernel is admitted meanwhile because the
+  // combined SM footprint fits.
+  simcuda::StreamId alice_stream = 0;
+  ASSERT_TRUE(alice->cudaStreamCreate(&alice_stream).ok());
+  ASSERT_TRUE(LaunchCopy(*alice, *alice_fn, asrc, adst, n, alice_stream).ok());
+  ASSERT_TRUE(LaunchCopy(*bob, *bob_fn, bsrc, bdst, 256, 0).ok());
+
+  ASSERT_TRUE(alice->cudaStreamSynchronize(alice_stream).ok());
+  EXPECT_GE(manager_->stats().peak_resident_kernels, 2u)
+      << "tenants' kernels never co-resided on the device";
+  EXPECT_GE(manager_->stats().peak_sms_in_use, 2u);
+  // Live introspection: everything synchronized, so the device is empty.
+  EXPECT_EQ(manager_->scheduler().resident_kernels(), 0);
+  EXPECT_EQ(manager_->scheduler().sms_in_use(), 0);
+
+  std::vector<std::uint32_t> out(n);
+  ASSERT_TRUE(
+      alice->cudaMemcpy(out.data(), adst, n * 4, MemcpyKind::kDeviceToHost)
+          .ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(SchedulerTest, EventWaitOrdersCrossStreamWork) {
+  ManagerOptions options;
+  options.scheduler_executors = 4;
+  options.device_time_ns_per_cycle = 2'000.0;
+  Init(options);
+  auto lib = Connect();
+  ASSERT_TRUE(lib.ok());
+  auto fn = LoadKernel(*lib, "copyk");
+  ASSERT_TRUE(fn.ok());
+
+  constexpr std::uint32_t n = 4096;
+  DevicePtr a = 0, b = 0, c = 0;
+  for (DevicePtr* p : {&a, &b, &c})
+    ASSERT_TRUE(lib->cudaMalloc(p, n * 4).ok());
+  std::vector<std::uint32_t> xs(n);
+  for (std::uint32_t i = 0; i < n; ++i) xs[i] = i ^ 0x5A5A;
+  ASSERT_TRUE(lib->cudaMemcpyH2D(a, xs.data(), n * 4).ok());
+
+  simcuda::StreamId producer = 0, consumer = 0;
+  ASSERT_TRUE(lib->cudaStreamCreate(&producer).ok());
+  ASSERT_TRUE(lib->cudaStreamCreate(&consumer).ok());
+  simcuda::EventId done = 0;
+  ASSERT_TRUE(lib->cudaEventCreateWithFlags(&done, 0).ok());
+
+  // producer: a -> b (slow); consumer: b -> c, gated on the event. Without
+  // the cross-stream dependency the consumer would read b while it is still
+  // zeros — the free executor would run it immediately.
+  ASSERT_TRUE(LaunchCopy(*lib, *fn, a, b, n, producer).ok());
+  ASSERT_TRUE(lib->cudaEventRecord(done, producer).ok());
+  ASSERT_TRUE(lib->cudaStreamWaitEvent(consumer, done).ok());
+  ASSERT_TRUE(LaunchCopy(*lib, *fn, b, c, n, consumer).ok());
+  ASSERT_TRUE(lib->cudaStreamSynchronize(consumer).ok());
+
+  std::vector<std::uint32_t> out(n);
+  ASSERT_TRUE(
+      lib->cudaMemcpy(out.data(), c, n * 4, MemcpyKind::kDeviceToHost).ok());
+  EXPECT_EQ(out, xs);
+}
+
+TEST_F(SchedulerTest, EventSynchronizeWaitsForRecordedWork) {
+  ManagerOptions options;
+  options.scheduler_executors = 2;
+  options.device_time_ns_per_cycle = 2'000.0;
+  Init(options);
+  auto lib = Connect();
+  ASSERT_TRUE(lib.ok());
+  auto fn = LoadKernel(*lib, "copyk");
+  ASSERT_TRUE(fn.ok());
+
+  constexpr std::uint32_t n = 4096;
+  DevicePtr src = 0, dst = 0;
+  ASSERT_TRUE(lib->cudaMalloc(&src, n * 4).ok());
+  ASSERT_TRUE(lib->cudaMalloc(&dst, n * 4).ok());
+  std::vector<std::uint32_t> xs(n, 42);
+  ASSERT_TRUE(lib->cudaMemcpyH2D(src, xs.data(), n * 4).ok());
+
+  simcuda::StreamId stream = 0;
+  ASSERT_TRUE(lib->cudaStreamCreate(&stream).ok());
+  simcuda::EventId event = 0;
+  ASSERT_TRUE(lib->cudaEventCreateWithFlags(&event, 0).ok());
+  // Synchronizing a never-recorded event completes immediately (CUDA).
+  ASSERT_TRUE(lib->cudaEventSynchronize(event).ok());
+
+  ASSERT_TRUE(LaunchCopy(*lib, *fn, src, dst, n, stream).ok());
+  ASSERT_TRUE(lib->cudaEventRecord(event, stream).ok());
+  ASSERT_TRUE(lib->cudaEventSynchronize(event).ok());
+  // The event completing implies the slow kernel before it completed.
+  std::vector<std::uint32_t> out(n);
+  ASSERT_TRUE(
+      lib->cudaMemcpy(out.data(), dst, n * 4, MemcpyKind::kDeviceToHost).ok());
+  EXPECT_EQ(out, xs);
+}
+
+TEST_F(SchedulerTest, StreamDestroyDrainsQueuedWork) {
+  ManagerOptions options;
+  options.device_time_ns_per_cycle = 2'000.0;
+  Init(options);
+  auto lib = Connect();
+  ASSERT_TRUE(lib.ok());
+  auto fn = LoadKernel(*lib, "copyk");
+  ASSERT_TRUE(fn.ok());
+
+  constexpr std::uint32_t n = 4096;
+  DevicePtr src = 0, dst = 0;
+  ASSERT_TRUE(lib->cudaMalloc(&src, n * 4).ok());
+  ASSERT_TRUE(lib->cudaMalloc(&dst, n * 4).ok());
+  std::vector<std::uint32_t> xs(n, 7);
+  ASSERT_TRUE(lib->cudaMemcpyH2D(src, xs.data(), n * 4).ok());
+
+  simcuda::StreamId stream = 0;
+  ASSERT_TRUE(lib->cudaStreamCreate(&stream).ok());
+  ASSERT_TRUE(LaunchCopy(*lib, *fn, src, dst, n, stream).ok());
+  // Destroy with the copy kernel still queued/running: it must drain, not
+  // orphan — afterwards the result is visible and the handle is gone.
+  ASSERT_TRUE(lib->cudaStreamDestroy(stream).ok());
+  std::vector<std::uint32_t> out(n);
+  ASSERT_TRUE(
+      lib->cudaMemcpy(out.data(), dst, n * 4, MemcpyKind::kDeviceToHost).ok());
+  EXPECT_EQ(out, xs);
+  EXPECT_EQ(lib->cudaStreamSynchronize(stream).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(SchedulerTest, EventRecordOnDestroyedStreamRejected) {
+  Init(ManagerOptions{});
+  auto lib = Connect();
+  ASSERT_TRUE(lib.ok());
+  simcuda::StreamId stream = 0;
+  ASSERT_TRUE(lib->cudaStreamCreate(&stream).ok());
+  simcuda::EventId event = 0;
+  ASSERT_TRUE(lib->cudaEventCreateWithFlags(&event, 0).ok());
+  ASSERT_TRUE(lib->cudaStreamDestroy(stream).ok());
+  EXPECT_EQ(lib->cudaEventRecord(event, stream).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(lib->cudaStreamWaitEvent(stream, event).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(SchedulerTest, MidFlightFaultContainedToAttacker) {
+  ManagerOptions options;
+  options.mode = ptxpatcher::BoundsCheckMode::kChecking;
+  options.scheduler_executors = 4;
+  options.device_time_ns_per_cycle = kSlowDeviceScale;
+  Init(options);
+  auto victim = Connect();
+  auto attacker = Connect();
+  ASSERT_TRUE(victim.ok() && attacker.ok());
+  auto victim_fn = LoadKernel(*victim, "copyk");
+  auto attacker_fn = LoadKernel(*attacker, "oob_writer");
+  ASSERT_TRUE(victim_fn.ok() && attacker_fn.ok());
+
+  constexpr std::uint32_t n = 4096;
+  DevicePtr vsrc = 0, vdst = 0;
+  ASSERT_TRUE(victim->cudaMalloc(&vsrc, n * 4).ok());
+  ASSERT_TRUE(victim->cudaMalloc(&vdst, n * 4).ok());
+  std::vector<std::uint32_t> xs(n, 0xBEEF);
+  ASSERT_TRUE(victim->cudaMemcpyH2D(vsrc, xs.data(), n * 4).ok());
+
+  // Victim's long kernel is mid-flight on its own stream when the attacker
+  // crashes: the fault must kill only the attacker.
+  simcuda::StreamId vstream = 0;
+  ASSERT_TRUE(victim->cudaStreamCreate(&vstream).ok());
+  ASSERT_TRUE(LaunchCopy(*victim, *victim_fn, vsrc, vdst, n, vstream).ok());
+
+  DevicePtr mine = 0;
+  ASSERT_TRUE(attacker->cudaMalloc(&mine, 64).ok());
+  simcuda::LaunchConfig config;
+  const Status oob = attacker->cudaLaunchKernel(
+      *attacker_fn, config,
+      {KernelArg::U64(mine), KernelArg::U64(vsrc - mine),
+       KernelArg::U32(666)});
+  EXPECT_EQ(oob.code(), StatusCode::kOutOfRange);
+  DevicePtr more = 0;
+  EXPECT_EQ(attacker->cudaMalloc(&more, 64).code(), StatusCode::kAborted);
+
+  ASSERT_TRUE(victim->cudaStreamSynchronize(vstream).ok());
+  std::vector<std::uint32_t> out(n);
+  ASSERT_TRUE(
+      victim->cudaMemcpy(out.data(), vdst, n * 4, MemcpyKind::kDeviceToHost)
+          .ok());
+  EXPECT_EQ(out, xs);
+  EXPECT_EQ(manager_->stats().faults_contained, 1u);
+}
+
+TEST_F(SchedulerTest, AsyncLaunchFaultSurfacesAtSynchronize) {
+  ManagerOptions options;
+  options.mode = ptxpatcher::BoundsCheckMode::kChecking;
+  Init(options);
+  auto lib = Connect();
+  ASSERT_TRUE(lib.ok());
+  auto fn = LoadKernel(*lib, "oob_writer");
+  ASSERT_TRUE(fn.ok());
+  DevicePtr mine = 0;
+  ASSERT_TRUE(lib->cudaMalloc(&mine, 64).ok());
+
+  simcuda::StreamId stream = 0;
+  ASSERT_TRUE(lib->cudaStreamCreate(&stream).ok());
+  simcuda::LaunchConfig config;
+  config.stream = stream;
+  // Async launch reports success; the device fault lands at the sync point.
+  ASSERT_TRUE(lib->cudaLaunchKernel(*fn, config,
+                                    {KernelArg::U64(mine),
+                                     KernelArg::U64(1ull << 33),
+                                     KernelArg::U32(666)})
+                  .ok());
+  EXPECT_FALSE(lib->cudaStreamSynchronize(stream).ok());
+  EXPECT_EQ(manager_->stats().faults_contained, 1u);
+}
+
+TEST_F(SchedulerTest, BatchedAsyncCallsCoalesceIntoOneMessage) {
+  Init(ManagerOptions{});
+  auto lib = Connect();
+  ASSERT_TRUE(lib.ok());
+  auto fn = LoadKernel(*lib, "copyk");
+  ASSERT_TRUE(fn.ok());
+  lib->EnableBatching(8);
+
+  constexpr std::uint32_t n = 512;
+  DevicePtr src = 0, dst = 0;
+  ASSERT_TRUE(lib->cudaMalloc(&src, n * 4).ok());
+  ASSERT_TRUE(lib->cudaMalloc(&dst, n * 4).ok());
+  simcuda::StreamId stream = 0;
+  ASSERT_TRUE(lib->cudaStreamCreate(&stream).ok());
+
+  // Upload + kernel + upload + kernel, all async on one stream: grdLib
+  // buffers them and the StreamSynchronize flush sends ONE kBatch message.
+  std::vector<std::uint32_t> xs(n);
+  for (std::uint32_t i = 0; i < n; ++i) xs[i] = i + 3;
+  ASSERT_TRUE(lib->cudaMemcpyH2DAsync(src, xs.data(), n * 4, stream).ok());
+  ASSERT_TRUE(LaunchCopy(*lib, *fn, src, dst, n, stream).ok());
+  std::vector<std::uint32_t> ys(n);
+  for (std::uint32_t i = 0; i < n; ++i) ys[i] = i * 11;
+  ASSERT_TRUE(lib->cudaMemcpyH2DAsync(src, ys.data(), n * 4, stream).ok());
+  ASSERT_TRUE(LaunchCopy(*lib, *fn, src, dst, n, stream).ok());
+  EXPECT_EQ(manager_->stats().batches_decoded, 0u);  // still buffered
+
+  ASSERT_TRUE(lib->cudaStreamSynchronize(stream).ok());
+  EXPECT_EQ(manager_->stats().batches_decoded, 1u);
+  EXPECT_EQ(manager_->stats().batched_ops, 4u);
+  EXPECT_EQ(lib->batches_sent(), 1u);
+
+  std::vector<std::uint32_t> out(n);
+  ASSERT_TRUE(
+      lib->cudaMemcpy(out.data(), dst, n * 4, MemcpyKind::kDeviceToHost).ok());
+  EXPECT_EQ(out, ys);  // FIFO: the second upload+copy won
+}
+
+TEST_F(SchedulerTest, DeviceSynchronizeDrainsAllStreams) {
+  ManagerOptions options;
+  options.scheduler_executors = 4;
+  options.device_time_ns_per_cycle = 2'000.0;
+  Init(options);
+  auto lib = Connect();
+  ASSERT_TRUE(lib.ok());
+  auto fn = LoadKernel(*lib, "copyk");
+  ASSERT_TRUE(fn.ok());
+
+  constexpr std::uint32_t n = 4096;
+  DevicePtr src = 0, d1 = 0, d2 = 0;
+  for (DevicePtr* p : {&src, &d1, &d2})
+    ASSERT_TRUE(lib->cudaMalloc(p, n * 4).ok());
+  std::vector<std::uint32_t> xs(n, 99);
+  ASSERT_TRUE(lib->cudaMemcpyH2D(src, xs.data(), n * 4).ok());
+
+  simcuda::StreamId s1 = 0, s2 = 0;
+  ASSERT_TRUE(lib->cudaStreamCreate(&s1).ok());
+  ASSERT_TRUE(lib->cudaStreamCreate(&s2).ok());
+  ASSERT_TRUE(LaunchCopy(*lib, *fn, src, d1, n, s1).ok());
+  ASSERT_TRUE(LaunchCopy(*lib, *fn, src, d2, n, s2).ok());
+  ASSERT_TRUE(lib->cudaDeviceSynchronize().ok());
+
+  std::vector<std::uint32_t> out1(n), out2(n);
+  ASSERT_TRUE(
+      lib->cudaMemcpy(out1.data(), d1, n * 4, MemcpyKind::kDeviceToHost).ok());
+  ASSERT_TRUE(
+      lib->cudaMemcpy(out2.data(), d2, n * 4, MemcpyKind::kDeviceToHost).ok());
+  EXPECT_EQ(out1, xs);
+  EXPECT_EQ(out2, xs);
+  EXPECT_GE(manager_->stats().scheduler_ops_completed, 2u);
+}
+
+}  // namespace
+}  // namespace grd::guardian

@@ -265,10 +265,36 @@ TEST_F(GuardianTest, StreamsEventsAndSyncForwarded) {
   simcuda::EventId event = 0;
   ASSERT_TRUE(lib->cudaEventCreateWithFlags(&event, 2).ok());
   ASSERT_TRUE(lib->cudaEventRecord(event, stream).ok());
+  ASSERT_TRUE(lib->cudaStreamWaitEvent(stream, event).ok());
+  ASSERT_TRUE(lib->cudaEventSynchronize(event).ok());
   ASSERT_TRUE(lib->cudaStreamSynchronize(stream).ok());
   ASSERT_TRUE(lib->cudaDeviceSynchronize().ok());
   ASSERT_TRUE(lib->cudaEventDestroy(event).ok());
   ASSERT_TRUE(lib->cudaStreamDestroy(stream).ok());
+  // Lifecycle: stream/event ops on dead handles are rejected.
+  EXPECT_EQ(lib->cudaStreamSynchronize(stream).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(lib->cudaEventRecord(event, 0).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(GuardianTest, AsyncMemcpyOrderedOnStream) {
+  auto lib = Connect();
+  ASSERT_TRUE(lib.ok());
+  DevicePtr p = 0;
+  ASSERT_TRUE(lib->cudaMalloc(&p, 64).ok());
+  simcuda::StreamId stream = 0;
+  ASSERT_TRUE(lib->cudaStreamCreate(&stream).ok());
+  const std::uint64_t first = 0x1111, second = 0x2222;
+  ASSERT_TRUE(lib->cudaMemcpyH2DAsync(p, &first, 8, stream).ok());
+  ASSERT_TRUE(lib->cudaMemcpyH2DAsync(p, &second, 8, stream).ok());
+  ASSERT_TRUE(lib->cudaStreamSynchronize(stream).ok());
+  std::uint64_t back = 0;
+  ASSERT_TRUE(lib->cudaMemcpy(&back, p, 8, MemcpyKind::kDeviceToHost).ok());
+  EXPECT_EQ(back, second);  // FIFO on the stream
+  // Bounds are checked at submission, async or not.
+  EXPECT_EQ(lib->cudaMemcpyH2DAsync(1ull << 40, &first, 8, stream).code(),
+            StatusCode::kPermissionDenied);
 }
 
 TEST_F(GuardianTest, ExportTablesServedThroughManager) {
