@@ -131,6 +131,17 @@ int main() {
                   ? serialized.makespan_ms / scheduled.makespan_ms
                   : 0.0);
 
+  // Machine-readable line for cross-PR perf tracking.
+  std::printf("BENCH_stream_overlap.json {\"makespan_serialized_ms\":%.3f,"
+              "\"makespan_scheduled_ms\":%.3f,\"speedup\":%.3f,"
+              "\"peak_resident\":%llu,\"peak_sms\":%llu}\n",
+              serialized.makespan_ms, scheduled.makespan_ms,
+              scheduled.makespan_ms > 0.0
+                  ? serialized.makespan_ms / scheduled.makespan_ms
+                  : 0.0,
+              static_cast<unsigned long long>(scheduled.peak_resident),
+              static_cast<unsigned long long>(scheduled.peak_sms));
+
   const bool overlapped = scheduled.peak_resident >= 2;
   const bool faster = scheduled.makespan_ms < serialized.makespan_ms;
   if (!overlapped) std::printf("FAIL: no two kernels were co-resident\n");

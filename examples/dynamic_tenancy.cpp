@@ -6,9 +6,15 @@
 //     sandboxed versions.
 //  2. Progressive partition growth (§4.4 future work): a tenant outgrows
 //     its partition and doubles it in place; the fencing mask follows.
-//  3. Kernel revocation (TReM [53]): an endless kernel is terminated and
-//     only its owner is failed.
+//  3. Kernel revocation (TReM [53]): an endless kernel is revoked-and-
+//     requeued once, then terminated — and only its owner is failed.
+//  4. Priority preemption: a kRealtime tenant's kernel revokes a kBatch
+//     tenant's full-device kernel at a safe point instead of queueing
+//     behind it; the batch kernel resumes from its checkpoint.
+#include <chrono>
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "common/strings.hpp"
 #include "guardian/grdlib.hpp"
@@ -20,6 +26,7 @@
 
 using namespace grd;
 using guardian::GrdLib;
+using guardian::protocol::PriorityClass;
 using ptxexec::KernelArg;
 using simcuda::DevicePtr;
 
@@ -28,6 +35,10 @@ int main() {
   guardian::ManagerOptions options;
   options.standalone_fast_path = true;
   options.max_kernel_instructions = 100'000;
+  options.scheduler_executors = 4;
+  // Dilate modeled device time so the batch kernel of section 4 is long
+  // enough to be preempted mid-flight.
+  options.device_time_ns_per_cycle = 200.0;
   guardian::GrdManager manager(&gpu, options);
   guardian::LoopbackTransport transport(&manager);
 
@@ -89,10 +100,86 @@ LOOP:
   const Status revoked =
       second->cudaLaunchKernel(*spin, simcuda::LaunchConfig{}, {});
   std::printf("   spinning tenant: %s\n", revoked.ToString().c_str());
+  std::printf("   (budget kill is a last resort: %llu revoke-and-requeue "
+              "before the failure)\n",
+              (unsigned long long)manager.stats().budget_requeues);
   DevicePtr probe = 0;
   std::printf("   spinner next call: %s\n",
               second->cudaMalloc(&probe, 64).ToString().c_str());
-  std::printf("   other tenant    : %s (unaffected)\n",
+  std::printf("   other tenant    : %s (unaffected)\n\n",
               solo->cudaMalloc(&probe, 64).ToString().c_str());
+
+  // --- 4. priority preemption ---
+  std::printf("4. realtime tenant preempts a batch tenant's long kernel\n");
+  auto batch = GrdLib::Connect(&transport, 1 << 20);
+  auto realtime = GrdLib::Connect(&transport, 1 << 20);
+  if (!batch.ok() || !realtime.ok()) return 1;
+  (void)batch->SetPriority(PriorityClass::kBatch);
+  (void)realtime->SetPriority(PriorityClass::kRealtime);
+
+  const std::string copy_ptx = ptx::Print(ptx::MakeSampleModule());
+  auto batch_fn = batch->cuModuleGetFunction(
+      *batch->cuModuleLoadData(copy_ptx), "copyk");
+  auto rt_fn = realtime->cuModuleGetFunction(
+      *realtime->cuModuleLoadData(copy_ptx), "copyk");
+
+  constexpr std::uint32_t kBatchElems = 48 * 1024;  // 48 blocks: every SM
+  constexpr std::uint32_t kRtElems = 256;
+  DevicePtr bsrc = 0, bdst = 0, rsrc = 0, rdst = 0;
+  (void)batch->cudaMalloc(&bsrc, kBatchElems * 4);
+  (void)batch->cudaMalloc(&bdst, kBatchElems * 4);
+  (void)realtime->cudaMalloc(&rsrc, kRtElems * 4);
+  (void)realtime->cudaMalloc(&rdst, kRtElems * 4);
+  std::vector<std::uint32_t> payload(kBatchElems, 0xBA7C4);
+  (void)batch->cudaMemcpyH2D(bsrc, payload.data(), kBatchElems * 4);
+
+  simcuda::StreamId bstream = 0, rstream = 0;
+  (void)batch->cudaStreamCreate(&bstream);
+  (void)realtime->cudaStreamCreate(&rstream);
+
+  simcuda::LaunchConfig bconfig;
+  bconfig.block = {1024, 1, 1};
+  bconfig.grid = {kBatchElems / 1024, 1, 1};
+  bconfig.stream = bstream;
+  const Status batch_launch = batch->cudaLaunchKernel(
+      *batch_fn, bconfig,
+      {KernelArg::U64(bsrc), KernelArg::U64(bdst),
+       KernelArg::U32(kBatchElems)});
+  if (!batch_launch.ok()) {
+    std::printf("   batch launch failed: %s\n",
+                batch_launch.ToString().c_str());
+    return 1;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (manager.scheduler().resident_kernels() == 0) {
+    if (std::chrono::steady_clock::now() > deadline) {
+      std::printf("   batch kernel never became resident\n");
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+
+  simcuda::LaunchConfig rconfig;
+  rconfig.block = {256, 1, 1};
+  rconfig.grid = {1, 1, 1};
+  rconfig.stream = rstream;
+  const auto rt_begin = std::chrono::steady_clock::now();
+  (void)realtime->cudaLaunchKernel(*rt_fn, rconfig,
+                                   {KernelArg::U64(rsrc),
+                                    KernelArg::U64(rdst),
+                                    KernelArg::U32(kRtElems)});
+  (void)realtime->cudaStreamSynchronize(rstream);
+  const double rt_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - rt_begin)
+                           .count();
+  (void)batch->cudaStreamSynchronize(bstream);
+  std::printf("   realtime kernel finished in %.2f ms while the full-device "
+              "batch kernel was mid-flight\n", rt_ms);
+  std::printf("   preemptions=%llu resumes=%llu checkpoint_bytes=%llu "
+              "(batch kernel resumed, no blocks replayed)\n",
+              (unsigned long long)manager.stats().preemptions,
+              (unsigned long long)manager.stats().preemption_resumes,
+              (unsigned long long)manager.stats().checkpoint_bytes_saved);
   return 0;
 }

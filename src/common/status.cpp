@@ -67,5 +67,8 @@ Status Unavailable(std::string msg) {
 Status Aborted(std::string msg) {
   return Status(StatusCode::kAborted, std::move(msg));
 }
+Status DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
 
 }  // namespace grd

@@ -71,6 +71,7 @@ Status Unimplemented(std::string msg);
 Status Internal(std::string msg);
 Status Unavailable(std::string msg);
 Status Aborted(std::string msg);
+Status DeadlineExceeded(std::string msg);
 
 // Result<T>: either a value or a non-OK Status. Minimal expected<T>-style
 // type so the codebase does not depend on std::expected availability.

@@ -28,6 +28,7 @@
 #include "guardian/bounds_table.hpp"
 #include "guardian/gpu_scheduler.hpp"
 #include "guardian/partition_allocator.hpp"
+#include "guardian/preemption.hpp"
 #include "guardian/sandbox_cache.hpp"
 #include "ptxpatcher/patcher.hpp"
 #include "simcuda/gpu.hpp"
@@ -52,7 +53,20 @@ struct ManagerOptions {
   // TReM-style revocation [53]: kernels exceeding this per-thread
   // instruction budget are terminated and the client is failed, so an
   // endless (possibly wrap-around-corrupted) kernel cannot hold the GPU.
+  // With the preemption engine enabled this is the *last* resort: a
+  // checkpointable kernel is revoked-and-requeued once (keeping its
+  // completed blocks) before the budget failure is final.
   std::uint64_t max_kernel_instructions = 10'000'000;
+  // Preemption engine (preemption.hpp): mid-kernel revocation at block
+  // boundaries for higher-priority tenants, priority-aware SM admission and
+  // anti-starvation aging. Disabling reverts to pure FIFO-with-occupancy
+  // scheduling and one-shot budget kills.
+  bool preemption_enabled = true;
+  // Instructions between cooperative preemption polls inside a block.
+  std::uint64_t preempt_check_interval = 5'000;
+  // One effective-priority-class boost per this much queued wait time
+  // (anti-starvation aging); 0 disables aging.
+  std::uint64_t aging_quantum_ns = 250'000'000;
   // Entry cap for the content-addressed sandbox cache (LRU-evicted), so a
   // tenant cycling unique PTX cannot grow the manager without bound.
   std::size_t sandbox_cache_capacity = SandboxCache::kDefaultCapacity;
@@ -100,6 +114,18 @@ struct ManagerStats {
   // Batched IPC (grdLib coalescing adjacent async calls into one message).
   std::atomic<std::uint64_t> batches_decoded{0};
   std::atomic<std::uint64_t> batched_ops{0};
+  // Preemption engine: revocations at safe points, restarts of revoked
+  // kernels, checkpoint bytes that would cross the device boundary, budget
+  // trips converted into a requeue instead of a client kill, and blocks
+  // actually executed (a resumed kernel re-executing finished blocks would
+  // show up as an excess over the launched grid sizes).
+  std::atomic<std::uint64_t> preemptions{0};
+  std::atomic<std::uint64_t> preemption_resumes{0};
+  std::atomic<std::uint64_t> checkpoint_bytes_saved{0};
+  std::atomic<std::uint64_t> budget_requeues{0};
+  std::atomic<std::uint64_t> kernel_blocks_executed{0};
+  // Launch-to-first-run wait time per priority class.
+  WaitHistogram wait_hist[kPriorityClassCount];
 };
 
 // Monotone-max update for ManagerStats peak/mirror counters: never lets a
@@ -118,7 +144,10 @@ struct ExecutionContext {
         options(options_in),
         sandbox_cache(options_in.sandbox_cache_capacity),
         partitions(gpu_in->spec().global_mem_bytes),
-        scheduler(gpu_in->spec(), options_in.scheduler_executors, &stats) {}
+        scheduler(gpu_in->spec(), options_in.scheduler_executors, &stats,
+                  PreemptionConfig{options_in.preemption_enabled,
+                                   options_in.preempt_check_interval,
+                                   options_in.aging_quantum_ns}) {}
 
   simcuda::Gpu* gpu;
   const ManagerOptions options;

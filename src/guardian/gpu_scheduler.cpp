@@ -7,17 +7,37 @@
 
 namespace grd::guardian {
 
-// All fields are guarded by the owning scheduler's mu_.
+// All fields are guarded by the owning scheduler's mu_, except
+// `preempt_requested`, which the kernel body polls from an executor thread
+// without the lock (atomic; set/reset under the lock).
 struct GpuWorkItem {
   enum class Kind : std::uint8_t { kKernel, kCopy, kEventRecord, kWaitEvent };
   enum class State : std::uint8_t { kQueued, kRunning, kDone };
 
   Kind kind = Kind::kKernel;
   State state = State::kQueued;
-  std::function<Status()> body;  // kernels and copies only
+  // Kernels and copies only. Non-preemptible bodies are wrapped to ignore
+  // the slot; `preemptible` records whether the body honors the flag.
+  PreemptibleBody body;
+  bool preemptible = false;
   int sm_footprint = 0;
   GpuTicket depends_on;  // kWaitEvent: the record snapshot to wait for
   Status status;
+  // Preemption/priority state.
+  PriorityClass priority = PriorityClass::kNormal;  // stream's, at submit
+  std::atomic<bool> preempt_requested{false};
+  std::uint32_t preempt_count = 0;  // times revoked at a safe point
+  bool started = false;             // first run began (wait time recorded)
+  std::chrono::steady_clock::time_point enqueue_time;
+  // Aging clock: starts when the op first becomes its stream's admissible
+  // head. An op queued behind its own stream's work is not starving — its
+  // stream is making progress; only a head the scan keeps passing over is.
+  bool head_seen = false;
+  std::chrono::steady_clock::time_point head_since;
+  // Effective class at the moment the scan granted the device (the class
+  // this run *earned*, aging included); revocation eligibility is judged
+  // against it, so a promoted kernel keeps its protection while running.
+  int admitted_class = static_cast<int>(PriorityClass::kNormal);
 };
 
 class GpuStream {
@@ -28,6 +48,7 @@ class GpuStream {
   std::deque<GpuTicket> queue_;
   bool active_ = false;     // one op of this stream is on an executor
   bool destroyed_ = false;  // retired: enqueues fail
+  PriorityClass priority_ = PriorityClass::kNormal;
   Status first_error_;      // sticky, reported by SynchronizeStream
 };
 
@@ -46,10 +67,12 @@ GpuTicket FailedTicket(Status status) {
 }  // namespace
 
 GpuScheduler::GpuScheduler(const simgpu::DeviceSpec& spec,
-                           std::size_t executors, ManagerStats* stats)
+                           std::size_t executors, ManagerStats* stats,
+                           PreemptionConfig preemption)
     : spec_(spec),
       executor_count_(std::clamp<std::size_t>(executors, 1, 64)),
-      stats_(stats) {
+      stats_(stats),
+      engine_(preemption, stats) {
   executors_.reserve(executor_count_);
   for (std::size_t i = 0; i < executor_count_; ++i)
     executors_.emplace_back([this] { ExecutorLoop(); });
@@ -57,11 +80,20 @@ GpuScheduler::GpuScheduler(const simgpu::DeviceSpec& spec,
 
 GpuScheduler::~GpuScheduler() { Shutdown(); }
 
-std::shared_ptr<GpuStream> GpuScheduler::CreateStream() {
+std::shared_ptr<GpuStream> GpuScheduler::CreateStream(PriorityClass priority) {
   auto stream = std::shared_ptr<GpuStream>(new GpuStream());
+  stream->priority_ = priority;
   std::lock_guard<std::mutex> lock(mu_);
   streams_.push_back(stream);
   return stream;
+}
+
+void GpuScheduler::SetStreamPriority(GpuStream& stream,
+                                     PriorityClass priority) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stream.priority_ = priority;
+  // Already-queued ops keep their submit-time class (CUDA reprioritization
+  // semantics: takes effect for subsequent work).
 }
 
 GpuTicket GpuScheduler::Submit(GpuStream& stream, GpuTicket op,
@@ -72,6 +104,8 @@ GpuTicket GpuScheduler::Submit(GpuStream& stream, GpuTicket op,
       return FailedTicket(InvalidArgument("stream is destroyed"));
     if (wait_on != nullptr)
       op->depends_on = wait_on->last_record;  // snapshot, CUDA semantics
+    op->priority = stream.priority_;
+    op->enqueue_time = std::chrono::steady_clock::now();
     stream.queue_.push_back(op);
     ++queued_ops_;
     if (record_into != nullptr) record_into->last_record = op;
@@ -87,7 +121,19 @@ GpuTicket GpuScheduler::EnqueueKernel(GpuStream& stream,
                                       int sm_footprint) {
   auto op = std::make_shared<GpuWorkItem>();
   op->kind = Kind::kKernel;
+  op->body = [plain = std::move(body)](KernelSlot&) { return plain(); };
+  op->preemptible = false;
+  op->sm_footprint = std::clamp(sm_footprint, 1, std::max(1, spec_.sms));
+  return Submit(stream, std::move(op), nullptr, nullptr);
+}
+
+GpuTicket GpuScheduler::EnqueuePreemptibleKernel(GpuStream& stream,
+                                                 PreemptibleBody body,
+                                                 int sm_footprint) {
+  auto op = std::make_shared<GpuWorkItem>();
+  op->kind = Kind::kKernel;
   op->body = std::move(body);
+  op->preemptible = true;
   op->sm_footprint = std::clamp(sm_footprint, 1, std::max(1, spec_.sms));
   return Submit(stream, std::move(op), nullptr, nullptr);
 }
@@ -96,7 +142,7 @@ GpuTicket GpuScheduler::EnqueueCopy(GpuStream& stream,
                                     std::function<Status()> body) {
   auto op = std::make_shared<GpuWorkItem>();
   op->kind = Kind::kCopy;
-  op->body = std::move(body);
+  op->body = [plain = std::move(body)](KernelSlot&) { return plain(); };
   return Submit(stream, std::move(op), nullptr, nullptr);
 }
 
@@ -184,6 +230,43 @@ void GpuScheduler::UpdatePeaksLocked() {
                  static_cast<std::uint64_t>(sms_in_use_));
 }
 
+void GpuScheduler::RequestPreemptionLocked(PriorityClass waiter_base,
+                                           int needed_sms) {
+  if (!engine_.enabled()) return;
+  // SMs that will come free without further action: currently unused ones
+  // plus the footprints of victims already asked to vacate.
+  int projected_free = spec_.sms - sms_in_use_;
+  std::vector<GpuTicket> candidates;
+  for (const auto& weak : streams_) {
+    const auto s = weak.lock();
+    if (s == nullptr || !s->active_ || s->queue_.empty()) continue;
+    const GpuTicket& running = s->queue_.front();
+    if (running->kind != Kind::kKernel || running->state != State::kRunning)
+      continue;
+    if (running->preempt_requested.load(std::memory_order_relaxed)) {
+      projected_free += running->sm_footprint;
+      continue;
+    }
+    if (running->preemptible &&
+        engine_.MayPreempt(waiter_base, running->admitted_class))
+      candidates.push_back(running);
+  }
+  if (projected_free >= needed_sms) return;  // a plan is already in flight
+  // Revoke least-urgent victims first; bigger footprints first within a
+  // class so fewer kernels bounce.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const GpuTicket& a, const GpuTicket& b) {
+              if (a->admitted_class != b->admitted_class)
+                return a->admitted_class > b->admitted_class;
+              return a->sm_footprint > b->sm_footprint;
+            });
+  for (const auto& victim : candidates) {
+    if (projected_free >= needed_sms) break;
+    victim->preempt_requested.store(true, std::memory_order_relaxed);
+    projected_free += victim->sm_footprint;
+  }
+}
+
 bool GpuScheduler::ScanLocked(GpuTicket* op,
                               std::shared_ptr<GpuStream>* stream) {
   op->reset();
@@ -200,44 +283,81 @@ bool GpuScheduler::ScanLocked(GpuTicket* op,
   const std::size_t n = streams_.size();
   if (n == 0) return completed_marker;
   rotor_ %= n;
-  // Keep sweeping while markers resolve: a record completing may unblock a
-  // wait in a stream the sweep already passed.
+  // Phase 1 — resolve ready markers to a fixpoint: a record completing may
+  // unblock a wait in a stream the sweep already passed.
   bool progressed = true;
   while (progressed) {
     progressed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto s = streams_[(rotor_ + i) % n].lock();
+      if (s == nullptr || s->active_ || s->queue_.empty()) continue;
+      const GpuTicket& head = s->queue_.front();
+      if (head->kind == Kind::kEventRecord) {
+        FinishLocked(*s, head, OkStatus());
+        completed_marker = progressed = true;
+      } else if (head->kind == Kind::kWaitEvent &&
+                 (head->depends_on == nullptr ||
+                  head->depends_on->state == State::kDone)) {
+        FinishLocked(*s, head, OkStatus());
+        completed_marker = progressed = true;
+      }
+    }
+  }
+  // Phase 2 — pick a body op, most urgent effective class first. When a
+  // blocked head is a kernel that does not fit, the device is *reserved*
+  // for its class: no strictly-less-urgent kernel is admitted behind it
+  // (same-class peers may still backfill — aging resolves starvation within
+  // a class — and copies always flow: they occupy DMA engines, not SMs).
+  // Running lower-priority kernels are asked to vacate at their next safe
+  // point.
+  // With the engine disabled, priorities/aging/reservation do not apply:
+  // one rotor pass in pure FIFO-with-occupancy order (pre-engine behavior).
+  const bool prioritized = engine_.enabled();
+  const auto now = std::chrono::steady_clock::now();
+  int reserved_class = kPriorityClassCount;  // no reservation yet
+  const int class_passes = prioritized ? kPriorityClassCount : 1;
+  for (int cls = 0; cls < class_passes; ++cls) {
     for (std::size_t i = 0; i < n; ++i) {
       const std::size_t index = (rotor_ + i) % n;
       const auto s = streams_[index].lock();
       if (s == nullptr || s->active_ || s->queue_.empty()) continue;
       const GpuTicket& head = s->queue_.front();
-      switch (head->kind) {
-        case Kind::kEventRecord:
-          FinishLocked(*s, head, OkStatus());
-          completed_marker = progressed = true;
-          break;
-        case Kind::kWaitEvent:
-          if (head->depends_on == nullptr ||
-              head->depends_on->state == State::kDone) {
-            FinishLocked(*s, head, OkStatus());
-            completed_marker = progressed = true;
-          }
-          break;
-        case Kind::kKernel:
-          if (sms_in_use_ + head->sm_footprint <= spec_.sms) {
-            *op = head;
-            *stream = s;
-            rotor_ = (index + 1) % n;
-            return completed_marker;
-          }
-          break;
-        case Kind::kCopy:
-          if (copies_in_flight_ < std::max(1, spec_.copy_engines)) {
-            *op = head;
-            *stream = s;
-            rotor_ = (index + 1) % n;
-            return completed_marker;
-          }
-          break;
+      if (head->kind != Kind::kKernel && head->kind != Kind::kCopy) continue;
+      if (prioritized) {
+        if (!head->head_seen) {
+          head->head_seen = true;
+          head->head_since = now;
+        }
+        const auto waited_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                now - head->head_since)
+                .count());
+        if (engine_.EffectiveClass(head->priority, waited_ns) != cls)
+          continue;
+      }
+      const int granted_class =
+          prioritized ? cls : static_cast<int>(head->priority);
+      if (head->kind == Kind::kCopy) {
+        if (copies_in_flight_ < std::max(1, spec_.copy_engines)) {
+          head->admitted_class = granted_class;
+          *op = head;
+          *stream = s;
+          rotor_ = (index + 1) % n;
+          return completed_marker;
+        }
+        continue;
+      }
+      if (cls > reserved_class) continue;  // device reserved for more urgent
+      if (sms_in_use_ + head->sm_footprint <= spec_.sms) {
+        head->admitted_class = granted_class;
+        *op = head;
+        *stream = s;
+        rotor_ = (index + 1) % n;
+        return completed_marker;
+      }
+      if (prioritized) {
+        RequestPreemptionLocked(head->priority, head->sm_footprint);
+        reserved_class = std::min(reserved_class, cls);
       }
     }
   }
@@ -275,17 +395,46 @@ void GpuScheduler::ExecutorLoop() {
       sms_in_use_ += op->sm_footprint;
       ++resident_kernels_;
       UpdatePeaksLocked();
+      if (!op->started) {
+        op->started = true;
+        engine_.RecordKernelStart(
+            op->priority,
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - op->enqueue_time)
+                    .count()));
+      } else if (op->preempt_count > 0) {
+        engine_.RecordResume();
+      }
     } else if (op->kind == Kind::kCopy) {
       ++copies_in_flight_;
     }
     lock.unlock();
-    Status status = op->body ? op->body() : OkStatus();
+    KernelSlot slot;
+    slot.preempt_requested = &op->preempt_requested;
+    Status status = op->body ? op->body(slot) : OkStatus();
     lock.lock();
     if (op->kind == Kind::kKernel) {
       sms_in_use_ -= op->sm_footprint;
       --resident_kernels_;
     } else if (op->kind == Kind::kCopy) {
       --copies_in_flight_;
+    }
+    if (op->kind == Kind::kKernel && slot.preempted && !stopped_) {
+      // Revoked at a safe point: the item goes back to being the head of
+      // its stream (it was never popped) and will re-run with its captured
+      // checkpoint once the scan admits it again. Budget trips share the
+      // requeue mechanics but not the telemetry: the handler counts them
+      // as budget_requeues, and their re-run is not a preemption resume.
+      op->preempt_requested.store(false, std::memory_order_relaxed);
+      op->state = State::kQueued;
+      if (!slot.budget_trip) {
+        ++op->preempt_count;
+        engine_.RecordPreemption(slot.checkpoint_bytes);
+      }
+      stream->active_ = false;
+      cv_.notify_all();
+      continue;
     }
     stream->active_ = false;
     FinishLocked(*stream, op, std::move(status));

@@ -20,8 +20,16 @@
 // synchronization RPCs (StreamSynchronize / EventSynchronize /
 // DeviceSynchronize) block on them, which makes those calls real waits
 // instead of the no-ops they used to be.
+// Preemption (preemption.hpp policy, this file's mechanism): stream queues
+// carry priority classes; the scan admits kernels most-urgent-effective-class
+// first (aging boosts starved heads), reserves the device for a blocked
+// urgent kernel instead of backfilling less urgent ones, and revokes running
+// lower-priority kernels at their next safe point. A revoked kernel's work
+// item goes back to the head of its stream with its checkpoint intact and
+// resumes later — the owning client is untouched.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <condition_variable>
@@ -32,11 +40,28 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "guardian/preemption.hpp"
 #include "simgpu/device_spec.hpp"
 
 namespace grd::guardian {
 
 struct ManagerStats;
+
+// Per-run context handed to a preemptible kernel body. The body polls
+// `preempt_requested`; when it stops at a safe point instead of completing
+// it sets `preempted` (and the checkpoint accounting) and the executor
+// requeues the item rather than finishing it.
+struct KernelSlot {
+  const std::atomic<bool>* preempt_requested = nullptr;
+  bool preempted = false;
+  // Set together with `preempted` when the stop was an instruction-budget
+  // trip, not a priority revocation: the requeue mechanics are shared but
+  // the telemetry is not (budget_requeues vs preemptions/resumes).
+  bool budget_trip = false;
+  std::uint64_t checkpoint_bytes = 0;
+};
+
+using PreemptibleBody = std::function<Status(KernelSlot&)>;
 
 // Internal work-item record; opaque outside the scheduler.
 struct GpuWorkItem;
@@ -62,19 +87,27 @@ class GpuScheduler {
   // `stats` may be null (standalone use in tests); when set, the scheduler
   // maintains the occupancy/queue-depth counters in ManagerStats.
   GpuScheduler(const simgpu::DeviceSpec& spec, std::size_t executors,
-               ManagerStats* stats);
+               ManagerStats* stats, PreemptionConfig preemption = {});
   ~GpuScheduler();
 
   GpuScheduler(const GpuScheduler&) = delete;
   GpuScheduler& operator=(const GpuScheduler&) = delete;
 
-  std::shared_ptr<GpuStream> CreateStream();
+  std::shared_ptr<GpuStream> CreateStream(
+      PriorityClass priority = PriorityClass::kNormal);
+  void SetStreamPriority(GpuStream& stream, PriorityClass priority);
 
   // FIFO-enqueues a kernel body occupying `sm_footprint` SMs. The body runs
   // on an executor thread once every earlier op of the stream finished and
   // the footprint fits into the free SMs.
   GpuTicket EnqueueKernel(GpuStream& stream, std::function<Status()> body,
                           int sm_footprint);
+  // Preemptible variant: the body receives a KernelSlot, polls its
+  // preempt_requested flag and may stop at a safe point (setting
+  // slot.preempted), in which case the item is requeued at the head of its
+  // stream and re-invoked later with the same captured state.
+  GpuTicket EnqueuePreemptibleKernel(GpuStream& stream, PreemptibleBody body,
+                                     int sm_footprint);
   // FIFO-enqueues a copy operation: occupies one DMA copy-engine slot
   // (spec.copy_engines concurrent), no SM occupancy.
   GpuTicket EnqueueCopy(GpuStream& stream, std::function<Status()> body);
@@ -105,6 +138,7 @@ class GpuScheduler {
   int resident_kernels() const;
   std::size_t executors() const noexcept { return executor_count_; }
   const simgpu::DeviceSpec& spec() const noexcept { return spec_; }
+  const PreemptionEngine& preemption() const noexcept { return engine_; }
 
  private:
   // Common enqueue path: destroyed/stopped check, FIFO push, queue-depth
@@ -113,15 +147,20 @@ class GpuScheduler {
   GpuTicket Submit(GpuStream& stream, GpuTicket op, GpuEvent* record_into,
                    GpuEvent* wait_on);
   void ExecutorLoop();
-  // Completes ready marker ops and picks the next runnable body op.
-  // Requires mu_ held. Returns true when any marker completed.
+  // Completes ready marker ops and picks the next runnable body op,
+  // most-urgent effective priority class first. Requires mu_ held. Returns
+  // true when any marker completed.
   bool ScanLocked(GpuTicket* op, std::shared_ptr<GpuStream>* stream);
+  // Asks running strictly-lower-base-priority preemptible kernels to vacate
+  // enough SMs for a blocked waiter needing `needed_sms`.
+  void RequestPreemptionLocked(PriorityClass waiter_base, int needed_sms);
   void FinishLocked(GpuStream& stream, const GpuTicket& op, Status status);
   void UpdatePeaksLocked();
 
   const simgpu::DeviceSpec spec_;
   const std::size_t executor_count_;
   ManagerStats* const stats_;
+  const PreemptionEngine engine_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

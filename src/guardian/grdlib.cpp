@@ -114,6 +114,23 @@ Status GrdLib::Disconnect() {
   return CallNoPayload(NewRequest(Op::kDisconnect));
 }
 
+Status GrdLib::SetPriority(protocol::PriorityClass priority) {
+  Writer request = NewRequest(Op::kSetPriority);
+  request.Put<std::uint8_t>(0);  // scope: session
+  request.Put<std::uint64_t>(0);
+  request.Put<std::uint8_t>(static_cast<std::uint8_t>(priority));
+  return CallNoPayload(std::move(request));
+}
+
+Status GrdLib::SetStreamPriority(simcuda::StreamId stream,
+                                 protocol::PriorityClass priority) {
+  Writer request = NewRequest(Op::kSetPriority);
+  request.Put<std::uint8_t>(1);  // scope: stream
+  request.Put<std::uint64_t>(stream);
+  request.Put<std::uint8_t>(static_cast<std::uint8_t>(priority));
+  return CallNoPayload(std::move(request));
+}
+
 Status GrdLib::GrowPartition() {
   Bytes storage;
   GRD_ASSIGN_OR_RETURN(Reader reader,

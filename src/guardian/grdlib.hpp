@@ -52,6 +52,14 @@ class GrdLib final : public simcuda::CudaApi {
   // partition view is refreshed; subsequent launches use the new mask.
   Status GrowPartition();
 
+  // Preemption engine: tag this whole session (every current stream plus
+  // streams created later) or a single stream with a priority class. A
+  // kRealtime stream's kernels may revoke a running lower-priority kernel
+  // at its next safe point instead of queueing behind it.
+  Status SetPriority(protocol::PriorityClass priority);
+  Status SetStreamPriority(simcuda::StreamId stream,
+                           protocol::PriorityClass priority);
+
   // Batched IPC: coalesce adjacent asynchronous calls (non-default-stream
   // kernel launches and async H2D copies) into one kBatch ring message,
   // amortizing the per-call ring overhead. Buffered calls are flushed when

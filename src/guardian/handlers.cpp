@@ -472,6 +472,14 @@ Result<Writer> ExecuteLaunch(HandlerContext& ctx, LaunchReq& req) {
   // touches is captured by value or owned via shared_ptr: the session mutex
   // is NOT held on the executor, and the session's partition may even grow
   // after this enqueue (CUDA async semantics — the launch-time view rules).
+  // A preempted body is re-invoked later with the same captured state;
+  // LaunchState carries what must survive those suspension cycles.
+  struct LaunchState {
+    ptxexec::KernelCheckpoint checkpoint;
+    bool augmented = false;          // mask/base args appended exactly once
+    bool counted = false;            // native/sandboxed counted exactly once
+    bool budget_requeue_used = false;
+  };
   ExecutionContext* exec_ptr = &exec;
   SessionRegistry* sessions = &ctx.sessions;
   const int footprint = simgpu::SmFootprint(
@@ -479,12 +487,19 @@ Result<Writer> ExecuteLaunch(HandlerContext& ctx, LaunchReq& req) {
   auto body = [exec_ptr, sessions, session = ctx.session_ref,
                native = &module.native, sandboxed = module.sandboxed,
                kernel = entry.kernel, params = std::move(req.params),
-               partition = client.partition]() mutable -> Status {
+               partition = client.partition, footprint,
+               state = std::make_shared<LaunchState>()](
+                  KernelSlot& slot) mutable -> Status {
     ExecutionContext& ex = *exec_ptr;
     // Native-vs-sandboxed is decided at execution time: with queued work,
     // the tenant count at enqueue is stale by the time the kernel runs.
     // A native run holds native_mu shared so registration can fence it
-    // (see ExecuteRegister).
+    // (see ExecuteRegister); a suspended kernel drops it, so it can never
+    // fence out a registration across a preemption. The guard deliberately
+    // covers the per-block device-time sleeps below: dilated time models
+    // the kernel being *resident* on the device, and an unfenced kernel
+    // must not be modeled-resident while a new tenant's partition goes
+    // live.
     std::shared_lock<std::shared_mutex> native_guard(ex.native_mu,
                                                      std::defer_lock);
     bool use_native = !ex.options.protection_enabled;
@@ -496,7 +511,7 @@ Result<Writer> ExecuteLaunch(HandlerContext& ctx, LaunchReq& req) {
         native_guard.unlock();
     }
 
-    if (!use_native) {
+    if (!use_native && !state->augmented) {
       // (3) augment the parameter array with mask and base (Table 5
       // "Augment kernel params", §4.2.3).
       const std::uint64_t augment_begin = CycleClock::Now();
@@ -505,22 +520,76 @@ Result<Writer> ExecuteLaunch(HandlerContext& ctx, LaunchReq& req) {
       params.args.push_back(ptxexec::KernelArg::U64(grd_args.arg0));
       params.args.push_back(ptxexec::KernelArg::U64(grd_args.arg1));
       ex.stats.augment_cycles += CycleClock::Now() - augment_begin;
-      ++ex.stats.sandboxed_launches;
-    } else {
-      ++ex.stats.native_launches;
+      state->augmented = true;
+    }
+    if (!state->counted) {
+      state->counted = true;
+      if (use_native)
+        ++ex.stats.native_launches;
+      else
+        ++ex.stats.sandboxed_launches;
     }
 
     // (4) run the kernel. Device-side protection comes from the sandboxed
     // PTX itself; the manager's single context sees the whole device, and
     // co-resident kernels share it under the scheduler's occupancy model.
+    // The run is preemptible: the interpreter polls the slot's revocation
+    // flag and can suspend at a block boundary into state->checkpoint;
+    // modeled device time dilates per executed block, which is what bounds
+    // preemption latency to roughly one block.
     simgpu::AllowAllPolicy policy;
     ptxexec::Interpreter interpreter(&ex.gpu->memory(), &policy, session->id);
     interpreter.set_max_instructions_per_thread(
         ex.options.max_kernel_instructions);
+    ptxexec::ExecControls controls;
+    controls.preempt_requested = slot.preempt_requested;
+    controls.preempt_check_interval = ex.options.preempt_check_interval;
+    if (ex.options.preemption_enabled)
+      controls.checkpoint = &state->checkpoint;
+    // Per-block dilation models each block as its 1/N share of the whole
+    // kernel under the occupancy model (inputs scaled to the full grid,
+    // result divided by it): co-resident blocks are NOT serialized, so the
+    // summed sleeps reproduce the same total the old end-of-run dilation
+    // charged, just at block granularity.
+    const std::uint64_t grid_blocks = std::max<std::uint64_t>(
+        1, params.grid.Count());
+    controls.after_block = [&ex, footprint,
+                            grid_blocks](const ptxexec::ExecStats& delta) {
+      ex.stats.kernel_blocks_executed.fetch_add(1, std::memory_order_relaxed);
+      SimulateDeviceCycles(
+          ex, simgpu::KernelDeviceCycles(
+                  ex.gpu->spec(), delta.instructions * grid_blocks,
+                  (delta.global_loads + delta.global_stores) * grid_blocks,
+                  delta.threads * grid_blocks, footprint) /
+                  static_cast<double>(grid_blocks));
+    };
     const ptx::Module& module_to_run = use_native ? *native : *sandboxed;
-    auto run = interpreter.Execute(module_to_run, kernel, params);
+    auto run = interpreter.Execute(module_to_run, kernel, params, controls);
     if (native_guard.owns_lock()) native_guard.unlock();
     if (!run.ok()) {
+      if (ptxexec::IsPreempted(run.status())) {
+        // Revoked at a safe point for a higher-priority tenant: hand the
+        // checkpoint accounting to the scheduler, which requeues the item.
+        slot.preempted = true;
+        slot.checkpoint_bytes = state->checkpoint.SizeBytes();
+        return run.status();
+      }
+      if (run.status().code() == StatusCode::kDeadlineExceeded &&
+          ex.options.preemption_enabled && !state->budget_requeue_used) {
+        // Instruction-budget kill demoted to last resort: revoke-and-
+        // requeue once (completed blocks are kept); only a second trip
+        // fails the client.
+        state->budget_requeue_used = true;
+        slot.preempted = true;
+        slot.budget_trip = true;
+        slot.checkpoint_bytes = state->checkpoint.SizeBytes();
+        ex.scheduler.preemption().RecordBudgetRequeue();
+        GRD_LOG_WARN("grdManager")
+            << "client " << session->id << " kernel " << kernel
+            << " tripped the instruction budget; revoking and requeueing "
+               "once before failing";
+        return run.status();
+      }
       // Fault isolation: only the faulting client is terminated (§5 "OOB
       // fault isolation"); co-running clients are untouched. The counter is
       // bumped before the failed flag becomes visible so an observer that
@@ -532,18 +601,6 @@ Result<Writer> ExecuteLaunch(HandlerContext& ctx, LaunchReq& req) {
           << ": " << run.status().ToString();
       return run.status();
     }
-    // Modeled duration uses the footprint of the geometry that actually
-    // executed (ExecStats), not the admission-time estimate.
-    const std::uint64_t threads_per_block =
-        run->blocks > 0 ? std::max<std::uint64_t>(1, run->threads / run->blocks)
-                        : 1;
-    const int executed_footprint = simgpu::SmFootprint(
-        ex.gpu->spec(), run->blocks, threads_per_block);
-    SimulateDeviceCycles(
-        ex, simgpu::KernelDeviceCycles(
-                ex.gpu->spec(), run->instructions,
-                run->global_loads + run->global_stores, run->threads,
-                executed_footprint));
     return OkStatus();
   };
 
@@ -552,8 +609,8 @@ Result<Writer> ExecuteLaunch(HandlerContext& ctx, LaunchReq& req) {
   // synchronously. Non-default streams are truly async; their faults
   // surface at the next synchronization point.
   if (req.stream == 0) GRD_RETURN_IF_ERROR(SyncOtherStreams(ctx));
-  auto ticket = exec.scheduler.EnqueueKernel(*StreamOf(ctx, req.stream),
-                                             std::move(body), footprint);
+  auto ticket = exec.scheduler.EnqueuePreemptibleKernel(
+      *StreamOf(ctx, req.stream), std::move(body), footprint);
   ++exec.stats.kernels_enqueued;
   if (req.stream == 0) GRD_RETURN_IF_ERROR(exec.scheduler.Wait(ticket));
   return Writer{};
@@ -563,10 +620,53 @@ Result<Writer> ExecuteLaunch(HandlerContext& ctx, LaunchReq& req) {
 
 Result<Writer> ExecuteStreamCreate(HandlerContext& ctx, NoPayload&) {
   const std::uint64_t id = ctx.session->next_stream++;
-  ctx.session->streams[id] = ctx.exec.scheduler.CreateStream();
+  // New streams inherit the session's priority class (kSetPriority scope 0).
+  ctx.session->streams[id] =
+      ctx.exec.scheduler.CreateStream(ctx.session->default_priority);
   Writer out;
   out.Put<std::uint64_t>(id);
   return out;
+}
+
+// ---- priority classes (preemption engine) ---------------------------------
+
+struct SetPriorityReq {
+  std::uint8_t scope = 0;  // 0 = whole session, 1 = one stream
+  std::uint64_t stream = 0;
+  std::uint8_t priority = 0;
+};
+Result<SetPriorityReq> DecodeSetPriority(Reader& req) {
+  SetPriorityReq out;
+  GRD_ASSIGN_OR_RETURN(out.scope, req.Get<std::uint8_t>());
+  GRD_ASSIGN_OR_RETURN(out.stream, req.Get<std::uint64_t>());
+  GRD_ASSIGN_OR_RETURN(out.priority, req.Get<std::uint8_t>());
+  return out;
+}
+Status ValidateSetPriority(HandlerContext& ctx, const SetPriorityReq& req) {
+  if (req.scope > 1)
+    return InvalidArgument("unknown priority scope " +
+                           std::to_string(req.scope));
+  if (!protocol::IsValidPriorityClass(req.priority))
+    return InvalidArgument("unknown priority class " +
+                           std::to_string(req.priority));
+  if (req.scope == 1 && !ctx.session->streams.count(req.stream))
+    return InvalidArgument("unknown stream");
+  return OkStatus();
+}
+Result<Writer> ExecuteSetPriority(HandlerContext& ctx, SetPriorityReq& req) {
+  const auto cls = static_cast<protocol::PriorityClass>(req.priority);
+  if (req.scope == 1) {
+    ctx.exec.scheduler.SetStreamPriority(*StreamOf(ctx, req.stream), cls);
+  } else {
+    ctx.session->default_priority = cls;
+    for (auto& [id, stream] : ctx.session->streams)
+      ctx.exec.scheduler.SetStreamPriority(*stream, cls);
+  }
+  GRD_LOG_INFO("grdManager") << "client " << ctx.session->id << " set "
+                             << (req.scope == 1 ? "stream" : "session")
+                             << " priority to "
+                             << protocol::PriorityClassName(cls);
+  return Writer{};
 }
 
 Result<Writer> ExecuteStreamDestroy(HandlerContext& ctx, IdReq& req) {
@@ -830,6 +930,9 @@ void RegisterBuiltinHandlers(Dispatcher& d) {
 
   d.Register<NoPayload>(Op::kStreamCreate, "StreamCreate", session,
                         DecodeNone, nullptr, ExecuteStreamCreate);
+  d.Register<SetPriorityReq>(Op::kSetPriority, "SetPriority", session,
+                             DecodeSetPriority, ValidateSetPriority,
+                             ExecuteSetPriority);
   d.Register<IdReq>(Op::kStreamDestroy, "StreamDestroy", session, DecodeId,
                     nullptr, ExecuteStreamDestroy);
   d.Register<IdReq>(Op::kStreamSynchronize, "StreamSynchronize", session,

@@ -1,0 +1,74 @@
+#include "guardian/preemption.hpp"
+
+#include <algorithm>
+
+#include "guardian/execution.hpp"
+
+namespace grd::guardian {
+
+void WaitHistogram::Record(std::uint64_t wait_ns) {
+  int index = 0;
+  for (std::uint64_t us = wait_ns / 1'000; us > 1 && index < kBuckets - 1;
+       us >>= 1)
+    ++index;
+  bucket[index].fetch_add(1, std::memory_order_relaxed);
+  count.fetch_add(1, std::memory_order_relaxed);
+  total_ns.fetch_add(wait_ns, std::memory_order_relaxed);
+  BumpCounterMax(max_ns, wait_ns);
+}
+
+std::uint64_t WaitHistogram::PercentileNs(double p) const {
+  const std::uint64_t n = count.load(std::memory_order_relaxed);
+  if (n == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(p * static_cast<double>(n - 1));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += bucket[i].load(std::memory_order_relaxed);
+    if (seen > rank)
+      return (std::uint64_t{1} << (i + 1)) * 1'000;  // bucket upper bound
+  }
+  return max_ns.load(std::memory_order_relaxed);
+}
+
+int PreemptionEngine::EffectiveClass(PriorityClass base,
+                                     std::uint64_t waited_ns) const {
+  int cls = static_cast<int>(base);
+  if (config_.aging_quantum_ns > 0) {
+    const std::uint64_t boost = waited_ns / config_.aging_quantum_ns;
+    cls -= static_cast<int>(
+        std::min<std::uint64_t>(boost, kPriorityClassCount));
+  }
+  return std::max(cls, 0);
+}
+
+bool PreemptionEngine::MayPreempt(PriorityClass waiter_base,
+                                  int victim_admitted_class) const {
+  return config_.enabled &&
+         static_cast<int>(waiter_base) < victim_admitted_class;
+}
+
+void PreemptionEngine::RecordPreemption(std::uint64_t checkpoint_bytes) const {
+  if (stats_ == nullptr) return;
+  stats_->preemptions.fetch_add(1, std::memory_order_relaxed);
+  stats_->checkpoint_bytes_saved.fetch_add(checkpoint_bytes,
+                                           std::memory_order_relaxed);
+}
+
+void PreemptionEngine::RecordResume() const {
+  if (stats_ == nullptr) return;
+  stats_->preemption_resumes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PreemptionEngine::RecordKernelStart(PriorityClass cls,
+                                         std::uint64_t waited_ns) const {
+  if (stats_ == nullptr) return;
+  stats_->wait_hist[static_cast<int>(cls)].Record(waited_ns);
+}
+
+void PreemptionEngine::RecordBudgetRequeue() const {
+  if (stats_ == nullptr) return;
+  stats_->budget_requeues.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace grd::guardian

@@ -1,0 +1,103 @@
+// Preemption engine of the grdManager execution layer (see ARCHITECTURE.md).
+//
+// TReM-style mid-kernel revocation: instead of the blunt instruction-budget
+// kill, a running kernel can be revoked at a safe point (a block boundary),
+// its completed-block bitmap checkpointed, and the work item requeued at the
+// head of its stream — the tenant is never failed, it just resumes later
+// without replaying finished blocks.
+//
+// The engine is the *policy* half of preemption; the GpuScheduler is the
+// mechanism. Under the scheduler lock the scan consults the engine to
+//  - compute a queued kernel's *effective* priority class (its stream's
+//    base class boosted one class per aging quantum waited, never demoted),
+//    which is what lets a starved full-device kernel eventually outrank the
+//    small-kernel traffic keeping the device busy;
+//  - decide whether a waiting kernel may revoke a running one (strictly
+//    more-urgent *base* class — an aged kernel gains admission priority,
+//    never the right to revoke a peer);
+//  - record the preemption/resume/checkpoint/wait-time telemetry into
+//    ManagerStats.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "guardian/protocol.hpp"
+
+namespace grd::guardian {
+
+struct ManagerStats;
+
+using protocol::IsValidPriorityClass;
+using protocol::kPriorityClassCount;
+using protocol::PriorityClass;
+using protocol::PriorityClassName;
+
+struct PreemptionConfig {
+  bool enabled = true;
+  // Instructions between cooperative preemption polls inside a block (the
+  // interpreter's ExecControls::preempt_check_interval).
+  std::uint64_t preempt_check_interval = 5'000;
+  // Anti-starvation aging: a blocked stream head's effective class is
+  // boosted one class per quantum spent as the admissible head (time queued
+  // behind the stream's own earlier work does not count). 0 disables aging.
+  std::uint64_t aging_quantum_ns = 250'000'000;
+};
+
+// Lock-free log2-bucketed latency histogram (one per priority class in
+// ManagerStats): bucket i counts waits in [2^i, 2^(i+1)) microseconds,
+// bucket 0 additionally holds sub-microsecond waits.
+struct WaitHistogram {
+  static constexpr int kBuckets = 40;  // [2^39, 2^40) µs ≈ 6 days at the top
+
+  std::atomic<std::uint64_t> bucket[kBuckets] = {};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> total_ns{0};
+  std::atomic<std::uint64_t> max_ns{0};
+
+  void Record(std::uint64_t wait_ns);
+  // Upper bound (in ns) of the bucket containing the p-th percentile of the
+  // recorded waits; 0 when nothing was recorded. Snapshot-based: racing
+  // records may be partially visible, which is fine for telemetry.
+  std::uint64_t PercentileNs(double p) const;
+};
+
+class PreemptionEngine {
+ public:
+  // `stats` may be null (standalone scheduler use in tests): telemetry is
+  // skipped, policy still applies.
+  PreemptionEngine(const PreemptionConfig& config, ManagerStats* stats)
+      : config_(config), stats_(stats) {}
+
+  bool enabled() const noexcept { return config_.enabled; }
+  std::uint64_t check_interval() const noexcept {
+    return config_.preempt_check_interval;
+  }
+
+  // Aged class of a queued op: base boosted one class per aging quantum
+  // waited, floored at kRealtime. Returned as int for direct comparison.
+  // Aging affects *admission* order and reservation only — see MayPreempt.
+  int EffectiveClass(PriorityClass base, std::uint64_t waited_ns) const;
+
+  // May a waiter revoke a running kernel? The waiter's *base* class must be
+  // strictly more urgent than the class at which the victim was *admitted*
+  // (its aged effective class at grant time), and the engine enabled.
+  // Asymmetry is deliberate: an aging boost never grants revocation rights
+  // (two aged peers would otherwise revoke each other at every block
+  // boundary forever), but it does protect the promoted kernel once it is
+  // running — a starved batch kernel that finally won the device is not
+  // immediately revoked by the steady normal-priority traffic it outlived.
+  bool MayPreempt(PriorityClass waiter_base, int victim_admitted_class) const;
+
+  // Telemetry (relaxed atomics into ManagerStats; all no-ops when null).
+  void RecordPreemption(std::uint64_t checkpoint_bytes) const;
+  void RecordResume() const;
+  void RecordKernelStart(PriorityClass cls, std::uint64_t waited_ns) const;
+  void RecordBudgetRequeue() const;
+
+ private:
+  const PreemptionConfig config_;
+  ManagerStats* const stats_;
+};
+
+}  // namespace grd::guardian

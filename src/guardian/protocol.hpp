@@ -46,7 +46,34 @@ enum class Op : std::uint32_t {
   // (grdLib coalesces adjacent launch/async-memcpy calls). Sub-requests
   // execute in order; execution stops at the first failure.
   kBatch,
+  // Preemption engine: tag a session (scope 0) or one stream (scope 1) with
+  // a PriorityClass. Payload: u8 scope, u64 stream id, u8 priority.
+  kSetPriority,
 };
+
+// Priority classes of the preemption engine, least to most preemptible.
+// Wire-visible (the u8 priority field of kSetPriority); the scheduler's
+// aging policy may *boost* an op's effective class, never demote it.
+enum class PriorityClass : std::uint8_t {
+  kRealtime = 0,
+  kNormal = 1,
+  kBatch = 2,
+};
+
+inline constexpr int kPriorityClassCount = 3;
+
+inline bool IsValidPriorityClass(std::uint8_t raw) {
+  return raw < kPriorityClassCount;
+}
+
+inline const char* PriorityClassName(PriorityClass cls) {
+  switch (cls) {
+    case PriorityClass::kRealtime: return "realtime";
+    case PriorityClass::kNormal: return "normal";
+    case PriorityClass::kBatch: return "batch";
+  }
+  return "?";
+}
 
 // Upper bound on sub-requests per kBatch envelope, shared by the grdLib
 // buffer cap and the dispatcher's decode guard so a client-side setting can

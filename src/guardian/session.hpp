@@ -62,6 +62,9 @@ struct ClientSession {
   // Set by Disconnect under `mu`: a worker that resolved this session
   // before the disconnect landed must not touch the released partition.
   bool disconnected = false;
+  // kSetPriority session scope: class new streams inherit (existing streams
+  // are retagged by the handler at the same time). Guarded by `mu`.
+  protocol::PriorityClass default_priority = protocol::PriorityClass::kNormal;
   std::uint64_t next_module = 1;
   std::uint64_t next_function = 1;
   std::uint64_t next_stream = 1;

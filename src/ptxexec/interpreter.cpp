@@ -122,7 +122,8 @@ class BlockExecutor {
   BlockExecutor(const Prepared& prep, const LaunchParams& params,
                 simgpu::GlobalMemory* memory, simgpu::AccessPolicy* policy,
                 std::uint64_t client, std::uint64_t max_instructions,
-                ExecStats* stats)
+                ExecStats* stats, const std::atomic<bool>* preempt = nullptr,
+                std::uint64_t preempt_check_interval = 0)
       : prep_(prep),
         params_(params),
         memory_(memory),
@@ -130,6 +131,10 @@ class BlockExecutor {
         client_(client),
         max_instructions_(max_instructions),
         stats_(stats),
+        preempt_(preempt),
+        preempt_check_interval_(
+            preempt_check_interval > 0 ? preempt_check_interval : 1),
+        preempt_countdown_(preempt_check_interval_),
         shared_(prep.shared_size, 0) {}
 
   // Runs one block to completion (all threads), honoring bar.sync phases.
@@ -164,11 +169,18 @@ class BlockExecutor {
   std::uint64_t client_;
   std::uint64_t max_instructions_;
   ExecStats* stats_;
+  const std::atomic<bool>* preempt_;
+  std::uint64_t preempt_check_interval_;
+  std::uint64_t preempt_countdown_;
+  bool preempt_latched_ = false;
   std::vector<std::uint8_t> shared_;
   DeviceFault fault_;
 
  public:
   const DeviceFault& fault() const noexcept { return fault_; }
+  // A preemption request observed by the every-N-instructions poll. The
+  // block still runs to completion — the safe point is its boundary.
+  bool preempt_latched() const noexcept { return preempt_latched_; }
 };
 
 Result<std::uint64_t> BlockExecutor::ReadSpecialRegister(
@@ -658,11 +670,16 @@ Status BlockExecutor::RunBlock(std::uint32_t bx, std::uint32_t by,
       std::uint64_t budget = max_instructions_;
       while (true) {
         if (budget-- == 0) {
-          *fault = DeviceFault{Internal("runaway kernel " +
-                                        prep_.kernel->name +
-                                        " exceeded instruction budget"),
+          *fault = DeviceFault{DeadlineExceeded("runaway kernel " +
+                                                prep_.kernel->name +
+                                                " exceeded instruction budget"),
                                0, LinearThreadId(t), prep_.kernel->name};
           return fault->status;
+        }
+        if (preempt_ != nullptr && !preempt_latched_ &&
+            --preempt_countdown_ == 0) {
+          preempt_countdown_ = preempt_check_interval_;
+          preempt_latched_ = preempt_->load(std::memory_order_relaxed);
         }
         StepOutcome outcome;
         const Status s = Step(t, &outcome);
@@ -694,24 +711,85 @@ Status BlockExecutor::RunBlock(std::uint32_t bx, std::uint32_t by,
 Result<ExecStats> Interpreter::Execute(const ptx::Module& module,
                                        std::string_view kernel_name,
                                        const LaunchParams& params) {
+  return Execute(module, kernel_name, params, ExecControls{});
+}
+
+Result<ExecStats> Interpreter::Execute(const ptx::Module& module,
+                                       std::string_view kernel_name,
+                                       const LaunchParams& params,
+                                       const ExecControls& controls) {
   const ptx::Kernel* kernel = module.FindKernel(kernel_name);
   if (kernel == nullptr)
     return Status(NotFound("kernel " + std::string(kernel_name) +
                            " not in module"));
   GRD_ASSIGN_OR_RETURN(Prepared prep, PrepareKernel(*kernel));
 
-  ExecStats stats;
-  stats.blocks = params.grid.Count();
+  KernelCheckpoint* ckpt = controls.checkpoint;
+  const std::uint64_t total_blocks = params.grid.Count();
+  if (ckpt != nullptr) {
+    if (ckpt->valid && ckpt->blocks_total != total_blocks)
+      return Status(
+          InvalidArgument("checkpoint does not match launch geometry"));
+    ckpt->blocks_total = total_blocks;
+  }
+  // Resume accumulates into the checkpointed totals, so at completion the
+  // stats cover every block exactly once regardless of how many times the
+  // kernel was suspended.
+  ExecStats stats = (ckpt != nullptr && ckpt->valid) ? ckpt->stats
+                                                     : ExecStats{};
+
+  auto preempt_pending = [&]() -> bool {
+    return ckpt != nullptr && controls.preempt_requested != nullptr &&
+           controls.preempt_requested->load(std::memory_order_relaxed);
+  };
+
+  std::uint64_t linear = 0;
   for (std::uint32_t bz = 0; bz < params.grid.z; ++bz) {
     for (std::uint32_t by = 0; by < params.grid.y; ++by) {
-      for (std::uint32_t bx = 0; bx < params.grid.x; ++bx) {
+      for (std::uint32_t bx = 0; bx < params.grid.x; ++bx, ++linear) {
+        if (ckpt != nullptr && ckpt->valid && ckpt->Done(linear)) continue;
+        const ExecStats before = stats;
         BlockExecutor block(prep, params, memory_, policy_, client_,
-                            max_instructions_per_thread_, &stats);
+                            max_instructions_per_thread_, &stats,
+                            controls.preempt_requested,
+                            controls.preempt_check_interval);
         DeviceFault fault;
         const Status s = block.RunBlock(bx, by, bz, &fault);
         if (!s.ok()) {
+          // A tripped instruction budget keeps the checkpoint (every block
+          // before the runaway one), so the caller may requeue instead of
+          // killing; any other fault invalidates nothing the caller should
+          // resume from.
+          if (ckpt != nullptr && s.code() == StatusCode::kDeadlineExceeded)
+            ckpt->stats = stats;
           last_fault_ = fault;
           return s;
+        }
+        ++stats.blocks;
+        if (ckpt != nullptr) {
+          ckpt->MarkDone(linear);
+          ckpt->stats = stats;
+        }
+        if (controls.after_block) {
+          ExecStats delta;
+          delta.instructions = stats.instructions - before.instructions;
+          delta.global_loads = stats.global_loads - before.global_loads;
+          delta.global_stores = stats.global_stores - before.global_stores;
+          delta.shared_accesses =
+              stats.shared_accesses - before.shared_accesses;
+          delta.threads = stats.threads - before.threads;
+          delta.blocks = 1;
+          controls.after_block(delta);
+        }
+        // Safe point: between blocks. Yield only when there is work left —
+        // a fully executed kernel completes normally.
+        if ((block.preempt_latched() || preempt_pending()) &&
+            ckpt != nullptr && ckpt->blocks_done < total_blocks) {
+          return Status(
+              Unavailable("kernel " + std::string(kernel_name) +
+                          " preempted at safe point (" +
+                          std::to_string(ckpt->blocks_done) + "/" +
+                          std::to_string(total_blocks) + " blocks done)"));
         }
       }
     }

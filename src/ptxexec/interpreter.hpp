@@ -14,7 +14,9 @@
 // with kUnimplemented rather than mis-executing.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 
 #include "common/status.hpp"
 #include "ptx/ast.hpp"
@@ -32,6 +34,32 @@ struct DeviceFault {
   std::string kernel;
 };
 
+// Cooperative-preemption hooks for a launch (TReM-style revocation). All
+// fields are optional; a default ExecControls reproduces the plain
+// run-to-completion behaviour.
+struct ExecControls {
+  // Polled every `preempt_check_interval` instructions and at every block
+  // boundary. When it reads true (and `checkpoint` is set), the kernel runs
+  // to the next block boundary — the safe point — saves the completed-block
+  // bitmap into `checkpoint`, and Execute returns kUnavailable ("preempted
+  // at safe point"); completed blocks are never replayed on resume.
+  const std::atomic<bool>* preempt_requested = nullptr;
+  std::uint64_t preempt_check_interval = 5'000;
+  // In+out resume state. When `valid`, Execute skips completed blocks and
+  // continues accumulating into checkpoint->stats.
+  KernelCheckpoint* checkpoint = nullptr;
+  // Called after each executed block with that block's stats delta (the
+  // scheduler uses it to dilate modeled device time per block, which is
+  // what bounds preemption latency to roughly one block).
+  std::function<void(const ExecStats& block_delta)> after_block;
+};
+
+// True iff a non-OK Execute status means "suspended at a safe point" (the
+// checkpoint holds resume state) rather than a device fault.
+inline bool IsPreempted(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
 class Interpreter {
  public:
   // `client` is the tenant id handed to the access policy on global accesses.
@@ -44,6 +72,17 @@ class Interpreter {
   Result<ExecStats> Execute(const ptx::Module& module,
                             std::string_view kernel_name,
                             const LaunchParams& params);
+
+  // Preemptible/resumable variant. On success the returned stats cover all
+  // segments of the kernel (checkpoint-accumulated); see ExecControls for
+  // the preempted path. An exceeded instruction budget returns
+  // kDeadlineExceeded with the checkpoint (when provided) holding every
+  // block completed before the runaway one, so the scheduler can requeue
+  // instead of killing outright.
+  Result<ExecStats> Execute(const ptx::Module& module,
+                            std::string_view kernel_name,
+                            const LaunchParams& params,
+                            const ExecControls& controls);
 
   const DeviceFault& last_fault() const noexcept { return last_fault_; }
 

@@ -44,6 +44,9 @@ struct LaunchParams {
 // Execution statistics returned by a functional run. The device scheduler
 // feeds these into simgpu's occupancy/timing model (SmFootprint /
 // KernelDeviceCycles), so the counts double as the timing engine's input.
+// `blocks` counts blocks actually executed; a resumed (previously preempted)
+// kernel accumulates across segments, so at completion it equals the grid
+// size exactly — replayed blocks would show as an excess.
 struct ExecStats {
   std::uint64_t instructions = 0;
   std::uint64_t global_loads = 0;
@@ -51,6 +54,38 @@ struct ExecStats {
   std::uint64_t shared_accesses = 0;
   std::uint64_t threads = 0;
   std::uint64_t blocks = 0;
+};
+
+// Suspended-kernel state saved at a preemption safe point (block boundary).
+// Blocks run to completion before the kernel yields, so per-thread PCs,
+// registers, and shared memory never need to leave the device: the
+// completed-block bitmap plus the accumulated stats IS the full resume
+// state. A resumed Execute skips every block whose bit is set.
+struct KernelCheckpoint {
+  std::vector<std::uint64_t> done_bitmap;  // bit per linear block index
+  std::uint64_t blocks_total = 0;
+  std::uint64_t blocks_done = 0;
+  ExecStats stats;     // accumulated across all executed segments
+  bool valid = false;  // true once any block completed under this checkpoint
+
+  bool Done(std::uint64_t block) const {
+    const std::uint64_t word = block / 64;
+    return word < done_bitmap.size() &&
+           (done_bitmap[word] >> (block % 64)) & 1;
+  }
+  void MarkDone(std::uint64_t block) {
+    const std::uint64_t word = block / 64;
+    if (word >= done_bitmap.size()) done_bitmap.resize(word + 1, 0);
+    done_bitmap[word] |= std::uint64_t{1} << (block % 64);
+    ++blocks_done;
+    valid = true;
+  }
+  // What the manager would ship off-device for this suspension (accounting
+  // only; the checkpoint lives in host memory here).
+  std::uint64_t SizeBytes() const {
+    return done_bitmap.size() * sizeof(std::uint64_t) + sizeof(ExecStats) +
+           2 * sizeof(std::uint64_t);
+  }
 };
 
 }  // namespace grd::ptxexec

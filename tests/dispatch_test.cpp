@@ -19,16 +19,16 @@ TEST(DispatcherTest, BuiltinRegistryCoversEveryProtocolOp) {
   Dispatcher dispatcher;
   RegisterBuiltinHandlers(dispatcher);
   // Every op of the wire protocol has a handler — the enum is contiguous
-  // from kRegisterClient to kBatch (the last opcode).
+  // from kRegisterClient to kSetPriority (the last opcode).
   for (auto raw = static_cast<std::uint32_t>(Op::kRegisterClient);
-       raw <= static_cast<std::uint32_t>(Op::kBatch); ++raw) {
+       raw <= static_cast<std::uint32_t>(Op::kSetPriority); ++raw) {
     const auto* descriptor = dispatcher.Find(static_cast<Op>(raw));
     ASSERT_NE(descriptor, nullptr) << "op " << raw;
     EXPECT_FALSE(descriptor->name.empty());
     EXPECT_TRUE(static_cast<bool>(descriptor->run));
   }
   EXPECT_EQ(dispatcher.size(),
-            static_cast<std::size_t>(Op::kBatch) -
+            static_cast<std::size_t>(Op::kSetPriority) -
                 static_cast<std::size_t>(Op::kRegisterClient) + 1);
 }
 

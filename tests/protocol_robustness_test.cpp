@@ -131,6 +131,65 @@ TEST_F(RobustnessTest, LaunchWithWrongFunctionHandle) {
       lib->cudaLaunchKernel(999, simcuda::LaunchConfig{}, {}).ok());
 }
 
+// ---- kSetPriority (preemption engine) ------------------------------------
+
+TEST_F(RobustnessTest, SetPriorityTruncatedPayloadRejected) {
+  auto lib = GrdLib::Connect(&transport_, 1 << 20);
+  ASSERT_TRUE(lib.ok());
+  ipc::Writer request;
+  protocol::WriteHeader(request, protocol::Op::kSetPriority,
+                        lib->client_id());
+  request.Put<std::uint8_t>(0);  // scope only; stream id + priority missing
+  EXPECT_EQ(Send(std::move(request).Take()).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(RobustnessTest, SetPriorityUnknownClassRejected) {
+  auto lib = GrdLib::Connect(&transport_, 1 << 20);
+  ASSERT_TRUE(lib.ok());
+  ipc::Writer request;
+  protocol::WriteHeader(request, protocol::Op::kSetPriority,
+                        lib->client_id());
+  request.Put<std::uint8_t>(0);
+  request.Put<std::uint64_t>(0);
+  request.Put<std::uint8_t>(9);  // no such PriorityClass
+  EXPECT_EQ(Send(std::move(request).Take()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(RobustnessTest, SetPriorityUnknownScopeRejected) {
+  auto lib = GrdLib::Connect(&transport_, 1 << 20);
+  ASSERT_TRUE(lib.ok());
+  ipc::Writer request;
+  protocol::WriteHeader(request, protocol::Op::kSetPriority,
+                        lib->client_id());
+  request.Put<std::uint8_t>(7);  // scope is 0 (session) or 1 (stream)
+  request.Put<std::uint64_t>(0);
+  request.Put<std::uint8_t>(0);
+  EXPECT_EQ(Send(std::move(request).Take()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(RobustnessTest, SetPriorityUnknownStreamRejected) {
+  auto lib = GrdLib::Connect(&transport_, 1 << 20);
+  ASSERT_TRUE(lib.ok());
+  EXPECT_EQ(lib->SetStreamPriority(4242, protocol::PriorityClass::kRealtime)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(RobustnessTest, SetPriorityOnDeadSessionRejected) {
+  auto lib = GrdLib::Connect(&transport_, 1 << 20);
+  ASSERT_TRUE(lib.ok());
+  const ClientId id = lib->client_id();
+  ASSERT_TRUE(lib->Disconnect().ok());
+  ipc::Writer request;
+  protocol::WriteHeader(request, protocol::Op::kSetPriority, id);
+  request.Put<std::uint8_t>(0);
+  request.Put<std::uint64_t>(0);
+  request.Put<std::uint8_t>(0);
+  EXPECT_EQ(Send(std::move(request).Take()).code(), StatusCode::kNotFound);
+}
+
 TEST_F(RobustnessTest, RandomBytesNeverCrashTheManager) {
   Rng rng(0xC0FFEE);
   for (int i = 0; i < 5000; ++i) {
@@ -152,7 +211,9 @@ TEST_F(RobustnessTest, RandomBytesWithValidHeaderNeverCrash) {
   Rng rng(0xBADF00D);
   for (int i = 0; i < 5000; ++i) {
     ipc::Writer request;
-    const auto op = static_cast<protocol::Op>(1 + rng.NextBelow(22));
+    const auto op = static_cast<protocol::Op>(
+        1 + rng.NextBelow(static_cast<std::uint32_t>(
+                protocol::Op::kSetPriority)));
     protocol::WriteHeader(request, op, lib->client_id());
     ipc::Bytes raw = std::move(request).Take();
     const std::size_t junk = rng.NextBelow(48);

@@ -267,7 +267,7 @@ LOOP:
   params.block = {1, 1, 1};
   auto stats = interp.Execute(*module, "spin", params);
   ASSERT_FALSE(stats.ok());
-  EXPECT_EQ(stats.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(stats.status().code(), StatusCode::kDeadlineExceeded);
 }
 
 TEST_F(PtxExecTest, ExecutesFromPrintedText) {
