@@ -44,6 +44,7 @@ struct RunStats {
   std::uint64_t checkpoint_bytes = 0;
   std::uint64_t blocks_executed = 0;
   bool batch_output_ok = false;
+  std::string stats_json;
 };
 
 double Percentile(std::vector<double> xs, double p) {
@@ -146,6 +147,7 @@ RunStats RunWorkload(bool preemption_enabled) {
   out.resumes = manager.stats().preemption_resumes;
   out.checkpoint_bytes = manager.stats().checkpoint_bytes_saved;
   out.blocks_executed = manager.stats().kernel_blocks_executed;
+  out.stats_json = manager.stats().ToJson();
 
   std::vector<std::uint32_t> bout(kBatchElems);
   out.batch_output_ok =
@@ -179,6 +181,10 @@ int main() {
               preempt.batch_makespan_ms,
               static_cast<unsigned long long>(preempt.preemptions),
               static_cast<unsigned long long>(preempt.resumes));
+  // Full structured export (per-class wait histograms included) replaces
+  // further ad-hoc counter dumps.
+  std::printf("\nMANAGER_STATS %s\n", preempt.stats_json.c_str());
+
   std::printf("\ncheckpoint bytes saved: %llu; batch overhead: %+.1f%%; "
               "p99 speedup: %.1fx\n",
               static_cast<unsigned long long>(preempt.checkpoint_bytes),

@@ -109,5 +109,20 @@ int main() {
           kUniqueModules - kSmallCapacity &&
       bounded.stats().sandbox_cache_bytes_reclaimed > 0;
   if (!bounded_ok) std::printf("FAIL: eviction accounting off\n");
+
+  // Machine-readable line for cross-PR perf tracking.
+  std::printf("BENCH_sandbox_cache.json {\"first_load_us\":%.1f,"
+              "\"cached_load_us\":%.1f,\"modules_patched\":%llu,"
+              "\"programs_compiled\":%llu,\"evictions\":%llu,"
+              "\"bytes_reclaimed\":%llu}\n",
+              first_us, cached_us,
+              static_cast<unsigned long long>(
+                  manager.stats().ptx_modules_patched),
+              static_cast<unsigned long long>(
+                  manager.stats().ptx_programs_compiled),
+              static_cast<unsigned long long>(
+                  bounded.stats().sandbox_cache_evictions),
+              static_cast<unsigned long long>(
+                  bounded.stats().sandbox_cache_bytes_reclaimed));
   return amortized && bounded_ok ? 0 : 1;
 }

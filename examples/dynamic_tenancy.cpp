@@ -181,5 +181,8 @@ LOOP:
               (unsigned long long)manager.stats().preemptions,
               (unsigned long long)manager.stats().preemption_resumes,
               (unsigned long long)manager.stats().checkpoint_bytes_saved);
+
+  std::printf("\n5. structured stats export (ManagerStats::ToJson)\n");
+  std::printf("MANAGER_STATS %s\n", manager.stats().ToJson().c_str());
   return 0;
 }

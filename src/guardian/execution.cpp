@@ -1,0 +1,104 @@
+// Structured export of the execution layer's counters (ManagerStats::ToJson).
+#include "guardian/execution.hpp"
+
+#include <string>
+
+namespace grd::guardian {
+namespace {
+
+void AppendField(std::string* out, const char* name, std::uint64_t value,
+                 bool* first) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  out->append("\"");
+  out->append(name);
+  out->append("\":");
+  out->append(std::to_string(value));
+}
+
+void AppendCounter(std::string* out, const char* name,
+                   const std::atomic<std::uint64_t>& counter, bool* first) {
+  AppendField(out, name, counter.load(std::memory_order_relaxed), first);
+}
+
+void AppendHistogram(std::string* out, const WaitHistogram& hist) {
+  bool first = true;
+  out->push_back('{');
+  AppendField(out, "count", hist.count.load(std::memory_order_relaxed),
+              &first);
+  AppendField(out, "total_ns", hist.total_ns.load(std::memory_order_relaxed),
+              &first);
+  AppendField(out, "max_ns", hist.max_ns.load(std::memory_order_relaxed),
+              &first);
+  AppendField(out, "p50_ns", hist.PercentileNs(0.50), &first);
+  AppendField(out, "p99_ns", hist.PercentileNs(0.99), &first);
+  // Populated log2 buckets only: bucket i counts waits in [2^i, 2^(i+1)) µs.
+  out->append(",\"buckets_us_log2\":{");
+  bool first_bucket = true;
+  for (int i = 0; i < WaitHistogram::kBuckets; ++i) {
+    const std::uint64_t n = hist.bucket[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    if (!first_bucket) out->push_back(',');
+    first_bucket = false;
+    out->append("\"");
+    out->append(std::to_string(i));
+    out->append("\":");
+    out->append(std::to_string(n));
+  }
+  out->append("}}");
+}
+
+}  // namespace
+
+std::string ManagerStats::ToJson() const {
+  std::string out;
+  out.reserve(1024);
+  out.push_back('{');
+  bool first = true;
+  AppendCounter(&out, "launches", launches, &first);
+  AppendCounter(&out, "sandboxed_launches", sandboxed_launches, &first);
+  AppendCounter(&out, "native_launches", native_launches, &first);
+  AppendCounter(&out, "lookup_cycles", lookup_cycles, &first);
+  AppendCounter(&out, "augment_cycles", augment_cycles, &first);
+  AppendCounter(&out, "transfers_checked", transfers_checked, &first);
+  AppendCounter(&out, "transfers_rejected", transfers_rejected, &first);
+  AppendCounter(&out, "faults_contained", faults_contained, &first);
+  AppendCounter(&out, "responses_dropped", responses_dropped, &first);
+  AppendCounter(&out, "ptx_modules_patched", ptx_modules_patched, &first);
+  AppendCounter(&out, "ptx_cache_hits", ptx_cache_hits, &first);
+  AppendCounter(&out, "ptx_programs_compiled", ptx_programs_compiled, &first);
+  AppendCounter(&out, "sandbox_cache_evictions", sandbox_cache_evictions,
+                &first);
+  AppendCounter(&out, "sandbox_cache_bytes_reclaimed",
+                sandbox_cache_bytes_reclaimed, &first);
+  AppendCounter(&out, "kernels_enqueued", kernels_enqueued, &first);
+  AppendCounter(&out, "memcpys_enqueued", memcpys_enqueued, &first);
+  AppendCounter(&out, "scheduler_ops_completed", scheduler_ops_completed,
+                &first);
+  AppendCounter(&out, "peak_resident_kernels", peak_resident_kernels, &first);
+  AppendCounter(&out, "peak_sms_in_use", peak_sms_in_use, &first);
+  AppendCounter(&out, "peak_queue_depth", peak_queue_depth, &first);
+  AppendCounter(&out, "batches_decoded", batches_decoded, &first);
+  AppendCounter(&out, "batched_ops", batched_ops, &first);
+  AppendCounter(&out, "batch_responses_compacted", batch_responses_compacted,
+                &first);
+  AppendCounter(&out, "preemptions", preemptions, &first);
+  AppendCounter(&out, "preemption_resumes", preemption_resumes, &first);
+  AppendCounter(&out, "checkpoint_bytes_saved", checkpoint_bytes_saved,
+                &first);
+  AppendCounter(&out, "budget_requeues", budget_requeues, &first);
+  AppendCounter(&out, "kernel_blocks_executed", kernel_blocks_executed,
+                &first);
+  out.append(",\"wait_histograms\":{");
+  for (int cls = 0; cls < kPriorityClassCount; ++cls) {
+    if (cls > 0) out.push_back(',');
+    out.append("\"");
+    out.append(PriorityClassName(static_cast<PriorityClass>(cls)));
+    out.append("\":");
+    AppendHistogram(&out, wait_hist[cls]);
+  }
+  out.append("}}");
+  return out;
+}
+
+}  // namespace grd::guardian

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
 
 #include "guardian/bounds_table.hpp"
 #include "guardian/gpu_scheduler.hpp"
@@ -101,6 +102,11 @@ struct ManagerStats {
   // eviction totals mirrored from SandboxCache::Stats.
   std::atomic<std::uint64_t> ptx_modules_patched{0};
   std::atomic<std::uint64_t> ptx_cache_hits{0};
+  // Module loads that paid the bytecode-lowering cost (CompileKernel): a
+  // fresh sandbox patch or a native-path load. Cache hits reuse the stored
+  // program and leave this untouched — the gap between loads and compiles
+  // is the compile cost the cache saved.
+  std::atomic<std::uint64_t> ptx_programs_compiled{0};
   std::atomic<std::uint64_t> sandbox_cache_evictions{0};
   std::atomic<std::uint64_t> sandbox_cache_bytes_reclaimed{0};
   // Device-scheduler traffic and occupancy (maintained by GpuScheduler and
@@ -114,6 +120,9 @@ struct ManagerStats {
   // Batched IPC (grdLib coalescing adjacent async calls into one message).
   std::atomic<std::uint64_t> batches_decoded{0};
   std::atomic<std::uint64_t> batched_ops{0};
+  // All-OK batches whose reply collapsed to a single summary response
+  // instead of one full response per sub-op.
+  std::atomic<std::uint64_t> batch_responses_compacted{0};
   // Preemption engine: revocations at safe points, restarts of revoked
   // kernels, checkpoint bytes that would cross the device boundary, budget
   // trips converted into a requeue instead of a client kill, and blocks
@@ -126,6 +135,13 @@ struct ManagerStats {
   std::atomic<std::uint64_t> kernel_blocks_executed{0};
   // Launch-to-first-run wait time per priority class.
   WaitHistogram wait_hist[kPriorityClassCount];
+
+  // Structured export: every counter plus the per-class wait histograms
+  // (count/total/max/p50/p99 and the populated log2 buckets) as one JSON
+  // object. Snapshot-consistent per field only (relaxed counters), which is
+  // all operators and the benches need. Benches/examples print this instead
+  // of ad-hoc field dumps.
+  std::string ToJson() const;
 };
 
 // Monotone-max update for ManagerStats peak/mirror counters: never lets a

@@ -43,6 +43,10 @@
 #include "guardian/preemption.hpp"
 #include "simgpu/device_spec.hpp"
 
+namespace grd::ptxexec {
+struct CompiledKernel;
+}  // namespace grd::ptxexec
+
 namespace grd::guardian {
 
 struct ManagerStats;
@@ -59,6 +63,12 @@ struct KernelSlot {
   // the telemetry is not (budget_requeues vs preemptions/resumes).
   bool budget_trip = false;
   std::uint64_t checkpoint_bytes = 0;
+  // The bytecode program this run executes, set by the launch body once it
+  // resolved native-vs-sandboxed (memoized in its LaunchState, so resumes
+  // skip the by-name lookup and run the exact program they suspended with
+  // even if the cache has since evicted the source entry). Exposes the
+  // running program to the scheduler-side run context for introspection.
+  std::shared_ptr<const ptxexec::CompiledKernel> program;
 };
 
 using PreemptibleBody = std::function<Status(KernelSlot&)>;

@@ -66,8 +66,15 @@ Status GrdLib::FlushBatch() const {
                        transport_->Call(std::move(envelope).Take()));
   GRD_ASSIGN_OR_RETURN(Reader reader, protocol::DecodeResponse(response));
   ++batches_sent_;
+  GRD_ASSIGN_OR_RETURN(std::uint8_t form, reader.Get<std::uint8_t>());
   GRD_ASSIGN_OR_RETURN(std::uint32_t executed, reader.Get<std::uint32_t>());
   if (executed > sent) return Internal("batch response count mismatch");
+  if (form == 1) {
+    // Compacted reply: every sub-op succeeded, responses elided.
+    if (executed < sent)
+      return Internal("compacted batch response dropped sub-ops");
+    return OkStatus();
+  }
   for (std::uint32_t i = 0; i < executed; ++i) {
     GRD_ASSIGN_OR_RETURN(Bytes sub_bytes, reader.GetBlob());
     auto sub = protocol::DecodeResponse(sub_bytes);

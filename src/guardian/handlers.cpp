@@ -374,6 +374,7 @@ Result<Writer> ExecuteModuleLoad(HandlerContext& ctx, ModuleLoadReq& req) {
     else
       ++ctx.exec.stats.ptx_cache_hits;
     module.sandboxed = std::move(cached.module);
+    module.sandboxed_compiled = std::move(cached.compiled);
     // Mirror the cache's LRU accounting into the manager stats so operators
     // see evictions next to the hit/patch counters (monotone max: a racing
     // stale snapshot must never regress the published value).
@@ -383,6 +384,14 @@ Result<Writer> ExecuteModuleLoad(HandlerContext& ctx, ModuleLoadReq& req) {
     BumpCounterMax(
         ctx.exec.stats.sandbox_cache_bytes_reclaimed,
         cache_stats.bytes_reclaimed.load(std::memory_order_relaxed));
+    if (cached.patched_now) ++ctx.exec.stats.ptx_programs_compiled;
+  }
+  if (!ctx.exec.options.protection_enabled ||
+      ctx.exec.options.standalone_fast_path) {
+    // A native (unfenced) launch is reachable: lower the unpatched kernels
+    // too, once at load, so the native path never compiles per launch.
+    module.native_compiled = ptxexec::CompiledModule::Compile(native);
+    ++ctx.exec.stats.ptx_programs_compiled;
   }
   module.native = std::move(native);
   const std::uint64_t id = ctx.session->next_module++;
@@ -479,13 +488,19 @@ Result<Writer> ExecuteLaunch(HandlerContext& ctx, LaunchReq& req) {
     bool augmented = false;          // mask/base args appended exactly once
     bool counted = false;            // native/sandboxed counted exactly once
     bool budget_requeue_used = false;
+    // Resolved programs, memoized per flavor so a preempted kernel's
+    // resumes skip the by-name lookup (the native/sandboxed choice itself
+    // stays per-invocation: the tenant count can change while suspended).
+    std::shared_ptr<const ptxexec::CompiledKernel> native_program;
+    std::shared_ptr<const ptxexec::CompiledKernel> sandboxed_program;
   };
   ExecutionContext* exec_ptr = &exec;
   SessionRegistry* sessions = &ctx.sessions;
   const int footprint = simgpu::SmFootprint(
       exec.gpu->spec(), req.params.grid.Count(), req.params.block.Count());
   auto body = [exec_ptr, sessions, session = ctx.session_ref,
-               native = &module.native, sandboxed = module.sandboxed,
+               native_compiled = module.native_compiled,
+               sandboxed_compiled = module.sandboxed_compiled,
                kernel = entry.kernel, params = std::move(req.params),
                partition = client.partition, footprint,
                state = std::make_shared<LaunchState>()](
@@ -530,13 +545,15 @@ Result<Writer> ExecuteLaunch(HandlerContext& ctx, LaunchReq& req) {
         ++ex.stats.sandboxed_launches;
     }
 
-    // (4) run the kernel. Device-side protection comes from the sandboxed
-    // PTX itself; the manager's single context sees the whole device, and
-    // co-resident kernels share it under the scheduler's occupancy model.
-    // The run is preemptible: the interpreter polls the slot's revocation
-    // flag and can suspend at a block boundary into state->checkpoint;
-    // modeled device time dilates per executed block, which is what bounds
-    // preemption latency to roughly one block.
+    // (4) run the kernel: the bytecode program compiled at module-load time
+    // (sandboxed programs come from the content-addressed cache, so repeat
+    // tenants skip parse, patch AND compile). Device-side protection comes
+    // from the sandboxed PTX itself; the manager's single context sees the
+    // whole device, and co-resident kernels share it under the scheduler's
+    // occupancy model. The run is preemptible: the interpreter polls the
+    // slot's revocation flag and can suspend at a block boundary into
+    // state->checkpoint; modeled device time dilates per executed block,
+    // which is what bounds preemption latency to roughly one block.
     simgpu::AllowAllPolicy policy;
     ptxexec::Interpreter interpreter(&ex.gpu->memory(), &policy, session->id);
     interpreter.set_max_instructions_per_thread(
@@ -563,8 +580,26 @@ Result<Writer> ExecuteLaunch(HandlerContext& ctx, LaunchReq& req) {
                   delta.threads * grid_blocks, footprint) /
                   static_cast<double>(grid_blocks));
     };
-    const ptx::Module& module_to_run = use_native ? *native : *sandboxed;
-    auto run = interpreter.Execute(module_to_run, kernel, params, controls);
+    Result<ptxexec::ExecStats> run = ptxexec::ExecStats{};
+    auto& program =
+        use_native ? state->native_program : state->sandboxed_program;
+    if (program == nullptr) {
+      const auto& program_module =
+          use_native ? native_compiled : sandboxed_compiled;
+      if (program_module == nullptr) {
+        run = Status(Internal("no compiled program for kernel " + kernel));
+      } else {
+        auto found = program_module->Find(kernel);
+        if (found.ok())
+          program = std::move(*found);
+        else
+          run = found.status();
+      }
+    }
+    if (program != nullptr) {
+      slot.program = program;
+      run = interpreter.Execute(*program, params, controls);
+    }
     if (native_guard.owns_lock()) native_guard.unlock();
     if (!run.ok()) {
       if (ptxexec::IsPreempted(run.status())) {
@@ -621,8 +656,8 @@ Result<Writer> ExecuteLaunch(HandlerContext& ctx, LaunchReq& req) {
 Result<Writer> ExecuteStreamCreate(HandlerContext& ctx, NoPayload&) {
   const std::uint64_t id = ctx.session->next_stream++;
   // New streams inherit the session's priority class (kSetPriority scope 0).
-  ctx.session->streams[id] =
-      ctx.exec.scheduler.CreateStream(ctx.session->default_priority);
+  ctx.session->streams[id] = ctx.exec.scheduler.CreateStream(
+      ctx.session->default_priority.load(std::memory_order_relaxed));
   Writer out;
   out.Put<std::uint64_t>(id);
   return out;
@@ -658,7 +693,7 @@ Result<Writer> ExecuteSetPriority(HandlerContext& ctx, SetPriorityReq& req) {
   if (req.scope == 1) {
     ctx.exec.scheduler.SetStreamPriority(*StreamOf(ctx, req.stream), cls);
   } else {
-    ctx.session->default_priority = cls;
+    ctx.session->default_priority.store(cls, std::memory_order_relaxed);
     for (auto& [id, stream] : ctx.session->streams)
       ctx.exec.scheduler.SetStreamPriority(*stream, cls);
   }
@@ -789,6 +824,14 @@ bool IsBatchable(Op op) {
 // sub-request through the registry under the already-held session lock, and
 // stops at the first failure so a client cannot run work past an error it
 // has not seen yet.
+//
+// Response envelope (u8 form discriminator):
+//  - form 1 (compacted): every sub-op succeeded with an empty payload; only
+//    the executed count follows. Batchable ops are exactly the async calls
+//    whose success responses carry nothing, so an all-OK batch — the common
+//    case by far — answers in 5 bytes instead of count full responses.
+//  - form 0 (full): executed count + one encoded response per executed op
+//    (at most the last one an error; later ops never ran).
 Result<Writer> RunBatch(HandlerContext& ctx, Reader& req) {
   GRD_ASSIGN_OR_RETURN(std::uint32_t count, req.Get<std::uint32_t>());
   if (count == 0 || count > protocol::kMaxBatchOps)
@@ -827,7 +870,18 @@ Result<Writer> RunBatch(HandlerContext& ctx, Reader& req) {
     responses.push_back(std::move(response));
     if (failed) break;  // abort-on-first-error: later sub-ops never ran
   }
+  // All-OK batches with payload-free responses compact to a count.
+  bool compactable = responses.size() == count;
+  for (const auto& response : responses)
+    compactable = compactable && response.size() == 1 && response[0] == 1;
   Writer out;
+  if (compactable) {
+    ++ctx.exec.stats.batch_responses_compacted;
+    out.Put<std::uint8_t>(1);
+    out.Put<std::uint32_t>(static_cast<std::uint32_t>(responses.size()));
+    return out;
+  }
+  out.Put<std::uint8_t>(0);
   out.Put<std::uint32_t>(static_cast<std::uint32_t>(responses.size()));
   for (const auto& response : responses)
     out.PutBlob(response.data(), response.size());

@@ -19,6 +19,12 @@ GrdManager::~GrdManager() {
   exec_.scheduler.Shutdown();
 }
 
+protocol::PriorityClass GrdManager::SessionPriority(ClientId client) const {
+  auto found = sessions_.Find(client);
+  if (!found.ok()) return protocol::PriorityClass::kNormal;
+  return (*found)->default_priority.load(std::memory_order_relaxed);
+}
+
 ipc::Bytes GrdManager::HandleRequest(const Bytes& request) {
   Reader reader(request);
   auto header = protocol::ReadHeader(reader);

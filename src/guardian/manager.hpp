@@ -59,6 +59,12 @@ class GrdManager {
   // Called by the transport when a response could not be delivered.
   void NoteDroppedResponse() noexcept { ++exec_.stats.responses_dropped; }
 
+  // Session-scope priority class of `client` (kSetPriority scope 0), for the
+  // ManagerServer's session-priority channel scheduling: ring pumping and
+  // device admission share one notion of tenant priority. Unknown or
+  // unregistered clients rank kNormal.
+  protocol::PriorityClass SessionPriority(ClientId client) const;
+
   // Device memory the sharing layer itself consumes: exactly one context
   // regardless of client count (§2.2: 176 MB vs MPS's per-client growth).
   std::uint64_t SharingLayerFootprint() const noexcept {

@@ -44,7 +44,10 @@ enum class Op : std::uint32_t {
   kEventSynchronize,
   // Envelope carrying several async sub-requests in one ring message
   // (grdLib coalesces adjacent launch/async-memcpy calls). Sub-requests
-  // execute in order; execution stops at the first failure.
+  // execute in order; execution stops at the first failure. The response
+  // payload leads with a u8 form: 1 = compacted (all sub-ops succeeded,
+  // only the executed count follows), 0 = full (count + one encoded
+  // response per executed sub-op).
   kBatch,
   // Preemption engine: tag a session (scope 0) or one stream (scope 1) with
   // a PriorityClass. Payload: u8 scope, u64 stream id, u8 priority.

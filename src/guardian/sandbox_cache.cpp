@@ -40,7 +40,11 @@ Result<SandboxCache::Lookup> SandboxCache::GetOrPatch(
     if (!slot) {
       slot = std::make_shared<Slot>();
       slot->source = source;
-      slot->footprint_bytes = 2 * source.size();  // source + ~patched module
+      // Source + ~patched module + ~compiled program (each estimated at
+      // source size: patched PTX is the source plus a few fences per
+      // access, and the bytecode is a constant factor of the instruction
+      // count).
+      slot->footprint_bytes = 3 * source.size();
       chain.push_back(slot);
       ++slot_count_;
     }
@@ -55,7 +59,7 @@ Result<SandboxCache::Lookup> SandboxCache::GetOrPatch(
   if (slot->done) {
     if (!slot->status.ok()) return slot->status;  // cached failure, not a hit
     ++stats_.hits;
-    return Lookup{slot->module, /*patched_now=*/false};
+    return Lookup{slot->module, slot->compiled, /*patched_now=*/false};
   }
 
   auto patched = ptxpatcher::PatchModule(parsed, options);
@@ -66,7 +70,12 @@ Result<SandboxCache::Lookup> SandboxCache::GetOrPatch(
   }
   ++stats_.patches;
   slot->module = std::make_shared<const ptx::Module>(std::move(*patched));
-  return Lookup{slot->module, /*patched_now=*/true};
+  // Lower the patched kernels to bytecode while we hold the slot: the
+  // compile cost rides with the patch cost, paid once per distinct source
+  // and skipped entirely by every subsequent hit.
+  slot->compiled = ptxexec::CompiledModule::Compile(*slot->module);
+  ++stats_.compiles;
+  return Lookup{slot->module, slot->compiled, /*patched_now=*/true};
 }
 
 void SandboxCache::EvictLocked() {

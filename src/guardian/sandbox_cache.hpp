@@ -1,4 +1,5 @@
-// Content-addressed cache of sandboxed PTX modules.
+// Content-addressed cache of sandboxed PTX modules and their compiled
+// programs.
 //
 // The paper patches every registered module per client (§4.2.3). In a
 // multi-tenant deployment N clients typically load the *same* accelerated
@@ -6,6 +7,12 @@
 // keys on (FNV-1a hash of the PTX source) × (bounds-check mode and patch
 // flags) and stores the patched module behind a shared_ptr, so N tenants
 // loading the same library patch it once and share the immutable result.
+//
+// Since the bytecode engine, each slot also stores the patched module
+// lowered through ptxexec::CompileKernel (program.hpp): a cache hit skips
+// parse-output patching, verification replay AND compilation, so a repeat
+// load costs one hash plus one source compare — which is what makes the
+// cached launch path's cost independent of kernel size.
 //
 // Concurrency: a global mutex guards the slot map only; the patch itself
 // runs under a per-slot mutex, so two workers patching *different* modules
@@ -24,6 +31,7 @@
 
 #include "common/status.hpp"
 #include "ptx/ast.hpp"
+#include "ptxexec/program.hpp"
 #include "ptxpatcher/patcher.hpp"
 
 namespace grd::guardian {
@@ -50,6 +58,10 @@ class SandboxCache {
   struct Stats {
     std::atomic<std::uint64_t> patches{0};
     std::atomic<std::uint64_t> hits{0};
+    // Modules lowered through ptxexec::CompileKernel (once per fresh patch);
+    // a cached load reuses the stored program and does not bump this — the
+    // compiled-program cache tests key off exactly that.
+    std::atomic<std::uint64_t> compiles{0};
     std::atomic<std::uint64_t> evictions{0};
     // Approximate bytes LRU eviction reclaimed (source text retained for
     // collision-proofing plus the patched module, estimated at source
@@ -59,6 +71,9 @@ class SandboxCache {
 
   struct Lookup {
     std::shared_ptr<const ptx::Module> module;
+    // The module's kernels lowered to bytecode, compiled together with the
+    // patch and cached alongside it; launches run these directly.
+    std::shared_ptr<const ptxexec::CompiledModule> compiled;
     bool patched_now = false;  // false = served from cache
   };
 
@@ -101,11 +116,11 @@ class SandboxCache {
     bool done = false;
     Status status{};  // non-OK when the cached patch failed
     std::shared_ptr<const ptx::Module> module;
+    std::shared_ptr<const ptxexec::CompiledModule> compiled;
     std::uint64_t last_use = 0;  // LRU tick, guarded by the cache's mu_
     // Estimated resident footprint charged to bytes_reclaimed on eviction:
-    // the retained source plus the patched module (approximated by the
-    // source size again — patched PTX is the source plus a few fencing
-    // instructions per access).
+    // the retained source plus the patched module plus the compiled
+    // program (each approximated by the source size).
     std::uint64_t footprint_bytes = 0;
   };
 

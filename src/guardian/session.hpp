@@ -30,6 +30,7 @@
 #include "guardian/bounds_table.hpp"
 #include "guardian/gpu_scheduler.hpp"
 #include "ptx/ast.hpp"
+#include "ptxexec/program.hpp"
 
 namespace grd::guardian {
 
@@ -38,6 +39,13 @@ struct ClientModule {
   // Owned by the SandboxCache and shared across tenants loading identical
   // PTX; null when protection is disabled.
   std::shared_ptr<const ptx::Module> sandboxed;
+  // Bytecode programs (ptxexec::CompileKernel) the launch path actually
+  // runs: `sandboxed_compiled` comes from the sandbox cache with the patch;
+  // `native_compiled` is lowered at load time and only when a native
+  // (unfenced) launch is reachable — protection off or the standalone fast
+  // path armed.
+  std::shared_ptr<const ptxexec::CompiledModule> sandboxed_compiled;
+  std::shared_ptr<const ptxexec::CompiledModule> native_compiled;
 };
 
 struct FunctionEntry {
@@ -63,8 +71,11 @@ struct ClientSession {
   // before the disconnect landed must not touch the released partition.
   bool disconnected = false;
   // kSetPriority session scope: class new streams inherit (existing streams
-  // are retagged by the handler at the same time). Guarded by `mu`.
-  protocol::PriorityClass default_priority = protocol::PriorityClass::kNormal;
+  // are retagged by the handler at the same time). Atomic because the
+  // ManagerServer's session-priority sweep reads it without `mu` to order
+  // ring pumping by tenant class.
+  std::atomic<protocol::PriorityClass> default_priority{
+      protocol::PriorityClass::kNormal};
   std::uint64_t next_module = 1;
   std::uint64_t next_function = 1;
   std::uint64_t next_stream = 1;

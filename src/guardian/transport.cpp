@@ -25,6 +25,15 @@ void ManagerServer::AddChannel(ipc::Channel* channel, double weight,
 bool ManagerServer::ServeOne(Entry& entry) {
   auto request = entry.channel->request().TryRead();
   if (!request.ok()) return false;
+  {
+    // Remember which session this channel carries so the session-priority
+    // sweep can rank it by that tenant's class (cheap header peek; a
+    // malformed header is rejected by HandleRequest below anyway).
+    ipc::Reader peek(*request);
+    auto header = protocol::ReadHeader(peek);
+    if (header.ok() && header->client != 0)
+      entry.last_client.store(header->client, std::memory_order_relaxed);
+  }
   const ipc::Bytes response = manager_->HandleRequest(*request);
   const Status written = entry.channel->response().Write(response);
   if (!written.ok()) {
@@ -77,11 +86,39 @@ std::size_t ManagerServer::SweepWeightedFair() {
   return served;
 }
 
+std::size_t ManagerServer::SweepSessionPriority() {
+  // One request per channel per sweep, like round robin, but channels whose
+  // session holds a more urgent class (kSetPriority) are visited first, so
+  // a realtime tenant's requests never queue behind a batch tenant's ring
+  // backlog inside the same sweep. Classes are snapshotted once per sweep:
+  // one registry lookup per channel, and a mid-sweep retag cannot make a
+  // channel be served twice (or skipped) within the same sweep.
+  std::vector<int> classes(channels_.size());
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    const std::uint64_t client =
+        channels_[i]->last_client.load(std::memory_order_relaxed);
+    classes[i] = static_cast<int>(
+        client == 0 ? protocol::PriorityClass::kNormal
+                    : manager_->SessionPriority(client));
+  }
+  std::size_t served = 0;
+  for (int cls = 0; cls < protocol::kPriorityClassCount; ++cls) {
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+      if (classes[i] != cls) continue;
+      if (!Claim(*channels_[i])) continue;
+      served += ServeOne(*channels_[i]) ? 1 : 0;
+      Release(*channels_[i]);
+    }
+  }
+  return served;
+}
+
 std::size_t ManagerServer::ServeOnce() {
   switch (policy_) {
     case Policy::kRoundRobin: return SweepRoundRobin();
     case Policy::kPriority: return SweepPriority();
     case Policy::kWeightedFair: return SweepWeightedFair();
+    case Policy::kSessionPriority: return SweepSessionPriority();
   }
   return 0;
 }

@@ -95,10 +95,23 @@ class IdleBackoff {
 //  - kPriority     : strict priority — the highest-priority channel with a
 //                    pending request is served first each sweep;
 //  - kWeightedFair : deficit round robin — each sweep grants a channel
-//                    `weight` credits and serves up to that many requests.
+//                    `weight` credits and serves up to that many requests;
+//  - kSessionPriority : each sweep visits channels in ascending session
+//                    priority-class order (kRealtime before kNormal before
+//                    kBatch, as set by the kSetPriority RPC), one request
+//                    per channel — so ring pumping and the device
+//                    scheduler's admission share one notion of tenant
+//                    priority instead of the transport static `priority`
+//                    integer. A channel's class is the one of the session
+//                    whose requests it last carried (kNormal until known).
 class ManagerServer {
  public:
-  enum class Policy : std::uint8_t { kRoundRobin, kPriority, kWeightedFair };
+  enum class Policy : std::uint8_t {
+    kRoundRobin,
+    kPriority,
+    kWeightedFair,
+    kSessionPriority,
+  };
 
   explicit ManagerServer(GrdManager* manager,
                          Policy policy = Policy::kRoundRobin,
@@ -136,6 +149,10 @@ class ManagerServer {
     int priority = 0;
     double deficit = 0.0;              // guarded by the busy claim
     std::atomic<bool> busy{false};     // one worker per channel at a time
+    // Client id observed in the channel's last request header (0 until a
+    // session-carrying request arrives); the session-priority sweep ranks
+    // the channel by that session's class.
+    std::atomic<std::uint64_t> last_client{0};
   };
 
   // Claims `entry` for the calling worker; false when another worker has it.
@@ -152,6 +169,7 @@ class ManagerServer {
   std::size_t SweepRoundRobin();
   std::size_t SweepPriority();
   std::size_t SweepWeightedFair();
+  std::size_t SweepSessionPriority();
   void WorkerLoop(const std::atomic<bool>& stop);
 
   GrdManager* manager_;

@@ -1,13 +1,37 @@
+// The REFERENCE engine: the seed string-map interpreter, kept verbatim as
+// the parity oracle for the compiled bytecode engine (program.cpp) and as
+// bench_interpreter's baseline. Every std::string-keyed lookup on its step
+// path bumps exec_debug's counter, which is how the regression suite proves
+// the compiled path performs none. New callers should use the compiled
+// Execute overloads; this engine exists to be measured against.
 #include "ptxexec/interpreter.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <unordered_map>
 #include <vector>
 
 #include "common/strings.hpp"
+#include "ptxexec/scalar_ops.hpp"
 
 namespace grd::ptxexec {
+
+namespace exec_debug {
+namespace {
+std::atomic<std::uint64_t> g_hot_path_string_lookups{0};
+}  // namespace
+
+std::uint64_t HotPathStringLookups() noexcept {
+  return g_hot_path_string_lookups.load(std::memory_order_relaxed);
+}
+
+void BumpHotPathStringLookup() noexcept {
+  g_hot_path_string_lookups.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace exec_debug
+
 namespace {
 
 using ptx::Instruction;
@@ -15,43 +39,17 @@ using ptx::Kernel;
 using ptx::Operand;
 using ptx::StateSpace;
 using ptx::Type;
+using scalar::AsF32;
+using scalar::AsF64;
+using scalar::F32Bits;
+using scalar::F64Bits;
+using scalar::kSharedTag;
+using scalar::MaskToWidth;
+using scalar::SignExtend;
 
-// Shared-memory addresses are tagged so fenced global arithmetic can never
-// collide with them (fencing applies only to global/local accesses anyway).
-constexpr std::uint64_t kSharedTag = 0x4000'0000'0000'0000ull;
-
-std::uint64_t MaskToWidth(std::uint64_t v, std::size_t bytes) {
-  if (bytes >= 8) return v;
-  return v & ((std::uint64_t{1} << (bytes * 8)) - 1);
-}
-
-std::int64_t SignExtend(std::uint64_t v, std::size_t bytes) {
-  if (bytes >= 8) return static_cast<std::int64_t>(v);
-  const int shift = static_cast<int>(64 - bytes * 8);
-  return static_cast<std::int64_t>(v << shift) >> shift;
-}
-
-float AsF32(std::uint64_t bits) {
-  float f;
-  const auto b = static_cast<std::uint32_t>(bits);
-  std::memcpy(&f, &b, sizeof(f));
-  return f;
-}
-std::uint64_t F32Bits(float f) {
-  std::uint32_t b;
-  std::memcpy(&b, &f, sizeof(b));
-  return b;
-}
-double AsF64(std::uint64_t bits) {
-  double d;
-  std::memcpy(&d, &bits, sizeof(d));
-  return d;
-}
-std::uint64_t F64Bits(double d) {
-  std::uint64_t b;
-  std::memcpy(&b, &d, sizeof(b));
-  return b;
-}
+// Marks one string-keyed lookup on the reference step path (see
+// exec_debug::HotPathStringLookups).
+void CountStringLookup() { exec_debug::BumpHotPathStringLookup(); }
 
 // Pre-flattened kernel: instruction array plus label / branch-table / param /
 // shared-variable indices, built once per launch.
@@ -185,6 +183,7 @@ class BlockExecutor {
 
 Result<std::uint64_t> BlockExecutor::ReadSpecialRegister(
     const ThreadState& t, const std::string& name) {
+  CountStringLookup();  // resolved by string compares on every read
   if (name == "%tid.x") return std::uint64_t{t.ctx.tid_x};
   if (name == "%tid.y") return std::uint64_t{t.ctx.tid_y};
   if (name == "%tid.z") return std::uint64_t{t.ctx.tid_z};
@@ -207,10 +206,12 @@ Result<std::uint64_t> BlockExecutor::ReadOperand(ThreadState& t,
                                                  Type type) {
   switch (op.kind) {
     case Operand::Kind::kRegister: {
+      CountStringLookup();  // the '.'-scan runs on EVERY register read
       if (op.name.find('.') != std::string::npos || op.name == "%laneid" ||
           op.name == "%warpsize") {
         return ReadSpecialRegister(t, op.name);
       }
+      CountStringLookup();  // hash of the register name
       const auto it = t.regs.find(op.name);
       return it == t.regs.end() ? std::uint64_t{0} : it->second;
     }
@@ -222,6 +223,7 @@ Result<std::uint64_t> BlockExecutor::ReadOperand(ThreadState& t,
       return static_cast<std::uint64_t>(op.ival);
     case Operand::Kind::kIdentifier: {
       // Address of a shared variable (e.g. `mov.u64 %rd, sdata;`).
+      CountStringLookup();
       const auto it = prep_.shared_offsets.find(op.name);
       if (it != prep_.shared_offsets.end()) return kSharedTag | it->second;
       return Status(NotFound("unknown identifier operand " + op.name));
@@ -239,6 +241,7 @@ Result<std::uint64_t> BlockExecutor::ResolveAddress(ThreadState& t,
                          ReadOperand(t, Operand::Reg(mem.name), Type::kU64));
     return base + static_cast<std::uint64_t>(mem.offset);
   }
+  CountStringLookup();
   const auto shared_it = prep_.shared_offsets.find(mem.name);
   if (shared_it != prep_.shared_offsets.end()) {
     return (kSharedTag | shared_it->second) +
@@ -293,6 +296,7 @@ Status BlockExecutor::Step(ThreadState& t, StepOutcome* outcome) {
 
   // Guard predicate.
   if (inst.pred) {
+    CountStringLookup();
     const auto it = t.regs.find(inst.pred->reg);
     const bool value = it != t.regs.end() && (it->second & 1);
     if (value == inst.pred->negated) {
@@ -307,6 +311,7 @@ Status BlockExecutor::Step(ThreadState& t, StepOutcome* outcome) {
 
   auto read = [&](std::size_t i) { return ReadOperand(t, ops[i], type); };
   auto write_reg = [&](const Operand& dst, std::uint64_t bits) {
+    CountStringLookup();
     t.regs[dst.name] = bits;
   };
 
@@ -315,6 +320,7 @@ Status BlockExecutor::Step(ThreadState& t, StepOutcome* outcome) {
   if (opc == "ld") {
     const auto space = inst.SpaceModifier().value_or(StateSpace::kGeneric);
     if (space == StateSpace::kParam) {
+      CountStringLookup();
       const auto it = prep_.param_index.find(ops[1].name);
       if (it == prep_.param_index.end())
         return Fault(NotFound("unknown kernel parameter " + ops[1].name), 0,
@@ -333,6 +339,7 @@ Status BlockExecutor::Step(ThreadState& t, StepOutcome* outcome) {
       for (int lane = 0; lane < lanes; ++lane) {
         auto bits = LoadSized(addr + lane * width, width);
         if (!bits.ok()) return Fault(bits.status(), addr, t);
+        CountStringLookup();
         t.regs[ops[0].vec[lane]] = *bits;
       }
     } else {
@@ -353,6 +360,7 @@ Status BlockExecutor::Step(ThreadState& t, StepOutcome* outcome) {
     const int lanes = inst.VectorWidth();
     if (lanes > 1) {
       for (int lane = 0; lane < lanes; ++lane) {
+        CountStringLookup();
         const auto it = t.regs.find(ops[1].vec[lane]);
         const std::uint64_t bits = it == t.regs.end() ? 0 : it->second;
         const Status s =
@@ -592,6 +600,7 @@ Status BlockExecutor::Step(ThreadState& t, StepOutcome* outcome) {
   }
 
   if (opc == "bra") {
+    CountStringLookup();
     const auto it = prep_.labels.find(ops[0].name);
     if (it == prep_.labels.end())
       return Fault(NotFound("branch target " + ops[0].name), 0, t);
@@ -605,6 +614,7 @@ Status BlockExecutor::Step(ThreadState& t, StepOutcome* outcome) {
     // a device fault; Guardian's patch clamps the index so the patched
     // kernel cannot reach this fault.
     GRD_ASSIGN_OR_RETURN(std::uint64_t idx, read(0));
+    CountStringLookup();
     const auto table_it = prep_.branch_tables.find(ops[1].name);
     if (table_it == prep_.branch_tables.end())
       return Fault(NotFound("branch table " + ops[1].name), 0, t);
@@ -613,6 +623,7 @@ Status BlockExecutor::Step(ThreadState& t, StepOutcome* outcome) {
                               " outside table of " +
                               std::to_string(table_it->second.size())),
                    idx, t);
+    CountStringLookup();
     const auto label_it = prep_.labels.find(table_it->second[idx]);
     if (label_it == prep_.labels.end())
       return Fault(NotFound("branch target " + table_it->second[idx]), 0, t);
@@ -708,16 +719,16 @@ Status BlockExecutor::RunBlock(std::uint32_t bx, std::uint32_t by,
 
 }  // namespace
 
-Result<ExecStats> Interpreter::Execute(const ptx::Module& module,
-                                       std::string_view kernel_name,
-                                       const LaunchParams& params) {
-  return Execute(module, kernel_name, params, ExecControls{});
+Result<ExecStats> Interpreter::ExecuteReference(const ptx::Module& module,
+                                                std::string_view kernel_name,
+                                                const LaunchParams& params) {
+  return ExecuteReference(module, kernel_name, params, ExecControls{});
 }
 
-Result<ExecStats> Interpreter::Execute(const ptx::Module& module,
-                                       std::string_view kernel_name,
-                                       const LaunchParams& params,
-                                       const ExecControls& controls) {
+Result<ExecStats> Interpreter::ExecuteReference(const ptx::Module& module,
+                                                std::string_view kernel_name,
+                                                const LaunchParams& params,
+                                                const ExecControls& controls) {
   const ptx::Kernel* kernel = module.FindKernel(kernel_name);
   if (kernel == nullptr)
     return Status(NotFound("kernel " + std::string(kernel_name) +

@@ -1,11 +1,23 @@
 // Functional PTX interpreter.
 //
-// Executes kernels instruction-by-instruction against the simulated GPU
-// global memory, with a thread-grid model (blocks, threads, bar.sync
-// lockstep phases, per-block shared memory). Because the instrumented
-// fencing/checking instructions are ordinary PTX, patched kernels run
-// through the same interpreter — the wrap-around semantics of Figure 4 are
-// produced by actually executing the AND/OR, not by special-casing.
+// Executes kernels against the simulated GPU global memory, with a
+// thread-grid model (blocks, threads, bar.sync lockstep phases, per-block
+// shared memory). Because the instrumented fencing/checking instructions are
+// ordinary PTX, patched kernels run through the same interpreter — the
+// wrap-around semantics of Figure 4 are produced by actually executing the
+// AND/OR, not by special-casing.
+//
+// Two engines share the launch/fault/preemption semantics:
+//  - the COMPILED engine (the production hot path): kernels are lowered once
+//    by ptxexec::CompileKernel (program.hpp) into dense bytecode — enum
+//    opcodes, interned register slots, pre-resolved branches/params/shared
+//    offsets — and executed against flat arrays with zero per-step string
+//    work;
+//  - the REFERENCE engine (ExecuteReference): the original string-map
+//    interpreter, kept as the parity oracle and the bench_interpreter
+//    baseline. Every std::string-keyed lookup it performs on the step path
+//    bumps exec_debug::HotPathStringLookups(), which is how tests assert the
+//    compiled path performs none.
 //
 // Supported subset: the full instruction vocabulary produced by ptx/generator
 // and ptxpatcher (ld/st over param/global/local/shared/generic incl. v2/v4,
@@ -21,6 +33,7 @@
 #include "common/status.hpp"
 #include "ptx/ast.hpp"
 #include "ptxexec/launch.hpp"
+#include "ptxexec/program.hpp"
 #include "simgpu/memory.hpp"
 
 namespace grd::ptxexec {
@@ -67,10 +80,9 @@ class Interpreter {
               std::uint64_t client)
       : memory_(memory), policy_(policy), client_(client) {}
 
-  // Executes `kernel_name` from `module`. On a device fault, returns the
-  // fault status (and the fault detail via last_fault()).
-  Result<ExecStats> Execute(const ptx::Module& module,
-                            std::string_view kernel_name,
+  // Executes a pre-compiled kernel (the hot path: no per-step string work).
+  // On a device fault, returns the fault status (detail via last_fault()).
+  Result<ExecStats> Execute(const CompiledKernel& kernel,
                             const LaunchParams& params);
 
   // Preemptible/resumable variant. On success the returned stats cover all
@@ -79,10 +91,33 @@ class Interpreter {
   // kDeadlineExceeded with the checkpoint (when provided) holding every
   // block completed before the runaway one, so the scheduler can requeue
   // instead of killing outright.
+  Result<ExecStats> Execute(const CompiledKernel& kernel,
+                            const LaunchParams& params,
+                            const ExecControls& controls);
+
+  // Convenience: compiles `kernel_name` from `module` and executes the
+  // result. Pays the (one-time-per-call) compile cost; callers on a hot
+  // launch path should compile once and use the CompiledKernel overloads —
+  // the grdManager does so through the SandboxCache.
+  Result<ExecStats> Execute(const ptx::Module& module,
+                            std::string_view kernel_name,
+                            const LaunchParams& params);
   Result<ExecStats> Execute(const ptx::Module& module,
                             std::string_view kernel_name,
                             const LaunchParams& params,
                             const ExecControls& controls);
+
+  // The seed string-map engine, kept as the parity oracle for the compiled
+  // path and as bench_interpreter's baseline. Semantically identical to
+  // Execute (same stats, faults, checkpoints); every per-step string lookup
+  // it performs is counted by exec_debug::HotPathStringLookups().
+  Result<ExecStats> ExecuteReference(const ptx::Module& module,
+                                     std::string_view kernel_name,
+                                     const LaunchParams& params);
+  Result<ExecStats> ExecuteReference(const ptx::Module& module,
+                                     std::string_view kernel_name,
+                                     const LaunchParams& params,
+                                     const ExecControls& controls);
 
   const DeviceFault& last_fault() const noexcept { return last_fault_; }
 
@@ -99,5 +134,19 @@ class Interpreter {
   DeviceFault last_fault_;
   std::uint64_t max_instructions_per_thread_ = 10'000'000;
 };
+
+namespace exec_debug {
+
+// Process-wide count of std::string-keyed lookups (map finds, name hashing,
+// special-register name scans) performed on the per-step execution path.
+// Only the reference engine bumps it; the regression suite snapshots it
+// around a compiled-path run and asserts the delta is zero, so any future
+// change that sneaks a string lookup back onto the hot path — and routes it
+// through the instrumented helpers, as the reference engine does — fails
+// loudly instead of silently eating the compile win back.
+std::uint64_t HotPathStringLookups() noexcept;
+void BumpHotPathStringLookup() noexcept;
+
+}  // namespace exec_debug
 
 }  // namespace grd::ptxexec

@@ -1,0 +1,1233 @@
+// CompileKernel (AST -> dense bytecode) and the compiled block executor.
+//
+// The compiler mirrors the reference engine's Step() case by case; anything
+// that engine raised only when an instruction was actually executed is
+// lowered to a kError instruction carrying the identical status, so parity
+// holds even for kernels with dead broken code. The executor mirrors the
+// reference RunBlock/Execute structure (barrier phases, instruction budget,
+// preemption polls, checkpoint/resume) over flat arrays instead of string
+// maps.
+#include "ptxexec/program.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <unordered_map>
+#include <utility>
+
+#include "ptxexec/interpreter.hpp"
+#include "ptxexec/scalar_ops.hpp"
+
+namespace grd::ptxexec {
+namespace {
+
+using ptx::Instruction;
+using ptx::Kernel;
+using ptx::Operand;
+using ptx::StateSpace;
+using ptx::Type;
+using scalar::AsF32;
+using scalar::AsF64;
+using scalar::F32Bits;
+using scalar::F64Bits;
+using scalar::kSharedTag;
+using scalar::MaskToWidth;
+using scalar::SignExtend;
+
+// ---- compiler -------------------------------------------------------------
+
+// A problem the reference engine would only raise when the instruction is
+// stepped on; the whole instruction compiles into kError reproducing it.
+struct StepError {
+  bool set = false;
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+  bool is_fault = false;  // raised via Fault() (device-fault detail) or not
+};
+
+std::optional<SpecialReg> ParseSpecialReg(const std::string& name) {
+  if (name == "%tid.x") return SpecialReg::kTidX;
+  if (name == "%tid.y") return SpecialReg::kTidY;
+  if (name == "%tid.z") return SpecialReg::kTidZ;
+  if (name == "%ntid.x") return SpecialReg::kNtidX;
+  if (name == "%ntid.y") return SpecialReg::kNtidY;
+  if (name == "%ntid.z") return SpecialReg::kNtidZ;
+  if (name == "%ctaid.x") return SpecialReg::kCtaidX;
+  if (name == "%ctaid.y") return SpecialReg::kCtaidY;
+  if (name == "%ctaid.z") return SpecialReg::kCtaidZ;
+  if (name == "%nctaid.x") return SpecialReg::kNctaidX;
+  if (name == "%nctaid.y") return SpecialReg::kNctaidY;
+  if (name == "%nctaid.z") return SpecialReg::kNctaidZ;
+  if (name == "%laneid") return SpecialReg::kLaneId;
+  if (name == "%warpsize" || name == "WARP_SZ") return SpecialReg::kWarpSize;
+  return std::nullopt;
+}
+
+class KernelCompiler {
+ public:
+  explicit KernelCompiler(const Kernel& kernel) : kernel_(kernel) {}
+
+  Result<CompiledKernel> Compile();
+
+ private:
+  Status Flatten();
+  Status Lower(const Instruction& inst, CompiledInst* out);
+
+  Result<std::uint16_t> Intern(const std::string& name) {
+    const auto it = reg_slots_.find(name);
+    if (it != reg_slots_.end()) return it->second;
+    if (reg_slots_.size() >= kNoPredSlot)
+      return Status(InvalidArgument("kernel " + kernel_.name +
+                                    " declares too many registers"));
+    const auto slot = static_cast<std::uint16_t>(reg_slots_.size());
+    reg_slots_.emplace(name, slot);
+    return slot;
+  }
+
+  std::uint32_t AddString(std::string s) {
+    out_.strings.push_back(std::move(s));
+    return static_cast<std::uint32_t>(out_.strings.size() - 1);
+  }
+
+  // Compiles an operand read the reference engine performed as
+  // ReadOperand(op, read_type). A reference step-time error becomes `err`.
+  OperandDesc CompileValue(const Operand& op, Type read_type, StepError* err);
+  // Compiles a ld/st address base (reference ResolveAddress); the memory
+  // displacement lands in `offset` (folded into the imm for shared bases).
+  OperandDesc CompileAddress(const Operand& mem, std::int64_t* offset,
+                             StepError* err);
+
+  const Kernel& kernel_;
+  CompiledKernel out_;
+  std::vector<const Instruction*> insts_;
+  std::unordered_map<std::string, std::uint16_t> reg_slots_;
+  std::unordered_map<std::string, std::uint32_t> labels_;
+  std::unordered_map<std::string, const ptx::BranchTargetsDecl*> raw_tables_;
+  std::unordered_map<std::string, std::uint16_t> param_index_;
+  std::unordered_map<std::string, std::uint64_t> shared_offsets_;
+};
+
+OperandDesc KernelCompiler::CompileValue(const Operand& op, Type read_type,
+                                         StepError* err) {
+  OperandDesc desc;
+  if (err->set) return desc;  // an earlier operand already errored
+  switch (op.kind) {
+    case Operand::Kind::kRegister: {
+      // The reference engine routes dotted names (plus %laneid/%warpsize)
+      // through the special-register scan on every read; here the
+      // classification happens exactly once.
+      if (op.name.find('.') != std::string::npos || op.name == "%laneid" ||
+          op.name == "%warpsize") {
+        if (const auto sreg = ParseSpecialReg(op.name)) {
+          desc.kind = OperandDesc::Kind::kSpecial;
+          desc.sreg = *sreg;
+          return desc;
+        }
+        *err = StepError{true, StatusCode::kNotFound,
+                         "unknown special register " + op.name,
+                         /*is_fault=*/false};
+        return desc;
+      }
+      auto slot = Intern(op.name);
+      if (!slot.ok()) {
+        *err = StepError{true, slot.status().code(),
+                         std::string(slot.status().message()),
+                         /*is_fault=*/false};
+        return desc;
+      }
+      desc.kind = OperandDesc::Kind::kReg;
+      desc.slot = *slot;
+      return desc;
+    }
+    case Operand::Kind::kImmediate:
+      desc.kind = OperandDesc::Kind::kImm;
+      if (op.is_float_imm) {
+        desc.imm = read_type == Type::kF64
+                       ? F64Bits(op.fval)
+                       : F32Bits(static_cast<float>(op.fval));
+      } else {
+        desc.imm = static_cast<std::uint64_t>(op.ival);
+      }
+      return desc;
+    case Operand::Kind::kIdentifier: {
+      // Address of a shared variable (e.g. `mov.u64 %rd, sdata;`).
+      const auto it = shared_offsets_.find(op.name);
+      if (it != shared_offsets_.end()) {
+        desc.kind = OperandDesc::Kind::kImm;
+        desc.imm = kSharedTag | it->second;
+        return desc;
+      }
+      *err = StepError{true, StatusCode::kNotFound,
+                       "unknown identifier operand " + op.name,
+                       /*is_fault=*/false};
+      return desc;
+    }
+    default:
+      *err = StepError{true, StatusCode::kInvalidArgument,
+                       "operand kind not readable as a value",
+                       /*is_fault=*/false};
+      return desc;
+  }
+}
+
+OperandDesc KernelCompiler::CompileAddress(const Operand& mem,
+                                           std::int64_t* offset,
+                                           StepError* err) {
+  *offset = 0;
+  if (err->set) return OperandDesc{};
+  if (mem.MemBaseIsRegister()) {
+    OperandDesc desc = CompileValue(Operand::Reg(mem.name), Type::kU64, err);
+    *offset = mem.offset;
+    return desc;
+  }
+  const auto it = shared_offsets_.find(mem.name);
+  if (it != shared_offsets_.end()) {
+    OperandDesc desc;
+    desc.kind = OperandDesc::Kind::kImm;
+    desc.imm = (kSharedTag | it->second) + static_cast<std::uint64_t>(mem.offset);
+    return desc;
+  }
+  *err = StepError{true, StatusCode::kNotFound,
+                   "unknown memory base symbol " + mem.name,
+                   /*is_fault=*/false};
+  return OperandDesc{};
+}
+
+Status KernelCompiler::Flatten() {
+  for (std::size_t i = 0; i < kernel_.params.size(); ++i)
+    param_index_[kernel_.params[i].name] = static_cast<std::uint16_t>(i);
+  for (const auto& stmt : kernel_.body) {
+    if (const auto* inst = std::get_if<Instruction>(&stmt)) {
+      insts_.push_back(inst);
+      continue;
+    }
+    if (const auto* label = std::get_if<ptx::Label>(&stmt)) {
+      if (!labels_
+               .emplace(label->name, static_cast<std::uint32_t>(insts_.size()))
+               .second)
+        return InvalidArgument("duplicate label " + label->name);
+      continue;
+    }
+    if (const auto* table = std::get_if<ptx::BranchTargetsDecl>(&stmt)) {
+      raw_tables_[table->name] = table;
+      continue;
+    }
+    if (const auto* var = std::get_if<ptx::VarDecl>(&stmt)) {
+      if (var->space == StateSpace::kShared) {
+        const std::uint64_t bytes =
+            (var->array_size < 0 ? 1 : var->array_size) *
+            ptx::TypeSize(var->type);
+        const std::uint64_t align = var->align > 0 ? var->align : 8;
+        out_.shared_size = (out_.shared_size + align - 1) & ~(align - 1);
+        shared_offsets_[var->name] = out_.shared_size;
+        out_.shared_size += bytes;
+      }
+      continue;
+    }
+    // RegDecl: slots are interned on first use, like the dynamic reg files.
+  }
+  return OkStatus();
+}
+
+Status KernelCompiler::Lower(const Instruction& inst, CompiledInst* out) {
+  const Type type = inst.TypeModifier().value_or(Type::kU64);
+  out->type = type;
+  out->width = static_cast<std::uint8_t>(ptx::TypeSize(type));
+  out->is_float = ptx::IsFloat(type);
+  out->is_signed = ptx::IsSigned(type);
+
+  if (inst.pred) {
+    GRD_ASSIGN_OR_RETURN(out->pred_slot, Intern(inst.pred->reg));
+    out->pred_negated = inst.pred->negated;
+  }
+
+  const auto& ops = inst.operands;
+  const std::string& opc = inst.opcode;
+  StepError err;
+
+  // Emits the step-time error the reference engine produced, preserving its
+  // operand evaluation order (the StepError captures the first failure).
+  const auto emit_error = [&]() {
+    out->op = COp::kError;
+    out->error_code = err.code;
+    out->error_is_fault = err.is_fault;
+    out->target = AddString(std::move(err.message));
+    return OkStatus();
+  };
+  const auto fault_error = [&](StatusCode code, std::string message) {
+    err = StepError{true, code, std::move(message), /*is_fault=*/true};
+    return emit_error();
+  };
+  // A malformed operand list would have been undefined behaviour in the
+  // reference engine; the compiler degrades it to a step-time error.
+  const auto need_ops = [&](std::size_t n) {
+    if (ops.size() >= n) return true;
+    err = StepError{true, StatusCode::kInvalidArgument,
+                    "malformed " + opc + " instruction: expected " +
+                        std::to_string(n) + " operands",
+                    /*is_fault=*/false};
+    return false;
+  };
+
+  if (opc == "ld") {
+    if (!need_ops(2)) return emit_error();
+    const auto space = inst.SpaceModifier().value_or(StateSpace::kGeneric);
+    if (space == StateSpace::kParam) {
+      const auto it = param_index_.find(ops[1].name);
+      if (it == param_index_.end())
+        return fault_error(StatusCode::kNotFound,
+                           "unknown kernel parameter " + ops[1].name);
+      out->op = COp::kLdParam;
+      out->param_index = it->second;
+      out->target = AddString(ops[1].name);  // for the missing-arg fault
+      GRD_ASSIGN_OR_RETURN(out->dst, Intern(ops[0].name));
+      return OkStatus();
+    }
+    out->op = COp::kLd;
+    out->a = CompileAddress(ops[1], &out->mem_offset, &err);
+    if (err.set) return emit_error();
+    const int lanes = inst.VectorWidth();
+    out->sub = static_cast<std::uint8_t>(lanes);
+    if (lanes > 1) {
+      if (ops[0].vec.size() < static_cast<std::size_t>(lanes))
+        return fault_error(StatusCode::kInvalidArgument,
+                           "vector load with too few lane registers");
+      for (int lane = 0; lane < lanes; ++lane) {
+        GRD_ASSIGN_OR_RETURN(out->vec[lane], Intern(ops[0].vec[lane]));
+      }
+    } else {
+      GRD_ASSIGN_OR_RETURN(out->dst, Intern(ops[0].name));
+    }
+    return OkStatus();
+  }
+
+  if (opc == "st") {
+    if (!need_ops(2)) return emit_error();
+    out->op = COp::kSt;
+    out->a = CompileAddress(ops[0], &out->mem_offset, &err);
+    if (err.set) return emit_error();
+    const int lanes = inst.VectorWidth();
+    out->sub = static_cast<std::uint8_t>(lanes);
+    if (lanes > 1) {
+      if (ops[1].vec.size() < static_cast<std::size_t>(lanes))
+        return fault_error(StatusCode::kInvalidArgument,
+                           "vector store with too few lane registers");
+      for (int lane = 0; lane < lanes; ++lane) {
+        GRD_ASSIGN_OR_RETURN(out->vec[lane], Intern(ops[1].vec[lane]));
+      }
+    } else {
+      out->b = CompileValue(ops[1], type, &err);
+      if (err.set) return emit_error();
+    }
+    return OkStatus();
+  }
+
+  if (opc == "mov" || opc == "cvta") {
+    if (!need_ops(2)) return emit_error();
+    out->op = COp::kMov;
+    out->a = CompileValue(ops[1], type, &err);
+    if (err.set) return emit_error();
+    GRD_ASSIGN_OR_RETURN(out->dst, Intern(ops[0].name));
+    return OkStatus();
+  }
+
+  if (opc == "cvt") {
+    if (!need_ops(2)) return emit_error();
+    std::vector<Type> types;
+    for (const auto& mod : inst.modifiers)
+      if (auto mt = ptx::ParseType(mod)) types.push_back(*mt);
+    if (types.size() < 2)
+      return fault_error(StatusCode::kInvalidArgument,
+                         "cvt needs dst and src types");
+    out->op = COp::kCvt;
+    out->type = types[types.size() - 2];
+    out->src_type = types[types.size() - 1];
+    out->a = CompileValue(ops[1], out->src_type, &err);
+    if (err.set) return emit_error();
+    GRD_ASSIGN_OR_RETURN(out->dst, Intern(ops[0].name));
+    return OkStatus();
+  }
+
+  const bool is_float = out->is_float;
+  const auto binary = [&](BinAlu alu) {
+    out->op = COp::kBinary;
+    out->sub = static_cast<std::uint8_t>(alu);
+    return OkStatus();
+  };
+
+  if (opc == "add" || opc == "sub" || opc == "mul" || opc == "div" ||
+      opc == "rem" || opc == "min" || opc == "max" || opc == "and" ||
+      opc == "or" || opc == "xor" || opc == "shl" || opc == "shr") {
+    if (!need_ops(3)) return emit_error();
+    out->a = CompileValue(ops[1], type, &err);
+    out->b = CompileValue(ops[2], type, &err);
+    if (err.set) return emit_error();
+    GRD_ASSIGN_OR_RETURN(out->dst, Intern(ops[0].name));
+    if (is_float) {
+      if (opc == "add") return binary(BinAlu::kAdd);
+      if (opc == "sub") return binary(BinAlu::kSub);
+      if (opc == "mul") return binary(BinAlu::kMul);
+      if (opc == "div") return binary(BinAlu::kDiv);
+      if (opc == "min") return binary(BinAlu::kMin);
+      if (opc == "max") return binary(BinAlu::kMax);
+      return fault_error(StatusCode::kUnimplemented, "float " + opc);
+    }
+    if (opc == "mul" && inst.HasModifier("wide"))
+      return binary(BinAlu::kMulWide);
+    if (opc == "mul" && inst.HasModifier("hi")) return binary(BinAlu::kMulHi);
+    if (opc == "add") return binary(BinAlu::kAdd);
+    if (opc == "sub") return binary(BinAlu::kSub);
+    if (opc == "mul") return binary(BinAlu::kMul);  // .lo
+    if (opc == "div") return binary(BinAlu::kDiv);
+    if (opc == "rem") return binary(BinAlu::kRem);
+    if (opc == "min") return binary(BinAlu::kMin);
+    if (opc == "max") return binary(BinAlu::kMax);
+    if (opc == "and") return binary(BinAlu::kAnd);
+    if (opc == "or") return binary(BinAlu::kOr);
+    if (opc == "xor") return binary(BinAlu::kXor);
+    if (opc == "shl") return binary(BinAlu::kShl);
+    return binary(BinAlu::kShr);
+  }
+
+  if (opc == "mad" || opc == "fma") {
+    if (!need_ops(4)) return emit_error();
+    out->a = CompileValue(ops[1], type, &err);
+    out->b = CompileValue(ops[2], type, &err);
+    out->c = CompileValue(ops[3], type, &err);
+    if (err.set) return emit_error();
+    GRD_ASSIGN_OR_RETURN(out->dst, Intern(ops[0].name));
+    out->op = COp::kMad;
+    out->sub = (!is_float && inst.HasModifier("wide")) ? 1 : 0;
+    return OkStatus();
+  }
+
+  if (opc == "neg" || opc == "abs" || opc == "not" || opc == "sqrt") {
+    if (!need_ops(2)) return emit_error();
+    out->a = CompileValue(ops[1], type, &err);
+    if (err.set) return emit_error();
+    GRD_ASSIGN_OR_RETURN(out->dst, Intern(ops[0].name));
+    if (is_float && opc == "not")
+      return fault_error(StatusCode::kUnimplemented, "float not");
+    if (!is_float && opc == "sqrt")
+      return fault_error(StatusCode::kUnimplemented, "int sqrt");
+    out->op = COp::kUnary;
+    out->sub = static_cast<std::uint8_t>(
+        opc == "neg" ? UnAlu::kNeg
+                     : opc == "abs" ? UnAlu::kAbs
+                                    : opc == "not" ? UnAlu::kNot
+                                                   : UnAlu::kSqrt);
+    return OkStatus();
+  }
+
+  if (opc == "setp") {
+    if (!need_ops(3)) return emit_error();
+    out->a = CompileValue(ops[1], type, &err);
+    out->b = CompileValue(ops[2], type, &err);
+    if (err.set) return emit_error();
+    GRD_ASSIGN_OR_RETURN(out->dst, Intern(ops[0].name));
+    const std::string& cmp = inst.modifiers.empty() ? "" : inst.modifiers[0];
+    const bool is_unsigned = !is_float && !out->is_signed;
+    CmpOp op_code;
+    if (cmp == "eq") op_code = CmpOp::kEq;
+    else if (cmp == "ne") op_code = CmpOp::kNe;
+    else if (cmp == "lt" || (is_unsigned && cmp == "lo")) op_code = CmpOp::kLt;
+    else if (cmp == "le" || (is_unsigned && cmp == "ls")) op_code = CmpOp::kLe;
+    else if (cmp == "gt" || (is_unsigned && cmp == "hi")) op_code = CmpOp::kGt;
+    else if (cmp == "ge" || (is_unsigned && cmp == "hs")) op_code = CmpOp::kGe;
+    else
+      return fault_error(StatusCode::kUnimplemented,
+                         "setp." + cmp +
+                             (is_float ? " (float)"
+                                       : out->is_signed ? " (signed)"
+                                                        : " (unsigned)"));
+    out->op = COp::kSetp;
+    out->sub = static_cast<std::uint8_t>(op_code);
+    return OkStatus();
+  }
+
+  if (opc == "selp") {
+    if (!need_ops(4)) return emit_error();
+    out->a = CompileValue(ops[1], type, &err);
+    out->b = CompileValue(ops[2], type, &err);
+    out->c = CompileValue(ops[3], Type::kPred, &err);
+    if (err.set) return emit_error();
+    GRD_ASSIGN_OR_RETURN(out->dst, Intern(ops[0].name));
+    out->op = COp::kSelp;
+    return OkStatus();
+  }
+
+  if (opc == "bra") {
+    if (!need_ops(1)) return emit_error();
+    const auto it = labels_.find(ops[0].name);
+    if (it == labels_.end())
+      return fault_error(StatusCode::kNotFound,
+                         "branch target " + ops[0].name);
+    out->op = COp::kBra;
+    out->target = it->second;
+    return OkStatus();
+  }
+
+  if (opc == "brx") {
+    if (!need_ops(2)) return emit_error();
+    out->a = CompileValue(ops[0], type, &err);
+    if (err.set) return emit_error();
+    const auto table_it = raw_tables_.find(ops[1].name);
+    if (table_it == raw_tables_.end())
+      return fault_error(StatusCode::kNotFound,
+                         "branch table " + ops[1].name);
+    BranchTable table;
+    for (const auto& label : table_it->second->labels) {
+      const auto label_it = labels_.find(label);
+      if (label_it == labels_.end()) {
+        // Faults only if this index is actually taken, like the reference.
+        table.pcs.push_back(BranchTable::kUnresolved);
+        table.label_strings.push_back(AddString("branch target " + label));
+      } else {
+        table.pcs.push_back(label_it->second);
+        table.label_strings.push_back(0);
+      }
+    }
+    out->op = COp::kBrx;
+    out->target = static_cast<std::uint32_t>(out_.branch_tables.size());
+    out_.branch_tables.push_back(std::move(table));
+    return OkStatus();
+  }
+
+  if (opc == "bar") {
+    out->op = COp::kBar;
+    return OkStatus();
+  }
+
+  if (opc == "ret" || opc == "exit") {
+    out->op = COp::kRetExit;
+    return OkStatus();
+  }
+
+  if (opc == "trap") {
+    out->op = COp::kTrap;
+    return OkStatus();
+  }
+
+  return fault_error(StatusCode::kUnimplemented, "opcode " + opc);
+}
+
+Result<CompiledKernel> KernelCompiler::Compile() {
+  out_.name = kernel_.name;
+  out_.param_count = kernel_.params.size();
+  // strings[0] is reserved so 0 is never a live message index.
+  out_.strings.emplace_back();
+  GRD_RETURN_IF_ERROR(Flatten());
+  if (insts_.size() >= BranchTable::kUnresolved)
+    return Status(InvalidArgument("kernel " + kernel_.name +
+                                  " has too many instructions"));
+  out_.code.reserve(insts_.size());
+  for (const Instruction* inst : insts_) {
+    CompiledInst lowered;
+    GRD_RETURN_IF_ERROR(Lower(*inst, &lowered));
+    out_.code.push_back(lowered);
+  }
+  out_.reg_slots = static_cast<std::uint16_t>(reg_slots_.size());
+  return std::move(out_);
+}
+
+// ---- compiled block executor ----------------------------------------------
+
+struct ThreadCtx {
+  std::uint32_t tid_x = 0, tid_y = 0, tid_z = 0;
+  std::uint32_t ctaid_x = 0, ctaid_y = 0, ctaid_z = 0;
+};
+
+struct CThread {
+  std::uint32_t pc = 0;
+  bool done = false;
+  ThreadCtx ctx;
+};
+
+enum class StepOutcome { kContinue, kBarrier, kDone };
+
+class CompiledBlockExecutor {
+ public:
+  CompiledBlockExecutor(const CompiledKernel& prog, const LaunchParams& params,
+                        simgpu::GlobalMemory* memory,
+                        simgpu::AccessPolicy* policy, std::uint64_t client,
+                        std::uint64_t max_instructions, ExecStats* stats,
+                        const std::atomic<bool>* preempt = nullptr,
+                        std::uint64_t preempt_check_interval = 0)
+      : prog_(prog),
+        params_(params),
+        memory_(memory),
+        policy_(policy),
+        client_(client),
+        max_instructions_(max_instructions),
+        stats_(stats),
+        preempt_(preempt),
+        preempt_check_interval_(
+            preempt_check_interval > 0 ? preempt_check_interval : 1),
+        preempt_countdown_(preempt_check_interval_),
+        shared_(prog.shared_size, 0) {}
+
+  // Runs one block to completion (all threads), honoring bar.sync phases.
+  Status RunBlock(std::uint32_t bx, std::uint32_t by, std::uint32_t bz,
+                  DeviceFault* fault);
+
+  const DeviceFault& fault() const noexcept { return fault_; }
+  // A preemption request observed by the every-N-instructions poll. The
+  // block still runs to completion — the safe point is its boundary.
+  bool preempt_latched() const noexcept { return preempt_latched_; }
+
+ private:
+  Status Step(CThread& t, std::uint64_t* regs, StepOutcome* outcome);
+
+  std::uint64_t Special(const CThread& t, SpecialReg sreg) const {
+    switch (sreg) {
+      case SpecialReg::kTidX: return t.ctx.tid_x;
+      case SpecialReg::kTidY: return t.ctx.tid_y;
+      case SpecialReg::kTidZ: return t.ctx.tid_z;
+      case SpecialReg::kNtidX: return params_.block.x;
+      case SpecialReg::kNtidY: return params_.block.y;
+      case SpecialReg::kNtidZ: return params_.block.z;
+      case SpecialReg::kCtaidX: return t.ctx.ctaid_x;
+      case SpecialReg::kCtaidY: return t.ctx.ctaid_y;
+      case SpecialReg::kCtaidZ: return t.ctx.ctaid_z;
+      case SpecialReg::kNctaidX: return params_.grid.x;
+      case SpecialReg::kNctaidY: return params_.grid.y;
+      case SpecialReg::kNctaidZ: return params_.grid.z;
+      case SpecialReg::kLaneId: return t.ctx.tid_x % 32;
+      case SpecialReg::kWarpSize: return 32;
+    }
+    return 0;
+  }
+
+  std::uint64_t ReadOp(const CThread& t, const std::uint64_t* regs,
+                       const OperandDesc& desc) const {
+    switch (desc.kind) {
+      case OperandDesc::Kind::kReg: return regs[desc.slot];
+      case OperandDesc::Kind::kImm: return desc.imm;
+      case OperandDesc::Kind::kSpecial: return Special(t, desc.sreg);
+    }
+    return 0;
+  }
+
+  Result<std::uint64_t> LoadSized(std::uint64_t addr, std::size_t bytes) {
+    if (addr & kSharedTag) {
+      const std::uint64_t off = addr & ~kSharedTag;
+      if (off + bytes > shared_.size())
+        return Status(OutOfRange("shared access beyond block allocation"));
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, shared_.data() + off, bytes);
+      ++stats_->shared_accesses;
+      return bits;
+    }
+    GRD_RETURN_IF_ERROR(policy_->CheckAccess(client_, addr, bytes, false));
+    std::uint64_t bits = 0;
+    GRD_RETURN_IF_ERROR(memory_->Read(addr, &bits, bytes));
+    ++stats_->global_loads;
+    return bits;
+  }
+
+  Status StoreSized(std::uint64_t addr, std::uint64_t bits,
+                    std::size_t bytes) {
+    if (addr & kSharedTag) {
+      const std::uint64_t off = addr & ~kSharedTag;
+      if (off + bytes > shared_.size())
+        return OutOfRange("shared access beyond block allocation");
+      std::memcpy(shared_.data() + off, &bits, bytes);
+      ++stats_->shared_accesses;
+      return OkStatus();
+    }
+    GRD_RETURN_IF_ERROR(policy_->CheckAccess(client_, addr, bytes, true));
+    GRD_RETURN_IF_ERROR(memory_->Write(addr, &bits, bytes));
+    ++stats_->global_stores;
+    return OkStatus();
+  }
+
+  Status Fault(Status status, std::uint64_t addr, const CThread& t) {
+    fault_ = DeviceFault{std::move(status), addr, LinearThreadId(t),
+                         prog_.name};
+    return fault_.status;
+  }
+  std::uint64_t LinearThreadId(const CThread& t) const {
+    return static_cast<std::uint64_t>(t.ctx.ctaid_x) * params_.block.Count() +
+           t.ctx.tid_x;
+  }
+
+  const CompiledKernel& prog_;
+  const LaunchParams& params_;
+  simgpu::GlobalMemory* memory_;
+  simgpu::AccessPolicy* policy_;
+  std::uint64_t client_;
+  std::uint64_t max_instructions_;
+  ExecStats* stats_;
+  const std::atomic<bool>* preempt_;
+  std::uint64_t preempt_check_interval_;
+  std::uint64_t preempt_countdown_;
+  bool preempt_latched_ = false;
+  std::vector<std::uint8_t> shared_;
+  std::vector<std::uint64_t> regs_;  // nthreads x reg_slots, flat
+  DeviceFault fault_;
+};
+
+Status CompiledBlockExecutor::Step(CThread& t, std::uint64_t* regs,
+                                   StepOutcome* outcome) {
+  *outcome = StepOutcome::kContinue;
+  if (t.pc >= prog_.code.size()) {
+    *outcome = StepOutcome::kDone;
+    return OkStatus();
+  }
+  const CompiledInst& inst = prog_.code[t.pc];
+  ++stats_->instructions;
+
+  // Guard predicate: one array read, no hash.
+  if (inst.pred_slot != kNoPredSlot) {
+    const bool value = (regs[inst.pred_slot] & 1) != 0;
+    if (value == inst.pred_negated) {
+      ++t.pc;
+      return OkStatus();
+    }
+  }
+
+  const std::size_t width = inst.width;
+
+  switch (inst.op) {
+    case COp::kLdParam: {
+      if (inst.param_index >= params_.args.size())
+        return Fault(InvalidArgument("missing argument for parameter " +
+                                     prog_.strings[inst.target]),
+                     0, t);
+      regs[inst.dst] =
+          MaskToWidth(params_.args[inst.param_index].bits, width);
+      ++t.pc;
+      return OkStatus();
+    }
+
+    case COp::kLd: {
+      const std::uint64_t addr = ReadOp(t, regs, inst.a) +
+                                 static_cast<std::uint64_t>(inst.mem_offset);
+      if (inst.sub > 1) {
+        for (int lane = 0; lane < inst.sub; ++lane) {
+          auto bits = LoadSized(addr + lane * width, width);
+          if (!bits.ok()) return Fault(bits.status(), addr, t);
+          regs[inst.vec[lane]] = *bits;
+        }
+      } else {
+        auto bits = LoadSized(addr, width);
+        if (!bits.ok()) return Fault(bits.status(), addr, t);
+        // Sign-extend signed sub-64-bit loads so later s64 arithmetic works.
+        regs[inst.dst] =
+            inst.is_signed
+                ? static_cast<std::uint64_t>(SignExtend(*bits, width))
+                : *bits;
+      }
+      ++t.pc;
+      return OkStatus();
+    }
+
+    case COp::kSt: {
+      const std::uint64_t addr = ReadOp(t, regs, inst.a) +
+                                 static_cast<std::uint64_t>(inst.mem_offset);
+      if (inst.sub > 1) {
+        for (int lane = 0; lane < inst.sub; ++lane) {
+          const Status s = StoreSized(
+              addr + lane * width, MaskToWidth(regs[inst.vec[lane]], width),
+              width);
+          if (!s.ok()) return Fault(s, addr, t);
+        }
+      } else {
+        const Status s = StoreSized(
+            addr, MaskToWidth(ReadOp(t, regs, inst.b), width), width);
+        if (!s.ok()) return Fault(s, addr, t);
+      }
+      ++t.pc;
+      return OkStatus();
+    }
+
+    case COp::kMov: {
+      regs[inst.dst] = ReadOp(t, regs, inst.a);
+      ++t.pc;
+      return OkStatus();
+    }
+
+    case COp::kCvt: {
+      const Type dst_t = inst.type;
+      const Type src_t = inst.src_type;
+      const std::uint64_t raw = ReadOp(t, regs, inst.a);
+      std::uint64_t out = 0;
+      if (ptx::IsFloat(src_t) && ptx::IsFloat(dst_t)) {
+        const double v = src_t == Type::kF64 ? AsF64(raw) : AsF32(raw);
+        out =
+            dst_t == Type::kF64 ? F64Bits(v) : F32Bits(static_cast<float>(v));
+      } else if (ptx::IsFloat(src_t)) {
+        const double v = src_t == Type::kF64 ? AsF64(raw) : AsF32(raw);
+        out = MaskToWidth(
+            static_cast<std::uint64_t>(static_cast<std::int64_t>(v)),
+            ptx::TypeSize(dst_t));
+      } else if (ptx::IsFloat(dst_t)) {
+        const double v =
+            ptx::IsSigned(src_t)
+                ? static_cast<double>(SignExtend(raw, ptx::TypeSize(src_t)))
+                : static_cast<double>(MaskToWidth(raw, ptx::TypeSize(src_t)));
+        out =
+            dst_t == Type::kF64 ? F64Bits(v) : F32Bits(static_cast<float>(v));
+      } else {
+        const std::uint64_t v =
+            ptx::IsSigned(src_t)
+                ? static_cast<std::uint64_t>(
+                      SignExtend(raw, ptx::TypeSize(src_t)))
+                : MaskToWidth(raw, ptx::TypeSize(src_t));
+        out = MaskToWidth(v, ptx::TypeSize(dst_t));
+      }
+      regs[inst.dst] = out;
+      ++t.pc;
+      return OkStatus();
+    }
+
+    case COp::kBinary: {
+      const std::uint64_t a = ReadOp(t, regs, inst.a);
+      const std::uint64_t b = ReadOp(t, regs, inst.b);
+      const auto alu = static_cast<BinAlu>(inst.sub);
+      std::uint64_t out = 0;
+      if (inst.is_float) {
+        const bool f64 = inst.type == Type::kF64;
+        const double x = f64 ? AsF64(a) : AsF32(a);
+        const double y = f64 ? AsF64(b) : AsF32(b);
+        double r = 0.0;
+        switch (alu) {
+          case BinAlu::kAdd: r = x + y; break;
+          case BinAlu::kSub: r = x - y; break;
+          case BinAlu::kMul: r = x * y; break;
+          case BinAlu::kDiv: r = y == 0.0 ? 0.0 : x / y; break;
+          case BinAlu::kMin: r = std::fmin(x, y); break;
+          case BinAlu::kMax: r = std::fmax(x, y); break;
+          default: break;  // unreachable: compiled to kError
+        }
+        out = f64 ? F64Bits(r) : F32Bits(static_cast<float>(r));
+      } else if (alu == BinAlu::kMulWide) {
+        out = inst.is_signed
+                  ? static_cast<std::uint64_t>(SignExtend(a, width) *
+                                               SignExtend(b, width))
+                  : MaskToWidth(a, width) * MaskToWidth(b, width);
+      } else if (alu == BinAlu::kMulHi) {
+        const unsigned __int128 prod =
+            static_cast<unsigned __int128>(MaskToWidth(a, width)) *
+            MaskToWidth(b, width);
+        out = MaskToWidth(static_cast<std::uint64_t>(prod >> (width * 8)),
+                          width);
+      } else {
+        const std::uint64_t ua = MaskToWidth(a, width);
+        const std::uint64_t ub = MaskToWidth(b, width);
+        const std::int64_t sa = SignExtend(a, width);
+        const std::int64_t sb = SignExtend(b, width);
+        switch (alu) {
+          case BinAlu::kAdd: out = ua + ub; break;
+          case BinAlu::kSub: out = ua - ub; break;
+          case BinAlu::kMul: out = ua * ub; break;  // .lo
+          case BinAlu::kDiv:
+            out = ub == 0 ? 0
+                  : inst.is_signed ? static_cast<std::uint64_t>(sa / sb)
+                                   : ua / ub;
+            break;
+          case BinAlu::kRem:
+            out = ub == 0 ? 0
+                  : inst.is_signed ? static_cast<std::uint64_t>(sa % sb)
+                                   : ua % ub;
+            break;
+          case BinAlu::kMin:
+            out = inst.is_signed
+                      ? static_cast<std::uint64_t>(std::min(sa, sb))
+                      : std::min(ua, ub);
+            break;
+          case BinAlu::kMax:
+            out = inst.is_signed
+                      ? static_cast<std::uint64_t>(std::max(sa, sb))
+                      : std::max(ua, ub);
+            break;
+          case BinAlu::kAnd: out = ua & ub; break;
+          case BinAlu::kOr: out = ua | ub; break;
+          case BinAlu::kXor: out = ua ^ ub; break;
+          case BinAlu::kShl: out = ua << (ub & (width * 8 - 1)); break;
+          case BinAlu::kShr:
+            out = inst.is_signed
+                      ? static_cast<std::uint64_t>(sa >> (ub & (width * 8 - 1)))
+                      : ua >> (ub & (width * 8 - 1));
+            break;
+          default: break;  // kMulWide/kMulHi handled above
+        }
+        out = MaskToWidth(out, width);
+      }
+      regs[inst.dst] = out;
+      ++t.pc;
+      return OkStatus();
+    }
+
+    case COp::kMad: {
+      const std::uint64_t a = ReadOp(t, regs, inst.a);
+      const std::uint64_t b = ReadOp(t, regs, inst.b);
+      const std::uint64_t c = ReadOp(t, regs, inst.c);
+      std::uint64_t out = 0;
+      if (inst.is_float) {
+        const bool f64 = inst.type == Type::kF64;
+        const double r = (f64 ? AsF64(a) : AsF32(a)) *
+                             (f64 ? AsF64(b) : AsF32(b)) +
+                         (f64 ? AsF64(c) : AsF32(c));
+        out = f64 ? F64Bits(r) : F32Bits(static_cast<float>(r));
+      } else if (inst.sub == 1) {  // wide
+        out = static_cast<std::uint64_t>(SignExtend(a, width) *
+                                         SignExtend(b, width)) +
+              c;
+      } else {
+        out = MaskToWidth(MaskToWidth(a, width) * MaskToWidth(b, width) +
+                              MaskToWidth(c, width),
+                          width);
+      }
+      regs[inst.dst] = out;
+      ++t.pc;
+      return OkStatus();
+    }
+
+    case COp::kUnary: {
+      const std::uint64_t a = ReadOp(t, regs, inst.a);
+      std::uint64_t out = 0;
+      if (inst.is_float) {
+        const bool f64 = inst.type == Type::kF64;
+        const double x = f64 ? AsF64(a) : AsF32(a);
+        double r = 0.0;
+        switch (static_cast<UnAlu>(inst.sub)) {
+          case UnAlu::kNeg: r = -x; break;
+          case UnAlu::kAbs: r = std::fabs(x); break;
+          case UnAlu::kSqrt: r = std::sqrt(x); break;
+          default: break;  // unreachable
+        }
+        out = f64 ? F64Bits(r) : F32Bits(static_cast<float>(r));
+      } else {
+        switch (static_cast<UnAlu>(inst.sub)) {
+          case UnAlu::kNeg:
+            out = MaskToWidth(
+                static_cast<std::uint64_t>(-SignExtend(a, width)), width);
+            break;
+          case UnAlu::kAbs:
+            out = MaskToWidth(static_cast<std::uint64_t>(
+                                  std::llabs(SignExtend(a, width))),
+                              width);
+            break;
+          case UnAlu::kNot: out = MaskToWidth(~a, width); break;
+          default: break;  // unreachable
+        }
+      }
+      regs[inst.dst] = out;
+      ++t.pc;
+      return OkStatus();
+    }
+
+    case COp::kSetp: {
+      const std::uint64_t a = ReadOp(t, regs, inst.a);
+      const std::uint64_t b = ReadOp(t, regs, inst.b);
+      const auto cmp = static_cast<CmpOp>(inst.sub);
+      bool r = false;
+      if (inst.is_float) {
+        const bool f64 = inst.type == Type::kF64;
+        const double x = f64 ? AsF64(a) : AsF32(a);
+        const double y = f64 ? AsF64(b) : AsF32(b);
+        switch (cmp) {
+          case CmpOp::kEq: r = x == y; break;
+          case CmpOp::kNe: r = x != y; break;
+          case CmpOp::kLt: r = x < y; break;
+          case CmpOp::kLe: r = x <= y; break;
+          case CmpOp::kGt: r = x > y; break;
+          case CmpOp::kGe: r = x >= y; break;
+        }
+      } else if (inst.is_signed) {
+        const std::int64_t x = SignExtend(a, width);
+        const std::int64_t y = SignExtend(b, width);
+        switch (cmp) {
+          case CmpOp::kEq: r = x == y; break;
+          case CmpOp::kNe: r = x != y; break;
+          case CmpOp::kLt: r = x < y; break;
+          case CmpOp::kLe: r = x <= y; break;
+          case CmpOp::kGt: r = x > y; break;
+          case CmpOp::kGe: r = x >= y; break;
+        }
+      } else {
+        const std::uint64_t x = MaskToWidth(a, width);
+        const std::uint64_t y = MaskToWidth(b, width);
+        switch (cmp) {
+          case CmpOp::kEq: r = x == y; break;
+          case CmpOp::kNe: r = x != y; break;
+          case CmpOp::kLt: r = x < y; break;
+          case CmpOp::kLe: r = x <= y; break;
+          case CmpOp::kGt: r = x > y; break;
+          case CmpOp::kGe: r = x >= y; break;
+        }
+      }
+      regs[inst.dst] = r ? 1 : 0;
+      ++t.pc;
+      return OkStatus();
+    }
+
+    case COp::kSelp: {
+      const std::uint64_t a = ReadOp(t, regs, inst.a);
+      const std::uint64_t b = ReadOp(t, regs, inst.b);
+      const std::uint64_t p = ReadOp(t, regs, inst.c);
+      regs[inst.dst] = (p & 1) ? a : b;
+      ++t.pc;
+      return OkStatus();
+    }
+
+    case COp::kBra: {
+      t.pc = inst.target;
+      return OkStatus();
+    }
+
+    case COp::kBrx: {
+      // brx.idx %index, table; — the paper's unsafe indirect branch (§3):
+      // out-of-range indices are modeled as a device fault; Guardian's patch
+      // clamps the index so the patched kernel cannot reach it.
+      const std::uint64_t idx = ReadOp(t, regs, inst.a);
+      const BranchTable& table = prog_.branch_tables[inst.target];
+      if (idx >= table.pcs.size())
+        return Fault(OutOfRange("brx.idx index " + std::to_string(idx) +
+                                " outside table of " +
+                                std::to_string(table.pcs.size())),
+                     idx, t);
+      const std::uint32_t target = table.pcs[idx];
+      if (target == BranchTable::kUnresolved)
+        return Fault(
+            Status(StatusCode::kNotFound,
+                   prog_.strings[table.label_strings[idx]]),
+            0, t);
+      t.pc = target;
+      return OkStatus();
+    }
+
+    case COp::kBar: {
+      ++t.pc;
+      *outcome = StepOutcome::kBarrier;
+      return OkStatus();
+    }
+
+    case COp::kRetExit: {
+      *outcome = StepOutcome::kDone;
+      return OkStatus();
+    }
+
+    case COp::kTrap: {
+      // Emitted by the address-checking instrumentation on a bounds
+      // violation.
+      return Fault(
+          OutOfRange("bounds check trap in kernel " + prog_.name), 0, t);
+    }
+
+    case COp::kError: {
+      Status status(inst.error_code, prog_.strings[inst.target]);
+      if (inst.error_is_fault) return Fault(std::move(status), 0, t);
+      return status;
+    }
+  }
+  return Internal("corrupt compiled instruction");
+}
+
+Status CompiledBlockExecutor::RunBlock(std::uint32_t bx, std::uint32_t by,
+                                       std::uint32_t bz, DeviceFault* fault) {
+  const std::uint64_t nthreads = params_.block.Count();
+  std::vector<CThread> threads(nthreads);
+  // One flat register file for the whole block: thread i's registers are
+  // regs_[i * reg_slots .. (i+1) * reg_slots).
+  regs_.assign(nthreads * prog_.reg_slots, 0);
+  for (std::uint64_t i = 0; i < nthreads; ++i) {
+    auto& t = threads[i];
+    t.ctx.tid_x = static_cast<std::uint32_t>(i % params_.block.x);
+    t.ctx.tid_y = static_cast<std::uint32_t>((i / params_.block.x) %
+                                             params_.block.y);
+    t.ctx.tid_z = static_cast<std::uint32_t>(i /
+                                             (static_cast<std::uint64_t>(
+                                                  params_.block.x) *
+                                              params_.block.y));
+    t.ctx.ctaid_x = bx;
+    t.ctx.ctaid_y = by;
+    t.ctx.ctaid_z = bz;
+  }
+  stats_->threads += nthreads;
+
+  bool all_done = false;
+  while (!all_done) {
+    all_done = true;
+    bool progressed = false;
+    for (std::uint64_t i = 0; i < nthreads; ++i) {
+      auto& t = threads[i];
+      if (t.done) continue;
+      std::uint64_t* regs = regs_.data() + i * prog_.reg_slots;
+      // Run this thread until it blocks on a barrier or finishes.
+      std::uint64_t budget = max_instructions_;
+      while (true) {
+        if (budget-- == 0) {
+          *fault = DeviceFault{DeadlineExceeded("runaway kernel " +
+                                                prog_.name +
+                                                " exceeded instruction budget"),
+                               0, LinearThreadId(t), prog_.name};
+          return fault->status;
+        }
+        if (preempt_ != nullptr && !preempt_latched_ &&
+            --preempt_countdown_ == 0) {
+          preempt_countdown_ = preempt_check_interval_;
+          preempt_latched_ = preempt_->load(std::memory_order_relaxed);
+        }
+        StepOutcome outcome;
+        const Status s = Step(t, regs, &outcome);
+        if (!s.ok()) {
+          *fault = fault_;
+          return s;
+        }
+        progressed = true;
+        if (outcome == StepOutcome::kDone) {
+          t.done = true;
+          break;
+        }
+        if (outcome == StepOutcome::kBarrier) break;
+      }
+      if (!t.done) all_done = false;
+    }
+    if (!all_done && !progressed) {
+      *fault = DeviceFault{Internal("barrier deadlock in " + prog_.name), 0,
+                           0, prog_.name};
+      return fault->status;
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Result<CompiledKernel> CompileKernel(const ptx::Kernel& kernel) {
+  return KernelCompiler(kernel).Compile();
+}
+
+std::shared_ptr<const CompiledModule> CompiledModule::Compile(
+    const ptx::Module& module) {
+  auto compiled = std::make_shared<CompiledModule>();
+  compiled->entries_.reserve(module.kernels.size());
+  for (const auto& kernel : module.kernels) {
+    Entry entry;
+    entry.name = kernel.name;
+    auto result = CompileKernel(kernel);
+    if (result.ok())
+      entry.kernel = std::make_shared<const CompiledKernel>(
+          std::move(*result));
+    else
+      entry.error = result.status();
+    compiled->entries_.push_back(std::move(entry));
+  }
+  return compiled;
+}
+
+Result<std::shared_ptr<const CompiledKernel>> CompiledModule::Find(
+    std::string_view kernel_name) const {
+  for (const auto& entry : entries_) {
+    if (entry.name != kernel_name) continue;
+    if (entry.kernel == nullptr) return entry.error;
+    return entry.kernel;
+  }
+  return Status(NotFound("kernel " + std::string(kernel_name) +
+                         " not in module"));
+}
+
+// ---- compiled top-level execution -----------------------------------------
+
+Result<ExecStats> Interpreter::Execute(const CompiledKernel& kernel,
+                                       const LaunchParams& params) {
+  return Execute(kernel, params, ExecControls{});
+}
+
+Result<ExecStats> Interpreter::Execute(const CompiledKernel& kernel,
+                                       const LaunchParams& params,
+                                       const ExecControls& controls) {
+  KernelCheckpoint* ckpt = controls.checkpoint;
+  const std::uint64_t total_blocks = params.grid.Count();
+  if (ckpt != nullptr) {
+    if (ckpt->valid && ckpt->blocks_total != total_blocks)
+      return Status(
+          InvalidArgument("checkpoint does not match launch geometry"));
+    ckpt->blocks_total = total_blocks;
+  }
+  // Resume accumulates into the checkpointed totals, so at completion the
+  // stats cover every block exactly once regardless of how many times the
+  // kernel was suspended.
+  ExecStats stats = (ckpt != nullptr && ckpt->valid) ? ckpt->stats
+                                                     : ExecStats{};
+
+  auto preempt_pending = [&]() -> bool {
+    return ckpt != nullptr && controls.preempt_requested != nullptr &&
+           controls.preempt_requested->load(std::memory_order_relaxed);
+  };
+
+  std::uint64_t linear = 0;
+  for (std::uint32_t bz = 0; bz < params.grid.z; ++bz) {
+    for (std::uint32_t by = 0; by < params.grid.y; ++by) {
+      for (std::uint32_t bx = 0; bx < params.grid.x; ++bx, ++linear) {
+        if (ckpt != nullptr && ckpt->valid && ckpt->Done(linear)) continue;
+        const ExecStats before = stats;
+        CompiledBlockExecutor block(kernel, params, memory_, policy_, client_,
+                                    max_instructions_per_thread_, &stats,
+                                    controls.preempt_requested,
+                                    controls.preempt_check_interval);
+        DeviceFault fault;
+        const Status s = block.RunBlock(bx, by, bz, &fault);
+        if (!s.ok()) {
+          // A tripped instruction budget keeps the checkpoint (every block
+          // before the runaway one), so the caller may requeue instead of
+          // killing; any other fault invalidates nothing the caller should
+          // resume from.
+          if (ckpt != nullptr && s.code() == StatusCode::kDeadlineExceeded)
+            ckpt->stats = stats;
+          last_fault_ = fault;
+          return s;
+        }
+        ++stats.blocks;
+        if (ckpt != nullptr) {
+          ckpt->MarkDone(linear);
+          ckpt->stats = stats;
+        }
+        if (controls.after_block) {
+          ExecStats delta;
+          delta.instructions = stats.instructions - before.instructions;
+          delta.global_loads = stats.global_loads - before.global_loads;
+          delta.global_stores = stats.global_stores - before.global_stores;
+          delta.shared_accesses =
+              stats.shared_accesses - before.shared_accesses;
+          delta.threads = stats.threads - before.threads;
+          delta.blocks = 1;
+          controls.after_block(delta);
+        }
+        // Safe point: between blocks. Yield only when there is work left —
+        // a fully executed kernel completes normally.
+        if ((block.preempt_latched() || preempt_pending()) &&
+            ckpt != nullptr && ckpt->blocks_done < total_blocks) {
+          return Status(
+              Unavailable("kernel " + kernel.name +
+                          " preempted at safe point (" +
+                          std::to_string(ckpt->blocks_done) + "/" +
+                          std::to_string(total_blocks) + " blocks done)"));
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+Result<ExecStats> Interpreter::Execute(const ptx::Module& module,
+                                       std::string_view kernel_name,
+                                       const LaunchParams& params) {
+  return Execute(module, kernel_name, params, ExecControls{});
+}
+
+Result<ExecStats> Interpreter::Execute(const ptx::Module& module,
+                                       std::string_view kernel_name,
+                                       const LaunchParams& params,
+                                       const ExecControls& controls) {
+  const ptx::Kernel* kernel = module.FindKernel(kernel_name);
+  if (kernel == nullptr)
+    return Status(NotFound("kernel " + std::string(kernel_name) +
+                           " not in module"));
+  GRD_ASSIGN_OR_RETURN(CompiledKernel compiled, CompileKernel(*kernel));
+  return Execute(compiled, params, controls);
+}
+
+}  // namespace grd::ptxexec

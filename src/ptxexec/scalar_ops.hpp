@@ -1,0 +1,53 @@
+// Scalar bit-manipulation helpers shared by the compiled engine
+// (program.cpp) and the reference engine (interpreter.cpp). Both engines
+// must produce bit-identical results — the parity suite compares their
+// outputs — so the width masking / sign extension / float reinterpretation
+// primitives live here exactly once.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace grd::ptxexec::scalar {
+
+// Shared-memory addresses are tagged so fenced global arithmetic can never
+// collide with them (fencing applies only to global/local accesses anyway).
+inline constexpr std::uint64_t kSharedTag = 0x4000'0000'0000'0000ull;
+
+inline std::uint64_t MaskToWidth(std::uint64_t v, std::size_t bytes) {
+  if (bytes >= 8) return v;
+  return v & ((std::uint64_t{1} << (bytes * 8)) - 1);
+}
+
+inline std::int64_t SignExtend(std::uint64_t v, std::size_t bytes) {
+  if (bytes >= 8) return static_cast<std::int64_t>(v);
+  const int shift = static_cast<int>(64 - bytes * 8);
+  return static_cast<std::int64_t>(v << shift) >> shift;
+}
+
+inline float AsF32(std::uint64_t bits) {
+  float f;
+  const auto b = static_cast<std::uint32_t>(bits);
+  std::memcpy(&f, &b, sizeof(f));
+  return f;
+}
+
+inline std::uint64_t F32Bits(float f) {
+  std::uint32_t b;
+  std::memcpy(&b, &f, sizeof(b));
+  return b;
+}
+
+inline double AsF64(std::uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+inline std::uint64_t F64Bits(double d) {
+  std::uint64_t b;
+  std::memcpy(&b, &d, sizeof(b));
+  return b;
+}
+
+}  // namespace grd::ptxexec::scalar

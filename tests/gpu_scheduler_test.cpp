@@ -373,6 +373,9 @@ TEST_F(SchedulerTest, BatchedAsyncCallsCoalesceIntoOneMessage) {
   EXPECT_EQ(manager_->stats().batches_decoded, 1u);
   EXPECT_EQ(manager_->stats().batched_ops, 4u);
   EXPECT_EQ(lib->batches_sent(), 1u);
+  // All four sub-ops succeeded with empty payloads: the reply collapsed to
+  // one summary response instead of four full ones.
+  EXPECT_EQ(manager_->stats().batch_responses_compacted, 1u);
 
   std::vector<std::uint32_t> out(n);
   ASSERT_TRUE(

@@ -52,6 +52,54 @@ TEST_F(RobustnessTest, UnknownOpcode) {
   EXPECT_FALSE(Send(std::move(request).Take()).ok());
 }
 
+TEST_F(RobustnessTest, BatchAbortAnswersInFullFormWithPerOpStatuses) {
+  auto lib = GrdLib::Connect(&transport_, 1 << 20);
+  ASSERT_TRUE(lib.ok());
+  simcuda::EventId event = 0;
+  ASSERT_TRUE(lib->cudaEventCreateWithFlags(&event, 0).ok());
+
+  // sub0: valid EventRecord on the default stream. sub1: launch with a
+  // bogus function handle — fails, aborting the batch.
+  ipc::Writer sub0;
+  protocol::WriteHeader(sub0, protocol::Op::kEventRecord, lib->client_id());
+  sub0.Put<std::uint64_t>(event);
+  sub0.Put<std::uint64_t>(0);
+  ipc::Writer sub1;
+  protocol::WriteHeader(sub1, protocol::Op::kLaunchKernel, lib->client_id());
+  sub1.Put<std::uint64_t>(999);  // unknown function handle
+  for (int i = 0; i < 6; ++i) sub1.Put<std::uint32_t>(1);  // grid + block
+  sub1.Put<std::uint64_t>(0);    // stream
+  sub1.Put<std::uint32_t>(0);    // argc
+
+  ipc::Writer envelope;
+  protocol::WriteHeader(envelope, protocol::Op::kBatch, lib->client_id());
+  envelope.Put<std::uint32_t>(2);
+  const ipc::Bytes sub0_bytes = std::move(sub0).Take();
+  const ipc::Bytes sub1_bytes = std::move(sub1).Take();
+  envelope.PutBlob(sub0_bytes.data(), sub0_bytes.size());
+  envelope.PutBlob(sub1_bytes.data(), sub1_bytes.size());
+
+  const auto response = manager_.HandleRequest(std::move(envelope).Take());
+  auto reader = protocol::DecodeResponse(response);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  auto form = reader->Get<std::uint8_t>();
+  ASSERT_TRUE(form.ok());
+  EXPECT_EQ(*form, 0) << "aborted batch must keep the full response form";
+  auto executed = reader->Get<std::uint32_t>();
+  ASSERT_TRUE(executed.ok());
+  ASSERT_EQ(*executed, 2u);
+  auto first = reader->GetBlob();
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(protocol::DecodeResponse(*first).ok());
+  auto second = reader->GetBlob();
+  ASSERT_TRUE(second.ok());
+  auto second_decoded = protocol::DecodeResponse(*second);
+  ASSERT_FALSE(second_decoded.ok());
+  EXPECT_EQ(second_decoded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(manager_.stats().batch_responses_compacted, 0u);
+  EXPECT_EQ(manager_.stats().batches_decoded, 1u);
+}
+
 TEST_F(RobustnessTest, TruncatedLaunchRequest) {
   auto lib = GrdLib::Connect(&transport_, 1 << 20);
   ASSERT_TRUE(lib.ok());

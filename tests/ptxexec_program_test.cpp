@@ -1,0 +1,606 @@
+// Parity suite for the compiled bytecode engine (ptxexec::CompileKernel +
+// the CompiledKernel executor) against the seed string-map interpreter
+// (Interpreter::ExecuteReference): every kernel family the ptxexec tests
+// exercise — plus patched kernels, faults, checkpoints and random fuzz —
+// must produce identical ExecStats, statuses, fault details and memory
+// images on both engines. Also holds the no-string-lookups-per-step
+// regression guard.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ptx/generator.hpp"
+#include "ptx/parser.hpp"
+#include "ptxexec/interpreter.hpp"
+#include "ptxpatcher/patcher.hpp"
+
+namespace grd::ptxexec {
+namespace {
+
+using ptx::MakeSampleModule;
+
+constexpr std::uint64_t kMemBytes = 8ull << 20;
+
+// Initial memory image: (address, u32 value) pairs stored before the run.
+using MemInit = std::vector<std::pair<std::uint64_t, std::uint32_t>>;
+
+class RangePolicy final : public simgpu::AccessPolicy {
+ public:
+  RangePolicy(std::uint64_t base, std::uint64_t size)
+      : base_(base), size_(size) {}
+  Status CheckAccess(std::uint64_t, std::uint64_t addr, std::uint64_t size,
+                     bool) override {
+    if (addr < base_ || addr + size > base_ + size_)
+      return PermissionDenied("access outside allowed range");
+    return OkStatus();
+  }
+
+ private:
+  std::uint64_t base_, size_;
+};
+
+struct EngineRun {
+  Result<ExecStats> result = ExecStats{};
+  DeviceFault fault;
+  std::vector<std::uint8_t> memory;
+};
+
+// Runs `kernel` once per engine on identical fresh memory images and
+// returns both outcomes for comparison.
+template <typename RunFn>
+EngineRun RunEngine(const ptx::Module& module, const std::string& kernel,
+                    const LaunchParams& params, const MemInit& init,
+                    simgpu::AccessPolicy* policy, RunFn&& run) {
+  EngineRun out;
+  simgpu::GlobalMemory memory(kMemBytes);
+  simgpu::AllowAllPolicy allow_all;
+  for (const auto& [addr, value] : init)
+    EXPECT_TRUE(memory.Store<std::uint32_t>(addr, value).ok());
+  Interpreter interp(&memory, policy != nullptr ? policy : &allow_all, 1);
+  out.result = run(interp, module, kernel, params);
+  out.fault = interp.last_fault();
+  out.memory.resize(kMemBytes);
+  EXPECT_TRUE(memory.Read(0, out.memory.data(), kMemBytes).ok());
+  return out;
+}
+
+void ExpectParity(const ptx::Module& module, const std::string& kernel,
+                  const LaunchParams& params, const MemInit& init = {},
+                  simgpu::AccessPolicy* ref_policy = nullptr,
+                  simgpu::AccessPolicy* compiled_policy = nullptr) {
+  const EngineRun reference = RunEngine(
+      module, kernel, params, init, ref_policy,
+      [](Interpreter& interp, const ptx::Module& m, const std::string& k,
+         const LaunchParams& p) { return interp.ExecuteReference(m, k, p); });
+  const EngineRun compiled = RunEngine(
+      module, kernel, params, init, compiled_policy,
+      [](Interpreter& interp, const ptx::Module& m, const std::string& k,
+         const LaunchParams& p) { return interp.Execute(m, k, p); });
+
+  ASSERT_EQ(reference.result.ok(), compiled.result.ok())
+      << "kernel " << kernel << ": reference="
+      << (reference.result.ok() ? "ok" : reference.result.status().ToString())
+      << " compiled="
+      << (compiled.result.ok() ? "ok" : compiled.result.status().ToString());
+  if (reference.result.ok()) {
+    const ExecStats& a = *reference.result;
+    const ExecStats& b = *compiled.result;
+    EXPECT_EQ(a.instructions, b.instructions) << kernel;
+    EXPECT_EQ(a.global_loads, b.global_loads) << kernel;
+    EXPECT_EQ(a.global_stores, b.global_stores) << kernel;
+    EXPECT_EQ(a.shared_accesses, b.shared_accesses) << kernel;
+    EXPECT_EQ(a.threads, b.threads) << kernel;
+    EXPECT_EQ(a.blocks, b.blocks) << kernel;
+  } else {
+    EXPECT_EQ(reference.result.status().code(), compiled.result.status().code())
+        << kernel;
+    EXPECT_EQ(reference.result.status().message(),
+              compiled.result.status().message())
+        << kernel;
+    EXPECT_EQ(reference.fault.status.code(), compiled.fault.status.code())
+        << kernel;
+    EXPECT_EQ(reference.fault.address, compiled.fault.address) << kernel;
+    EXPECT_EQ(reference.fault.thread_linear_id, compiled.fault.thread_linear_id)
+        << kernel;
+    EXPECT_EQ(reference.fault.kernel, compiled.fault.kernel) << kernel;
+  }
+  EXPECT_EQ(reference.memory, compiled.memory)
+      << "kernel " << kernel << ": engines diverged in memory effects";
+}
+
+// ---- sample-module kernels (the ptxexec_test corpus) ----------------------
+
+TEST(ProgramParity, StoreTid) {
+  LaunchParams params;
+  params.block = {8, 1, 1};
+  params.args = {KernelArg::U64(0x1000), KernelArg::U32(5)};
+  ExpectParity(MakeSampleModule(), "kernel", params);
+}
+
+TEST(ProgramParity, VecAddMultiBlockGuardedTail) {
+  MemInit init;
+  for (int i = 0; i < 500; ++i) {
+    init.push_back({0x10000 + i * 4, 0x3FC00000});  // 1.5f
+    init.push_back({0x20000 + i * 4, 0x40200000});  // 2.5f
+  }
+  LaunchParams params;
+  params.grid = {4, 1, 1};
+  params.block = {128, 1, 1};
+  params.args = {KernelArg::U64(0x10000), KernelArg::U64(0x20000),
+                 KernelArg::U64(0x30000), KernelArg::U32(500)};
+  ExpectParity(MakeSampleModule(), "vecadd", params, init);
+}
+
+TEST(ProgramParity, SaxpyFma) {
+  MemInit init;
+  for (int i = 0; i < 32; ++i) {
+    init.push_back({0x1000 + i * 4, 0x40000000});  // 2.0f
+    init.push_back({0x2000 + i * 4, 0x3F800000});  // 1.0f
+  }
+  LaunchParams params;
+  params.block = {32, 1, 1};
+  params.args = {KernelArg::U64(0x1000), KernelArg::U64(0x2000),
+                 KernelArg::F32(3.0f), KernelArg::U32(32)};
+  ExpectParity(MakeSampleModule(), "saxpy", params, init);
+}
+
+TEST(ProgramParity, OffsetCopy) {
+  MemInit init;
+  for (int i = 0; i < 64; ++i) init.push_back({0x4000 + i * 4, 100u + i});
+  LaunchParams params;
+  params.block = {16, 1, 1};
+  params.args = {KernelArg::U64(0x4000), KernelArg::U64(0x8000)};
+  ExpectParity(MakeSampleModule(), "offset_copy", params, init);
+}
+
+TEST(ProgramParity, DotUnrolled) {
+  MemInit init;
+  for (int i = 0; i < 16; ++i) {
+    init.push_back({0x1000 + i * 4, 0x40000000});  // 2.0f
+    init.push_back({0x2000 + i * 4, 0x40400000});  // 3.0f
+  }
+  LaunchParams params;
+  params.block = {4, 1, 1};
+  params.args = {KernelArg::U64(0x1000), KernelArg::U64(0x2000),
+                 KernelArg::U64(0x3000)};
+  ExpectParity(MakeSampleModule(), "dot", params, init);
+}
+
+TEST(ProgramParity, ReduceSharedMemoryBarriers) {
+  MemInit init;
+  for (int i = 0; i < 64; ++i) init.push_back({0x1000 + i * 4, 0x3F800000});
+  LaunchParams params;
+  params.block = {64, 1, 1};
+  params.args = {KernelArg::U64(0x1000), KernelArg::U64(0x2000)};
+  ExpectParity(MakeSampleModule(), "reduce", params, init);
+}
+
+TEST(ProgramParity, IndirectBranchAllArmsAndFault) {
+  LaunchParams params;
+  params.block = {1, 1, 1};
+  for (std::uint32_t sel : {0u, 1u, 2u, 7u}) {  // 7 faults (table size 3)
+    params.args = {KernelArg::U64(0x100), KernelArg::U32(sel)};
+    ExpectParity(MakeSampleModule(), "brx_kernel", params);
+  }
+}
+
+TEST(ProgramParity, OobWriterUnprotectedAndPolicyFault) {
+  LaunchParams params;
+  params.block = {1, 1, 1};
+  params.args = {KernelArg::U64(0x10000), KernelArg::U64(0x10000),
+                 KernelArg::U32(666)};
+  // Unprotected: the write lands (Figure 1 scenario).
+  ExpectParity(MakeSampleModule(), "oob_writer", params,
+               {{0x20000, 777u}});
+  // Under a range policy both engines must fault identically.
+  RangePolicy ref_policy(0x10000, 0x1000);
+  RangePolicy compiled_policy(0x10000, 0x1000);
+  ExpectParity(MakeSampleModule(), "oob_writer", params, {{0x20000, 777u}},
+               &ref_policy, &compiled_policy);
+}
+
+TEST(ProgramParity, MissingKernelArgumentFaults) {
+  LaunchParams params;
+  params.block = {4, 1, 1};
+  params.args = {KernelArg::U64(0x1000)};  // second param missing
+  ExpectParity(MakeSampleModule(), "kernel", params);
+}
+
+TEST(ProgramParity, UnknownKernelNameSameError) {
+  LaunchParams params;
+  simgpu::GlobalMemory memory(1 << 20);
+  simgpu::AllowAllPolicy allow;
+  Interpreter interp(&memory, &allow, 1);
+  const ptx::Module module = MakeSampleModule();
+  auto reference = interp.ExecuteReference(module, "nope", params);
+  auto compiled = interp.Execute(module, "nope", params);
+  ASSERT_FALSE(reference.ok());
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(reference.status().code(), compiled.status().code());
+  EXPECT_EQ(reference.status().message(), compiled.status().message());
+}
+
+// ---- patched (sandboxed) kernels ------------------------------------------
+
+TEST(ProgramParity, PatchedKernelsAllModes) {
+  using ptxpatcher::BoundsCheckMode;
+  for (const auto mode :
+       {BoundsCheckMode::kFencingBitwise, BoundsCheckMode::kFencingModulo,
+        BoundsCheckMode::kChecking}) {
+    ptxpatcher::PatchOptions options;
+    options.mode = mode;
+    auto patched = ptxpatcher::PatchModule(MakeSampleModule(), options);
+    ASSERT_TRUE(patched.ok()) << patched.status();
+    const std::uint64_t base = 1ull << 20;
+    const auto grd = ptxpatcher::ComputeGrdArgs(mode, base, 1ull << 20);
+    MemInit init;
+    for (int i = 0; i < 256; ++i) init.push_back({base + i * 4, 7u * i});
+    LaunchParams params;
+    params.grid = {2, 1, 1};
+    params.block = {128, 1, 1};
+    params.args = {KernelArg::U64(base), KernelArg::U64(base + 0x8000),
+                   KernelArg::U32(256), KernelArg::U64(grd.arg0),
+                   KernelArg::U64(grd.arg1)};
+    ExpectParity(*patched, "copyk", params, init);
+  }
+}
+
+// ---- arithmetic / control snippets ----------------------------------------
+
+class SnippetParity : public ::testing::Test {
+ protected:
+  // The ptxexec_arith_test harness shape: %rd1 = out pointer, %rd2/%rd3 =
+  // u64 args a/b.
+  void Check(const std::string& body, std::uint64_t a = 0,
+             std::uint64_t b = 0) {
+    const std::string src = R"(
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry t(.param .u64 p_out, .param .u64 p_a, .param .u64 p_b)
+{
+    .reg .pred %p<4>;
+    .reg .f32 %f<8>;
+    .reg .f64 %fd<8>;
+    .reg .b32 %r<16>;
+    .reg .b64 %rd<16>;
+    .shared .align 8 .b8 scratch[64];
+    ld.param.u64 %rd1, [p_out];
+    ld.param.u64 %rd2, [p_a];
+    ld.param.u64 %rd3, [p_b];
+    cvta.to.global.u64 %rd1, %rd1;
+)" + body + R"(
+    ret;
+}
+)";
+    auto module = ptx::Parse(src);
+    ASSERT_TRUE(module.ok()) << module.status() << "\n" << body;
+    LaunchParams params;
+    params.args = {KernelArg::U64(0x1000), KernelArg::U64(a),
+                   KernelArg::U64(b)};
+    ExpectParity(*module, "t", params);
+  }
+};
+
+TEST_F(SnippetParity, IntegerArithmetic) {
+  Check("div.s32 %r1, %rd2, %rd3; st.global.u32 [%rd1], %r1;",
+        static_cast<std::uint64_t>(-7), 2);
+  Check("rem.u64 %rd4, %rd2, %rd3; st.global.u64 [%rd1], %rd4;", 1000003, 97);
+  Check("div.u32 %r1, %rd2, %rd3; st.global.u32 [%rd1], %r1;", 42, 0);
+  Check("rem.s32 %r1, %rd2, %rd3; st.global.u32 [%rd1], %r1;",
+        static_cast<std::uint64_t>(-9), 4);
+  Check("mul.hi.u32 %r1, %rd2, %rd3; st.global.u32 [%rd1], %r1;", 0xFFFFFFFF,
+        0xFFFFFFFF);
+  Check("mul.wide.s32 %rd4, %rd2, %rd3; st.global.u64 [%rd1], %rd4;",
+        static_cast<std::uint32_t>(-3), 5);
+  Check("mad.lo.u32 %r1, %rd2, %rd3, 17; st.global.u32 [%rd1], %r1;", 6, 9);
+  Check("mad.wide.s32 %rd4, %rd2, %rd3, 1000; st.global.u64 [%rd1], %rd4;",
+        static_cast<std::uint32_t>(-20), 3);
+  Check("min.s32 %r1, %rd2, %rd3; max.s32 %r2, %rd2, %rd3; "
+        "add.s32 %r3, %r1, %r2; st.global.u32 [%rd1], %r3;",
+        static_cast<std::uint64_t>(-10), 3);
+  Check("shr.s32 %r1, %rd2, 2; st.global.u32 [%rd1], %r1;",
+        static_cast<std::uint32_t>(-16), 0);
+  Check("shl.b32 %r1, %rd2, 35; st.global.u32 [%rd1], %r1;", 3, 0);
+  Check("neg.s32 %r1, %rd2; abs.s32 %r2, %r1; xor.b32 %r3, %r1, %r2; "
+        "not.b32 %r4, %r3; st.global.u32 [%rd1], %r4;",
+        12345, 0);
+}
+
+TEST_F(SnippetParity, FloatArithmetic) {
+  Check("mov.f32 %f1, 0f40490FDB; sqrt.f32 %f2, %f1; "
+        "st.global.f32 [%rd1], %f2;");
+  Check("mov.f32 %f1, 3.5; mov.f32 %f2, 0f3F800000; div.f32 %f3, %f1, %f2; "
+        "min.f32 %f4, %f3, %f1; max.f32 %f5, %f4, %f2; "
+        "st.global.f32 [%rd1], %f5;");
+  Check("mov.f64 %fd1, 2.25; mov.f64 %fd2, 0.5; fma.rn.f64 %fd3, %fd1, %fd2, "
+        "%fd1; neg.f64 %fd4, %fd3; abs.f64 %fd5, %fd4; "
+        "st.global.f64 [%rd1], %fd5;");
+  Check("mov.f32 %f1, 1.5; mov.f32 %f2, 0.0; div.f32 %f3, %f1, %f2; "
+        "st.global.f32 [%rd1], %f3;");  // div-by-zero convention
+}
+
+TEST_F(SnippetParity, Conversions) {
+  Check("cvt.f64.s32 %fd1, %rd2; st.global.f64 [%rd1], %fd1;",
+        static_cast<std::uint64_t>(-42), 0);
+  Check("mov.f64 %fd1, 7.75; cvt.rzi.s32.f64 %r1, %fd1; "
+        "st.global.u32 [%rd1], %r1;");
+  Check("mov.f32 %f1, 0f4479C000; cvt.f64.f32 %fd1, %f1; "
+        "st.global.f64 [%rd1], %fd1;");
+  Check("cvt.u16.u64 %r1, %rd2; st.global.u32 [%rd1], %r1;", 0x12345678, 0);
+  Check("cvt.s64.s8 %rd4, %rd2; st.global.u64 [%rd1], %rd4;", 0x80, 0);
+}
+
+TEST_F(SnippetParity, PredicatesAndSelp) {
+  Check("setp.lt.s32 %p1, %rd2, %rd3; selp.b32 %r1, 11, 22, %p1; "
+        "st.global.u32 [%rd1], %r1;",
+        static_cast<std::uint64_t>(-1), 1);
+  Check("setp.hi.u32 %p1, %rd2, %rd3; @%p1 st.global.u32 [%rd1], 1; "
+        "@!%p1 st.global.u32 [%rd1], 2;",
+        10, 3);
+  Check("setp.ls.u64 %p1, %rd2, %rd3; selp.b64 %rd4, %rd2, %rd3, %p1; "
+        "st.global.u64 [%rd1], %rd4;",
+        5, 5);
+  Check("setp.ge.f32 %p1, %f1, %f2; selp.b32 %r1, 7, 8, %p1; "
+        "st.global.u32 [%rd1], %r1;");
+}
+
+TEST_F(SnippetParity, VectorLoadsStores) {
+  Check("mov.u32 %r1, 0x11; mov.u32 %r2, 0x22; mov.u32 %r3, 0x33; "
+        "mov.u32 %r4, 0x44; st.global.v4.u32 [%rd1], {%r1, %r2, %r3, %r4}; "
+        "ld.global.v2.u32 {%r5, %r6}, [%rd1+4]; add.u32 %r7, %r5, %r6; "
+        "st.global.u32 [%rd1+16], %r7;");
+}
+
+TEST_F(SnippetParity, SharedMemoryViaIdentifier) {
+  Check("mov.u64 %rd4, scratch; st.shared.u64 [%rd4+8], %rd2; "
+        "ld.shared.u64 %rd5, [scratch+8]; st.global.u64 [%rd1], %rd5;",
+        0xDEADBEEFCAFEull, 0);
+}
+
+TEST_F(SnippetParity, SpecialRegistersEveryRead) {
+  Check("mov.u32 %r1, %tid.x; mov.u32 %r2, %ntid.x; mov.u32 %r3, %ctaid.x; "
+        "mov.u32 %r4, %nctaid.x; mov.u32 %r5, %laneid; mov.u32 %r6, "
+        "%warpsize; add.u32 %r7, %r1, %r2; add.u32 %r7, %r7, %r3; "
+        "add.u32 %r7, %r7, %r4; add.u32 %r7, %r7, %r5; add.u32 %r7, %r7, "
+        "%r6; st.global.u32 [%rd1], %r7;");
+}
+
+TEST_F(SnippetParity, UnimplementedOpcodeFaultsIdentically) {
+  Check("atom.global.add.u32 %r1, [%rd1], 1; st.global.u32 [%rd1], %r1;");
+}
+
+TEST_F(SnippetParity, DeadUnimplementedOpcodeIsHarmless) {
+  // The reference engine only faults when the instruction is stepped on;
+  // the compiler must preserve that by deferring the error to execution.
+  Check("bra SKIP; atom.global.add.u32 %r1, [%rd1], 1; SKIP: "
+        "st.global.u32 [%rd1], 9;");
+}
+
+TEST_F(SnippetParity, TrapFaultsIdentically) {
+  Check("setp.eq.u32 %p1, %rd2, 1; @%p1 trap; st.global.u32 [%rd1], 3;", 1,
+        0);
+}
+
+// ---- randomized fuzz parity ------------------------------------------------
+
+TEST(ProgramParity, RandomKernelFuzz) {
+  Rng rng(0xC0FFEE);
+  for (int round = 0; round < 25; ++round) {
+    ptx::Module module;
+    module.kernels.push_back(ptx::MakeRandomKernel(
+        rng, "rk", static_cast<int>(rng.NextInRange(1, 24)),
+        static_cast<int>(rng.NextInRange(1, 12)), rng.NextBool(0.5)));
+    MemInit init;
+    for (int i = 0; i < 128; ++i)
+      init.push_back({0x40000 + i * 4,
+                      static_cast<std::uint32_t>(rng.NextInRange(0, 1u << 30))});
+    LaunchParams params;
+    params.grid = {static_cast<std::uint32_t>(rng.NextInRange(1, 3)), 1, 1};
+    params.block = {32, 1, 1};
+    params.args = {KernelArg::U64(0x40000), KernelArg::U32(0)};
+    ExpectParity(module, "rk", params, init);
+  }
+}
+
+// ---- instruction budget / checkpoint / preemption --------------------------
+
+TEST(ProgramParity, InstructionBudgetTripsIdentically) {
+  const ptx::Module module = MakeSampleModule();
+  LaunchParams params;
+  params.grid = {2, 1, 1};
+  params.block = {64, 1, 1};
+  params.args = {KernelArg::U64(0x1000), KernelArg::U64(0x2000),
+                 KernelArg::U64(0x3000), KernelArg::U32(128)};
+  simgpu::GlobalMemory mem_a(kMemBytes), mem_b(kMemBytes);
+  simgpu::AllowAllPolicy allow;
+  Interpreter ref(&mem_a, &allow, 1), comp(&mem_b, &allow, 1);
+  ref.set_max_instructions_per_thread(10);
+  comp.set_max_instructions_per_thread(10);
+  auto a = ref.ExecuteReference(module, "vecadd", params);
+  auto b = comp.Execute(module, "vecadd", params);
+  ASSERT_FALSE(a.ok());
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(a.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(a.status().code(), b.status().code());
+  EXPECT_EQ(a.status().message(), b.status().message());
+}
+
+TEST(ProgramParity, PreemptCheckpointResumeMatchesReference) {
+  const ptx::Module module = MakeSampleModule();
+  MemInit init;
+  for (int i = 0; i < 512; ++i) init.push_back({0x10000 + i * 4, 5u * i});
+
+  // Both engines: run with an always-on revocation flag, collecting one
+  // block per segment, resuming until done; totals must match a plain run.
+  for (const bool use_compiled : {false, true}) {
+    simgpu::GlobalMemory memory(kMemBytes);
+    simgpu::AllowAllPolicy allow;
+    for (const auto& [addr, value] : init)
+      ASSERT_TRUE(memory.Store<std::uint32_t>(addr, value).ok());
+    Interpreter interp(&memory, &allow, 1);
+    LaunchParams params;
+    params.grid = {4, 1, 1};
+    params.block = {128, 1, 1};
+    params.args = {KernelArg::U64(0x10000), KernelArg::U64(0x20000),
+                   KernelArg::U32(512)};
+
+    std::atomic<bool> revoke{true};
+    KernelCheckpoint ckpt;
+    ExecControls controls;
+    controls.preempt_requested = &revoke;
+    controls.preempt_check_interval = 100;
+    controls.checkpoint = &ckpt;
+
+    int segments = 0;
+    Result<ExecStats> run = ExecStats{};
+    while (true) {
+      run = use_compiled
+                ? interp.Execute(module, "copyk", params, controls)
+                : interp.ExecuteReference(module, "copyk", params, controls);
+      if (run.ok()) break;
+      ASSERT_TRUE(IsPreempted(run.status())) << run.status();
+      ++segments;
+      ASSERT_LT(segments, 16);
+    }
+    EXPECT_EQ(segments, 3) << "one block per segment over a 4-block grid";
+    EXPECT_EQ(run->blocks, 4u);
+    EXPECT_EQ(ckpt.blocks_done, 4u);
+    for (int i = 0; i < 512; ++i) {
+      auto v = memory.Load<std::uint32_t>(0x20000 + i * 4);
+      ASSERT_TRUE(v.ok());
+      ASSERT_EQ(*v, 5u * i) << "engine=" << use_compiled << " i=" << i;
+    }
+  }
+}
+
+// ---- the no-string-work regression guard -----------------------------------
+
+TEST(ProgramHotPath, CompiledExecutionPerformsNoStringLookups) {
+  const ptx::Module module = MakeSampleModule();
+  simgpu::GlobalMemory memory(kMemBytes);
+  simgpu::AllowAllPolicy allow;
+  Interpreter interp(&memory, &allow, 1);
+  LaunchParams params;
+  params.grid = {2, 1, 1};
+  params.block = {128, 1, 1};
+  params.args = {KernelArg::U64(0x10000), KernelArg::U64(0x20000),
+                 KernelArg::U64(0x30000), KernelArg::U32(200)};
+
+  // Compile outside the measured window (compilation itself may hash).
+  const ptx::Kernel* kernel = module.FindKernel("vecadd");
+  ASSERT_NE(kernel, nullptr);
+  auto compiled = CompileKernel(*kernel);
+  ASSERT_TRUE(compiled.ok());
+
+  const std::uint64_t before = exec_debug::HotPathStringLookups();
+  auto run = interp.Execute(*compiled, params);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(exec_debug::HotPathStringLookups() - before, 0u)
+      << "a std::string lookup crept back onto the compiled step path";
+
+  // Sanity: the counter is live — the reference engine must bump it heavily
+  // (several lookups per executed instruction).
+  auto ref = interp.ExecuteReference(module, "vecadd", params);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_GT(exec_debug::HotPathStringLookups() - before, ref->instructions);
+}
+
+// The special-register scan is a compile-time operand kind now: reading
+// %tid/%ctaid etc. every step must not touch the counter either.
+TEST(ProgramHotPath, SpecialRegisterReadsAreStringFree) {
+  const std::string src = R"(
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry t(.param .u64 p_out)
+{
+    .reg .b32 %r<8>;
+    .reg .b64 %rd<4>;
+    ld.param.u64 %rd1, [p_out];
+    mov.u32 %r1, %tid.x;
+    mov.u32 %r2, %ctaid.x;
+    mad.lo.u32 %r3, %r2, 64, %r1;
+    mul.wide.u32 %rd2, %r3, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    st.global.u32 [%rd3], %r3;
+    ret;
+}
+)";
+  auto module = ptx::Parse(src);
+  ASSERT_TRUE(module.ok()) << module.status();
+  auto compiled = CompileKernel(module->kernels[0]);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+
+  simgpu::GlobalMemory memory(1 << 20);
+  simgpu::AllowAllPolicy allow;
+  Interpreter interp(&memory, &allow, 1);
+  LaunchParams params;
+  params.grid = {4, 1, 1};
+  params.block = {64, 1, 1};
+  params.args = {KernelArg::U64(0x1000)};
+
+  const std::uint64_t before = exec_debug::HotPathStringLookups();
+  auto run = interp.Execute(*compiled, params);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(exec_debug::HotPathStringLookups() - before, 0u);
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    auto v = memory.Load<std::uint32_t>(0x1000 + i * 4);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+// ---- compile-time structure ------------------------------------------------
+
+TEST(CompileKernel, DuplicateLabelFailsLikePrepare) {
+  const std::string src = R"(
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry t()
+{
+L: ret;
+L: ret;
+}
+)";
+  auto module = ptx::Parse(src);
+  ASSERT_TRUE(module.ok()) << module.status();
+  auto compiled = CompileKernel(module->kernels[0]);
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kInvalidArgument);
+
+  // CompiledModule defers the error to Find, matching launch-time surfacing.
+  auto cm = CompiledModule::Compile(*module);
+  auto find = cm->Find("t");
+  ASSERT_FALSE(find.ok());
+  EXPECT_EQ(find.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CompileKernel, DenseLayoutBakesStructure) {
+  const ptx::Module module = MakeSampleModule();
+  const ptx::Kernel* reduce = module.FindKernel("reduce");
+  ASSERT_NE(reduce, nullptr);
+  auto compiled = CompileKernel(*reduce);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_GT(compiled->reg_slots, 0);
+  EXPECT_GT(compiled->shared_size, 0u);  // .shared decl baked into layout
+  EXPECT_FALSE(compiled->code.empty());
+
+  const ptx::Kernel* brx = module.FindKernel("brx_kernel");
+  ASSERT_NE(brx, nullptr);
+  auto brx_compiled = CompileKernel(*brx);
+  ASSERT_TRUE(brx_compiled.ok());
+  ASSERT_EQ(brx_compiled->branch_tables.size(), 1u);
+  EXPECT_EQ(brx_compiled->branch_tables[0].pcs.size(), 3u);
+  for (const std::uint32_t pc : brx_compiled->branch_tables[0].pcs) {
+    ASSERT_NE(pc, BranchTable::kUnresolved);
+    EXPECT_LT(pc, brx_compiled->code.size());
+  }
+}
+
+}  // namespace
+}  // namespace grd::ptxexec

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -196,6 +197,141 @@ TEST(SandboxCacheTest, ConcurrentIdenticalLoadsPatchOnce) {
   EXPECT_EQ(manager.stats().ptx_modules_patched, 1u);
   EXPECT_EQ(manager.stats().ptx_cache_hits,
             static_cast<std::uint64_t>(kThreads - 1));
+}
+
+TEST(SandboxCacheTest, CompiledProgramCachedAlongsidePatch) {
+  // The bytecode program is compiled exactly once per distinct source: a
+  // cache hit returns the stored CompiledModule without re-running
+  // CompileKernel (compiles stays at 1).
+  SandboxCache cache;
+  const std::string source = SamplePtx();
+  auto parsed = ptx::Parse(source);
+  ASSERT_TRUE(parsed.ok());
+  ptxpatcher::PatchOptions options;
+
+  auto first = cache.GetOrPatch(source, *parsed, options);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_NE(first->compiled, nullptr);
+  EXPECT_EQ(cache.stats().compiles, 1u);
+
+  auto second = cache.GetOrPatch(source, *parsed, options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->patched_now);
+  EXPECT_EQ(first->compiled.get(), second->compiled.get());
+  EXPECT_EQ(cache.stats().compiles, 1u) << "cache hit re-ran CompileKernel";
+
+  // The cached program is runnable as-is.
+  auto program = first->compiled->Find("copyk");
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_GT((*program)->code.size(), 0u);
+}
+
+TEST(SandboxCacheTest, ManagerCacheHitSkipsParsePatchAndCompile) {
+  simcuda::Gpu gpu(simgpu::QuadroRtxA4000());
+  GrdManager manager(&gpu, ManagerOptions{});
+  LoopbackTransport transport(&manager);
+  auto alice = GrdLib::Connect(&transport, 4 << 20);
+  auto bob = GrdLib::Connect(&transport, 4 << 20);
+  ASSERT_TRUE(alice.ok() && bob.ok());
+
+  const std::string source = SamplePtx();
+  ASSERT_TRUE(alice->cuModuleLoadData(source).ok());
+  ASSERT_TRUE(bob->cuModuleLoadData(source).ok());
+  EXPECT_EQ(manager.stats().ptx_modules_patched, 1u);
+  EXPECT_EQ(manager.stats().ptx_cache_hits, 1u);
+  // One program lowering total: the hit skipped CompileKernel too.
+  EXPECT_EQ(manager.stats().ptx_programs_compiled, 1u);
+  EXPECT_EQ(manager.sandbox_cache().stats().compiles, 1u);
+}
+
+TEST(SandboxCacheTest, CheckpointResumeUnderCompileCache) {
+  // Preemption checkpoint/resume when the victim runs a compiled program
+  // served from a cache HIT: a realtime tenant revokes a batch tenant's
+  // full-device kernel at a safe point, the kernel resumes its cached
+  // program and completes with correct output and no replayed blocks.
+  simcuda::Gpu gpu(simgpu::QuadroRtxA4000());
+  ManagerOptions options;
+  options.scheduler_executors = 4;
+  options.device_time_ns_per_cycle = 300.0;
+  options.aging_quantum_ns = 0;
+  GrdManager manager(&gpu, options);
+  LoopbackTransport transport(&manager);
+
+  auto rt = GrdLib::Connect(&transport, 8 << 20);
+  auto batch = GrdLib::Connect(&transport, 16ull << 20);
+  ASSERT_TRUE(rt.ok() && batch.ok());
+  ASSERT_TRUE(rt->SetPriority(protocol::PriorityClass::kRealtime).ok());
+  ASSERT_TRUE(batch->SetPriority(protocol::PriorityClass::kBatch).ok());
+
+  const std::string source = SamplePtx();
+  auto rt_module = rt->cuModuleLoadData(source);
+  auto batch_module = batch->cuModuleLoadData(source);  // cache hit
+  ASSERT_TRUE(rt_module.ok() && batch_module.ok());
+  ASSERT_EQ(manager.stats().ptx_programs_compiled, 1u);
+  auto rt_fn = rt->cuModuleGetFunction(*rt_module, "copyk");
+  auto batch_fn = batch->cuModuleGetFunction(*batch_module, "copyk");
+  ASSERT_TRUE(rt_fn.ok() && batch_fn.ok());
+
+  constexpr std::uint32_t kBatchElems = 48 * 1024;  // 48 blocks: every SM
+  constexpr std::uint32_t kRtElems = 256;
+  DevicePtr bsrc = 0, bdst = 0, rsrc = 0, rdst = 0;
+  ASSERT_TRUE(batch->cudaMalloc(&bsrc, kBatchElems * 4).ok());
+  ASSERT_TRUE(batch->cudaMalloc(&bdst, kBatchElems * 4).ok());
+  ASSERT_TRUE(rt->cudaMalloc(&rsrc, kRtElems * 4).ok());
+  ASSERT_TRUE(rt->cudaMalloc(&rdst, kRtElems * 4).ok());
+  std::vector<std::uint32_t> bdata(kBatchElems);
+  for (std::uint32_t i = 0; i < kBatchElems; ++i) bdata[i] = i * 3 + 1;
+  ASSERT_TRUE(batch->cudaMemcpyH2D(bsrc, bdata.data(), kBatchElems * 4).ok());
+  std::vector<std::uint32_t> rdata(kRtElems, 0xFA57);
+  ASSERT_TRUE(rt->cudaMemcpyH2D(rsrc, rdata.data(), kRtElems * 4).ok());
+
+  simcuda::StreamId bstream = 0, rstream = 0;
+  ASSERT_TRUE(batch->cudaStreamCreate(&bstream).ok());
+  ASSERT_TRUE(rt->cudaStreamCreate(&rstream).ok());
+
+  simcuda::LaunchConfig bconfig;
+  bconfig.block = {1024, 1, 1};
+  bconfig.grid = {kBatchElems / 1024, 1, 1};
+  bconfig.stream = bstream;
+  ASSERT_TRUE(batch
+                  ->cudaLaunchKernel(*batch_fn, bconfig,
+                                     {KernelArg::U64(bsrc),
+                                      KernelArg::U64(bdst),
+                                      KernelArg::U32(kBatchElems)})
+                  .ok());
+
+  // Only launch the realtime kernel once the batch kernel is resident, so
+  // the preemption path is deterministically exercised.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (manager.scheduler().resident_kernels() == 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "batch kernel never became resident";
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+
+  simcuda::LaunchConfig rconfig;
+  rconfig.block = {256, 1, 1};
+  rconfig.grid = {1, 1, 1};
+  rconfig.stream = rstream;
+  ASSERT_TRUE(rt->cudaLaunchKernel(*rt_fn, rconfig,
+                                   {KernelArg::U64(rsrc), KernelArg::U64(rdst),
+                                    KernelArg::U32(kRtElems)})
+                  .ok());
+  ASSERT_TRUE(rt->cudaStreamSynchronize(rstream).ok());
+  ASSERT_TRUE(batch->cudaStreamSynchronize(bstream).ok());
+
+  EXPECT_GE(manager.stats().preemptions, 1u);
+  EXPECT_GE(manager.stats().preemption_resumes, 1u);
+  // Exact block accounting: a replayed block would exceed the grid sizes.
+  EXPECT_EQ(manager.stats().kernel_blocks_executed,
+            kBatchElems / 1024 + kRtElems / 256);
+  std::vector<std::uint32_t> out(kBatchElems);
+  ASSERT_TRUE(batch
+                  ->cudaMemcpy(out.data(), bdst, kBatchElems * 4,
+                               MemcpyKind::kDeviceToHost)
+                  .ok());
+  EXPECT_EQ(out, bdata);
 }
 
 TEST(SandboxCacheTest, ProtectionDisabledBypassesCache) {

@@ -124,6 +124,70 @@ TEST_F(TransportTest, WeightedFairServesProportionallyToWeights) {
   EXPECT_EQ(Drain(light.channel()), 2u);
 }
 
+TEST_F(TransportTest, SessionPrioritySweepVisitsRealtimeChannelsFirst) {
+  // Channel order deliberately favors the batch tenant; the session-priority
+  // policy must still visit the realtime tenant's channel first each sweep.
+  ipc::HeapChannel batch_chan, rt_chan;
+  ManagerServer server(&manager_, ManagerServer::Policy::kSessionPriority);
+  server.AddChannel(&batch_chan.channel());
+  server.AddChannel(&rt_chan.channel());
+  const ClientId batch_client = Register(), rt_client = Register();
+
+  // Teach each channel which session it carries (header peek on serve).
+  EnqueueSyncs(batch_chan.channel(), batch_client, 1);
+  EnqueueSyncs(rt_chan.channel(), rt_client, 1);
+  EXPECT_EQ(server.ServeOnce(), 2u);
+  EXPECT_EQ(Drain(batch_chan.channel()), 1u);
+  EXPECT_EQ(Drain(rt_chan.channel()), 1u);
+
+  // Tag the sessions through the wire protocol (kSetPriority scope 0).
+  const auto set_priority = [&](ClientId client, protocol::PriorityClass cls) {
+    ipc::Writer request;
+    protocol::WriteHeader(request, protocol::Op::kSetPriority, client);
+    request.Put<std::uint8_t>(0);
+    request.Put<std::uint64_t>(0);
+    request.Put<std::uint8_t>(static_cast<std::uint8_t>(cls));
+    auto decoded =
+        protocol::DecodeResponse(manager_.HandleRequest(std::move(request).Take()));
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+  };
+  set_priority(batch_client, protocol::PriorityClass::kBatch);
+  set_priority(rt_client, protocol::PriorityClass::kRealtime);
+  EXPECT_EQ(manager_.SessionPriority(rt_client),
+            protocol::PriorityClass::kRealtime);
+  EXPECT_EQ(manager_.SessionPriority(batch_client),
+            protocol::PriorityClass::kBatch);
+
+  // One sessionless registration queued per channel, batch channel first.
+  // Registration order is observable through the handed-out client ids, so
+  // the sweep's visit order is provable: the realtime channel's
+  // registration must happen first despite its channel being listed last.
+  const auto enqueue_register = [](ipc::Channel& channel) {
+    ipc::Writer request;
+    protocol::WriteHeader(request, protocol::Op::kRegisterClient, 0);
+    request.Put<std::uint64_t>(1 << 20);
+    ASSERT_TRUE(channel.request().Write(std::move(request).Take()).ok());
+  };
+  enqueue_register(batch_chan.channel());
+  enqueue_register(rt_chan.channel());
+  EXPECT_EQ(server.ServeOnce(), 2u);
+
+  const auto read_new_id = [](ipc::Channel& channel) -> std::uint64_t {
+    auto response = channel.response().TryRead();
+    if (!response.ok()) return 0;
+    auto reader = protocol::DecodeResponse(*response);
+    if (!reader.ok()) return 0;
+    auto id = reader->Get<std::uint64_t>();
+    return id.ok() ? *id : 0;
+  };
+  const std::uint64_t id_via_rt = read_new_id(rt_chan.channel());
+  const std::uint64_t id_via_batch = read_new_id(batch_chan.channel());
+  ASSERT_NE(id_via_rt, 0u);
+  ASSERT_NE(id_via_batch, 0u);
+  EXPECT_LT(id_via_rt, id_via_batch)
+      << "batch channel was served before the realtime channel";
+}
+
 TEST_F(TransportTest, DroppedResponseIsCountedNotSilent) {
   ipc::HeapChannel heap;
   ManagerServer server(&manager_);
