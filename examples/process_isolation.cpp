@@ -1,26 +1,40 @@
-// Scenario: the paper's actual deployment shape — client applications and
-// the grdManager in DIFFERENT PROCESSES, exchanging CUDA calls over
-// shared-memory rings (per-application channels, §4).
+// Scenario: the paper's actual deployment shape at multi-worker scale —
+// client applications and a POOL OF FORKED grdManager worker processes in
+// different address spaces, meeting only in a MAP_SHARED region that holds
+// the per-application rings and the shared session registry
+// (guardian/process_server.hpp).
 //
-// The parent process runs the grdManager and its round-robin server pump;
-// two forked children act as tenant applications. Each child allocates,
-// uploads, launches the Listing-1 kernel, and reads results back — entirely
-// through IPC. One child then attempts the cross-tenant OOB write and the
-// parent verifies containment.
+// Three phases:
+//  1. Fault containment (the paper's §4 demo): an honest tenant and an
+//     attacker launching a blind cross-tenant OOB store run against two
+//     different workers; the store is fenced into the attacker's own
+//     partition and nobody else is harmed.
+//  2. Crash containment: a third tenant parks its worker inside an
+//     infinite kernel; we SIGKILL that worker mid-kernel. The tenant's
+//     blocked call returns a clean kUnavailable (synthetic response from
+//     the supervisor), its session is failed in the shared registry, the
+//     other workers keep serving throughout, and the parent respawns a
+//     replacement into the same slot.
+//  3. Recovery: the same tenant reconnects over the same channel — served
+//     by the respawned worker — and completes a full workload.
+//
+// The parent never touches the GPU: it supervises worker pids and reads
+// the shared registry/stats, which is all the control plane the paper's
+// manager-side deployment needs.
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
-#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <thread>
 
 #include "guardian/grdlib.hpp"
-#include "guardian/manager.hpp"
+#include "guardian/process_server.hpp"
+#include "guardian/shared_state.hpp"
 #include "guardian/transport.hpp"
-#include "ipc/channel.hpp"
 #include "ptx/generator.hpp"
 #include "ptx/printer.hpp"
-#include "simgpu/device_spec.hpp"
 
 using namespace grd;
 using guardian::GrdLib;
@@ -29,91 +43,193 @@ using simcuda::DevicePtr;
 
 namespace {
 
-constexpr std::uint64_t kRingBytes = 1 << 20;
+// Block 3 spins forever; launched synchronously it parks the serving
+// worker mid-kernel — the window phase 2 kills into.
+constexpr char kSpinTailPtx[] = R"(
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry spintail(
+    .param .u64 dst
+)
+{
+    .reg .b32 %r<4>;
+    .reg .b64 %rd<4>;
+    .reg .pred %p1;
+    mov.u32 %r1, %ctaid.x;
+    setp.lt.u32 %p1, %r1, 3;
+    @%p1 bra STORE;
+LOOP:
+    add.s32 %r2, %r2, 1;
+    bra LOOP;
+STORE:
+    ld.param.u64 %rd1, [dst];
+    cvta.to.global.u64 %rd2, %rd1;
+    mul.wide.u32 %rd3, %r1, 4;
+    add.s64 %rd2, %rd2, %rd3;
+    st.global.u32 [%rd2], %r1;
+    ret;
+}
+)";
 
-// Child tenant body: returns 0 on success.
-int RunTenant(void* channel_region, bool attack) {
-  ipc::Channel channel(channel_region, kRingBytes, /*initialize=*/false);
-  guardian::ChannelTransport transport(&channel);
+int RunHonestWorkload(GrdLib& lib) {
+  auto module = lib.cuModuleLoadData(ptx::Print(ptx::MakeSampleModule()));
+  if (!module.ok()) return 1;
+  auto fn = lib.cuModuleGetFunction(*module, "kernel");
+  if (!fn.ok()) return 2;
+  DevicePtr buf = 0;
+  if (!lib.cudaMalloc(&buf, 4096).ok()) return 3;
+  simcuda::LaunchConfig config;
+  config.block = {16, 1, 1};
+  if (!lib.cudaLaunchKernel(*fn, config,
+                            {KernelArg::U64(buf), KernelArg::U32(3)})
+           .ok())
+    return 4;
+  std::uint32_t value = 0;
+  if (!lib.cudaMemcpy(&value, buf + 12, 4, simcuda::MemcpyKind::kDeviceToHost)
+           .ok())
+    return 5;
+  return value == 15 ? 0 : 6;  // last tid of 16 threads
+}
+
+// Tenant 1: honest workload on channel 0.
+int RunHonestTenant(guardian::ProcessServer& server) {
+  guardian::ChannelTransport transport(&server.channel(0));
   auto lib = GrdLib::Connect(&transport, 8 << 20);
   if (!lib.ok()) return 10;
+  return RunHonestWorkload(*lib) == 0 ? 0 : 11;
+}
 
-  auto module =
-      lib->cuModuleLoadData(ptx::Print(ptx::MakeSampleModule()));
-  if (!module.ok()) return 11;
-
-  DevicePtr buf = 0;
-  if (!lib->cudaMalloc(&buf, 4096).ok()) return 12;
-
-  if (!attack) {
-    auto fn = lib->cuModuleGetFunction(*module, "kernel");
-    simcuda::LaunchConfig config;
-    config.block = {16, 1, 1};
-    if (!lib->cudaLaunchKernel(*fn, config,
-                               {KernelArg::U64(buf), KernelArg::U32(3)})
-             .ok())
-      return 13;
-    std::uint32_t value = 0;
-    if (!lib->cudaMemcpy(&value, buf + 12, 4,
-                         simcuda::MemcpyKind::kDeviceToHost)
-             .ok())
-      return 14;
-    return value == 15 ? 0 : 15;  // last tid of 16 threads
-  }
-
-  // The attacker: blind OOB store far outside its own partition.
+// Tenant 2: the attacker — blind OOB store far outside its partition.
+int RunAttackerTenant(guardian::ProcessServer& server) {
+  guardian::ChannelTransport transport(&server.channel(1));
+  auto lib = GrdLib::Connect(&transport, 8 << 20);
+  if (!lib.ok()) return 12;
+  auto module = lib->cuModuleLoadData(ptx::Print(ptx::MakeSampleModule()));
+  if (!module.ok()) return 13;
   auto fn = lib->cuModuleGetFunction(*module, "oob_writer");
+  if (!fn.ok()) return 14;
+  DevicePtr buf = 0;
+  if (!lib->cudaMalloc(&buf, 4096).ok()) return 15;
   const Status s = lib->cudaLaunchKernel(
       *fn, simcuda::LaunchConfig{},
-      {KernelArg::U64(buf), KernelArg::U64(512ull << 20),
-       KernelArg::U32(666)});
-  // Fencing: the launch SUCCEEDS (wraps) and nobody else is harmed.
+      {KernelArg::U64(buf), KernelArg::U64(512ull << 20), KernelArg::U32(666)});
+  // Fencing: the launch SUCCEEDS (the store wraps into the attacker's own
+  // partition) and nobody else is harmed.
   return s.ok() ? 0 : 16;
+}
+
+// Tenant 3: parks its worker in a spin kernel, survives the worker's
+// SIGKILL with a clean error, then reconnects and finishes a workload on
+// the respawned worker. `ready_fd` tells the parent the spin launch is out.
+int RunCrashTenant(guardian::ProcessServer& server, int ready_fd) {
+  guardian::ChannelTransport transport(&server.channel(2));
+  auto lib = GrdLib::Connect(&transport, 8 << 20);
+  if (!lib.ok()) return 20;
+  auto module = lib->cuModuleLoadData(kSpinTailPtx);
+  if (!module.ok()) return 21;
+  auto spin = lib->cuModuleGetFunction(*module, "spintail");
+  if (!spin.ok()) return 22;
+  DevicePtr buf = 0;
+  if (!lib->cudaMalloc(&buf, 4096).ok()) return 23;
+
+  if (write(ready_fd, "L", 1) != 1) return 24;
+  simcuda::LaunchConfig config;
+  config.grid = {4, 1, 1};
+  config.block = {1, 1, 1};
+  const Status killed =
+      lib->cudaLaunchKernel(*spin, config, {KernelArg::U64(buf)});
+  if (killed.ok() || killed.code() != StatusCode::kUnavailable) return 25;
+
+  auto fresh = GrdLib::Connect(&transport, 8 << 20);
+  if (!fresh.ok()) return 26;
+  return RunHonestWorkload(*fresh) == 0 ? 0 : 27;
+}
+
+int ExitCode(int wait_status) {
+  return WIFEXITED(wait_status) ? WEXITSTATUS(wait_status) : -1;
 }
 
 }  // namespace
 
 int main() {
-  auto region_a = ipc::SharedRegion::Create(ipc::Channel::RegionSize(kRingBytes));
-  auto region_b = ipc::SharedRegion::Create(ipc::Channel::RegionSize(kRingBytes));
-  if (!region_a.ok() || !region_b.ok()) return 1;
-  ipc::Channel channel_a(region_a->addr(), kRingBytes, /*initialize=*/true);
-  ipc::Channel channel_b(region_b->addr(), kRingBytes, /*initialize=*/true);
+  guardian::ProcessServerOptions options;
+  options.workers = 2;
+  options.channels = 3;
+  options.manager.max_kernel_instructions = 1ull << 40;  // spin until killed
+  auto server = guardian::ProcessServer::Create(options);
+  if (!server.ok()) return 1;
+  if (!(*server)->Start().ok()) return 1;
+  if (!(*server)->WaitForChannelOwners()) return 1;
+  std::printf("manager pool: %u forked workers over %u channels\n",
+              options.workers, options.channels);
 
+  // ---- phase 1: cross-tenant fault containment -----------------------------
   const pid_t tenant1 = fork();
-  if (tenant1 == 0) _exit(RunTenant(region_a->addr(), /*attack=*/false));
+  if (tenant1 == 0) _exit(RunHonestTenant(**server));
   const pid_t tenant2 = fork();
-  if (tenant2 == 0) _exit(RunTenant(region_b->addr(), /*attack=*/true));
-
-  // Parent: the grdManager process.
-  simcuda::Gpu gpu(simgpu::QuadroRtxA4000());
-  guardian::GrdManager manager(&gpu, guardian::ManagerOptions{});
-  guardian::ManagerServer server(&manager);
-  server.AddChannel(&channel_a);
-  server.AddChannel(&channel_b);
-
-  std::atomic<bool> stop{false};
-  std::thread pump([&] { server.Run(stop); });
-
+  if (tenant2 == 0) _exit(RunAttackerTenant(**server));
   int status1 = 0, status2 = 0;
   (void)waitpid(tenant1, &status1, 0);
   (void)waitpid(tenant2, &status2, 0);
-  stop.store(true);
-  pump.join();
+  std::printf("tenant 1 (honest)  : exit %d %s\n", ExitCode(status1),
+              ExitCode(status1) == 0 ? "(kernel ran, results correct)"
+                                     : "(FAILED)");
+  std::printf("tenant 2 (attacker): exit %d %s\n", ExitCode(status2),
+              ExitCode(status2) == 0
+                  ? "(OOB store wrapped into own partition)"
+                  : "(FAILED)");
 
-  const int code1 = WIFEXITED(status1) ? WEXITSTATUS(status1) : -1;
-  const int code2 = WIFEXITED(status2) ? WEXITSTATUS(status2) : -1;
-  std::printf("tenant 1 (honest)  : exit %d %s\n", code1,
-              code1 == 0 ? "(kernel ran, results correct)" : "(FAILED)");
-  std::printf("tenant 2 (attacker): exit %d %s\n", code2,
-              code2 == 0 ? "(OOB store wrapped into own partition)"
-                         : "(FAILED)");
-  std::printf("manager: %llu sandboxed launches, %llu faults, "
-              "%llu transfers checked\n",
+  // ---- phase 2+3: SIGKILL a worker mid-kernel, survive, respawn ------------
+  int ready[2];
+  if (pipe(ready) != 0) return 1;
+  const pid_t tenant3 = fork();
+  if (tenant3 == 0) _exit(RunCrashTenant(**server, ready[1]));
+  // Parent's write end closes now: a tenant that dies before signalling
+  // delivers EOF below instead of wedging the demo.
+  close(ready[1]);
+
+  char token = 0;
+  if (read(ready[0], &token, 1) != 1) {
+    int status3 = 0;
+    (void)waitpid(tenant3, &status3, 0);
+    std::printf("tenant 3 failed before the spin launch (exit %d)\n",
+                ExitCode(status3));
+    return 1;
+  }
+  ipc::Channel& crash_channel = (*server)->channel(2);
+  // Wait until the worker consumed the spin launch (mid-kernel), then kill.
+  while (crash_channel.request().messages_read() <=
+         crash_channel.response().messages_written())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const std::uint32_t victim = (*server)->channel_owner(2);
+  std::printf("SIGKILLing worker %u mid-kernel (pid %d)\n", victim,
+              static_cast<int>((*server)->worker_pid(victim)));
+  (void)kill((*server)->worker_pid(victim), SIGKILL);
+
+  int status3 = 0;
+  (void)waitpid(tenant3, &status3, 0);
+  std::printf("tenant 3 (crashed worker): exit %d %s\n", ExitCode(status3),
+              ExitCode(status3) == 0
+                  ? "(clean kUnavailable, reconnected on respawned worker)"
+                  : "(FAILED)");
+
+  guardian::SharedServingState& state = (*server)->state();
+  std::printf("supervisor: %llu session(s) crash-failed, %llu synthetic "
+              "response(s), %llu respawn(s)\n",
               static_cast<unsigned long long>(
-                  manager.stats().sandboxed_launches),
-              static_cast<unsigned long long>(manager.stats().faults_contained),
+                  state.counters().sessions_crash_failed.load()),
               static_cast<unsigned long long>(
-                  manager.stats().transfers_checked));
-  return (code1 == 0 && code2 == 0) ? 0 : 1;
+                  state.counters().synthetic_responses.load()),
+              static_cast<unsigned long long>(
+                  state.counters().workers_respawned.load()));
+  std::printf("MANAGER_STATS %s\n", state.stats().ToJson().c_str());
+
+  const bool ok = ExitCode(status1) == 0 && ExitCode(status2) == 0 &&
+                  ExitCode(status3) == 0 &&
+                  state.counters().workers_respawned.load() >= 1;
+  (*server)->Stop();
+  close(ready[0]);
+  return ok ? 0 : 1;
 }

@@ -4,8 +4,23 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 
 namespace grd {
+
+// Seed override for randomized tests: reads an integer (decimal or 0x hex)
+// from `env_var`, falling back to `fallback` when unset or malformed. The
+// fuzz suites seed their Rng through this and print the effective value on
+// failure, so a red randomized run reproduces with e.g.
+// `GRD_FUZZ_SEED=0xBAD5EED ctest -R ptxexec_program`.
+inline std::uint64_t SeedFromEnv(const char* env_var,
+                                 std::uint64_t fallback) noexcept {
+  const char* raw = std::getenv(env_var);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw, &end, 0);
+  return end != nullptr && *end == '\0' ? parsed : fallback;
+}
 
 class Rng {
  public:

@@ -1,10 +1,42 @@
 #include "guardian/bounds_table.hpp"
 
 #include "common/strings.hpp"
+#include "guardian/shared_state.hpp"
 
 namespace grd::guardian {
 
+SharedSessionSlot* PartitionBoundsTable::ResolveSharedSlot(
+    ClientId client) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = slot_memo_.find(client);
+    // A slot pointer is only valid while the slot still holds this client:
+    // recycling (release, crash-fail + reuse) republishes a new id there.
+    if (it != slot_memo_.end() &&
+        it->second->client.load(std::memory_order_acquire) == client)
+      return it->second;
+  }
+  SharedSessionSlot* slot = shared_->FindSession(client);
+  if (slot != nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    slot_memo_[client] = slot;
+  }
+  return slot;
+}
+
 Status PartitionBoundsTable::Insert(ClientId client, PartitionBounds bounds) {
+  if (shared_ != nullptr) {
+    // Upsert into the client's shared session slot (registration writes the
+    // initial bounds through AllocateSession already; GrowPartition re-inserts
+    // the doubled bounds here).
+    SharedSessionSlot* slot = ResolveSharedSlot(client);
+    if (slot == nullptr)
+      return NotFound("client " + std::to_string(client) +
+                      " has no shared session slot");
+    slot->partition_base.store(bounds.base, std::memory_order_relaxed);
+    slot->partition_size.store(bounds.size, std::memory_order_release);
+    return OkStatus();
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (!table_.emplace(client, bounds).second)
     return AlreadyExists("client " + std::to_string(client) +
@@ -13,6 +45,14 @@ Status PartitionBoundsTable::Insert(ClientId client, PartitionBounds bounds) {
 }
 
 Status PartitionBoundsTable::Remove(ClientId client) {
+  if (shared_ != nullptr) {
+    // The bounds live in the session slot; the registry erase (or the
+    // supervisor's crash fail-over) retires them. Only the memo is dropped
+    // here — disconnect must not fail because the slot went first.
+    std::lock_guard<std::mutex> lock(mu_);
+    slot_memo_.erase(client);
+    return OkStatus();
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (table_.erase(client) == 0)
     return NotFound("client " + std::to_string(client) + " has no partition");
@@ -20,12 +60,28 @@ Status PartitionBoundsTable::Remove(ClientId client) {
 }
 
 Result<PartitionBounds> PartitionBoundsTable::Lookup(ClientId client) const {
+  if (shared_ != nullptr) {
+    SharedSessionSlot* slot = ResolveSharedSlot(client);
+    if (slot == nullptr)
+      return Status(
+          NotFound("client " + std::to_string(client) + " has no partition"));
+    PartitionBounds bounds;
+    bounds.base = slot->partition_base.load(std::memory_order_acquire);
+    bounds.size = slot->partition_size.load(std::memory_order_acquire);
+    return bounds;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = table_.find(client);
   if (it == table_.end())
     return Status(
         NotFound("client " + std::to_string(client) + " has no partition"));
   return it->second;
+}
+
+std::size_t PartitionBoundsTable::size() const {
+  if (shared_ != nullptr) return shared_->ActiveSessions();
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_.size();
 }
 
 Status PartitionBoundsTable::CheckTransfer(ClientId client, std::uint64_t addr,

@@ -26,8 +26,21 @@ struct PartitionBounds {
   }
 };
 
+class SharedServingState;
+struct SharedSessionSlot;
+
 class PartitionBoundsTable {
  public:
+  // Process mode: back the table with the SharedRegion session slots instead
+  // of the private map, so bounds (including in-place partition growth) are
+  // visible to every worker process and the parent supervisor. In that mode
+  // Insert is an upsert into the client's slot and Remove succeeds trivially
+  // — the bounds entry lives and dies with the shared session slot itself.
+  // Lookups stay O(1): slot pointers are stable for the mapping's lifetime,
+  // so they are memoized per client under `mu_` and validated against the
+  // slot's own client id (which changes whenever a slot is recycled).
+  void BindShared(SharedServingState* shared) noexcept { shared_ = shared; }
+
   Status Insert(ClientId client, PartitionBounds bounds);
   Status Remove(ClientId client);
   Result<PartitionBounds> Lookup(ClientId client) const;
@@ -38,14 +51,18 @@ class PartitionBoundsTable {
   Status CheckTransfer(ClientId client, std::uint64_t addr,
                        std::uint64_t len) const;
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return table_.size();
-  }
+  std::size_t size() const;
 
  private:
+  // Resolves the client's shared slot, consulting and refreshing the memo
+  // under `mu_`. Null when the client has no live slot.
+  SharedSessionSlot* ResolveSharedSlot(ClientId client) const;
+
+  SharedServingState* shared_ = nullptr;  // null = threaded mode (map below)
   mutable std::mutex mu_;
   std::unordered_map<ClientId, PartitionBounds> table_;
+  // Process mode: client -> slot memo (see BindShared).
+  mutable std::unordered_map<ClientId, SharedSessionSlot*> slot_memo_;
 };
 
 }  // namespace grd::guardian

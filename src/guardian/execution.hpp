@@ -155,9 +155,15 @@ inline void BumpCounterMax(std::atomic<std::uint64_t>& counter,
 }
 
 struct ExecutionContext {
-  ExecutionContext(simcuda::Gpu* gpu_in, ManagerOptions options_in)
+  // `shared_stats` (process mode) points the counters at a ManagerStats
+  // living in the workers' SharedRegion, so the whole forked pool aggregates
+  // into one instance exactly like the threaded workers do; null keeps the
+  // private `owned_stats` below.
+  ExecutionContext(simcuda::Gpu* gpu_in, ManagerOptions options_in,
+                   ManagerStats* shared_stats = nullptr)
       : gpu(gpu_in),
         options(options_in),
+        stats(shared_stats != nullptr ? *shared_stats : owned_stats),
         sandbox_cache(options_in.sandbox_cache_capacity),
         partitions(gpu_in->spec().global_mem_bytes),
         scheduler(gpu_in->spec(), options_in.scheduler_executors, &stats,
@@ -167,7 +173,8 @@ struct ExecutionContext {
 
   simcuda::Gpu* gpu;
   const ManagerOptions options;
-  ManagerStats stats;
+  ManagerStats owned_stats;  // backing storage when no shared instance given
+  ManagerStats& stats;
   SandboxCache sandbox_cache;  // internally locked
 
   std::mutex partition_mu;  // guards `partitions` + paired `bounds` updates

@@ -111,7 +111,15 @@ Result<Writer> ExecuteRegister(HandlerContext& ctx, IdReq& req) {
   {
     std::lock_guard<std::mutex> lock(ctx.exec.partition_mu);
     GRD_ASSIGN_OR_RETURN(bounds, ctx.exec.partitions.CreatePartition(req.id));
-    id = ctx.sessions.Create(bounds, ctx.exec.scheduler.CreateStream())->id;
+    auto session =
+        ctx.sessions.Create(bounds, ctx.exec.scheduler.CreateStream());
+    if (!session.ok()) {
+      // Shared registry slots exhausted (process mode): roll the partition
+      // back so a rejected registration leaks no device memory.
+      (void)ctx.exec.partitions.ReleasePartition(bounds.base);
+      return session.status();
+    }
+    id = (*session)->id;
     GRD_RETURN_IF_ERROR(ctx.exec.bounds.Insert(id, bounds));
   }
   if (ctx.exec.options.standalone_fast_path) {
@@ -694,6 +702,7 @@ Result<Writer> ExecuteSetPriority(HandlerContext& ctx, SetPriorityReq& req) {
     ctx.exec.scheduler.SetStreamPriority(*StreamOf(ctx, req.stream), cls);
   } else {
     ctx.session->default_priority.store(cls, std::memory_order_relaxed);
+    ctx.sessions.PublishPriority(ctx.session->id, cls);
     for (auto& [id, stream] : ctx.session->streams)
       ctx.exec.scheduler.SetStreamPriority(*stream, cls);
   }

@@ -2,6 +2,8 @@
 
 #include <mutex>
 
+#include "guardian/shared_state.hpp"
+
 namespace grd::guardian {
 
 using ipc::Bytes;
@@ -9,7 +11,15 @@ using ipc::Reader;
 using ipc::Writer;
 
 GrdManager::GrdManager(simcuda::Gpu* gpu, ManagerOptions options)
-    : exec_(gpu, options) {
+    : GrdManager(gpu, options, nullptr, 0) {}
+
+GrdManager::GrdManager(simcuda::Gpu* gpu, ManagerOptions options,
+                       SharedServingState* shared, std::uint32_t worker_index)
+    : exec_(gpu, options, shared != nullptr ? &shared->stats() : nullptr) {
+  if (shared != nullptr) {
+    sessions_.BindShared(shared, worker_index);
+    exec_.bounds.BindShared(shared);
+  }
   RegisterBuiltinHandlers(dispatcher_);
 }
 

@@ -34,9 +34,19 @@
 
 namespace grd::guardian {
 
+class SharedServingState;
+
 class GrdManager {
  public:
   GrdManager(simcuda::Gpu* gpu, ManagerOptions options);
+
+  // Process-mode worker: sessions/bounds/stats bind to the forked pool's
+  // SharedRegion state (shared_state.hpp) on behalf of worker
+  // `worker_index`. Client ids are pool-unique, every registration is
+  // visible to the parent supervisor, and the stats counters aggregate
+  // across all workers.
+  GrdManager(simcuda::Gpu* gpu, ManagerOptions options,
+             SharedServingState* shared, std::uint32_t worker_index);
   // Quiesces the device scheduler (cancelling queued work, joining the
   // executor pool) before any session state is torn down.
   ~GrdManager();

@@ -1,11 +1,29 @@
 #include "guardian/session.hpp"
 
+#include "guardian/shared_state.hpp"
+
 namespace grd::guardian {
 
-std::shared_ptr<ClientSession> SessionRegistry::Create(
+void SessionRegistry::BindShared(SharedServingState* shared,
+                                 std::uint32_t worker_index) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  shared_ = shared;
+  worker_index_ = worker_index;
+}
+
+Result<std::shared_ptr<ClientSession>> SessionRegistry::Create(
     PartitionBounds partition, std::shared_ptr<GpuStream> default_stream) {
   std::unique_lock<std::shared_mutex> lock(mu_);
-  const ClientId id = next_id_++;
+  ClientId id = 0;
+  if (shared_ != nullptr) {
+    // Pool-unique id + shared slot (bounds included), stamped with this
+    // worker so the supervisor can fail exactly our sessions if we die.
+    GRD_ASSIGN_OR_RETURN(
+        id, shared_->AllocateSession(worker_index_, partition,
+                                     protocol::PriorityClass::kNormal));
+  } else {
+    id = next_id_++;
+  }
   auto session = std::make_shared<ClientSession>(id, std::move(default_stream));
   session->partition = partition;
   sessions_.emplace(id, session);
@@ -16,16 +34,42 @@ Result<std::shared_ptr<ClientSession>> SessionRegistry::Find(
     ClientId id) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   const auto it = sessions_.find(id);
-  if (it == sessions_.end())
-    return Status(NotFound("unknown client " + std::to_string(id)));
-  return it->second;
+  if (it != sessions_.end()) return it->second;
+  if (shared_ != nullptr) {
+    // Not ours — distinguish "never existed" from "its worker crashed" so
+    // orphaned clients see a clean containment status.
+    SharedSessionSlot* slot = shared_->FindSession(id);
+    if (slot != nullptr) {
+      const auto state = static_cast<SessionSlotState>(
+          slot->state.load(std::memory_order_acquire));
+      if (state == SessionSlotState::kFailed)
+        return Status(Unavailable(
+            "client " + std::to_string(id) +
+            " lost: its manager worker crashed (reconnect to register "
+            "a fresh session)"));
+      if (state == SessionSlotState::kActive)
+        return Status(Unavailable("client " + std::to_string(id) +
+                                  " is served by another manager worker"));
+    }
+  }
+  return Status(NotFound("unknown client " + std::to_string(id)));
 }
 
 Status SessionRegistry::Erase(ClientId id) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   if (sessions_.erase(id) == 0)
     return NotFound("unknown client " + std::to_string(id));
+  if (shared_ != nullptr) GRD_RETURN_IF_ERROR(shared_->ReleaseSession(id));
   return OkStatus();
+}
+
+void SessionRegistry::PublishPriority(ClientId id,
+                                      protocol::PriorityClass priority) {
+  if (shared_ == nullptr) return;
+  SharedSessionSlot* slot = shared_->FindSession(id);
+  if (slot != nullptr)
+    slot->priority.store(static_cast<std::uint32_t>(priority),
+                         std::memory_order_release);
 }
 
 std::size_t SessionRegistry::size() const {

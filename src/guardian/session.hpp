@@ -17,6 +17,16 @@
 // register/disconnect take the exclusive one. Sessions are handed out as
 // shared_ptr so a disconnect racing with an in-flight request on another
 // worker never frees state under it.
+//
+// Process mode (shared_state.hpp): the registry binds to the pool's
+// SharedServingState. Client ids then come from the shared allocator (unique
+// across every forked worker), each Create/Erase publishes/retires a shared
+// session slot stamped with this worker's index, and a Find miss consults
+// the shared slots so a session orphaned by a crashed worker fails with a
+// clean "worker crashed" status instead of "unknown client". The heavy
+// per-session state (modules, compiled programs, streams) stays
+// worker-private — sticky channel claims guarantee a session's requests
+// only ever reach the worker that owns it.
 #pragma once
 
 #include <atomic>
@@ -89,17 +99,31 @@ struct ClientSession {
   std::unordered_map<std::uint64_t, std::shared_ptr<GpuEvent>> events;
 };
 
+class SharedServingState;
+
 class SessionRegistry {
  public:
+  // Process mode: allocate ids/slots from the pool's shared registry on
+  // behalf of worker `worker_index`. Must be called before any session
+  // exists (worker startup, pre-serving).
+  void BindShared(SharedServingState* shared, std::uint32_t worker_index);
+
   // Creates a session for a freshly assigned client id covering `partition`,
-  // with `default_stream` installed as stream 0.
-  std::shared_ptr<ClientSession> Create(
+  // with `default_stream` installed as stream 0. Fails only in process mode,
+  // when the shared registry is out of slots.
+  Result<std::shared_ptr<ClientSession>> Create(
       PartitionBounds partition, std::shared_ptr<GpuStream> default_stream);
 
-  // NotFound for ids that never registered or already disconnected.
+  // NotFound for ids that never registered or already disconnected;
+  // Unavailable for sessions lost to a crashed worker (process mode).
   Result<std::shared_ptr<ClientSession>> Find(ClientId id) const;
 
   Status Erase(ClientId id);
+
+  // Mirrors a session-scope kSetPriority into the shared slot (no-op in
+  // threaded mode) so the parent supervisor and serving policies in other
+  // processes see the tenant's current class.
+  void PublishPriority(ClientId id, protocol::PriorityClass priority);
 
   std::size_t size() const;
 
@@ -107,6 +131,8 @@ class SessionRegistry {
   mutable std::shared_mutex mu_;
   ClientId next_id_ = 1;
   std::unordered_map<ClientId, std::shared_ptr<ClientSession>> sessions_;
+  SharedServingState* shared_ = nullptr;  // null = threaded mode
+  std::uint32_t worker_index_ = 0;
 };
 
 }  // namespace grd::guardian

@@ -1,0 +1,221 @@
+// SharedRegion-resident serving state for the process-mode manager.
+//
+// The threaded ManagerServer keeps its cross-worker state (session registry,
+// channel claims, stats) in plain process memory. The paper's deployment is
+// process isolation: grdManager workers in their own address spaces over shm
+// rings — so everything a worker pool must agree on moves here, into one
+// MAP_SHARED region laid out with fixed capacities and this-relative offsets
+// (no pointers cross a process boundary):
+//
+//   [SharedServingState header | session slots | channel slots |
+//    worker slots | channel ring regions]
+//
+// All mutation is via process-shared atomics plus one robust process-shared
+// mutex (ipc::RobustMutex) guarding session-slot allocation, so a worker
+// SIGKILLed mid-registration cannot wedge the registry: the next locker
+// repairs half-written slots (RepairRegistry) and continues.
+//
+// What lives here, per the layered split (ARCHITECTURE.md):
+//  - session slots: the cross-process view of the SessionRegistry — client
+//    id, liveness state, owning worker, the BoundsTable partition bounds
+//    (base/size; authoritative in process mode so a GrowPartition published
+//    by the owner is visible to every process) and the priority class;
+//  - channel slots: sticky worker-ownership claims (CAS) so exactly one
+//    worker pumps a given client ring at a time, plus the offset of the
+//    channel's rings inside this same region;
+//  - worker slots: pid/generation records the parent supervisor maintains;
+//  - ManagerStats: one shared instance every worker's execution layer bumps,
+//    so counters aggregate across the pool exactly like the threaded server;
+//  - pool counters: registry/supervision accounting (registered, released,
+//    crash-failed, respawns, synthetic crash responses) whose sums the
+//    process-mode stress test holds consistent.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "guardian/execution.hpp"
+#include "ipc/robust_mutex.hpp"
+
+namespace grd::guardian {
+
+// Worker indices are dense [0, max_workers); kNoWorker marks "unowned".
+inline constexpr std::uint32_t kNoWorker = 0xFFFFFFFFu;
+
+enum class SessionSlotState : std::uint32_t {
+  kFree = 0,
+  kActive = 1,
+  // The owning worker died with the session live: requests for it must fail
+  // with a clean "worker crashed" status, never "unknown client". Failed
+  // slots are recycled only when no free slot remains.
+  kFailed = 2,
+};
+
+struct SharedSessionSlot {
+  std::atomic<std::uint64_t> client{0};  // published last on allocation
+  std::atomic<std::uint32_t> state{0};   // SessionSlotState
+  std::atomic<std::uint32_t> owner_worker{kNoWorker};
+  // Partition bounds (§4.2.1). Base never changes after allocation; size
+  // only grows (GrowPartition doubles in place), so readers need no lock.
+  std::atomic<std::uint64_t> partition_base{0};
+  std::atomic<std::uint64_t> partition_size{0};
+  std::atomic<std::uint32_t> priority{
+      static_cast<std::uint32_t>(protocol::PriorityClass::kNormal)};
+};
+
+struct SharedChannelSlot {
+  // Sticky claim word: CAS kNoWorker -> worker index. Only the parent
+  // supervisor resets it (when reassigning a dead worker's channels).
+  std::atomic<std::uint32_t> owner{kNoWorker};
+  // Parent's assignment; a worker only claims channels preferring it, which
+  // keeps the initial distribution deterministic while the CAS still
+  // excludes double service.
+  std::atomic<std::uint32_t> preferred{kNoWorker};
+  // Client id last seen in a request header on this channel (serving-policy
+  // hint, mirrors ManagerServer::Entry::last_client into the region).
+  std::atomic<std::uint64_t> last_client{0};
+  std::uint64_t region_offset = 0;  // channel rings, relative to state base
+};
+
+struct SharedWorkerSlot {
+  std::atomic<std::int32_t> pid{0};
+  std::atomic<std::uint32_t> alive{0};
+  // Bumped by the parent on every (re)spawn into this slot; a test can
+  // prove a respawn happened without racing the pid field.
+  std::atomic<std::uint64_t> generation{0};
+};
+
+struct SharedPoolCounters {
+  std::atomic<std::uint64_t> sessions_registered{0};
+  std::atomic<std::uint64_t> sessions_released{0};
+  std::atomic<std::uint64_t> sessions_crash_failed{0};
+  std::atomic<std::uint64_t> workers_spawned{0};
+  std::atomic<std::uint64_t> workers_respawned{0};
+  // Error responses the supervisor wrote on behalf of a dead worker for
+  // requests that worker consumed but never answered.
+  std::atomic<std::uint64_t> synthetic_responses{0};
+  // Registry repairs performed after a robust-mutex owner death.
+  std::atomic<std::uint64_t> registry_repairs{0};
+};
+
+struct SharedServingLayout {
+  std::uint32_t max_sessions = 64;
+  std::uint32_t max_channels = 16;
+  std::uint32_t max_workers = 8;
+  std::uint64_t ring_bytes = 1u << 20;  // per ring; a channel holds two
+};
+
+class SharedServingState {
+ public:
+  // Total SharedRegion bytes the layout needs.
+  static std::uint64_t RegionSize(const SharedServingLayout& layout);
+
+  // Placement-initializes the state (creator process, exactly once, before
+  // any fork). The channel ring regions themselves are NOT initialized —
+  // ipc::Channel's creator-side constructor does that per channel.
+  static SharedServingState* Initialize(void* region,
+                                        const SharedServingLayout& layout);
+
+  // Attaches from a process that inherited the mapping; validates magic.
+  static Result<SharedServingState*> Attach(void* region);
+
+  const SharedServingLayout& layout() const noexcept { return layout_; }
+  ManagerStats& stats() noexcept { return stats_; }
+  SharedPoolCounters& counters() noexcept { return counters_; }
+
+  SharedSessionSlot& session_slot(std::uint32_t i) noexcept {
+    return At<SharedSessionSlot>(session_slots_offset_)[i];
+  }
+  SharedChannelSlot& channel_slot(std::uint32_t i) noexcept {
+    return At<SharedChannelSlot>(channel_slots_offset_)[i];
+  }
+  SharedWorkerSlot& worker_slot(std::uint32_t i) noexcept {
+    return At<SharedWorkerSlot>(worker_slots_offset_)[i];
+  }
+  // Storage for channel i's request+response rings.
+  void* channel_region(std::uint32_t i) noexcept {
+    return reinterpret_cast<std::uint8_t*>(this) +
+           channel_slot(i).region_offset;
+  }
+
+  // ---- session registry (any process) ----
+
+  // Allocates a slot, assigns a pool-unique client id and publishes the
+  // session as kActive owned by `worker`. ResourceExhausted when all slots
+  // are active.
+  Result<ClientId> AllocateSession(std::uint32_t worker,
+                                   PartitionBounds bounds,
+                                   protocol::PriorityClass priority);
+
+  // The slot currently holding `client` (active or crash-failed); null when
+  // the id was never registered or its slot has been recycled.
+  SharedSessionSlot* FindSession(ClientId client) noexcept;
+
+  // Clean disconnect: frees the slot.
+  Status ReleaseSession(ClientId client);
+
+  std::size_t ActiveSessions() noexcept { return CountState(kActiveRaw); }
+  std::size_t FailedSessions() noexcept { return CountState(kFailedRaw); }
+
+  // ---- supervision (parent) ----
+
+  // Marks every active session owned by `worker` as crash-failed; returns
+  // how many were failed.
+  std::size_t FailSessionsOfWorker(std::uint32_t worker) noexcept;
+
+  // Post-mortem registry audit: taking the robust mutex recovers it if the
+  // dead worker was holding it (EOWNERDEAD), and the sweep releases any
+  // slot torn between claim and id-publication. Returns slots repaired.
+  std::size_t AuditAfterWorkerDeath() noexcept;
+
+  // ---- channel claims (workers + parent) ----
+
+  // Sticky CAS claim; false when another worker holds the channel.
+  bool ClaimChannel(std::uint32_t i, std::uint32_t worker) noexcept;
+  // Parent only: reassign a dead worker's channels to `to` (kNoWorker to
+  // just release).
+  void ReassignChannelsOfWorker(std::uint32_t from, std::uint32_t to) noexcept;
+
+  // ---- pool control ----
+
+  void RequestStop() noexcept { stop_.store(1, std::memory_order_release); }
+  bool StopRequested() const noexcept {
+    return stop_.load(std::memory_order_acquire) != 0;
+  }
+
+ private:
+  static constexpr std::uint64_t kMagic = 0x5247'4453'4852'4431ull;
+  static constexpr std::uint32_t kVersion = 1;
+  static constexpr std::uint32_t kActiveRaw =
+      static_cast<std::uint32_t>(SessionSlotState::kActive);
+  static constexpr std::uint32_t kFailedRaw =
+      static_cast<std::uint32_t>(SessionSlotState::kFailed);
+
+  template <typename T>
+  T* At(std::uint64_t offset) noexcept {
+    return reinterpret_cast<T*>(reinterpret_cast<std::uint8_t*>(this) +
+                                offset);
+  }
+
+  std::size_t CountState(std::uint32_t state) noexcept;
+
+  // Registry invariant repair after an EOWNERDEAD takeover: a slot whose
+  // owner died between claiming it and publishing the client id is reset.
+  // Caller holds `registry_mu_`. Returns slots repaired.
+  std::size_t RepairRegistry() noexcept;
+
+  std::uint64_t magic_ = 0;
+  std::uint32_t version_ = 0;
+  SharedServingLayout layout_;
+  std::uint64_t session_slots_offset_ = 0;
+  std::uint64_t channel_slots_offset_ = 0;
+  std::uint64_t worker_slots_offset_ = 0;
+
+  std::atomic<std::uint64_t> next_client_{1};
+  std::atomic<std::uint32_t> stop_{0};
+  ipc::RobustMutex registry_mu_;
+  ManagerStats stats_;
+  SharedPoolCounters counters_;
+};
+
+}  // namespace grd::guardian

@@ -15,6 +15,11 @@
 // worker pool: `workers` threads pull requests concurrently, each channel
 // claimed by at most one worker at a time so per-session ordering is
 // preserved while different tenants' requests overlap.
+//
+// The fork-based sibling of this worker pool is ProcessServer
+// (process_server.hpp): N forked manager worker processes pumping rings
+// against the SharedRegion session registry with sticky cross-process
+// channel claims, supervised (reaped/repaired/respawned) by the parent.
 #pragma once
 
 #include <algorithm>

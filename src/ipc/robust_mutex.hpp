@@ -1,0 +1,71 @@
+// Process-shared robust mutex for SharedRegion-resident state.
+//
+// The process-mode manager keeps its session registry in a MAP_SHARED
+// region mutated by several forked worker processes. A plain std::mutex is
+// useless there twice over: it is not PTHREAD_PROCESS_SHARED, and a worker
+// SIGKILLed inside the critical section would leave it locked forever.
+// RobustMutex uses the pthread robust-futex protocol: when the owner dies,
+// the next locker receives EOWNERDEAD, repairs the protected invariants and
+// marks the mutex consistent instead of deadlocking — the crash-containment
+// property the worker supervisor depends on.
+//
+// The mutex must live inside shared memory mapped at the same address in
+// every participating process (fork + MAP_SHARED, the only deployment shape
+// we use). Init() runs exactly once, in the creating process, before any
+// fork.
+#pragma once
+
+#include <pthread.h>
+
+#include <cerrno>
+
+namespace grd::ipc {
+
+class RobustMutex {
+ public:
+  // Creator side only, before the region is shared.
+  void Init() noexcept {
+    pthread_mutexattr_t attr;
+    pthread_mutexattr_init(&attr);
+    pthread_mutexattr_setpshared(&attr, PTHREAD_PROCESS_SHARED);
+    pthread_mutexattr_setrobust(&attr, PTHREAD_MUTEX_ROBUST);
+    pthread_mutex_init(&mu_, &attr);
+    pthread_mutexattr_destroy(&attr);
+  }
+
+  // Returns true when the previous owner died holding the lock: the caller
+  // now holds it, must repair any half-written protected state, and the
+  // mutex has already been marked consistent for future lockers.
+  bool Lock() noexcept {
+    const int rc = pthread_mutex_lock(&mu_);
+    if (rc == EOWNERDEAD) {
+      pthread_mutex_consistent(&mu_);
+      return true;
+    }
+    return false;
+  }
+
+  void Unlock() noexcept { pthread_mutex_unlock(&mu_); }
+
+ private:
+  pthread_mutex_t mu_;
+};
+
+// RAII guard; `recovered()` reports an EOWNERDEAD takeover so the scope can
+// audit the state it inherited mid-update.
+class RobustLock {
+ public:
+  explicit RobustLock(RobustMutex& mu) noexcept
+      : mu_(mu), recovered_(mu.Lock()) {}
+  ~RobustLock() { mu_.Unlock(); }
+  RobustLock(const RobustLock&) = delete;
+  RobustLock& operator=(const RobustLock&) = delete;
+
+  bool recovered() const noexcept { return recovered_; }
+
+ private:
+  RobustMutex& mu_;
+  bool recovered_;
+};
+
+}  // namespace grd::ipc

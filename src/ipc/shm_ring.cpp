@@ -1,5 +1,7 @@
 #include "ipc/shm_ring.hpp"
 
+#include <time.h>
+
 #include <cstring>
 #include <thread>
 
@@ -64,6 +66,14 @@ Status ShmRing::WaitForSpace(std::uint64_t needed) {
 Status ShmRing::Write(const Bytes& message) {
   const std::uint64_t frame = sizeof(std::uint32_t) + message.size();
   GRD_RETURN_IF_ERROR(WaitForSpace(frame));
+  // Counter BEFORE the publish (the read side counts after): if the writer
+  // dies between the two stores, the counter over-reports by one and a
+  // crash supervisor diffing the pair computes a smaller deficit — it
+  // writes one synthetic response too FEW (a stuck, retriable client),
+  // never one too many (which would permanently shift every later reply on
+  // the channel by one). The unpublished partial frame is overwritten by
+  // the next producer, since tail was never advanced.
+  header_->messages_written.fetch_add(1, std::memory_order_release);
   const std::uint64_t tail = header_->tail.load(std::memory_order_relaxed);
   const auto len = static_cast<std::uint32_t>(message.size());
   CopyIn(tail, &len, sizeof(len));
@@ -85,7 +95,49 @@ Result<Bytes> ShmRing::TryRead() {
   Bytes message(len);
   if (len > 0) CopyOut(head + sizeof(len), message.data(), len);
   header_->head.store(head + sizeof(len) + len, std::memory_order_release);
+  header_->messages_read.fetch_add(1, std::memory_order_release);
   return message;
+}
+
+Result<Bytes> ShmRing::ReadWithDeadline(std::chrono::nanoseconds timeout) {
+  timespec deadline;
+  clock_gettime(CLOCK_MONOTONIC, &deadline);
+  deadline.tv_sec += timeout.count() / 1'000'000'000;
+  deadline.tv_nsec += timeout.count() % 1'000'000'000;
+  if (deadline.tv_nsec >= 1'000'000'000) {
+    deadline.tv_sec += 1;
+    deadline.tv_nsec -= 1'000'000'000;
+  }
+  int spins = 0;
+  while (true) {
+    auto message = TryRead();
+    if (message.ok()) return message;
+    if (message.status().code() == StatusCode::kUnavailable)
+      return message.status();
+    timespec now;
+    clock_gettime(CLOCK_MONOTONIC, &now);
+    if (now.tv_sec > deadline.tv_sec ||
+        (now.tv_sec == deadline.tv_sec && now.tv_nsec >= deadline.tv_nsec))
+      return Status(DeadlineExceeded("ring read timed out"));
+    if (++spins < kSpinsBeforeYield) continue;
+    // Sleep in short slices toward the absolute deadline. clock_nanosleep
+    // with TIMER_ABSTIME returns EINTR when a signal lands mid-sleep; the
+    // loop simply re-polls and re-sleeps against the SAME deadline, so
+    // signals can never shorten the overall wait (the spurious-timeout bug
+    // a relative-sleep retry loop would have).
+    timespec slice = now;
+    slice.tv_nsec += 100'000;  // 100 µs
+    if (slice.tv_nsec >= 1'000'000'000) {
+      slice.tv_sec += 1;
+      slice.tv_nsec -= 1'000'000'000;
+    }
+    if (slice.tv_sec > deadline.tv_sec ||
+        (slice.tv_sec == deadline.tv_sec && slice.tv_nsec > deadline.tv_nsec))
+      slice = deadline;
+    while (clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME, &slice, nullptr) ==
+           EINTR) {
+    }
+  }
 }
 
 Result<Bytes> ShmRing::Read() {

@@ -10,9 +10,18 @@
 // the only consumer; cross-application concurrency comes from having one
 // channel per client (paper: "a separate shared memory segment per
 // application").
+//
+// Signal-safety audit (process-mode workers get signaled and SIGKILLed):
+// the blocking Write/Read paths wait with a pure spin/yield loop —
+// sched_yield cannot fail with EINTR, so no wait here can be cut short by a
+// signal. The only timeout-bearing wait, ReadWithDeadline, measures an
+// ABSOLUTE CLOCK_MONOTONIC deadline and retries interrupted sleeps against
+// it, so a storm of signals delays the sleep slices but can never make the
+// wait spuriously report DeadlineExceeded early (nor return late state).
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 
 #include "common/status.hpp"
@@ -27,6 +36,18 @@ class ShmRing {
     std::atomic<std::uint64_t> tail{0};  // producer position
     std::uint64_t capacity = 0;          // data bytes
     std::atomic<std::uint32_t> closed{0};
+    // Whole messages published / consumed, for crash supervision: diffing
+    // request-ring reads against response-ring writes tells a supervisor
+    // how many requests a dead worker consumed without answering (crash
+    // repair writes that many synthetic error responses). The counters
+    // bracket their position stores conservatively — written is bumped
+    // BEFORE the tail publish, read AFTER the head publish — so a SIGKILL
+    // in either one-instruction window can only make the computed deficit
+    // smaller: the failure shape is one stuck (retriable) client, never an
+    // extra synthetic response that would desync the channel's
+    // request/response pairing forever.
+    std::atomic<std::uint64_t> messages_written{0};
+    std::atomic<std::uint64_t> messages_read{0};
   };
 
   // Total bytes a region must provide for a ring with `data_capacity` bytes
@@ -50,10 +71,23 @@ class ShmRing {
   // Non-blocking read: returns NotFound immediately when empty.
   Result<Bytes> TryRead();
 
+  // Blocking read bounded by `timeout`: DeadlineExceeded when the ring
+  // stays empty past an absolute CLOCK_MONOTONIC deadline computed on
+  // entry. EINTR-safe by construction — an interrupted sleep retries
+  // against the same absolute deadline (see the file-comment audit).
+  Result<Bytes> ReadWithDeadline(std::chrono::nanoseconds timeout);
+
   void Close();
   bool closed() const noexcept;
 
   std::uint64_t capacity() const noexcept { return header_->capacity; }
+  // Crash-repair accounting (see Header).
+  std::uint64_t messages_written() const noexcept {
+    return header_->messages_written.load(std::memory_order_acquire);
+  }
+  std::uint64_t messages_read() const noexcept {
+    return header_->messages_read.load(std::memory_order_acquire);
+  }
 
  private:
   Status WaitForSpace(std::uint64_t needed);

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <pthread.h>
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "ipc/channel.hpp"
@@ -138,6 +142,85 @@ TEST(Channel, RequestResponseAcrossThreads) {
     EXPECT_EQ((*response)[1], 0xFF);
   }
   server.join();
+}
+
+TEST(ShmRing, MessageCountersTrackWholePublishes) {
+  std::vector<std::uint8_t> region(ShmRing::RegionSize(4096));
+  ShmRing ring(region.data(), 4096, /*initialize=*/true);
+  EXPECT_EQ(ring.messages_written(), 0u);
+  EXPECT_EQ(ring.messages_read(), 0u);
+  const Bytes message(16, 0xAB);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(ring.Write(message).ok());
+  EXPECT_EQ(ring.messages_written(), 3u);
+  ASSERT_TRUE(ring.TryRead().ok());
+  ASSERT_TRUE(ring.TryRead().ok());
+  EXPECT_EQ(ring.messages_read(), 2u);
+  // The crash-repair deficit a supervisor would compute: one consumed
+  // message per matching response still owed.
+  EXPECT_EQ(ring.messages_written() - ring.messages_read(), 1u);
+}
+
+TEST(ShmRing, ReadWithDeadlineTimesOutOnEmptyRing) {
+  std::vector<std::uint8_t> region(ShmRing::RegionSize(4096));
+  ShmRing ring(region.data(), 4096, /*initialize=*/true);
+  const auto start = std::chrono::steady_clock::now();
+  auto result = ring.ReadWithDeadline(std::chrono::milliseconds(50));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            50);
+}
+
+TEST(ShmRing, ReadWithDeadlineDeliversLateMessage) {
+  std::vector<std::uint8_t> region(ShmRing::RegionSize(4096));
+  ShmRing ring(region.data(), 4096, /*initialize=*/true);
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(ring.Write(Bytes(8, 0x5A)).ok());
+  });
+  auto result = ring.ReadWithDeadline(std::chrono::seconds(5));
+  writer.join();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 8u);
+}
+
+TEST(ShmRing, ReadWithDeadlineIsNotShortenedBySignalStorm) {
+  // The EINTR audit's regression guard: a signal landing in the timed wait
+  // must RETRY against the absolute deadline, not spuriously time out early
+  // (nor error out). Hammer the waiting thread with SIGUSR1 (handler
+  // installed without SA_RESTART so sleeps genuinely return EINTR) and
+  // check the full deadline was honored.
+  struct sigaction action{};
+  struct sigaction previous{};
+  action.sa_handler = [](int) {};
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: make EINTR observable
+  ASSERT_EQ(sigaction(SIGUSR1, &action, &previous), 0);
+
+  std::vector<std::uint8_t> region(ShmRing::RegionSize(4096));
+  ShmRing ring(region.data(), 4096, /*initialize=*/true);
+  std::atomic<bool> done{false};
+  Status observed = OkStatus();
+  std::chrono::steady_clock::duration elapsed{};
+  std::thread reader([&] {
+    const auto start = std::chrono::steady_clock::now();
+    observed = ring.ReadWithDeadline(std::chrono::milliseconds(200)).status();
+    elapsed = std::chrono::steady_clock::now() - start;
+    done.store(true);
+  });
+  while (!done.load()) {
+    pthread_kill(reader.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  reader.join();
+  ASSERT_EQ(sigaction(SIGUSR1, &previous, nullptr), 0);
+
+  EXPECT_EQ(observed.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(
+      std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(),
+      200);
 }
 
 TEST(Channel, CrossProcessViaForkAndSharedRegion) {

@@ -14,12 +14,25 @@
 namespace grd {
 namespace {
 
+// Every randomized suite folds GRD_FUZZ_SEED (default 0: the historical
+// per-param seeds) into its Rng and traces the effective seed, so a red
+// randomized run is reproducible by exporting the printed value.
+std::uint64_t FuzzSeed(std::uint64_t mix) {
+  return SeedFromEnv("GRD_FUZZ_SEED", 0) + mix;
+}
+
+#define GRD_TRACE_FUZZ_SEED(seed)                             \
+  SCOPED_TRACE("effective Rng seed " + std::to_string(seed) + \
+               " (shift the whole suite with GRD_FUZZ_SEED=<base>)")
+
 // --- fencing algebra --------------------------------------------------------
 
 class FenceProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(FenceProperty, AlwaysLandsInPartitionAndIsIdempotent) {
-  Rng rng(GetParam() * 6151 + 11);
+  const std::uint64_t seed = FuzzSeed(GetParam() * 6151 + 11);
+  GRD_TRACE_FUZZ_SEED(seed);
+  Rng rng(seed);
   for (int i = 0; i < 2000; ++i) {
     const std::uint64_t size = std::uint64_t{1}
                                << rng.NextInRange(12, 34);  // 4 KB..16 GB
@@ -42,7 +55,9 @@ TEST_P(FenceProperty, AlwaysLandsInPartitionAndIsIdempotent) {
 }
 
 TEST_P(FenceProperty, ModuloAgreesWithBitwiseOnPow2) {
-  Rng rng(GetParam() * 7919 + 3);
+  const std::uint64_t seed = FuzzSeed(GetParam() * 7919 + 3);
+  GRD_TRACE_FUZZ_SEED(seed);
+  Rng rng(seed);
   for (int i = 0; i < 2000; ++i) {
     const std::uint64_t size = std::uint64_t{1} << rng.NextInRange(12, 30);
     const std::uint64_t base =
@@ -62,7 +77,9 @@ class EngineProperty : public ::testing::TestWithParam<int> {};
 TEST_P(EngineProperty, MakespanBoundsHold) {
   // For any random op mix: max(stream work alone) <= makespan <= sum of all
   // work (work conservation + no super-linear slowdown).
-  Rng rng(GetParam() * 104729 + 31);
+  const std::uint64_t seed = FuzzSeed(GetParam() * 104729 + 31);
+  GRD_TRACE_FUZZ_SEED(seed);
+  Rng rng(seed);
   const simgpu::DeviceSpec spec = simgpu::QuadroRtxA4000();
   simgpu::SharingEngine engine(spec);
   const int streams = 2 + static_cast<int>(rng.NextBelow(5));
@@ -167,7 +184,9 @@ TEST(HarnessProperty, ProtectionModesAreOrderedForAllApps) {
 class RingProperty : public ::testing::TestWithParam<int> {};
 
 TEST_P(RingProperty, RandomSizesCrossThreadPreserveContentAndOrder) {
-  Rng rng(GetParam() * 31337 + 5);
+  const std::uint64_t seed = FuzzSeed(GetParam() * 31337 + 5);
+  GRD_TRACE_FUZZ_SEED(seed);
+  Rng rng(seed);
   const std::uint64_t capacity = 1 << 12;
   std::vector<std::uint8_t> region(ipc::ShmRing::RegionSize(capacity));
   ipc::ShmRing ring(region.data(), capacity, true);

@@ -388,7 +388,11 @@ TEST_F(SnippetParity, TrapFaultsIdentically) {
 // ---- randomized fuzz parity ------------------------------------------------
 
 TEST(ProgramParity, RandomKernelFuzz) {
-  Rng rng(0xC0FFEE);
+  // Deterministic by default; override with GRD_FUZZ_SEED=<n> to reproduce
+  // a red run (the effective seed is printed with any failure below).
+  const std::uint64_t seed = SeedFromEnv("GRD_FUZZ_SEED", 0xC0FFEE);
+  SCOPED_TRACE("reproduce with GRD_FUZZ_SEED=" + std::to_string(seed));
+  Rng rng(seed);
   for (int round = 0; round < 25; ++round) {
     ptx::Module module;
     module.kernels.push_back(ptx::MakeRandomKernel(
