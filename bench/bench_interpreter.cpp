@@ -1,21 +1,28 @@
-// Kernel-execution hot path: the compiled bytecode engine vs the seed
-// string-map interpreter, plus cold vs cached launch latency through the
-// grdManager's compiled-program cache.
+// Kernel-execution hot path across all execution tiers, plus cold vs cached
+// launch latency through the grdManager's compiled-program cache.
 //
-//  phase 1 — instructions/sec on an ALU-heavy loop kernel and on a patched
-//            (fenced) memory-copy kernel, reference vs compiled engine. The
-//            reference engine re-flattens the AST per launch and hashes
-//            register-name strings per step; the compiled engine pays a
-//            one-time CompileKernel and then runs flat arrays.
+//  phase 1 — Minstr/s on an ALU-heavy loop kernel and on a patched (fenced)
+//            memory-copy kernel at every tier:
+//              cold      — the seed string-map reference engine
+//              compiled  — PR 4 bytecode, enum-switch dispatch (tier 0)
+//              fused     — superinstruction-fused program, switch dispatch
+//                          (tier 1): the whole loop body retires per dispatch
+//              threaded  — fused program under direct-threaded computed-goto
+//                          dispatch (tier 2; falls back to the switch loop
+//                          where labels-as-values is unavailable)
 //  phase 2 — ModuleLoad + first-launch latency for a cold tenant (parse +
 //            patch + compile) vs a tenant whose identical PTX hits the
-//            sandbox cache (hash + source compare only): near-zero
-//            recompile cost, proven by the manager's compile counter.
+//            sandbox cache (hash + source compare only), then enough warm
+//            launches to cross both promotion thresholds, proving the
+//            manager's heat-keyed tier promotion end to end.
 //
 // Exits non-zero unless the compiled engine is >= 3x the reference on both
-// workloads and the cache hit skipped CompileKernel. Writes the
-// machine-readable line to stdout AND to ./BENCH_interpreter.json.
-// GRD_BENCH_QUICK=1 shrinks the workload for CI smoke runs.
+// workloads, the best fused/threaded tier is >= 2x compiled on the hot ALU
+// loop (>= 0.9x on the memory copy — fencing is load/store bound), the cache
+// hit skipped CompileKernel, and phase 2 performed both promotions. Writes
+// the machine-readable line to stdout AND to ./BENCH_interpreter.json.
+// GRD_BENCH_QUICK=1 shrinks the workload for CI smoke runs (all tiers still
+// exercised).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -31,6 +38,7 @@
 #include "ptx/parser.hpp"
 #include "ptx/printer.hpp"
 #include "ptxexec/interpreter.hpp"
+#include "ptxexec/tier.hpp"
 #include "ptxpatcher/patcher.hpp"
 #include "simgpu/device_spec.hpp"
 
@@ -98,16 +106,24 @@ EngineScore Measure(int reps, RunFn&& run) {
   return best;
 }
 
-// Reference vs compiled on one kernel/launch; returns {ref, compiled}.
-std::pair<EngineScore, EngineScore> Race(const ptx::Module& module,
-                                         const std::string& kernel,
-                                         const LaunchParams& params,
-                                         int reps) {
+// One kernel/launch measured at every tier: cold reference, compiled
+// bytecode, fused (tier 1) and direct-threaded (tier 2).
+struct TierScores {
+  EngineScore cold;      // string-map reference engine
+  EngineScore compiled;  // tier 0: enum-switch bytecode
+  EngineScore fused;     // tier 1: superinstructions, switch dispatch
+  EngineScore threaded;  // tier 2: superinstructions, computed goto
+  std::uint32_t superinstructions = 0;
+};
+
+TierScores Race(const ptx::Module& module, const std::string& kernel,
+                const LaunchParams& params, int reps) {
   simgpu::GlobalMemory memory(16ull << 20);
   simgpu::AllowAllPolicy allow;
   ptxexec::Interpreter interp(&memory, &allow, 1);
+  TierScores out;
 
-  const EngineScore ref = Measure(reps, [&] {
+  out.cold = Measure(reps, [&] {
     auto stats = interp.ExecuteReference(module, kernel, params);
     if (!stats.ok()) {
       std::printf("reference run failed: %s\n",
@@ -117,15 +133,16 @@ std::pair<EngineScore, EngineScore> Race(const ptx::Module& module,
     return *stats;
   });
 
-  // The one-time lowering happens outside the measured launches — that is
-  // the whole point: launches should not pay per-call compile costs.
+  // The one-time lowering (and, for tiers >= 1, the one-time fusion pass)
+  // happens outside the measured launches — that is the whole point:
+  // launches should not pay per-call rewrite costs.
   const ptx::Kernel* k = module.FindKernel(kernel);
   auto compiled = ptxexec::CompileKernel(*k);
   if (!compiled.ok()) {
     std::printf("compile failed: %s\n", compiled.status().ToString().c_str());
     std::exit(1);
   }
-  const EngineScore comp = Measure(reps, [&] {
+  out.compiled = Measure(reps, [&] {
     auto stats = interp.Execute(*compiled, params);
     if (!stats.ok()) {
       std::printf("compiled run failed: %s\n",
@@ -134,7 +151,23 @@ std::pair<EngineScore, EngineScore> Race(const ptx::Module& module,
     }
     return *stats;
   });
-  return {ref, comp};
+
+  const ptxexec::CompiledKernel fused = ptxexec::FuseKernel(*compiled);
+  out.superinstructions = fused.super_count;
+  const auto run_tier = [&](ptxexec::ExecTier tier) {
+    return Measure(reps, [&] {
+      auto stats = interp.Execute(fused, params, ptxexec::ExecControls{}, tier);
+      if (!stats.ok()) {
+        std::printf("tier-%d run failed: %s\n", static_cast<int>(tier),
+                    stats.status().ToString().c_str());
+        std::exit(1);
+      }
+      return *stats;
+    });
+  };
+  out.fused = run_tier(ptxexec::ExecTier::kFused);
+  out.threaded = run_tier(ptxexec::ExecTier::kThreaded);
+  return out;
 }
 
 struct LaunchLatency {
@@ -197,8 +230,7 @@ int main() {
   alu_params.grid = {4, 1, 1};
   alu_params.block = {64, 1, 1};
   alu_params.args = {KernelArg::U64(0x10000), KernelArg::U32(iters)};
-  const auto [alu_ref, alu_comp] = Race(*alu_module, "aluspin", alu_params,
-                                        reps);
+  const TierScores alu = Race(*alu_module, "aluspin", alu_params, reps);
 
   // Fenced memory traffic: the sandboxed copy kernel every tenant runs.
   ptxpatcher::PatchOptions patch_options;
@@ -218,25 +250,44 @@ int main() {
   mem_params.args = {KernelArg::U64(base), KernelArg::U64(base + (2ull << 20)),
                      KernelArg::U32(mem_elems), KernelArg::U64(grd_args.arg0),
                      KernelArg::U64(grd_args.arg1)};
-  const auto [mem_ref, mem_comp] = Race(*patched, "copyk", mem_params, reps);
+  const TierScores mem = Race(*patched, "copyk", mem_params, reps);
 
-  const double alu_speedup =
-      alu_ref.mips > 0.0 ? alu_comp.mips / alu_ref.mips : 0.0;
-  const double mem_speedup =
-      mem_ref.mips > 0.0 ? mem_comp.mips / mem_ref.mips : 0.0;
+  const auto ratio = [](double num, double den) {
+    return den > 0.0 ? num / den : 0.0;
+  };
+  const double alu_speedup = ratio(alu.compiled.mips, alu.cold.mips);
+  const double mem_speedup = ratio(mem.compiled.mips, mem.cold.mips);
+  // Tier gain: best of fused/threaded over the tier-0 compiled engine.
+  const double alu_tier_speedup =
+      ratio(std::max(alu.fused.mips, alu.threaded.mips), alu.compiled.mips);
+  const double mem_tier_speedup =
+      ratio(std::max(mem.fused.mips, mem.threaded.mips), mem.compiled.mips);
 
-  std::printf("interpreter hot path: compiled bytecode vs string-map "
-              "reference (%d reps, best)\n\n", reps);
-  std::printf("%-22s %-14s %-14s %-9s\n", "workload", "reference", "compiled",
-              "speedup");
-  std::printf("%-22s %-14.1f %-14.1f %-8.1fx\n", "alu loop (Minstr/s)",
-              alu_ref.mips, alu_comp.mips, alu_speedup);
-  std::printf("%-22s %-14.1f %-14.1f %-8.1fx\n", "fenced copy (Minstr/s)",
-              mem_ref.mips, mem_comp.mips, mem_speedup);
+  std::printf("interpreter hot path per tier (%d reps, best; Minstr/s)\n",
+              reps);
+  std::printf("tier-2 dispatch: %s\n\n",
+              ptxexec::ThreadedDispatchAvailable()
+                  ? "computed goto"
+                  : "switch fallback (GRD_NO_COMPUTED_GOTO)");
+  std::printf("%-22s %-11s %-11s %-11s %-11s %-10s %-9s\n", "workload",
+              "cold", "compiled", "fused", "threaded", "vs cold",
+              "tier gain");
+  std::printf("%-22s %-11.1f %-11.1f %-11.1f %-11.1f %-9.1fx %-8.2fx\n",
+              "alu loop", alu.cold.mips, alu.compiled.mips, alu.fused.mips,
+              alu.threaded.mips, alu_speedup, alu_tier_speedup);
+  std::printf("%-22s %-11.1f %-11.1f %-11.1f %-11.1f %-9.1fx %-8.2fx\n",
+              "fenced copy", mem.cold.mips, mem.compiled.mips, mem.fused.mips,
+              mem.threaded.mips, mem_speedup, mem_tier_speedup);
+  std::printf("superinstructions: alu %u, fenced copy %u\n",
+              alu.superinstructions, mem.superinstructions);
 
-  // ---- phase 2: cold vs cached launch through the manager ------------------
+  // ---- phase 2: cold vs cached launch, then heat-keyed promotion ----------
   simcuda::Gpu gpu(simgpu::QuadroRtxA4000());
-  guardian::GrdManager manager(&gpu, guardian::ManagerOptions{});
+  guardian::ManagerOptions manager_options;
+  // Low explicit thresholds so a short bench run crosses both promotions.
+  manager_options.tier1_launch_threshold = 2;
+  manager_options.tier2_launch_threshold = 4;
+  guardian::GrdManager manager(&gpu, manager_options);
   guardian::LoopbackTransport transport(&manager);
   auto cold_tenant = guardian::GrdLib::Connect(&transport, 8ull << 20);
   auto warm_tenant = guardian::GrdLib::Connect(&transport, 8ull << 20);
@@ -250,8 +301,19 @@ int main() {
                                            launch_elems);
   const LaunchLatency cached = LoadAndLaunch(*warm_tenant, sample_ptx,
                                              launch_elems);
+  // Warm launches past both thresholds (2 and 4 above): the module's
+  // cache-slot heat promotes it to the fused program and then to
+  // direct-threaded dispatch; the manager counters prove both fired.
+  for (int i = 0; i < 6; ++i)
+    (void)LoadAndLaunch(*warm_tenant, sample_ptx, launch_elems);
   const std::uint64_t programs_compiled =
       manager.stats().ptx_programs_compiled;
+  const std::uint64_t tier1_promotions = manager.stats().tier1_promotions;
+  const std::uint64_t tier2_promotions = manager.stats().tier2_promotions;
+  const std::uint64_t tier1_instructions =
+      manager.stats().tier_instructions[1];
+  const std::uint64_t tier2_instructions =
+      manager.stats().tier_instructions[2];
 
   std::printf("\ncold   module load: %9.1f us (parse + patch + compile); "
               "first launch: %9.1f us\n", cold.load_us, cold.launch_us);
@@ -260,19 +322,39 @@ int main() {
   std::printf("programs compiled by the manager: %llu (second tenant "
               "recompiled nothing)\n",
               static_cast<unsigned long long>(programs_compiled));
+  std::printf("tier promotions: %llu to fused, %llu to threaded "
+              "(tier1 %llu instr, tier2 %llu instr)\n",
+              static_cast<unsigned long long>(tier1_promotions),
+              static_cast<unsigned long long>(tier2_promotions),
+              static_cast<unsigned long long>(tier1_instructions),
+              static_cast<unsigned long long>(tier2_instructions));
   std::printf("\nMANAGER_STATS %s\n", manager.stats().ToJson().c_str());
 
-  char json[1024];
+  char json[2048];
   std::snprintf(
       json, sizeof(json),
-      "{\"alu_ref_mips\":%.2f,\"alu_compiled_mips\":%.2f,"
-      "\"alu_speedup\":%.2f,\"mem_ref_mips\":%.2f,\"mem_compiled_mips\":%.2f,"
-      "\"mem_speedup\":%.2f,\"cold_load_us\":%.1f,\"cached_load_us\":%.1f,"
+      "{\"alu_cold_mips\":%.2f,\"alu_compiled_mips\":%.2f,"
+      "\"alu_fused_mips\":%.2f,\"alu_threaded_mips\":%.2f,"
+      "\"alu_speedup\":%.2f,\"alu_tier_speedup\":%.2f,"
+      "\"mem_cold_mips\":%.2f,\"mem_compiled_mips\":%.2f,"
+      "\"mem_fused_mips\":%.2f,\"mem_threaded_mips\":%.2f,"
+      "\"mem_speedup\":%.2f,\"mem_tier_speedup\":%.2f,"
+      "\"threaded_dispatch\":%s,"
+      "\"cold_load_us\":%.1f,\"cached_load_us\":%.1f,"
       "\"cold_first_launch_us\":%.1f,\"cached_first_launch_us\":%.1f,"
-      "\"programs_compiled\":%llu,\"quick\":%s}",
-      alu_ref.mips, alu_comp.mips, alu_speedup, mem_ref.mips, mem_comp.mips,
-      mem_speedup, cold.load_us, cached.load_us, cold.launch_us,
-      cached.launch_us, static_cast<unsigned long long>(programs_compiled),
+      "\"programs_compiled\":%llu,\"tier1_promotions\":%llu,"
+      "\"tier2_promotions\":%llu,\"tier1_instructions\":%llu,"
+      "\"tier2_instructions\":%llu,\"quick\":%s}",
+      alu.cold.mips, alu.compiled.mips, alu.fused.mips, alu.threaded.mips,
+      alu_speedup, alu_tier_speedup, mem.cold.mips, mem.compiled.mips,
+      mem.fused.mips, mem.threaded.mips, mem_speedup, mem_tier_speedup,
+      ptxexec::ThreadedDispatchAvailable() ? "true" : "false", cold.load_us,
+      cached.load_us, cold.launch_us, cached.launch_us,
+      static_cast<unsigned long long>(programs_compiled),
+      static_cast<unsigned long long>(tier1_promotions),
+      static_cast<unsigned long long>(tier2_promotions),
+      static_cast<unsigned long long>(tier1_instructions),
+      static_cast<unsigned long long>(tier2_instructions),
       quick ? "true" : "false");
   std::printf("BENCH_interpreter.json %s\n", json);
   std::ofstream("BENCH_interpreter.json") << json << "\n";
@@ -286,10 +368,37 @@ int main() {
     std::printf("FAIL: fenced-copy speedup %.2fx < 3x\n", mem_speedup);
     ok = false;
   }
+  if (alu_tier_speedup < 2.0) {
+    std::printf("FAIL: alu tier gain %.2fx < 2x over compiled\n",
+                alu_tier_speedup);
+    ok = false;
+  }
+  // The fenced copy is load/store bound, so fusion mostly saves dispatches
+  // between memory ops: require no regression (within noise) rather than a
+  // multiple.
+  if (mem_tier_speedup < 0.9) {
+    std::printf("FAIL: fenced-copy tier gain %.2fx < 0.9x over compiled\n",
+                mem_tier_speedup);
+    ok = false;
+  }
   if (programs_compiled != 1) {
     std::printf("FAIL: expected exactly 1 compiled program, saw %llu "
                 "(cache hit recompiled?)\n",
                 static_cast<unsigned long long>(programs_compiled));
+    ok = false;
+  }
+  if (tier1_promotions != 1 || tier2_promotions != 1) {
+    std::printf("FAIL: expected exactly one promotion per tier, saw "
+                "tier1=%llu tier2=%llu\n",
+                static_cast<unsigned long long>(tier1_promotions),
+                static_cast<unsigned long long>(tier2_promotions));
+    ok = false;
+  }
+  if (tier1_instructions == 0 || tier2_instructions == 0) {
+    std::printf("FAIL: expected instructions retired at tiers 1 and 2, saw "
+                "tier1=%llu tier2=%llu\n",
+                static_cast<unsigned long long>(tier1_instructions),
+                static_cast<unsigned long long>(tier2_instructions));
     ok = false;
   }
   return ok ? 0 : 1;

@@ -89,6 +89,13 @@ std::string ManagerStats::ToJson() const {
   AppendCounter(&out, "budget_requeues", budget_requeues, &first);
   AppendCounter(&out, "kernel_blocks_executed", kernel_blocks_executed,
                 &first);
+  AppendCounter(&out, "tier1_promotions", tier1_promotions, &first);
+  AppendCounter(&out, "tier2_promotions", tier2_promotions, &first);
+  AppendCounter(&out, "superinstructions_fused", superinstructions_fused,
+                &first);
+  AppendCounter(&out, "tier0_instructions", tier_instructions[0], &first);
+  AppendCounter(&out, "tier1_instructions", tier_instructions[1], &first);
+  AppendCounter(&out, "tier2_instructions", tier_instructions[2], &first);
   out.append(",\"wait_histograms\":{");
   for (int cls = 0; cls < kPriorityClassCount; ++cls) {
     if (cls > 0) out.push_back(',');

@@ -68,6 +68,14 @@ struct ManagerOptions {
   // One effective-priority-class boost per this much queued wait time
   // (anti-starvation aging); 0 disables aging.
   std::uint64_t aging_quantum_ns = 250'000'000;
+  // Tiered execution (ptxexec/tier.hpp): a cached module's Nth launch
+  // promotes it to the superinstruction-fused program (tier 1) and then to
+  // direct-threaded dispatch (tier 2). Heat is counted per SandboxCache slot,
+  // so tenants sharing a library promote it together. A 0 threshold disables
+  // that tier; disabling the whole feature pins every launch to tier 0.
+  bool tiered_execution_enabled = true;
+  std::uint64_t tier1_launch_threshold = 3;
+  std::uint64_t tier2_launch_threshold = 16;
   // Entry cap for the content-addressed sandbox cache (LRU-evicted), so a
   // tenant cycling unique PTX cannot grow the manager without bound.
   std::size_t sandbox_cache_capacity = SandboxCache::kDefaultCapacity;
@@ -133,6 +141,15 @@ struct ManagerStats {
   std::atomic<std::uint64_t> checkpoint_bytes_saved{0};
   std::atomic<std::uint64_t> budget_requeues{0};
   std::atomic<std::uint64_t> kernel_blocks_executed{0};
+  // Tiered execution: modules promoted to the fused program (tier 1) and to
+  // direct-threaded dispatch (tier 2), superinstructions emitted by those
+  // fusion passes, and instructions retired per tier (indexed by ExecTier).
+  // Per-module promotions count once regardless of how many tenants share
+  // the cached module.
+  std::atomic<std::uint64_t> tier1_promotions{0};
+  std::atomic<std::uint64_t> tier2_promotions{0};
+  std::atomic<std::uint64_t> superinstructions_fused{0};
+  std::atomic<std::uint64_t> tier_instructions[3] = {};
   // Launch-to-first-run wait time per priority class.
   WaitHistogram wait_hist[kPriorityClassCount];
 

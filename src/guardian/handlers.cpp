@@ -383,6 +383,9 @@ Result<Writer> ExecuteModuleLoad(HandlerContext& ctx, ModuleLoadReq& req) {
       ++ctx.exec.stats.ptx_cache_hits;
     module.sandboxed = std::move(cached.module);
     module.sandboxed_compiled = std::move(cached.compiled);
+    // Cache-slot-owned launch heat: a module another tenant already ran hot
+    // arrives here pre-promoted.
+    module.tier_state = std::move(cached.tier_state);
     // Mirror the cache's LRU accounting into the manager stats so operators
     // see evictions next to the hit/patch counters (monotone max: a racing
     // stale snapshot must never regress the published value).
@@ -485,6 +488,31 @@ Result<Writer> ExecuteLaunch(HandlerContext& ctx, LaunchReq& req) {
   const FunctionEntry& entry = entry_it->second;
   const ClientModule& module = client.modules.at(entry.module);
 
+  // (1b) tier decision, once per launch at enqueue: heat accrues per
+  // *launch*, so a preempted kernel's resumes reuse this decision — a resume
+  // is not a new launch. The fused program (tier >= 1) comes back from the
+  // shared ModuleTierState; promotion counters fire only on the launch that
+  // actually performed the rewrite.
+  ptxexec::ExecTier tier = ptxexec::ExecTier::kCompiled;
+  std::shared_ptr<const ptxexec::CompiledModule> tiered_compiled;
+  if (module.tier_state != nullptr) {
+    TierPolicy tier_policy;
+    tier_policy.enabled = exec.options.tiered_execution_enabled;
+    tier_policy.tier1_launch_threshold = exec.options.tier1_launch_threshold;
+    tier_policy.tier2_launch_threshold = exec.options.tier2_launch_threshold;
+    ModuleTierState::Decision decision =
+        module.tier_state->OnLaunch(tier_policy);
+    if (decision.promoted_tier1) {
+      ++exec.stats.tier1_promotions;
+      exec.stats.superinstructions_fused += decision.superinstructions_fused;
+    }
+    if (decision.promoted_tier2) ++exec.stats.tier2_promotions;
+    if (decision.program != nullptr) {
+      tier = decision.tier;
+      tiered_compiled = std::move(decision.program);
+    }
+  }
+
   // (2) build the kernel body the executor pool will run. Everything it
   // touches is captured by value or owned via shared_ptr: the session mutex
   // is NOT held on the executor, and the session's partition may even grow
@@ -509,6 +537,7 @@ Result<Writer> ExecuteLaunch(HandlerContext& ctx, LaunchReq& req) {
   auto body = [exec_ptr, sessions, session = ctx.session_ref,
                native_compiled = module.native_compiled,
                sandboxed_compiled = module.sandboxed_compiled,
+               tiered_compiled = std::move(tiered_compiled), tier,
                kernel = entry.kernel, params = std::move(req.params),
                partition = client.partition, footprint,
                state = std::make_shared<LaunchState>()](
@@ -578,9 +607,14 @@ Result<Writer> ExecuteLaunch(HandlerContext& ctx, LaunchReq& req) {
     // charged, just at block granularity.
     const std::uint64_t grid_blocks = std::max<std::uint64_t>(
         1, params.grid.Count());
-    controls.after_block = [&ex, footprint,
-                            grid_blocks](const ptxexec::ExecStats& delta) {
+    // The native fast path always runs the unfused program at tier 0; the
+    // sandboxed path runs at this launch's decided tier.
+    const int tier_idx = use_native ? 0 : static_cast<int>(tier);
+    controls.after_block = [&ex, footprint, grid_blocks,
+                            tier_idx](const ptxexec::ExecStats& delta) {
       ex.stats.kernel_blocks_executed.fetch_add(1, std::memory_order_relaxed);
+      ex.stats.tier_instructions[tier_idx].fetch_add(
+          delta.instructions, std::memory_order_relaxed);
       SimulateDeviceCycles(
           ex, simgpu::KernelDeviceCycles(
                   ex.gpu->spec(), delta.instructions * grid_blocks,
@@ -592,8 +626,13 @@ Result<Writer> ExecuteLaunch(HandlerContext& ctx, LaunchReq& req) {
     auto& program =
         use_native ? state->native_program : state->sandboxed_program;
     if (program == nullptr) {
+      // Tier >= 1 resolves from the fused module (same kernel names, same
+      // program length — only superinstructions added); tier 0 and the
+      // native path resolve from the load-time programs.
       const auto& program_module =
-          use_native ? native_compiled : sandboxed_compiled;
+          use_native ? native_compiled
+                     : (tiered_compiled != nullptr ? tiered_compiled
+                                                   : sandboxed_compiled);
       if (program_module == nullptr) {
         run = Status(Internal("no compiled program for kernel " + kernel));
       } else {
@@ -606,7 +645,9 @@ Result<Writer> ExecuteLaunch(HandlerContext& ctx, LaunchReq& req) {
     }
     if (program != nullptr) {
       slot.program = program;
-      run = interpreter.Execute(*program, params, controls);
+      run = interpreter.Execute(
+          *program, params, controls,
+          use_native ? ptxexec::ExecTier::kCompiled : tier);
     }
     if (native_guard.owns_lock()) native_guard.unlock();
     if (!run.ok()) {

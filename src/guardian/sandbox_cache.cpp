@@ -11,6 +11,41 @@ std::uint64_t HashPtxSource(const std::string& source) noexcept {
   return hash;
 }
 
+ModuleTierState::Decision ModuleTierState::OnLaunch(const TierPolicy& policy) {
+  Decision decision;
+  // The launch ordinal (1-based): heat accrues even while tiering is
+  // disabled, so flipping the policy on later promotes already-hot modules
+  // on their next launch.
+  const std::uint64_t ordinal =
+      launches_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!policy.enabled || compiled_ == nullptr) return decision;
+
+  const bool want1 = policy.tier1_launch_threshold != 0 &&
+                     ordinal >= policy.tier1_launch_threshold;
+  const bool want2 = policy.tier2_launch_threshold != 0 &&
+                     ordinal >= policy.tier2_launch_threshold;
+  if (!want1 && !want2) return decision;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fused_ == nullptr) {
+    // First launch past a threshold pays the one-time fusion pass; every
+    // later launch (from any session sharing this cache slot) reuses it.
+    fused_ = compiled_->Fused(&superinstructions_);
+    decision.promoted_tier1 = true;
+    decision.superinstructions_fused = superinstructions_;
+  }
+  decision.program = fused_;
+  decision.tier = ptxexec::ExecTier::kFused;
+  if (want2) {
+    decision.tier = ptxexec::ExecTier::kThreaded;
+    if (!tier2_announced_) {
+      tier2_announced_ = true;
+      decision.promoted_tier2 = true;
+    }
+  }
+  return decision;
+}
+
 SandboxCache::Key SandboxCache::MakeKey(
     const std::string& source,
     const ptxpatcher::PatchOptions& options) noexcept {
@@ -59,7 +94,8 @@ Result<SandboxCache::Lookup> SandboxCache::GetOrPatch(
   if (slot->done) {
     if (!slot->status.ok()) return slot->status;  // cached failure, not a hit
     ++stats_.hits;
-    return Lookup{slot->module, slot->compiled, /*patched_now=*/false};
+    return Lookup{slot->module, slot->compiled, slot->tier_state,
+                  /*patched_now=*/false};
   }
 
   auto patched = ptxpatcher::PatchModule(parsed, options);
@@ -75,7 +111,11 @@ Result<SandboxCache::Lookup> SandboxCache::GetOrPatch(
   // and skipped entirely by every subsequent hit.
   slot->compiled = ptxexec::CompiledModule::Compile(*slot->module);
   ++stats_.compiles;
-  return Lookup{slot->module, slot->compiled, /*patched_now=*/true};
+  // Launch heat lives with the cache slot so tier promotion is shared by
+  // every tenant of this module (and survives re-loads served from cache).
+  slot->tier_state = std::make_shared<ModuleTierState>(slot->compiled);
+  return Lookup{slot->module, slot->compiled, slot->tier_state,
+                /*patched_now=*/true};
 }
 
 void SandboxCache::EvictLocked() {

@@ -32,12 +32,63 @@
 #include "common/status.hpp"
 #include "ptx/ast.hpp"
 #include "ptxexec/program.hpp"
+#include "ptxexec/tier.hpp"
 #include "ptxpatcher/patcher.hpp"
 
 namespace grd::guardian {
 
 // 64-bit FNV-1a over the module source — the cache's content address.
 std::uint64_t HashPtxSource(const std::string& source) noexcept;
+
+// Tier-promotion policy, copied from ManagerOptions at launch time so the
+// cache layer stays policy-free. A module's Nth launch (N >= threshold) runs
+// at that tier; a 0 threshold disables the tier.
+struct TierPolicy {
+  bool enabled = true;
+  std::uint64_t tier1_launch_threshold = 3;
+  std::uint64_t tier2_launch_threshold = 16;
+};
+
+// Launch heat and tiered-program state of one cached module. Lives in the
+// module's cache slot and is shared by every tenant whose PTX lands there —
+// heat is content-addressed exactly like the patch itself, so N tenants
+// running the same library promote it together and a hot cache hit starts
+// hot. The fused program is built once, on the first launch that crosses the
+// tier-1 threshold, and reused by every later launch (and tenant).
+class ModuleTierState {
+ public:
+  explicit ModuleTierState(
+      std::shared_ptr<const ptxexec::CompiledModule> compiled)
+      : compiled_(std::move(compiled)) {}
+
+  struct Decision {
+    ptxexec::ExecTier tier = ptxexec::ExecTier::kCompiled;
+    // The program to run: the shared fused module for tiers >= 1, null for
+    // tier 0 (callers keep using their compiled module).
+    std::shared_ptr<const ptxexec::CompiledModule> program;
+    // Set on the single call that performed each promotion, so the manager
+    // can count promotions (and fused superinstructions) exactly once.
+    bool promoted_tier1 = false;
+    bool promoted_tier2 = false;
+    std::uint64_t superinstructions_fused = 0;
+  };
+
+  // Records one launch and decides its tier. Thread-safe; the fusion pass
+  // runs at most once, under the internal mutex.
+  Decision OnLaunch(const TierPolicy& policy);
+
+  std::uint64_t launches() const noexcept {
+    return launches_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<const ptxexec::CompiledModule> compiled_;
+  std::atomic<std::uint64_t> launches_{0};
+  std::mutex mu_;
+  std::shared_ptr<const ptxexec::CompiledModule> fused_;  // built lazily
+  std::uint64_t superinstructions_ = 0;
+  bool tier2_announced_ = false;
+};
 
 class SandboxCache {
  public:
@@ -74,6 +125,10 @@ class SandboxCache {
     // The module's kernels lowered to bytecode, compiled together with the
     // patch and cached alongside it; launches run these directly.
     std::shared_ptr<const ptxexec::CompiledModule> compiled;
+    // Shared launch-heat / tiered-program state for this cached module.
+    // Content-addressed like the module itself: every session loading the
+    // same source shares one heat counter and one fused program.
+    std::shared_ptr<ModuleTierState> tier_state;
     bool patched_now = false;  // false = served from cache
   };
 
@@ -117,6 +172,7 @@ class SandboxCache {
     Status status{};  // non-OK when the cached patch failed
     std::shared_ptr<const ptx::Module> module;
     std::shared_ptr<const ptxexec::CompiledModule> compiled;
+    std::shared_ptr<ModuleTierState> tier_state;
     std::uint64_t last_use = 0;  // LRU tick, guarded by the cache's mu_
     // Estimated resident footprint charged to bytes_reclaimed on eviction:
     // the retained source plus the patched module plus the compiled

@@ -39,6 +39,7 @@
 
 #include "guardian/bounds_table.hpp"
 #include "guardian/gpu_scheduler.hpp"
+#include "guardian/sandbox_cache.hpp"
 #include "ptx/ast.hpp"
 #include "ptxexec/program.hpp"
 
@@ -56,6 +57,10 @@ struct ClientModule {
   // path armed.
   std::shared_ptr<const ptxexec::CompiledModule> sandboxed_compiled;
   std::shared_ptr<const ptxexec::CompiledModule> native_compiled;
+  // Launch-heat / tiered-program state, owned by the module's SandboxCache
+  // slot and shared across tenants: a hot cached module starts hot here too.
+  // Null when protection is disabled (no cache slot → no tiering).
+  std::shared_ptr<ModuleTierState> tier_state;
 };
 
 struct FunctionEntry {

@@ -1,0 +1,530 @@
+// Execution core shared by the compiled block executor (program.cpp) and the
+// tiered block executor (tier.cpp).
+//
+// Both engines must stay bit-identical to the reference interpreter — the
+// parity suite diffs stats, faults and full memory images — so everything
+// semantic lives here exactly once:
+//  - the scalar instruction evaluators (EvalBinary/EvalMad/EvalUnary/
+//    EvalSetp/EvalCvt), which encode the masking / sign-extension /
+//    div-by-zero / shift-count conventions;
+//  - EngineBase, the per-block machine state (flat register file, shared
+//    segment, operand reads, sized loads/stores through the access policy,
+//    fault recording, preemption poll bookkeeping);
+//  - RunGrid, the top-level grid walk (checkpoint skip/resume, per-block
+//    stats deltas, block-boundary safe points).
+// A superinstruction in the tiered engine is executed component by component
+// through the same evaluators, which is why fusion cannot drift from the
+// oracle.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+#include "ptxexec/interpreter.hpp"
+#include "ptxexec/launch.hpp"
+#include "ptxexec/program.hpp"
+#include "ptxexec/scalar_ops.hpp"
+#include "simgpu/memory.hpp"
+
+namespace grd::ptxexec::exec_core {
+
+struct ThreadCtx {
+  std::uint32_t tid_x = 0, tid_y = 0, tid_z = 0;
+  std::uint32_t ctaid_x = 0, ctaid_y = 0, ctaid_z = 0;
+};
+
+struct CThread {
+  std::uint32_t pc = 0;
+  bool done = false;
+  ThreadCtx ctx;
+};
+
+// ---- scalar evaluators ------------------------------------------------------
+
+inline std::uint64_t EvalCvt(ptx::Type dst_t, ptx::Type src_t,
+                             std::uint64_t raw) {
+  using scalar::AsF32;
+  using scalar::AsF64;
+  using scalar::F32Bits;
+  using scalar::F64Bits;
+  using scalar::MaskToWidth;
+  using scalar::SignExtend;
+  std::uint64_t out = 0;
+  if (ptx::IsFloat(src_t) && ptx::IsFloat(dst_t)) {
+    const double v = src_t == ptx::Type::kF64 ? AsF64(raw) : AsF32(raw);
+    out = dst_t == ptx::Type::kF64 ? F64Bits(v)
+                                   : F32Bits(static_cast<float>(v));
+  } else if (ptx::IsFloat(src_t)) {
+    const double v = src_t == ptx::Type::kF64 ? AsF64(raw) : AsF32(raw);
+    out = MaskToWidth(static_cast<std::uint64_t>(static_cast<std::int64_t>(v)),
+                      ptx::TypeSize(dst_t));
+  } else if (ptx::IsFloat(dst_t)) {
+    const double v =
+        ptx::IsSigned(src_t)
+            ? static_cast<double>(SignExtend(raw, ptx::TypeSize(src_t)))
+            : static_cast<double>(MaskToWidth(raw, ptx::TypeSize(src_t)));
+    out = dst_t == ptx::Type::kF64 ? F64Bits(v)
+                                   : F32Bits(static_cast<float>(v));
+  } else {
+    const std::uint64_t v =
+        ptx::IsSigned(src_t)
+            ? static_cast<std::uint64_t>(SignExtend(raw, ptx::TypeSize(src_t)))
+            : MaskToWidth(raw, ptx::TypeSize(src_t));
+    out = MaskToWidth(v, ptx::TypeSize(dst_t));
+  }
+  return out;
+}
+
+inline std::uint64_t EvalBinary(const CompiledInst& inst, std::uint64_t a,
+                                std::uint64_t b) {
+  using scalar::AsF32;
+  using scalar::AsF64;
+  using scalar::F32Bits;
+  using scalar::F64Bits;
+  using scalar::MaskToWidth;
+  using scalar::SignExtend;
+  const std::size_t width = inst.width;
+  const auto alu = static_cast<BinAlu>(inst.sub);
+  std::uint64_t out = 0;
+  if (inst.is_float) {
+    const bool f64 = inst.type == ptx::Type::kF64;
+    const double x = f64 ? AsF64(a) : AsF32(a);
+    const double y = f64 ? AsF64(b) : AsF32(b);
+    double r = 0.0;
+    switch (alu) {
+      case BinAlu::kAdd: r = x + y; break;
+      case BinAlu::kSub: r = x - y; break;
+      case BinAlu::kMul: r = x * y; break;
+      case BinAlu::kDiv: r = y == 0.0 ? 0.0 : x / y; break;
+      case BinAlu::kMin: r = std::fmin(x, y); break;
+      case BinAlu::kMax: r = std::fmax(x, y); break;
+      default: break;  // unreachable: compiled to kError
+    }
+    out = f64 ? F64Bits(r) : F32Bits(static_cast<float>(r));
+  } else if (alu == BinAlu::kMulWide) {
+    out = inst.is_signed
+              ? static_cast<std::uint64_t>(SignExtend(a, width) *
+                                           SignExtend(b, width))
+              : MaskToWidth(a, width) * MaskToWidth(b, width);
+  } else if (alu == BinAlu::kMulHi) {
+    const unsigned __int128 prod =
+        static_cast<unsigned __int128>(MaskToWidth(a, width)) *
+        MaskToWidth(b, width);
+    out = MaskToWidth(static_cast<std::uint64_t>(prod >> (width * 8)), width);
+  } else {
+    const std::uint64_t ua = MaskToWidth(a, width);
+    const std::uint64_t ub = MaskToWidth(b, width);
+    const std::int64_t sa = SignExtend(a, width);
+    const std::int64_t sb = SignExtend(b, width);
+    switch (alu) {
+      case BinAlu::kAdd: out = ua + ub; break;
+      case BinAlu::kSub: out = ua - ub; break;
+      case BinAlu::kMul: out = ua * ub; break;  // .lo
+      case BinAlu::kDiv:
+        out = ub == 0 ? 0
+              : inst.is_signed ? static_cast<std::uint64_t>(sa / sb)
+                               : ua / ub;
+        break;
+      case BinAlu::kRem:
+        out = ub == 0 ? 0
+              : inst.is_signed ? static_cast<std::uint64_t>(sa % sb)
+                               : ua % ub;
+        break;
+      case BinAlu::kMin:
+        out = inst.is_signed ? static_cast<std::uint64_t>(std::min(sa, sb))
+                             : std::min(ua, ub);
+        break;
+      case BinAlu::kMax:
+        out = inst.is_signed ? static_cast<std::uint64_t>(std::max(sa, sb))
+                             : std::max(ua, ub);
+        break;
+      case BinAlu::kAnd: out = ua & ub; break;
+      case BinAlu::kOr: out = ua | ub; break;
+      case BinAlu::kXor: out = ua ^ ub; break;
+      case BinAlu::kShl: out = ua << (ub & (width * 8 - 1)); break;
+      case BinAlu::kShr:
+        out = inst.is_signed
+                  ? static_cast<std::uint64_t>(sa >> (ub & (width * 8 - 1)))
+                  : ua >> (ub & (width * 8 - 1));
+        break;
+      default: break;  // kMulWide/kMulHi handled above
+    }
+    out = MaskToWidth(out, width);
+  }
+  return out;
+}
+
+inline std::uint64_t EvalMad(const CompiledInst& inst, std::uint64_t a,
+                             std::uint64_t b, std::uint64_t c) {
+  using scalar::AsF32;
+  using scalar::AsF64;
+  using scalar::F32Bits;
+  using scalar::F64Bits;
+  using scalar::MaskToWidth;
+  using scalar::SignExtend;
+  const std::size_t width = inst.width;
+  std::uint64_t out = 0;
+  if (inst.is_float) {
+    const bool f64 = inst.type == ptx::Type::kF64;
+    const double r = (f64 ? AsF64(a) : AsF32(a)) * (f64 ? AsF64(b) : AsF32(b)) +
+                     (f64 ? AsF64(c) : AsF32(c));
+    out = f64 ? F64Bits(r) : F32Bits(static_cast<float>(r));
+  } else if (inst.sub == 1) {  // wide
+    out = static_cast<std::uint64_t>(SignExtend(a, width) *
+                                     SignExtend(b, width)) +
+          c;
+  } else {
+    out = MaskToWidth(
+        MaskToWidth(a, width) * MaskToWidth(b, width) + MaskToWidth(c, width),
+        width);
+  }
+  return out;
+}
+
+inline std::uint64_t EvalUnary(const CompiledInst& inst, std::uint64_t a) {
+  using scalar::AsF32;
+  using scalar::AsF64;
+  using scalar::F32Bits;
+  using scalar::F64Bits;
+  using scalar::MaskToWidth;
+  using scalar::SignExtend;
+  const std::size_t width = inst.width;
+  std::uint64_t out = 0;
+  if (inst.is_float) {
+    const bool f64 = inst.type == ptx::Type::kF64;
+    const double x = f64 ? AsF64(a) : AsF32(a);
+    double r = 0.0;
+    switch (static_cast<UnAlu>(inst.sub)) {
+      case UnAlu::kNeg: r = -x; break;
+      case UnAlu::kAbs: r = std::fabs(x); break;
+      case UnAlu::kSqrt: r = std::sqrt(x); break;
+      default: break;  // unreachable
+    }
+    out = f64 ? F64Bits(r) : F32Bits(static_cast<float>(r));
+  } else {
+    switch (static_cast<UnAlu>(inst.sub)) {
+      case UnAlu::kNeg:
+        out = MaskToWidth(static_cast<std::uint64_t>(-SignExtend(a, width)),
+                          width);
+        break;
+      case UnAlu::kAbs:
+        out = MaskToWidth(
+            static_cast<std::uint64_t>(std::llabs(SignExtend(a, width))),
+            width);
+        break;
+      case UnAlu::kNot: out = MaskToWidth(~a, width); break;
+      default: break;  // unreachable
+    }
+  }
+  return out;
+}
+
+inline bool EvalSetp(const CompiledInst& inst, std::uint64_t a,
+                     std::uint64_t b) {
+  using scalar::AsF32;
+  using scalar::AsF64;
+  using scalar::MaskToWidth;
+  using scalar::SignExtend;
+  const std::size_t width = inst.width;
+  const auto cmp = static_cast<CmpOp>(inst.sub);
+  bool r = false;
+  if (inst.is_float) {
+    const bool f64 = inst.type == ptx::Type::kF64;
+    const double x = f64 ? AsF64(a) : AsF32(a);
+    const double y = f64 ? AsF64(b) : AsF32(b);
+    switch (cmp) {
+      case CmpOp::kEq: r = x == y; break;
+      case CmpOp::kNe: r = x != y; break;
+      case CmpOp::kLt: r = x < y; break;
+      case CmpOp::kLe: r = x <= y; break;
+      case CmpOp::kGt: r = x > y; break;
+      case CmpOp::kGe: r = x >= y; break;
+    }
+  } else if (inst.is_signed) {
+    const std::int64_t x = SignExtend(a, width);
+    const std::int64_t y = SignExtend(b, width);
+    switch (cmp) {
+      case CmpOp::kEq: r = x == y; break;
+      case CmpOp::kNe: r = x != y; break;
+      case CmpOp::kLt: r = x < y; break;
+      case CmpOp::kLe: r = x <= y; break;
+      case CmpOp::kGt: r = x > y; break;
+      case CmpOp::kGe: r = x >= y; break;
+    }
+  } else {
+    const std::uint64_t x = MaskToWidth(a, width);
+    const std::uint64_t y = MaskToWidth(b, width);
+    switch (cmp) {
+      case CmpOp::kEq: r = x == y; break;
+      case CmpOp::kNe: r = x != y; break;
+      case CmpOp::kLt: r = x < y; break;
+      case CmpOp::kLe: r = x <= y; break;
+      case CmpOp::kGt: r = x > y; break;
+      case CmpOp::kGe: r = x >= y; break;
+    }
+  }
+  return r;
+}
+
+// ---- per-block machine state -----------------------------------------------
+
+// Everything a block executor needs besides its dispatch loop: the flat
+// register file, the shared segment, operand/special-register reads, sized
+// loads/stores routed through the tenant access policy, fault recording, and
+// the instruction-budget / preemption-poll bookkeeping.
+class EngineBase {
+ public:
+  EngineBase(const CompiledKernel& prog, const LaunchParams& params,
+             simgpu::GlobalMemory* memory, simgpu::AccessPolicy* policy,
+             std::uint64_t client, std::uint64_t max_instructions,
+             ExecStats* stats, const std::atomic<bool>* preempt,
+             std::uint64_t preempt_check_interval)
+      : prog_(prog),
+        params_(params),
+        memory_(memory),
+        policy_(policy),
+        client_(client),
+        max_instructions_(max_instructions),
+        stats_(stats),
+        preempt_(preempt),
+        preempt_check_interval_(
+            preempt_check_interval > 0 ? preempt_check_interval : 1),
+        preempt_countdown_(preempt_check_interval_),
+        shared_(prog.shared_size, 0) {}
+
+  const DeviceFault& fault() const noexcept { return fault_; }
+  // A preemption request observed by the every-N-instructions poll. The
+  // block still runs to completion — the safe point is its boundary.
+  bool preempt_latched() const noexcept { return preempt_latched_; }
+
+ protected:
+  // Initializes the block's threads and the flat register file
+  // (thread i's registers are regs_[i * reg_slots .. (i+1) * reg_slots)).
+  void SetupBlock(std::uint32_t bx, std::uint32_t by, std::uint32_t bz,
+                  std::vector<CThread>* threads) {
+    const std::uint64_t nthreads = params_.block.Count();
+    threads->assign(nthreads, CThread{});
+    regs_.assign(nthreads * prog_.reg_slots, 0);
+    for (std::uint64_t i = 0; i < nthreads; ++i) {
+      auto& t = (*threads)[i];
+      t.ctx.tid_x = static_cast<std::uint32_t>(i % params_.block.x);
+      t.ctx.tid_y =
+          static_cast<std::uint32_t>((i / params_.block.x) % params_.block.y);
+      t.ctx.tid_z = static_cast<std::uint32_t>(
+          i / (static_cast<std::uint64_t>(params_.block.x) * params_.block.y));
+      t.ctx.ctaid_x = bx;
+      t.ctx.ctaid_y = by;
+      t.ctx.ctaid_z = bz;
+    }
+    stats_->threads += nthreads;
+  }
+
+  std::uint64_t Special(const CThread& t, SpecialReg sreg) const {
+    switch (sreg) {
+      case SpecialReg::kTidX: return t.ctx.tid_x;
+      case SpecialReg::kTidY: return t.ctx.tid_y;
+      case SpecialReg::kTidZ: return t.ctx.tid_z;
+      case SpecialReg::kNtidX: return params_.block.x;
+      case SpecialReg::kNtidY: return params_.block.y;
+      case SpecialReg::kNtidZ: return params_.block.z;
+      case SpecialReg::kCtaidX: return t.ctx.ctaid_x;
+      case SpecialReg::kCtaidY: return t.ctx.ctaid_y;
+      case SpecialReg::kCtaidZ: return t.ctx.ctaid_z;
+      case SpecialReg::kNctaidX: return params_.grid.x;
+      case SpecialReg::kNctaidY: return params_.grid.y;
+      case SpecialReg::kNctaidZ: return params_.grid.z;
+      case SpecialReg::kLaneId: return t.ctx.tid_x % 32;
+      case SpecialReg::kWarpSize: return 32;
+    }
+    return 0;
+  }
+
+  std::uint64_t ReadOp(const CThread& t, const std::uint64_t* regs,
+                       const OperandDesc& desc) const {
+    switch (desc.kind) {
+      case OperandDesc::Kind::kReg: return regs[desc.slot];
+      case OperandDesc::Kind::kImm: return desc.imm;
+      case OperandDesc::Kind::kSpecial: return Special(t, desc.sreg);
+    }
+    return 0;
+  }
+
+  Result<std::uint64_t> LoadSized(std::uint64_t addr, std::size_t bytes) {
+    if (addr & scalar::kSharedTag) {
+      const std::uint64_t off = addr & ~scalar::kSharedTag;
+      if (off + bytes > shared_.size())
+        return Status(OutOfRange("shared access beyond block allocation"));
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, shared_.data() + off, bytes);
+      ++stats_->shared_accesses;
+      return bits;
+    }
+    GRD_RETURN_IF_ERROR(policy_->CheckAccess(client_, addr, bytes, false));
+    std::uint64_t bits = 0;
+    GRD_RETURN_IF_ERROR(memory_->Read(addr, &bits, bytes));
+    ++stats_->global_loads;
+    return bits;
+  }
+
+  Status StoreSized(std::uint64_t addr, std::uint64_t bits, std::size_t bytes) {
+    if (addr & scalar::kSharedTag) {
+      const std::uint64_t off = addr & ~scalar::kSharedTag;
+      if (off + bytes > shared_.size())
+        return OutOfRange("shared access beyond block allocation");
+      std::memcpy(shared_.data() + off, &bits, bytes);
+      ++stats_->shared_accesses;
+      return OkStatus();
+    }
+    GRD_RETURN_IF_ERROR(policy_->CheckAccess(client_, addr, bytes, true));
+    GRD_RETURN_IF_ERROR(memory_->Write(addr, &bits, bytes));
+    ++stats_->global_stores;
+    return OkStatus();
+  }
+
+  Status Fault(Status status, std::uint64_t addr, const CThread& t) {
+    fault_ =
+        DeviceFault{std::move(status), addr, LinearThreadId(t), prog_.name};
+    return fault_.status;
+  }
+
+  Status BudgetFault(const CThread& t) {
+    return Fault(DeadlineExceeded("runaway kernel " + prog_.name +
+                                  " exceeded instruction budget"),
+                 0, t);
+  }
+
+  std::uint64_t LinearThreadId(const CThread& t) const {
+    return static_cast<std::uint64_t>(t.ctx.ctaid_x) * params_.block.Count() +
+           t.ctx.tid_x;
+  }
+
+  // Polls the preemption flag, resetting the every-N-instructions countdown.
+  // Called once per dispatched instruction (a superinstruction bulk-charges
+  // its remaining components through SpendCountdown).
+  void PollPreempt() {
+    if (preempt_ != nullptr && !preempt_latched_ &&
+        --preempt_countdown_ == 0) {
+      preempt_countdown_ = preempt_check_interval_;
+      preempt_latched_ = preempt_->load(std::memory_order_relaxed);
+    }
+  }
+
+  // Charges `count` additional instructions against the poll countdown in one
+  // step (the fused path: components beyond the first are not individually
+  // dispatched, but the poll cadence must not stretch).
+  void SpendCountdown(std::uint64_t count) {
+    if (preempt_ == nullptr || preempt_latched_ || count == 0) return;
+    if (preempt_countdown_ > count) {
+      preempt_countdown_ -= count;
+      return;
+    }
+    preempt_countdown_ = preempt_check_interval_;
+    preempt_latched_ = preempt_->load(std::memory_order_relaxed);
+  }
+
+  const CompiledKernel& prog_;
+  const LaunchParams& params_;
+  simgpu::GlobalMemory* memory_;
+  simgpu::AccessPolicy* policy_;
+  std::uint64_t client_;
+  std::uint64_t max_instructions_;
+  ExecStats* stats_;
+  const std::atomic<bool>* preempt_;
+  std::uint64_t preempt_check_interval_;
+  std::uint64_t preempt_countdown_;
+  bool preempt_latched_ = false;
+  std::vector<std::uint8_t> shared_;
+  std::vector<std::uint64_t> regs_;  // nthreads x reg_slots, flat
+  DeviceFault fault_;
+};
+
+// ---- top-level grid walk ----------------------------------------------------
+
+// The grid loop shared by the compiled and tiered engines: checkpoint
+// skip/resume, per-block stats deltas for the scheduler, and block-boundary
+// preemption safe points. `make_block` constructs a fresh block executor
+// writing into the passed ExecStats; the executor must expose
+// RunBlock(bx, by, bz, DeviceFault*) and preempt_latched().
+template <typename MakeBlockExec>
+Result<ExecStats> RunGrid(const CompiledKernel& kernel,
+                          const LaunchParams& params,
+                          const ExecControls& controls,
+                          DeviceFault* last_fault, MakeBlockExec&& make_block) {
+  KernelCheckpoint* ckpt = controls.checkpoint;
+  const std::uint64_t total_blocks = params.grid.Count();
+  if (ckpt != nullptr) {
+    if (ckpt->valid && ckpt->blocks_total != total_blocks)
+      return Status(
+          InvalidArgument("checkpoint does not match launch geometry"));
+    ckpt->blocks_total = total_blocks;
+  }
+  // Resume accumulates into the checkpointed totals, so at completion the
+  // stats cover every block exactly once regardless of how many times the
+  // kernel was suspended.
+  ExecStats stats =
+      (ckpt != nullptr && ckpt->valid) ? ckpt->stats : ExecStats{};
+
+  auto preempt_pending = [&]() -> bool {
+    return ckpt != nullptr && controls.preempt_requested != nullptr &&
+           controls.preempt_requested->load(std::memory_order_relaxed);
+  };
+
+  std::uint64_t linear = 0;
+  for (std::uint32_t bz = 0; bz < params.grid.z; ++bz) {
+    for (std::uint32_t by = 0; by < params.grid.y; ++by) {
+      for (std::uint32_t bx = 0; bx < params.grid.x; ++bx, ++linear) {
+        if (ckpt != nullptr && ckpt->valid && ckpt->Done(linear)) continue;
+        const ExecStats before = stats;
+        auto block = make_block(&stats);
+        DeviceFault fault;
+        const Status s = block.RunBlock(bx, by, bz, &fault);
+        if (!s.ok()) {
+          // A tripped instruction budget keeps the checkpoint (every block
+          // before the runaway one), so the caller may requeue instead of
+          // killing; any other fault invalidates nothing the caller should
+          // resume from.
+          if (ckpt != nullptr && s.code() == StatusCode::kDeadlineExceeded)
+            ckpt->stats = stats;
+          *last_fault = fault;
+          return s;
+        }
+        ++stats.blocks;
+        if (ckpt != nullptr) {
+          ckpt->MarkDone(linear);
+          ckpt->stats = stats;
+        }
+        if (controls.after_block) {
+          ExecStats delta;
+          delta.instructions = stats.instructions - before.instructions;
+          delta.global_loads = stats.global_loads - before.global_loads;
+          delta.global_stores = stats.global_stores - before.global_stores;
+          delta.shared_accesses =
+              stats.shared_accesses - before.shared_accesses;
+          delta.threads = stats.threads - before.threads;
+          delta.blocks = 1;
+          controls.after_block(delta);
+        }
+        // Safe point: between blocks. Yield only when there is work left —
+        // a fully executed kernel completes normally.
+        if ((block.preempt_latched() || preempt_pending()) && ckpt != nullptr &&
+            ckpt->blocks_done < total_blocks) {
+          return Status(Unavailable(
+              "kernel " + kernel.name + " preempted at safe point (" +
+              std::to_string(ckpt->blocks_done) + "/" +
+              std::to_string(total_blocks) + " blocks done)"));
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace grd::ptxexec::exec_core

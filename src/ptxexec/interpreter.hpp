@@ -95,6 +95,17 @@ class Interpreter {
                             const LaunchParams& params,
                             const ExecControls& controls);
 
+  // Tiered variant (tier.cpp). kCompiled routes to the plain compiled engine
+  // above; kFused / kThreaded run through the tiered block executor, which
+  // dispatches superinstructions as single units while charging stats,
+  // instruction budget and preemption polls per component — so stats, faults
+  // and checkpoints stay bit-identical to every other engine. For tiers >= 1
+  // pass the fused program (FuseKernel / CompiledModule::Fused); an unfused
+  // program is legal (it simply has no superinstructions to dispatch).
+  Result<ExecStats> Execute(const CompiledKernel& kernel,
+                            const LaunchParams& params,
+                            const ExecControls& controls, ExecTier tier);
+
   // Convenience: compiles `kernel_name` from `module` and executes the
   // result. Pays the (one-time-per-call) compile cost; callers on a hot
   // launch path should compile once and use the CompiledKernel overloads —

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "ptxexec/exec_core.hpp"
 #include "ptxexec/interpreter.hpp"
 #include "ptxexec/scalar_ops.hpp"
 
@@ -26,8 +27,6 @@ using ptx::Kernel;
 using ptx::Operand;
 using ptx::StateSpace;
 using ptx::Type;
-using scalar::AsF32;
-using scalar::AsF64;
 using scalar::F32Bits;
 using scalar::F64Bits;
 using scalar::kSharedTag;
@@ -532,20 +531,14 @@ Result<CompiledKernel> KernelCompiler::Compile() {
 
 // ---- compiled block executor ----------------------------------------------
 
-struct ThreadCtx {
-  std::uint32_t tid_x = 0, tid_y = 0, tid_z = 0;
-  std::uint32_t ctaid_x = 0, ctaid_y = 0, ctaid_z = 0;
-};
-
-struct CThread {
-  std::uint32_t pc = 0;
-  bool done = false;
-  ThreadCtx ctx;
-};
+using exec_core::CThread;
 
 enum class StepOutcome { kContinue, kBarrier, kDone };
 
-class CompiledBlockExecutor {
+// The tier-0 engine: one Step per dispatched instruction through an enum
+// switch. Machine state and scalar semantics live in exec_core (shared with
+// the tiered executor in tier.cpp).
+class CompiledBlockExecutor : public exec_core::EngineBase {
  public:
   CompiledBlockExecutor(const CompiledKernel& prog, const LaunchParams& params,
                         simgpu::GlobalMemory* memory,
@@ -553,118 +546,15 @@ class CompiledBlockExecutor {
                         std::uint64_t max_instructions, ExecStats* stats,
                         const std::atomic<bool>* preempt = nullptr,
                         std::uint64_t preempt_check_interval = 0)
-      : prog_(prog),
-        params_(params),
-        memory_(memory),
-        policy_(policy),
-        client_(client),
-        max_instructions_(max_instructions),
-        stats_(stats),
-        preempt_(preempt),
-        preempt_check_interval_(
-            preempt_check_interval > 0 ? preempt_check_interval : 1),
-        preempt_countdown_(preempt_check_interval_),
-        shared_(prog.shared_size, 0) {}
+      : EngineBase(prog, params, memory, policy, client, max_instructions,
+                   stats, preempt, preempt_check_interval) {}
 
   // Runs one block to completion (all threads), honoring bar.sync phases.
   Status RunBlock(std::uint32_t bx, std::uint32_t by, std::uint32_t bz,
                   DeviceFault* fault);
 
-  const DeviceFault& fault() const noexcept { return fault_; }
-  // A preemption request observed by the every-N-instructions poll. The
-  // block still runs to completion — the safe point is its boundary.
-  bool preempt_latched() const noexcept { return preempt_latched_; }
-
  private:
   Status Step(CThread& t, std::uint64_t* regs, StepOutcome* outcome);
-
-  std::uint64_t Special(const CThread& t, SpecialReg sreg) const {
-    switch (sreg) {
-      case SpecialReg::kTidX: return t.ctx.tid_x;
-      case SpecialReg::kTidY: return t.ctx.tid_y;
-      case SpecialReg::kTidZ: return t.ctx.tid_z;
-      case SpecialReg::kNtidX: return params_.block.x;
-      case SpecialReg::kNtidY: return params_.block.y;
-      case SpecialReg::kNtidZ: return params_.block.z;
-      case SpecialReg::kCtaidX: return t.ctx.ctaid_x;
-      case SpecialReg::kCtaidY: return t.ctx.ctaid_y;
-      case SpecialReg::kCtaidZ: return t.ctx.ctaid_z;
-      case SpecialReg::kNctaidX: return params_.grid.x;
-      case SpecialReg::kNctaidY: return params_.grid.y;
-      case SpecialReg::kNctaidZ: return params_.grid.z;
-      case SpecialReg::kLaneId: return t.ctx.tid_x % 32;
-      case SpecialReg::kWarpSize: return 32;
-    }
-    return 0;
-  }
-
-  std::uint64_t ReadOp(const CThread& t, const std::uint64_t* regs,
-                       const OperandDesc& desc) const {
-    switch (desc.kind) {
-      case OperandDesc::Kind::kReg: return regs[desc.slot];
-      case OperandDesc::Kind::kImm: return desc.imm;
-      case OperandDesc::Kind::kSpecial: return Special(t, desc.sreg);
-    }
-    return 0;
-  }
-
-  Result<std::uint64_t> LoadSized(std::uint64_t addr, std::size_t bytes) {
-    if (addr & kSharedTag) {
-      const std::uint64_t off = addr & ~kSharedTag;
-      if (off + bytes > shared_.size())
-        return Status(OutOfRange("shared access beyond block allocation"));
-      std::uint64_t bits = 0;
-      std::memcpy(&bits, shared_.data() + off, bytes);
-      ++stats_->shared_accesses;
-      return bits;
-    }
-    GRD_RETURN_IF_ERROR(policy_->CheckAccess(client_, addr, bytes, false));
-    std::uint64_t bits = 0;
-    GRD_RETURN_IF_ERROR(memory_->Read(addr, &bits, bytes));
-    ++stats_->global_loads;
-    return bits;
-  }
-
-  Status StoreSized(std::uint64_t addr, std::uint64_t bits,
-                    std::size_t bytes) {
-    if (addr & kSharedTag) {
-      const std::uint64_t off = addr & ~kSharedTag;
-      if (off + bytes > shared_.size())
-        return OutOfRange("shared access beyond block allocation");
-      std::memcpy(shared_.data() + off, &bits, bytes);
-      ++stats_->shared_accesses;
-      return OkStatus();
-    }
-    GRD_RETURN_IF_ERROR(policy_->CheckAccess(client_, addr, bytes, true));
-    GRD_RETURN_IF_ERROR(memory_->Write(addr, &bits, bytes));
-    ++stats_->global_stores;
-    return OkStatus();
-  }
-
-  Status Fault(Status status, std::uint64_t addr, const CThread& t) {
-    fault_ = DeviceFault{std::move(status), addr, LinearThreadId(t),
-                         prog_.name};
-    return fault_.status;
-  }
-  std::uint64_t LinearThreadId(const CThread& t) const {
-    return static_cast<std::uint64_t>(t.ctx.ctaid_x) * params_.block.Count() +
-           t.ctx.tid_x;
-  }
-
-  const CompiledKernel& prog_;
-  const LaunchParams& params_;
-  simgpu::GlobalMemory* memory_;
-  simgpu::AccessPolicy* policy_;
-  std::uint64_t client_;
-  std::uint64_t max_instructions_;
-  ExecStats* stats_;
-  const std::atomic<bool>* preempt_;
-  std::uint64_t preempt_check_interval_;
-  std::uint64_t preempt_countdown_;
-  bool preempt_latched_ = false;
-  std::vector<std::uint8_t> shared_;
-  std::vector<std::uint64_t> regs_;  // nthreads x reg_slots, flat
-  DeviceFault fault_;
 };
 
 Status CompiledBlockExecutor::Step(CThread& t, std::uint64_t* regs,
@@ -748,217 +638,38 @@ Status CompiledBlockExecutor::Step(CThread& t, std::uint64_t* regs,
     }
 
     case COp::kCvt: {
-      const Type dst_t = inst.type;
-      const Type src_t = inst.src_type;
-      const std::uint64_t raw = ReadOp(t, regs, inst.a);
-      std::uint64_t out = 0;
-      if (ptx::IsFloat(src_t) && ptx::IsFloat(dst_t)) {
-        const double v = src_t == Type::kF64 ? AsF64(raw) : AsF32(raw);
-        out =
-            dst_t == Type::kF64 ? F64Bits(v) : F32Bits(static_cast<float>(v));
-      } else if (ptx::IsFloat(src_t)) {
-        const double v = src_t == Type::kF64 ? AsF64(raw) : AsF32(raw);
-        out = MaskToWidth(
-            static_cast<std::uint64_t>(static_cast<std::int64_t>(v)),
-            ptx::TypeSize(dst_t));
-      } else if (ptx::IsFloat(dst_t)) {
-        const double v =
-            ptx::IsSigned(src_t)
-                ? static_cast<double>(SignExtend(raw, ptx::TypeSize(src_t)))
-                : static_cast<double>(MaskToWidth(raw, ptx::TypeSize(src_t)));
-        out =
-            dst_t == Type::kF64 ? F64Bits(v) : F32Bits(static_cast<float>(v));
-      } else {
-        const std::uint64_t v =
-            ptx::IsSigned(src_t)
-                ? static_cast<std::uint64_t>(
-                      SignExtend(raw, ptx::TypeSize(src_t)))
-                : MaskToWidth(raw, ptx::TypeSize(src_t));
-        out = MaskToWidth(v, ptx::TypeSize(dst_t));
-      }
-      regs[inst.dst] = out;
+      regs[inst.dst] = exec_core::EvalCvt(inst.type, inst.src_type,
+                                          ReadOp(t, regs, inst.a));
       ++t.pc;
       return OkStatus();
     }
 
     case COp::kBinary: {
-      const std::uint64_t a = ReadOp(t, regs, inst.a);
-      const std::uint64_t b = ReadOp(t, regs, inst.b);
-      const auto alu = static_cast<BinAlu>(inst.sub);
-      std::uint64_t out = 0;
-      if (inst.is_float) {
-        const bool f64 = inst.type == Type::kF64;
-        const double x = f64 ? AsF64(a) : AsF32(a);
-        const double y = f64 ? AsF64(b) : AsF32(b);
-        double r = 0.0;
-        switch (alu) {
-          case BinAlu::kAdd: r = x + y; break;
-          case BinAlu::kSub: r = x - y; break;
-          case BinAlu::kMul: r = x * y; break;
-          case BinAlu::kDiv: r = y == 0.0 ? 0.0 : x / y; break;
-          case BinAlu::kMin: r = std::fmin(x, y); break;
-          case BinAlu::kMax: r = std::fmax(x, y); break;
-          default: break;  // unreachable: compiled to kError
-        }
-        out = f64 ? F64Bits(r) : F32Bits(static_cast<float>(r));
-      } else if (alu == BinAlu::kMulWide) {
-        out = inst.is_signed
-                  ? static_cast<std::uint64_t>(SignExtend(a, width) *
-                                               SignExtend(b, width))
-                  : MaskToWidth(a, width) * MaskToWidth(b, width);
-      } else if (alu == BinAlu::kMulHi) {
-        const unsigned __int128 prod =
-            static_cast<unsigned __int128>(MaskToWidth(a, width)) *
-            MaskToWidth(b, width);
-        out = MaskToWidth(static_cast<std::uint64_t>(prod >> (width * 8)),
-                          width);
-      } else {
-        const std::uint64_t ua = MaskToWidth(a, width);
-        const std::uint64_t ub = MaskToWidth(b, width);
-        const std::int64_t sa = SignExtend(a, width);
-        const std::int64_t sb = SignExtend(b, width);
-        switch (alu) {
-          case BinAlu::kAdd: out = ua + ub; break;
-          case BinAlu::kSub: out = ua - ub; break;
-          case BinAlu::kMul: out = ua * ub; break;  // .lo
-          case BinAlu::kDiv:
-            out = ub == 0 ? 0
-                  : inst.is_signed ? static_cast<std::uint64_t>(sa / sb)
-                                   : ua / ub;
-            break;
-          case BinAlu::kRem:
-            out = ub == 0 ? 0
-                  : inst.is_signed ? static_cast<std::uint64_t>(sa % sb)
-                                   : ua % ub;
-            break;
-          case BinAlu::kMin:
-            out = inst.is_signed
-                      ? static_cast<std::uint64_t>(std::min(sa, sb))
-                      : std::min(ua, ub);
-            break;
-          case BinAlu::kMax:
-            out = inst.is_signed
-                      ? static_cast<std::uint64_t>(std::max(sa, sb))
-                      : std::max(ua, ub);
-            break;
-          case BinAlu::kAnd: out = ua & ub; break;
-          case BinAlu::kOr: out = ua | ub; break;
-          case BinAlu::kXor: out = ua ^ ub; break;
-          case BinAlu::kShl: out = ua << (ub & (width * 8 - 1)); break;
-          case BinAlu::kShr:
-            out = inst.is_signed
-                      ? static_cast<std::uint64_t>(sa >> (ub & (width * 8 - 1)))
-                      : ua >> (ub & (width * 8 - 1));
-            break;
-          default: break;  // kMulWide/kMulHi handled above
-        }
-        out = MaskToWidth(out, width);
-      }
-      regs[inst.dst] = out;
+      regs[inst.dst] = exec_core::EvalBinary(inst, ReadOp(t, regs, inst.a),
+                                             ReadOp(t, regs, inst.b));
       ++t.pc;
       return OkStatus();
     }
 
     case COp::kMad: {
-      const std::uint64_t a = ReadOp(t, regs, inst.a);
-      const std::uint64_t b = ReadOp(t, regs, inst.b);
-      const std::uint64_t c = ReadOp(t, regs, inst.c);
-      std::uint64_t out = 0;
-      if (inst.is_float) {
-        const bool f64 = inst.type == Type::kF64;
-        const double r = (f64 ? AsF64(a) : AsF32(a)) *
-                             (f64 ? AsF64(b) : AsF32(b)) +
-                         (f64 ? AsF64(c) : AsF32(c));
-        out = f64 ? F64Bits(r) : F32Bits(static_cast<float>(r));
-      } else if (inst.sub == 1) {  // wide
-        out = static_cast<std::uint64_t>(SignExtend(a, width) *
-                                         SignExtend(b, width)) +
-              c;
-      } else {
-        out = MaskToWidth(MaskToWidth(a, width) * MaskToWidth(b, width) +
-                              MaskToWidth(c, width),
-                          width);
-      }
-      regs[inst.dst] = out;
+      regs[inst.dst] = exec_core::EvalMad(inst, ReadOp(t, regs, inst.a),
+                                          ReadOp(t, regs, inst.b),
+                                          ReadOp(t, regs, inst.c));
       ++t.pc;
       return OkStatus();
     }
 
     case COp::kUnary: {
-      const std::uint64_t a = ReadOp(t, regs, inst.a);
-      std::uint64_t out = 0;
-      if (inst.is_float) {
-        const bool f64 = inst.type == Type::kF64;
-        const double x = f64 ? AsF64(a) : AsF32(a);
-        double r = 0.0;
-        switch (static_cast<UnAlu>(inst.sub)) {
-          case UnAlu::kNeg: r = -x; break;
-          case UnAlu::kAbs: r = std::fabs(x); break;
-          case UnAlu::kSqrt: r = std::sqrt(x); break;
-          default: break;  // unreachable
-        }
-        out = f64 ? F64Bits(r) : F32Bits(static_cast<float>(r));
-      } else {
-        switch (static_cast<UnAlu>(inst.sub)) {
-          case UnAlu::kNeg:
-            out = MaskToWidth(
-                static_cast<std::uint64_t>(-SignExtend(a, width)), width);
-            break;
-          case UnAlu::kAbs:
-            out = MaskToWidth(static_cast<std::uint64_t>(
-                                  std::llabs(SignExtend(a, width))),
-                              width);
-            break;
-          case UnAlu::kNot: out = MaskToWidth(~a, width); break;
-          default: break;  // unreachable
-        }
-      }
-      regs[inst.dst] = out;
+      regs[inst.dst] = exec_core::EvalUnary(inst, ReadOp(t, regs, inst.a));
       ++t.pc;
       return OkStatus();
     }
 
     case COp::kSetp: {
-      const std::uint64_t a = ReadOp(t, regs, inst.a);
-      const std::uint64_t b = ReadOp(t, regs, inst.b);
-      const auto cmp = static_cast<CmpOp>(inst.sub);
-      bool r = false;
-      if (inst.is_float) {
-        const bool f64 = inst.type == Type::kF64;
-        const double x = f64 ? AsF64(a) : AsF32(a);
-        const double y = f64 ? AsF64(b) : AsF32(b);
-        switch (cmp) {
-          case CmpOp::kEq: r = x == y; break;
-          case CmpOp::kNe: r = x != y; break;
-          case CmpOp::kLt: r = x < y; break;
-          case CmpOp::kLe: r = x <= y; break;
-          case CmpOp::kGt: r = x > y; break;
-          case CmpOp::kGe: r = x >= y; break;
-        }
-      } else if (inst.is_signed) {
-        const std::int64_t x = SignExtend(a, width);
-        const std::int64_t y = SignExtend(b, width);
-        switch (cmp) {
-          case CmpOp::kEq: r = x == y; break;
-          case CmpOp::kNe: r = x != y; break;
-          case CmpOp::kLt: r = x < y; break;
-          case CmpOp::kLe: r = x <= y; break;
-          case CmpOp::kGt: r = x > y; break;
-          case CmpOp::kGe: r = x >= y; break;
-        }
-      } else {
-        const std::uint64_t x = MaskToWidth(a, width);
-        const std::uint64_t y = MaskToWidth(b, width);
-        switch (cmp) {
-          case CmpOp::kEq: r = x == y; break;
-          case CmpOp::kNe: r = x != y; break;
-          case CmpOp::kLt: r = x < y; break;
-          case CmpOp::kLe: r = x <= y; break;
-          case CmpOp::kGt: r = x > y; break;
-          case CmpOp::kGe: r = x >= y; break;
-        }
-      }
-      regs[inst.dst] = r ? 1 : 0;
+      regs[inst.dst] = exec_core::EvalSetp(inst, ReadOp(t, regs, inst.a),
+                                           ReadOp(t, regs, inst.b))
+                           ? 1
+                           : 0;
       ++t.pc;
       return OkStatus();
     }
@@ -1021,6 +732,13 @@ Status CompiledBlockExecutor::Step(CThread& t, std::uint64_t* regs,
       if (inst.error_is_fault) return Fault(std::move(status), 0, t);
       return status;
     }
+
+    case COp::kFused: {
+      // Superinstructions exist only in tier >= 1 programs, which run
+      // through the tiered executor (tier.cpp); reaching one here means a
+      // fused program was handed to the untiered engine.
+      return Internal("superinstruction in untiered program " + prog_.name);
+    }
   }
   return Internal("corrupt compiled instruction");
 }
@@ -1028,24 +746,8 @@ Status CompiledBlockExecutor::Step(CThread& t, std::uint64_t* regs,
 Status CompiledBlockExecutor::RunBlock(std::uint32_t bx, std::uint32_t by,
                                        std::uint32_t bz, DeviceFault* fault) {
   const std::uint64_t nthreads = params_.block.Count();
-  std::vector<CThread> threads(nthreads);
-  // One flat register file for the whole block: thread i's registers are
-  // regs_[i * reg_slots .. (i+1) * reg_slots).
-  regs_.assign(nthreads * prog_.reg_slots, 0);
-  for (std::uint64_t i = 0; i < nthreads; ++i) {
-    auto& t = threads[i];
-    t.ctx.tid_x = static_cast<std::uint32_t>(i % params_.block.x);
-    t.ctx.tid_y = static_cast<std::uint32_t>((i / params_.block.x) %
-                                             params_.block.y);
-    t.ctx.tid_z = static_cast<std::uint32_t>(i /
-                                             (static_cast<std::uint64_t>(
-                                                  params_.block.x) *
-                                              params_.block.y));
-    t.ctx.ctaid_x = bx;
-    t.ctx.ctaid_y = by;
-    t.ctx.ctaid_z = bz;
-  }
-  stats_->threads += nthreads;
+  std::vector<CThread> threads;
+  SetupBlock(bx, by, bz, &threads);
 
   bool all_done = false;
   while (!all_done) {
@@ -1059,17 +761,11 @@ Status CompiledBlockExecutor::RunBlock(std::uint32_t bx, std::uint32_t by,
       std::uint64_t budget = max_instructions_;
       while (true) {
         if (budget-- == 0) {
-          *fault = DeviceFault{DeadlineExceeded("runaway kernel " +
-                                                prog_.name +
-                                                " exceeded instruction budget"),
-                               0, LinearThreadId(t), prog_.name};
-          return fault->status;
+          const Status s = BudgetFault(t);
+          *fault = fault_;
+          return s;
         }
-        if (preempt_ != nullptr && !preempt_latched_ &&
-            --preempt_countdown_ == 0) {
-          preempt_countdown_ = preempt_check_interval_;
-          preempt_latched_ = preempt_->load(std::memory_order_relaxed);
-        }
+        PollPreempt();
         StepOutcome outcome;
         const Status s = Step(t, regs, &outcome);
         if (!s.ok()) {
@@ -1139,77 +835,13 @@ Result<ExecStats> Interpreter::Execute(const CompiledKernel& kernel,
 Result<ExecStats> Interpreter::Execute(const CompiledKernel& kernel,
                                        const LaunchParams& params,
                                        const ExecControls& controls) {
-  KernelCheckpoint* ckpt = controls.checkpoint;
-  const std::uint64_t total_blocks = params.grid.Count();
-  if (ckpt != nullptr) {
-    if (ckpt->valid && ckpt->blocks_total != total_blocks)
-      return Status(
-          InvalidArgument("checkpoint does not match launch geometry"));
-    ckpt->blocks_total = total_blocks;
-  }
-  // Resume accumulates into the checkpointed totals, so at completion the
-  // stats cover every block exactly once regardless of how many times the
-  // kernel was suspended.
-  ExecStats stats = (ckpt != nullptr && ckpt->valid) ? ckpt->stats
-                                                     : ExecStats{};
-
-  auto preempt_pending = [&]() -> bool {
-    return ckpt != nullptr && controls.preempt_requested != nullptr &&
-           controls.preempt_requested->load(std::memory_order_relaxed);
-  };
-
-  std::uint64_t linear = 0;
-  for (std::uint32_t bz = 0; bz < params.grid.z; ++bz) {
-    for (std::uint32_t by = 0; by < params.grid.y; ++by) {
-      for (std::uint32_t bx = 0; bx < params.grid.x; ++bx, ++linear) {
-        if (ckpt != nullptr && ckpt->valid && ckpt->Done(linear)) continue;
-        const ExecStats before = stats;
-        CompiledBlockExecutor block(kernel, params, memory_, policy_, client_,
-                                    max_instructions_per_thread_, &stats,
-                                    controls.preempt_requested,
-                                    controls.preempt_check_interval);
-        DeviceFault fault;
-        const Status s = block.RunBlock(bx, by, bz, &fault);
-        if (!s.ok()) {
-          // A tripped instruction budget keeps the checkpoint (every block
-          // before the runaway one), so the caller may requeue instead of
-          // killing; any other fault invalidates nothing the caller should
-          // resume from.
-          if (ckpt != nullptr && s.code() == StatusCode::kDeadlineExceeded)
-            ckpt->stats = stats;
-          last_fault_ = fault;
-          return s;
-        }
-        ++stats.blocks;
-        if (ckpt != nullptr) {
-          ckpt->MarkDone(linear);
-          ckpt->stats = stats;
-        }
-        if (controls.after_block) {
-          ExecStats delta;
-          delta.instructions = stats.instructions - before.instructions;
-          delta.global_loads = stats.global_loads - before.global_loads;
-          delta.global_stores = stats.global_stores - before.global_stores;
-          delta.shared_accesses =
-              stats.shared_accesses - before.shared_accesses;
-          delta.threads = stats.threads - before.threads;
-          delta.blocks = 1;
-          controls.after_block(delta);
-        }
-        // Safe point: between blocks. Yield only when there is work left —
-        // a fully executed kernel completes normally.
-        if ((block.preempt_latched() || preempt_pending()) &&
-            ckpt != nullptr && ckpt->blocks_done < total_blocks) {
-          return Status(
-              Unavailable("kernel " + kernel.name +
-                          " preempted at safe point (" +
-                          std::to_string(ckpt->blocks_done) + "/" +
-                          std::to_string(total_blocks) + " blocks done)"));
-        }
-      }
-    }
-  }
-  return stats;
+  return exec_core::RunGrid(
+      kernel, params, controls, &last_fault_, [&](ExecStats* stats) {
+        return CompiledBlockExecutor(kernel, params, memory_, policy_, client_,
+                                     max_instructions_per_thread_, stats,
+                                     controls.preempt_requested,
+                                     controls.preempt_check_interval);
+      });
 }
 
 Result<ExecStats> Interpreter::Execute(const ptx::Module& module,

@@ -79,7 +79,19 @@ enum class COp : std::uint8_t {
   kRetExit,   // thread done
   kTrap,      // bounds-check trap: device fault
   kError,     // reproduces a reference-engine step-time error when reached
+  kFused,     // superinstruction: executes fused_code[target .. target+sub)
 };
+
+// Execution tier of a launch (tier.hpp builds tier >= 1 programs; the
+// SandboxCache promotes modules across tiers by launch heat):
+//  - kCompiled: the dense bytecode engine, one switch dispatch per
+//    instruction (the PR 4 baseline);
+//  - kFused: hot instruction runs rewritten into superinstructions, so one
+//    dispatch retires a whole loop body / guard+access pair;
+//  - kThreaded: the fused program under direct-threaded computed-goto
+//    dispatch (falls back to the switch loop where labels-as-values are
+//    unavailable — see ThreadedDispatchAvailable()).
+enum class ExecTier : std::uint8_t { kCompiled = 0, kFused = 1, kThreaded = 2 };
 
 enum class BinAlu : std::uint8_t {
   kAdd, kSub, kMul, kMulWide, kMulHi, kDiv, kRem, kMin, kMax,
@@ -124,6 +136,50 @@ struct CompiledInst {
   bool error_is_fault = false;
 };
 
+// Micro-opcode of one superinstruction component, pre-decoded by FuseKernel.
+// The generic bytecode switch pays (opcode dispatch + operand-kind switch +
+// evaluator width/signedness dispatch) per instruction; a micro op folds all
+// of that into one case with width masks and sign-extension shifts computed
+// at fusion time. Anything outside the hot integer set (floats, div/rem,
+// wide multiplies, memory, cvt, specials) lowers to kGeneric and executes
+// the original CompiledInst through the full component switch — bit-for-bit
+// the same semantics, just slower.
+enum class MicroOp : std::uint8_t {
+  kGeneric,  // run fused_code[i] through the generic component switch
+  kMov,      // dst = a                       (unmasked, like COp::kMov)
+  kAdd,      // dst = (a + b) & mask
+  kSub,      // dst = (a - b) & mask
+  kMulLo,    // dst = (a * b) & mask
+  kAnd,      // dst = (a & b) & mask
+  kOr,       // dst = (a | b) & mask
+  kXor,      // dst = (a ^ b) & mask
+  kShl,      // dst = ((a & mask) << (b & shmask)) & mask
+  kShr,      // dst = (a' >> (b & shmask)) & mask   (a' per signedness)
+  kMad,      // dst = (a * b + c) & mask            (mad.lo)
+  kSetp,     // dst = compare(a, b) per cmp/signedness, as 0/1
+  kSelp,     // dst = (c & 1) ? a : b               (unmasked, like kSelp)
+  kBra,      // next_pc = target (honoring the guard predicate); terminal
+};
+
+// One pre-decoded superinstruction component. Sources are resolved at fusion
+// time: `a/b/c` holds either a raw immediate bit pattern or a register slot,
+// selected by the matching bit in `src_imm` (unused sources are immediate 0,
+// so the executor never reads the register file for them).
+struct FusedComp {
+  MicroOp op = MicroOp::kGeneric;
+  std::uint8_t cmp = 0;        // kSetp: CmpOp
+  std::uint8_t src_imm = 0x7;  // bit 0/1/2: a/b/c is an immediate
+  bool is_signed = false;      // kShr / kSetp signed variants
+  std::uint16_t dst = 0;
+  std::uint16_t pred_slot = kNoPredSlot;  // kBra guard
+  bool pred_negated = false;
+  std::uint8_t sx = 0;         // 64 - width*8: sign-extension shift
+  std::uint8_t shmask = 63;    // width*8 - 1: shift-amount mask
+  std::uint64_t mask = ~0ull;  // MaskToWidth(x, width) precomputed
+  std::uint64_t a = 0, b = 0, c = 0;  // register slot or immediate bits
+  std::uint32_t target = 0;    // kBra target pc
+};
+
 // brx.idx target table with labels resolved to pcs. An entry whose label did
 // not exist keeps kUnresolved and faults (NotFound, like the reference
 // engine) only if that index is actually taken.
@@ -144,6 +200,19 @@ struct CompiledKernel {
   std::uint16_t reg_slots = 0;       // dense register-file size per thread
   std::size_t param_count = 0;
   std::uint64_t shared_size = 0;     // per-block shared segment, bytes
+
+  // Tier >= 1 programs only (FuseKernel, tier.hpp). A kFused instruction at
+  // pc replaces the first instruction of a fused run and executes the
+  // components fused_code[target .. target+sub) back to back; the covered
+  // originals at pc+1 .. pc+sub-1 stay in place, so a branch into the middle
+  // of a fused region still executes them individually and no branch target
+  // ever needs remapping.
+  std::vector<CompiledInst> fused_code;
+  // Parallel to fused_code: the pre-decoded micro op per component (kGeneric
+  // entries fall back to the CompiledInst above).
+  std::vector<FusedComp> fused_micro;
+  std::uint32_t super_count = 0;         // kFused instructions emitted
+  std::uint32_t fused_instructions = 0;  // original instructions covered
 };
 
 // Lowers one kernel. Fails only on structural problems PrepareKernel also
@@ -163,6 +232,12 @@ class CompiledModule {
   // engine's message) for unknown names, or the kernel's compile error.
   Result<std::shared_ptr<const CompiledKernel>> Find(
       std::string_view kernel_name) const;
+
+  // Tier-1 copy of the module: every successfully compiled kernel rewritten
+  // by FuseKernel (tier.cpp); kernels that failed to compile keep their
+  // error. `superinstructions` (optional) receives the total fused count.
+  std::shared_ptr<const CompiledModule> Fused(
+      std::uint64_t* superinstructions) const;
 
  private:
   struct Entry {

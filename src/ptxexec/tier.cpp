@@ -1,0 +1,404 @@
+// Tier 1/2 execution: superinstruction fusion and the tiered block executor.
+//
+// FuseKernel is a peephole pass over the compiled bytecode. It scans for
+// maximal straight-line runs of unpredicated pure/memory instructions
+// (optionally closed by a branch, predicated or not), stops at every branch
+// target, and replaces the run's FIRST slot with a kFused instruction whose
+// components live in CompiledKernel::fused_code. The covered originals stay
+// in place behind the super, which buys three invariants for free:
+//  - branches into the middle of a run execute the originals individually;
+//  - branch tables and kBra targets never need remapping;
+//  - the program length is unchanged, so checkpoints, pcs and the budget
+//    accounting are comparable across tiers instruction for instruction.
+//
+// The executor's thread loop lives in tier_dispatch.inc, instantiated twice:
+// a portable switch variant and (under __GNUC__, unless GRD_NO_COMPUTED_GOTO
+// is defined) a direct-threaded computed-goto variant used by tier 2.
+#include "ptxexec/tier.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+#include "ptxexec/exec_core.hpp"
+#include "ptxexec/interpreter.hpp"
+#include "ptxexec/launch.hpp"
+#include "ptxexec/scalar_ops.hpp"
+#include "simgpu/memory.hpp"
+
+#if defined(__GNUC__) && !defined(GRD_NO_COMPUTED_GOTO)
+#define GRD_TIER_HAS_THREADED 1
+#else
+#define GRD_TIER_HAS_THREADED 0
+#endif
+
+namespace grd::ptxexec {
+namespace {
+
+using exec_core::CThread;
+
+// The label table in tier_dispatch.inc is indexed by COp and must cover the
+// enum exactly.
+static_assert(static_cast<unsigned>(COp::kFused) == 16,
+              "COp changed: update the tier_dispatch.inc label table");
+
+// Tier >= 1 block executor. Same machine state and grid semantics as the
+// compiled executor (both derive exec_core::EngineBase and run under
+// exec_core::RunGrid); only the thread dispatch loop differs.
+class TierExec : public exec_core::EngineBase {
+ public:
+  TierExec(const CompiledKernel& prog, const LaunchParams& params,
+           simgpu::GlobalMemory* memory, simgpu::AccessPolicy* policy,
+           std::uint64_t client, std::uint64_t max_instructions,
+           ExecStats* stats, const std::atomic<bool>* preempt,
+           std::uint64_t preempt_check_interval, bool threaded)
+      : EngineBase(prog, params, memory, policy, client, max_instructions,
+                   stats, preempt, preempt_check_interval),
+        threaded_(threaded) {}
+
+  // Runs one block to completion (all threads), honoring bar.sync phases.
+  Status RunBlock(std::uint32_t bx, std::uint32_t by, std::uint32_t bz,
+                  DeviceFault* fault);
+
+ private:
+  // Thread-run loops instantiated from tier_dispatch.inc.
+  Status RunThreadSwitch(CThread& t, std::uint64_t* regs, bool* thread_done);
+#if GRD_TIER_HAS_THREADED
+  Status RunThreadThreaded(CThread& t, std::uint64_t* regs, bool* thread_done);
+#endif
+
+  // Memory ops shared by the top-level handlers and the fused-component
+  // loop. Neither advances the pc; faults are recorded via Fault().
+  Status DoLd(CThread& t, std::uint64_t* regs, const CompiledInst& inst) {
+    const std::size_t width = inst.width;
+    const std::uint64_t addr = ReadOp(t, regs, inst.a) +
+                               static_cast<std::uint64_t>(inst.mem_offset);
+    if (inst.sub > 1) {
+      for (int lane = 0; lane < inst.sub; ++lane) {
+        auto bits = LoadSized(addr + lane * width, width);
+        if (!bits.ok()) return Fault(bits.status(), addr, t);
+        regs[inst.vec[lane]] = *bits;
+      }
+    } else {
+      auto bits = LoadSized(addr, width);
+      if (!bits.ok()) return Fault(bits.status(), addr, t);
+      // Sign-extend signed sub-64-bit loads so later s64 arithmetic works.
+      regs[inst.dst] =
+          inst.is_signed
+              ? static_cast<std::uint64_t>(scalar::SignExtend(*bits, width))
+              : *bits;
+    }
+    return OkStatus();
+  }
+
+  Status DoSt(CThread& t, std::uint64_t* regs, const CompiledInst& inst) {
+    const std::size_t width = inst.width;
+    const std::uint64_t addr = ReadOp(t, regs, inst.a) +
+                               static_cast<std::uint64_t>(inst.mem_offset);
+    if (inst.sub > 1) {
+      for (int lane = 0; lane < inst.sub; ++lane) {
+        const Status s = StoreSized(
+            addr + lane * width,
+            scalar::MaskToWidth(regs[inst.vec[lane]], width), width);
+        if (!s.ok()) return Fault(s, addr, t);
+      }
+    } else {
+      const Status s = StoreSized(
+          addr, scalar::MaskToWidth(ReadOp(t, regs, inst.b), width), width);
+      if (!s.ok()) return Fault(s, addr, t);
+    }
+    return OkStatus();
+  }
+
+  bool threaded_;
+};
+
+// Sign-extends `bits` given the precomputed 64-width*8 shift (FusedComp::sx).
+inline std::int64_t MicroSext(std::uint64_t bits, unsigned sx) {
+  return static_cast<std::int64_t>(bits << sx) >> sx;
+}
+
+template <typename T>
+inline bool MicroCompare(CmpOp cmp, T x, T y) {
+  switch (cmp) {
+    case CmpOp::kEq: return x == y;
+    case CmpOp::kNe: return x != y;
+    case CmpOp::kLt: return x < y;
+    case CmpOp::kLe: return x <= y;
+    case CmpOp::kGt: return x > y;
+    case CmpOp::kGe: return x >= y;
+  }
+  return false;
+}
+
+// Per-instruction prologue of every non-fused handler: bump the instruction
+// count, then skip (pc+1) when a guard predicate disagrees — exactly the
+// compiled engine's Step() order. Expanded inside tier_dispatch.inc, where
+// GRD_NEXT re-enters the dispatch of the active variant.
+#define GRD_GUARD()                                       \
+  ++stats_->instructions;                                 \
+  if (ip->pred_slot != kNoPredSlot) {                     \
+    const bool grd_pred = (regs[ip->pred_slot] & 1) != 0; \
+    if (grd_pred == ip->pred_negated) {                   \
+      ++t.pc;                                             \
+      GRD_NEXT();                                         \
+    }                                                     \
+  }
+
+#define GRD_TIER_FN RunThreadSwitch
+#define GRD_TIER_THREADED 0
+#include "ptxexec/tier_dispatch.inc"
+#undef GRD_TIER_FN
+#undef GRD_TIER_THREADED
+
+#if GRD_TIER_HAS_THREADED
+#define GRD_TIER_FN RunThreadThreaded
+#define GRD_TIER_THREADED 1
+#include "ptxexec/tier_dispatch.inc"
+#undef GRD_TIER_FN
+#undef GRD_TIER_THREADED
+#endif
+
+#undef GRD_GUARD
+
+Status TierExec::RunBlock(std::uint32_t bx, std::uint32_t by, std::uint32_t bz,
+                          DeviceFault* fault) {
+  const std::uint64_t nthreads = params_.block.Count();
+  std::vector<CThread> threads;
+  SetupBlock(bx, by, bz, &threads);
+
+  bool all_done = false;
+  while (!all_done) {
+    all_done = true;
+    bool progressed = false;
+    for (std::uint64_t i = 0; i < nthreads; ++i) {
+      auto& t = threads[i];
+      if (t.done) continue;
+      std::uint64_t* regs = regs_.data() + i * prog_.reg_slots;
+      // Run this thread until it blocks on a barrier or finishes.
+      bool thread_done = false;
+#if GRD_TIER_HAS_THREADED
+      const Status s = threaded_ ? RunThreadThreaded(t, regs, &thread_done)
+                                 : RunThreadSwitch(t, regs, &thread_done);
+#else
+      static_cast<void>(threaded_);  // tier 2 falls back to the switch loop
+      const Status s = RunThreadSwitch(t, regs, &thread_done);
+#endif
+      if (!s.ok()) {
+        *fault = fault_;
+        return s;
+      }
+      progressed = true;
+      if (thread_done) t.done = true;
+      if (!t.done) all_done = false;
+    }
+    if (!all_done && !progressed) {
+      *fault = DeviceFault{Internal("barrier deadlock in " + prog_.name), 0,
+                           0, prog_.name};
+      return fault->status;
+    }
+  }
+  return OkStatus();
+}
+
+// Pre-decodes one fused component into its micro op. Anything outside the
+// hot integer set — floats, div/rem (trap-free zero semantics), wide/hi
+// multiplies, memory ops, cvt, special-register sources — stays kGeneric
+// and executes the original CompiledInst, so micro lowering can never
+// change semantics, only skip decode work.
+FusedComp LowerComp(const CompiledInst& inst) {
+  FusedComp m;  // defaults: kGeneric, all sources immediate 0
+  const std::size_t width = inst.width;
+  m.mask = width >= 8 ? ~0ull : ((1ull << (width * 8)) - 1);
+  m.sx = static_cast<std::uint8_t>(64 - width * 8);
+  m.shmask = static_cast<std::uint8_t>(width * 8 - 1);
+  m.dst = inst.dst;
+  m.is_signed = inst.is_signed;
+  // Resolves a source to slot-or-immediate; special registers (thread/block
+  // ids) keep the component generic.
+  const auto src = [&m](unsigned idx, const OperandDesc& desc,
+                        std::uint64_t* out) {
+    switch (desc.kind) {
+      case OperandDesc::Kind::kReg:
+        *out = desc.slot;
+        m.src_imm = static_cast<std::uint8_t>(m.src_imm & ~(1u << idx));
+        return true;
+      case OperandDesc::Kind::kImm:
+        *out = desc.imm;
+        return true;
+      case OperandDesc::Kind::kSpecial:
+        return false;
+    }
+    return false;
+  };
+
+  // Only a run's terminal kBra may be predicated (FusableInterior).
+  if (inst.pred_slot != kNoPredSlot && inst.op != COp::kBra) return m;
+
+  switch (inst.op) {
+    case COp::kMov:
+      if (src(0, inst.a, &m.a)) m.op = MicroOp::kMov;
+      break;
+    case COp::kBinary: {
+      if (inst.is_float) break;
+      MicroOp op;
+      switch (static_cast<BinAlu>(inst.sub)) {
+        case BinAlu::kAdd: op = MicroOp::kAdd; break;
+        case BinAlu::kSub: op = MicroOp::kSub; break;
+        case BinAlu::kMul: op = MicroOp::kMulLo; break;
+        case BinAlu::kAnd: op = MicroOp::kAnd; break;
+        case BinAlu::kOr: op = MicroOp::kOr; break;
+        case BinAlu::kXor: op = MicroOp::kXor; break;
+        case BinAlu::kShl: op = MicroOp::kShl; break;
+        case BinAlu::kShr: op = MicroOp::kShr; break;
+        default: return m;  // div/rem/min/max/wide/hi: generic
+      }
+      if (src(0, inst.a, &m.a) && src(1, inst.b, &m.b)) m.op = op;
+      break;
+    }
+    case COp::kMad:
+      if (inst.is_float || inst.sub != 0) break;  // wide/float mad: generic
+      if (src(0, inst.a, &m.a) && src(1, inst.b, &m.b) &&
+          src(2, inst.c, &m.c))
+        m.op = MicroOp::kMad;
+      break;
+    case COp::kSetp:
+      if (inst.is_float) break;
+      m.cmp = inst.sub;
+      if (src(0, inst.a, &m.a) && src(1, inst.b, &m.b)) m.op = MicroOp::kSetp;
+      break;
+    case COp::kSelp:
+      if (src(0, inst.a, &m.a) && src(1, inst.b, &m.b) &&
+          src(2, inst.c, &m.c))
+        m.op = MicroOp::kSelp;
+      break;
+    case COp::kBra:
+      m.op = MicroOp::kBra;
+      m.target = inst.target;
+      m.pred_slot = inst.pred_slot;
+      m.pred_negated = inst.pred_negated;
+      break;
+    default:
+      break;  // ld/st/ldparam/cvt/unary: generic
+  }
+  return m;
+}
+
+// An instruction that may sit anywhere in a fused run: unpredicated, pure or
+// memory, never a control transfer / barrier / trap / deferred error.
+bool FusableInterior(const CompiledInst& inst) {
+  if (inst.pred_slot != kNoPredSlot) return false;
+  switch (inst.op) {
+    case COp::kLdParam:
+    case COp::kLd:
+    case COp::kSt:
+    case COp::kMov:
+    case COp::kCvt:
+    case COp::kBinary:
+    case COp::kMad:
+    case COp::kUnary:
+    case COp::kSetp:
+    case COp::kSelp:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+CompiledKernel FuseKernel(const CompiledKernel& kernel) {
+  CompiledKernel out = kernel;
+  if (out.super_count > 0) return out;  // already fused
+  const std::size_t n = out.code.size();
+  if (n < 2) return out;
+
+  // A fused run must never span a branch target: a kFused instruction may
+  // only BEGIN at one. Targets come from kBra instructions and from every
+  // resolved branch-table entry (an unresolved entry faults before jumping).
+  std::vector<bool> is_target(n + 1, false);
+  for (const auto& inst : out.code)
+    if (inst.op == COp::kBra && inst.target <= n) is_target[inst.target] = true;
+  for (const auto& table : out.branch_tables)
+    for (const std::uint32_t pc : table.pcs)
+      if (pc != BranchTable::kUnresolved && pc <= n) is_target[pc] = true;
+
+  for (std::size_t pc = 0; pc < n;) {
+    if (!FusableInterior(out.code[pc])) {
+      ++pc;
+      continue;
+    }
+    std::size_t end = pc + 1;
+    while (end < n && end - pc < kMaxFusedRun && !is_target[end] &&
+           FusableInterior(out.code[end]))
+      ++end;
+    // A trailing branch (predicated or not) joins the run: the setp + @%p bra
+    // loop tail retires in the same dispatch, and a backward branch to the
+    // run's own head re-enters the superinstruction directly — one dispatch
+    // per loop iteration.
+    if (end < n && end - pc < kMaxFusedRun && !is_target[end] &&
+        out.code[end].op == COp::kBra)
+      ++end;
+    const std::size_t count = end - pc;
+    if (count >= 2) {
+      CompiledInst super;
+      super.op = COp::kFused;
+      super.sub = static_cast<std::uint8_t>(count);
+      super.target = static_cast<std::uint32_t>(out.fused_code.size());
+      for (std::size_t j = pc; j < end; ++j) {
+        out.fused_code.push_back(out.code[j]);
+        out.fused_micro.push_back(LowerComp(out.code[j]));
+      }
+      out.code[pc] = super;
+      ++out.super_count;
+      out.fused_instructions += static_cast<std::uint32_t>(count);
+    }
+    pc = end;  // covered originals stay in place; scan resumes after the run
+  }
+  return out;
+}
+
+std::shared_ptr<const CompiledModule> CompiledModule::Fused(
+    std::uint64_t* superinstructions) const {
+  auto fused = std::make_shared<CompiledModule>();
+  fused->entries_.reserve(entries_.size());
+  std::uint64_t total = 0;
+  for (const auto& entry : entries_) {
+    Entry out;
+    out.name = entry.name;
+    out.error = entry.error;
+    if (entry.kernel != nullptr) {
+      auto k = std::make_shared<CompiledKernel>(FuseKernel(*entry.kernel));
+      total += k->super_count;
+      out.kernel = std::move(k);
+    }
+    fused->entries_.push_back(std::move(out));
+  }
+  if (superinstructions != nullptr) *superinstructions = total;
+  return fused;
+}
+
+bool ThreadedDispatchAvailable() noexcept {
+  return GRD_TIER_HAS_THREADED != 0;
+}
+
+Result<ExecStats> Interpreter::Execute(const CompiledKernel& kernel,
+                                       const LaunchParams& params,
+                                       const ExecControls& controls,
+                                       ExecTier tier) {
+  if (tier == ExecTier::kCompiled) return Execute(kernel, params, controls);
+  const bool threaded = tier == ExecTier::kThreaded;
+  return exec_core::RunGrid(
+      kernel, params, controls, &last_fault_, [&](ExecStats* stats) {
+        return TierExec(kernel, params, memory_, policy_, client_,
+                        max_instructions_per_thread_, stats,
+                        controls.preempt_requested,
+                        controls.preempt_check_interval, threaded);
+      });
+}
+
+}  // namespace grd::ptxexec

@@ -1,0 +1,53 @@
+// Tiered execution for the compiled bytecode engine.
+//
+// PR 4's compiled engine pays one enum-switch dispatch per instruction. The
+// guardian's SandboxCache counts launches per cached module, and once a
+// module is hot the manager promotes it through two further tiers:
+//
+//  tier 1 (kFused): FuseKernel rewrites the compiled program, collapsing
+//    recurring straight-line runs — mad+setp+bra loop heads, ld+op+st bodies,
+//    and the patcher's guard-check+access pairs (and/or fencing before each
+//    protected ld/st) — into superinstructions. One dispatch retires the
+//    whole run; components execute back to back out of a dense side array
+//    through the same exec_core evaluators as every other engine.
+//
+//  tier 2 (kThreaded): the fused program runs under direct-threaded
+//    computed-goto dispatch (GNU labels-as-values), replacing the switch's
+//    bounds check + jump with one indirect goto per instruction. Where the
+//    extension is unavailable (or GRD_NO_COMPUTED_GOTO is defined) tier 2
+//    transparently falls back to the tier-1 switch loop.
+//
+// Fusion preserves the PR 3 safe-point contract: superinstructions charge
+// stats, the per-thread instruction budget and the preemption-poll countdown
+// per *component*, so revocation latency, checkpoint contents and
+// ExecuteReference parity are unchanged at every tier. Fused regions never
+// span branch targets, barriers, traps or kError instructions, and the
+// covered original instructions stay in place, so branches into the middle
+// of a region execute the originals and branch tables need no remapping.
+#pragma once
+
+#include <cstdint>
+
+#include "ptxexec/program.hpp"
+
+namespace grd::ptxexec {
+
+// Upper bound on components per superinstruction. Generous relative to the
+// patterns fusion targets (a fenced access is 3 instructions, a typical loop
+// body under 10); the cap keeps `sub` meaningful and faults mid-run cheap to
+// attribute.
+inline constexpr unsigned kMaxFusedRun = 12;
+
+// Rewrites a compiled program with superinstructions (tier 1). Pure and
+// total: never fails, never changes program length or branch targets, and
+// returns the input unchanged (beyond a copy) when nothing is fusable or the
+// program is already fused. The result reports its rewrite in
+// CompiledKernel::super_count / fused_instructions.
+CompiledKernel FuseKernel(const CompiledKernel& kernel);
+
+// True when the tier-2 executor actually uses computed-goto dispatch; false
+// when it falls back to the switch loop (non-GNU compiler or
+// GRD_NO_COMPUTED_GOTO). Tier-2 runs are legal either way.
+bool ThreadedDispatchAvailable() noexcept;
+
+}  // namespace grd::ptxexec

@@ -1,10 +1,12 @@
 // Parity suite for the compiled bytecode engine (ptxexec::CompileKernel +
-// the CompiledKernel executor) against the seed string-map interpreter
-// (Interpreter::ExecuteReference): every kernel family the ptxexec tests
-// exercise — plus patched kernels, faults, checkpoints and random fuzz —
-// must produce identical ExecStats, statuses, fault details and memory
-// images on both engines. Also holds the no-string-lookups-per-step
-// regression guard.
+// the CompiledKernel executor) AND the tiered executors (FuseKernel
+// superinstructions at tier 1, direct-threaded dispatch at tier 2) against
+// the seed string-map interpreter (Interpreter::ExecuteReference): every
+// kernel family the ptxexec tests exercise — plus patched kernels, faults,
+// checkpoints and random fuzz — must produce identical ExecStats, statuses,
+// fault details and memory images on every engine. Also holds the
+// no-string-lookups-per-step regression guard and the fusion structure
+// tests.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -15,6 +17,7 @@
 #include "ptx/generator.hpp"
 #include "ptx/parser.hpp"
 #include "ptxexec/interpreter.hpp"
+#include "ptxexec/tier.hpp"
 #include "ptxpatcher/patcher.hpp"
 
 namespace grd::ptxexec {
@@ -67,6 +70,45 @@ EngineRun RunEngine(const ptx::Module& module, const std::string& kernel,
   return out;
 }
 
+// Compares one engine's outcome (stats/status/fault/memory) against the
+// reference run; `engine` labels the failure.
+void ExpectSameOutcome(const EngineRun& reference, const EngineRun& other,
+                       const std::string& kernel, const char* engine) {
+  SCOPED_TRACE(std::string("engine=") + engine);
+  ASSERT_EQ(reference.result.ok(), other.result.ok())
+      << "kernel " << kernel << ": reference="
+      << (reference.result.ok() ? "ok" : reference.result.status().ToString())
+      << " " << engine << "="
+      << (other.result.ok() ? "ok" : other.result.status().ToString());
+  if (reference.result.ok()) {
+    const ExecStats& a = *reference.result;
+    const ExecStats& b = *other.result;
+    EXPECT_EQ(a.instructions, b.instructions) << kernel;
+    EXPECT_EQ(a.global_loads, b.global_loads) << kernel;
+    EXPECT_EQ(a.global_stores, b.global_stores) << kernel;
+    EXPECT_EQ(a.shared_accesses, b.shared_accesses) << kernel;
+    EXPECT_EQ(a.threads, b.threads) << kernel;
+    EXPECT_EQ(a.blocks, b.blocks) << kernel;
+  } else {
+    EXPECT_EQ(reference.result.status().code(), other.result.status().code())
+        << kernel;
+    EXPECT_EQ(reference.result.status().message(),
+              other.result.status().message())
+        << kernel;
+    EXPECT_EQ(reference.fault.status.code(), other.fault.status.code())
+        << kernel;
+    EXPECT_EQ(reference.fault.address, other.fault.address) << kernel;
+    EXPECT_EQ(reference.fault.thread_linear_id, other.fault.thread_linear_id)
+        << kernel;
+    EXPECT_EQ(reference.fault.kernel, other.fault.kernel) << kernel;
+  }
+  EXPECT_EQ(reference.memory, other.memory)
+      << "kernel " << kernel << ": engines diverged in memory effects";
+}
+
+// Every kernel every parity test runs goes through all four engines: the
+// reference oracle, the compiled bytecode (tier 0), the fused program under
+// switch dispatch (tier 1) and under direct-threaded dispatch (tier 2).
 void ExpectParity(const ptx::Module& module, const std::string& kernel,
                   const LaunchParams& params, const MemInit& init = {},
                   simgpu::AccessPolicy* ref_policy = nullptr,
@@ -79,36 +121,24 @@ void ExpectParity(const ptx::Module& module, const std::string& kernel,
       module, kernel, params, init, compiled_policy,
       [](Interpreter& interp, const ptx::Module& m, const std::string& k,
          const LaunchParams& p) { return interp.Execute(m, k, p); });
+  ExpectSameOutcome(reference, compiled, kernel, "compiled");
 
-  ASSERT_EQ(reference.result.ok(), compiled.result.ok())
-      << "kernel " << kernel << ": reference="
-      << (reference.result.ok() ? "ok" : reference.result.status().ToString())
-      << " compiled="
-      << (compiled.result.ok() ? "ok" : compiled.result.status().ToString());
-  if (reference.result.ok()) {
-    const ExecStats& a = *reference.result;
-    const ExecStats& b = *compiled.result;
-    EXPECT_EQ(a.instructions, b.instructions) << kernel;
-    EXPECT_EQ(a.global_loads, b.global_loads) << kernel;
-    EXPECT_EQ(a.global_stores, b.global_stores) << kernel;
-    EXPECT_EQ(a.shared_accesses, b.shared_accesses) << kernel;
-    EXPECT_EQ(a.threads, b.threads) << kernel;
-    EXPECT_EQ(a.blocks, b.blocks) << kernel;
-  } else {
-    EXPECT_EQ(reference.result.status().code(), compiled.result.status().code())
-        << kernel;
-    EXPECT_EQ(reference.result.status().message(),
-              compiled.result.status().message())
-        << kernel;
-    EXPECT_EQ(reference.fault.status.code(), compiled.fault.status.code())
-        << kernel;
-    EXPECT_EQ(reference.fault.address, compiled.fault.address) << kernel;
-    EXPECT_EQ(reference.fault.thread_linear_id, compiled.fault.thread_linear_id)
-        << kernel;
-    EXPECT_EQ(reference.fault.kernel, compiled.fault.kernel) << kernel;
+  for (const ExecTier tier : {ExecTier::kFused, ExecTier::kThreaded}) {
+    const EngineRun tiered = RunEngine(
+        module, kernel, params, init, compiled_policy,
+        [tier](Interpreter& interp, const ptx::Module& m, const std::string& k,
+               const LaunchParams& p) -> Result<ExecStats> {
+          // Mirrors the manager's tiered launch path: compile the module,
+          // surface per-kernel compile errors at Find, fuse, execute at tier.
+          auto cm = CompiledModule::Compile(m);
+          auto found = cm->Find(k);
+          if (!found.ok()) return found.status();
+          const CompiledKernel fused = FuseKernel(**found);
+          return interp.Execute(fused, p, ExecControls{}, tier);
+        });
+    ExpectSameOutcome(reference, tiered, kernel,
+                      tier == ExecTier::kFused ? "fused" : "threaded");
   }
-  EXPECT_EQ(reference.memory, compiled.memory)
-      << "kernel " << kernel << ": engines diverged in memory effects";
 }
 
 // ---- sample-module kernels (the ptxexec_test corpus) ----------------------
@@ -431,6 +461,24 @@ TEST(ProgramParity, InstructionBudgetTripsIdentically) {
   EXPECT_EQ(a.status().code(), StatusCode::kDeadlineExceeded);
   EXPECT_EQ(a.status().code(), b.status().code());
   EXPECT_EQ(a.status().message(), b.status().message());
+
+  // The budget is charged per component inside superinstructions too, so the
+  // trip point (and its message) is identical at tiers 1 and 2.
+  auto found = CompiledModule::Compile(module)->Find("vecadd");
+  ASSERT_TRUE(found.ok()) << found.status();
+  const CompiledKernel fused = FuseKernel(**found);
+  ASSERT_GT(fused.super_count, 0u) << "vecadd should fuse";
+  for (const ExecTier tier : {ExecTier::kFused, ExecTier::kThreaded}) {
+    simgpu::GlobalMemory mem(kMemBytes);
+    Interpreter tiered(&mem, &allow, 1);
+    tiered.set_max_instructions_per_thread(10);
+    auto t = tiered.Execute(fused, params, ExecControls{}, tier);
+    ASSERT_FALSE(t.ok()) << "tier " << static_cast<int>(tier);
+    EXPECT_EQ(a.status().code(), t.status().code())
+        << "tier " << static_cast<int>(tier);
+    EXPECT_EQ(a.status().message(), t.status().message())
+        << "tier " << static_cast<int>(tier);
+  }
 }
 
 TEST(ProgramParity, PreemptCheckpointResumeMatchesReference) {
@@ -438,9 +486,12 @@ TEST(ProgramParity, PreemptCheckpointResumeMatchesReference) {
   MemInit init;
   for (int i = 0; i < 512; ++i) init.push_back({0x10000 + i * 4, 5u * i});
 
-  // Both engines: run with an always-on revocation flag, collecting one
+  // All four engines: run with an always-on revocation flag, collecting one
   // block per segment, resuming until done; totals must match a plain run.
-  for (const bool use_compiled : {false, true}) {
+  enum class Engine { kReference, kCompiled, kTier1, kTier2 };
+  for (const Engine engine : {Engine::kReference, Engine::kCompiled,
+                              Engine::kTier1, Engine::kTier2}) {
+    SCOPED_TRACE("engine=" + std::to_string(static_cast<int>(engine)));
     simgpu::GlobalMemory memory(kMemBytes);
     simgpu::AllowAllPolicy allow;
     for (const auto& [addr, value] : init)
@@ -459,12 +510,30 @@ TEST(ProgramParity, PreemptCheckpointResumeMatchesReference) {
     controls.preempt_check_interval = 100;
     controls.checkpoint = &ckpt;
 
+    CompiledKernel fused;
+    if (engine == Engine::kTier1 || engine == Engine::kTier2) {
+      auto found = CompiledModule::Compile(module)->Find("copyk");
+      ASSERT_TRUE(found.ok()) << found.status();
+      fused = FuseKernel(**found);
+    }
+
     int segments = 0;
     Result<ExecStats> run = ExecStats{};
     while (true) {
-      run = use_compiled
-                ? interp.Execute(module, "copyk", params, controls)
-                : interp.ExecuteReference(module, "copyk", params, controls);
+      switch (engine) {
+        case Engine::kReference:
+          run = interp.ExecuteReference(module, "copyk", params, controls);
+          break;
+        case Engine::kCompiled:
+          run = interp.Execute(module, "copyk", params, controls);
+          break;
+        case Engine::kTier1:
+          run = interp.Execute(fused, params, controls, ExecTier::kFused);
+          break;
+        case Engine::kTier2:
+          run = interp.Execute(fused, params, controls, ExecTier::kThreaded);
+          break;
+      }
       if (run.ok()) break;
       ASSERT_TRUE(IsPreempted(run.status())) << run.status();
       ++segments;
@@ -476,7 +545,103 @@ TEST(ProgramParity, PreemptCheckpointResumeMatchesReference) {
     for (int i = 0; i < 512; ++i) {
       auto v = memory.Load<std::uint32_t>(0x20000 + i * 4);
       ASSERT_TRUE(v.ok());
-      ASSERT_EQ(*v, 5u * i) << "engine=" << use_compiled << " i=" << i;
+      ASSERT_EQ(*v, 5u * i) << " i=" << i;
+    }
+  }
+}
+
+// A kernel revoked while executing inside a fused loop body must still stop
+// exactly at the block boundary: the checkpoint's completed-block count
+// advances one block per segment and no block is replayed, at both tier 1
+// and tier 2. The loop body fuses into a single superinstruction, so every
+// preemption poll here happens between superinstruction dispatches.
+TEST(ProgramParity, RevokedMidFusedBlockExactAccounting) {
+  const std::string src = R"(
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry loopk(.param .u64 p_out, .param .u32 p_n)
+{
+    .reg .pred %p<2>;
+    .reg .b32 %r<8>;
+    .reg .b64 %rd<8>;
+    ld.param.u64 %rd1, [p_out];
+    ld.param.u32 %r1, [p_n];
+    mov.u32 %r2, %tid.x;
+    mov.u32 %r3, %ctaid.x;
+    mad.lo.u32 %r4, %r3, 32, %r2;
+    mov.u32 %r5, 0;
+    mov.u32 %r6, 0;
+LOOP:
+    add.u32 %r5, %r5, %r6;
+    add.u32 %r6, %r6, 1;
+    setp.lt.u32 %p1, %r6, %r1;
+    @%p1 bra LOOP;
+    mul.wide.u32 %rd2, %r4, 4;
+    add.u64 %rd3, %rd1, %rd2;
+    st.global.u32 [%rd3], %r5;
+    ret;
+}
+)";
+  auto module = ptx::Parse(src);
+  ASSERT_TRUE(module.ok()) << module.status();
+  auto compiled = CompileKernel(module->kernels[0]);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  const CompiledKernel fused = FuseKernel(*compiled);
+  ASSERT_GT(fused.super_count, 0u) << "the loop body must fuse";
+
+  constexpr std::uint32_t kIters = 200;
+  const std::uint32_t expect = kIters * (kIters - 1) / 2;  // sum 0..n-1
+  LaunchParams params;
+  params.grid = {4, 1, 1};
+  params.block = {32, 1, 1};
+  params.args = {KernelArg::U64(0x8000), KernelArg::U32(kIters)};
+
+  // Tier-0 baseline for the exact instruction total.
+  std::uint64_t baseline_instructions = 0;
+  {
+    simgpu::GlobalMemory memory(kMemBytes);
+    simgpu::AllowAllPolicy allow;
+    Interpreter interp(&memory, &allow, 1);
+    auto run = interp.Execute(*compiled, params);
+    ASSERT_TRUE(run.ok()) << run.status();
+    baseline_instructions = run->instructions;
+  }
+
+  for (const ExecTier tier : {ExecTier::kFused, ExecTier::kThreaded}) {
+    SCOPED_TRACE("tier=" + std::to_string(static_cast<int>(tier)));
+    simgpu::GlobalMemory memory(kMemBytes);
+    simgpu::AllowAllPolicy allow;
+    Interpreter interp(&memory, &allow, 1);
+
+    std::atomic<bool> revoke{true};
+    KernelCheckpoint ckpt;
+    ExecControls controls;
+    controls.preempt_requested = &revoke;
+    // Poll lands mid-loop — i.e. between fused-block dispatches — every time.
+    controls.preempt_check_interval = 37;
+    controls.checkpoint = &ckpt;
+
+    int segments = 0;
+    Result<ExecStats> run = ExecStats{};
+    while (true) {
+      run = interp.Execute(fused, params, controls, tier);
+      if (run.ok()) break;
+      ASSERT_TRUE(IsPreempted(run.status())) << run.status();
+      ++segments;
+      // One block per segment, never replayed: blocks_done is exact.
+      EXPECT_EQ(ckpt.blocks_done, static_cast<std::uint64_t>(segments));
+      ASSERT_LT(segments, 16);
+    }
+    EXPECT_EQ(segments, 3);
+    EXPECT_EQ(run->blocks, 4u);
+    EXPECT_EQ(ckpt.blocks_done, 4u);
+    EXPECT_EQ(run->instructions, baseline_instructions)
+        << "per-component accounting must match tier 0 across preemptions";
+    for (std::uint32_t i = 0; i < 128; ++i) {
+      auto v = memory.Load<std::uint32_t>(0x8000 + i * 4);
+      ASSERT_TRUE(v.ok());
+      ASSERT_EQ(*v, expect) << " i=" << i;
     }
   }
 }
@@ -511,6 +676,34 @@ TEST(ProgramHotPath, CompiledExecutionPerformsNoStringLookups) {
   auto ref = interp.ExecuteReference(module, "vecadd", params);
   ASSERT_TRUE(ref.ok());
   EXPECT_GT(exec_debug::HotPathStringLookups() - before, ref->instructions);
+}
+
+// Tiers 1 and 2 run the same pre-decoded program — fusion must not
+// reintroduce any per-step string work.
+TEST(ProgramHotPath, TieredExecutionPerformsNoStringLookups) {
+  const ptx::Module module = MakeSampleModule();
+  const ptx::Kernel* kernel = module.FindKernel("vecadd");
+  ASSERT_NE(kernel, nullptr);
+  auto compiled = CompileKernel(*kernel);
+  ASSERT_TRUE(compiled.ok());
+  const CompiledKernel fused = FuseKernel(*compiled);
+
+  LaunchParams params;
+  params.grid = {2, 1, 1};
+  params.block = {128, 1, 1};
+  params.args = {KernelArg::U64(0x10000), KernelArg::U64(0x20000),
+                 KernelArg::U64(0x30000), KernelArg::U32(200)};
+  for (const ExecTier tier : {ExecTier::kFused, ExecTier::kThreaded}) {
+    simgpu::GlobalMemory memory(kMemBytes);
+    simgpu::AllowAllPolicy allow;
+    Interpreter interp(&memory, &allow, 1);
+    const std::uint64_t before = exec_debug::HotPathStringLookups();
+    auto run = interp.Execute(fused, params, ExecControls{}, tier);
+    ASSERT_TRUE(run.ok()) << run.status();
+    EXPECT_EQ(exec_debug::HotPathStringLookups() - before, 0u)
+        << "tier " << static_cast<int>(tier)
+        << " performs string lookups on the step path";
+  }
 }
 
 // The special-register scan is a compile-time operand kind now: reading
@@ -604,6 +797,124 @@ TEST(CompileKernel, DenseLayoutBakesStructure) {
     ASSERT_NE(pc, BranchTable::kUnresolved);
     EXPECT_LT(pc, brx_compiled->code.size());
   }
+}
+
+// ---- fusion structure -------------------------------------------------------
+
+TEST(FuseKernel, StructuralInvariants) {
+  const ptx::Module module = MakeSampleModule();
+  for (const char* name : {"vecadd", "copyk", "reduce", "brx_kernel"}) {
+    SCOPED_TRACE(name);
+    const ptx::Kernel* kernel = module.FindKernel(name);
+    ASSERT_NE(kernel, nullptr);
+    auto compiled = CompileKernel(*kernel);
+    ASSERT_TRUE(compiled.ok()) << compiled.status();
+    const CompiledKernel fused = FuseKernel(*compiled);
+
+    // Fusion never changes program length, branch tables or register layout.
+    ASSERT_EQ(fused.code.size(), compiled->code.size());
+    EXPECT_EQ(fused.branch_tables.size(), compiled->branch_tables.size());
+    EXPECT_EQ(fused.reg_slots, compiled->reg_slots);
+    EXPECT_EQ(fused.fused_code.size(), fused.fused_instructions);
+    EXPECT_EQ(fused.fused_micro.size(), fused.fused_code.size());
+
+    // Collect branch targets exactly as the fuser does.
+    const std::size_t n = fused.code.size();
+    std::vector<bool> is_target(n + 1, false);
+    for (const auto& inst : fused.code)
+      if (inst.op == COp::kBra && inst.target <= n) is_target[inst.target] = true;
+    for (const auto& table : fused.branch_tables)
+      for (const std::uint32_t pc : table.pcs)
+        if (pc != BranchTable::kUnresolved && pc <= n) is_target[pc] = true;
+
+    std::uint32_t supers = 0, covered = 0;
+    for (std::size_t pc = 0; pc < n; ++pc) {
+      if (fused.code[pc].op != COp::kFused) {
+        // Non-fused slots are untouched.
+        EXPECT_EQ(static_cast<int>(fused.code[pc].op),
+                  static_cast<int>(compiled->code[pc].op))
+            << "pc=" << pc;
+        continue;
+      }
+      ++supers;
+      const unsigned count = fused.code[pc].sub;
+      const std::uint32_t base = fused.code[pc].target;
+      covered += count;
+      ASSERT_GE(count, 2u) << "pc=" << pc;
+      ASSERT_LE(count, kMaxFusedRun) << "pc=" << pc;
+      ASSERT_LE(base + count, fused.fused_code.size()) << "pc=" << pc;
+      ASSERT_LE(pc + count, n) << "pc=" << pc;
+      for (unsigned j = 0; j < count; ++j) {
+        // Components are verbatim copies of the originals, which stay in
+        // place behind the super (a branch into the middle executes them).
+        EXPECT_EQ(static_cast<int>(fused.fused_code[base + j].op),
+                  static_cast<int>(compiled->code[pc + j].op))
+            << "pc=" << pc << " j=" << j;
+        if (j > 0) {
+          EXPECT_EQ(static_cast<int>(fused.code[pc + j].op),
+                    static_cast<int>(compiled->code[pc + j].op))
+              << "pc=" << pc << " j=" << j;
+          // A run never SPANS a branch target — it may only begin at one.
+          EXPECT_FALSE(is_target[pc + j])
+              << "fused run at pc=" << pc << " spans branch target " << pc + j;
+        }
+      }
+    }
+    EXPECT_EQ(supers, fused.super_count);
+    EXPECT_EQ(covered, fused.fused_instructions);
+
+    // Re-fusing an already-fused program is the identity.
+    const CompiledKernel refused = FuseKernel(fused);
+    EXPECT_EQ(refused.super_count, fused.super_count);
+    EXPECT_EQ(refused.fused_code.size(), fused.fused_code.size());
+  }
+}
+
+TEST(FuseKernel, HotLoopBodyFusesIntoOneSuperinstruction) {
+  // The canonical loop head: add+add+setp+@bra collapses into a single
+  // superinstruction whose terminal branch re-enters it — one dispatch per
+  // loop iteration.
+  const std::string src = R"(
+.version 7.7
+.target sm_86
+.address_size 64
+.visible .entry t(.param .u32 p_n)
+{
+    .reg .pred %p<2>;
+    .reg .b32 %r<4>;
+    ld.param.u32 %r1, [p_n];
+    mov.u32 %r2, 0;
+LOOP:
+    add.u32 %r2, %r2, 1;
+    setp.lt.u32 %p1, %r2, %r1;
+    @%p1 bra LOOP;
+    ret;
+}
+)";
+  auto module = ptx::Parse(src);
+  ASSERT_TRUE(module.ok()) << module.status();
+  auto compiled = CompileKernel(module->kernels[0]);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  const CompiledKernel fused = FuseKernel(*compiled);
+  ASSERT_GE(fused.super_count, 1u);
+  // The loop-body super begins at the branch target and covers the whole
+  // add / setp / @bra tail, all lowered to non-generic micro ops.
+  bool found_loop = false;
+  for (std::size_t pc = 0; pc < fused.code.size(); ++pc) {
+    if (fused.code[pc].op != COp::kFused) continue;
+    const std::uint32_t base = fused.code[pc].target;
+    const unsigned count = fused.code[pc].sub;
+    if (fused.fused_micro[base + count - 1].op == MicroOp::kBra &&
+        fused.fused_micro[base + count - 1].target == pc) {
+      found_loop = true;
+      EXPECT_EQ(count, 3u) << "add + setp + @bra";
+      for (unsigned j = 0; j < count; ++j)
+        EXPECT_NE(static_cast<int>(fused.fused_micro[base + j].op),
+                  static_cast<int>(MicroOp::kGeneric))
+            << "hot integer component " << j << " fell back to generic";
+    }
+  }
+  EXPECT_TRUE(found_loop) << "no superinstruction closes the loop";
 }
 
 }  // namespace
