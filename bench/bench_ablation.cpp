@@ -7,15 +7,82 @@
 //     fencing would cost — the allocator-vs-instruction tradeoff.
 //  C. IPC dispatch-cost sensitivity: how much the Figure 6 Guardian-vs-MPS
 //     result depends on the manager's per-launch dispatch cost.
+//  D. Guard elision: the patcher's CFG/loop analysis vs full per-access
+//     patching on a fenced-loop corpus — static inserted instructions,
+//     dynamically executed guard instructions, and effective compiled-tier
+//     throughput on the hot pointer-walk loop. Writes the machine-readable
+//     line to stdout AND to ./BENCH_guard_elision.json; exits non-zero
+//     unless elision removes >= 40% of the executed guard instructions and
+//     delivers >= 1.3x effective Minstr/s on the hot loop. GRD_BENCH_QUICK=1
+//     shrinks phase D for CI smoke runs.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
 
 #include "common/bits.hpp"
 #include "common/strings.hpp"
+#include "ptx/generator.hpp"
+#include "ptxexec/interpreter.hpp"
+#include "ptxpatcher/patcher.hpp"
 #include "simgpu/device_spec.hpp"
 #include "simgpu/timing.hpp"
 #include "workloads/apps.hpp"
 #include "workloads/harness.hpp"
 #include "workloads/table4.hpp"
+
+namespace {
+
+// Executed-instruction count of one compiled-tier run (exits on failure).
+std::uint64_t RunInstructions(const grd::ptx::Module& module,
+                              const std::string& kernel,
+                              const grd::ptxexec::LaunchParams& params) {
+  grd::simgpu::GlobalMemory memory(8ull << 20);
+  grd::simgpu::AllowAllPolicy allow;
+  grd::ptxexec::Interpreter interp(&memory, &allow, 1);
+  auto stats = interp.Execute(module, kernel, params);
+  if (!stats.ok()) {
+    std::printf("phase D run failed (%s): %s\n", kernel.c_str(),
+                stats.status().ToString().c_str());
+    std::exit(1);
+  }
+  return stats->instructions;
+}
+
+// Best-of-`reps` wall time of the compiled-tier hot loop, in seconds. The
+// one-time lowering happens outside the timed region, like every launch
+// after the first through the manager's compiled-program cache.
+double RunSecondsBest(const grd::ptx::Module& module, const std::string& kernel,
+                      const grd::ptxexec::LaunchParams& params, int reps) {
+  using Clock = std::chrono::steady_clock;
+  grd::simgpu::GlobalMemory memory(8ull << 20);
+  grd::simgpu::AllowAllPolicy allow;
+  grd::ptxexec::Interpreter interp(&memory, &allow, 1);
+  const grd::ptx::Kernel* k = module.FindKernel(kernel);
+  auto compiled = grd::ptxexec::CompileKernel(*k);
+  if (!compiled.ok()) {
+    std::printf("phase D compile failed: %s\n",
+                compiled.status().ToString().c_str());
+    std::exit(1);
+  }
+  double best = 1e30;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto begin = Clock::now();
+    auto stats = interp.Execute(*compiled, params);
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - begin).count();
+    if (!stats.ok()) {
+      std::printf("phase D timed run failed: %s\n",
+                  stats.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (secs < best) best = secs;
+  }
+  return best;
+}
+
+}  // namespace
 
 int main() {
   using namespace grd;
@@ -97,5 +164,134 @@ int main() {
   }
   std::printf("\nEven at 4x the calibrated dispatch cost, spatial Guardian "
               "stays well ahead of time-sharing; the MPS gap is what moves.\n");
-  return 0;
+
+  // --- D: guard elision vs full per-access patching -----------------------
+  using ptxexec::KernelArg;
+  using ptxexec::LaunchParams;
+  const bool quick = std::getenv("GRD_BENCH_QUICK") != nullptr;
+  std::printf("\nD. Guard elision (patcher CFG/loop analysis) vs full "
+              "per-access patching\n\n");
+
+  // Fenced-loop corpus: two affine pointer-walk loops (versioned behind one
+  // preheader range check) and a straight-line repeated-RMW kernel (fences
+  // dominated by identical earlier fences).
+  ptx::Module corpus;
+  corpus.kernels.push_back(ptx::MakePointerWalkKernel("walk1", 1));
+  corpus.kernels.push_back(ptx::MakePointerWalkKernel("walk2", 2));
+  corpus.kernels.push_back(ptx::MakeRepeatedRmwKernel("rmw", 4));
+
+  ptxpatcher::PatchOptions full_options;  // bitwise, elision off
+  ptxpatcher::PatchStats full_stats;
+  auto full = ptxpatcher::PatchModule(corpus, full_options, &full_stats);
+  ptxpatcher::PatchOptions elide_options;
+  elide_options.elision_enabled = true;
+  ptxpatcher::PatchStats elide_stats;
+  auto elided = ptxpatcher::PatchModule(corpus, elide_options, &elide_stats);
+  if (!full.ok() || !elided.ok()) {
+    std::printf("phase D patch failed\n");
+    return 1;
+  }
+
+  // Dynamic guard cost: executed instructions of each patched flavor minus
+  // the unpatched kernel, summed over the corpus. This is the number that
+  // matters — a versioned loop trades a constant preheader check (plus a
+  // never-executed slow clone, which inflates the *static* count) for zero
+  // in-loop fences.
+  const std::uint64_t elision_base = 1ull << 20;  // 1 MiB partition, aligned
+  const std::uint64_t elision_size = 1ull << 20;
+  const auto elision_grd = ptxpatcher::ComputeGrdArgs(
+      full_options.mode, elision_base, elision_size);
+  const std::uint32_t dyn_iters = quick ? 32 : 128;
+  std::uint64_t native_dyn = 0, full_dyn = 0, elided_dyn = 0;
+  for (const auto& k : corpus.kernels) {
+    LaunchParams params;
+    params.block = {32, 1, 1};
+    params.args = {KernelArg::U64(elision_base)};
+    if (k.name != "rmw") params.args.push_back(KernelArg::U32(dyn_iters));
+    LaunchParams patched_params = params;
+    patched_params.args.push_back(KernelArg::U64(elision_grd.arg0));
+    patched_params.args.push_back(KernelArg::U64(elision_grd.arg1));
+    native_dyn += RunInstructions(corpus, k.name, params);
+    full_dyn += RunInstructions(*full, k.name, patched_params);
+    elided_dyn += RunInstructions(*elided, k.name, patched_params);
+  }
+  const std::uint64_t full_guards = full_dyn - native_dyn;
+  const std::uint64_t elided_guards = elided_dyn - native_dyn;
+  const double guard_reduction =
+      full_guards > 0
+          ? 1.0 - static_cast<double>(elided_guards) /
+                      static_cast<double>(full_guards)
+          : 0.0;
+
+  // Hot-loop throughput: effective Minstr/s = native-equivalent instructions
+  // per second, so both flavors are scored on useful work, not on how many
+  // guard instructions they manage to retire.
+  const std::uint32_t hot_iters = quick ? 256 : 2048;
+  LaunchParams hot;
+  hot.block = {32, 1, 1};
+  hot.args = {KernelArg::U64(elision_base), KernelArg::U32(hot_iters),
+              KernelArg::U64(elision_grd.arg0),
+              KernelArg::U64(elision_grd.arg1)};
+  LaunchParams hot_native = hot;
+  hot_native.args.resize(2);
+  const std::uint64_t hot_useful =
+      RunInstructions(corpus, "walk2", hot_native);
+  const int reps = quick ? 3 : 7;
+  const double full_secs = RunSecondsBest(*full, "walk2", hot, reps);
+  const double elided_secs = RunSecondsBest(*elided, "walk2", hot, reps);
+  const double full_mips =
+      static_cast<double>(hot_useful) / full_secs / 1e6;
+  const double elided_mips =
+      static_cast<double>(hot_useful) / elided_secs / 1e6;
+  const double speedup = full_mips > 0.0 ? elided_mips / full_mips : 0.0;
+
+  std::printf("%-34s %12s %12s\n", "", "full patch", "elision");
+  std::printf("%-34s %12llu %12llu\n", "static inserted instructions",
+              static_cast<unsigned long long>(full_stats.inserted_instructions),
+              static_cast<unsigned long long>(
+                  elide_stats.inserted_instructions));
+  std::printf("%-34s %12llu %12llu\n", "executed guard instructions",
+              static_cast<unsigned long long>(full_guards),
+              static_cast<unsigned long long>(elided_guards));
+  std::printf("%-34s %12.1f %12.1f\n", "hot-loop effective Minstr/s",
+              full_mips, elided_mips);
+  std::printf("\nguard elision: %llu elided, %llu hoisted, %llu loops "
+              "versioned; %.0f%% fewer executed guard instructions, %.2fx "
+              "hot-loop throughput\n",
+              static_cast<unsigned long long>(elide_stats.guards_elided),
+              static_cast<unsigned long long>(elide_stats.guards_hoisted),
+              static_cast<unsigned long long>(elide_stats.loop_range_checks),
+              100.0 * guard_reduction, speedup);
+
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"full_inserted\":%llu,\"elided_inserted\":%llu,"
+      "\"full_guard_instructions\":%llu,\"elided_guard_instructions\":%llu,"
+      "\"guard_reduction\":%.3f,\"guards_elided\":%llu,"
+      "\"guards_hoisted\":%llu,\"loop_range_checks\":%llu,"
+      "\"hot_full_mips\":%.2f,\"hot_elided_mips\":%.2f,"
+      "\"hot_speedup\":%.2f,\"quick\":%s}",
+      static_cast<unsigned long long>(full_stats.inserted_instructions),
+      static_cast<unsigned long long>(elide_stats.inserted_instructions),
+      static_cast<unsigned long long>(full_guards),
+      static_cast<unsigned long long>(elided_guards), guard_reduction,
+      static_cast<unsigned long long>(elide_stats.guards_elided),
+      static_cast<unsigned long long>(elide_stats.guards_hoisted),
+      static_cast<unsigned long long>(elide_stats.loop_range_checks),
+      full_mips, elided_mips, speedup, quick ? "true" : "false");
+  std::printf("BENCH_guard_elision.json %s\n", json);
+  std::ofstream("BENCH_guard_elision.json") << json << "\n";
+
+  bool ok = true;
+  if (guard_reduction < 0.40) {
+    std::printf("FAIL: executed guard reduction %.0f%% < 40%%\n",
+                100.0 * guard_reduction);
+    ok = false;
+  }
+  if (speedup < 1.3) {
+    std::printf("FAIL: hot-loop speedup %.2fx < 1.3x\n", speedup);
+    ok = false;
+  }
+  return ok ? 0 : 1;
 }

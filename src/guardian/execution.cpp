@@ -67,6 +67,9 @@ std::string ManagerStats::ToJson() const {
   AppendCounter(&out, "ptx_modules_patched", ptx_modules_patched, &first);
   AppendCounter(&out, "ptx_cache_hits", ptx_cache_hits, &first);
   AppendCounter(&out, "ptx_programs_compiled", ptx_programs_compiled, &first);
+  AppendCounter(&out, "guards_elided", guards_elided, &first);
+  AppendCounter(&out, "guards_hoisted", guards_hoisted, &first);
+  AppendCounter(&out, "loop_range_checks", loop_range_checks, &first);
   AppendCounter(&out, "sandbox_cache_evictions", sandbox_cache_evictions,
                 &first);
   AppendCounter(&out, "sandbox_cache_bytes_reclaimed",

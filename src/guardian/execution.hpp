@@ -51,6 +51,12 @@ struct ManagerOptions {
   // §2.2 extension: statically safe kernels (no protected accesses) are
   // not instrumented at all.
   bool skip_statically_safe = false;
+  // Guard elision (patcher CFG/loop analysis): elide fences dominated by an
+  // identical fence, hoist loop-invariant fences into preheaders, and
+  // version affine induction loops behind one preheader range check. Purely
+  // a patch-time rewrite with identical wrap/trap semantics, so it defaults
+  // on; turn off to force the full per-access patching oracle.
+  bool guard_elision_enabled = true;
   // TReM-style revocation [53]: kernels exceeding this per-thread
   // instruction budget are terminated and the client is failed, so an
   // endless (possibly wrap-around-corrupted) kernel cannot hold the GPU.
@@ -115,6 +121,13 @@ struct ManagerStats {
   // program and leave this untouched — the gap between loads and compiles
   // is the compile cost the cache saved.
   std::atomic<std::uint64_t> ptx_programs_compiled{0};
+  // Guard elision totals across freshly patched modules (cache hits reuse
+  // the patched module and do not re-count): accesses left without an inline
+  // fence, fences hoisted into loop preheaders, and loops versioned behind a
+  // preheader range check.
+  std::atomic<std::uint64_t> guards_elided{0};
+  std::atomic<std::uint64_t> guards_hoisted{0};
+  std::atomic<std::uint64_t> loop_range_checks{0};
   std::atomic<std::uint64_t> sandbox_cache_evictions{0};
   std::atomic<std::uint64_t> sandbox_cache_bytes_reclaimed{0};
   // Device-scheduler traffic and occupancy (maintained by GpuScheduler and

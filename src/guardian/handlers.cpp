@@ -374,13 +374,21 @@ Result<Writer> ExecuteModuleLoad(HandlerContext& ctx, ModuleLoadReq& req) {
     ptxpatcher::PatchOptions patch_options;
     patch_options.mode = ctx.exec.options.mode;
     patch_options.skip_statically_safe = ctx.exec.options.skip_statically_safe;
+    patch_options.elision_enabled = ctx.exec.options.guard_elision_enabled;
     GRD_ASSIGN_OR_RETURN(SandboxCache::Lookup cached,
                          ctx.exec.sandbox_cache.GetOrPatch(
                              req.ptx_text, native, patch_options));
-    if (cached.patched_now)
+    if (cached.patched_now) {
       ++ctx.exec.stats.ptx_modules_patched;
-    else
+      // Guard-elision yield of this fresh patch (cache hits share the
+      // already-counted module).
+      ctx.exec.stats.guards_elided += cached.patch_stats.guards_elided;
+      ctx.exec.stats.guards_hoisted += cached.patch_stats.guards_hoisted;
+      ctx.exec.stats.loop_range_checks +=
+          cached.patch_stats.loop_range_checks;
+    } else {
       ++ctx.exec.stats.ptx_cache_hits;
+    }
     module.sandboxed = std::move(cached.module);
     module.sandboxed_compiled = std::move(cached.compiled);
     // Cache-slot-owned launch heat: a module another tenant already ran hot

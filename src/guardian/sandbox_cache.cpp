@@ -54,6 +54,7 @@ SandboxCache::Key SandboxCache::MakeKey(
   key.mode = static_cast<std::uint8_t>(options.mode);
   key.skip_statically_safe = options.skip_statically_safe;
   key.protect_indirect_branches = options.protect_indirect_branches;
+  key.elision_enabled = options.elision_enabled;
   return key;
 }
 
@@ -95,16 +96,18 @@ Result<SandboxCache::Lookup> SandboxCache::GetOrPatch(
     if (!slot->status.ok()) return slot->status;  // cached failure, not a hit
     ++stats_.hits;
     return Lookup{slot->module, slot->compiled, slot->tier_state,
-                  /*patched_now=*/false};
+                  slot->patch_stats, /*patched_now=*/false};
   }
 
-  auto patched = ptxpatcher::PatchModule(parsed, options);
+  ptxpatcher::PatchStats patch_stats;
+  auto patched = ptxpatcher::PatchModule(parsed, options, &patch_stats);
   slot->done = true;
   if (!patched.ok()) {
     slot->status = patched.status();
     return slot->status;
   }
   ++stats_.patches;
+  slot->patch_stats = patch_stats;
   slot->module = std::make_shared<const ptx::Module>(std::move(*patched));
   // Lower the patched kernels to bytecode while we hold the slot: the
   // compile cost rides with the patch cost, paid once per distinct source
@@ -115,7 +118,7 @@ Result<SandboxCache::Lookup> SandboxCache::GetOrPatch(
   // every tenant of this module (and survives re-loads served from cache).
   slot->tier_state = std::make_shared<ModuleTierState>(slot->compiled);
   return Lookup{slot->module, slot->compiled, slot->tier_state,
-                /*patched_now=*/true};
+                slot->patch_stats, /*patched_now=*/true};
 }
 
 void SandboxCache::EvictLocked() {

@@ -129,6 +129,10 @@ class SandboxCache {
     // Content-addressed like the module itself: every session loading the
     // same source shares one heat counter and one fused program.
     std::shared_ptr<ModuleTierState> tier_state;
+    // Aggregate patcher stats for the module, cached with it so the manager
+    // can mirror the guard-elision counters on the load that patched
+    // (patched_now) without re-running the patcher.
+    ptxpatcher::PatchStats patch_stats;
     bool patched_now = false;  // false = served from cache
   };
 
@@ -150,11 +154,13 @@ class SandboxCache {
     std::uint8_t mode = 0;
     bool skip_statically_safe = false;
     bool protect_indirect_branches = false;
+    bool elision_enabled = false;
 
     bool operator==(const Key& other) const noexcept {
       return content_hash == other.content_hash && mode == other.mode &&
              skip_statically_safe == other.skip_statically_safe &&
-             protect_indirect_branches == other.protect_indirect_branches;
+             protect_indirect_branches == other.protect_indirect_branches &&
+             elision_enabled == other.elision_enabled;
     }
   };
   struct KeyHash {
@@ -162,7 +168,8 @@ class SandboxCache {
       return static_cast<std::size_t>(
           key.content_hash ^ (static_cast<std::uint64_t>(key.mode) << 56) ^
           (static_cast<std::uint64_t>(key.skip_statically_safe) << 55) ^
-          (static_cast<std::uint64_t>(key.protect_indirect_branches) << 54));
+          (static_cast<std::uint64_t>(key.protect_indirect_branches) << 54) ^
+          (static_cast<std::uint64_t>(key.elision_enabled) << 53));
     }
   };
   struct Slot {
@@ -173,6 +180,7 @@ class SandboxCache {
     std::shared_ptr<const ptx::Module> module;
     std::shared_ptr<const ptxexec::CompiledModule> compiled;
     std::shared_ptr<ModuleTierState> tier_state;
+    ptxpatcher::PatchStats patch_stats;
     std::uint64_t last_use = 0;  // LRU tick, guarded by the cache's mu_
     // Estimated resident footprint charged to bytes_reclaimed on eviction:
     // the retained source plus the patched module plus the compiled

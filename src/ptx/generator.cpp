@@ -489,6 +489,150 @@ Kernel MakeRandomKernel(Rng& rng, std::string name, int ld_count,
   return k;
 }
 
+Kernel MakePointerWalkKernel(std::string name, int rmw_pairs) {
+  // Do-while pointer walk:
+  //   p    = data + tid*8            (8-byte lane inside the 256B stripe)
+  //   pend = p + iters*256
+  //   do { rmw [p+0] (, [p+4]); p += 256; } while (p < pend);
+  // Threads of a 32-wide block touch disjoint lanes, so the kernel is
+  // race-free; the latch matches the guard-elision affine pattern exactly.
+  if (rmw_pairs < 1) rmw_pairs = 1;
+  if (rmw_pairs > 2) rmw_pairs = 2;  // lane is 8 bytes -> offsets 0 and 4
+  Kernel k;
+  k.name = std::move(name);
+  k.params = {P(Type::kU64, k.name + "_param_0"),
+              P(Type::kU32, k.name + "_param_1")};
+  k.body.emplace_back(Regs(Type::kPred, "%p", 2));
+  k.body.emplace_back(Regs(Type::kB32, "%r", 4));
+  k.body.emplace_back(Regs(Type::kB64, "%rd", 7));
+  k.body.emplace_back(
+      Inst("ld", {"param", "u64"}, {R("%rd1"), M(k.name + "_param_0")}));
+  k.body.emplace_back(
+      Inst("ld", {"param", "u32"}, {R("%r1"), M(k.name + "_param_1")}));
+  k.body.emplace_back(
+      Inst("cvta", {"to", "global", "u64"}, {R("%rd2"), R("%rd1")}));
+  k.body.emplace_back(Inst("mov", {"u32"}, {R("%r2"), R("%tid.x")}));
+  k.body.emplace_back(
+      Inst("mul", {"wide", "u32"}, {R("%rd3"), R("%r2"), Imm(8)}));
+  k.body.emplace_back(Inst("add", {"s64"}, {R("%rd4"), R("%rd2"), R("%rd3")}));
+  k.body.emplace_back(
+      Inst("mul", {"wide", "u32"}, {R("%rd5"), R("%r1"), Imm(256)}));
+  k.body.emplace_back(Inst("add", {"s64"}, {R("%rd6"), R("%rd4"), R("%rd5")}));
+  k.body.emplace_back(Label{"WALK_TOP"});
+  for (int i = 0; i < rmw_pairs; ++i) {
+    const std::int64_t off = i * 4;
+    k.body.emplace_back(
+        Inst("ld", {"global", "u32"}, {R("%r3"), M("%rd4", off)}));
+    k.body.emplace_back(Inst("add", {"s32"}, {R("%r3"), R("%r3"), Imm(1)}));
+    k.body.emplace_back(
+        Inst("st", {"global", "u32"}, {M("%rd4", off), R("%r3")}));
+  }
+  k.body.emplace_back(Inst("add", {"s64"}, {R("%rd4"), R("%rd4"), Imm(256)}));
+  k.body.emplace_back(
+      Inst("setp", {"lt", "u64"}, {R("%p1"), R("%rd4"), R("%rd6")}));
+  k.body.emplace_back(PredInst("%p1", false, "bra", {}, {Id("WALK_TOP")}));
+  k.body.emplace_back(Inst("ret", {}, {}));
+  return k;
+}
+
+Kernel MakeRepeatedRmwKernel(std::string name, int pairs) {
+  // Straight line: addr = data + (tid & 31)*16; then `pairs` ld/add/st
+  // round-trips at offsets cycling over {0, 4, 8}. Every fence after the
+  // first per offset is dominated by an identical one on the same register
+  // with no redefinition in between — prime fodder for availability elision.
+  if (pairs < 1) pairs = 1;
+  Kernel k;
+  k.name = std::move(name);
+  k.params = {P(Type::kU64, k.name + "_param_0")};
+  k.body.emplace_back(Regs(Type::kB32, "%r", 4));
+  k.body.emplace_back(Regs(Type::kB64, "%rd", 5));
+  k.body.emplace_back(
+      Inst("ld", {"param", "u64"}, {R("%rd1"), M(k.name + "_param_0")}));
+  k.body.emplace_back(
+      Inst("cvta", {"to", "global", "u64"}, {R("%rd2"), R("%rd1")}));
+  k.body.emplace_back(Inst("mov", {"u32"}, {R("%r1"), R("%tid.x")}));
+  k.body.emplace_back(Inst("and", {"b32"}, {R("%r1"), R("%r1"), Imm(31)}));
+  k.body.emplace_back(
+      Inst("mul", {"wide", "u32"}, {R("%rd3"), R("%r1"), Imm(16)}));
+  k.body.emplace_back(Inst("add", {"s64"}, {R("%rd4"), R("%rd2"), R("%rd3")}));
+  for (int i = 0; i < pairs; ++i) {
+    const std::int64_t off = (i % 3) * 4;
+    k.body.emplace_back(
+        Inst("ld", {"global", "u32"}, {R("%r2"), M("%rd4", off)}));
+    k.body.emplace_back(Inst("add", {"s32"}, {R("%r2"), R("%r2"), Imm(1)}));
+    k.body.emplace_back(
+        Inst("st", {"global", "u32"}, {M("%rd4", off), R("%r2")}));
+  }
+  k.body.emplace_back(Inst("ret", {}, {}));
+  return k;
+}
+
+Kernel MakeRandomLoopKernel(Rng& rng, std::string name) {
+  // Randomized pointer-walk do-while loop (see header). The lane base is
+  // %ctaid.x * 32, so single-thread blocks never race within a block; blocks
+  // execute deterministically in every engine, so even overlapping strides
+  // across blocks stay parity-safe.
+  const std::int64_t stride =
+      static_cast<std::int64_t>(4 + rng.NextBelow(4) * 4);  // 4/8/12/16
+  const int naccess = 1 + static_cast<int>(rng.NextBelow(3));
+  const bool invariant_access = rng.NextBool(0.5);
+  Kernel k;
+  k.name = std::move(name);
+  k.params = {P(Type::kU64, k.name + "_param_0"),
+              P(Type::kU32, k.name + "_param_1")};
+  k.body.emplace_back(Regs(Type::kPred, "%p", 2));
+  k.body.emplace_back(Regs(Type::kB32, "%r", 9));
+  k.body.emplace_back(Regs(Type::kB64, "%rd", 7));
+  k.body.emplace_back(
+      Inst("ld", {"param", "u64"}, {R("%rd1"), M(k.name + "_param_0")}));
+  k.body.emplace_back(
+      Inst("ld", {"param", "u32"}, {R("%r1"), M(k.name + "_param_1")}));
+  k.body.emplace_back(
+      Inst("cvta", {"to", "global", "u64"}, {R("%rd2"), R("%rd1")}));
+  k.body.emplace_back(Inst("mov", {"u32"}, {R("%r2"), R("%ctaid.x")}));
+  k.body.emplace_back(
+      Inst("mul", {"wide", "u32"}, {R("%rd3"), R("%r2"), Imm(32)}));
+  k.body.emplace_back(Inst("add", {"s64"}, {R("%rd4"), R("%rd2"), R("%rd3")}));
+  k.body.emplace_back(Inst("mul", {"wide", "u32"},
+                           {R("%rd5"), R("%r1"), Imm(stride)}));
+  k.body.emplace_back(Inst("add", {"s64"}, {R("%rd6"), R("%rd4"), R("%rd5")}));
+  k.body.emplace_back(Inst("mov", {"u32"}, {R("%r3"), Imm(1)}));  // acc
+  k.body.emplace_back(Label{"RLOOP_TOP"});
+  for (int i = 0; i < naccess; ++i) {
+    const std::int64_t off = static_cast<std::int64_t>(rng.NextBelow(3)) * 4;
+    if (rng.NextBool(0.6)) {
+      const std::string dst = "%r" + std::to_string(4 + rng.NextBelow(4));
+      k.body.emplace_back(
+          Inst("ld", {"global", "u32"}, {R(dst), M("%rd4", off)}));
+      k.body.emplace_back(Inst("add", {"s32"}, {R("%r3"), R("%r3"), R(dst)}));
+    } else {
+      k.body.emplace_back(
+          Inst("st", {"global", "u32"}, {M("%rd4", off), R("%r3")}));
+    }
+  }
+  if (invariant_access) {
+    // Loop-invariant base (%rd2): the hoisting rule's target in bitwise
+    // mode; stays fenced in-loop for the other modes.
+    const std::int64_t off = static_cast<std::int64_t>(rng.NextBelow(2)) * 4;
+    if (rng.NextBool(0.5)) {
+      k.body.emplace_back(
+          Inst("ld", {"global", "u32"}, {R("%r8"), M("%rd2", off)}));
+      k.body.emplace_back(Inst("add", {"s32"}, {R("%r3"), R("%r3"), R("%r8")}));
+    } else {
+      k.body.emplace_back(
+          Inst("st", {"global", "u32"}, {M("%rd2", off), R("%r3")}));
+    }
+  }
+  k.body.emplace_back(
+      Inst("add", {"s64"}, {R("%rd4"), R("%rd4"), Imm(stride)}));
+  k.body.emplace_back(
+      Inst("setp", {"lt", "u64"}, {R("%p1"), R("%rd4"), R("%rd6")}));
+  k.body.emplace_back(PredInst("%p1", false, "bra", {}, {Id("RLOOP_TOP")}));
+  k.body.emplace_back(Inst("st", {"global", "u32"}, {M("%rd2"), R("%r3")}));
+  k.body.emplace_back(Inst("ret", {}, {}));
+  return k;
+}
+
 Module MakeSampleModule() {
   Module m;
   m.kernels.push_back(MakeStoreTidKernel());

@@ -62,6 +62,29 @@ Kernel MakeCopyKernel(std::string name = "copyk");
 Kernel MakeRandomKernel(Rng& rng, std::string name, int ld_count,
                         int st_count, bool use_offset_mode = false);
 
+// Monotone pointer-walk RMW loop (do-while shape): each thread owns an
+// 8-byte lane inside a 256-byte iteration stripe and read-modify-writes
+// `rmw_pairs` u32 cells (offsets 0 and 4) per iteration, then advances its
+// pointer by 256 bytes. Parameters: data base (u64) and iteration count
+// (u32, must be >= 1 — the loop is do-while). The whole walk spans
+// `256 * iters` bytes; the loop matches the guard-elision affine pattern,
+// so the patcher can version it behind one preheader range check.
+Kernel MakePointerWalkKernel(std::string name = "walk", int rmw_pairs = 1);
+
+// Straight-line RMW kernel: `pairs` ld/add/st round-trips through the same
+// per-thread address, offsets cycling over {0, 4, 8} within a 16-byte lane.
+// Repeated (base, offset) pairs make most fences dominated by an identical
+// earlier fence — the guard-elision availability rule removes them.
+Kernel MakeRepeatedRmwKernel(std::string name = "rmw", int pairs = 4);
+
+// Random do-while loop kernel for elision parity fuzzing: a pointer walk
+// with randomized stride / trip-count scale / access mix (1-3 affine
+// accesses at small offsets, optionally one loop-invariant access), lane
+// selected by %ctaid.x. Launch with block {1,1,1} so intra-block thread
+// order never matters. Parameters: data base (u64), iteration count (u32,
+// >= 1).
+Kernel MakeRandomLoopKernel(Rng& rng, std::string name);
+
 // All named sample kernels above, in one module (handy for tests/examples).
 Module MakeSampleModule();
 

@@ -1,0 +1,230 @@
+#include "ptxpatcher/cfg.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace grd::ptxpatcher {
+
+namespace {
+
+// Unpredicated ret/exit/trap end a block with no successors; a predicated one
+// is treated as a plain instruction (fallthrough continues).
+bool IsBlockTerminator(const ptx::Instruction& inst) {
+  if (inst.opcode == "bra" || inst.opcode == "brx") return true;
+  if (inst.opcode == "ret" || inst.opcode == "exit" || inst.opcode == "trap")
+    return !inst.pred.has_value();
+  return false;
+}
+
+}  // namespace
+
+Cfg Cfg::Build(const ptx::Kernel& kernel) {
+  Cfg cfg;
+  const auto& body = kernel.body;
+  const std::size_t n = body.size();
+
+  // Leaders: statement 0, every label, every statement after a terminator.
+  std::vector<bool> leader(n, false);
+  if (n > 0) leader[0] = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::holds_alternative<ptx::Label>(body[i])) leader[i] = true;
+    if (const auto* inst = std::get_if<ptx::Instruction>(&body[i])) {
+      if (IsBlockTerminator(*inst) && i + 1 < n) leader[i + 1] = true;
+    }
+  }
+
+  cfg.stmt_block_.assign(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (leader[i]) {
+      BasicBlock bb;
+      bb.first = i;
+      cfg.blocks_.push_back(bb);
+    }
+    if (!cfg.blocks_.empty())
+      cfg.stmt_block_[i] = static_cast<int>(cfg.blocks_.size()) - 1;
+  }
+  for (std::size_t b = 0; b < cfg.blocks_.size(); ++b) {
+    cfg.blocks_[b].last = (b + 1 < cfg.blocks_.size())
+                              ? cfg.blocks_[b + 1].first
+                              : n;
+  }
+  if (cfg.blocks_.empty()) return cfg;
+
+  // Label name -> block id, plus brx target tables declared anywhere.
+  std::unordered_map<std::string, int> label_block;
+  std::unordered_map<std::string, const ptx::BranchTargetsDecl*> tables;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (const auto* label = std::get_if<ptx::Label>(&body[i]))
+      label_block[label->name] = cfg.stmt_block_[i];
+    if (const auto* table = std::get_if<ptx::BranchTargetsDecl>(&body[i]))
+      tables[table->name] = table;
+  }
+
+  const int num_blocks = static_cast<int>(cfg.blocks_.size());
+  auto add_edge = [&](int from, int to) {
+    auto& succs = cfg.blocks_[from].succs;
+    if (std::find(succs.begin(), succs.end(), to) == succs.end()) {
+      succs.push_back(to);
+      cfg.blocks_[to].preds.push_back(from);
+    }
+  };
+
+  for (int b = 0; b < num_blocks; ++b) {
+    const BasicBlock& bb = cfg.blocks_[b];
+    const ptx::Instruction* term = nullptr;
+    if (bb.last > bb.first)
+      term = std::get_if<ptx::Instruction>(&body[bb.last - 1]);
+
+    if (term != nullptr && IsBlockTerminator(*term)) {
+      if (term->opcode == "bra") {
+        if (!term->operands.empty()) {
+          auto it = label_block.find(term->operands[0].name);
+          if (it != label_block.end()) add_edge(b, it->second);
+        }
+        if (term->pred.has_value() && b + 1 < num_blocks) add_edge(b, b + 1);
+      } else if (term->opcode == "brx") {
+        // brx.idx %r, table — conservatively fan out to every table entry.
+        for (const auto& op : term->operands) {
+          if (op.kind != ptx::Operand::Kind::kIdentifier) continue;
+          auto table_it = tables.find(op.name);
+          if (table_it == tables.end()) continue;
+          for (const auto& target : table_it->second->labels) {
+            auto it = label_block.find(target);
+            if (it != label_block.end()) add_edge(b, it->second);
+          }
+        }
+        if (term->pred.has_value() && b + 1 < num_blocks) add_edge(b, b + 1);
+      }
+      // ret/exit/trap: no successors.
+    } else if (b + 1 < num_blocks) {
+      add_edge(b, b + 1);
+    }
+  }
+
+  // Reverse postorder from the entry.
+  std::vector<int> postorder;
+  postorder.reserve(num_blocks);
+  {
+    std::vector<std::uint8_t> state(num_blocks, 0);  // 0=new 1=open 2=done
+    std::vector<std::pair<int, std::size_t>> stack;
+    stack.emplace_back(0, 0);
+    state[0] = 1;
+    while (!stack.empty()) {
+      auto& [b, next] = stack.back();
+      if (next < cfg.blocks_[b].succs.size()) {
+        const int s = cfg.blocks_[b].succs[next++];
+        if (state[s] == 0) {
+          state[s] = 1;
+          stack.emplace_back(s, 0);
+        }
+      } else {
+        state[b] = 2;
+        postorder.push_back(b);
+        stack.pop_back();
+      }
+    }
+  }
+  std::vector<int> rpo(postorder.rbegin(), postorder.rend());
+  std::vector<int> rpo_index(num_blocks, -1);
+  for (std::size_t i = 0; i < rpo.size(); ++i) rpo_index[rpo[i]] = static_cast<int>(i);
+
+  // Iterative dominators (Cooper/Harvey/Kennedy). Unreachable blocks keep
+  // idom -1 and are skipped everywhere below.
+  cfg.idom_.assign(num_blocks, -1);
+  auto intersect = [&](int a, int b) {
+    while (a != b) {
+      while (rpo_index[a] > rpo_index[b]) a = cfg.idom_[a];
+      while (rpo_index[b] > rpo_index[a]) b = cfg.idom_[b];
+    }
+    return a;
+  };
+  cfg.idom_[0] = 0;  // sentinel: entry dominated by itself during iteration
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const int b : rpo) {
+      if (b == 0) continue;
+      int new_idom = -1;
+      for (const int p : cfg.blocks_[b].preds) {
+        if (rpo_index[p] < 0 || cfg.idom_[p] < 0) continue;  // unprocessed
+        new_idom = (new_idom < 0) ? p : intersect(p, new_idom);
+      }
+      if (new_idom >= 0 && cfg.idom_[b] != new_idom) {
+        cfg.idom_[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  cfg.idom_[0] = -1;  // restore: entry has no immediate dominator
+
+  // Natural loops from back edges n->h with h dominating n, merged per
+  // header: body = reverse reachability from the latches, stopping at h.
+  std::unordered_map<int, NaturalLoop> loops_by_header;
+  for (int b = 0; b < num_blocks; ++b) {
+    if (b != 0 && cfg.idom_[b] < 0) continue;  // unreachable
+    for (const int s : cfg.blocks_[b].succs) {
+      if (!cfg.Dominates(s, b)) continue;
+      NaturalLoop& loop = loops_by_header[s];
+      loop.header = s;
+      loop.latches.push_back(b);
+    }
+  }
+  for (auto& [header, loop] : loops_by_header) {
+    std::vector<bool> in_loop(num_blocks, false);
+    in_loop[header] = true;
+    // Reverse reachability stops at the header: latches equal to the header
+    // contribute no traversal (the loop body is just the header block).
+    std::vector<int> work;
+    for (const int l : loop.latches) {
+      if (!in_loop[l]) {
+        in_loop[l] = true;
+        work.push_back(l);
+      }
+    }
+    while (!work.empty()) {
+      const int b = work.back();
+      work.pop_back();
+      for (const int p : cfg.blocks_[b].preds) {
+        if ((p == 0 || cfg.idom_[p] >= 0) && !in_loop[p]) {
+          in_loop[p] = true;
+          work.push_back(p);
+        }
+      }
+    }
+    for (int b = 0; b < num_blocks; ++b)
+      if (in_loop[b]) loop.blocks.push_back(b);
+    cfg.loops_.push_back(std::move(loop));
+  }
+  std::sort(cfg.loops_.begin(), cfg.loops_.end(),
+            [](const NaturalLoop& a, const NaturalLoop& b) {
+              return a.header < b.header;
+            });
+  return cfg;
+}
+
+bool Cfg::Dominates(int a, int b) const noexcept {
+  if (a == b) return true;
+  if (b != entry() && idom_[b] < 0) return false;  // b unreachable
+  int cur = b;
+  while (cur != entry()) {
+    cur = idom_[cur];
+    if (cur == a) return true;
+    if (cur < 0) return false;
+  }
+  return a == entry();
+}
+
+int Cfg::InnermostLoopOf(int block) const noexcept {
+  int best = -1;
+  std::size_t best_size = 0;
+  for (std::size_t i = 0; i < loops_.size(); ++i) {
+    if (!loops_[i].Contains(block)) continue;
+    if (best < 0 || loops_[i].blocks.size() < best_size) {
+      best = static_cast<int>(i);
+      best_size = loops_[i].blocks.size();
+    }
+  }
+  return best;
+}
+
+}  // namespace grd::ptxpatcher

@@ -1,0 +1,81 @@
+// Control-flow graph over a parsed ptx::Kernel body, built at patch time so
+// the guard-elision pass (patcher.cpp) can reason about dominance and loops.
+//
+// Basic blocks are ranges of statement indices into Kernel::body. Leaders are
+// the first statement, every label, and every statement following a
+// terminator (bra/brx, unpredicated ret/exit/trap). A predicated bra has two
+// successors (target + fallthrough); brx.idx fans out to its whole
+// .branchtargets table. Dominators come from the Cooper-Harvey-Kennedy
+// iterative algorithm over a reverse postorder; natural loops from back edges
+// n->h where h dominates n, merged per header.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ptx/ast.hpp"
+
+namespace grd::ptxpatcher {
+
+struct BasicBlock {
+  std::size_t first = 0;  // statement index range [first, last)
+  std::size_t last = 0;
+  std::vector<int> succs;
+  std::vector<int> preds;
+};
+
+// One natural loop: all blocks that can reach a back edge's source without
+// passing through the header, plus the header itself.
+struct NaturalLoop {
+  int header = -1;
+  std::vector<int> latches;  // back-edge sources
+  std::vector<int> blocks;   // sorted, includes header and latches
+
+  bool Contains(int block) const noexcept {
+    for (const int b : blocks)
+      if (b == block) return true;
+    return false;
+  }
+};
+
+class Cfg {
+ public:
+  // Builds the CFG, dominator tree and natural loops for `kernel`. Labels
+  // with no matching branch and unreachable code are handled conservatively
+  // (unreachable blocks have no dominator and belong to no loop).
+  static Cfg Build(const ptx::Kernel& kernel);
+
+  const std::vector<BasicBlock>& blocks() const noexcept { return blocks_; }
+  const std::vector<NaturalLoop>& loops() const noexcept { return loops_; }
+  int entry() const noexcept { return blocks_.empty() ? -1 : 0; }
+
+  // Block containing statement index `stmt` (-1 if out of range).
+  int BlockOf(std::size_t stmt) const noexcept {
+    return stmt < stmt_block_.size() ? stmt_block_[stmt] : -1;
+  }
+
+  // Immediate dominator of `block` (-1 for the entry and unreachable blocks).
+  int ImmediateDominator(int block) const noexcept { return idom_[block]; }
+
+  // True when `a` dominates `b` (reflexive). Unreachable blocks are
+  // dominated by nothing and dominate nothing but themselves.
+  bool Dominates(int a, int b) const noexcept;
+
+  // True when `block` is reachable from the entry.
+  bool Reachable(int block) const noexcept {
+    return block == entry() || idom_[block] >= 0;
+  }
+
+  // The innermost loop containing `block` (smallest block count), or -1.
+  int InnermostLoopOf(int block) const noexcept;
+
+ private:
+  std::vector<BasicBlock> blocks_;
+  std::vector<int> idom_;        // per block; -1 = entry or unreachable
+  std::vector<int> stmt_block_;  // statement index -> block id
+  std::vector<NaturalLoop> loops_;
+};
+
+}  // namespace grd::ptxpatcher

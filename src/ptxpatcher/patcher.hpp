@@ -42,6 +42,16 @@ struct PatchOptions {
   // indirect branches — see analyzer.hpp) are emitted unchanged, so they
   // incur zero overhead and need no launch-time argument augmentation.
   bool skip_statically_safe = false;
+  // Guard elision (§2.2's "checks can be turned off on demand", done
+  // statically): a patch-time CFG/dominator/loop analysis (cfg.hpp,
+  // range_analysis.hpp) that (a) elides fences dominated by an identical
+  // fence with no intervening redefinition, (b) hoists loop-invariant
+  // fences into the preheader (bitwise mode), and (c) versions affine
+  // induction loops behind a single preheader range check so the hot clone
+  // runs unfenced. Off by default: full per-access patching is the
+  // parity/fuzz oracle, and wrap-around/trap semantics are identical in
+  // both settings.
+  bool elision_enabled = false;
 };
 
 // Names of the parameters appended to every sandboxed kernel. The
@@ -54,8 +64,16 @@ struct PatchStats {
   std::size_t patched_stores = 0;
   std::size_t patched_offset_accesses = 0;  // accesses in base+offset mode
   std::size_t patched_indirect_branches = 0;
+  // Exact emitted-body instruction delta: instructions in the patched body
+  // minus instructions in the input body (fences, base+offset
+  // materializations, ld.param preamble, brx clamps, and — with elision —
+  // preheader checks and loop clones).
   std::size_t inserted_instructions = 0;
   std::size_t skipped_safe_kernels = 0;
+  // Guard-elision counters (zero unless PatchOptions::elision_enabled):
+  std::size_t guards_elided = 0;     // accesses that got no inline fence
+  std::size_t guards_hoisted = 0;    // fences emitted in loop preheaders
+  std::size_t loop_range_checks = 0; // loops versioned behind a range check
   int extra_params = 0;
 
   PatchStats& operator+=(const PatchStats& other) {
@@ -65,6 +83,9 @@ struct PatchStats {
     patched_indirect_branches += other.patched_indirect_branches;
     inserted_instructions += other.inserted_instructions;
     skipped_safe_kernels += other.skipped_safe_kernels;
+    guards_elided += other.guards_elided;
+    guards_hoisted += other.guards_hoisted;
+    loop_range_checks += other.loop_range_checks;
     extra_params += other.extra_params;
     return *this;
   }

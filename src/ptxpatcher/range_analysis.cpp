@@ -1,0 +1,302 @@
+#include "ptxpatcher/range_analysis.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <variant>
+
+#include "ptxpatcher/regmodel.hpp"
+
+namespace grd::ptxpatcher {
+namespace {
+
+using ptx::Instruction;
+using ptx::Operand;
+
+// Per-register affine fact: value = value-of(root) + constant, where root is
+// the loop IV (valued at iteration entry) or a loop-invariant register.
+struct Affine {
+  std::string root;
+  std::int64_t constant = 0;
+};
+
+// All in-loop write sites, per register.
+using LoopDefs = std::unordered_map<std::string, std::vector<std::size_t>>;
+
+LoopDefs CollectLoopDefs(const ptx::Kernel& kernel, const Cfg& cfg,
+                         const NaturalLoop& loop) {
+  LoopDefs defs;
+  for (const int b : loop.blocks) {
+    const BasicBlock& bb = cfg.blocks()[b];
+    for (std::size_t i = bb.first; i < bb.last; ++i) {
+      const auto* inst = std::get_if<Instruction>(&kernel.body[i]);
+      if (inst == nullptr) continue;
+      std::vector<std::string> reads;
+      std::vector<std::string> writes;
+      CollectRegisterUses(*inst, &reads, &writes);
+      for (auto& w : writes) defs[std::move(w)].push_back(i);
+    }
+  }
+  return defs;
+}
+
+bool InvariantReg(const LoopDefs& defs, const std::string& reg) {
+  return defs.find(reg) == defs.end();
+}
+
+// Affine lattice transfer over one basic block, from bb.first up to (not
+// including) `stmt`. Facts are block-local: at block entry only the IV and
+// loop-invariant registers have known values, which is sound because the IV
+// has a single def in the latch and the latch exits the iteration.
+std::optional<Affine> ResolveBaseAt(const ptx::Kernel& kernel, const Cfg& cfg,
+                                    const LoopDefs& defs,
+                                    const std::string& iv, std::size_t stmt,
+                                    const std::string& base_reg) {
+  const int block = cfg.BlockOf(stmt);
+  if (block < 0) return std::nullopt;
+  const BasicBlock& bb = cfg.blocks()[block];
+
+  std::unordered_map<std::string, Affine> facts;
+  auto lookup = [&](const std::string& reg) -> std::optional<Affine> {
+    auto it = facts.find(reg);
+    if (it != facts.end()) return it->second;
+    if (reg == iv || InvariantReg(defs, reg)) return Affine{reg, 0};
+    return std::nullopt;
+  };
+
+  for (std::size_t i = bb.first; i < stmt; ++i) {
+    const auto* inst = std::get_if<Instruction>(&kernel.body[i]);
+    if (inst == nullptr) continue;
+
+    // Folding rules: unpredicated `add.{s64,u64} D, S, imm` and
+    // `mov.{u64,s64,b64} D, S` propagate facts; any other write kills.
+    bool folded = false;
+    if (!inst->pred.has_value() && inst->operands.size() >= 2 &&
+        inst->operands[0].kind == Operand::Kind::kRegister) {
+      const std::string& dest = inst->operands[0].name;
+      if (inst->opcode == "add" && inst->operands.size() == 3 &&
+          (inst->HasModifier("s64") || inst->HasModifier("u64")) &&
+          inst->operands[1].kind == Operand::Kind::kRegister &&
+          inst->operands[2].kind == Operand::Kind::kImmediate &&
+          !inst->operands[2].is_float_imm) {
+        if (auto src = lookup(inst->operands[1].name)) {
+          facts[dest] = Affine{src->root,
+                               src->constant + inst->operands[2].ival};
+          folded = true;
+        }
+      } else if (inst->opcode == "mov" && inst->operands.size() == 2 &&
+                 (inst->HasModifier("u64") || inst->HasModifier("s64") ||
+                  inst->HasModifier("b64")) &&
+                 inst->operands[1].kind == Operand::Kind::kRegister) {
+        if (auto src = lookup(inst->operands[1].name)) {
+          facts[dest] = *src;
+          folded = true;
+        }
+      }
+    }
+    if (!folded) {
+      std::vector<std::string> reads;
+      std::vector<std::string> writes;
+      CollectRegisterUses(*inst, &reads, &writes);
+      for (const auto& w : writes) {
+        // A killed register must not fall back to the invariant lookup: an
+        // explicit bottom fact (empty root) shadows it.
+        facts[w] = Affine{std::string(), 0};
+      }
+    }
+  }
+
+  auto fact = lookup(base_reg);
+  if (!fact || fact->root.empty()) return std::nullopt;
+  return fact;
+}
+
+std::optional<std::int64_t> AccessWidth(const Instruction& inst) {
+  const auto type = inst.TypeModifier();
+  if (!type) return std::nullopt;
+  return static_cast<std::int64_t>(ptx::TypeSize(*type)) * inst.VectorWidth();
+}
+
+const std::string* HeaderLabelName(const ptx::Kernel& kernel, const Cfg& cfg,
+                                   const NaturalLoop& loop) {
+  const BasicBlock& header = cfg.blocks()[loop.header];
+  if (header.first >= header.last) return nullptr;
+  const auto* label = std::get_if<ptx::Label>(&kernel.body[header.first]);
+  return label ? &label->name : nullptr;
+}
+
+}  // namespace
+
+bool IsLoopInvariant(const ptx::Kernel& kernel, const Cfg& cfg,
+                     const NaturalLoop& loop, const std::string& reg) {
+  const LoopDefs defs = CollectLoopDefs(kernel, cfg, loop);
+  return InvariantReg(defs, reg);
+}
+
+bool IsLoopInvariant(const ptx::Kernel& kernel, const Cfg& cfg,
+                     const NaturalLoop& loop, const ptx::Operand& op) {
+  if (op.kind == Operand::Kind::kImmediate) return !op.is_float_imm;
+  if (op.kind == Operand::Kind::kRegister)
+    return IsLoopInvariant(kernel, cfg, loop, op.name);
+  return false;
+}
+
+LoopAccessSummary AnalyzeLoopAccesses(const ptx::Kernel& kernel,
+                                      const Cfg& cfg,
+                                      const NaturalLoop& loop) {
+  LoopAccessSummary summary;
+  if (loop.latches.size() != 1) return summary;
+  const int latch = loop.latches[0];
+  const BasicBlock& latch_bb = cfg.blocks()[latch];
+
+  // The latch must end the iteration: its only in-loop successor is the
+  // header (the exit path falls through out of the loop). Otherwise blocks
+  // could execute after the IV increment with the post-increment value.
+  for (const int s : latch_bb.succs) {
+    if (s != loop.header && loop.Contains(s)) return summary;
+  }
+
+  const std::string* header_label = HeaderLabelName(kernel, cfg, loop);
+  if (header_label == nullptr) return summary;
+
+  // Latch terminator: `@%p bra HEADER` (non-negated).
+  if (latch_bb.last <= latch_bb.first) return summary;
+  const auto* bra =
+      std::get_if<Instruction>(&kernel.body[latch_bb.last - 1]);
+  if (bra == nullptr || bra->opcode != "bra" || !bra->pred.has_value() ||
+      bra->pred->negated || bra->operands.empty() ||
+      bra->operands[0].name != *header_label) {
+    return summary;
+  }
+
+  // Last def of the guard predicate in the latch: `setp.lt.u64 %p, iv, bound`.
+  const Instruction* setp = nullptr;
+  std::size_t setp_stmt = 0;
+  for (std::size_t i = latch_bb.first; i + 1 < latch_bb.last; ++i) {
+    const auto* inst = std::get_if<Instruction>(&kernel.body[i]);
+    if (inst == nullptr) continue;
+    std::vector<std::string> reads;
+    std::vector<std::string> writes;
+    CollectRegisterUses(*inst, &reads, &writes);
+    if (std::find(writes.begin(), writes.end(), bra->pred->reg) !=
+        writes.end()) {
+      setp = inst;
+      setp_stmt = i;
+    }
+  }
+  if (setp == nullptr || setp->opcode != "setp" || setp->pred.has_value() ||
+      !setp->HasModifier("lt") || !setp->HasModifier("u64") ||
+      setp->operands.size() != 3 ||
+      setp->operands[1].kind != Operand::Kind::kRegister) {
+    return summary;
+  }
+  const std::string iv = setp->operands[1].name;
+  const Operand& bound = setp->operands[2];
+  if (bound.kind == Operand::Kind::kRegister) {
+    if (!IsLoopInvariant(kernel, cfg, loop, bound.name)) return summary;
+  } else if (bound.kind != Operand::Kind::kImmediate || bound.is_float_imm) {
+    return summary;
+  }
+
+  // Single unpredicated `add.{s64,u64} iv, iv, step` in the latch, before
+  // the setp, with a positive constant step.
+  const LoopDefs defs = CollectLoopDefs(kernel, cfg, loop);
+  auto iv_defs = defs.find(iv);
+  if (iv_defs == defs.end() || iv_defs->second.size() != 1) return summary;
+  const std::size_t inc_stmt = iv_defs->second[0];
+  if (cfg.BlockOf(inc_stmt) != latch || inc_stmt >= setp_stmt) return summary;
+  const auto* inc = std::get_if<Instruction>(&kernel.body[inc_stmt]);
+  if (inc == nullptr || inc->opcode != "add" || inc->pred.has_value() ||
+      !(inc->HasModifier("s64") || inc->HasModifier("u64")) ||
+      inc->operands.size() != 3 ||
+      inc->operands[1].kind != Operand::Kind::kRegister ||
+      inc->operands[1].name != iv ||
+      inc->operands[2].kind != Operand::Kind::kImmediate ||
+      inc->operands[2].is_float_imm || inc->operands[2].ival <= 0) {
+    return summary;
+  }
+
+  summary.iv_reg = iv;
+  summary.iv_step = inc->operands[2].ival;
+  summary.bound = bound;
+  summary.analyzable = true;
+
+  // Classify every protected access in the loop.
+  for (const int b : loop.blocks) {
+    const BasicBlock& bb = cfg.blocks()[b];
+    for (std::size_t i = bb.first; i < bb.last; ++i) {
+      const auto* inst = std::get_if<Instruction>(&kernel.body[i]);
+      if (inst == nullptr || !inst->IsProtectedMemoryAccess()) continue;
+      const Operand* mem = nullptr;
+      for (const auto& op : inst->operands) {
+        if (op.kind == Operand::Kind::kMemory) mem = &op;
+      }
+      if (mem == nullptr || !mem->MemBaseIsRegister()) {
+        summary.analyzable = false;
+        return summary;
+      }
+      const auto width = AccessWidth(*inst);
+      const auto fact = ResolveBaseAt(kernel, cfg, defs, iv, i, mem->name);
+      if (!width || !fact) {
+        summary.analyzable = false;
+        return summary;
+      }
+      LoopAccess access;
+      access.stmt = i;
+      access.root = fact->root;
+      access.offset = fact->constant + mem->offset;
+      access.width = *width;
+      access.is_affine = (fact->root == iv);
+      if (access.is_affine) {
+        // Affine accesses must see the pre-increment IV value: the increment
+        // is in the latch, so only latch statements after it are suspect.
+        if (b == latch && i > inc_stmt) {
+          summary.analyzable = false;
+          return summary;
+        }
+        if (!summary.has_affine_access) {
+          summary.min_offset = access.offset;
+          summary.max_offset_plus_width = access.offset + access.width;
+          summary.has_affine_access = true;
+        } else {
+          summary.min_offset = std::min(summary.min_offset, access.offset);
+          summary.max_offset_plus_width = std::max(
+              summary.max_offset_plus_width, access.offset + access.width);
+        }
+      }
+      summary.accesses.push_back(std::move(access));
+    }
+  }
+  return summary;
+}
+
+std::optional<LoopAccess> ResolveInvariantAddress(const ptx::Kernel& kernel,
+                                                  const Cfg& cfg,
+                                                  const NaturalLoop& loop,
+                                                  std::size_t stmt) {
+  const auto* inst = std::get_if<Instruction>(&kernel.body[stmt]);
+  if (inst == nullptr || !inst->IsProtectedMemoryAccess()) return std::nullopt;
+  const Operand* mem = nullptr;
+  for (const auto& op : inst->operands) {
+    if (op.kind == Operand::Kind::kMemory) mem = &op;
+  }
+  if (mem == nullptr || !mem->MemBaseIsRegister()) return std::nullopt;
+  const auto width = AccessWidth(*inst);
+  if (!width) return std::nullopt;
+
+  const LoopDefs defs = CollectLoopDefs(kernel, cfg, loop);
+  // No induction variable here: pass a name that matches no register so only
+  // genuinely invariant roots resolve.
+  const auto fact =
+      ResolveBaseAt(kernel, cfg, defs, std::string(), stmt, mem->name);
+  if (!fact || !InvariantReg(defs, fact->root)) return std::nullopt;
+
+  LoopAccess access;
+  access.stmt = stmt;
+  access.root = fact->root;
+  access.offset = fact->constant + mem->offset;
+  access.width = *width;
+  access.is_affine = false;
+  return access;
+}
+
+}  // namespace grd::ptxpatcher

@@ -1,0 +1,83 @@
+// Affine range analysis for guard elision (patcher.cpp).
+//
+// Values inside a loop are tracked on a small affine lattice: a register is
+// either unknown (top), loop-invariant, or `root + c` where `root` is the
+// loop's pointer induction variable or a loop-invariant register and `c` a
+// compile-time constant folded from add/mov chains. For the single monotone
+// induction variable P (one unpredicated in-loop def `add.s64 P, P, step`,
+// step > 0) with a do-while latch `setp.lt.u64 %p, P, Bound; @%p bra HEAD`,
+// every affine access address in iteration k lies in
+//   [P0 + min_off, max(P0, Bound-1) + max_off + width)
+// where P0 is P's preheader value — which is exactly the span the patcher's
+// preheader range check validates before entering the unfenced fast clone.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ptx/ast.hpp"
+#include "ptxpatcher/cfg.hpp"
+
+namespace grd::ptxpatcher {
+
+// One protected access inside a loop, classified against the loop's affine
+// lattice.
+struct LoopAccess {
+  std::size_t stmt = 0;  // statement index in Kernel::body
+  // Address = value-of(root) + offset at the access point, where root is
+  // either the induction variable (is_affine) or a loop-invariant register.
+  std::string root;
+  std::int64_t offset = 0;
+  std::int64_t width = 0;  // bytes touched (scalar size * vector width)
+  bool is_affine = false;  // root is the induction variable
+};
+
+// Result of analysing one natural loop's protected accesses.
+struct LoopAccessSummary {
+  // True when every protected access in the loop resolved to the induction
+  // variable or a loop-invariant root, the loop has a single latch with a
+  // recognized `setp.lt.u64 iv, bound` guard, and the induction step is a
+  // positive constant. Only then is the preheader range check sound.
+  bool analyzable = false;
+
+  std::string iv_reg;          // pointer induction register
+  std::int64_t iv_step = 0;    // constant per-iteration increment (> 0)
+  ptx::Operand bound;          // loop-invariant exclusive bound on iv
+  std::vector<LoopAccess> accesses;
+
+  // Span of affine accesses relative to the IV's preheader value: addresses
+  // lie in [iv0 + min_offset, max(iv0, bound-1) + max_offset_plus_width).
+  std::int64_t min_offset = 0;
+  std::int64_t max_offset_plus_width = 0;
+  bool has_affine_access = false;
+};
+
+// True when `reg` has no definition inside `loop` (immediates pass trivially
+// via the operand overload below).
+bool IsLoopInvariant(const ptx::Kernel& kernel, const Cfg& cfg,
+                     const NaturalLoop& loop, const std::string& reg);
+bool IsLoopInvariant(const ptx::Kernel& kernel, const Cfg& cfg,
+                     const NaturalLoop& loop, const ptx::Operand& op);
+
+// Analyzes the protected accesses of `loop`. Requirements checked here:
+// single latch ending in `@%p bra header` whose predicate is defined by a
+// `setp.lt.u64 %p, iv, bound` in the latch block, a single unpredicated
+// `add.{s64,u64} iv, iv, step` (step > 0) in the latch block before the setp,
+// every affine access textually before the increment, and every access
+// resolvable to `iv + c` or `invariant + c` on the affine lattice.
+LoopAccessSummary AnalyzeLoopAccesses(const ptx::Kernel& kernel,
+                                      const Cfg& cfg,
+                                      const NaturalLoop& loop);
+
+// Resolves the address of a protected access at `stmt` to `root + offset`
+// where root is loop-invariant, folding same-block `add reg, src, imm` /
+// `mov reg, src` chains. Returns nullopt when the base register's value
+// cannot be proven loop-invariant. Used by the hoisting rule.
+std::optional<LoopAccess> ResolveInvariantAddress(const ptx::Kernel& kernel,
+                                                  const Cfg& cfg,
+                                                  const NaturalLoop& loop,
+                                                  std::size_t stmt);
+
+}  // namespace grd::ptxpatcher

@@ -17,11 +17,11 @@ bool IsSpecialRegister(const std::string& name) {
          name == "%warpsize";
 }
 
-// Collects the virtual registers an instruction reads and the one it writes.
-// PTX convention: operand 0 is the destination except for st/bra/brx/bar,
-// whose operands are all sources.
-void CollectUses(const Instruction& inst, std::vector<std::string>* reads,
-                 std::string* write) {
+}  // namespace
+
+void CollectRegisterUses(const Instruction& inst,
+                         std::vector<std::string>* reads,
+                         std::vector<std::string>* writes) {
   const bool has_dest = !(inst.opcode == "st" || inst.opcode == "bra" ||
                           inst.opcode == "brx" || inst.opcode == "bar" ||
                           inst.opcode == "ret" || inst.opcode == "exit" ||
@@ -33,7 +33,7 @@ void CollectUses(const Instruction& inst, std::vector<std::string>* reads,
       case Operand::Kind::kRegister:
         if (IsSpecialRegister(op.name)) break;
         if (has_dest && i == 0) {
-          *write = op.name;
+          writes->push_back(op.name);
         } else {
           reads->push_back(op.name);
         }
@@ -44,9 +44,7 @@ void CollectUses(const Instruction& inst, std::vector<std::string>* reads,
       case Operand::Kind::kVector:
         for (const auto& elem : op.vec) {
           if (has_dest && i == 0) {
-            // Vector destination: each element is written; count as writes by
-            // treating them as short-lived defs (approximation: read+write).
-            reads->push_back(elem);
+            writes->push_back(elem);
           } else {
             reads->push_back(elem);
           }
@@ -57,8 +55,6 @@ void CollectUses(const Instruction& inst, std::vector<std::string>* reads,
     }
   }
 }
-
-}  // namespace
 
 RegisterUsage EstimateRegisterUsage(const ptx::Kernel& kernel) {
   // Linearize instructions and compute, per virtual register, the first def
@@ -87,8 +83,8 @@ RegisterUsage EstimateRegisterUsage(const ptx::Kernel& kernel) {
 
   for (std::size_t i = 0; i < code.size(); ++i) {
     std::vector<std::string> reads;
-    std::string write;
-    CollectUses(*code[i], &reads, &write);
+    std::vector<std::string> writes;
+    CollectRegisterUses(*code[i], &reads, &writes);
     std::vector<std::string> remat_here;  // dedup per instruction
     auto touch = [&](const std::string& name) {
       if (is_remat(name)) {
@@ -105,7 +101,7 @@ RegisterUsage EstimateRegisterUsage(const ptx::Kernel& kernel) {
       if (!inserted) it->second.last = i;
     };
     for (const auto& r : reads) touch(r);
-    if (!write.empty()) touch(write);
+    for (const auto& w : writes) touch(w);
   }
 
   RegisterUsage usage;

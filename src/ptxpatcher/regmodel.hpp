@@ -15,6 +15,8 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
+#include <vector>
 
 #include "ptx/ast.hpp"
 
@@ -26,5 +28,16 @@ struct RegisterUsage {
 };
 
 RegisterUsage EstimateRegisterUsage(const ptx::Kernel& kernel);
+
+// Exact def/use sets for one instruction. PTX convention: operand 0 is the
+// destination except for st/bra/brx/bar/ret/exit/trap/call, whose operands
+// are all sources. Vector destinations (`ld.v2 {%r1,%r2}, [..]`) report each
+// element as a write. Memory-operand base registers and the guard predicate
+// are reads. Special registers (%tid.x, ...) are never reported as writes.
+// Shared by the register-pressure model and the guard-elision passes (cfg/
+// range_analysis), whose kill sets need exact writes.
+void CollectRegisterUses(const ptx::Instruction& inst,
+                         std::vector<std::string>* reads,
+                         std::vector<std::string>* writes);
 
 }  // namespace grd::ptxpatcher

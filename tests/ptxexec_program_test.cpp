@@ -440,6 +440,103 @@ TEST(ProgramParity, RandomKernelFuzz) {
   }
 }
 
+// Elision-vs-full oracle: the CFG/loop guard-elision rewrite must be
+// observationally identical to full per-access patching. Each round patches
+// one random kernel both ways, proves each flavor self-consistent across all
+// four engines, then diffs the two flavors against each other on memory,
+// faults and access counts (executed-instruction counts are excluded —
+// shrinking them is the whole point of elision). Rounds mix loop and
+// straight-line shapes, all three bounds-check modes, and generous vs
+// undersized partitions, so both the unfenced fast clone and the fully
+// fenced slow clone run — including wrap-around (fencing modes) and traps
+// (checking mode).
+TEST(ProgramParity, GuardElisionFuzzParity) {
+  using ptxpatcher::BoundsCheckMode;
+  const std::uint64_t seed = SeedFromEnv("GRD_FUZZ_SEED", 0xE11DE);
+  SCOPED_TRACE("reproduce with GRD_FUZZ_SEED=" + std::to_string(seed));
+  Rng rng(seed);
+  ptxpatcher::PatchStats elision_totals;
+  for (int round = 0; round < 18; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    const auto mode = static_cast<BoundsCheckMode>(round % 3);
+    const bool loop_shape = rng.NextBool(0.6);
+    const bool tight = rng.NextBool(0.4);  // undersized partition: slow path
+
+    const std::uint64_t base = 0x40000;
+    const std::uint64_t size = tight ? 64 : 4096;
+    const auto grd = ptxpatcher::ComputeGrdArgs(mode, base, size);
+    ptx::Module native;
+    LaunchParams params;
+    if (loop_shape) {
+      native.kernels.push_back(ptx::MakeRandomLoopKernel(rng, "fz"));
+      params.grid = {2, 1, 1};
+      params.block = {1, 1, 1};
+      params.args = {
+          KernelArg::U64(base),
+          KernelArg::U32(static_cast<std::uint32_t>(rng.NextInRange(1, 6))),
+          KernelArg::U64(grd.arg0), KernelArg::U64(grd.arg1)};
+    } else {
+      native.kernels.push_back(ptx::MakeRandomKernel(
+          rng, "fz", static_cast<int>(rng.NextInRange(1, 12)),
+          static_cast<int>(rng.NextInRange(1, 8)), rng.NextBool(0.5)));
+      params.grid = {static_cast<std::uint32_t>(rng.NextInRange(1, 2)), 1, 1};
+      params.block = {32, 1, 1};
+      params.args = {KernelArg::U64(base), KernelArg::U32(0),
+                     KernelArg::U64(grd.arg0), KernelArg::U64(grd.arg1)};
+    }
+
+    ptxpatcher::PatchOptions options;
+    options.mode = mode;
+    auto full = ptxpatcher::PatchModule(native, options);
+    ASSERT_TRUE(full.ok()) << full.status();
+    options.elision_enabled = true;
+    ptxpatcher::PatchStats stats;
+    auto elided = ptxpatcher::PatchModule(native, options, &stats);
+    ASSERT_TRUE(elided.ok()) << elided.status();
+    elision_totals += stats;
+
+    MemInit init;
+    for (int i = 0; i < 128; ++i)
+      init.push_back({base + i * 4, static_cast<std::uint32_t>(
+                                        rng.NextInRange(0, 1u << 30))});
+
+    // Each flavor must first agree with itself across all four engines.
+    ExpectParity(*full, "fz", params, init);
+    ExpectParity(*elided, "fz", params, init);
+
+    // Cross-flavor diff on the compiled engine.
+    const auto run = [](Interpreter& interp, const ptx::Module& m,
+                        const std::string& k, const LaunchParams& p) {
+      return interp.Execute(m, k, p);
+    };
+    const EngineRun a = RunEngine(*full, "fz", params, init, nullptr, run);
+    const EngineRun b = RunEngine(*elided, "fz", params, init, nullptr, run);
+    ASSERT_EQ(a.result.ok(), b.result.ok())
+        << "full=" << (a.result.ok() ? "ok" : a.result.status().ToString())
+        << " elided="
+        << (b.result.ok() ? "ok" : b.result.status().ToString());
+    if (a.result.ok()) {
+      EXPECT_EQ(a.result->global_loads, b.result->global_loads);
+      EXPECT_EQ(a.result->global_stores, b.result->global_stores);
+      EXPECT_EQ(a.result->shared_accesses, b.result->shared_accesses);
+      EXPECT_EQ(a.result->threads, b.result->threads);
+      EXPECT_EQ(a.result->blocks, b.result->blocks);
+    } else {
+      EXPECT_EQ(a.result.status().code(), b.result.status().code());
+      EXPECT_EQ(a.fault.status.code(), b.fault.status.code());
+      EXPECT_EQ(a.fault.address, b.fault.address);
+      EXPECT_EQ(a.fault.thread_linear_id, b.fault.thread_linear_id);
+      EXPECT_EQ(a.fault.kernel, b.fault.kernel);
+    }
+    EXPECT_EQ(a.memory, b.memory)
+        << "guard-elision flavors diverged in memory effects";
+  }
+  // The run must actually exercise the rewrite, or the parity proof above is
+  // vacuous.
+  EXPECT_GT(elision_totals.guards_elided, 0u);
+  EXPECT_GT(elision_totals.loop_range_checks, 0u);
+}
+
 // ---- instruction budget / checkpoint / preemption --------------------------
 
 TEST(ProgramParity, InstructionBudgetTripsIdentically) {

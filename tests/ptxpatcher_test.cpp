@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
 #include "common/bits.hpp"
 #include "common/rng.hpp"
 #include "ptx/generator.hpp"
@@ -408,6 +412,323 @@ TEST(RegModel, OptimizedDeltaSmallerThanNoOptDelta) {
     ++n;
   }
   EXPECT_LT(sum_opt_delta, sum_noopt_delta);
+}
+
+// ---- Guard elision (CFG/loop analysis) ----------------------------------
+
+std::size_t BodyInstructionCount(const Kernel& k) {
+  std::size_t n = 0;
+  for (const auto& stmt : k.body)
+    if (std::holds_alternative<ptx::Instruction>(stmt)) ++n;
+  return n;
+}
+
+// Counter loop over a loop-invariant pointer: the only in-loop access reads
+// [%rd2+4] where %rd2 never changes — the hoisting rule's minimal target.
+// The latch guard is a u32 setp, so the loop is deliberately NOT versionable.
+Kernel MakeHoistKernel(std::string name = "hoistk") {
+  using ptx::Operand;
+  auto inst = [](std::string op, std::vector<std::string> mods,
+                 std::vector<Operand> ops) {
+    ptx::Instruction i;
+    i.opcode = std::move(op);
+    i.modifiers = std::move(mods);
+    i.operands = std::move(ops);
+    return i;
+  };
+  auto regs = [](ptx::Type t, std::string prefix, int count) {
+    ptx::RegDecl d;
+    d.type = t;
+    d.is_range = true;
+    d.prefix = std::move(prefix);
+    d.count = count;
+    return d;
+  };
+  Kernel k;
+  k.name = std::move(name);
+  ptx::Param p0, p1;
+  p0.type = ptx::Type::kU64;
+  p0.name = k.name + "_param_0";
+  p1.type = ptx::Type::kU32;
+  p1.name = k.name + "_param_1";
+  k.params = {p0, p1};
+  k.body.emplace_back(regs(ptx::Type::kPred, "%p", 2));
+  k.body.emplace_back(regs(ptx::Type::kB32, "%r", 5));
+  k.body.emplace_back(regs(ptx::Type::kB64, "%rd", 3));
+  k.body.emplace_back(inst("ld", {"param", "u64"},
+                           {Operand::Reg("%rd1"), Operand::Mem(p0.name)}));
+  k.body.emplace_back(inst("ld", {"param", "u32"},
+                           {Operand::Reg("%r1"), Operand::Mem(p1.name)}));
+  k.body.emplace_back(inst("cvta", {"to", "global", "u64"},
+                           {Operand::Reg("%rd2"), Operand::Reg("%rd1")}));
+  k.body.emplace_back(
+      inst("mov", {"u32"}, {Operand::Reg("%r2"), Operand::Imm(0)}));
+  k.body.emplace_back(ptx::Label{"HLOOP"});
+  k.body.emplace_back(inst("ld", {"global", "u32"},
+                           {Operand::Reg("%r3"), Operand::Mem("%rd2", 4)}));
+  k.body.emplace_back(inst("add", {"s32"}, {Operand::Reg("%r2"),
+                                            Operand::Reg("%r2"),
+                                            Operand::Reg("%r3")}));
+  k.body.emplace_back(inst(
+      "add", {"s32"},
+      {Operand::Reg("%r2"), Operand::Reg("%r2"), Operand::Imm(1)}));
+  k.body.emplace_back(inst("setp", {"lt", "u32"},
+                           {Operand::Reg("%p1"), Operand::Reg("%r2"),
+                            Operand::Reg("%r1")}));
+  ptx::Instruction backedge =
+      inst("bra", {}, {Operand::Id("HLOOP")});
+  backedge.pred = ptx::Predicate{"%p1", false};
+  k.body.emplace_back(std::move(backedge));
+  k.body.emplace_back(inst("st", {"global", "u32"},
+                           {Operand::Mem("%rd2"), Operand::Reg("%r2")}));
+  k.body.emplace_back(inst("ret", {}, {}));
+  return k;
+}
+
+std::vector<Kernel> ElisionCorpus() {
+  std::vector<Kernel> kernels = ptx::MakeSampleModule().kernels;
+  kernels.push_back(ptx::MakePointerWalkKernel("walk", 2));
+  kernels.push_back(ptx::MakeRepeatedRmwKernel("rmw", 4));
+  kernels.push_back(MakeHoistKernel());
+  return kernels;
+}
+
+// Satellite: inserted_instructions must equal the exact emitted-body delta
+// for every kernel, every mode, elision on and off — including base+offset
+// materialization temporaries, preheader checks, and loop clones.
+TEST(GuardElision, InsertedInstructionsAreExactBodyDelta) {
+  for (const Kernel& k : ElisionCorpus()) {
+    for (const auto mode :
+         {BoundsCheckMode::kFencingBitwise, BoundsCheckMode::kFencingModulo,
+          BoundsCheckMode::kChecking}) {
+      for (const bool elision : {false, true}) {
+        PatchOptions options;
+        options.mode = mode;
+        options.elision_enabled = elision;
+        auto patched = PatchKernel(k, options);
+        ASSERT_TRUE(patched.ok()) << k.name << ": " << patched.status();
+        EXPECT_EQ(patched->stats.inserted_instructions,
+                  BodyInstructionCount(patched->kernel) -
+                      BodyInstructionCount(k))
+            << k.name << " " << BoundsCheckModeName(mode)
+            << " elision=" << elision;
+      }
+    }
+  }
+}
+
+TEST(GuardElision, OffByDefaultMatchesLegacyOutput) {
+  // PatchOptions{} must still produce the legacy full-patch body.
+  for (const Kernel& k : ElisionCorpus()) {
+    PatchOptions legacy;
+    auto patched = PatchKernel(k, legacy);
+    ASSERT_TRUE(patched.ok()) << patched.status();
+    EXPECT_EQ(patched->stats.guards_elided, 0u);
+    EXPECT_EQ(patched->stats.guards_hoisted, 0u);
+    EXPECT_EQ(patched->stats.loop_range_checks, 0u);
+  }
+}
+
+TEST(GuardElision, DominatedFencesElided) {
+  // rmw: 4 ld/st pairs over offsets 0,4,8,0 -> three distinct fence
+  // expressions, so 3 fences survive and the other 5 are elided.
+  PatchOptions options;
+  options.elision_enabled = true;
+  auto patched = PatchKernel(ptx::MakeRepeatedRmwKernel("rmw", 4), options);
+  ASSERT_TRUE(patched.ok()) << patched.status();
+  EXPECT_EQ(patched->stats.guards_elided, 5u);
+  EXPECT_EQ(patched->stats.patched_loads, 4u);
+  EXPECT_EQ(patched->stats.patched_stores, 4u);
+  // 2 ld.param + fence(+0)=2 + fence(+4)=3 + fence(+8)=3.
+  EXPECT_EQ(patched->stats.inserted_instructions, 10u);
+  // Full patching pays 2 + 2*(2) + 6*(3) = 24... (offsets 4/8 occur twice
+  // each as ld+st; offset 0 occurs four times): 4*2 + 4*3 = 20, +2 = 22.
+  PatchOptions full;
+  auto unopt = PatchKernel(ptx::MakeRepeatedRmwKernel("rmw", 4), full);
+  ASSERT_TRUE(unopt.ok());
+  EXPECT_EQ(unopt->stats.inserted_instructions, 22u);
+  // Elided consumers read the provider's dedicated slot register.
+  const std::string text = ptx::Print(patched->kernel);
+  EXPECT_NE(text.find("%grdtmp4"), std::string::npos) << text;
+}
+
+TEST(GuardElision, LoopVersionedBehindRangeCheck) {
+  PatchOptions options;
+  options.elision_enabled = true;
+  auto patched = PatchKernel(ptx::MakePointerWalkKernel("walk", 1), options);
+  ASSERT_TRUE(patched.ok()) << patched.status();
+  EXPECT_EQ(patched->stats.loop_range_checks, 1u);
+  // Both in-loop accesses run unfenced in the fast clone.
+  EXPECT_EQ(patched->stats.guards_elided, 2u);
+  EXPECT_EQ(patched->stats.patched_loads, 1u);
+  EXPECT_EQ(patched->stats.patched_stores, 1u);
+  const std::string text = ptx::Print(patched->kernel);
+  EXPECT_NE(text.find("GRD_SLOW_0:"), std::string::npos) << text;
+  EXPECT_NE(text.find("bra GRD_DONE_0;"), std::string::npos) << text;
+  EXPECT_NE(text.find("WALK_TOP_grdslow0:"), std::string::npos) << text;
+  EXPECT_NE(text.find("max.u64"), std::string::npos) << text;
+}
+
+TEST(GuardElision, InvariantFenceHoistedInBitwiseModeOnly) {
+  PatchOptions options;
+  options.elision_enabled = true;
+  auto patched = PatchKernel(MakeHoistKernel(), options);
+  ASSERT_TRUE(patched.ok()) << patched.status();
+  EXPECT_EQ(patched->stats.guards_hoisted, 1u);
+  EXPECT_EQ(patched->stats.guards_elided, 1u);
+  EXPECT_EQ(patched->stats.loop_range_checks, 0u);
+  const std::string text = ptx::Print(patched->kernel);
+  // The hoisted fence (add + and/or into the slot register) sits before the
+  // loop header label; the in-loop load reads the slot.
+  const auto hoist_pos = text.find("and.b64 %grdtmp4");
+  const auto label_pos = text.find("HLOOP:");
+  ASSERT_NE(hoist_pos, std::string::npos) << text;
+  ASSERT_NE(label_pos, std::string::npos);
+  EXPECT_LT(hoist_pos, label_pos);
+  EXPECT_NE(text.find("ld.global.u32 %r3, [%grdtmp4];"), std::string::npos)
+      << text;
+
+  // Modulo's rem and checking's trap must keep their execution conditions:
+  // no hoisting outside bitwise mode.
+  for (const auto mode :
+       {BoundsCheckMode::kFencingModulo, BoundsCheckMode::kChecking}) {
+    PatchOptions o;
+    o.mode = mode;
+    o.elision_enabled = true;
+    auto p = PatchKernel(MakeHoistKernel(), o);
+    ASSERT_TRUE(p.ok()) << p.status();
+    EXPECT_EQ(p->stats.guards_hoisted, 0u) << BoundsCheckModeName(mode);
+  }
+}
+
+TEST(GuardElision, ElidedKernelsReparse) {
+  for (const Kernel& k : ElisionCorpus()) {
+    for (const auto mode :
+         {BoundsCheckMode::kFencingBitwise, BoundsCheckMode::kFencingModulo,
+          BoundsCheckMode::kChecking}) {
+      PatchOptions options;
+      options.mode = mode;
+      options.elision_enabled = true;
+      auto patched = PatchKernel(k, options);
+      ASSERT_TRUE(patched.ok()) << k.name << ": " << patched.status();
+      ptx::Module m;
+      m.kernels.push_back(patched->kernel);
+      auto reparsed = ptx::Parse(ptx::Print(m));
+      ASSERT_TRUE(reparsed.ok())
+          << k.name << " " << BoundsCheckModeName(mode) << ": "
+          << reparsed.status();
+      EXPECT_EQ(reparsed->kernels[0], patched->kernel);
+    }
+  }
+}
+
+// Elided and full patching must be observationally identical — including the
+// wrap-around (bitwise/modulo) and trap (checking) OOB semantics — on both
+// the fast path (walk fits the partition) and the slow path (walk exceeds
+// it, so the preheader check routes to the fenced clone).
+TEST(GuardElision, WrapParityFullVsElided) {
+  const Kernel kernel = ptx::MakePointerWalkKernel("walk", 2);
+  const std::uint64_t base = 1ull << 20;
+  const std::uint64_t size = 4096;
+
+  struct Run {
+    Status status = OkStatus();
+    std::vector<std::uint32_t> partition;
+  };
+  auto run = [&](BoundsCheckMode mode, bool elision,
+                 std::uint32_t iters) -> Run {
+    PatchOptions options;
+    options.mode = mode;
+    options.elision_enabled = elision;
+    auto patched = PatchKernel(kernel, options);
+    EXPECT_TRUE(patched.ok()) << patched.status();
+    if (elision) EXPECT_EQ(patched->stats.loop_range_checks, 1u);
+    ptx::Module m;
+    m.kernels.push_back(patched->kernel);
+    simgpu::GlobalMemory memory(16ull << 20);
+    simgpu::AllowAllPolicy allow;
+    Interpreter interp(&memory, &allow, 1);
+    const GrdArgs grd = ComputeGrdArgs(mode, base, size);
+    LaunchParams params;
+    params.block = {32, 1, 1};
+    params.args = {KernelArg::U64(base), KernelArg::U32(iters),
+                   KernelArg::U64(grd.arg0), KernelArg::U64(grd.arg1)};
+    Run result;
+    auto stats = interp.Execute(m, kernel.name, params);
+    if (!stats.ok()) result.status = stats.status();
+    for (std::uint64_t a = base; a < base + size; a += 4) {
+      auto v = memory.Load<std::uint32_t>(a);
+      EXPECT_TRUE(v.ok());
+      result.partition.push_back(v.ok() ? *v : 0);
+    }
+    return result;
+  };
+
+  for (const auto mode :
+       {BoundsCheckMode::kFencingBitwise, BoundsCheckMode::kFencingModulo,
+        BoundsCheckMode::kChecking}) {
+    // 4 iterations spans 1 KiB (in bounds, fast clone); 32 spans 8 KiB (OOB:
+    // wrap-around for the fencing modes, trap for checking).
+    for (const std::uint32_t iters : {4u, 32u}) {
+      const Run full = run(mode, false, iters);
+      const Run elided = run(mode, true, iters);
+      EXPECT_EQ(full.status.code(), elided.status.code())
+          << BoundsCheckModeName(mode) << " iters=" << iters;
+      EXPECT_EQ(full.partition, elided.partition)
+          << BoundsCheckModeName(mode) << " iters=" << iters;
+    }
+  }
+}
+
+// Golden corpus: the exact elided output for a fixed kernel set is committed
+// as text; any change to the rewrite rules shows up as a reviewable diff.
+// Regenerate with GRD_UPDATE_GOLDEN=1.
+TEST(GuardElision, GoldenCorpusStable) {
+  std::string text;
+  const auto append_mode = [&](BoundsCheckMode mode,
+                               const std::vector<Kernel>& kernels) {
+    ptx::Module m;
+    PatchOptions options;
+    options.mode = mode;
+    options.elision_enabled = true;
+    for (const Kernel& k : kernels) {
+      auto patched = PatchKernel(k, options);
+      ASSERT_TRUE(patched.ok()) << k.name << ": " << patched.status();
+      m.kernels.push_back(patched->kernel);
+    }
+    text += "// ---- mode: ";
+    text += BoundsCheckModeName(mode);
+    text += " ----\n";
+    text += ptx::Print(m);
+  };
+  append_mode(BoundsCheckMode::kFencingBitwise,
+              {ptx::MakeStoreTidKernel(), ptx::MakeOffsetCopyKernel(),
+               ptx::MakeIndirectBranchKernel(),
+               ptx::MakePointerWalkKernel("walk", 2),
+               ptx::MakeRepeatedRmwKernel("rmw", 4), MakeHoistKernel()});
+  append_mode(BoundsCheckMode::kFencingModulo,
+              {ptx::MakePointerWalkKernel("walk", 2),
+               ptx::MakeRepeatedRmwKernel("rmw", 4)});
+  append_mode(BoundsCheckMode::kChecking,
+              {ptx::MakePointerWalkKernel("walk", 2),
+               ptx::MakeRepeatedRmwKernel("rmw", 4)});
+
+  const std::string path =
+      std::string(GRD_REPO_DIR) + "/tests/golden/guard_elision.golden.ptx";
+  if (std::getenv("GRD_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << path;
+    out << text;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (run with GRD_UPDATE_GOLDEN=1 to create)";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), text)
+      << "golden PTX drifted; rerun with GRD_UPDATE_GOLDEN=1 and review the "
+         "diff";
 }
 
 }  // namespace

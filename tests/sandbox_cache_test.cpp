@@ -94,6 +94,38 @@ TEST(SandboxCacheTest, PatchFlagVariantsAreDistinctEntries) {
   EXPECT_EQ(cache.stats().patches, 2u);
 }
 
+TEST(SandboxCacheTest, GuardElisionFlagKeysDistinctEntries) {
+  // Elided and full-patch variants of the same source are different modules;
+  // the cache must never serve one for the other.
+  SandboxCache cache;
+  ptx::Module m;
+  m.kernels.push_back(ptx::MakeRepeatedRmwKernel("rmw", 4));
+  m.kernels.push_back(ptx::MakePointerWalkKernel("walk", 2));
+  const std::string source = ptx::Print(m);
+  auto parsed = ptx::Parse(source);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+
+  ptxpatcher::PatchOptions full;
+  ptxpatcher::PatchOptions elide = full;
+  elide.elision_enabled = true;
+  auto a = cache.GetOrPatch(source, *parsed, full);
+  auto b = cache.GetOrPatch(source, *parsed, elide);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(b->patched_now);
+  EXPECT_NE(a->module.get(), b->module.get());
+  EXPECT_EQ(cache.stats().patches, 2u);
+
+  // The aggregate patch stats ride with the slot: the fresh elided patch
+  // reports its yield, and a later hit returns the same numbers.
+  EXPECT_EQ(a->patch_stats.guards_elided, 0u);
+  EXPECT_GT(b->patch_stats.guards_elided, 0u);
+  EXPECT_EQ(b->patch_stats.loop_range_checks, 1u);
+  auto b2 = cache.GetOrPatch(source, *parsed, elide);
+  ASSERT_TRUE(b2.ok());
+  EXPECT_FALSE(b2->patched_now);
+  EXPECT_EQ(b2->patch_stats.guards_elided, b->patch_stats.guards_elided);
+}
+
 TEST(SandboxCacheTest, CapacityIsEnforcedWithLruEviction) {
   SandboxCache cache(/*capacity=*/2);
   ptxpatcher::PatchOptions options;
@@ -175,6 +207,65 @@ TEST(SandboxCacheTest, TwoClientsLoadingIdenticalPtxPatchOnce) {
   EXPECT_EQ(manager.stats().sandboxed_launches, 2u);
   // Still exactly one patch after both launches.
   EXPECT_EQ(manager.stats().ptx_modules_patched, 1u);
+}
+
+TEST(SandboxCacheTest, ManagerSurfacesGuardElisionCounters) {
+  // guard_elision_enabled defaults on: loading a module with elidable fences
+  // mirrors the patcher's yield into ManagerStats (and MANAGER_STATS JSON),
+  // and the versioned loop still computes the right answer end to end.
+  simcuda::Gpu gpu(simgpu::QuadroRtxA4000());
+  GrdManager manager(&gpu, ManagerOptions{});
+  LoopbackTransport transport(&manager);
+  auto client = GrdLib::Connect(&transport, 4 << 20);
+  ASSERT_TRUE(client.ok());
+
+  ptx::Module m;
+  m.kernels.push_back(ptx::MakePointerWalkKernel("walk", 2));
+  m.kernels.push_back(ptx::MakeRepeatedRmwKernel("rmw", 4));
+  const std::string source = ptx::Print(m);
+  auto module = client->cuModuleLoadData(source);
+  ASSERT_TRUE(module.ok());
+  EXPECT_GT(manager.stats().guards_elided.load(), 0u);
+  EXPECT_EQ(manager.stats().loop_range_checks.load(), 1u);
+  const std::string json = manager.stats().ToJson();
+  EXPECT_NE(json.find("\"guards_elided\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"guards_hoisted\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"loop_range_checks\""), std::string::npos) << json;
+
+  // 8 iterations x 256-byte stripes: the 32 threads' RMW lanes tile every
+  // u32 of the 2 KiB buffer exactly once, so each word ends at 1.
+  constexpr std::uint32_t kIters = 8;
+  auto fn = client->cuModuleGetFunction(*module, "walk");
+  ASSERT_TRUE(fn.ok());
+  DevicePtr data = 0;
+  ASSERT_TRUE(client->cudaMalloc(&data, kIters * 256).ok());
+  std::vector<std::uint32_t> zero(kIters * 64, 0);
+  ASSERT_TRUE(client->cudaMemcpyH2D(data, zero.data(), kIters * 256).ok());
+  simcuda::LaunchConfig config;
+  config.block = {32, 1, 1};
+  ASSERT_TRUE(client
+                  ->cudaLaunchKernel(*fn, config,
+                                     {KernelArg::U64(data),
+                                      KernelArg::U32(kIters)})
+                  .ok());
+  std::vector<std::uint32_t> result(kIters * 64, 0);
+  ASSERT_TRUE(client
+                  ->cudaMemcpy(result.data(), data, kIters * 256,
+                               MemcpyKind::kDeviceToHost)
+                  .ok());
+  for (std::size_t i = 0; i < result.size(); ++i)
+    ASSERT_EQ(result[i], 1u) << "word " << i;
+
+  // Forcing the oracle path off leaves the counters untouched.
+  ManagerOptions no_elision;
+  no_elision.guard_elision_enabled = false;
+  GrdManager plain_manager(&gpu, no_elision);
+  LoopbackTransport plain_transport(&plain_manager);
+  auto plain = GrdLib::Connect(&plain_transport, 4 << 20);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(plain->cuModuleLoadData(source).ok());
+  EXPECT_EQ(plain_manager.stats().guards_elided.load(), 0u);
+  EXPECT_EQ(plain_manager.stats().loop_range_checks.load(), 0u);
 }
 
 TEST(SandboxCacheTest, ConcurrentIdenticalLoadsPatchOnce) {
