@@ -18,9 +18,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <string>
 
+#include "bench_json.hpp"
 #include "common/bits.hpp"
 #include "common/strings.hpp"
 #include "ptx/generator.hpp"
@@ -263,25 +263,20 @@ int main() {
               static_cast<unsigned long long>(elide_stats.loop_range_checks),
               100.0 * guard_reduction, speedup);
 
-  char json[1024];
-  std::snprintf(
-      json, sizeof(json),
-      "{\"full_inserted\":%llu,\"elided_inserted\":%llu,"
-      "\"full_guard_instructions\":%llu,\"elided_guard_instructions\":%llu,"
-      "\"guard_reduction\":%.3f,\"guards_elided\":%llu,"
-      "\"guards_hoisted\":%llu,\"loop_range_checks\":%llu,"
-      "\"hot_full_mips\":%.2f,\"hot_elided_mips\":%.2f,"
-      "\"hot_speedup\":%.2f,\"quick\":%s}",
-      static_cast<unsigned long long>(full_stats.inserted_instructions),
-      static_cast<unsigned long long>(elide_stats.inserted_instructions),
-      static_cast<unsigned long long>(full_guards),
-      static_cast<unsigned long long>(elided_guards), guard_reduction,
-      static_cast<unsigned long long>(elide_stats.guards_elided),
-      static_cast<unsigned long long>(elide_stats.guards_hoisted),
-      static_cast<unsigned long long>(elide_stats.loop_range_checks),
-      full_mips, elided_mips, speedup, quick ? "true" : "false");
-  std::printf("BENCH_guard_elision.json %s\n", json);
-  std::ofstream("BENCH_guard_elision.json") << json << "\n";
+  bench::JsonLine json;
+  json.Add("full_inserted", full_stats.inserted_instructions)
+      .Add("elided_inserted", elide_stats.inserted_instructions)
+      .Add("full_guard_instructions", full_guards)
+      .Add("elided_guard_instructions", elided_guards)
+      .Add("guard_reduction", guard_reduction, 3)
+      .Add("guards_elided", elide_stats.guards_elided)
+      .Add("guards_hoisted", elide_stats.guards_hoisted)
+      .Add("loop_range_checks", elide_stats.loop_range_checks)
+      .Add("hot_full_mips", full_mips, 2)
+      .Add("hot_elided_mips", elided_mips, 2)
+      .Add("hot_speedup", speedup, 2)
+      .Add("quick", quick);
+  json.Emit("guard_elision");
 
   bool ok = true;
   if (guard_reduction < 0.40) {

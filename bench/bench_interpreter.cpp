@@ -15,6 +15,10 @@
 //            sandbox cache (hash + source compare only), then enough warm
 //            launches to cross both promotion thresholds, proving the
 //            manager's heat-keyed tier promotion end to end.
+//  phase 3 — tracing overhead gate: the same manager-path launch workload
+//            with tracing off vs on (spans emitted for every request,
+//            queue wait and execution segment); tracing-on must stay
+//            within 5% of tracing-off Minstr/s.
 //
 // Exits non-zero unless the compiled engine is >= 3x the reference on both
 // workloads, the best fused/threaded tier is >= 2x compiled on the hot ALU
@@ -27,13 +31,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "guardian/grdlib.hpp"
 #include "guardian/manager.hpp"
 #include "guardian/transport.hpp"
+#include "obs/trace.hpp"
 #include "ptx/generator.hpp"
 #include "ptx/parser.hpp"
 #include "ptx/printer.hpp"
@@ -330,34 +335,113 @@ int main() {
               static_cast<unsigned long long>(tier2_instructions));
   std::printf("\nMANAGER_STATS %s\n", manager.stats().ToJson().c_str());
 
-  char json[2048];
-  std::snprintf(
-      json, sizeof(json),
-      "{\"alu_cold_mips\":%.2f,\"alu_compiled_mips\":%.2f,"
-      "\"alu_fused_mips\":%.2f,\"alu_threaded_mips\":%.2f,"
-      "\"alu_speedup\":%.2f,\"alu_tier_speedup\":%.2f,"
-      "\"mem_cold_mips\":%.2f,\"mem_compiled_mips\":%.2f,"
-      "\"mem_fused_mips\":%.2f,\"mem_threaded_mips\":%.2f,"
-      "\"mem_speedup\":%.2f,\"mem_tier_speedup\":%.2f,"
-      "\"threaded_dispatch\":%s,"
-      "\"cold_load_us\":%.1f,\"cached_load_us\":%.1f,"
-      "\"cold_first_launch_us\":%.1f,\"cached_first_launch_us\":%.1f,"
-      "\"programs_compiled\":%llu,\"tier1_promotions\":%llu,"
-      "\"tier2_promotions\":%llu,\"tier1_instructions\":%llu,"
-      "\"tier2_instructions\":%llu,\"quick\":%s}",
-      alu.cold.mips, alu.compiled.mips, alu.fused.mips, alu.threaded.mips,
-      alu_speedup, alu_tier_speedup, mem.cold.mips, mem.compiled.mips,
-      mem.fused.mips, mem.threaded.mips, mem_speedup, mem_tier_speedup,
-      ptxexec::ThreadedDispatchAvailable() ? "true" : "false", cold.load_us,
-      cached.load_us, cold.launch_us, cached.launch_us,
-      static_cast<unsigned long long>(programs_compiled),
-      static_cast<unsigned long long>(tier1_promotions),
-      static_cast<unsigned long long>(tier2_promotions),
-      static_cast<unsigned long long>(tier1_instructions),
-      static_cast<unsigned long long>(tier2_instructions),
-      quick ? "true" : "false");
-  std::printf("BENCH_interpreter.json %s\n", json);
-  std::ofstream("BENCH_interpreter.json") << json << "\n";
+  // ---- phase 3: tracing overhead gate -------------------------------------
+  // The identical manager-path launch workload with the recorder off vs on.
+  // Tracing is per-request spans (client span, dispatch span, queue wait,
+  // execution segment) — never per-instruction — so throughput must stay
+  // within 5% of the untraced run.
+  const int trace_reps = quick ? 3 : 5;
+  const int trace_launches = quick ? 4 : 12;
+  const auto traced_mips = [&](bool tracing) {
+    simcuda::Gpu trace_gpu(simgpu::QuadroRtxA4000());
+    guardian::ManagerOptions trace_options;
+    trace_options.tracing_enabled = tracing;
+    guardian::GrdManager trace_manager(&trace_gpu, trace_options);
+    // The manager ctor only ever *enables* the recorder; the off-phase must
+    // turn it off explicitly (a previous phase may have left it on).
+    obs::TraceRecorder::Instance().Enable(tracing);
+    guardian::LoopbackTransport trace_transport(&trace_manager);
+    auto tenant = guardian::GrdLib::Connect(&trace_transport, 8ull << 20);
+    if (!tenant.ok()) {
+      std::printf("tracing-phase connect failed\n");
+      std::exit(1);
+    }
+    auto module = tenant->cuModuleLoadData(kAluPtx);
+    if (!module.ok()) {
+      std::printf("tracing-phase load failed: %s\n",
+                  module.status().ToString().c_str());
+      std::exit(1);
+    }
+    auto fn = tenant->cuModuleGetFunction(*module, "aluspin");
+    if (!fn.ok()) {
+      std::printf("tracing-phase get function failed: %s\n",
+                  fn.status().ToString().c_str());
+      std::exit(1);
+    }
+    simcuda::LaunchConfig config;
+    config.grid = {4, 1, 1};
+    config.block = {64, 1, 1};
+    const std::vector<KernelArg> args = {KernelArg::U64(0x10000),
+                                         KernelArg::U32(iters)};
+    const auto launch_all = [&] {
+      for (int l = 0; l < trace_launches; ++l) {
+        const Status launched = tenant->cudaLaunchKernel(*fn, config, args);
+        if (!launched.ok()) {
+          std::printf("tracing-phase launch failed: %s\n",
+                      launched.ToString().c_str());
+          std::exit(1);
+        }
+      }
+    };
+    launch_all();  // warm the sandbox cache + program lookup
+    using Clock = std::chrono::steady_clock;
+    double best = 0.0;
+    for (int rep = 0; rep < trace_reps; ++rep) {
+      const auto& stats = trace_manager.stats();
+      const auto retired = [&stats] {
+        return stats.tier_instructions[0].load() +
+               stats.tier_instructions[1].load() +
+               stats.tier_instructions[2].load();
+      };
+      const std::uint64_t before = retired();
+      const auto begin = Clock::now();
+      launch_all();
+      const double secs =
+          std::chrono::duration<double>(Clock::now() - begin).count();
+      const double mips =
+          secs > 0.0 ? static_cast<double>(retired() - before) / secs / 1e6
+                     : 0.0;
+      best = std::max(best, mips);
+    }
+    return best;
+  };
+  const double tracing_off_mips = traced_mips(false);
+  const double tracing_on_mips = traced_mips(true);
+  obs::TraceRecorder::Instance().Enable(false);
+  const double tracing_ratio = ratio(tracing_on_mips, tracing_off_mips);
+  std::printf("\ntracing overhead (manager path, %d launches x %d reps): "
+              "off %.1f Minstr/s, on %.1f Minstr/s (%.3fx)\n",
+              trace_launches, trace_reps, tracing_off_mips, tracing_on_mips,
+              tracing_ratio);
+
+  bench::JsonLine json;
+  json.Add("alu_cold_mips", alu.cold.mips, 2)
+      .Add("alu_compiled_mips", alu.compiled.mips, 2)
+      .Add("alu_fused_mips", alu.fused.mips, 2)
+      .Add("alu_threaded_mips", alu.threaded.mips, 2)
+      .Add("alu_speedup", alu_speedup, 2)
+      .Add("alu_tier_speedup", alu_tier_speedup, 2)
+      .Add("mem_cold_mips", mem.cold.mips, 2)
+      .Add("mem_compiled_mips", mem.compiled.mips, 2)
+      .Add("mem_fused_mips", mem.fused.mips, 2)
+      .Add("mem_threaded_mips", mem.threaded.mips, 2)
+      .Add("mem_speedup", mem_speedup, 2)
+      .Add("mem_tier_speedup", mem_tier_speedup, 2)
+      .Add("threaded_dispatch", ptxexec::ThreadedDispatchAvailable())
+      .Add("cold_load_us", cold.load_us, 1)
+      .Add("cached_load_us", cached.load_us, 1)
+      .Add("cold_first_launch_us", cold.launch_us, 1)
+      .Add("cached_first_launch_us", cached.launch_us, 1)
+      .Add("programs_compiled", programs_compiled)
+      .Add("tier1_promotions", tier1_promotions)
+      .Add("tier2_promotions", tier2_promotions)
+      .Add("tier1_instructions", tier1_instructions)
+      .Add("tier2_instructions", tier2_instructions)
+      .Add("tracing_off_mips", tracing_off_mips, 2)
+      .Add("tracing_on_mips", tracing_on_mips, 2)
+      .Add("tracing_overhead_ratio", tracing_ratio, 3)
+      .Add("quick", quick);
+  json.Emit("interpreter");
 
   bool ok = true;
   if (alu_speedup < 3.0) {
@@ -399,6 +483,11 @@ int main() {
                 "tier1=%llu tier2=%llu\n",
                 static_cast<unsigned long long>(tier1_instructions),
                 static_cast<unsigned long long>(tier2_instructions));
+    ok = false;
+  }
+  if (tracing_ratio < 0.95) {
+    std::printf("FAIL: tracing-on throughput %.3fx of tracing-off < 0.95x\n",
+                tracing_ratio);
     ok = false;
   }
   return ok ? 0 : 1;

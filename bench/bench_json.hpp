@@ -1,0 +1,81 @@
+// Shared emission of the machine-readable BENCH_*.json lines.
+//
+// Every bench used to hand-roll one giant snprintf; the builder keeps the
+// exact output contract — keys in insertion order, fixed printf precision,
+// one `BENCH_<name>.json {...}` line on stdout AND the same JSON written to
+// ./BENCH_<name>.json — while making "add a field" a one-liner.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <type_traits>
+
+namespace grd::bench {
+
+class JsonLine {
+ public:
+  // Fixed-point double with an explicit precision, e.g. Add("p99_ms", v, 3)
+  // renders "\"p99_ms\":1.234" exactly like the old %.3f emission.
+  JsonLine& Add(const char* key, double value, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    Key(key);
+    body_ += buf;
+    return *this;
+  }
+  // Any integer type except bool (the template beats the bool overload for
+  // them, so a uint32_t counter can never silently render as true/false).
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonLine& Add(const char* key, T value) {
+    char buf[32];
+    if constexpr (std::is_signed_v<T>)
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    else
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(value));
+    Key(key);
+    body_ += buf;
+    return *this;
+  }
+  JsonLine& Add(const char* key, bool value) {
+    Key(key);
+    body_ += value ? "true" : "false";
+    return *this;
+  }
+  JsonLine& AddString(const char* key, const std::string& value) {
+    Key(key);
+    body_ += '"';
+    for (const char c : value) {
+      if (c == '"' || c == '\\') body_ += '\\';
+      body_ += c;
+    }
+    body_ += '"';
+    return *this;
+  }
+
+  std::string Build() const { return "{" + body_ + "}"; }
+
+  // The emission contract: stdout line for the CI artifact splitter plus
+  // the file for local runs. `name` is the stem, e.g. "interpreter".
+  void Emit(const char* name) const {
+    const std::string json = Build();
+    std::printf("BENCH_%s.json %s\n", name, json.c_str());
+    std::ofstream(std::string("BENCH_") + name + ".json") << json << "\n";
+  }
+
+ private:
+  void Key(const char* key) {
+    if (!body_.empty()) body_ += ',';
+    body_ += '"';
+    body_ += key;
+    body_ += "\":";
+  }
+
+  std::string body_;
+};
+
+}  // namespace grd::bench

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "guardian/grdlib.hpp"
 #include "guardian/manager.hpp"
 #include "guardian/transport.hpp"
@@ -198,17 +199,17 @@ int main() {
                   : 0.0);
 
   // Machine-readable line for cross-PR perf tracking.
-  std::printf("BENCH_preemption.json {\"hp_p50_ms\":%.3f,\"hp_p99_ms\":%.3f,"
-              "\"hp_p50_baseline_ms\":%.3f,\"hp_p99_baseline_ms\":%.3f,"
-              "\"batch_makespan_ms\":%.3f,\"batch_makespan_baseline_ms\":%.3f,"
-              "\"preemptions\":%llu,\"resumes\":%llu,"
-              "\"checkpoint_bytes\":%llu}\n",
-              preempt.hp_p50_ms, preempt.hp_p99_ms, baseline.hp_p50_ms,
-              baseline.hp_p99_ms, preempt.batch_makespan_ms,
-              baseline.batch_makespan_ms,
-              static_cast<unsigned long long>(preempt.preemptions),
-              static_cast<unsigned long long>(preempt.resumes),
-              static_cast<unsigned long long>(preempt.checkpoint_bytes));
+  bench::JsonLine json;
+  json.Add("hp_p50_ms", preempt.hp_p50_ms, 3)
+      .Add("hp_p99_ms", preempt.hp_p99_ms, 3)
+      .Add("hp_p50_baseline_ms", baseline.hp_p50_ms, 3)
+      .Add("hp_p99_baseline_ms", baseline.hp_p99_ms, 3)
+      .Add("batch_makespan_ms", preempt.batch_makespan_ms, 3)
+      .Add("batch_makespan_baseline_ms", baseline.batch_makespan_ms, 3)
+      .Add("preemptions", preempt.preemptions)
+      .Add("resumes", preempt.resumes)
+      .Add("checkpoint_bytes", preempt.checkpoint_bytes);
+  json.Emit("preemption");
 
   const std::uint64_t expected_blocks =
       static_cast<std::uint64_t>(kBatchKernels) * (kBatchElems / kBatchBlock) +

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "guardian/grdlib.hpp"
 #include "guardian/manager.hpp"
 #include "guardian/transport.hpp"
@@ -111,18 +112,14 @@ int main() {
   if (!bounded_ok) std::printf("FAIL: eviction accounting off\n");
 
   // Machine-readable line for cross-PR perf tracking.
-  std::printf("BENCH_sandbox_cache.json {\"first_load_us\":%.1f,"
-              "\"cached_load_us\":%.1f,\"modules_patched\":%llu,"
-              "\"programs_compiled\":%llu,\"evictions\":%llu,"
-              "\"bytes_reclaimed\":%llu}\n",
-              first_us, cached_us,
-              static_cast<unsigned long long>(
-                  manager.stats().ptx_modules_patched),
-              static_cast<unsigned long long>(
-                  manager.stats().ptx_programs_compiled),
-              static_cast<unsigned long long>(
-                  bounded.stats().sandbox_cache_evictions),
-              static_cast<unsigned long long>(
-                  bounded.stats().sandbox_cache_bytes_reclaimed));
+  bench::JsonLine json;
+  json.Add("first_load_us", first_us, 1)
+      .Add("cached_load_us", cached_us, 1)
+      .Add("modules_patched", manager.stats().ptx_modules_patched.load())
+      .Add("programs_compiled", manager.stats().ptx_programs_compiled.load())
+      .Add("evictions", bounded.stats().sandbox_cache_evictions.load())
+      .Add("bytes_reclaimed",
+           bounded.stats().sandbox_cache_bytes_reclaimed.load());
+  json.Emit("sandbox_cache");
   return amortized && bounded_ok ? 0 : 1;
 }

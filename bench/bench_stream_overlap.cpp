@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "guardian/grdlib.hpp"
 #include "guardian/manager.hpp"
 #include "guardian/transport.hpp"
@@ -132,15 +133,17 @@ int main() {
                   : 0.0);
 
   // Machine-readable line for cross-PR perf tracking.
-  std::printf("BENCH_stream_overlap.json {\"makespan_serialized_ms\":%.3f,"
-              "\"makespan_scheduled_ms\":%.3f,\"speedup\":%.3f,"
-              "\"peak_resident\":%llu,\"peak_sms\":%llu}\n",
-              serialized.makespan_ms, scheduled.makespan_ms,
-              scheduled.makespan_ms > 0.0
-                  ? serialized.makespan_ms / scheduled.makespan_ms
-                  : 0.0,
-              static_cast<unsigned long long>(scheduled.peak_resident),
-              static_cast<unsigned long long>(scheduled.peak_sms));
+  grd::bench::JsonLine json;
+  json.Add("makespan_serialized_ms", serialized.makespan_ms, 3)
+      .Add("makespan_scheduled_ms", scheduled.makespan_ms, 3)
+      .Add("speedup",
+           scheduled.makespan_ms > 0.0
+               ? serialized.makespan_ms / scheduled.makespan_ms
+               : 0.0,
+           3)
+      .Add("peak_resident", scheduled.peak_resident)
+      .Add("peak_sms", scheduled.peak_sms);
+  json.Emit("stream_overlap");
 
   const bool overlapped = scheduled.peak_resident >= 2;
   const bool faster = scheduled.makespan_ms < serialized.makespan_ms;

@@ -11,6 +11,10 @@
 //  4. Priority preemption: a kRealtime tenant's kernel revokes a kBatch
 //     tenant's full-device kernel at a safe point instead of queueing
 //     behind it; the batch kernel resumes from its checkpoint.
+//
+// Runs with tracing enabled and exports every span — client call, dispatch,
+// queue wait, preemption and per-tier execution — to ./trace.json, loadable
+// in Perfetto / chrome://tracing.
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -20,6 +24,7 @@
 #include "guardian/grdlib.hpp"
 #include "guardian/manager.hpp"
 #include "guardian/transport.hpp"
+#include "obs/trace.hpp"
 #include "ptx/generator.hpp"
 #include "ptx/printer.hpp"
 #include "simgpu/device_spec.hpp"
@@ -39,6 +44,7 @@ int main() {
   // Dilate modeled device time so the batch kernel of section 4 is long
   // enough to be preempted mid-flight.
   options.device_time_ns_per_cycle = 200.0;
+  options.tracing_enabled = true;
   guardian::GrdManager manager(&gpu, options);
   guardian::LoopbackTransport transport(&manager);
 
@@ -184,5 +190,13 @@ LOOP:
 
   std::printf("\n5. structured stats export (ManagerStats::ToJson)\n");
   std::printf("MANAGER_STATS %s\n", manager.stats().ToJson().c_str());
+
+  std::printf("\n6. trace export (Chrome trace-event JSON)\n");
+  const Status exported = obs::TraceExporter::WriteFile("trace.json");
+  if (!exported.ok()) {
+    std::printf("   trace export failed: %s\n", exported.ToString().c_str());
+    return 1;
+  }
+  std::printf("   wrote trace.json — open in Perfetto or chrome://tracing\n");
   return 0;
 }

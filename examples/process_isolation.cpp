@@ -33,6 +33,7 @@
 #include "guardian/process_server.hpp"
 #include "guardian/shared_state.hpp"
 #include "guardian/transport.hpp"
+#include "obs/trace.hpp"
 #include "ptx/generator.hpp"
 #include "ptx/printer.hpp"
 
@@ -157,6 +158,10 @@ int main() {
   options.workers = 2;
   options.channels = 3;
   options.manager.max_kernel_instructions = 1ull << 40;  // spin until killed
+  // Tracing through the pool: every process (workers, forked tenants, this
+  // supervisor) emits spans into the SharedRegion arena, so the trace
+  // export below still holds the killed worker's last, unterminated span.
+  options.manager.tracing_enabled = true;
   auto server = guardian::ProcessServer::Create(options);
   if (!server.ok()) return 1;
   if (!(*server)->Start().ok()) return 1;
@@ -226,9 +231,17 @@ int main() {
                   state.counters().workers_respawned.load()));
   std::printf("MANAGER_STATS %s\n", state.stats().ToJson().c_str());
 
+  // Flush every span the pool committed — including the killed worker's
+  // begin-only exec span, which renders as an unterminated slice.
+  const Status exported = obs::TraceExporter::WriteFile("trace.json");
+  if (exported.ok())
+    std::printf("wrote trace.json (spans of the killed worker included)\n");
+  obs::TraceRecorder::Instance().Reset();  // unbind before the region dies
+
   const bool ok = ExitCode(status1) == 0 && ExitCode(status2) == 0 &&
                   ExitCode(status3) == 0 &&
-                  state.counters().workers_respawned.load() >= 1;
+                  state.counters().workers_respawned.load() >= 1 &&
+                  exported.ok();
   (*server)->Stop();
   close(ready[0]);
   return ok ? 0 : 1;

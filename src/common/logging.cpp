@@ -1,20 +1,103 @@
 #include "common/logging.hpp"
 
+#include <time.h>
+
+#include <cstdio>
+#include <cstdlib>
+
 namespace grd {
+namespace {
+
+std::uint64_t MonotonicNs() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+bool ParseLevelName(std::string_view name, LogLevel* out) {
+  if (name == "debug") *out = LogLevel::kDebug;
+  else if (name == "info") *out = LogLevel::kInfo;
+  else if (name == "warn" || name == "warning") *out = LogLevel::kWarn;
+  else if (name == "error") *out = LogLevel::kError;
+  else return false;
+  return true;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+    s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+LogSpec ParseLogSpec(std::string_view spec) {
+  LogSpec out;
+  while (!spec.empty()) {
+    const std::size_t comma = spec.find(',');
+    std::string_view entry = Trim(spec.substr(0, comma));
+    spec = comma == std::string_view::npos ? std::string_view{}
+                                           : spec.substr(comma + 1);
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    LogLevel level;
+    if (eq == std::string_view::npos) {
+      if (ParseLevelName(entry, &level)) {
+        out.has_global = true;
+        out.global = level;
+      }
+      continue;
+    }
+    const std::string_view component = Trim(entry.substr(0, eq));
+    if (component.empty()) continue;
+    if (ParseLevelName(Trim(entry.substr(eq + 1)), &level))
+      out.components.emplace_back(std::string(component), level);
+  }
+  return out;
+}
 
 Logger& Logger::Instance() {
   static Logger logger;
   return logger;
 }
 
+Logger::Logger() : start_ns_(MonotonicNs()) {
+  if (const char* env = std::getenv("GRD_LOG")) ApplySpec(ParseLogSpec(env));
+}
+
+void Logger::ApplySpec(const LogSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spec.has_global) level_ = spec.global;
+  overrides_ = spec.components;
+}
+
+LogLevel Logger::LevelFor(std::string_view component) const {
+  // Overrides are few (one per GRD_LOG entry); a linear scan beats a map
+  // for the sizes involved and keeps this callable before main().
+  for (const auto& [name, level] : overrides_)
+    if (name == component) return level;
+  return level_;
+}
+
 void Logger::Write(LogLevel level, std::string_view component,
                    std::string_view msg) {
-  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  if (static_cast<int>(level) < static_cast<int>(LevelFor(component))) return;
   static constexpr std::string_view kNames[] = {"DEBUG", "INFO", "WARN",
                                                 "ERROR"};
+  // Monotonic seconds since process start, microsecond resolution: the same
+  // clock the trace spans use, so log lines line up with trace.json.
+  const std::uint64_t elapsed_ns = MonotonicNs() - start_ns_;
+  char stamp[32];
+  std::snprintf(stamp, sizeof(stamp), "%llu.%06llu",
+                static_cast<unsigned long long>(elapsed_ns / 1'000'000'000ull),
+                static_cast<unsigned long long>((elapsed_ns / 1000ull) %
+                                                1'000'000ull));
   std::lock_guard<std::mutex> lock(mu_);
-  std::clog << '[' << kNames[static_cast<int>(level)] << "] [" << component
-            << "] " << msg << '\n';
+  std::clog << '[' << stamp << "] [" << kNames[static_cast<int>(level)]
+            << "] [" << component << "] " << msg << '\n';
 }
 
 }  // namespace grd

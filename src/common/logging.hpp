@@ -1,15 +1,43 @@
 // Minimal leveled logger. Defaults to WARN so tests/benches stay quiet; the
 // examples raise it to INFO to narrate the Guardian call flow.
+//
+// Every line is prefixed with a monotonic timestamp (seconds since process
+// start, microsecond resolution) so log lines correlate with trace spans —
+// both derive from CLOCK_MONOTONIC.
+//
+// Levels come from the `GRD_LOG` environment variable, parsed once at first
+// use. The spec is a comma-separated list of entries; a bare level sets the
+// global floor and `component=level` overrides one component:
+//
+//   GRD_LOG=debug                          everything at DEBUG
+//   GRD_LOG=ManagerServer=debug            only ManagerServer verbose
+//   GRD_LOG=error,grdManager=debug         quiet except grdManager
 #pragma once
 
+#include <cstdint>
 #include <iostream>
 #include <mutex>
 #include <sstream>
+#include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace grd {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Parsed form of a GRD_LOG spec (see header comment for the grammar).
+struct LogSpec {
+  bool has_global = false;
+  LogLevel global = LogLevel::kWarn;
+  std::vector<std::pair<std::string, LogLevel>> components;
+};
+
+// Parses "warn,ManagerServer=debug"-style specs. Unknown level names and
+// malformed entries are skipped, never fatal: a bad GRD_LOG must not take
+// the process down, it just logs at the defaults.
+LogSpec ParseLogSpec(std::string_view spec);
 
 class Logger {
  public:
@@ -18,11 +46,25 @@ class Logger {
   void set_level(LogLevel level) noexcept { level_ = level; }
   LogLevel level() const noexcept { return level_; }
 
+  // The effective threshold for one component (override, else global).
+  LogLevel LevelFor(std::string_view component) const;
+
+  // Replaces the per-component overrides (and the global level if the spec
+  // carries one). Called with the GRD_LOG value at startup; tests call it
+  // directly.
+  void ApplySpec(const LogSpec& spec);
+
   void Write(LogLevel level, std::string_view component, std::string_view msg);
 
+  // Nanoseconds of CLOCK_MONOTONIC at process start (first Logger use);
+  // timestamps are rendered relative to it.
+  std::uint64_t start_ns() const noexcept { return start_ns_; }
+
  private:
-  Logger() = default;
+  Logger();
   LogLevel level_ = LogLevel::kWarn;
+  std::vector<std::pair<std::string, LogLevel>> overrides_;
+  std::uint64_t start_ns_ = 0;
   std::mutex mu_;
 };
 

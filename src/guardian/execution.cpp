@@ -1,114 +1,74 @@
-// Structured export of the execution layer's counters (ManagerStats::ToJson).
+// Structured export of the execution layer's counters (ManagerStats::ToJson):
+// every cell is registered with an obs::MetricsRegistry in declaration order
+// and rendered from there, so the JSON byte layout is exactly what the
+// pre-registry hand-rolled emitter produced and the same registration drives
+// the Prometheus text dump.
 #include "guardian/execution.hpp"
 
 #include <string>
 
+#include "obs/metrics.hpp"
+
 namespace grd::guardian {
-namespace {
 
-void AppendField(std::string* out, const char* name, std::uint64_t value,
-                 bool* first) {
-  if (!*first) out->push_back(',');
-  *first = false;
-  out->append("\"");
-  out->append(name);
-  out->append("\":");
-  out->append(std::to_string(value));
+void ManagerStats::BindTo(obs::MetricsRegistry* registry) const {
+  registry->Counter("launches", &launches);
+  registry->Counter("sandboxed_launches", &sandboxed_launches);
+  registry->Counter("native_launches", &native_launches);
+  registry->Counter("lookup_cycles", &lookup_cycles);
+  registry->Counter("augment_cycles", &augment_cycles);
+  registry->Counter("transfers_checked", &transfers_checked);
+  registry->Counter("transfers_rejected", &transfers_rejected);
+  registry->Counter("faults_contained", &faults_contained);
+  registry->Counter("responses_dropped", &responses_dropped);
+  registry->Counter("ptx_modules_patched", &ptx_modules_patched);
+  registry->Counter("ptx_cache_hits", &ptx_cache_hits);
+  registry->Counter("ptx_programs_compiled", &ptx_programs_compiled);
+  registry->Counter("guards_elided", &guards_elided);
+  registry->Counter("guards_hoisted", &guards_hoisted);
+  registry->Counter("loop_range_checks", &loop_range_checks);
+  registry->Counter("sandbox_cache_evictions", &sandbox_cache_evictions);
+  registry->Counter("sandbox_cache_bytes_reclaimed",
+                    &sandbox_cache_bytes_reclaimed);
+  registry->Counter("kernels_enqueued", &kernels_enqueued);
+  registry->Counter("memcpys_enqueued", &memcpys_enqueued);
+  registry->Counter("scheduler_ops_completed", &scheduler_ops_completed);
+  registry->Gauge("peak_resident_kernels", &peak_resident_kernels);
+  registry->Gauge("peak_sms_in_use", &peak_sms_in_use);
+  registry->Gauge("peak_queue_depth", &peak_queue_depth);
+  registry->Counter("batches_decoded", &batches_decoded);
+  registry->Counter("batched_ops", &batched_ops);
+  registry->Counter("batch_responses_compacted", &batch_responses_compacted);
+  registry->Counter("preemptions", &preemptions);
+  registry->Counter("preemption_resumes", &preemption_resumes);
+  registry->Counter("checkpoint_bytes_saved", &checkpoint_bytes_saved);
+  registry->Counter("budget_requeues", &budget_requeues);
+  registry->Counter("kernel_blocks_executed", &kernel_blocks_executed);
+  registry->Counter("tier1_promotions", &tier1_promotions);
+  registry->Counter("tier2_promotions", &tier2_promotions);
+  registry->Counter("superinstructions_fused", &superinstructions_fused);
+  registry->Counter("tier0_instructions", &tier_instructions[0]);
+  registry->Counter("tier1_instructions", &tier_instructions[1]);
+  registry->Counter("tier2_instructions", &tier_instructions[2]);
+  registry->Counter("ring_messages_read", &ring_messages_read);
+  registry->Counter("ring_messages_written", &ring_messages_written);
+  for (int cls = 0; cls < kPriorityClassCount; ++cls)
+    registry->Histogram("wait_histograms",
+                        std::string(PriorityClassName(
+                            static_cast<PriorityClass>(cls))),
+                        &wait_hist[cls]);
 }
-
-void AppendCounter(std::string* out, const char* name,
-                   const std::atomic<std::uint64_t>& counter, bool* first) {
-  AppendField(out, name, counter.load(std::memory_order_relaxed), first);
-}
-
-void AppendHistogram(std::string* out, const WaitHistogram& hist) {
-  bool first = true;
-  out->push_back('{');
-  AppendField(out, "count", hist.count.load(std::memory_order_relaxed),
-              &first);
-  AppendField(out, "total_ns", hist.total_ns.load(std::memory_order_relaxed),
-              &first);
-  AppendField(out, "max_ns", hist.max_ns.load(std::memory_order_relaxed),
-              &first);
-  AppendField(out, "p50_ns", hist.PercentileNs(0.50), &first);
-  AppendField(out, "p99_ns", hist.PercentileNs(0.99), &first);
-  // Populated log2 buckets only: bucket i counts waits in [2^i, 2^(i+1)) µs.
-  out->append(",\"buckets_us_log2\":{");
-  bool first_bucket = true;
-  for (int i = 0; i < WaitHistogram::kBuckets; ++i) {
-    const std::uint64_t n = hist.bucket[i].load(std::memory_order_relaxed);
-    if (n == 0) continue;
-    if (!first_bucket) out->push_back(',');
-    first_bucket = false;
-    out->append("\"");
-    out->append(std::to_string(i));
-    out->append("\":");
-    out->append(std::to_string(n));
-  }
-  out->append("}}");
-}
-
-}  // namespace
 
 std::string ManagerStats::ToJson() const {
-  std::string out;
-  out.reserve(1024);
-  out.push_back('{');
-  bool first = true;
-  AppendCounter(&out, "launches", launches, &first);
-  AppendCounter(&out, "sandboxed_launches", sandboxed_launches, &first);
-  AppendCounter(&out, "native_launches", native_launches, &first);
-  AppendCounter(&out, "lookup_cycles", lookup_cycles, &first);
-  AppendCounter(&out, "augment_cycles", augment_cycles, &first);
-  AppendCounter(&out, "transfers_checked", transfers_checked, &first);
-  AppendCounter(&out, "transfers_rejected", transfers_rejected, &first);
-  AppendCounter(&out, "faults_contained", faults_contained, &first);
-  AppendCounter(&out, "responses_dropped", responses_dropped, &first);
-  AppendCounter(&out, "ptx_modules_patched", ptx_modules_patched, &first);
-  AppendCounter(&out, "ptx_cache_hits", ptx_cache_hits, &first);
-  AppendCounter(&out, "ptx_programs_compiled", ptx_programs_compiled, &first);
-  AppendCounter(&out, "guards_elided", guards_elided, &first);
-  AppendCounter(&out, "guards_hoisted", guards_hoisted, &first);
-  AppendCounter(&out, "loop_range_checks", loop_range_checks, &first);
-  AppendCounter(&out, "sandbox_cache_evictions", sandbox_cache_evictions,
-                &first);
-  AppendCounter(&out, "sandbox_cache_bytes_reclaimed",
-                sandbox_cache_bytes_reclaimed, &first);
-  AppendCounter(&out, "kernels_enqueued", kernels_enqueued, &first);
-  AppendCounter(&out, "memcpys_enqueued", memcpys_enqueued, &first);
-  AppendCounter(&out, "scheduler_ops_completed", scheduler_ops_completed,
-                &first);
-  AppendCounter(&out, "peak_resident_kernels", peak_resident_kernels, &first);
-  AppendCounter(&out, "peak_sms_in_use", peak_sms_in_use, &first);
-  AppendCounter(&out, "peak_queue_depth", peak_queue_depth, &first);
-  AppendCounter(&out, "batches_decoded", batches_decoded, &first);
-  AppendCounter(&out, "batched_ops", batched_ops, &first);
-  AppendCounter(&out, "batch_responses_compacted", batch_responses_compacted,
-                &first);
-  AppendCounter(&out, "preemptions", preemptions, &first);
-  AppendCounter(&out, "preemption_resumes", preemption_resumes, &first);
-  AppendCounter(&out, "checkpoint_bytes_saved", checkpoint_bytes_saved,
-                &first);
-  AppendCounter(&out, "budget_requeues", budget_requeues, &first);
-  AppendCounter(&out, "kernel_blocks_executed", kernel_blocks_executed,
-                &first);
-  AppendCounter(&out, "tier1_promotions", tier1_promotions, &first);
-  AppendCounter(&out, "tier2_promotions", tier2_promotions, &first);
-  AppendCounter(&out, "superinstructions_fused", superinstructions_fused,
-                &first);
-  AppendCounter(&out, "tier0_instructions", tier_instructions[0], &first);
-  AppendCounter(&out, "tier1_instructions", tier_instructions[1], &first);
-  AppendCounter(&out, "tier2_instructions", tier_instructions[2], &first);
-  out.append(",\"wait_histograms\":{");
-  for (int cls = 0; cls < kPriorityClassCount; ++cls) {
-    if (cls > 0) out.push_back(',');
-    out.append("\"");
-    out.append(PriorityClassName(static_cast<PriorityClass>(cls)));
-    out.append("\":");
-    AppendHistogram(&out, wait_hist[cls]);
-  }
-  out.append("}}");
-  return out;
+  obs::MetricsRegistry registry;
+  BindTo(&registry);
+  return registry.ToJson();
+}
+
+std::string ManagerStats::ToPrometheus() const {
+  obs::MetricsRegistry registry;
+  BindTo(&registry);
+  return registry.PrometheusText();
 }
 
 }  // namespace grd::guardian

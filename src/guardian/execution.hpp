@@ -93,6 +93,12 @@ struct ManagerOptions {
   // genuinely overlap in wall-clock time (bench_stream_overlap). 0 =
   // functional-only execution, no sleeps.
   double device_time_ns_per_cycle = 0.0;
+  // End-to-end request tracing (obs/trace.hpp): grdLib stamps a
+  // TraceContext into every request header and the manager emits spans for
+  // dispatch, queueing, patch/compile, admission, preemption and per-tier
+  // execution. Off by default; the disabled cost is one relaxed load per
+  // emission site (bench_interpreter gates the enabled cost at <= 5%).
+  bool tracing_enabled = false;
 };
 
 // Host-side cost counters backing Table 5, plus server health counters.
@@ -163,15 +169,32 @@ struct ManagerStats {
   std::atomic<std::uint64_t> tier2_promotions{0};
   std::atomic<std::uint64_t> superinstructions_fused{0};
   std::atomic<std::uint64_t> tier_instructions[3] = {};
+  // Shm-ring traffic served: requests consumed from / responses produced to
+  // client channels, counted by ManagerServer::ServeOne and the
+  // process-mode worker pump (including the supervisor's synthetic
+  // responses). Mirrors the per-ring ShmRing messages_read/messages_written
+  // words, aggregated pool-wide. Loopback transports never touch a ring, so
+  // both stay 0 there.
+  std::atomic<std::uint64_t> ring_messages_read{0};
+  std::atomic<std::uint64_t> ring_messages_written{0};
   // Launch-to-first-run wait time per priority class.
   WaitHistogram wait_hist[kPriorityClassCount];
 
+  // Registers every counter plus the per-class wait histograms (group
+  // "wait_histograms") with `registry`, in the declaration order above.
+  // The registry only references the cells; `this` must outlive it.
+  void BindTo(obs::MetricsRegistry* registry) const;
+
   // Structured export: every counter plus the per-class wait histograms
   // (count/total/max/p50/p99 and the populated log2 buckets) as one JSON
-  // object. Snapshot-consistent per field only (relaxed counters), which is
-  // all operators and the benches need. Benches/examples print this instead
-  // of ad-hoc field dumps.
+  // object, rendered through a MetricsRegistry (registration order keeps
+  // the historical byte layout). Snapshot-consistent per field only
+  // (relaxed counters), which is all operators and the benches need.
+  // Benches/examples print this instead of ad-hoc field dumps.
   std::string ToJson() const;
+
+  // The same cells in Prometheus text exposition format (grd_* metrics).
+  std::string ToPrometheus() const;
 };
 
 // Monotone-max update for ManagerStats peak/mirror counters: never lets a

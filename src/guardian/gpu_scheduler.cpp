@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "guardian/execution.hpp"
+#include "obs/trace.hpp"
 
 namespace grd::guardian {
 
@@ -38,6 +39,11 @@ struct GpuWorkItem {
   // this run *earned*, aging included); revocation eligibility is judged
   // against it, so a promoted kernel keeps its protection while running.
   int admitted_class = static_cast<int>(PriorityClass::kNormal);
+  // Trace context of the request that submitted this op (captured from the
+  // submitting thread): executor-side spans/instants — admission, the
+  // preemption engine's revoke/resume events, the body's own spans — stay
+  // correlated with the client request even though they run on executors.
+  obs::TraceContext trace;
 };
 
 class GpuStream {
@@ -105,6 +111,7 @@ GpuTicket GpuScheduler::Submit(GpuStream& stream, GpuTicket op,
     if (wait_on != nullptr)
       op->depends_on = wait_on->last_record;  // snapshot, CUDA semantics
     op->priority = stream.priority_;
+    op->trace = obs::CurrentContext();
     op->enqueue_time = std::chrono::steady_clock::now();
     stream.queue_.push_back(op);
     ++queued_ops_;
@@ -397,13 +404,16 @@ void GpuScheduler::ExecutorLoop() {
       UpdatePeaksLocked();
       if (!op->started) {
         op->started = true;
-        engine_.RecordKernelStart(
-            op->priority,
-            static_cast<std::uint64_t>(
-                std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    std::chrono::steady_clock::now() - op->enqueue_time)
-                    .count()));
+        const auto waited_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - op->enqueue_time)
+                .count());
+        engine_.RecordKernelStart(op->priority, waited_ns);
+        obs::TraceRecorder::Instance().EmitInstant(
+            "sched.admit", op->trace, waited_ns,
+            static_cast<std::uint64_t>(op->priority));
       } else if (op->preempt_count > 0) {
+        obs::ContextScope trace_scope(op->trace);
         engine_.RecordResume();
       }
     } else if (op->kind == Kind::kCopy) {
@@ -412,7 +422,14 @@ void GpuScheduler::ExecutorLoop() {
     lock.unlock();
     KernelSlot slot;
     slot.preempt_requested = &op->preempt_requested;
-    Status status = op->body ? op->body(slot) : OkStatus();
+    Status status;
+    {
+      // Run the body under the submitting request's trace context so its
+      // spans (and the preemption engine's budget-requeue instants) stay
+      // correlated across the executor handoff.
+      obs::ContextScope trace_scope(op->trace);
+      status = op->body ? op->body(slot) : OkStatus();
+    }
     lock.lock();
     if (op->kind == Kind::kKernel) {
       sms_in_use_ -= op->sm_footprint;
@@ -430,6 +447,7 @@ void GpuScheduler::ExecutorLoop() {
       op->state = State::kQueued;
       if (!slot.budget_trip) {
         ++op->preempt_count;
+        obs::ContextScope trace_scope(op->trace);
         engine_.RecordPreemption(slot.checkpoint_bytes);
       }
       stream->active_ = false;

@@ -1,6 +1,7 @@
 #include "guardian/grdlib.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace grd::guardian {
 
@@ -17,16 +18,29 @@ constexpr std::uint64_t kMaxPendingBytes = 256 * 1024;
 
 ipc::Writer GrdLib::NewRequest(Op op) const {
   Writer writer;
-  protocol::WriteHeader(writer, op, client_);
+  last_trace_ = protocol::WriteHeader(writer, op, client_);
+  last_trace_op_ = op;
+  last_trace_begin_ns_ = last_trace_.valid() ? obs::MonotonicNowNs() : 0;
   return writer;
 }
 
 Result<Reader> GrdLib::Call(Writer request, Bytes* response_storage) const {
+  // Copy the trace state now: FlushBatch below stamps its own envelope
+  // header and would clobber it.
+  const obs::TraceContext ctx = last_trace_;
+  const Op op = last_trace_op_;
+  const std::uint64_t begin_ns = last_trace_begin_ns_;
   // Any buffered async calls are ordered before this one; their errors
   // surface here (CUDA-style deferred async error reporting).
   GRD_RETURN_IF_ERROR(FlushBatch());
   GRD_ASSIGN_OR_RETURN(*response_storage,
                        transport_->Call(std::move(request).Take()));
+  if (ctx.valid()) {
+    char name[48];
+    std::snprintf(name, sizeof(name), "client.%s", protocol::OpName(op));
+    obs::TraceRecorder::Instance().EmitComplete(name, ctx, 0, begin_ns,
+                                                obs::MonotonicNowNs());
+  }
   return protocol::DecodeResponse(*response_storage);
 }
 
@@ -56,7 +70,10 @@ Status GrdLib::BufferAsync(Writer request) const {
 Status GrdLib::FlushBatch() const {
   if (pending_.empty()) return OkStatus();
   Writer envelope;
-  protocol::WriteHeader(envelope, Op::kBatch, client_);
+  const obs::TraceContext batch_ctx =
+      protocol::WriteHeader(envelope, Op::kBatch, client_);
+  const std::uint64_t batch_begin_ns =
+      batch_ctx.valid() ? obs::MonotonicNowNs() : 0;
   envelope.Put<std::uint32_t>(static_cast<std::uint32_t>(pending_.size()));
   for (const auto& sub : pending_) envelope.PutBlob(sub.data(), sub.size());
   const std::size_t sent = pending_.size();
@@ -64,6 +81,10 @@ Status GrdLib::FlushBatch() const {
   pending_bytes_ = 0;
   GRD_ASSIGN_OR_RETURN(Bytes response,
                        transport_->Call(std::move(envelope).Take()));
+  if (batch_ctx.valid())
+    obs::TraceRecorder::Instance().EmitComplete(
+        "client.Batch", batch_ctx, 0, batch_begin_ns, obs::MonotonicNowNs(),
+        sent);
   GRD_ASSIGN_OR_RETURN(Reader reader, protocol::DecodeResponse(response));
   ++batches_sent_;
   GRD_ASSIGN_OR_RETURN(std::uint8_t form, reader.Get<std::uint8_t>());

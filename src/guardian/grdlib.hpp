@@ -151,6 +151,11 @@ class GrdLib final : public simcuda::CudaApi {
   mutable std::vector<ipc::Bytes> pending_;
   mutable std::uint64_t pending_bytes_ = 0;
   mutable std::uint64_t batches_sent_ = 0;
+  // Trace context NewRequest stamped into the most recent header, so Call
+  // can close the matching client-side span (all zero when tracing is off).
+  mutable obs::TraceContext last_trace_;
+  mutable protocol::Op last_trace_op_{};
+  mutable std::uint64_t last_trace_begin_ns_ = 0;
   // Export tables are reconstructed once and cached (paper: grdLib provides
   // a minimal implementation of the hidden functions).
   mutable std::array<std::unique_ptr<simcuda::ExportTable>,

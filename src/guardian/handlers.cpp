@@ -12,6 +12,7 @@
 // sticky `failed` flag.
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -25,6 +26,7 @@
 #include "guardian/dispatch.hpp"
 #include "guardian/execution.hpp"
 #include "guardian/session.hpp"
+#include "obs/trace.hpp"
 #include "ptx/parser.hpp"
 #include "ptx/validator.hpp"
 #include "ptxexec/interpreter.hpp"
@@ -409,6 +411,7 @@ Result<Writer> ExecuteModuleLoad(HandlerContext& ctx, ModuleLoadReq& req) {
       ctx.exec.options.standalone_fast_path) {
     // A native (unfenced) launch is reachable: lower the unpatched kernels
     // too, once at load, so the native path never compiles per launch.
+    obs::ScopedSpan compile_span("module.compile.native");
     module.native_compiled = ptxexec::CompiledModule::Compile(native);
     ++ctx.exec.stats.ptx_programs_compiled;
   }
@@ -532,6 +535,8 @@ Result<Writer> ExecuteLaunch(HandlerContext& ctx, LaunchReq& req) {
     bool augmented = false;          // mask/base args appended exactly once
     bool counted = false;            // native/sandboxed counted exactly once
     bool budget_requeue_used = false;
+    bool queue_span_emitted = false; // queue-wait span closes exactly once
+    std::uint32_t exec_segments = 0; // span per (re)invocation of the body
     // Resolved programs, memoized per flavor so a preempted kernel's
     // resumes skip the by-name lookup (the native/sandboxed choice itself
     // stays per-invocation: the tenant count can change while suspended).
@@ -542,7 +547,15 @@ Result<Writer> ExecuteLaunch(HandlerContext& ctx, LaunchReq& req) {
   SessionRegistry* sessions = &ctx.sessions;
   const int footprint = simgpu::SmFootprint(
       exec.gpu->spec(), req.params.grid.Count(), req.params.block.Count());
-  auto body = [exec_ptr, sessions, session = ctx.session_ref,
+  // Trace anchors for the executor-side spans: the launch request's context
+  // and the enqueue timestamp (all zero when tracing is off).
+  const obs::TraceContext launch_ctx =
+      obs::TraceRecorder::Instance().enabled() ? obs::CurrentContext()
+                                               : obs::TraceContext{};
+  const std::uint64_t enqueue_ns =
+      launch_ctx.valid() ? obs::MonotonicNowNs() : 0;
+  auto body = [exec_ptr, sessions, session = ctx.session_ref, launch_ctx,
+               enqueue_ns,
                native_compiled = module.native_compiled,
                sandboxed_compiled = module.sandboxed_compiled,
                tiered_compiled = std::move(tiered_compiled), tier,
@@ -618,6 +631,39 @@ Result<Writer> ExecuteLaunch(HandlerContext& ctx, LaunchReq& req) {
     // The native fast path always runs the unfused program at tier 0; the
     // sandboxed path runs at this launch's decided tier.
     const int tier_idx = use_native ? 0 : static_cast<int>(tier);
+    // Tracing: close the queue-wait span on the first segment, then open a
+    // per-segment execution span. The 'B' record is committed eagerly so a
+    // worker killed mid-kernel still leaves evidence behind; the closing
+    // 'X' record replaces it in the export when the segment finishes.
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Instance();
+    obs::TraceContext exec_ctx{};
+    std::uint64_t exec_begin_ns = 0;
+    char exec_name[obs::SpanRecord::kNameCap + 1] = {0};
+    if (recorder.enabled() && launch_ctx.valid()) {
+      exec_begin_ns = obs::MonotonicNowNs();
+      if (!state->queue_span_emitted) {
+        state->queue_span_emitted = true;
+        recorder.EmitComplete(
+            "queue.wait",
+            obs::TraceContext{launch_ctx.trace_id, obs::NewSpanId()},
+            launch_ctx.span_id, enqueue_ns, exec_begin_ns);
+      }
+      std::snprintf(exec_name, sizeof(exec_name), "exec.t%d.%s", tier_idx,
+                    kernel.c_str());
+      exec_ctx = obs::TraceContext{launch_ctx.trace_id, obs::NewSpanId()};
+      recorder.EmitBegin(exec_name, exec_ctx, launch_ctx.span_id,
+                         exec_begin_ns, state->exec_segments);
+      ++state->exec_segments;
+    }
+    // Outcome codes for the closing span: 0 ok, 1 preempted, 2 budget
+    // requeue, 3 fault.
+    auto end_exec_span = [&](std::uint64_t instructions,
+                             std::uint64_t outcome) {
+      if (!exec_ctx.valid()) return;
+      recorder.EmitComplete(exec_name, exec_ctx, launch_ctx.span_id,
+                            exec_begin_ns, obs::MonotonicNowNs(),
+                            instructions, outcome);
+    };
     controls.after_block = [&ex, footprint, grid_blocks,
                             tier_idx](const ptxexec::ExecStats& delta) {
       ex.stats.kernel_blocks_executed.fetch_add(1, std::memory_order_relaxed);
@@ -664,6 +710,7 @@ Result<Writer> ExecuteLaunch(HandlerContext& ctx, LaunchReq& req) {
         // checkpoint accounting to the scheduler, which requeues the item.
         slot.preempted = true;
         slot.checkpoint_bytes = state->checkpoint.SizeBytes();
+        end_exec_span(0, 1);
         return run.status();
       }
       if (run.status().code() == StatusCode::kDeadlineExceeded &&
@@ -680,6 +727,7 @@ Result<Writer> ExecuteLaunch(HandlerContext& ctx, LaunchReq& req) {
             << "client " << session->id << " kernel " << kernel
             << " tripped the instruction budget; revoking and requeueing "
                "once before failing";
+        end_exec_span(0, 2);
         return run.status();
       }
       // Fault isolation: only the faulting client is terminated (§5 "OOB
@@ -691,8 +739,10 @@ Result<Writer> ExecuteLaunch(HandlerContext& ctx, LaunchReq& req) {
       GRD_LOG_WARN("grdManager")
           << "device fault in client " << session->id << " kernel " << kernel
           << ": " << run.status().ToString();
+      end_exec_span(0, 3);
       return run.status();
     }
+    end_exec_span(run->instructions, 0);
     return OkStatus();
   };
 
@@ -919,6 +969,11 @@ Result<Writer> RunBatch(HandlerContext& ctx, Reader& req) {
         response = protocol::EncodeError(Unimplemented("unknown op"));
       } else {
         ++ctx.exec.stats.batched_ops;
+        // Each sub-request was stamped with its own trace context at
+        // buffering time; dispatch it under that context so its spans do
+        // not fold into the envelope's request span.
+        obs::ContextScope sub_scope(header->trace);
+        obs::ScopedSpan sub_span(descriptor->name.c_str(), ctx.session->id);
         auto out = descriptor->run(ctx, sub);
         response = out.ok() ? protocol::EncodeOk(std::move(*out))
                             : protocol::EncodeError(out.status());

@@ -3,6 +3,7 @@
 #include <mutex>
 
 #include "guardian/shared_state.hpp"
+#include "obs/trace.hpp"
 
 namespace grd::guardian {
 
@@ -20,6 +21,10 @@ GrdManager::GrdManager(simcuda::Gpu* gpu, ManagerOptions options,
     sessions_.BindShared(shared, worker_index);
     exec_.bounds.BindShared(shared);
   }
+  // The recorder is process-wide; any manager asking for tracing turns it
+  // on (benches construct tracing-off managers alongside without toggling
+  // it back, so disabling is left to the owner of the process).
+  if (options.tracing_enabled) obs::TraceRecorder::Instance().Enable(true);
   RegisterBuiltinHandlers(dispatcher_);
 }
 
@@ -43,6 +48,11 @@ ipc::Bytes GrdManager::HandleRequest(const Bytes& request) {
   const HandlerDescriptor* descriptor = dispatcher_.Find(header->op);
   if (descriptor == nullptr)
     return protocol::EncodeError(Unimplemented("unknown op"));
+
+  // Dispatch under the client's trace context: the request span and every
+  // nested span (patch/compile, queueing, execution) carry its trace id.
+  obs::ContextScope trace_scope(header->trace);
+  obs::ScopedSpan request_span(descriptor->name.c_str(), header->client);
 
   HandlerContext ctx{exec_, sessions_, nullptr, nullptr, &dispatcher_};
 

@@ -69,6 +69,13 @@ class GrdManager {
   // Called by the transport when a response could not be delivered.
   void NoteDroppedResponse() noexcept { ++exec_.stats.responses_dropped; }
 
+  // Transport-layer accounting: one shm-ring message consumed / produced on
+  // behalf of this manager. Counted at the ring read/write sites themselves
+  // (ManagerServer sweeps and the process-mode worker pump) so the shared
+  // process-mode stats aggregate exactly, message by message.
+  void NoteRingRead() noexcept { ++exec_.stats.ring_messages_read; }
+  void NoteRingWritten() noexcept { ++exec_.stats.ring_messages_written; }
+
   // Session-scope priority class of `client` (kSetPriority scope 0), for the
   // ManagerServer's session-priority channel scheduling: ring pumping and
   // device admission share one notion of tenant priority. Unknown or

@@ -3,33 +3,9 @@
 #include <algorithm>
 
 #include "guardian/execution.hpp"
+#include "obs/trace.hpp"
 
 namespace grd::guardian {
-
-void WaitHistogram::Record(std::uint64_t wait_ns) {
-  int index = 0;
-  for (std::uint64_t us = wait_ns / 1'000; us > 1 && index < kBuckets - 1;
-       us >>= 1)
-    ++index;
-  bucket[index].fetch_add(1, std::memory_order_relaxed);
-  count.fetch_add(1, std::memory_order_relaxed);
-  total_ns.fetch_add(wait_ns, std::memory_order_relaxed);
-  BumpCounterMax(max_ns, wait_ns);
-}
-
-std::uint64_t WaitHistogram::PercentileNs(double p) const {
-  const std::uint64_t n = count.load(std::memory_order_relaxed);
-  if (n == 0) return 0;
-  p = std::clamp(p, 0.0, 1.0);
-  const auto rank = static_cast<std::uint64_t>(p * static_cast<double>(n - 1));
-  std::uint64_t seen = 0;
-  for (int i = 0; i < kBuckets; ++i) {
-    seen += bucket[i].load(std::memory_order_relaxed);
-    if (seen > rank)
-      return (std::uint64_t{1} << (i + 1)) * 1'000;  // bucket upper bound
-  }
-  return max_ns.load(std::memory_order_relaxed);
-}
 
 int PreemptionEngine::EffectiveClass(PriorityClass base,
                                      std::uint64_t waited_ns) const {
@@ -49,6 +25,8 @@ bool PreemptionEngine::MayPreempt(PriorityClass waiter_base,
 }
 
 void PreemptionEngine::RecordPreemption(std::uint64_t checkpoint_bytes) const {
+  obs::TraceRecorder::Instance().EmitInstant(
+      "preempt.revoke", obs::CurrentContext(), checkpoint_bytes);
   if (stats_ == nullptr) return;
   stats_->preemptions.fetch_add(1, std::memory_order_relaxed);
   stats_->checkpoint_bytes_saved.fetch_add(checkpoint_bytes,
@@ -56,6 +34,8 @@ void PreemptionEngine::RecordPreemption(std::uint64_t checkpoint_bytes) const {
 }
 
 void PreemptionEngine::RecordResume() const {
+  obs::TraceRecorder::Instance().EmitInstant("preempt.resume",
+                                             obs::CurrentContext());
   if (stats_ == nullptr) return;
   stats_->preemption_resumes.fetch_add(1, std::memory_order_relaxed);
 }

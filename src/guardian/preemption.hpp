@@ -23,6 +23,7 @@
 #include <cstdint>
 
 #include "guardian/protocol.hpp"
+#include "obs/metrics.hpp"
 
 namespace grd::guardian {
 
@@ -46,21 +47,10 @@ struct PreemptionConfig {
 
 // Lock-free log2-bucketed latency histogram (one per priority class in
 // ManagerStats): bucket i counts waits in [2^i, 2^(i+1)) microseconds,
-// bucket 0 additionally holds sub-microsecond waits.
-struct WaitHistogram {
-  static constexpr int kBuckets = 40;  // [2^39, 2^40) µs ≈ 6 days at the top
-
-  std::atomic<std::uint64_t> bucket[kBuckets] = {};
-  std::atomic<std::uint64_t> count{0};
-  std::atomic<std::uint64_t> total_ns{0};
-  std::atomic<std::uint64_t> max_ns{0};
-
-  void Record(std::uint64_t wait_ns);
-  // Upper bound (in ns) of the bucket containing the p-th percentile of the
-  // recorded waits; 0 when nothing was recorded. Snapshot-based: racing
-  // records may be partially visible, which is fine for telemetry.
-  std::uint64_t PercentileNs(double p) const;
-};
+// bucket 0 additionally holds sub-microsecond waits. Now the shared
+// obs::Log2Histogram (identical layout and semantics), so the metrics
+// registry can render it alongside every other cell.
+using WaitHistogram = obs::Log2Histogram;
 
 class PreemptionEngine {
  public:

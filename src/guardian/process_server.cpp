@@ -11,6 +11,7 @@
 #include "common/logging.hpp"
 #include "guardian/manager.hpp"
 #include "guardian/transport.hpp"
+#include "obs/trace.hpp"
 #include "simcuda/gpu.hpp"
 
 namespace grd::guardian {
@@ -75,6 +76,14 @@ ProcessServer::~ProcessServer() { Stop(); }
 Status ProcessServer::Start() {
   if (started_) return FailedPrecondition("process server already started");
   started_ = true;
+  // Bind the recorder to the SharedRegion span arena BEFORE forking: the
+  // children inherit the enabled flag and the (MAP_SHARED) arena pointer,
+  // so their spans land where the parent can flush them even after a
+  // SIGKILL mid-kernel.
+  if (options_.manager.tracing_enabled) {
+    obs::TraceRecorder::Instance().Enable(true);
+    obs::TraceRecorder::Instance().BindArena(state_->span_arena());
+  }
   for (std::uint32_t i = 0; i < options_.workers; ++i)
     GRD_RETURN_IF_ERROR(SpawnWorker(i));
   supervisor_ = std::thread([this] { SuperviseLoop(); });
@@ -122,6 +131,7 @@ void ProcessServer::WorkerMain(std::uint32_t index) {
         auto request = owned[c]->request().TryRead();
         if (!request.ok()) continue;
         ++served;
+        manager.NoteRingRead();
         {
           // Serving-policy hint mirrored into the region (threaded twin:
           // ManagerServer::Entry::last_client).
@@ -132,7 +142,9 @@ void ProcessServer::WorkerMain(std::uint32_t index) {
                 .last_client.store(header->client, std::memory_order_relaxed);
         }
         const ipc::Bytes response = manager.HandleRequest(*request);
-        if (!owned[c]->response().Write(response).ok())
+        if (owned[c]->response().Write(response).ok())
+          manager.NoteRingWritten();
+        else
           manager.NoteDroppedResponse();
       }
       if (served > 0) {
@@ -183,6 +195,9 @@ void ProcessServer::WriteSyntheticResponses(std::uint32_t worker) {
       if (!channel.response().Write(error).ok()) break;
       state_->counters().synthetic_responses.fetch_add(
           1, std::memory_order_relaxed);
+      // The synthetic response is a ring message like any other; keep the
+      // shared write counter exact so the stats survive worker death.
+      ++state_->stats().ring_messages_written;
     }
   }
 }
@@ -204,6 +219,11 @@ void ProcessServer::HandleWorkerDeath(std::uint32_t index, int wait_status) {
   state_->AuditAfterWorkerDeath();
   const std::size_t failed = state_->FailSessionsOfWorker(index);
   WriteSyntheticResponses(index);
+  // Marks the death in the trace next to whatever unterminated 'B' spans
+  // the worker left in the shared arena.
+  obs::TraceRecorder::Instance().EmitInstant("worker.killed",
+                                             obs::CurrentContext(), index,
+                                             failed);
   GRD_LOG_WARN("ProcessServer")
       << "worker " << index << " died ("
       << (WIFSIGNALED(wait_status)

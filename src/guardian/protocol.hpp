@@ -11,6 +11,7 @@
 
 #include "common/status.hpp"
 #include "ipc/serializer.hpp"
+#include "obs/trace.hpp"
 
 namespace grd::guardian::protocol {
 
@@ -83,14 +84,67 @@ inline const char* PriorityClassName(PriorityClass cls) {
 // never produce an envelope the manager rejects wholesale.
 inline constexpr std::uint32_t kMaxBatchOps = 64;
 
+// Stable wire-op names (trace span labels, diagnostics).
+inline const char* OpName(Op op) {
+  switch (op) {
+    case Op::kRegisterClient: return "RegisterClient";
+    case Op::kDisconnect: return "Disconnect";
+    case Op::kMalloc: return "Malloc";
+    case Op::kFree: return "Free";
+    case Op::kMemcpyH2D: return "MemcpyH2D";
+    case Op::kMemcpyD2H: return "MemcpyD2H";
+    case Op::kMemcpyD2D: return "MemcpyD2D";
+    case Op::kMemset: return "Memset";
+    case Op::kLaunchKernel: return "LaunchKernel";
+    case Op::kStreamCreate: return "StreamCreate";
+    case Op::kStreamDestroy: return "StreamDestroy";
+    case Op::kStreamSynchronize: return "StreamSynchronize";
+    case Op::kStreamIsCapturing: return "StreamIsCapturing";
+    case Op::kStreamGetCaptureInfo: return "StreamGetCaptureInfo";
+    case Op::kEventCreate: return "EventCreate";
+    case Op::kEventDestroy: return "EventDestroy";
+    case Op::kEventRecord: return "EventRecord";
+    case Op::kDeviceSynchronize: return "DeviceSynchronize";
+    case Op::kGetExportTable: return "GetExportTable";
+    case Op::kModuleLoadData: return "ModuleLoadData";
+    case Op::kModuleGetFunction: return "ModuleGetFunction";
+    case Op::kGetDeviceSpec: return "GetDeviceSpec";
+    case Op::kGrowPartition: return "GrowPartition";
+    case Op::kMemcpyH2DAsync: return "MemcpyH2DAsync";
+    case Op::kStreamWaitEvent: return "StreamWaitEvent";
+    case Op::kEventSynchronize: return "EventSynchronize";
+    case Op::kBatch: return "Batch";
+    case Op::kSetPriority: return "SetPriority";
+  }
+  return "UnknownOp";
+}
+
 struct RequestHeader {
   Op op{};
   std::uint64_t client = 0;
+  // End-to-end tracing (obs/trace.hpp): the client-side span this request
+  // belongs to. Zero when tracing is disabled; the manager treats a zero
+  // trace_id as "untraced".
+  obs::TraceContext trace;
 };
 
-inline void WriteHeader(ipc::Writer& writer, Op op, std::uint64_t client) {
+// Stamps the ambient trace context into the header (allocating a fresh
+// trace id for a context-less thread) when tracing is enabled; writes
+// zeros otherwise. Returns the stamped context so grdLib can record the
+// matching client-side span.
+inline obs::TraceContext WriteHeader(ipc::Writer& writer, Op op,
+                                     std::uint64_t client) {
+  obs::TraceContext ctx;
+  if (obs::TraceRecorder::Instance().enabled()) {
+    ctx = obs::CurrentContext();
+    if (!ctx.valid()) ctx.trace_id = obs::NewTraceId();
+    ctx.span_id = obs::NewSpanId();
+  }
   writer.Put<std::uint32_t>(static_cast<std::uint32_t>(op));
   writer.Put<std::uint64_t>(client);
+  writer.Put<std::uint64_t>(ctx.trace_id);
+  writer.Put<std::uint64_t>(ctx.span_id);
+  return ctx;
 }
 
 inline Result<RequestHeader> ReadHeader(ipc::Reader& reader) {
@@ -98,6 +152,8 @@ inline Result<RequestHeader> ReadHeader(ipc::Reader& reader) {
   GRD_ASSIGN_OR_RETURN(std::uint32_t op, reader.Get<std::uint32_t>());
   header.op = static_cast<Op>(op);
   GRD_ASSIGN_OR_RETURN(header.client, reader.Get<std::uint64_t>());
+  GRD_ASSIGN_OR_RETURN(header.trace.trace_id, reader.Get<std::uint64_t>());
+  GRD_ASSIGN_OR_RETURN(header.trace.span_id, reader.Get<std::uint64_t>());
   return header;
 }
 

@@ -1,5 +1,7 @@
 #include "guardian/sandbox_cache.hpp"
 
+#include "obs/trace.hpp"
+
 namespace grd::guardian {
 
 std::uint64_t HashPtxSource(const std::string& source) noexcept {
@@ -100,7 +102,12 @@ Result<SandboxCache::Lookup> SandboxCache::GetOrPatch(
   }
 
   ptxpatcher::PatchStats patch_stats;
-  auto patched = ptxpatcher::PatchModule(parsed, options, &patch_stats);
+  auto patched = [&] {
+    // Miss path only: cache hits above never reach this span, so a trace
+    // showing sandbox.patch is itself evidence of a cold module.
+    obs::ScopedSpan patch_span("sandbox.patch", source.size());
+    return ptxpatcher::PatchModule(parsed, options, &patch_stats);
+  }();
   slot->done = true;
   if (!patched.ok()) {
     slot->status = patched.status();
@@ -112,7 +119,10 @@ Result<SandboxCache::Lookup> SandboxCache::GetOrPatch(
   // Lower the patched kernels to bytecode while we hold the slot: the
   // compile cost rides with the patch cost, paid once per distinct source
   // and skipped entirely by every subsequent hit.
-  slot->compiled = ptxexec::CompiledModule::Compile(*slot->module);
+  {
+    obs::ScopedSpan compile_span("sandbox.compile", source.size());
+    slot->compiled = ptxexec::CompiledModule::Compile(*slot->module);
+  }
   ++stats_.compiles;
   // Launch heat lives with the cache slot so tier promotion is shared by
   // every tenant of this module (and survives re-loads served from cache).

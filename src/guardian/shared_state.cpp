@@ -26,7 +26,10 @@ std::uint64_t SharedServingState::RegionSize(
   size = AlignUp(size + layout.max_channels * sizeof(SharedChannelSlot),
                  kSlotAlign);
   size = AlignUp(size + layout.max_workers * sizeof(SharedWorkerSlot),
-                 kRingAlign);
+                 kSlotAlign);
+  size = AlignUp(
+      size + obs::SpanArenaHeader::RegionSize(layout.trace_span_capacity),
+      kRingAlign);
   size += layout.max_channels *
           AlignUp(ipc::Channel::RegionSize(layout.ring_bytes), kRingAlign);
   return size;
@@ -46,7 +49,11 @@ SharedServingState* SharedServingState::Initialize(
                    kSlotAlign);
   state->worker_slots_offset_ = offset;
   offset = AlignUp(offset + layout.max_workers * sizeof(SharedWorkerSlot),
-                   kRingAlign);
+                   kSlotAlign);
+  state->span_arena_offset_ = offset;
+  offset = AlignUp(
+      offset + obs::SpanArenaHeader::RegionSize(layout.trace_span_capacity),
+      kRingAlign);
 
   for (std::uint32_t i = 0; i < layout.max_sessions; ++i)
     new (&state->session_slot(i)) SharedSessionSlot();
@@ -58,6 +65,9 @@ SharedServingState* SharedServingState::Initialize(
   }
   for (std::uint32_t i = 0; i < layout.max_workers; ++i)
     new (&state->worker_slot(i)) SharedWorkerSlot();
+  obs::SpanArenaHeader::Initialize(
+      state->At<std::uint8_t>(state->span_arena_offset_),
+      layout.trace_span_capacity);
 
   state->registry_mu_.Init();
   // Published last: Attach() from another process checks it.

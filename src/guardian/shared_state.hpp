@@ -36,6 +36,7 @@
 #include "common/status.hpp"
 #include "guardian/execution.hpp"
 #include "ipc/robust_mutex.hpp"
+#include "obs/trace.hpp"
 
 namespace grd::guardian {
 
@@ -103,6 +104,10 @@ struct SharedServingLayout {
   std::uint32_t max_channels = 16;
   std::uint32_t max_workers = 8;
   std::uint64_t ring_bytes = 1u << 20;  // per ring; a channel holds two
+  // Capacity of the process-shared trace-span arena (records). Workers emit
+  // spans here when tracing is on, so the parent can flush the spans of a
+  // SIGKILLed worker — the in-process thread rings die with the process.
+  std::uint32_t trace_span_capacity = 4096;
 };
 
 class SharedServingState {
@@ -122,6 +127,11 @@ class SharedServingState {
   const SharedServingLayout& layout() const noexcept { return layout_; }
   ManagerStats& stats() noexcept { return stats_; }
   SharedPoolCounters& counters() noexcept { return counters_; }
+  // The process-shared trace-span arena (sized by trace_span_capacity).
+  // Bind it to the TraceRecorder before forking; survives worker death.
+  obs::SpanArenaHeader* span_arena() noexcept {
+    return At<obs::SpanArenaHeader>(span_arena_offset_);
+  }
 
   SharedSessionSlot& session_slot(std::uint32_t i) noexcept {
     return At<SharedSessionSlot>(session_slots_offset_)[i];
@@ -185,7 +195,9 @@ class SharedServingState {
 
  private:
   static constexpr std::uint64_t kMagic = 0x5247'4453'4852'4431ull;
-  static constexpr std::uint32_t kVersion = 1;
+  // v2: trace-span arena appended between the worker slots and the channel
+  // ring regions (observability).
+  static constexpr std::uint32_t kVersion = 2;
   static constexpr std::uint32_t kActiveRaw =
       static_cast<std::uint32_t>(SessionSlotState::kActive);
   static constexpr std::uint32_t kFailedRaw =
@@ -210,6 +222,7 @@ class SharedServingState {
   std::uint64_t session_slots_offset_ = 0;
   std::uint64_t channel_slots_offset_ = 0;
   std::uint64_t worker_slots_offset_ = 0;
+  std::uint64_t span_arena_offset_ = 0;
 
   std::atomic<std::uint64_t> next_client_{1};
   std::atomic<std::uint32_t> stop_{0};

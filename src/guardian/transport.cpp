@@ -25,6 +25,7 @@ void ManagerServer::AddChannel(ipc::Channel* channel, double weight,
 bool ManagerServer::ServeOne(Entry& entry) {
   auto request = entry.channel->request().TryRead();
   if (!request.ok()) return false;
+  manager_->NoteRingRead();
   {
     // Remember which session this channel carries so the session-priority
     // sweep can rank it by that tenant's class (cheap header peek; a
@@ -36,7 +37,9 @@ bool ManagerServer::ServeOne(Entry& entry) {
   }
   const ipc::Bytes response = manager_->HandleRequest(*request);
   const Status written = entry.channel->response().Write(response);
-  if (!written.ok()) {
+  if (written.ok()) {
+    manager_->NoteRingWritten();
+  } else {
     // The client vanished mid-call. The work is done and cannot be undone;
     // account for the undeliverable response instead of dropping silently.
     manager_->NoteDroppedResponse();

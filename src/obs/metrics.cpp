@@ -1,0 +1,248 @@
+#include "obs/metrics.hpp"
+
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace grd::obs {
+namespace {
+
+void AppendField(std::string* out, const std::string& name,
+                 std::uint64_t value, bool* first) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  out->append("\"");
+  out->append(name);
+  out->append("\":");
+  out->append(std::to_string(value));
+}
+
+void AppendHistogramJson(std::string* out, const Log2Histogram& hist) {
+  bool first = true;
+  out->push_back('{');
+  AppendField(out, "count", hist.count.load(std::memory_order_relaxed),
+              &first);
+  AppendField(out, "total_ns", hist.total_ns.load(std::memory_order_relaxed),
+              &first);
+  AppendField(out, "max_ns", hist.max_ns.load(std::memory_order_relaxed),
+              &first);
+  AppendField(out, "p50_ns", hist.PercentileNs(0.50), &first);
+  AppendField(out, "p99_ns", hist.PercentileNs(0.99), &first);
+  // Populated log2 buckets only: bucket i counts samples in [2^i, 2^(i+1)) µs.
+  out->append(",\"buckets_us_log2\":{");
+  bool first_bucket = true;
+  for (int i = 0; i < Log2Histogram::kBuckets; ++i) {
+    const std::uint64_t n = hist.bucket[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    if (!first_bucket) out->push_back(',');
+    first_bucket = false;
+    out->append("\"");
+    out->append(std::to_string(i));
+    out->append("\":");
+    out->append(std::to_string(n));
+  }
+  out->append("}}");
+}
+
+std::string PromName(const std::string& name) {
+  std::string out = "grd_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+int ShardIndex() {
+#ifdef SYS_gettid
+  static thread_local int index = static_cast<int>(
+      static_cast<std::uint64_t>(::syscall(SYS_gettid)) %
+      ShardedCounter::kShards);
+#else
+  static thread_local int index = 0;
+#endif
+  return index;
+}
+
+}  // namespace
+
+void Log2Histogram::Record(std::uint64_t sample_ns) {
+  int index = 0;
+  for (std::uint64_t us = sample_ns / 1'000; us > 1 && index < kBuckets - 1;
+       us >>= 1)
+    ++index;
+  bucket[index].fetch_add(1, std::memory_order_relaxed);
+  count.fetch_add(1, std::memory_order_relaxed);
+  total_ns.fetch_add(sample_ns, std::memory_order_relaxed);
+  detail::AtomicStoreMax(max_ns, sample_ns);
+}
+
+std::uint64_t Log2Histogram::PercentileNs(double p) const {
+  const std::uint64_t n = count.load(std::memory_order_relaxed);
+  if (n == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(p * static_cast<double>(n - 1));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += bucket[i].load(std::memory_order_relaxed);
+    if (seen > rank)
+      return (std::uint64_t{1} << (i + 1)) * 1'000;  // bucket upper bound
+  }
+  return max_ns.load(std::memory_order_relaxed);
+}
+
+void ShardedCounter::Add(std::uint64_t n) {
+  cells_[ShardIndex()].v.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t ShardedCounter::Value() const {
+  std::uint64_t total = 0;
+  for (const Cell& cell : cells_)
+    total += cell.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void MetricsRegistry::Counter(std::string name,
+                              const std::atomic<std::uint64_t>* cell) {
+  Entry entry;
+  entry.kind = Kind::kCounter;
+  entry.name = std::move(name);
+  entry.cell = cell;
+  entries_.push_back(std::move(entry));
+}
+
+void MetricsRegistry::Gauge(std::string name,
+                            const std::atomic<std::uint64_t>* cell) {
+  Entry entry;
+  entry.kind = Kind::kGauge;
+  entry.name = std::move(name);
+  entry.cell = cell;
+  entries_.push_back(std::move(entry));
+}
+
+void MetricsRegistry::Histogram(std::string group, std::string key,
+                                const Log2Histogram* hist) {
+  Entry entry;
+  entry.kind = Kind::kHistogram;
+  entry.name = std::move(group);
+  entry.key = std::move(key);
+  entry.hist = hist;
+  entries_.push_back(std::move(entry));
+}
+
+ShardedCounter& MetricsRegistry::OwnedCounter(std::string name) {
+  owned_.emplace_back();
+  Entry entry;
+  entry.kind = Kind::kOwnedCounter;
+  entry.name = std::move(name);
+  entry.owned = &owned_.back();
+  entries_.push_back(std::move(entry));
+  return owned_.back();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out;
+  out.reserve(1024);
+  out.push_back('{');
+  bool first = true;
+  std::vector<const std::string*> done_groups;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& entry = entries_[i];
+    switch (entry.kind) {
+      case Kind::kCounter:
+      case Kind::kGauge:
+        AppendField(&out, entry.name,
+                    entry.cell->load(std::memory_order_relaxed), &first);
+        break;
+      case Kind::kOwnedCounter:
+        AppendField(&out, entry.name, entry.owned->Value(), &first);
+        break;
+      case Kind::kHistogram: {
+        const auto already = std::find_if(
+            done_groups.begin(), done_groups.end(),
+            [&](const std::string* g) { return *g == entry.name; });
+        if (already != done_groups.end()) break;
+        done_groups.push_back(&entry.name);
+        if (!first) out.push_back(',');
+        first = false;
+        out.append("\"");
+        out.append(entry.name);
+        out.append("\":{");
+        bool first_member = true;
+        for (std::size_t j = i; j < entries_.size(); ++j) {
+          const Entry& member = entries_[j];
+          if (member.kind != Kind::kHistogram || member.name != entry.name)
+            continue;
+          if (!first_member) out.push_back(',');
+          first_member = false;
+          out.append("\"");
+          out.append(member.key);
+          out.append("\":");
+          AppendHistogramJson(&out, *member.hist);
+        }
+        out.push_back('}');
+        break;
+      }
+    }
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::string out;
+  out.reserve(4096);
+  for (const Entry& entry : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+      case Kind::kOwnedCounter: {
+        const std::uint64_t value =
+            entry.kind == Kind::kCounter
+                ? entry.cell->load(std::memory_order_relaxed)
+                : entry.owned->Value();
+        const std::string name = PromName(entry.name);
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(value) + "\n";
+        break;
+      }
+      case Kind::kGauge: {
+        const std::string name = PromName(entry.name);
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " +
+               std::to_string(entry.cell->load(std::memory_order_relaxed)) +
+               "\n";
+        break;
+      }
+      case Kind::kHistogram: {
+        const std::string name = PromName(entry.name + "_" + entry.key + "_us");
+        out += "# TYPE " + name + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (int i = 0; i < Log2Histogram::kBuckets; ++i) {
+          const std::uint64_t n =
+              entry.hist->bucket[i].load(std::memory_order_relaxed);
+          if (n == 0) continue;
+          cumulative += n;
+          out += name + "_bucket{le=\"" +
+                 std::to_string(std::uint64_t{1} << (i + 1)) + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        const std::uint64_t count =
+            entry.hist->count.load(std::memory_order_relaxed);
+        out += name + "_bucket{le=\"+Inf\"} " + std::to_string(count) + "\n";
+        // _sum is exposed in microseconds to match the bucket unit.
+        out += name + "_sum " +
+               std::to_string(
+                   entry.hist->total_ns.load(std::memory_order_relaxed) /
+                   1'000) +
+               "\n";
+        out += name + "_count " + std::to_string(count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace grd::obs

@@ -1,0 +1,110 @@
+#pragma once
+
+// Unified metrics registry: typed counters / gauges / log2 histograms.
+//
+// Two kinds of cells coexist:
+//  - *external* cells: `std::atomic<uint64_t>` (or Log2Histogram) owned by
+//    someone else — e.g. guardian::ManagerStats, a POD-of-atomics that must
+//    keep living inside the process pool's SharedRegion. The registry only
+//    references them and renders them at scrape time.
+//  - *owned* sharded counters: cache-line padded per-shard cells the
+//    registry allocates itself, for hot paths where even one contended
+//    fetch_add is too much; shards are summed at scrape.
+//
+// Rendering is registration-ordered, which is how ManagerStats::ToJson()
+// keeps its exact historical byte layout after migrating onto the
+// registry. Histograms registered under a group name are emitted together
+// as one nested JSON object (e.g. "wait_histograms"). PrometheusText()
+// renders the same cells in the Prometheus text exposition format.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace grd::obs {
+
+namespace detail {
+inline void AtomicStoreMax(std::atomic<std::uint64_t>& cell,
+                           std::uint64_t value) {
+  std::uint64_t seen = cell.load(std::memory_order_relaxed);
+  while (seen < value &&
+         !cell.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+// Lock-free log2-bucketed duration histogram. Bucket i counts samples in
+// [2^i, 2^(i+1)) microseconds; count/total_ns/max_ns ride along. POD of
+// relaxed atomics, safe to embed in shared memory. (This is the former
+// guardian::WaitHistogram, moved here unchanged so every layer can record
+// latencies into the same shape.)
+struct Log2Histogram {
+  static constexpr int kBuckets = 40;
+  std::atomic<std::uint64_t> bucket[kBuckets] = {};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> total_ns{0};
+  std::atomic<std::uint64_t> max_ns{0};
+
+  void Record(std::uint64_t sample_ns);
+  // Upper bound (ns) of the bucket holding the p-quantile sample.
+  std::uint64_t PercentileNs(double p) const;
+};
+
+// Registry-owned counter with per-thread-sharded, cache-line padded cells:
+// uncontended increments from any number of threads, summed at scrape.
+class ShardedCounter {
+ public:
+  static constexpr int kShards = 16;
+
+  void Add(std::uint64_t n = 1);
+  std::uint64_t Value() const;
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Cell cells_[kShards];
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // External cells (registry does not own; must outlive the registry).
+  void Counter(std::string name, const std::atomic<std::uint64_t>* cell);
+  void Gauge(std::string name, const std::atomic<std::uint64_t>* cell);
+  void Histogram(std::string group, std::string key,
+                 const Log2Histogram* hist);
+
+  // Owned sharded counter; reference stays valid for the registry lifetime.
+  ShardedCounter& OwnedCounter(std::string name);
+
+  // `{"a":1,...,"group":{"key":{...}}}` — entries in registration order,
+  // histogram groups coalesced at their first member's position.
+  std::string ToJson() const;
+
+  // Prometheus text exposition (counters, gauges, cumulative histograms),
+  // metric names prefixed with `grd_`.
+  std::string PrometheusText() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram, kOwnedCounter };
+  struct Entry {
+    Kind kind;
+    std::string name;   // counter/gauge name, or histogram group
+    std::string key;    // histogram key within its group
+    const std::atomic<std::uint64_t>* cell = nullptr;
+    const Log2Histogram* hist = nullptr;
+    const ShardedCounter* owned = nullptr;
+  };
+
+  std::vector<Entry> entries_;
+  std::deque<ShardedCounter> owned_;  // deque: stable references
+};
+
+}  // namespace grd::obs

@@ -1,0 +1,376 @@
+#include "obs/trace.hpp"
+
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <unordered_set>
+
+namespace grd::obs {
+namespace {
+
+std::uint32_t CurrentTid() {
+#ifdef SYS_gettid
+  return static_cast<std::uint32_t>(::syscall(SYS_gettid));
+#else
+  return static_cast<std::uint32_t>(::getpid());
+#endif
+}
+
+// Per-thread ring of span records. Registered globally on first use and
+// leaked on purpose: the collector may scan a ring after its thread died.
+struct ThreadRing {
+  SpanRecord slots[TraceRecorder::kRingCapacity];
+  std::atomic<std::uint64_t> head{0};      // next slot to write
+  std::atomic<std::uint64_t> dropped{0};   // unused in rings (overwrite)
+};
+
+std::mutex& RingRegistryMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<ThreadRing*>& RingRegistry() {
+  static std::vector<ThreadRing*>* rings = new std::vector<ThreadRing*>();
+  return *rings;
+}
+
+ThreadRing& LocalRing() {
+  thread_local ThreadRing* ring = [] {
+    auto* r = new ThreadRing();  // leaked: outlives the thread for Collect
+    std::lock_guard<std::mutex> lock(RingRegistryMutex());
+    RingRegistry().push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+void FillName(SpanRecord& rec, const char* name) {
+  int i = 0;
+  for (; name[i] != '\0' && i < SpanRecord::kNameCap - 1; ++i)
+    rec.name[i] = name[i];
+  rec.name[i] = '\0';
+}
+
+void AppendEscaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+void AppendU64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+// Microsecond timestamp with nanosecond fraction preserved.
+void AppendMicros(std::string& out, std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+TraceContext& CurrentContext() {
+  thread_local TraceContext ctx;
+  return ctx;
+}
+
+std::uint64_t NewTraceId() {
+  static std::atomic<std::uint64_t> counter{1};
+  const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t salted =
+      (static_cast<std::uint64_t>(::getpid()) << 40) ^ n;
+  return salted == 0 ? 1 : salted;
+}
+
+std::uint64_t NewSpanId() {
+  static std::atomic<std::uint64_t> counter{1};
+  const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t salted =
+      (static_cast<std::uint64_t>(::getpid()) << 40) ^ n;
+  return salted == 0 ? 1 : salted;
+}
+
+std::uint64_t MonotonicNowNs() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+std::uint64_t SpanArenaHeader::RegionSize(std::uint64_t capacity) {
+  return sizeof(SpanArenaHeader) + capacity * sizeof(SpanRecord);
+}
+
+SpanArenaHeader* SpanArenaHeader::Initialize(void* mem,
+                                             std::uint64_t capacity) {
+  auto* header = new (mem) SpanArenaHeader();
+  header->capacity = capacity;
+  SpanRecord* recs = header->records();
+  for (std::uint64_t i = 0; i < capacity; ++i) new (&recs[i]) SpanRecord();
+  return header;
+}
+
+SpanArenaHeader* SpanArenaHeader::Attach(void* mem) {
+  return static_cast<SpanArenaHeader*>(mem);
+}
+
+SpanRecord* SpanArenaHeader::records() {
+  return reinterpret_cast<SpanRecord*>(this + 1);
+}
+
+const SpanRecord* SpanArenaHeader::records() const {
+  return reinterpret_cast<const SpanRecord*>(this + 1);
+}
+
+TraceRecorder& TraceRecorder::Instance() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::Emit(const SpanRecord& rec) {
+  if (!enabled()) return;
+  if (SpanArenaHeader* arena = this->arena()) {
+    const std::uint64_t idx =
+        arena->next.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= arena->capacity) {
+      arena->dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    SpanRecord& slot = arena->records()[idx];
+    slot.CopyPayloadFrom(rec);
+    // Commit: readers only trust records whose commit word is set, so a
+    // writer killed before this store leaves an invisible (never torn)
+    // record behind.
+    slot.seq.store(1, std::memory_order_release);
+    return;
+  }
+  ThreadRing& ring = LocalRing();
+  const std::uint64_t pos =
+      ring.head.fetch_add(1, std::memory_order_relaxed) % kRingCapacity;
+  SpanRecord& slot = ring.slots[pos];
+  const std::uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+  slot.seq.store(seq + 1, std::memory_order_release);  // odd: write in flight
+  slot.CopyPayloadFrom(rec);
+  slot.seq.store(seq + 2, std::memory_order_release);  // even: stable
+}
+
+void TraceRecorder::EmitComplete(const char* name, TraceContext ctx,
+                                 std::uint64_t parent_span,
+                                 std::uint64_t begin_ns, std::uint64_t end_ns,
+                                 std::uint64_t arg1, std::uint64_t arg2) {
+  if (!enabled()) return;
+  SpanRecord rec;
+  rec.trace_id = ctx.trace_id;
+  rec.span_id = ctx.span_id;
+  rec.parent_span_id = parent_span;
+  rec.begin_ns = begin_ns;
+  rec.end_ns = end_ns;
+  rec.arg1 = arg1;
+  rec.arg2 = arg2;
+  rec.pid = ::getpid();
+  rec.tid = CurrentTid();
+  rec.phase = 'X';
+  FillName(rec, name);
+  Emit(rec);
+}
+
+void TraceRecorder::EmitInstant(const char* name, TraceContext ctx,
+                                std::uint64_t arg1, std::uint64_t arg2) {
+  if (!enabled()) return;
+  SpanRecord rec;
+  rec.trace_id = ctx.trace_id;
+  rec.span_id = NewSpanId();
+  rec.parent_span_id = ctx.span_id;
+  rec.begin_ns = MonotonicNowNs();
+  rec.end_ns = rec.begin_ns;
+  rec.arg1 = arg1;
+  rec.arg2 = arg2;
+  rec.pid = ::getpid();
+  rec.tid = CurrentTid();
+  rec.phase = 'i';
+  FillName(rec, name);
+  Emit(rec);
+}
+
+std::uint64_t TraceRecorder::EmitBegin(const char* name, TraceContext ctx,
+                                       std::uint64_t parent_span,
+                                       std::uint64_t begin_ns,
+                                       std::uint64_t arg1,
+                                       std::uint64_t arg2) {
+  if (!enabled()) return 0;
+  SpanRecord rec;
+  rec.trace_id = ctx.trace_id;
+  rec.span_id = ctx.span_id != 0 ? ctx.span_id : NewSpanId();
+  rec.parent_span_id = parent_span;
+  rec.begin_ns = begin_ns;
+  rec.end_ns = 0;
+  rec.arg1 = arg1;
+  rec.arg2 = arg2;
+  rec.pid = ::getpid();
+  rec.tid = CurrentTid();
+  rec.phase = 'B';
+  FillName(rec, name);
+  Emit(rec);
+  return rec.span_id;
+}
+
+void TraceRecorder::Collect(std::vector<SpanRecord>* out) const {
+  {
+    std::lock_guard<std::mutex> lock(RingRegistryMutex());
+    for (ThreadRing* ring : RingRegistry()) {
+      for (int i = 0; i < kRingCapacity; ++i) {
+        SpanRecord& slot = ring->slots[i];
+        for (int attempt = 0; attempt < 4; ++attempt) {
+          const std::uint64_t before =
+              slot.seq.load(std::memory_order_acquire);
+          if (before == 0 || (before & 1) != 0) break;  // empty or in flight
+          SpanRecord copy;
+          copy.CopyPayloadFrom(slot);
+          std::atomic_thread_fence(std::memory_order_acquire);
+          if (slot.seq.load(std::memory_order_relaxed) == before) {
+            out->push_back(copy);
+            break;
+          }
+        }
+      }
+    }
+  }
+  if (const SpanArenaHeader* arena = this->arena()) {
+    const std::uint64_t used = std::min<std::uint64_t>(
+        arena->next.load(std::memory_order_acquire), arena->capacity);
+    for (std::uint64_t i = 0; i < used; ++i) {
+      const SpanRecord& slot = arena->records()[i];
+      if (slot.seq.load(std::memory_order_acquire) != 1) continue;
+      out->push_back(slot);
+    }
+  }
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  const SpanArenaHeader* arena = this->arena();
+  return arena != nullptr ? arena->dropped.load(std::memory_order_relaxed)
+                          : 0;
+}
+
+void TraceRecorder::Reset() {
+  Enable(false);
+  BindArena(nullptr);
+  std::lock_guard<std::mutex> lock(RingRegistryMutex());
+  for (ThreadRing* ring : RingRegistry()) {
+    for (int i = 0; i < kRingCapacity; ++i)
+      ring->slots[i].seq.store(0, std::memory_order_relaxed);
+    ring->head.store(0, std::memory_order_relaxed);
+  }
+}
+
+ScopedSpan::ScopedSpan(const char* name, std::uint64_t arg1,
+                       std::uint64_t arg2)
+    : name_(name), arg1_(arg1), arg2_(arg2) {
+  TraceRecorder& recorder = TraceRecorder::Instance();
+  if (!recorder.enabled()) return;
+  active_ = true;
+  saved_ = CurrentContext();
+  TraceContext ctx;
+  ctx.trace_id = saved_.valid() ? saved_.trace_id : NewTraceId();
+  ctx.span_id = NewSpanId();
+  CurrentContext() = ctx;
+  begin_ns_ = MonotonicNowNs();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const TraceContext ctx = CurrentContext();
+  TraceRecorder::Instance().EmitComplete(name_, ctx, saved_.span_id,
+                                         begin_ns_, MonotonicNowNs(), arg1_,
+                                         arg2_);
+  CurrentContext() = saved_;
+}
+
+std::string TraceExporter::ToChromeJson(const std::vector<SpanRecord>& spans) {
+  // Span ids that completed: their 'B' records are redundant.
+  std::unordered_set<std::uint64_t> completed;
+  for (const SpanRecord& rec : spans)
+    if (rec.phase == 'X') completed.insert(rec.span_id);
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& rec : spans) {
+    if (rec.phase == 'B' && completed.count(rec.span_id) > 0) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    AppendEscaped(out, rec.name);
+    out += "\",\"ph\":\"";
+    out.push_back(rec.phase);
+    out += "\",\"ts\":";
+    AppendMicros(out, rec.begin_ns);
+    if (rec.phase == 'X') {
+      out += ",\"dur\":";
+      AppendMicros(out, rec.end_ns >= rec.begin_ns
+                            ? rec.end_ns - rec.begin_ns
+                            : 0);
+    }
+    if (rec.phase == 'i') out += ",\"s\":\"t\"";
+    out += ",\"pid\":";
+    AppendU64(out, static_cast<std::uint64_t>(rec.pid));
+    out += ",\"tid\":";
+    AppendU64(out, rec.tid);
+    out += ",\"args\":{\"trace_id\":";
+    AppendU64(out, rec.trace_id);
+    out += ",\"span_id\":";
+    AppendU64(out, rec.span_id);
+    out += ",\"parent_span_id\":";
+    AppendU64(out, rec.parent_span_id);
+    if (rec.arg1 != 0) {
+      out += ",\"arg1\":";
+      AppendU64(out, rec.arg1);
+    }
+    if (rec.arg2 != 0) {
+      out += ",\"arg2\":";
+      AppendU64(out, rec.arg2);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status TraceExporter::WriteFile(const std::string& path) {
+  std::vector<SpanRecord> spans;
+  TraceRecorder::Instance().Collect(&spans);
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.begin_ns < b.begin_ns;
+            });
+  const std::string json = TraceExporter::ToChromeJson(spans);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    return Status(StatusCode::kUnavailable, "cannot open " + path);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size())
+    return Status(StatusCode::kInternal, "short write to " + path);
+  return OkStatus();
+}
+
+}  // namespace grd::obs

@@ -2,6 +2,7 @@
 
 #include "common/bits.hpp"
 #include "common/cycle_clock.hpp"
+#include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "common/strings.hpp"
@@ -155,6 +156,67 @@ TEST(Strings, SplitAndTrim) {
   EXPECT_EQ(TrimWhitespace("   "), "");
   EXPECT_TRUE(StartsWith("cudaMalloc", "cuda"));
   EXPECT_FALSE(StartsWith("cu", "cuda"));
+}
+
+TEST(LogSpec, BareLevelSetsGlobalFloor) {
+  const LogSpec spec = ParseLogSpec("debug");
+  EXPECT_TRUE(spec.has_global);
+  EXPECT_EQ(spec.global, LogLevel::kDebug);
+  EXPECT_TRUE(spec.components.empty());
+}
+
+TEST(LogSpec, ComponentOverridesAndGlobalMix) {
+  const LogSpec spec = ParseLogSpec("error,grdManager=debug, Server = info ");
+  EXPECT_TRUE(spec.has_global);
+  EXPECT_EQ(spec.global, LogLevel::kError);
+  ASSERT_EQ(spec.components.size(), 2u);
+  EXPECT_EQ(spec.components[0].first, "grdManager");
+  EXPECT_EQ(spec.components[0].second, LogLevel::kDebug);
+  EXPECT_EQ(spec.components[1].first, "Server");
+  EXPECT_EQ(spec.components[1].second, LogLevel::kInfo);
+}
+
+TEST(LogSpec, WarningAliasAndAllLevelNames) {
+  EXPECT_EQ(ParseLogSpec("warning").global, LogLevel::kWarn);
+  EXPECT_EQ(ParseLogSpec("warn").global, LogLevel::kWarn);
+  EXPECT_EQ(ParseLogSpec("info").global, LogLevel::kInfo);
+  EXPECT_EQ(ParseLogSpec("error").global, LogLevel::kError);
+}
+
+TEST(LogSpec, MalformedEntriesAreSkippedNotFatal) {
+  // A bad GRD_LOG must never take the process down: junk entries vanish,
+  // valid ones still apply.
+  const LogSpec spec = ParseLogSpec("bogus,=debug,x=,x=shout,,info,a=warn");
+  EXPECT_TRUE(spec.has_global);
+  EXPECT_EQ(spec.global, LogLevel::kInfo);
+  ASSERT_EQ(spec.components.size(), 1u);
+  EXPECT_EQ(spec.components[0].first, "a");
+  EXPECT_EQ(spec.components[0].second, LogLevel::kWarn);
+}
+
+TEST(LogSpec, EmptySpecChangesNothing) {
+  const LogSpec spec = ParseLogSpec("");
+  EXPECT_FALSE(spec.has_global);
+  EXPECT_TRUE(spec.components.empty());
+}
+
+TEST(LogSpec, LoggerLevelForUsesOverrideElseGlobal) {
+  Logger& logger = Logger::Instance();
+  const LogLevel saved = logger.level();
+
+  logger.ApplySpec(ParseLogSpec("error,Noisy=debug"));
+  EXPECT_EQ(logger.level(), LogLevel::kError);
+  EXPECT_EQ(logger.LevelFor("Noisy"), LogLevel::kDebug);
+  EXPECT_EQ(logger.LevelFor("Other"), LogLevel::kError);
+
+  // A spec without a global keeps the current one and replaces overrides.
+  logger.ApplySpec(ParseLogSpec("Quiet=error"));
+  EXPECT_EQ(logger.level(), LogLevel::kError);
+  EXPECT_EQ(logger.LevelFor("Noisy"), LogLevel::kError);
+  EXPECT_EQ(logger.LevelFor("Quiet"), LogLevel::kError);
+
+  logger.ApplySpec(LogSpec{});  // clear overrides
+  logger.set_level(saved);
 }
 
 TEST(CycleClock, MonotonicNonTrivial) {

@@ -140,7 +140,9 @@ TEST(DispatcherTest, ManagerRejectsUnknownOpThroughRegistry) {
   GrdManager manager(&gpu, ManagerOptions{});
   ipc::Writer request;
   request.Put<std::uint32_t>(0xBEEF);
-  request.Put<std::uint64_t>(0);
+  request.Put<std::uint64_t>(0);  // client
+  request.Put<std::uint64_t>(0);  // trace_id
+  request.Put<std::uint64_t>(0);  // span_id
   const auto response = manager.HandleRequest(std::move(request).Take());
   auto decoded = protocol::DecodeResponse(response);
   EXPECT_EQ(decoded.status().code(), StatusCode::kUnimplemented);

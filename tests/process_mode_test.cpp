@@ -26,6 +26,7 @@
 #include "guardian/shared_state.hpp"
 #include "guardian/transport.hpp"
 #include "ipc/robust_mutex.hpp"
+#include "obs/trace.hpp"
 #include "ptx/generator.hpp"
 #include "ptx/printer.hpp"
 
@@ -482,6 +483,121 @@ TEST(ProcessModeTest, GrowPartitionPublishesBoundsToSharedSlot) {
   EXPECT_EQ(slot->partition_size.load(), 2ull << 20);
   EXPECT_NE(slot->partition_base.load(), 0u);
   (*server)->Stop();
+}
+
+// The SharedRegion span arena survives its writer: a worker SIGKILLed
+// mid-kernel leaves its committed spans — including the unterminated 'B'
+// execution span — readable by the parent, with no torn records. This is
+// the crash-forensics story of the tracing tentpole.
+TEST(ProcessModeTest, KilledWorkerSpansAreFlushedFromSharedArena) {
+  obs::TraceRecorder::Instance().Reset();
+
+  ProcessServerOptions options;
+  options.workers = 1;
+  options.channels = 1;
+  options.respawn = false;
+  options.manager.tracing_enabled = true;
+  options.manager.max_kernel_instructions = 1ull << 40;
+  options.layout.ring_bytes = 1 << 20;
+  auto server = ProcessServer::Create(options);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE((*server)->Start().ok());
+  ASSERT_TRUE((*server)->WaitForChannelOwners());
+
+  int ready[2];  // client -> test: "spin launch is next"
+  ASSERT_EQ(pipe(ready), 0);
+
+  // The client forked after Start() inherits the arena binding too, so its
+  // client.* spans land in the same shared arena as the worker's.
+  const pid_t client = ForkChild([&]() -> int {
+    ChannelTransport transport(&(*server)->channel(0));
+    auto lib = GrdLib::Connect(&transport, 8 << 20);
+    if (!lib.ok()) return 10;
+    auto module = lib->cuModuleLoadData(kSpinTailPtx);
+    if (!module.ok()) return 11;
+    auto spin = lib->cuModuleGetFunction(*module, "spintail");
+    if (!spin.ok()) return 12;
+    DevicePtr buf = 0;
+    if (!lib->cudaMalloc(&buf, 4096).ok()) return 13;
+    if (write(ready[1], "L", 1) != 1) return 14;
+    simcuda::LaunchConfig config;
+    config.grid = {4, 1, 1};
+    config.block = {1, 1, 1};
+    const Status killed =
+        lib->cudaLaunchKernel(*spin, config, {KernelArg::U64(buf)});
+    if (killed.ok() || killed.code() != StatusCode::kUnavailable) return 15;
+    return 0;
+  });
+
+  close(ready[1]);
+  char go = 0;
+  ASSERT_EQ(read(ready[0], &go, 1), 1)
+      << "client exited before arming the spin launch";
+  ipc::Channel& channel = (*server)->channel(0);
+  ASSERT_TRUE(PollUntil(
+      [&] {
+        return channel.request().messages_read() >
+               channel.response().messages_written();
+      },
+      10'000));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_EQ(kill((*server)->worker_pid(0), SIGKILL), 0);
+  EXPECT_EQ(WaitExit(client), 0);
+  SharedServingState& state = (*server)->state();
+  ASSERT_TRUE(PollUntil([&] { return state.FailedSessions() == 1; }, 5000));
+
+  std::vector<obs::SpanRecord> spans;
+  obs::TraceRecorder::Instance().Collect(&spans);
+
+  // Only whole records surface: the commit-word protocol means a torn
+  // record is invisible, never garbled.
+  ASSERT_FALSE(spans.empty());
+  for (const obs::SpanRecord& rec : spans) {
+    EXPECT_TRUE(rec.phase == 'X' || rec.phase == 'B' || rec.phase == 'i')
+        << rec.phase;
+    EXPECT_NE(rec.name[0], '\0');
+    EXPECT_EQ(rec.name[obs::SpanRecord::kNameCap - 1], '\0');
+    EXPECT_NE(rec.begin_ns, 0u);
+    EXPECT_GT(rec.pid, 0);
+  }
+
+  // The kill mid-kernel left an execution span opened ('B') and never
+  // completed: no 'X' record shares its span id. It carries the dead
+  // worker's pid, not ours.
+  const obs::SpanRecord* unterminated = nullptr;
+  for (const obs::SpanRecord& rec : spans) {
+    if (rec.phase != 'B' || std::strncmp(rec.name, "exec.t", 6) != 0) continue;
+    bool completed = false;
+    for (const obs::SpanRecord& other : spans)
+      if (other.phase == 'X' && other.span_id == rec.span_id) completed = true;
+    if (!completed) unterminated = &rec;
+  }
+  ASSERT_NE(unterminated, nullptr)
+      << "no unterminated exec span from the killed worker";
+  EXPECT_NE(unterminated->pid, getpid());
+
+  // The worker got as far as serving the session setup: its dispatch spans
+  // were committed before the kill...
+  bool worker_dispatch = false;
+  for (const obs::SpanRecord& rec : spans)
+    if (std::strcmp(rec.name, "ModuleLoadData") == 0) worker_dispatch = true;
+  EXPECT_TRUE(worker_dispatch);
+  // ...and the supervisor marked the death in the same trace stream.
+  bool killed_mark = false;
+  for (const obs::SpanRecord& rec : spans)
+    if (std::strcmp(rec.name, "worker.killed") == 0 && rec.phase == 'i')
+      killed_mark = true;
+  EXPECT_TRUE(killed_mark);
+
+  // The export path renders the evidence: an unterminated "exec." slice.
+  const std::string json = obs::TraceExporter::ToChromeJson(spans);
+  EXPECT_NE(json.find("\"name\":\"exec.t"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+
+  // Unbind before the SharedRegion goes away with the server.
+  obs::TraceRecorder::Instance().Reset();
+  (*server)->Stop();
+  close(ready[0]);
 }
 
 }  // namespace
