@@ -1,0 +1,165 @@
+// bench_fleet: chaos-gated fleet traffic bench over the process-mode pool.
+//
+// Two seeded scenarios, identical load shape:
+//   baseline  — mixed realtime-inference / batch-training tenants, no faults;
+//   chaos     — same fleet with worker SIGKILLs, a SIGSTOP delay, torn /
+//               truncated / garbage frames on the reserved chaos channel and
+//               one stalled (non-draining) tenant.
+// Emits one flat BENCH_fleet.json line (schema: docs/metrics.md) and exits
+// non-zero when the robustness gates fail:
+//   - hangs == 0 in both scenarios (every deadline-bounded call returned);
+//   - every victim session recovered via the grdLib retry path;
+//   - chaos landed: >= 2 kills, >= 1 stalled tenant, >= 1 corrupt frame
+//     contained by the ring;
+//   - realtime survivor p99 within 2x of the no-chaos baseline (both
+//     percentiles are log2-bucket upper bounds, so one bucket of drift is
+//     exactly 2.0 — the gate uses <=).
+//
+// GRD_BENCH_QUICK=1 shrinks the fleet for CI smoke runs.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_json.hpp"
+#include "fleet/fleet.hpp"
+
+namespace {
+
+using grd::fleet::Fleet;
+using grd::fleet::FleetOptions;
+using grd::fleet::FleetReport;
+
+FleetOptions BaseOptions(bool quick) {
+  FleetOptions options;
+  options.seed = 42;
+  options.workers = 4;
+  options.channels = quick ? 8 : 12;
+  options.sessions_per_channel = quick ? 3 : 6;
+  options.requests_per_session = 24;
+  options.realtime_fraction = 0.5;
+  options.ring_bytes = 1u << 16;
+  options.call_timeout = std::chrono::milliseconds(200);
+  options.recovery_attempts = 8;
+  return options;
+}
+
+FleetOptions ChaosOptionsFor(bool quick) {
+  FleetOptions options = BaseOptions(quick);
+  options.stalled_tenants = 1;
+  options.chaos.seed = 1234;
+  options.chaos.worker_kills = quick ? 2 : 3;
+  options.chaos.delays = 1;
+  options.chaos.delay_hold = std::chrono::microseconds(1500);
+  options.chaos.torn_frames = 3;
+  options.chaos.truncated_frames = 2;
+  options.chaos.garbage_frames = 3;
+  // Kills wait for a quarter of the fleet's request cycles so they land
+  // mid-traffic, not on an idle pool.
+  options.chaos.min_requests_before_kill =
+      static_cast<std::uint64_t>(options.channels) *
+      options.sessions_per_channel * options.requests_per_session / 4;
+  options.chaos.min_gap = std::chrono::microseconds(500);
+  options.chaos.max_gap = std::chrono::microseconds(4000);
+  // Trace the chaos scenario: CI uploads the span timeline of the faulted
+  // run (killed-worker spans included) next to the JSON artifact. Fleet
+  // exports before teardown — the span arena dies with the pool.
+  options.tracing = true;
+  options.trace_path = "trace.json";
+  return options;
+}
+
+int Fail(const char* gate, unsigned long long got, unsigned long long want) {
+  std::printf("bench_fleet: GATE FAILED: %s (got %llu, want %llu)\n", gate,
+              got, want);
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = std::getenv("GRD_BENCH_QUICK") != nullptr;
+
+  Fleet baseline(BaseOptions(quick));
+  grd::Status status = baseline.Run();
+  if (!status.ok()) {
+    std::printf("bench_fleet: baseline scenario failed: %s\n",
+                status.ToString().c_str());
+    return 1;
+  }
+  const FleetReport& base = baseline.report();
+
+  Fleet chaos(ChaosOptionsFor(quick));
+  status = chaos.Run();
+  if (!status.ok()) {
+    std::printf("bench_fleet: chaos scenario failed: %s\n",
+                status.ToString().c_str());
+    return 1;
+  }
+  const FleetReport& faulted = chaos.report();
+
+  const double ratio =
+      base.realtime_p99_ns > 0
+          ? static_cast<double>(faulted.realtime_p99_ns) /
+                static_cast<double>(base.realtime_p99_ns)
+          : 0.0;
+
+  grd::bench::JsonLine json;
+  json.Add("quick", quick)
+      .Add("seed", std::uint64_t{42})
+      .Add("sessions", faulted.sessions)
+      .Add("baseline_rt_requests", base.realtime_requests)
+      .Add("baseline_rt_p50_us", base.realtime_p50_ns / 1000)
+      .Add("baseline_rt_p99_us", base.realtime_p99_ns / 1000)
+      .Add("baseline_batch_p99_us", base.batch_p99_ns / 1000)
+      .Add("baseline_wall_ms", base.wall_ms, 1)
+      .Add("chaos_rt_requests", faulted.realtime_requests)
+      .Add("chaos_rt_p50_us", faulted.realtime_p50_ns / 1000)
+      .Add("chaos_rt_p99_us", faulted.realtime_p99_ns / 1000)
+      .Add("chaos_batch_p99_us", faulted.batch_p99_ns / 1000)
+      .Add("chaos_wall_ms", faulted.wall_ms, 1)
+      .Add("rt_p99_ratio", ratio, 3)
+      .Add("kills", faulted.kills)
+      .Add("delays", faulted.delays)
+      .Add("torn_frames", faulted.torn_frames)
+      .Add("truncated_frames", faulted.truncated_frames)
+      .Add("garbage_frames", faulted.garbage_frames)
+      .Add("stalls_injected", faulted.stalls_injected)
+      .Add("frames_corrupt", faulted.frames_corrupt)
+      .Add("victims", faulted.victims)
+      .Add("victims_recovered", faulted.victims_recovered)
+      .Add("recoveries", faulted.recoveries)
+      .Add("recovery_retries", faulted.recovery_retries)
+      .Add("deadline_exceeded", faulted.deadline_exceeded)
+      .Add("synthetic_responses", faulted.synthetic_responses)
+      .Add("workers_respawned", faulted.workers_respawned)
+      .Add("sessions_crash_failed", faulted.sessions_crash_failed)
+      .Add("sessions_completed", faulted.sessions_completed)
+      .Add("connect_failures", faulted.connect_failures)
+      .Add("hangs", base.hangs + faulted.hangs);
+  json.Emit("fleet");
+
+  // ---- robustness gates ---------------------------------------------------
+  int rc = 0;
+  if (base.hangs + faulted.hangs != 0)
+    rc |= Fail("zero hangs", base.hangs + faulted.hangs, 0);
+  if (faulted.kills < 2) rc |= Fail("kills >= 2", faulted.kills, 2);
+  if (faulted.stalls_injected < 1)
+    rc |= Fail("stalled tenants >= 1", faulted.stalls_injected, 1);
+  if (faulted.frames_corrupt < 1)
+    rc |= Fail("corrupt frames contained >= 1", faulted.frames_corrupt, 1);
+  if (faulted.victims_recovered < faulted.victims)
+    rc |= Fail("every victim recovered", faulted.victims_recovered,
+               faulted.victims);
+  if (faulted.sessions_completed < faulted.sessions)
+    rc |= Fail("all sessions completed", faulted.sessions_completed,
+               faulted.sessions);
+  if (ratio > 2.0) {
+    std::printf(
+        "bench_fleet: GATE FAILED: realtime survivor p99 ratio %.3f > 2.0 "
+        "(baseline %llu us, chaos %llu us)\n",
+        ratio, static_cast<unsigned long long>(base.realtime_p99_ns / 1000),
+        static_cast<unsigned long long>(faulted.realtime_p99_ns / 1000));
+    rc = 1;
+  }
+  if (rc == 0) std::printf("bench_fleet: all robustness gates passed\n");
+  return rc;
+}

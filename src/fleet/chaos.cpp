@@ -1,0 +1,167 @@
+#include "fleet/chaos.hpp"
+
+#include <signal.h>
+#include <time.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace grd::fleet {
+namespace {
+
+void SleepMicros(std::int64_t us) {
+  timespec deadline;
+  clock_gettime(CLOCK_MONOTONIC, &deadline);
+  deadline.tv_sec += us / 1'000'000;
+  deadline.tv_nsec += (us % 1'000'000) * 1000;
+  if (deadline.tv_nsec >= 1'000'000'000) {
+    deadline.tv_sec += 1;
+    deadline.tv_nsec -= 1'000'000'000;
+  }
+  while (clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME, &deadline,
+                         nullptr) == EINTR) {
+  }
+}
+
+}  // namespace
+
+void ChaosController::InjectGarbageFrame(ipc::ShmRing& ring, Rng& rng) {
+  ipc::Bytes junk(24 + rng.NextBelow(40));
+  for (auto& byte : junk) byte = static_cast<std::uint8_t>(rng.Next());
+  (void)ring.TryWrite(junk);
+}
+
+void ChaosController::InjectTornFrame(ipc::ShmRing& ring, Rng& rng) {
+  // Length prefix promising far more payload than will ever arrive, plus a
+  // few junk bytes — the shape a writer killed mid-copy would leave if the
+  // publish protocol were broken. TryRead must clamp and count it.
+  std::uint8_t frame[12];
+  const std::uint32_t claimed =
+      static_cast<std::uint32_t>(ring.capacity() + 1 + rng.NextBelow(4096));
+  std::memcpy(frame, &claimed, sizeof(claimed));
+  for (std::size_t i = sizeof(claimed); i < sizeof(frame); ++i)
+    frame[i] = static_cast<std::uint8_t>(rng.Next());
+  (void)ring.InjectRaw(frame, sizeof(frame));
+}
+
+void ChaosController::InjectTruncatedFrame(ipc::ShmRing& ring) {
+  // Not even a whole length prefix: impossible under the publish protocol,
+  // so the reader must treat it as corruption, not wait for more bytes.
+  const std::uint8_t stub[2] = {0xde, 0xad};
+  (void)ring.InjectRaw(stub, sizeof(stub));
+}
+
+pid_t ChaosController::PickWorkerPid(Rng& rng) const {
+  const std::uint32_t workers = server_->options().workers;
+  const std::uint32_t start = static_cast<std::uint32_t>(
+      rng.NextBelow(workers == 0 ? 1 : workers));
+  for (std::uint32_t i = 0; i < workers; ++i) {
+    const pid_t pid = server_->worker_pid((start + i) % workers);
+    if (pid > 0) return pid;
+  }
+  return -1;
+}
+
+void ChaosController::Start(const std::atomic<std::uint64_t>* progress) {
+  stop_.store(false, std::memory_order_release);
+  injector_ = std::thread([this, progress] { Loop(progress); });
+}
+
+void ChaosController::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (injector_.joinable()) injector_.join();
+}
+
+void ChaosController::Loop(const std::atomic<std::uint64_t>* progress) {
+  Rng rng(options_.seed);
+  std::vector<Event> schedule;
+  for (std::uint32_t i = 0; i < options_.worker_kills; ++i)
+    schedule.push_back(Event::kKill);
+  for (std::uint32_t i = 0; i < options_.delays; ++i)
+    schedule.push_back(Event::kDelay);
+  for (std::uint32_t i = 0; i < options_.torn_frames; ++i)
+    schedule.push_back(Event::kTorn);
+  for (std::uint32_t i = 0; i < options_.truncated_frames; ++i)
+    schedule.push_back(Event::kTruncated);
+  for (std::uint32_t i = 0; i < options_.garbage_frames; ++i)
+    schedule.push_back(Event::kGarbage);
+  // Seeded Fisher-Yates: the same seed replays the same fault order.
+  for (std::size_t i = schedule.size(); i > 1; --i)
+    std::swap(schedule[i - 1], schedule[rng.NextBelow(i)]);
+
+  for (const Event event : schedule) {
+    if (stop_.load(std::memory_order_acquire)) return;
+    const std::int64_t span =
+        options_.max_gap.count() - options_.min_gap.count();
+    SleepMicros(options_.min_gap.count() +
+                (span > 0 ? static_cast<std::int64_t>(rng.NextBelow(
+                                static_cast<std::uint64_t>(span)))
+                          : 0));
+    switch (event) {
+      case Event::kKill: {
+        // Hold fire until the fleet has made real progress, so the kill
+        // lands mid-traffic; give up waiting only on stop.
+        while (progress != nullptr &&
+               progress->load(std::memory_order_relaxed) <
+                   options_.min_requests_before_kill &&
+               !stop_.load(std::memory_order_acquire))
+          SleepMicros(200);
+        const pid_t pid = PickWorkerPid(rng);
+        if (pid <= 0) {
+          skipped_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        if (::kill(pid, SIGKILL) == 0)
+          kills_.fetch_add(1, std::memory_order_relaxed);
+        else
+          skipped_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      case Event::kDelay: {
+        const pid_t pid = PickWorkerPid(rng);
+        if (pid <= 0) {
+          skipped_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        if (::kill(pid, SIGSTOP) == 0) {
+          SleepMicros(options_.delay_hold.count());
+          // The pid may have been reaped+respawned only if something else
+          // SIGKILLed it meanwhile; SIGCONT on a gone pid is harmless.
+          ::kill(pid, SIGCONT);
+          delays_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          skipped_.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      }
+      case Event::kTorn:
+        if (ring_ == nullptr) {
+          skipped_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          InjectTornFrame(*ring_, rng);
+          torn_.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      case Event::kTruncated:
+        if (ring_ == nullptr) {
+          skipped_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          InjectTruncatedFrame(*ring_);
+          truncated_.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+      case Event::kGarbage:
+        if (ring_ == nullptr) {
+          skipped_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          InjectGarbageFrame(*ring_, rng);
+          garbage_.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace grd::fleet

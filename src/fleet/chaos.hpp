@@ -1,0 +1,102 @@
+// Chaos injection against a live ProcessServer worker pool.
+//
+// A seeded background thread replays a shuffled schedule of fault events
+// while the fleet drives traffic:
+//  - worker SIGKILLs mid-request (the paper's crash-containment scenario,
+//    §4.2.3: a tenant fault must not take the service down);
+//  - SIGSTOP/SIGCONT holds — delayed responses from a live worker;
+//  - torn / truncated / garbage frames written into a designated ring,
+//    exercising ipc::ShmRing's corrupt-frame containment end to end.
+//
+// The ring-level hooks are static so protocol robustness tests can aim the
+// same faults at their own channels without standing up a controller.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "guardian/process_server.hpp"
+#include "ipc/shm_ring.hpp"
+
+namespace grd::fleet {
+
+struct ChaosOptions {
+  std::uint64_t seed = 1;
+  std::uint32_t worker_kills = 0;
+  std::uint32_t delays = 0;  // SIGSTOP→hold→SIGCONT rounds
+  std::chrono::microseconds delay_hold{2000};
+  std::uint32_t torn_frames = 0;
+  std::uint32_t truncated_frames = 0;
+  std::uint32_t garbage_frames = 0;
+  // A kill only fires once the observed progress counter (fleet request
+  // cycles) reaches this floor, so victims die MID-run, not before traffic.
+  std::uint64_t min_requests_before_kill = 1;
+  // Spacing between consecutive events, uniformly drawn.
+  std::chrono::microseconds min_gap{500};
+  std::chrono::microseconds max_gap{4000};
+};
+
+class ChaosController {
+ public:
+  ChaosController(guardian::ProcessServer* server, ChaosOptions options)
+      : server_(server), options_(options) {}
+  ~ChaosController() { Stop(); }
+
+  // Frame-fault target (typically a reserved channel's request ring no
+  // honest tenant uses). Unset, frame events are skipped and counted as
+  // such. Must be called before Start().
+  void ArmRing(ipc::ShmRing* ring) { ring_ = ring; }
+
+  // Launches the injection thread; `progress` (may be null) gates kills.
+  void Start(const std::atomic<std::uint64_t>* progress);
+  // Joins the thread after the schedule drains (idempotent).
+  void Stop();
+
+  std::uint64_t kills_injected() const noexcept { return kills_; }
+  std::uint64_t delays_injected() const noexcept { return delays_; }
+  std::uint64_t torn_injected() const noexcept { return torn_; }
+  std::uint64_t truncated_injected() const noexcept { return truncated_; }
+  std::uint64_t garbage_injected() const noexcept { return garbage_; }
+  std::uint64_t skipped_events() const noexcept { return skipped_; }
+
+  // --- ring-level fault hooks (also for tests) ---
+  // Frame-shaped write whose body is noise: the ring stays valid, the
+  // protocol layer must reject the garbage header cleanly.
+  static void InjectGarbageFrame(ipc::ShmRing& ring, Rng& rng);
+  // Raw length prefix claiming more bytes than exist: TryRead must detect,
+  // repair (head := tail, frames_corrupt++) and return kAborted.
+  static void InjectTornFrame(ipc::ShmRing& ring, Rng& rng);
+  // Fewer bytes than a length prefix: same containment path.
+  static void InjectTruncatedFrame(ipc::ShmRing& ring);
+
+ private:
+  enum class Event : std::uint8_t {
+    kKill,
+    kDelay,
+    kTorn,
+    kTruncated,
+    kGarbage,
+  };
+
+  void Loop(const std::atomic<std::uint64_t>* progress);
+  // A live worker's pid, or -1 when none is up right now.
+  pid_t PickWorkerPid(Rng& rng) const;
+
+  guardian::ProcessServer* server_;
+  ChaosOptions options_;
+  ipc::ShmRing* ring_ = nullptr;
+
+  std::thread injector_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> kills_{0};
+  std::atomic<std::uint64_t> delays_{0};
+  std::atomic<std::uint64_t> torn_{0};
+  std::atomic<std::uint64_t> truncated_{0};
+  std::atomic<std::uint64_t> garbage_{0};
+  std::atomic<std::uint64_t> skipped_{0};
+};
+
+}  // namespace grd::fleet

@@ -1,0 +1,253 @@
+#include "fleet/fleet.hpp"
+
+#include <time.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "guardian/process_server.hpp"
+#include "guardian/protocol.hpp"
+#include "guardian/transport.hpp"
+#include "ipc/channel.hpp"
+#include "ipc/serializer.hpp"
+#include "obs/trace.hpp"
+
+namespace grd::fleet {
+namespace {
+
+using guardian::GrdLib;
+using guardian::GrdLibOptions;
+using protocol::Op;
+using simcuda::DevicePtr;
+
+void SleepNs(std::uint64_t ns) {
+  timespec deadline;
+  clock_gettime(CLOCK_MONOTONIC, &deadline);
+  deadline.tv_sec += static_cast<time_t>(ns / 1'000'000'000);
+  deadline.tv_nsec += static_cast<long>(ns % 1'000'000'000);
+  if (deadline.tv_nsec >= 1'000'000'000) {
+    deadline.tv_sec += 1;
+    deadline.tv_nsec -= 1'000'000'000;
+  }
+  while (clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME, &deadline,
+                         nullptr) == EINTR) {
+  }
+}
+
+// The stalled-tenant fault: a burst of large D2H reads issued raw (past the
+// transport), then the client goes silent instead of draining its response
+// ring. The worker pump must park at most one response for this channel and
+// keep serving its co-resident channels; when the tenant wakes, every
+// response is still there, in order.
+Status RunStalledBurst(ipc::Channel& channel, GrdLib& lib,
+                       std::chrono::nanoseconds timeout,
+                       std::uint64_t ring_bytes) {
+  const std::uint64_t chunk =
+      std::clamp<std::uint64_t>(ring_bytes / 4, 1024, 1u << 20);
+  DevicePtr buf = 0;
+  GRD_RETURN_IF_ERROR(lib.cudaMalloc(&buf, chunk));
+  constexpr int kBurst = 6;
+  int written = 0;
+  Status burst = OkStatus();
+  for (; written < kBurst; ++written) {
+    ipc::Writer request;
+    protocol::WriteHeader(request, Op::kMemcpyD2H, lib.client_id());
+    request.Put<std::uint64_t>(buf);
+    request.Put<std::uint64_t>(chunk);
+    burst = channel.request().WriteWithDeadline(std::move(request).Take(),
+                                                timeout);
+    if (!burst.ok()) break;
+  }
+  // Silence: longer than the pump's park deadline, shorter than ours.
+  SleepNs(10'000'000);
+  for (int i = 0; i < written; ++i) {
+    auto response = channel.response().ReadWithDeadline(timeout);
+    if (!response.ok()) {
+      // Pairing repair: the worker still owes responses this loop failed to
+      // collect. Drain until the ring stays silent so the session's later
+      // transport calls cannot mis-pair with a stale burst response.
+      while (channel.response()
+                 .ReadWithDeadline(std::chrono::milliseconds(20))
+                 .ok()) {
+      }
+      return response.status();
+    }
+    auto decoded = protocol::DecodeResponse(*response);
+    if (!decoded.ok()) burst = decoded.status();
+  }
+  GRD_RETURN_IF_ERROR(burst);
+  return lib.cudaFree(buf);
+}
+
+}  // namespace
+
+Fleet::Fleet(FleetOptions options) : options_(options) {
+  options_.stalled_tenants =
+      std::min(options_.stalled_tenants, options_.channels);
+}
+
+void Fleet::BindTo(obs::MetricsRegistry& registry) const {
+  slo_.BindTo(registry);
+  registry.Counter("fleet_request_cycles", &progress_);
+  registry.Counter("fleet_sessions_started", &sessions_started_);
+  registry.Counter("fleet_sessions_completed", &sessions_completed_);
+  registry.Counter("fleet_victims", &victims_);
+  registry.Counter("fleet_victims_recovered", &victims_recovered_);
+  registry.Counter("fleet_recoveries", &recoveries_);
+  registry.Counter("fleet_recovery_retries", &recovery_retries_);
+  registry.Counter("fleet_connect_failures", &connect_failures_);
+  registry.Counter("fleet_stalls_injected", &stalls_injected_);
+}
+
+Status Fleet::Run() {
+  const bool frame_chaos = options_.chaos.torn_frames +
+                               options_.chaos.truncated_frames +
+                               options_.chaos.garbage_frames >
+                           0;
+  guardian::ProcessServerOptions server_opts;
+  server_opts.workers = options_.workers;
+  // Frame faults land on a reserved extra channel no tenant uses: they
+  // prove ring containment without desynchronizing a live session's
+  // request/response pairing.
+  server_opts.channels = options_.channels + (frame_chaos ? 1 : 0);
+  server_opts.layout.max_channels = server_opts.channels;
+  server_opts.layout.max_workers = std::max(options_.workers, 1u);
+  server_opts.layout.max_sessions = options_.channels * 2 + 16;
+  server_opts.layout.ring_bytes = options_.ring_bytes;
+  server_opts.manager.tracing_enabled = options_.tracing;
+
+  GRD_ASSIGN_OR_RETURN(std::unique_ptr<guardian::ProcessServer> server,
+                       guardian::ProcessServer::Create(server_opts));
+  GRD_RETURN_IF_ERROR(server->Start());
+  if (!server->WaitForChannelOwners())
+    return Internal("fleet worker pool failed to claim its channels");
+
+  ChaosController chaos(server.get(), options_.chaos);
+  if (frame_chaos)
+    chaos.ArmRing(&server->channel(options_.channels).request());
+  chaos.Start(&progress_);
+
+  const auto wall_begin = std::chrono::steady_clock::now();
+  std::vector<std::thread> drivers;
+  drivers.reserve(options_.channels);
+  for (std::uint32_t ch = 0; ch < options_.channels; ++ch) {
+    drivers.emplace_back([this, &server, ch] {
+      Rng rng(options_.seed * 0x9E3779B97F4A7C15ull + ch + 1);
+      // First *successful* session on a stalled channel goes silent after
+      // its work (a crashed first session would otherwise skip the fault).
+      bool stall_pending = ch < options_.stalled_tenants;
+      for (std::uint32_t s = 0; s < options_.sessions_per_channel; ++s) {
+        sessions_started_.fetch_add(1, std::memory_order_relaxed);
+        TenantSpec spec = rng.NextDouble() < options_.realtime_fraction
+                              ? MakeRealtimeInferenceSpec()
+                              : MakeBatchTrainingSpec();
+        spec.requests = options_.requests_per_session;
+
+        guardian::ChannelTransport transport(&server->channel(ch),
+                                             options_.call_timeout);
+        GrdLibOptions lib_opts;
+        lib_opts.recovery_attempts = options_.recovery_attempts;
+        auto lib = GrdLib::Connect(&transport, 2u << 20, lib_opts);
+        if (!lib.ok()) {
+          connect_failures_.fetch_add(1, std::memory_order_relaxed);
+          sessions_finished_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        (void)lib->SetPriority(spec.priority);
+
+        Status st = RunTenantSession(*lib, spec, rng, slo_, &progress_);
+        if (st.ok() && stall_pending) {
+          stall_pending = false;
+          stalls_injected_.fetch_add(1, std::memory_order_relaxed);
+          st = RunStalledBurst(server->channel(ch), *lib,
+                               options_.call_timeout, options_.ring_bytes);
+        }
+        if (!st.ok() && (st.code() == StatusCode::kUnavailable ||
+                         st.code() == StatusCode::kDeadlineExceeded)) {
+          // Victim: its worker died (or wedged) under it. grdLib has
+          // already re-registered the session and replayed the module
+          // journal; rebuild device state by re-running the cycle.
+          victims_.fetch_add(1, std::memory_order_relaxed);
+          for (int attempt = 0; attempt < 4 && !st.ok(); ++attempt) {
+            if (st.code() != StatusCode::kUnavailable &&
+                st.code() != StatusCode::kDeadlineExceeded)
+              break;
+            st = RunTenantSession(*lib, spec, rng, slo_, &progress_);
+          }
+          if (st.ok())
+            victims_recovered_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (st.ok())
+          sessions_completed_.fetch_add(1, std::memory_order_relaxed);
+        recoveries_.fetch_add(lib->recoveries(), std::memory_order_relaxed);
+        recovery_retries_.fetch_add(lib->recovery_retries(),
+                                    std::memory_order_relaxed);
+        (void)lib->Disconnect();
+        sessions_finished_.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+  const auto wall_end = std::chrono::steady_clock::now();
+  chaos.Stop();
+
+  // Snapshot server-side counters before teardown.
+  guardian::SharedPoolCounters& counters = server->state().counters();
+  report_.synthetic_responses = counters.synthetic_responses.load();
+  report_.workers_respawned = counters.workers_respawned.load();
+  report_.sessions_crash_failed = counters.sessions_crash_failed.load();
+  report_.frames_corrupt = 0;
+  for (std::uint32_t i = 0; i < server_opts.channels; ++i)
+    report_.frames_corrupt += server->channel(i).request().frames_corrupt() +
+                              server->channel(i).response().frames_corrupt();
+  // The span arena is shared-region memory: export before Stop unbinds the
+  // recorder and the region goes away with the server.
+  if (options_.tracing && !options_.trace_path.empty()) {
+    const Status exported = obs::TraceExporter::WriteFile(options_.trace_path);
+    if (!exported.ok())
+      GRD_LOG_WARN("Fleet") << "trace export failed: "
+                            << exported.ToString();
+  }
+  server->Stop();
+
+  const ClassSlo& rt = slo_.cls(protocol::PriorityClass::kRealtime);
+  const ClassSlo& batch = slo_.cls(protocol::PriorityClass::kBatch);
+  report_.realtime_requests = rt.requests.load();
+  report_.realtime_ok = rt.ok.load();
+  report_.realtime_p50_ns = rt.latency.PercentileNs(0.50);
+  report_.realtime_p99_ns = rt.latency.PercentileNs(0.99);
+  report_.batch_requests = batch.requests.load();
+  report_.batch_ok = batch.ok.load();
+  report_.batch_p99_ns = batch.latency.PercentileNs(0.99);
+  report_.deadline_exceeded = 0;
+  for (int c = 0; c < protocol::kPriorityClassCount; ++c)
+    report_.deadline_exceeded +=
+        slo_.cls(static_cast<protocol::PriorityClass>(c))
+            .deadline_exceeded.load();
+  report_.sessions =
+      static_cast<std::uint64_t>(options_.channels) *
+      options_.sessions_per_channel;
+  report_.sessions_completed = sessions_completed_.load();
+  report_.victims = victims_.load();
+  report_.victims_recovered = victims_recovered_.load();
+  report_.recoveries = recoveries_.load();
+  report_.recovery_retries = recovery_retries_.load();
+  report_.connect_failures = connect_failures_.load();
+  report_.stalls_injected = stalls_injected_.load();
+  report_.hangs = sessions_started_.load() - sessions_finished_.load();
+  report_.kills = chaos.kills_injected();
+  report_.delays = chaos.delays_injected();
+  report_.torn_frames = chaos.torn_injected();
+  report_.truncated_frames = chaos.truncated_injected();
+  report_.garbage_frames = chaos.garbage_injected();
+  report_.wall_ms = std::chrono::duration<double, std::milli>(wall_end -
+                                                              wall_begin)
+                        .count();
+  return OkStatus();
+}
+
+}  // namespace grd::fleet

@@ -1,0 +1,117 @@
+// Closed-loop multi-tenant fleet harness over a ProcessServer pool.
+//
+// One driver thread per channel replays seeded session cycles of mixed
+// realtime-inference / batch-training tenants (traffic.hpp) while an
+// optional ChaosController SIGKILLs workers, stalls readers and corrupts
+// frames underneath them. The harness proves the full fault model:
+//  - per-call deadlines (ChannelTransport) — no client ever hangs;
+//  - grdLib recovery — a victim session re-registers, replays its module
+//    journal and finishes its work;
+//  - worker pump backpressure — a stalled tenant parks its responses
+//    without wedging co-resident tenants;
+//  - supervisor repair — synthetic responses + respawn keep counters exact.
+// Per-class SLO latencies land in a SloBoard (registry-bindable).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+#include "fleet/chaos.hpp"
+#include "fleet/slo.hpp"
+#include "fleet/traffic.hpp"
+#include "obs/metrics.hpp"
+
+namespace grd::fleet {
+
+struct FleetOptions {
+  std::uint64_t seed = 42;
+  std::uint32_t workers = 4;
+  std::uint32_t channels = 8;  // tenant channels (chaos channel is extra)
+  std::uint32_t sessions_per_channel = 4;
+  std::uint32_t requests_per_session = 24;
+  double realtime_fraction = 0.5;
+  // Deliberately small rings: response backpressure is part of the test.
+  std::uint64_t ring_bytes = 1u << 16;
+  std::chrono::milliseconds call_timeout{50};
+  int recovery_attempts = 8;
+  // Channels whose first session stops draining responses mid-run (the
+  // stalled-tenant fault; capped at `channels`).
+  std::uint32_t stalled_tenants = 0;
+  ChaosOptions chaos;  // all-zero budgets = no chaos
+  bool tracing = false;
+  // When tracing: export the pool's span timeline here before teardown
+  // (the span arena lives in the server's shared region and dies with it).
+  std::string trace_path;
+};
+
+struct FleetReport {
+  // Per-class SLO snapshots (ns percentiles are log2-bucket upper bounds).
+  std::uint64_t realtime_requests = 0;
+  std::uint64_t realtime_ok = 0;
+  std::uint64_t realtime_p50_ns = 0;
+  std::uint64_t realtime_p99_ns = 0;
+  std::uint64_t batch_requests = 0;
+  std::uint64_t batch_ok = 0;
+  std::uint64_t batch_p99_ns = 0;
+  std::uint64_t deadline_exceeded = 0;  // across all classes
+  // Session outcomes.
+  std::uint64_t sessions = 0;
+  std::uint64_t sessions_completed = 0;
+  std::uint64_t victims = 0;            // sessions that saw kUnavailable
+  std::uint64_t victims_recovered = 0;  // ...and then finished their work
+  std::uint64_t recoveries = 0;         // grdLib session re-registrations
+  std::uint64_t recovery_retries = 0;   // calls transparently re-sent
+  std::uint64_t connect_failures = 0;
+  std::uint64_t stalls_injected = 0;
+  std::uint64_t hangs = 0;  // sessions started but never finished
+  // Server-side repair counters (SharedPoolCounters + ring headers).
+  std::uint64_t frames_corrupt = 0;
+  std::uint64_t synthetic_responses = 0;
+  std::uint64_t workers_respawned = 0;
+  std::uint64_t sessions_crash_failed = 0;
+  // Chaos events actually landed.
+  std::uint64_t kills = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t torn_frames = 0;
+  std::uint64_t truncated_frames = 0;
+  std::uint64_t garbage_frames = 0;
+  double wall_ms = 0.0;
+};
+
+class Fleet {
+ public:
+  explicit Fleet(FleetOptions options);
+
+  // Stands up the pool, drives every session to completion (all calls are
+  // deadline-bounded, so Run always returns), tears down, fills report().
+  Status Run();
+
+  const FleetReport& report() const noexcept { return report_; }
+  const SloBoard& slo() const noexcept { return slo_; }
+
+  // Registers the per-class SLO cells plus the fleet outcome counters;
+  // this Fleet must outlive the registry.
+  void BindTo(obs::MetricsRegistry& registry) const;
+
+ private:
+  FleetOptions options_;
+  SloBoard slo_;
+  FleetReport report_;
+
+  // Live counters (registry-bindable; snapshotted into report_ by Run).
+  std::atomic<std::uint64_t> progress_{0};
+  std::atomic<std::uint64_t> sessions_started_{0};
+  std::atomic<std::uint64_t> sessions_finished_{0};
+  std::atomic<std::uint64_t> sessions_completed_{0};
+  std::atomic<std::uint64_t> victims_{0};
+  std::atomic<std::uint64_t> victims_recovered_{0};
+  std::atomic<std::uint64_t> recoveries_{0};
+  std::atomic<std::uint64_t> recovery_retries_{0};
+  std::atomic<std::uint64_t> connect_failures_{0};
+  std::atomic<std::uint64_t> stalls_injected_{0};
+};
+
+}  // namespace grd::fleet

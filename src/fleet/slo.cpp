@@ -1,0 +1,58 @@
+#include "fleet/slo.hpp"
+
+#include <string>
+
+namespace grd::fleet {
+
+const char* SloBoard::ClassName(protocol::PriorityClass c) noexcept {
+  switch (c) {
+    case protocol::PriorityClass::kRealtime: return "realtime";
+    case protocol::PriorityClass::kNormal: return "normal";
+    case protocol::PriorityClass::kBatch: return "batch";
+  }
+  return "unknown";
+}
+
+void SloBoard::Record(protocol::PriorityClass cls, std::uint64_t latency_ns,
+                      const Status& status) {
+  ClassSlo& slo = this->cls(cls);
+  // Survivor semantics: the latency histogram holds only successful cycles.
+  // A failed cycle's duration is dominated by the fault (a 50ms deadline, a
+  // recovery backoff), which would drown the p99 the SLO gate compares.
+  if (status.ok()) slo.latency.Record(latency_ns);
+  slo.requests.fetch_add(1, std::memory_order_relaxed);
+  switch (status.code()) {
+    case StatusCode::kOk:
+      slo.ok.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kUnavailable:
+      slo.unavailable.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kDeadlineExceeded:
+      slo.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case StatusCode::kAborted:
+      slo.aborted.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      slo.other_errors.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+void SloBoard::BindTo(obs::MetricsRegistry& registry) const {
+  for (int c = 0; c < protocol::kPriorityClassCount; ++c) {
+    const auto cls = static_cast<protocol::PriorityClass>(c);
+    const std::string prefix = std::string("fleet_") + ClassName(cls);
+    const ClassSlo& slo = classes_[c];
+    registry.Counter(prefix + "_requests", &slo.requests);
+    registry.Counter(prefix + "_ok", &slo.ok);
+    registry.Counter(prefix + "_unavailable", &slo.unavailable);
+    registry.Counter(prefix + "_deadline_exceeded", &slo.deadline_exceeded);
+    registry.Counter(prefix + "_aborted", &slo.aborted);
+    registry.Counter(prefix + "_other_errors", &slo.other_errors);
+    registry.Histogram("fleet_latency", ClassName(cls), &slo.latency);
+  }
+}
+
+}  // namespace grd::fleet

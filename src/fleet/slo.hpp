@@ -1,0 +1,58 @@
+// Per-priority-class SLO accounting for the fleet traffic harness.
+//
+// Every request cycle a tenant driver issues lands here under the session's
+// protocol::PriorityClass: a latency sample plus an outcome counter. The
+// cells are the registry-compatible shapes (obs::Log2Histogram, plain
+// atomics), so a SloBoard binds directly into an obs::MetricsRegistry and
+// the per-class SLOs render next to the manager's own counters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "guardian/protocol.hpp"
+#include "obs/metrics.hpp"
+
+namespace grd::fleet {
+
+// The wire-protocol vocabulary (ops, priority classes) is guardian's.
+namespace protocol = guardian::protocol;
+
+struct ClassSlo {
+  obs::Log2Histogram latency;  // successful (survivor) cycles only
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> ok{0};
+  // Worker crashed / session failed under the call.
+  std::atomic<std::uint64_t> unavailable{0};
+  // Per-call deadline fired (wedged or stopped manager).
+  std::atomic<std::uint64_t> deadline_exceeded{0};
+  // Corrupt-frame containment surfaced on this call.
+  std::atomic<std::uint64_t> aborted{0};
+  std::atomic<std::uint64_t> other_errors{0};
+};
+
+// Thread-safe: drivers on different threads record concurrently.
+class SloBoard {
+ public:
+  void Record(protocol::PriorityClass cls, std::uint64_t latency_ns,
+              const Status& status);
+
+  ClassSlo& cls(protocol::PriorityClass c) noexcept {
+    return classes_[static_cast<int>(c)];
+  }
+  const ClassSlo& cls(protocol::PriorityClass c) const noexcept {
+    return classes_[static_cast<int>(c)];
+  }
+
+  // Registers every class's cells ("fleet_<class>_*" counters plus the
+  // "fleet_latency" histogram group). The board must outlive the registry.
+  void BindTo(obs::MetricsRegistry& registry) const;
+
+  static const char* ClassName(protocol::PriorityClass c) noexcept;
+
+ private:
+  ClassSlo classes_[protocol::kPriorityClassCount];
+};
+
+}  // namespace grd::fleet

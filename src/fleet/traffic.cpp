@@ -1,0 +1,196 @@
+#include "fleet/traffic.hpp"
+
+#include <time.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+#include "ptx/generator.hpp"
+#include "ptx/printer.hpp"
+
+namespace grd::fleet {
+namespace {
+
+using guardian::GrdLib;
+using ptxexec::KernelArg;
+using simcuda::DevicePtr;
+
+// Exponential tails are unbounded; cap one think-time so a single draw
+// cannot dominate a bench run.
+constexpr std::uint64_t kMaxGapNs = 10'000'000;
+
+std::uint64_t ExpGapNs(Rng& rng, double mean_events, double rate_hz) {
+  const double u = std::max(rng.NextDouble(), 1e-12);
+  const double ns = -std::log(u) * mean_events / rate_hz * 1e9;
+  return std::min<std::uint64_t>(static_cast<std::uint64_t>(ns), kMaxGapNs);
+}
+
+void SleepNs(std::uint64_t ns) {
+  if (ns == 0) return;
+  timespec deadline;
+  clock_gettime(CLOCK_MONOTONIC, &deadline);
+  deadline.tv_sec += static_cast<time_t>(ns / 1'000'000'000);
+  deadline.tv_nsec += static_cast<long>(ns % 1'000'000'000);
+  if (deadline.tv_nsec >= 1'000'000'000) {
+    deadline.tv_sec += 1;
+    deadline.tv_nsec -= 1'000'000'000;
+  }
+  while (clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME, &deadline,
+                         nullptr) == EINTR) {
+  }
+}
+
+std::uint64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::uint64_t ArrivalProcess::NextGapNs(Rng& rng,
+                                        std::uint64_t request_index) const {
+  switch (kind) {
+    case ArrivalKind::kClosedLoop:
+      return 0;
+    case ArrivalKind::kPoisson:
+      return ExpGapNs(rng, 1.0, rate_hz);
+    case ArrivalKind::kBursty:
+      // In-burst requests go back to back; the gap between bursts carries
+      // the whole burst's worth of think time.
+      if (burst_len == 0 || request_index % burst_len != 0 ||
+          request_index == 0)
+        return 0;
+      return ExpGapNs(rng, static_cast<double>(burst_len), rate_hz);
+  }
+  return 0;
+}
+
+TenantSpec MakeRealtimeInferenceSpec() {
+  TenantSpec spec;
+  spec.cls = TenantClass::kRealtimeInference;
+  spec.priority = protocol::PriorityClass::kRealtime;
+  spec.arrivals.kind = ArrivalKind::kPoisson;
+  spec.arrivals.rate_hz = 4000.0;
+  spec.requests = 24;
+  spec.payload_bytes = 256;
+  spec.threads = 32;
+  return spec;
+}
+
+TenantSpec MakeBatchTrainingSpec() {
+  TenantSpec spec;
+  spec.cls = TenantClass::kBatchTraining;
+  spec.priority = protocol::PriorityClass::kBatch;
+  spec.arrivals.kind = ArrivalKind::kBursty;
+  spec.arrivals.rate_hz = 2000.0;
+  spec.arrivals.burst_len = 8;
+  spec.requests = 24;
+  spec.payload_bytes = 2048;
+  spec.threads = 32;
+  return spec;
+}
+
+TenantKernel KernelFor(TenantClass cls) {
+  ptx::Module module;
+  if (cls == TenantClass::kRealtimeInference) {
+    module.kernels.push_back(ptx::MakeSaxpyKernel());
+    return {ptx::Print(module), "saxpy"};
+  }
+  module.kernels.push_back(ptx::MakeDotKernel());
+  return {ptx::Print(module), "dot"};
+}
+
+Status RunTenantSession(guardian::GrdLib& lib, const TenantSpec& spec,
+                        Rng& rng, SloBoard& slo,
+                        std::atomic<std::uint64_t>* progress) {
+  const TenantKernel kernel = KernelFor(spec.cls);
+  GRD_ASSIGN_OR_RETURN(simcuda::ModuleId module,
+                       lib.cuModuleLoadData(kernel.ptx));
+  GRD_ASSIGN_OR_RETURN(simcuda::FunctionId fn,
+                       lib.cuModuleGetFunction(module, kernel.entry));
+
+  const bool realtime = spec.cls == TenantClass::kRealtimeInference;
+  // dot (unroll 4) reads threads*4 floats from each input and writes
+  // threads floats; saxpy reads/writes payload_bytes/4 elements.
+  const std::uint64_t buf_bytes = std::max<std::uint64_t>(
+      spec.payload_bytes, realtime ? 0 : spec.threads * 16ull);
+  DevicePtr a = 0, b = 0, out = 0;
+  GRD_RETURN_IF_ERROR(lib.cudaMalloc(&a, buf_bytes));
+  GRD_RETURN_IF_ERROR(lib.cudaMalloc(&b, buf_bytes));
+  GRD_RETURN_IF_ERROR(lib.cudaMalloc(&out, std::max<std::uint64_t>(
+                                               spec.threads * 4ull, 64)));
+
+  simcuda::StreamId stream = simcuda::kDefaultStream;
+  if (!realtime) {
+    GRD_RETURN_IF_ERROR(lib.cudaStreamCreate(&stream));
+    lib.EnableBatching(8);
+  }
+
+  std::vector<float> payload(buf_bytes / sizeof(float));
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<float>(rng.NextDouble());
+
+  Status session = OkStatus();
+  for (std::uint32_t r = 0; r < spec.requests; ++r) {
+    SleepNs(spec.arrivals.NextGapNs(rng, r));
+    const std::uint64_t begin = NowNs();
+    Status cycle = OkStatus();
+    if (realtime) {
+      cycle = lib.cudaMemcpyH2D(a, payload.data(), spec.payload_bytes);
+      if (cycle.ok()) {
+        const std::uint32_t n = spec.payload_bytes / sizeof(float);
+        simcuda::LaunchConfig config;
+        config.block = {spec.threads, 1, 1};
+        config.grid = {(n + spec.threads - 1) / spec.threads, 1, 1};
+        cycle = lib.cudaLaunchKernel(
+            fn, config,
+            {KernelArg::U64(a), KernelArg::U64(b), KernelArg::F32(1.5f),
+             KernelArg::U32(n)});
+      }
+      if (cycle.ok()) {
+        float back = 0;
+        cycle = lib.cudaMemcpy(&back, b, sizeof(back),
+                               simcuda::MemcpyKind::kDeviceToHost);
+      }
+    } else {
+      cycle = lib.cudaMemcpyH2DAsync(a, payload.data(), spec.payload_bytes,
+                                     stream);
+      if (cycle.ok()) {
+        simcuda::LaunchConfig config;
+        config.block = {spec.threads, 1, 1};
+        config.grid = {1, 1, 1};
+        config.stream = stream;
+        cycle = lib.cudaLaunchKernel(
+            fn, config,
+            {KernelArg::U64(a), KernelArg::U64(b), KernelArg::U64(out)});
+      }
+      // Periodic sync: bounds the async error-reporting window and drains
+      // the batch buffer so backpressure is exercised, CUDA-style.
+      if (cycle.ok() && (r + 1) % 8 == 0) cycle = lib.cudaStreamSynchronize(stream);
+    }
+    slo.Record(spec.priority, NowNs() - begin, cycle);
+    if (progress != nullptr)
+      progress->fetch_add(1, std::memory_order_relaxed);
+    if (!cycle.ok()) {
+      session = cycle;
+      break;
+    }
+  }
+
+  if (session.ok() && !realtime)
+    session = lib.cudaStreamSynchronize(stream);
+  if (session.ok()) {
+    // Teardown is part of the session; a crash here still fails the cycle.
+    if (!realtime) GRD_RETURN_IF_ERROR(lib.cudaStreamDestroy(stream));
+    GRD_RETURN_IF_ERROR(lib.cudaFree(out));
+    GRD_RETURN_IF_ERROR(lib.cudaFree(b));
+    GRD_RETURN_IF_ERROR(lib.cudaFree(a));
+  }
+  return session;
+}
+
+}  // namespace grd::fleet

@@ -1,0 +1,72 @@
+// Fleet traffic model: tenant classes, arrival processes, and the per-class
+// session workload each driver thread replays against a connected session.
+//
+// Two tenant archetypes cover the paper's sharing scenario (§5: latency-
+// critical inference co-resident with throughput batch training):
+//  - realtime inference: small H2D payload, saxpy launch on the default
+//    stream (synchronous), 4-byte result readback — every request is a
+//    full round trip whose latency is the tenant's SLO.
+//  - batch training: larger payloads, dot-product launches on a created
+//    stream with client-side batching enabled, periodic stream syncs —
+//    throughput-shaped traffic that stresses ring backpressure.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "fleet/slo.hpp"
+#include "guardian/grdlib.hpp"
+#include "guardian/protocol.hpp"
+
+namespace grd::fleet {
+
+enum class ArrivalKind : std::uint8_t {
+  kClosedLoop,  // next request immediately after the previous completes
+  kPoisson,     // exponential think time at rate_hz
+  kBursty,      // back-to-back bursts of burst_len, exponential gaps between
+};
+
+struct ArrivalProcess {
+  ArrivalKind kind = ArrivalKind::kClosedLoop;
+  double rate_hz = 2000.0;
+  std::uint32_t burst_len = 8;
+
+  // Think time (ns) to insert BEFORE request `request_index`, drawn from
+  // the seeded rng — the whole fleet schedule replays from one seed.
+  std::uint64_t NextGapNs(Rng& rng, std::uint64_t request_index) const;
+};
+
+enum class TenantClass : std::uint8_t { kRealtimeInference, kBatchTraining };
+
+struct TenantSpec {
+  TenantClass cls = TenantClass::kRealtimeInference;
+  protocol::PriorityClass priority = protocol::PriorityClass::kRealtime;
+  ArrivalProcess arrivals;
+  std::uint32_t requests = 24;       // request cycles per session
+  std::uint32_t payload_bytes = 256; // H2D bytes per request
+  std::uint32_t threads = 32;        // launch width
+};
+
+TenantSpec MakeRealtimeInferenceSpec();
+TenantSpec MakeBatchTrainingSpec();
+
+// PTX text + entry name of the tenant class's kernel.
+struct TenantKernel {
+  std::string ptx;
+  std::string entry;
+};
+TenantKernel KernelFor(TenantClass cls);
+
+// One session cycle against an already-connected session: module load,
+// function lookup, buffer setup, then the paced request loop. Every request
+// cycle records a latency sample in `slo` under spec.priority and bumps
+// `progress` (the chaos controller's kill trigger) when non-null. Returns
+// the first non-retryable-at-this-level error; the caller owns recovery.
+Status RunTenantSession(guardian::GrdLib& lib, const TenantSpec& spec,
+                        Rng& rng, SloBoard& slo,
+                        std::atomic<std::uint64_t>* progress);
+
+}  // namespace grd::fleet

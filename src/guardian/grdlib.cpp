@@ -1,7 +1,11 @@
 #include "guardian/grdlib.hpp"
 
+#include <time.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 
 namespace grd::guardian {
 
@@ -14,7 +18,75 @@ using simcuda::DevicePtr;
 namespace {
 // Keep batch envelopes comfortably below the 1 MiB ring capacity.
 constexpr std::uint64_t kMaxPendingBytes = 256 * 1024;
+
+// Wire layout of RequestHeader: u32 op, then the u64 client id. Recovery
+// re-sends a serialized request under a NEW client id by patching it in
+// place (the payload after the header is identical by construction for
+// idempotent ops).
+constexpr std::size_t kClientFieldOffset = sizeof(std::uint32_t);
+
+void PatchHeaderClient(Bytes& raw, std::uint64_t client) {
+  if (raw.size() >= kClientFieldOffset + sizeof(client))
+    std::memcpy(raw.data() + kClientFieldOffset, &client, sizeof(client));
+}
+
+// Save/restore (not set/clear) so Recover's internal calls — which also run
+// through Call — nest without the inner scope dropping the outer guard.
+class ScopedRecoveryFlag {
+ public:
+  explicit ScopedRecoveryFlag(bool& flag) : flag_(flag), saved_(flag) {
+    flag_ = true;
+  }
+  ~ScopedRecoveryFlag() { flag_ = saved_; }
+
+ private:
+  bool& flag_;
+  bool saved_;
+};
 }  // namespace
+
+bool GrdLib::IsRetryable(Op op) {
+  // Safe to re-send verbatim against a freshly recovered session: no
+  // server-side handles in the payload (module/function/stream/event ids
+  // from the dead session would be stale) and no side effect that could
+  // double-apply. kModuleLoadData qualifies — the payload is the PTX text,
+  // and a duplicate load is a sandbox-cache hit, not a second module.
+  switch (op) {
+    case Op::kGetDeviceSpec:
+    case Op::kModuleLoadData:
+    case Op::kDeviceSynchronize:
+    case Op::kGetExportTable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool GrdLib::IsRecoverable(Op op) {
+  // A failed registration has no session to recover; disconnecting a
+  // session the crash already destroyed is complete as-is.
+  return op != Op::kRegisterClient && op != Op::kDisconnect;
+}
+
+void GrdLib::BackoffSleep(int attempt) const {
+  std::int64_t us = options_.recovery_backoff.count();
+  for (int i = 1; i < attempt; ++i) {
+    us *= 2;
+    if (us >= options_.recovery_backoff_max.count()) break;
+  }
+  us = std::min<std::int64_t>(us, options_.recovery_backoff_max.count());
+  timespec deadline;
+  clock_gettime(CLOCK_MONOTONIC, &deadline);
+  deadline.tv_sec += us / 1'000'000;
+  deadline.tv_nsec += (us % 1'000'000) * 1000;
+  if (deadline.tv_nsec >= 1'000'000'000) {
+    deadline.tv_sec += 1;
+    deadline.tv_nsec -= 1'000'000'000;
+  }
+  while (clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME, &deadline, nullptr) ==
+         EINTR) {
+  }
+}
 
 ipc::Writer GrdLib::NewRequest(Op op) const {
   Writer writer;
@@ -22,6 +94,12 @@ ipc::Writer GrdLib::NewRequest(Op op) const {
   last_trace_op_ = op;
   last_trace_begin_ns_ = last_trace_.valid() ? obs::MonotonicNowNs() : 0;
   return writer;
+}
+
+Result<Reader> GrdLib::Transact(const Bytes& raw,
+                                Bytes* response_storage) const {
+  GRD_ASSIGN_OR_RETURN(*response_storage, transport_->Call(raw));
+  return protocol::DecodeResponse(*response_storage);
 }
 
 Result<Reader> GrdLib::Call(Writer request, Bytes* response_storage) const {
@@ -33,15 +111,39 @@ Result<Reader> GrdLib::Call(Writer request, Bytes* response_storage) const {
   // Any buffered async calls are ordered before this one; their errors
   // surface here (CUDA-style deferred async error reporting).
   GRD_RETURN_IF_ERROR(FlushBatch());
-  GRD_ASSIGN_OR_RETURN(*response_storage,
-                       transport_->Call(std::move(request).Take()));
+  Bytes raw = std::move(request).Take();
+  auto reader = Transact(raw, response_storage);
   if (ctx.valid()) {
     char name[48];
     std::snprintf(name, sizeof(name), "client.%s", protocol::OpName(op));
     obs::TraceRecorder::Instance().EmitComplete(name, ctx, 0, begin_ns,
                                                 obs::MonotonicNowNs());
   }
-  return protocol::DecodeResponse(*response_storage);
+  if (reader.ok() || recovering_ || options_.recovery_attempts <= 0 ||
+      reader.status().code() != StatusCode::kUnavailable ||
+      !IsRecoverable(op))
+    return reader;
+  // Crash recovery (GrdLibOptions): the session died with its worker.
+  // Re-establish it; transparently retry only idempotent ops.
+  for (int attempt = 1; attempt <= options_.recovery_attempts; ++attempt) {
+    BackoffSleep(attempt);
+    if (!Recover().ok()) {
+      ++recovery_failures_;
+      continue;
+    }
+    if (!IsRetryable(op))
+      return Status(Unavailable(
+          std::string("session re-registered after worker crash; ") +
+          protocol::OpName(op) +
+          " not retried (rebuild device state and retry)"));
+    PatchHeaderClient(raw, client_);
+    ++recovery_retries_;
+    reader = Transact(raw, response_storage);
+    if (reader.ok() ||
+        reader.status().code() != StatusCode::kUnavailable)
+      return reader;
+  }
+  return reader;
 }
 
 Status GrdLib::CallNoPayload(Writer request) const {
@@ -109,18 +211,85 @@ Status GrdLib::FlushBatch() const {
 }
 
 Result<GrdLib> GrdLib::Connect(ClientTransport* transport,
-                               std::uint64_t memory_requirement) {
+                               std::uint64_t memory_requirement,
+                               GrdLibOptions options) {
   GrdLib lib(transport);
-  Writer request;
-  protocol::WriteHeader(request, Op::kRegisterClient, 0);
-  request.Put<std::uint64_t>(memory_requirement);
-  Bytes storage;
-  GRD_ASSIGN_OR_RETURN(Reader reader, lib.Call(std::move(request), &storage));
-  GRD_ASSIGN_OR_RETURN(lib.client_, reader.Get<std::uint64_t>());
-  GRD_ASSIGN_OR_RETURN(lib.partition_base_, reader.Get<std::uint64_t>());
-  GRD_ASSIGN_OR_RETURN(lib.partition_size_, reader.Get<std::uint64_t>());
+  lib.options_ = options;
+  lib.memory_requirement_ = memory_requirement;
+  // Registration is excluded from the generic recovery path (IsRecoverable:
+  // a retried register that actually landed twice would leak a session), so
+  // Connect loops explicitly: a kUnavailable here means the register never
+  // produced a session — re-sending is safe.
+  Status registered = lib.Register();
+  for (int attempt = 1;
+       !registered.ok() &&
+       registered.code() == StatusCode::kUnavailable &&
+       attempt <= options.recovery_attempts;
+       ++attempt) {
+    lib.BackoffSleep(attempt);
+    registered = lib.Register();
+  }
+  GRD_RETURN_IF_ERROR(registered);
   GRD_RETURN_IF_ERROR(lib.FetchDeviceSpec());
   return lib;
+}
+
+Status GrdLib::Register() const {
+  // Runs under the recovery flag so a nested failure cannot recurse into
+  // another recovery.
+  ScopedRecoveryFlag scope(recovering_);
+  Writer request;
+  protocol::WriteHeader(request, Op::kRegisterClient, 0);
+  request.Put<std::uint64_t>(memory_requirement_);
+  Bytes storage;
+  auto reader = Transact(std::move(request).Take(), &storage);
+  if (!reader.ok()) return reader.status();
+  GRD_ASSIGN_OR_RETURN(client_, reader->Get<std::uint64_t>());
+  GRD_ASSIGN_OR_RETURN(partition_base_, reader->Get<std::uint64_t>());
+  GRD_ASSIGN_OR_RETURN(partition_size_, reader->Get<std::uint64_t>());
+  return OkStatus();
+}
+
+Status GrdLib::Recover() const {
+  ScopedRecoveryFlag scope(recovering_);
+  // The old session's buffered batch (if any) died with the worker; replay
+  // would re-send launches against handles that no longer exist.
+  pending_.clear();
+  pending_bytes_ = 0;
+  GRD_RETURN_IF_ERROR(Register());
+  if (priority_set_) {
+    Writer request;
+    protocol::WriteHeader(request, Op::kSetPriority, client_);
+    request.Put<std::uint8_t>(0);  // scope: session
+    request.Put<std::uint64_t>(0);
+    request.Put<std::uint8_t>(static_cast<std::uint8_t>(priority_));
+    Bytes storage;
+    auto reader = Transact(std::move(request).Take(), &storage);
+    if (!reader.ok()) return reader.status();
+  }
+  // Replay the module journal: fresh server ids slide in underneath the
+  // client-facing virtual handles the application still holds.
+  for (auto& [handle, module] : modules_) {
+    Writer load;
+    protocol::WriteHeader(load, Op::kModuleLoadData, client_);
+    load.PutString(module.ptx);
+    Bytes storage;
+    auto reader = Transact(std::move(load).Take(), &storage);
+    if (!reader.ok()) return reader.status();
+    GRD_ASSIGN_OR_RETURN(module.server_id, reader->Get<std::uint64_t>());
+    for (auto& [fn_handle, fn] : module.functions) {
+      Writer lookup;
+      protocol::WriteHeader(lookup, Op::kModuleGetFunction, client_);
+      lookup.Put<std::uint64_t>(module.server_id);
+      lookup.PutString(fn.name);
+      Bytes fn_storage;
+      auto fn_reader = Transact(std::move(lookup).Take(), &fn_storage);
+      if (!fn_reader.ok()) return fn_reader.status();
+      GRD_ASSIGN_OR_RETURN(fn.server_id, fn_reader->Get<std::uint64_t>());
+    }
+  }
+  ++recoveries_;
+  return OkStatus();
 }
 
 Status GrdLib::FetchDeviceSpec() {
@@ -147,7 +316,11 @@ Status GrdLib::SetPriority(protocol::PriorityClass priority) {
   request.Put<std::uint8_t>(0);  // scope: session
   request.Put<std::uint64_t>(0);
   request.Put<std::uint8_t>(static_cast<std::uint8_t>(priority));
-  return CallNoPayload(std::move(request));
+  GRD_RETURN_IF_ERROR(CallNoPayload(std::move(request)));
+  // Recorded so Recover() re-applies the class to the fresh session.
+  priority_set_ = true;
+  priority_ = priority;
+  return OkStatus();
 }
 
 Status GrdLib::SetStreamPriority(simcuda::StreamId stream,
@@ -240,8 +413,9 @@ Status GrdLib::cudaMemset(DevicePtr dst, int value, std::uint64_t size) {
 Status GrdLib::cudaLaunchKernel(simcuda::FunctionId func,
                                 const simcuda::LaunchConfig& config,
                                 std::vector<ptxexec::KernelArg> args) {
+  GRD_ASSIGN_OR_RETURN(std::uint64_t server_func, TranslateFunction(func));
   Writer request = NewRequest(Op::kLaunchKernel);
-  request.Put<std::uint64_t>(func);
+  request.Put<std::uint64_t>(server_func);
   request.Put<std::uint32_t>(config.grid.x);
   request.Put<std::uint32_t>(config.grid.y);
   request.Put<std::uint32_t>(config.grid.z);
@@ -386,17 +560,38 @@ Result<simcuda::ModuleId> GrdLib::cuModuleLoadData(const std::string& ptx) {
   request.PutString(ptx);
   Bytes storage;
   GRD_ASSIGN_OR_RETURN(Reader reader, Call(std::move(request), &storage));
-  return reader.Get<std::uint64_t>();
+  GRD_ASSIGN_OR_RETURN(std::uint64_t server_id, reader.Get<std::uint64_t>());
+  // Hand the application a VIRTUAL handle and journal the PTX: Recover()
+  // can reload the module and remap the same handle to a fresh server id.
+  const std::uint64_t handle = next_handle_++;
+  modules_[handle] = ModuleRecord{ptx, server_id, {}};
+  return handle;
 }
 
 Result<simcuda::FunctionId> GrdLib::cuModuleGetFunction(
     simcuda::ModuleId module, const std::string& kernel) {
+  auto it = modules_.find(module);
+  if (it == modules_.end())
+    return Status(NotFound("unknown client module handle"));
   Writer request = NewRequest(Op::kModuleGetFunction);
-  request.Put<std::uint64_t>(module);
+  request.Put<std::uint64_t>(it->second.server_id);
   request.PutString(kernel);
   Bytes storage;
   GRD_ASSIGN_OR_RETURN(Reader reader, Call(std::move(request), &storage));
-  return reader.Get<std::uint64_t>();
+  GRD_ASSIGN_OR_RETURN(std::uint64_t server_id, reader.Get<std::uint64_t>());
+  const std::uint64_t handle = next_handle_++;
+  it->second.functions[handle] = FunctionRecord{kernel, server_id};
+  function_module_[handle] = module;
+  return handle;
+}
+
+Result<std::uint64_t> GrdLib::TranslateFunction(
+    std::uint64_t client_func) const {
+  auto mod_it = function_module_.find(client_func);
+  if (mod_it == function_module_.end())
+    return Status(NotFound("unknown client function handle"));
+  const auto& module = modules_.at(mod_it->second);
+  return module.functions.at(client_func).server_id;
 }
 
 Status GrdLib::cuLaunchKernel(simcuda::FunctionId func,

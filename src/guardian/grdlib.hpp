@@ -15,7 +15,10 @@
 #pragma once
 
 #include <array>
+#include <chrono>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "guardian/protocol.hpp"
@@ -24,13 +27,36 @@
 
 namespace grd::guardian {
 
+// Client half of the fault model (fleet/chaos harness): how grdLib behaves
+// when the manager side crashes out from under it. All off by default — the
+// historical behavior (errors surface raw, no recovery) is `{}`.
+struct GrdLibOptions {
+  // On kUnavailable (worker crashed, session failed, ring closed): run the
+  // recovery path — re-register the session, re-apply the session priority
+  // class, and replay every recorded module load / function lookup so the
+  // client-facing module and function handles stay valid — up to this many
+  // attempts per call. Idempotent calls are then retried transparently;
+  // non-idempotent ones still surface kUnavailable, but against an
+  // already-recovered session (old device pointers / streams / events are
+  // gone with the dead worker, so the caller must rebuild those anyway).
+  // 0 disables recovery entirely.
+  int recovery_attempts = 0;
+  // Exponential backoff between recovery attempts (doubled each attempt,
+  // capped): the supervisor needs time to repair the registry and respawn.
+  std::chrono::microseconds recovery_backoff{500};
+  std::chrono::microseconds recovery_backoff_max{20'000};
+};
+
 class GrdLib final : public simcuda::CudaApi {
  public:
   // Registers with the grdManager, reserving a partition of at least
   // `memory_requirement` bytes (§4.2.1: applications declare their memory
-  // requirement at initialization).
+  // requirement at initialization). With recovery enabled in `options`,
+  // registration itself also retries on kUnavailable (the connect may race
+  // a worker respawn).
   static Result<GrdLib> Connect(ClientTransport* transport,
-                                std::uint64_t memory_requirement);
+                                std::uint64_t memory_requirement,
+                                GrdLibOptions options = {});
 
   GrdLib(GrdLib&&) = default;
   GrdLib(const GrdLib&) = delete;
@@ -44,6 +70,17 @@ class GrdLib final : public simcuda::CudaApi {
   ClientId client_id() const noexcept { return client_; }
   std::uint64_t partition_base() const noexcept { return partition_base_; }
   std::uint64_t partition_size() const noexcept { return partition_size_; }
+
+  // Fault-model observability (see GrdLibOptions): successful session
+  // recoveries, calls transparently retried after one, and recovery
+  // attempts that themselves failed.
+  std::uint64_t recoveries() const noexcept { return recoveries_; }
+  std::uint64_t recovery_retries() const noexcept {
+    return recovery_retries_;
+  }
+  std::uint64_t recovery_failures() const noexcept {
+    return recovery_failures_;
+  }
 
   Status Disconnect();
 
@@ -129,22 +166,68 @@ class GrdLib final : public simcuda::CudaApi {
   }
 
  private:
+  // Client-side replay journal for one loaded module: enough to rebuild
+  // the server-side state after a worker death. Client-facing module and
+  // function handles are VIRTUAL (allocated locally, mapped to the current
+  // server ids) precisely so recovery can swap the server ids underneath
+  // without invalidating what the application holds.
+  struct FunctionRecord {
+    std::string name;
+    std::uint64_t server_id = 0;
+  };
+  struct ModuleRecord {
+    std::string ptx;
+    std::uint64_t server_id = 0;
+    std::map<std::uint64_t, FunctionRecord> functions;  // by client handle
+  };
+
   explicit GrdLib(ClientTransport* transport) : transport_(transport) {}
 
   ipc::Writer NewRequest(protocol::Op op) const;
   Result<ipc::Reader> Call(ipc::Writer request,
                            ipc::Bytes* response_storage) const;
   Status CallNoPayload(ipc::Writer request) const;
+  // One transport round trip + response decode, no recovery logic.
+  Result<ipc::Reader> Transact(const ipc::Bytes& raw,
+                               ipc::Bytes* response_storage) const;
   // Appends an async request to the batch buffer (flushing when full)
   // instead of sending it, when batching is on.
   Status BufferAsync(ipc::Writer request) const;
   Status FetchDeviceSpec();
+  // Fresh kRegisterClient; rebinds client_/partition on success.
+  Status Register() const;
+  // Session re-registration + priority + module replay (see GrdLibOptions).
+  Status Recover() const;
+  // Sleeps the exponential-backoff slice for recovery attempt `attempt`.
+  void BackoffSleep(int attempt) const;
+  // Client-handle → current server-handle translation for launches.
+  Result<std::uint64_t> TranslateFunction(std::uint64_t client_func) const;
+  // Ops safe to re-send verbatim (client id re-patched) after a recovery.
+  static bool IsRetryable(protocol::Op op);
+  // Ops whose kUnavailable should NOT trigger recovery at all.
+  static bool IsRecoverable(protocol::Op op);
 
   ClientTransport* transport_;
-  ClientId client_ = 0;
-  std::uint64_t partition_base_ = 0;
-  std::uint64_t partition_size_ = 0;
+  GrdLibOptions options_;
+  std::uint64_t memory_requirement_ = 0;
+  // Rebound by Recover(), which runs under const Call: hence mutable.
+  mutable ClientId client_ = 0;
+  mutable std::uint64_t partition_base_ = 0;
+  mutable std::uint64_t partition_size_ = 0;
   simgpu::DeviceSpec device_spec_;
+  // Virtual-handle tables (see ModuleRecord). Server ids are refreshed in
+  // place by Recover().
+  mutable std::map<std::uint64_t, ModuleRecord> modules_;
+  std::map<std::uint64_t, std::uint64_t> function_module_;  // fn → module
+  std::uint64_t next_handle_ = 1;
+  // Session priority class, re-applied on recovery.
+  bool priority_set_ = false;
+  protocol::PriorityClass priority_ = protocol::PriorityClass::kNormal;
+  // Recovery state/counters (mutated under const Call).
+  mutable bool recovering_ = false;
+  mutable std::uint64_t recoveries_ = 0;
+  mutable std::uint64_t recovery_retries_ = 0;
+  mutable std::uint64_t recovery_failures_ = 0;
   // Batched-IPC state (mutable: buffering happens inside const Call paths).
   bool batching_enabled_ = false;
   std::size_t max_pending_ = 8;

@@ -124,12 +124,38 @@ void ProcessServer::WorkerMain(std::uint32_t index) {
       owned_index.push_back(i);
     }
 
+    // Per-channel parked response: when a tenant stops draining its
+    // response ring (stalled reader), its response is parked and ONLY that
+    // channel skips new requests until the ring drains — one slow tenant
+    // cannot wedge the worker and starve its co-resident channels.
     IdleBackoff backoff;
+    std::vector<ipc::Bytes> parked(owned.size());
+    std::size_t doorbell_rotor = 0;
+    const auto kResponsePark = std::chrono::milliseconds(2);
     while (!state_->StopRequested()) {
       std::size_t served = 0;
       for (std::size_t c = 0; c < owned.size(); ++c) {
+        if (!parked[c].empty()) {
+          if (!owned[c]->response().TryWrite(parked[c]).ok()) continue;
+          manager.NoteRingWritten();
+          parked[c].clear();
+          ++served;
+        }
         auto request = owned[c]->request().TryRead();
-        if (!request.ok()) continue;
+        if (!request.ok()) {
+          if (request.status().code() == StatusCode::kAborted) {
+            // Torn/garbage frame: the ring already repaired itself (head
+            // clamped to tail, frames_corrupt bumped). Fail fast for the
+            // client blocked on the consumed slot; the ring — and every
+            // other session — keeps going.
+            const ipc::Bytes error = protocol::EncodeError(Status(Aborted(
+                "corrupt request frame discarded; ring resynchronized")));
+            if (owned[c]->response().TryWrite(error).ok())
+              manager.NoteRingWritten();
+            ++served;
+          }
+          continue;
+        }
         ++served;
         manager.NoteRingRead();
         {
@@ -142,8 +168,14 @@ void ProcessServer::WorkerMain(std::uint32_t index) {
                 .last_client.store(header->client, std::memory_order_relaxed);
         }
         const ipc::Bytes response = manager.HandleRequest(*request);
-        if (owned[c]->response().Write(response).ok())
+        Status wrote = owned[c]->response().TryWrite(response);
+        if (!wrote.ok() && wrote.code() == StatusCode::kNotFound)
+          wrote = owned[c]->response().WriteWithDeadline(response,
+                                                         kResponsePark);
+        if (wrote.ok())
           manager.NoteRingWritten();
+        else if (wrote.code() == StatusCode::kDeadlineExceeded)
+          parked[c] = response;  // stalled tenant; retried next sweeps
         else
           manager.NoteDroppedResponse();
       }
@@ -151,7 +183,19 @@ void ProcessServer::WorkerMain(std::uint32_t index) {
         backoff.Reset();
         continue;
       }
-      backoff.Pause();
+      // Idle: block on a request-ring doorbell (rotating through owned
+      // channels) instead of spinning; the 500µs bound keeps the worker
+      // responsive to channels other than the one it waits on, to stop
+      // requests, and on platforms without the futex doorbell the wait
+      // returns immediately and the portable backoff paces the loop.
+      if (ipc::ShmRing::kFutexDoorbell && !owned.empty()) {
+        if (owned[doorbell_rotor++ % owned.size()]->request().WaitForMessage(
+                std::chrono::microseconds(500)))
+          backoff.Reset();  // a message (or close) arrived: sweep right away
+        // On timeout the wait itself paced the loop; no extra sleep.
+      } else {
+        backoff.Pause();
+      }
     }
   }
   // Clean shutdown: scheduler joined and manager destroyed above; leave the
@@ -192,7 +236,13 @@ void ProcessServer::WriteSyntheticResponses(std::uint32_t worker) {
     const std::uint64_t consumed = channel.request().messages_read();
     const std::uint64_t answered = channel.response().messages_written();
     for (std::uint64_t n = answered; n < consumed; ++n) {
-      if (!channel.response().Write(error).ok()) break;
+      // Bounded write: a stalled client that never drains its response ring
+      // must not wedge the SUPERVISOR (which still has other channels to
+      // repair and a replacement worker to spawn).
+      if (!channel.response()
+               .WriteWithDeadline(error, std::chrono::milliseconds(100))
+               .ok())
+        break;
       state_->counters().synthetic_responses.fetch_add(
           1, std::memory_order_relaxed);
       // The synthetic response is a ring message like any other; keep the
@@ -288,6 +338,14 @@ void ProcessServer::Stop() {
   state_->RequestStop();
   stopping_.store(true, std::memory_order_release);
   if (supervisor_.joinable()) supervisor_.join();
+  // Unbind the recorder from OUR span arena before the SharedRegion can be
+  // unmapped: a later Collect through the stale pointer would fault. Export
+  // (TraceExporter::WriteFile) must happen before Stop.
+  if (options_.manager.tracing_enabled &&
+      obs::TraceRecorder::Instance().arena() == state_->span_arena()) {
+    obs::TraceRecorder::Instance().BindArena(nullptr);
+    obs::TraceRecorder::Instance().Enable(false);
+  }
   started_ = false;
 }
 

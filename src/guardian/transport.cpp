@@ -23,8 +23,29 @@ void ManagerServer::AddChannel(ipc::Channel* channel, double weight,
 }
 
 bool ManagerServer::ServeOne(Entry& entry) {
+  if (!entry.parked.empty()) {
+    // A previous response is still waiting for this (stalled) client to
+    // drain its ring; deliver it before consuming anything new so strict
+    // request/response pairing holds.
+    if (!entry.channel->response().TryWrite(entry.parked).ok()) return false;
+    manager_->NoteRingWritten();
+    entry.parked.clear();
+    return true;
+  }
   auto request = entry.channel->request().TryRead();
-  if (!request.ok()) return false;
+  if (!request.ok()) {
+    if (request.status().code() == StatusCode::kAborted) {
+      // Torn/garbage frame: the ring repaired itself (head clamped to tail,
+      // frames_corrupt bumped). Fail only this session's in-flight call;
+      // the ring stays usable for whatever the client sends next.
+      const ipc::Bytes error = protocol::EncodeError(Status(
+          Aborted("corrupt request frame discarded; ring resynchronized")));
+      if (entry.channel->response().TryWrite(error).ok())
+        manager_->NoteRingWritten();
+      return true;
+    }
+    return false;
+  }
   manager_->NoteRingRead();
   {
     // Remember which session this channel carries so the session-priority
@@ -36,9 +57,14 @@ bool ManagerServer::ServeOne(Entry& entry) {
       entry.last_client.store(header->client, std::memory_order_relaxed);
   }
   const ipc::Bytes response = manager_->HandleRequest(*request);
-  const Status written = entry.channel->response().Write(response);
+  Status written = entry.channel->response().TryWrite(response);
+  if (!written.ok() && written.code() == StatusCode::kNotFound)
+    written = entry.channel->response().WriteWithDeadline(
+        response, std::chrono::milliseconds(2));
   if (written.ok()) {
     manager_->NoteRingWritten();
+  } else if (written.code() == StatusCode::kDeadlineExceeded) {
+    entry.parked = response;  // stalled tenant; retried on later sweeps
   } else {
     // The client vanished mid-call. The work is done and cannot be undone;
     // account for the undeliverable response instead of dropping silently.
@@ -128,6 +154,7 @@ std::size_t ManagerServer::ServeOnce() {
 
 void ManagerServer::WorkerLoop(const std::atomic<bool>& stop) {
   IdleBackoff backoff;
+  std::size_t doorbell_rotor = 0;
   while (true) {
     const std::size_t served = ServeOnce();
     if (served > 0) {
@@ -135,7 +162,18 @@ void ManagerServer::WorkerLoop(const std::atomic<bool>& stop) {
       continue;
     }
     if (stop.load(std::memory_order_acquire)) return;
-    backoff.Pause();
+    // Idle: park on a request-ring doorbell (rotating across channels; the
+    // wait is claim-free — futex waiters multiplex safely) instead of
+    // spin-sleeping. The 500µs bound keeps the worker polling the channels
+    // it is not waiting on and noticing `stop`.
+    if (ipc::ShmRing::kFutexDoorbell && !channels_.empty()) {
+      if (channels_[doorbell_rotor++ % channels_.size()]
+              ->channel->request()
+              .WaitForMessage(std::chrono::microseconds(500)))
+        backoff.Reset();
+    } else {
+      backoff.Pause();
+    }
   }
 }
 

@@ -52,15 +52,63 @@ class LoopbackTransport final : public ClientTransport {
   GrdManager* manager_;
 };
 
+// Shared-memory-ring transport. With a zero `call_timeout` every call
+// blocks forever (the historical behavior); with a deadline every ring wait
+// is bounded and a dead/wedged manager surfaces kDeadlineExceeded instead
+// of hanging the client.
+//
+// Deadline desync hazard: when a response read times out, the request may
+// still have been consumed — its response arrives later and would be
+// mis-paired with the NEXT call on this strictly-ordered SPSC channel. The
+// transport therefore tracks how many responses the channel still owes it
+// and drains those stale responses (each bounded by the same deadline)
+// before sending the next request, so pairing re-aligns as soon as the
+// manager catches up.
 class ChannelTransport final : public ClientTransport {
  public:
-  explicit ChannelTransport(ipc::Channel* channel) : channel_(channel) {}
+  explicit ChannelTransport(ipc::Channel* channel,
+                            std::chrono::nanoseconds call_timeout = {})
+      : channel_(channel), call_timeout_(call_timeout) {}
+
   Result<ipc::Bytes> Call(const ipc::Bytes& request) override {
-    return channel_->Call(request);
+    if (call_timeout_.count() == 0) return channel_->Call(request);
+    while (owed_responses_ > 0) {
+      auto stale = channel_->response().ReadWithDeadline(call_timeout_);
+      if (!stale.ok()) {
+        if (stale.status().code() == StatusCode::kDeadlineExceeded) {
+          ++deadline_failures_;
+          return Status(DeadlineExceeded(
+              "manager still owes a stale response; call not sent"));
+        }
+        return stale.status();
+      }
+      --owed_responses_;
+    }
+    GRD_RETURN_IF_ERROR(
+        channel_->request().WriteWithDeadline(request, call_timeout_));
+    auto response = channel_->response().ReadWithDeadline(call_timeout_);
+    if (!response.ok() &&
+        response.status().code() == StatusCode::kDeadlineExceeded) {
+      ++owed_responses_;
+      ++deadline_failures_;
+    }
+    return response;
+  }
+
+  std::chrono::nanoseconds call_timeout() const noexcept {
+    return call_timeout_;
+  }
+  // Responses the channel still owes after read timeouts (drained lazily).
+  std::uint64_t owed_responses() const noexcept { return owed_responses_; }
+  std::uint64_t deadline_failures() const noexcept {
+    return deadline_failures_;
   }
 
  private:
   ipc::Channel* channel_;
+  std::chrono::nanoseconds call_timeout_;
+  std::uint64_t owed_responses_ = 0;
+  std::uint64_t deadline_failures_ = 0;
 };
 
 // Bounded spin → yield → exponential-sleep backoff for idle polling loops,
@@ -153,6 +201,10 @@ class ManagerServer {
     double weight = 1.0;
     int priority = 0;
     double deficit = 0.0;              // guarded by the busy claim
+    // Response awaiting a stalled client's ring to drain (guarded by the
+    // busy claim); while set, the channel's requests are not consumed so
+    // one slow reader cannot wedge a pump worker.
+    ipc::Bytes parked;
     std::atomic<bool> busy{false};     // one worker per channel at a time
     // Client id observed in the channel's last request header (0 until a
     // session-carrying request arrives); the session-priority sweep ranks

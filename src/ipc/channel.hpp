@@ -37,6 +37,17 @@ class Channel {
     return response_.Read();
   }
 
+  // Client side with a per-call deadline covering both ring waits: a dead
+  // or wedged manager yields kDeadlineExceeded instead of a hang. NOTE: a
+  // read timeout leaves the channel owing one response (the request may
+  // still be consumed and answered later) — ChannelTransport tracks and
+  // re-drains that debt to keep request/response pairing aligned.
+  Result<Bytes> CallWithDeadline(const Bytes& request,
+                                 std::chrono::nanoseconds timeout) {
+    GRD_RETURN_IF_ERROR(request_.WriteWithDeadline(request, timeout));
+    return response_.ReadWithDeadline(timeout);
+  }
+
   void Close() {
     request_.Close();
     response_.Close();

@@ -2,8 +2,16 @@
 
 #include <time.h>
 
+#include <cerrno>
+#include <climits>
 #include <cstring>
 #include <thread>
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
 
 namespace grd::ipc {
 namespace {
@@ -17,6 +25,61 @@ void Backoff(int& spins) {
   std::this_thread::yield();
   spins = 0;
 }
+
+timespec DeadlineAfter(std::chrono::nanoseconds timeout) {
+  timespec deadline;
+  clock_gettime(CLOCK_MONOTONIC, &deadline);
+  deadline.tv_sec += timeout.count() / 1'000'000'000;
+  deadline.tv_nsec += timeout.count() % 1'000'000'000;
+  if (deadline.tv_nsec >= 1'000'000'000) {
+    deadline.tv_sec += 1;
+    deadline.tv_nsec -= 1'000'000'000;
+  }
+  return deadline;
+}
+
+bool PastDeadline(const timespec& now, const timespec& deadline) {
+  return now.tv_sec > deadline.tv_sec ||
+         (now.tv_sec == deadline.tv_sec && now.tv_nsec >= deadline.tv_nsec);
+}
+
+// Sleep one short slice toward (never past) the absolute deadline.
+// clock_nanosleep with TIMER_ABSTIME returns EINTR when a signal lands
+// mid-sleep; the caller's loop re-polls and re-sleeps against the SAME
+// deadline, so signals can never shorten the overall wait (the
+// spurious-timeout bug a relative-sleep retry loop would have).
+void SleepSliceUntil(const timespec& now, const timespec& deadline) {
+  timespec slice = now;
+  slice.tv_nsec += 100'000;  // 100 µs
+  if (slice.tv_nsec >= 1'000'000'000) {
+    slice.tv_sec += 1;
+    slice.tv_nsec -= 1'000'000'000;
+  }
+  if (PastDeadline(slice, deadline)) slice = deadline;
+  while (clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME, &slice, nullptr) ==
+         EINTR) {
+  }
+}
+
+#if defined(__linux__) && (__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__)
+// The futex word is the low 32 bits of the 64-bit tail counter (the "ring
+// write index" of the doorbell). Plain FUTEX_WAIT/WAKE — not _PRIVATE —
+// because the ring may be a MAP_SHARED mapping spanning forked processes.
+std::uint32_t* FutexWord(std::atomic<std::uint64_t>* tail) {
+  return reinterpret_cast<std::uint32_t*>(tail);
+}
+
+void FutexWait(std::atomic<std::uint64_t>* tail, std::uint32_t expected,
+               const timespec* rel_timeout) {
+  ::syscall(SYS_futex, FutexWord(tail), FUTEX_WAIT, expected, rel_timeout,
+            nullptr, 0);
+}
+
+void FutexWakeAll(std::atomic<std::uint64_t>* tail) {
+  ::syscall(SYS_futex, FutexWord(tail), FUTEX_WAKE, INT_MAX, nullptr, nullptr,
+            0);
+}
+#endif
 }  // namespace
 
 ShmRing::ShmRing(void* region, std::uint64_t data_capacity, bool initialize) {
@@ -49,23 +112,40 @@ void ShmRing::CopyOut(std::uint64_t pos, void* dst, std::uint64_t len) const {
   }
 }
 
-Status ShmRing::WaitForSpace(std::uint64_t needed) {
+Status ShmRing::ProbeSpace(std::uint64_t needed) {
   if (needed > header_->capacity)
     return InvalidArgument("message larger than ring capacity");
+  if (header_->closed.load(std::memory_order_acquire))
+    return Unavailable("ring closed");
+  const std::uint64_t head = header_->head.load(std::memory_order_acquire);
+  const std::uint64_t tail = header_->tail.load(std::memory_order_relaxed);
+  if (header_->capacity - (tail - head) >= needed) return OkStatus();
+  return NotFound("ring full");
+}
+
+Status ShmRing::WaitForSpace(std::uint64_t needed) {
   int spins = 0;
   while (true) {
-    if (header_->closed.load(std::memory_order_acquire))
-      return Unavailable("ring closed");
-    const std::uint64_t head = header_->head.load(std::memory_order_acquire);
-    const std::uint64_t tail = header_->tail.load(std::memory_order_relaxed);
-    if (header_->capacity - (tail - head) >= needed) return OkStatus();
+    const Status probe = ProbeSpace(needed);
+    if (probe.code() != StatusCode::kNotFound) return probe;
     Backoff(spins);
   }
 }
 
-Status ShmRing::Write(const Bytes& message) {
+void ShmRing::WakeDoorbell() {
+#if defined(__linux__) && (__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__)
+  // Store-buffer litmus with WaitForMessage: the tail publish (release)
+  // must be globally ordered before this waiters load, and the waiter's
+  // registration (seq_cst RMW) before its tail re-check — otherwise both
+  // sides could miss each other and the waiter sleeps through a publish.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (header_->waiters.load(std::memory_order_relaxed) > 0)
+    FutexWakeAll(&header_->tail);
+#endif
+}
+
+void ShmRing::PublishFrame(const Bytes& message) {
   const std::uint64_t frame = sizeof(std::uint32_t) + message.size();
-  GRD_RETURN_IF_ERROR(WaitForSpace(frame));
   // Counter BEFORE the publish (the read side counts after): if the writer
   // dies between the two stores, the counter over-reports by one and a
   // crash supervisor diffing the pair computes a smaller deficit — it
@@ -77,8 +157,53 @@ Status ShmRing::Write(const Bytes& message) {
   const std::uint64_t tail = header_->tail.load(std::memory_order_relaxed);
   const auto len = static_cast<std::uint32_t>(message.size());
   CopyIn(tail, &len, sizeof(len));
-  if (!message.empty()) CopyIn(tail + sizeof(len), message.data(), message.size());
+  if (!message.empty())
+    CopyIn(tail + sizeof(len), message.data(), message.size());
   header_->tail.store(tail + frame, std::memory_order_release);
+  WakeDoorbell();
+}
+
+Status ShmRing::Write(const Bytes& message) {
+  GRD_RETURN_IF_ERROR(WaitForSpace(sizeof(std::uint32_t) + message.size()));
+  PublishFrame(message);
+  return OkStatus();
+}
+
+Status ShmRing::TryWrite(const Bytes& message) {
+  GRD_RETURN_IF_ERROR(ProbeSpace(sizeof(std::uint32_t) + message.size()));
+  PublishFrame(message);
+  return OkStatus();
+}
+
+Status ShmRing::WriteWithDeadline(const Bytes& message,
+                                  std::chrono::nanoseconds timeout) {
+  const timespec deadline = DeadlineAfter(timeout);
+  int spins = 0;
+  while (true) {
+    const Status probe = ProbeSpace(sizeof(std::uint32_t) + message.size());
+    if (probe.ok()) {
+      PublishFrame(message);
+      return OkStatus();
+    }
+    if (probe.code() != StatusCode::kNotFound) return probe;
+    timespec now;
+    clock_gettime(CLOCK_MONOTONIC, &now);
+    if (PastDeadline(now, deadline))
+      return DeadlineExceeded("ring write timed out");
+    if (++spins < kSpinsBeforeYield) continue;
+    // No doorbell on the head word (space frees rarely relative to message
+    // publishes); sleep in short EINTR-safe slices toward the deadline.
+    SleepSliceUntil(now, deadline);
+  }
+}
+
+Status ShmRing::InjectRaw(const void* bytes, std::uint64_t len) {
+  GRD_RETURN_IF_ERROR(WaitForSpace(len));
+  header_->messages_written.fetch_add(1, std::memory_order_release);
+  const std::uint64_t tail = header_->tail.load(std::memory_order_relaxed);
+  if (len > 0) CopyIn(tail, bytes, len);
+  header_->tail.store(tail + len, std::memory_order_release);
+  WakeDoorbell();
   return OkStatus();
 }
 
@@ -90,8 +215,26 @@ Result<Bytes> ShmRing::TryRead() {
       return Status(Unavailable("ring closed"));
     return Status(NotFound("ring empty"));
   }
+  // Frame validation (torn-frame containment, see the file comment): the
+  // length prefix must be complete and the whole frame must lie inside the
+  // published [head, tail) window. An impossible frame means the producer
+  // side tore or forged a write; the buffered bytes have no recoverable
+  // message boundaries, so discard them all and surface kAborted once.
+  const std::uint64_t avail = tail - head;
   std::uint32_t len = 0;
-  CopyOut(head, &len, sizeof(len));
+  bool corrupt = avail < sizeof(len);
+  if (!corrupt) {
+    CopyOut(head, &len, sizeof(len));
+    corrupt = len > header_->capacity || sizeof(len) + len > avail;
+  }
+  if (corrupt) {
+    header_->frames_corrupt.fetch_add(1, std::memory_order_release);
+    header_->head.store(tail, std::memory_order_release);
+    // Count the discarded garbage as one consumed message; the pairing on
+    // a corrupted ring is approximate by nature (Header comment).
+    header_->messages_read.fetch_add(1, std::memory_order_release);
+    return Status(Aborted("corrupt ring frame discarded"));
+  }
   Bytes message(len);
   if (len > 0) CopyOut(head + sizeof(len), message.data(), len);
   header_->head.store(head + sizeof(len) + len, std::memory_order_release);
@@ -99,43 +242,60 @@ Result<Bytes> ShmRing::TryRead() {
   return message;
 }
 
-Result<Bytes> ShmRing::ReadWithDeadline(std::chrono::nanoseconds timeout) {
-  timespec deadline;
-  clock_gettime(CLOCK_MONOTONIC, &deadline);
-  deadline.tv_sec += timeout.count() / 1'000'000'000;
-  deadline.tv_nsec += timeout.count() % 1'000'000'000;
-  if (deadline.tv_nsec >= 1'000'000'000) {
-    deadline.tv_sec += 1;
-    deadline.tv_nsec -= 1'000'000'000;
+bool ShmRing::WaitForMessage(std::chrono::nanoseconds timeout) {
+#if defined(__linux__) && (__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__)
+  const std::uint64_t head = header_->head.load(std::memory_order_relaxed);
+  const std::uint64_t tail = header_->tail.load(std::memory_order_acquire);
+  if (tail != head || header_->closed.load(std::memory_order_acquire))
+    return true;
+  header_->waiters.fetch_add(1, std::memory_order_seq_cst);
+  // Re-check AFTER registering (pairs with WakeDoorbell's fence): either
+  // this load sees the new tail, or the producer sees our registration and
+  // wakes the futex.
+  bool ready = header_->tail.load(std::memory_order_seq_cst) != tail ||
+               header_->closed.load(std::memory_order_acquire) != 0;
+  if (!ready) {
+    timespec rel;
+    rel.tv_sec = timeout.count() / 1'000'000'000;
+    rel.tv_nsec = timeout.count() % 1'000'000'000;
+    // EINTR / EAGAIN / timeout all fall through to the re-check; the
+    // caller loops against its own absolute deadline, so an interrupted
+    // wait can only shorten this one slice, never a whole wait.
+    FutexWait(&header_->tail, static_cast<std::uint32_t>(tail), &rel);
+    ready = header_->tail.load(std::memory_order_acquire) != tail ||
+            header_->closed.load(std::memory_order_acquire) != 0;
   }
+  header_->waiters.fetch_sub(1, std::memory_order_release);
+  return ready;
+#else
+  (void)timeout;
+  return false;
+#endif
+}
+
+Result<Bytes> ShmRing::ReadWithDeadline(std::chrono::nanoseconds timeout) {
+  const timespec deadline = DeadlineAfter(timeout);
   int spins = 0;
   while (true) {
     auto message = TryRead();
     if (message.ok()) return message;
-    if (message.status().code() == StatusCode::kUnavailable)
-      return message.status();
+    if (message.status().code() != StatusCode::kNotFound)
+      return message.status();  // closed, or a corrupt frame was discarded
     timespec now;
     clock_gettime(CLOCK_MONOTONIC, &now);
-    if (now.tv_sec > deadline.tv_sec ||
-        (now.tv_sec == deadline.tv_sec && now.tv_nsec >= deadline.tv_nsec))
+    if (PastDeadline(now, deadline))
       return Status(DeadlineExceeded("ring read timed out"));
     if (++spins < kSpinsBeforeYield) continue;
-    // Sleep in short slices toward the absolute deadline. clock_nanosleep
-    // with TIMER_ABSTIME returns EINTR when a signal lands mid-sleep; the
-    // loop simply re-polls and re-sleeps against the SAME deadline, so
-    // signals can never shorten the overall wait (the spurious-timeout bug
-    // a relative-sleep retry loop would have).
-    timespec slice = now;
-    slice.tv_nsec += 100'000;  // 100 µs
-    if (slice.tv_nsec >= 1'000'000'000) {
-      slice.tv_sec += 1;
-      slice.tv_nsec -= 1'000'000'000;
-    }
-    if (slice.tv_sec > deadline.tv_sec ||
-        (slice.tv_sec == deadline.tv_sec && slice.tv_nsec > deadline.tv_nsec))
-      slice = deadline;
-    while (clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME, &slice, nullptr) ==
-           EINTR) {
+    // Prefer the futex doorbell (wakes on the next publish); fall back to
+    // EINTR-safe sleep slices toward the absolute deadline elsewhere.
+    if constexpr (kFutexDoorbell) {
+      std::int64_t remaining_ns =
+          (deadline.tv_sec - now.tv_sec) * 1'000'000'000 +
+          (deadline.tv_nsec - now.tv_nsec);
+      if (remaining_ns > 1'000'000) remaining_ns = 1'000'000;  // 1 ms slice
+      WaitForMessage(std::chrono::nanoseconds(remaining_ns));
+    } else {
+      SleepSliceUntil(now, deadline);
     }
   }
 }
@@ -145,14 +305,23 @@ Result<Bytes> ShmRing::Read() {
   while (true) {
     auto message = TryRead();
     if (message.ok()) return message;
-    if (message.status().code() == StatusCode::kUnavailable)
+    if (message.status().code() != StatusCode::kNotFound)
       return message.status();
-    Backoff(spins);
+    if constexpr (kFutexDoorbell) {
+      if (++spins >= kSpinsBeforeYield) {
+        WaitForMessage(std::chrono::milliseconds(1));
+        spins = 0;
+        continue;
+      }
+    } else {
+      Backoff(spins);
+    }
   }
 }
 
 void ShmRing::Close() {
   header_->closed.store(1, std::memory_order_release);
+  WakeDoorbell();
 }
 
 bool ShmRing::closed() const noexcept {

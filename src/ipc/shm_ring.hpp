@@ -14,10 +14,20 @@
 // Signal-safety audit (process-mode workers get signaled and SIGKILLed):
 // the blocking Write/Read paths wait with a pure spin/yield loop —
 // sched_yield cannot fail with EINTR, so no wait here can be cut short by a
-// signal. The only timeout-bearing wait, ReadWithDeadline, measures an
-// ABSOLUTE CLOCK_MONOTONIC deadline and retries interrupted sleeps against
-// it, so a storm of signals delays the sleep slices but can never make the
-// wait spuriously report DeadlineExceeded early (nor return late state).
+// signal. The timeout-bearing waits, ReadWithDeadline and WriteWithDeadline,
+// measure an ABSOLUTE CLOCK_MONOTONIC deadline and retry interrupted sleeps
+// (and interrupted futex waits) against it, so a storm of signals delays the
+// sleep slices but can never make the wait spuriously report
+// DeadlineExceeded early (nor return late state).
+//
+// Torn-frame containment: a producer that scribbles garbage into the ring
+// (chaos injection, a buggy client, a torn partial write that still advanced
+// tail) can publish a length prefix that does not fit the published bytes.
+// TryRead validates every frame against the published window before
+// advancing; an impossible frame discards the ring's buffered bytes (head is
+// clamped to tail), bumps `frames_corrupt` and surfaces kAborted — the
+// consumer's pump keeps serving its other channels and later VALID frames on
+// this ring still parse, instead of the reader walking off past tail forever.
 #pragma once
 
 #include <atomic>
@@ -31,11 +41,25 @@ namespace grd::ipc {
 
 class ShmRing {
  public:
+  // True when the platform supports the futex doorbell (Linux,
+  // little-endian: the futex word is the low half of the 64-bit tail).
+  // Elsewhere WaitForMessage returns false immediately and callers fall
+  // back to their spin/yield/sleep backoff.
+#if defined(__linux__) && (__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__)
+  static constexpr bool kFutexDoorbell = true;
+#else
+  static constexpr bool kFutexDoorbell = false;
+#endif
+
   struct Header {
     std::atomic<std::uint64_t> head{0};  // consumer position
     std::atomic<std::uint64_t> tail{0};  // producer position
     std::uint64_t capacity = 0;          // data bytes
     std::atomic<std::uint32_t> closed{0};
+    // Consumers registered on the futex doorbell (sleeping, or about to, on
+    // the tail word). Producers skip the futex syscall entirely while this
+    // is zero, which is the common loaded case.
+    std::atomic<std::uint32_t> waiters{0};
     // Whole messages published / consumed, for crash supervision: diffing
     // request-ring reads against response-ring writes tells a supervisor
     // how many requests a dead worker consumed without answering (crash
@@ -48,6 +72,10 @@ class ShmRing {
     // request/response pairing forever.
     std::atomic<std::uint64_t> messages_written{0};
     std::atomic<std::uint64_t> messages_read{0};
+    // Impossible frames discarded by TryRead (see the file comment). After
+    // a discard the written/read pairing on this ring is no longer exact —
+    // the garbage bytes had no recoverable message boundaries.
+    std::atomic<std::uint64_t> frames_corrupt{0};
   };
 
   // Total bytes a region must provide for a ring with `data_capacity` bytes
@@ -64,11 +92,23 @@ class ShmRing {
   // message cannot ever fit or the ring is closed.
   Status Write(const Bytes& message);
 
+  // Non-blocking write: NotFound immediately when the ring lacks space
+  // (mirroring TryRead's NotFound-when-empty), Unavailable when closed.
+  Status TryWrite(const Bytes& message);
+
+  // Blocking write bounded by `timeout`: DeadlineExceeded when the ring
+  // stays full past an absolute CLOCK_MONOTONIC deadline computed on entry.
+  // EINTR-safe by construction, same discipline as ReadWithDeadline.
+  Status WriteWithDeadline(const Bytes& message,
+                           std::chrono::nanoseconds timeout);
+
   // Blocking read of the next message. Fails with kUnavailable when the
   // ring is closed and drained.
   Result<Bytes> Read();
 
-  // Non-blocking read: returns NotFound immediately when empty.
+  // Non-blocking read: returns NotFound immediately when empty. Returns
+  // kAborted after discarding buffered bytes when the next frame is
+  // impossible (torn/garbage length prefix — see the file comment).
   Result<Bytes> TryRead();
 
   // Blocking read bounded by `timeout`: DeadlineExceeded when the ring
@@ -76,6 +116,20 @@ class ShmRing {
   // entry. EINTR-safe by construction — an interrupted sleep retries
   // against the same absolute deadline (see the file-comment audit).
   Result<Bytes> ReadWithDeadline(std::chrono::nanoseconds timeout);
+
+  // Futex doorbell (consumer side): block until the producer publishes a
+  // new tail, the ring closes, or `timeout` elapses. Returns true when the
+  // ring is worth polling again right now (data published or closed),
+  // false on timeout or when the platform has no doorbell — the caller
+  // decides how to back off. Never blocks when data is already buffered.
+  bool WaitForMessage(std::chrono::nanoseconds timeout);
+
+  // Chaos/testing hook: publishes `len` raw bytes at tail with NO framing —
+  // the tail advances but no length prefix is validated or even required to
+  // be complete. Models a torn or malicious writer; the consumer-side
+  // containment above is what keeps this from poisoning the ring. Counted
+  // as one written message.
+  Status InjectRaw(const void* bytes, std::uint64_t len);
 
   void Close();
   bool closed() const noexcept;
@@ -88,9 +142,19 @@ class ShmRing {
   std::uint64_t messages_read() const noexcept {
     return header_->messages_read.load(std::memory_order_acquire);
   }
+  std::uint64_t frames_corrupt() const noexcept {
+    return header_->frames_corrupt.load(std::memory_order_acquire);
+  }
 
  private:
   Status WaitForSpace(std::uint64_t needed);
+  // Single space probe: OkStatus / NotFound (full) / Unavailable (closed) /
+  // InvalidArgument (can never fit).
+  Status ProbeSpace(std::uint64_t needed);
+  // Copies the frame in and publishes tail (+ doorbell wake).
+  void PublishFrame(const Bytes& message);
+  // FUTEX_WAKE on the tail word when any consumer is registered.
+  void WakeDoorbell();
 
   void CopyIn(std::uint64_t pos, const void* src, std::uint64_t len);
   void CopyOut(std::uint64_t pos, void* dst, std::uint64_t len) const;

@@ -1,0 +1,199 @@
+// Fleet traffic harness + chaos injector (src/fleet/): seeded mini-fleets
+// over a real forked worker pool. Labeled `process` in CMake — these tests
+// SIGKILL live workers and must stay out of the TSan job.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "common/rng.hpp"
+#include "fleet/fleet.hpp"
+#include "fleet/slo.hpp"
+#include "fleet/traffic.hpp"
+#include "guardian/grdlib.hpp"
+#include "guardian/process_server.hpp"
+#include "guardian/transport.hpp"
+
+namespace grd::fleet {
+namespace {
+
+using guardian::GrdLib;
+using guardian::GrdLibOptions;
+
+// ---- traffic shapes -------------------------------------------------------
+
+TEST(ArrivalProcessTest, ClosedLoopHasNoThinkTime) {
+  Rng rng(1);
+  ArrivalProcess arrivals;
+  arrivals.kind = ArrivalKind::kClosedLoop;
+  for (std::uint64_t r = 0; r < 8; ++r)
+    EXPECT_EQ(arrivals.NextGapNs(rng, r), 0u);
+}
+
+TEST(ArrivalProcessTest, PoissonGapsArePositiveAndCapped) {
+  Rng rng(2);
+  ArrivalProcess arrivals;
+  arrivals.kind = ArrivalKind::kPoisson;
+  arrivals.rate_hz = 4000.0;
+  for (std::uint64_t r = 0; r < 256; ++r) {
+    const std::uint64_t gap = arrivals.NextGapNs(rng, r);
+    EXPECT_GT(gap, 0u);
+    EXPECT_LE(gap, 10'000'000u);  // single-draw cap
+  }
+}
+
+TEST(ArrivalProcessTest, BurstyGapsOnlyAtBurstBoundaries) {
+  Rng rng(3);
+  ArrivalProcess arrivals;
+  arrivals.kind = ArrivalKind::kBursty;
+  arrivals.rate_hz = 2000.0;
+  arrivals.burst_len = 8;
+  EXPECT_EQ(arrivals.NextGapNs(rng, 0), 0u);  // first burst starts at once
+  for (std::uint64_t r = 1; r < 8; ++r)
+    EXPECT_EQ(arrivals.NextGapNs(rng, r), 0u) << "in-burst request " << r;
+  EXPECT_GT(arrivals.NextGapNs(rng, 8), 0u) << "burst boundary";
+}
+
+TEST(ArrivalProcessTest, SameSeedReplaysTheSameGaps) {
+  ArrivalProcess arrivals;
+  arrivals.kind = ArrivalKind::kPoisson;
+  Rng a(42), b(42);
+  for (std::uint64_t r = 0; r < 64; ++r)
+    EXPECT_EQ(arrivals.NextGapNs(a, r), arrivals.NextGapNs(b, r));
+}
+
+// ---- SLO board ------------------------------------------------------------
+
+TEST(SloBoardTest, HistogramHoldsOnlySurvivorSamples) {
+  SloBoard board;
+  const auto rt = protocol::PriorityClass::kRealtime;
+  board.Record(rt, 1000, OkStatus());
+  board.Record(rt, 50'000'000, Status(Unavailable("worker died")));
+  board.Record(rt, 50'000'000, Status(DeadlineExceeded("wedged")));
+  const ClassSlo& slo = board.cls(rt);
+  EXPECT_EQ(slo.requests.load(), 3u);
+  EXPECT_EQ(slo.ok.load(), 1u);
+  EXPECT_EQ(slo.unavailable.load(), 1u);
+  EXPECT_EQ(slo.deadline_exceeded.load(), 1u);
+  // The 50ms fault durations must not pollute the survivor percentile.
+  EXPECT_EQ(slo.latency.count.load(), 1u);
+  EXPECT_LE(slo.latency.PercentileNs(0.99), 2048u);
+}
+
+// ---- fleet end-to-end -----------------------------------------------------
+
+TEST(FleetTest, CleanFleetCompletesEverySessionWithoutFaults) {
+  FleetOptions options;
+  options.seed = 11;
+  options.workers = 2;
+  options.channels = 2;
+  options.sessions_per_channel = 2;
+  options.requests_per_session = 8;
+  options.call_timeout = std::chrono::milliseconds(500);
+  Fleet fleet(options);
+  ASSERT_TRUE(fleet.Run().ok());
+  const FleetReport& report = fleet.report();
+  EXPECT_EQ(report.sessions, 4u);
+  EXPECT_EQ(report.sessions_completed, 4u);
+  EXPECT_EQ(report.hangs, 0u);
+  EXPECT_EQ(report.victims, 0u);
+  EXPECT_EQ(report.connect_failures, 0u);
+  EXPECT_EQ(report.frames_corrupt, 0u);
+  EXPECT_EQ(report.synthetic_responses, 0u);
+  EXPECT_EQ(report.workers_respawned, 0u);
+  EXPECT_EQ(report.realtime_requests + report.batch_requests, 32u);
+  EXPECT_EQ(report.realtime_ok + report.batch_ok, 32u);
+}
+
+TEST(FleetTest, FleetSurvivesWorkerKillAndStalledTenant) {
+  FleetOptions options;
+  options.seed = 7;
+  options.workers = 2;
+  options.channels = 4;
+  options.sessions_per_channel = 2;
+  options.requests_per_session = 16;
+  options.call_timeout = std::chrono::milliseconds(500);
+  options.recovery_attempts = 8;
+  options.stalled_tenants = 1;
+  options.chaos.seed = 99;
+  options.chaos.worker_kills = 1;
+  // Fire after an eighth of the fleet's cycles: mid-traffic, deterministic
+  // enough that some session is always in flight on the victim worker.
+  options.chaos.min_requests_before_kill = 16;
+  options.chaos.min_gap = std::chrono::microseconds(500);
+  options.chaos.max_gap = std::chrono::microseconds(1000);
+  Fleet fleet(options);
+  ASSERT_TRUE(fleet.Run().ok());
+  const FleetReport& report = fleet.report();
+
+  // The acceptance invariants, in miniature: the kill landed, the stall
+  // landed, no client hung, every victim recovered, every session finished.
+  EXPECT_EQ(report.kills, 1u);
+  EXPECT_EQ(report.stalls_injected, 1u);
+  EXPECT_EQ(report.hangs, 0u);
+  EXPECT_GE(report.victims, 1u);
+  EXPECT_EQ(report.victims_recovered, report.victims);
+  EXPECT_GE(report.recoveries, 1u);
+  EXPECT_EQ(report.sessions, 8u);
+  EXPECT_EQ(report.sessions_completed, 8u);
+  EXPECT_GE(report.workers_respawned, 1u);
+  // Survivor SLO histograms saw real traffic.
+  const auto& slo = fleet.slo();
+  EXPECT_GT(slo.cls(protocol::PriorityClass::kRealtime).latency.count.load() +
+                slo.cls(protocol::PriorityClass::kBatch).latency.count.load(),
+            0u);
+}
+
+// ---- exact ring accounting at quiescence ----------------------------------
+
+TEST(FleetTest, RingCountersBalanceExactlyAtQuiescence) {
+  guardian::ProcessServerOptions server_opts;
+  server_opts.workers = 2;
+  server_opts.channels = 2;
+  server_opts.layout.max_channels = 2;
+  server_opts.layout.max_workers = 2;
+  server_opts.layout.max_sessions = 8;
+  auto server = guardian::ProcessServer::Create(server_opts);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE((*server)->Start().ok());
+  ASSERT_TRUE((*server)->WaitForChannelOwners());
+
+  SloBoard slo;
+  Rng rng(5);
+  for (std::uint32_t ch = 0; ch < 2; ++ch) {
+    guardian::ChannelTransport transport(&(*server)->channel(ch),
+                                         std::chrono::milliseconds(500));
+    auto lib = GrdLib::Connect(&transport, 1u << 20);
+    ASSERT_TRUE(lib.ok());
+    TenantSpec spec = ch == 0 ? MakeRealtimeInferenceSpec()
+                              : MakeBatchTrainingSpec();
+    spec.requests = 8;
+    ASSERT_TRUE(RunTenantSession(*lib, spec, rng, slo, nullptr).ok());
+    ASSERT_TRUE(lib->Disconnect().ok());
+  }
+
+  // Every call returned, so the fleet side is quiescent: each ring's
+  // producer and consumer counters must agree exactly, and the pool-wide
+  // stats must equal the per-ring sums (the PR's counter-conservation
+  // invariant — nothing consumed unaccounted, nothing answered twice).
+  std::uint64_t requests_read = 0, responses_written = 0;
+  for (std::uint32_t ch = 0; ch < 2; ++ch) {
+    ipc::Channel& channel = (*server)->channel(ch);
+    EXPECT_EQ(channel.request().messages_written(),
+              channel.request().messages_read())
+        << "channel " << ch << " request ring";
+    EXPECT_EQ(channel.response().messages_written(),
+              channel.response().messages_read())
+        << "channel " << ch << " response ring";
+    EXPECT_EQ(channel.request().frames_corrupt(), 0u);
+    requests_read += channel.request().messages_read();
+    responses_written += channel.response().messages_written();
+  }
+  guardian::SharedServingState& state = (*server)->state();
+  EXPECT_EQ(state.stats().ring_messages_read.load(), requests_read);
+  EXPECT_EQ(state.stats().ring_messages_written.load(), responses_written);
+  EXPECT_EQ(state.counters().synthetic_responses.load(), 0u);
+  (*server)->Stop();
+}
+
+}  // namespace
+}  // namespace grd::fleet

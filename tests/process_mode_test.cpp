@@ -546,8 +546,20 @@ TEST(ProcessModeTest, KilledWorkerSpansAreFlushedFromSharedArena) {
   SharedServingState& state = (*server)->state();
   ASSERT_TRUE(PollUntil([&] { return state.FailedSessions() == 1; }, 5000));
 
+  // The supervisor commits the worker.killed instant after it fails the
+  // sessions (the condition polled above) and unblocks waiters, so poll the
+  // async trace sink until the mark lands before snapshotting.
   std::vector<obs::SpanRecord> spans;
-  obs::TraceRecorder::Instance().Collect(&spans);
+  ASSERT_TRUE(PollUntil(
+      [&] {
+        spans.clear();
+        obs::TraceRecorder::Instance().Collect(&spans);
+        for (const obs::SpanRecord& rec : spans)
+          if (std::strcmp(rec.name, "worker.killed") == 0) return true;
+        return false;
+      },
+      5000))
+      << "worker.killed instant never reached the shared arena";
 
   // Only whole records surface: the commit-word protocol means a torn
   // record is invisible, never garbled.

@@ -4,10 +4,15 @@
 // untrusted (threat model, §3/§5).
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "common/rng.hpp"
+#include "fleet/chaos.hpp"
 #include "guardian/grdlib.hpp"
 #include "guardian/manager.hpp"
 #include "guardian/transport.hpp"
+#include "ipc/channel.hpp"
 #include "ptx/generator.hpp"
 #include "ptx/printer.hpp"
 #include "simgpu/device_spec.hpp"
@@ -236,6 +241,136 @@ TEST_F(RobustnessTest, SetPriorityOnDeadSessionRejected) {
   request.Put<std::uint64_t>(0);
   request.Put<std::uint8_t>(0);
   EXPECT_EQ(Send(std::move(request).Take()).code(), StatusCode::kNotFound);
+}
+
+// ---- ring-level chaos (fleet::ChaosController frame injectors) ------------
+//
+// The dispatcher-level tests above hand malformed bytes straight to
+// HandleRequest; these go one layer down. A live ManagerServer pumps two
+// shared-memory channels while torn / truncated / garbage frames are
+// injected into one of them: the ring must contain the damage (frames
+// discarded + counted, an error response written back), the neighboring
+// tenant must never notice, and the poisoned channel itself must keep
+// serving valid requests afterwards.
+class RingChaosTest : public ::testing::Test {
+ protected:
+  static constexpr auto kTimeout = std::chrono::seconds(2);
+
+  RingChaosTest()
+      : gpu_(simgpu::QuadroRtxA4000()),
+        manager_(&gpu_, ManagerOptions{}),
+        server_(&manager_, ManagerServer::Policy::kRoundRobin, 2) {
+    server_.AddChannel(&honest_.channel());
+    server_.AddChannel(&chaotic_.channel());
+    server_.Start();
+  }
+  ~RingChaosTest() override { server_.Stop(); }
+
+  // Waits until the pump has consumed the injected frame and answered.
+  // Returns the decoded status of that answer.
+  Status DrainChaosResponse() {
+    auto response = chaotic_.channel().response().ReadWithDeadline(kTimeout);
+    if (!response.ok()) return response.status();
+    auto decoded = protocol::DecodeResponse(*response);
+    return decoded.ok() ? OkStatus() : decoded.status();
+  }
+
+  simcuda::Gpu gpu_;
+  GrdManager manager_;
+  ipc::HeapChannel honest_;
+  ipc::HeapChannel chaotic_;
+  ManagerServer server_;
+};
+
+TEST_F(RingChaosTest, TornFrameIsContainedAndAnswered) {
+  ChannelTransport honest_transport(&honest_.channel(), kTimeout);
+  ChannelTransport chaotic_transport(&chaotic_.channel(), kTimeout);
+  auto survivor = GrdLib::Connect(&honest_transport, 1 << 20);
+  auto victim = GrdLib::Connect(&chaotic_transport, 1 << 20);
+  ASSERT_TRUE(survivor.ok() && victim.ok());
+
+  // The injector is this thread, and the victim session is idle, so the
+  // request ring has exactly one writer — same discipline as the fleet's
+  // reserved chaos channel.
+  Rng rng(21);
+  fleet::ChaosController::InjectTornFrame(chaotic_.channel().request(), rng);
+
+  // Containment: the frame is discarded + counted and the pump answers
+  // with kAborted instead of wedging or crashing.
+  EXPECT_EQ(DrainChaosResponse().code(), StatusCode::kAborted);
+  EXPECT_GE(chaotic_.channel().request().frames_corrupt(), 1u);
+
+  // The neighbor never noticed; the poisoned channel still serves.
+  DevicePtr p = 0;
+  EXPECT_TRUE(survivor->cudaMalloc(&p, 64).ok());
+  DevicePtr q = 0;
+  EXPECT_TRUE(victim->cudaMalloc(&q, 64).ok());
+}
+
+TEST_F(RingChaosTest, TruncatedFrameIsContainedAndAnswered) {
+  ChannelTransport chaotic_transport(&chaotic_.channel(), kTimeout);
+  auto victim = GrdLib::Connect(&chaotic_transport, 1 << 20);
+  ASSERT_TRUE(victim.ok());
+
+  fleet::ChaosController::InjectTruncatedFrame(chaotic_.channel().request());
+  EXPECT_EQ(DrainChaosResponse().code(), StatusCode::kAborted);
+  EXPECT_GE(chaotic_.channel().request().frames_corrupt(), 1u);
+
+  DevicePtr p = 0;
+  EXPECT_TRUE(victim->cudaMalloc(&p, 64).ok());
+}
+
+TEST_F(RingChaosTest, GarbageFrameRejectedAtTheDispatcher) {
+  ChannelTransport chaotic_transport(&chaotic_.channel(), kTimeout);
+  auto victim = GrdLib::Connect(&chaotic_transport, 1 << 20);
+  ASSERT_TRUE(victim.ok());
+
+  // A well-formed frame full of junk: the RING accepts it (no corruption at
+  // this layer), the DISPATCHER rejects it — a decodable error response, no
+  // crash, no count against ring integrity.
+  Rng rng(22);
+  fleet::ChaosController::InjectGarbageFrame(chaotic_.channel().request(),
+                                             rng);
+  EXPECT_FALSE(DrainChaosResponse().ok());
+  EXPECT_EQ(chaotic_.channel().request().frames_corrupt(), 0u);
+
+  DevicePtr p = 0;
+  EXPECT_TRUE(victim->cudaMalloc(&p, 64).ok());
+}
+
+TEST_F(RingChaosTest, RepeatedChaosBarrageNeverPoisonsTheServer) {
+  ChannelTransport honest_transport(&honest_.channel(), kTimeout);
+  auto survivor = GrdLib::Connect(&honest_transport, 1 << 20);
+  ASSERT_TRUE(survivor.ok());
+
+  Rng rng(23);
+  int answered = 0;
+  for (int round = 0; round < 12; ++round) {
+    switch (round % 3) {
+      case 0:
+        fleet::ChaosController::InjectTornFrame(chaotic_.channel().request(),
+                                                rng);
+        break;
+      case 1:
+        fleet::ChaosController::InjectTruncatedFrame(
+            chaotic_.channel().request());
+        break;
+      case 2:
+        fleet::ChaosController::InjectGarbageFrame(
+            chaotic_.channel().request(), rng);
+        break;
+    }
+    // Serve each fault to completion before the next: back-to-back raw
+    // injections into one ring may coalesce into a single repair, which is
+    // fine for the fleet but would make this count nondeterministic.
+    if (!DrainChaosResponse().ok()) ++answered;
+    // The honest tenant stays fully functional between every fault.
+    DevicePtr p = 0;
+    ASSERT_TRUE(survivor->cudaMalloc(&p, 64).ok()) << "round " << round;
+    ASSERT_TRUE(survivor->cudaFree(p).ok()) << "round " << round;
+  }
+  EXPECT_EQ(answered, 12);
+  EXPECT_GE(chaotic_.channel().request().frames_corrupt(), 8u);
 }
 
 TEST_F(RobustnessTest, RandomBytesNeverCrashTheManager) {

@@ -2,6 +2,10 @@
 //
 //   check_metrics bench FILE...        BENCH_*.json artifacts: one flat JSON
 //                                      object of scalar values
+//   check_metrics fleet FILE...        BENCH_fleet.json chaos artifacts: the
+//                                      required key set plus the hard fleet
+//                                      invariants (zero hangs, every victim
+//                                      recovered)
 //   check_metrics stats FILE...        MANAGER_STATS objects (raw JSON, or a
 //                                      log whose "MANAGER_STATS {...}" lines
 //                                      are extracted): required counter keys
@@ -256,6 +260,53 @@ int CheckBench(const char* path) {
   return 0;
 }
 
+// ---- fleet: BENCH_fleet.json chaos-harness artifact -----------------------
+
+// The chaos bench's contract (docs/metrics.md): flat scalars, this exact
+// key set at minimum, and the two invariants CI must never see violated
+// even if the bench's own gates are edited — no hung client, no victim
+// session left unrecovered.
+constexpr const char* kRequiredFleetKeys[] = {
+    "sessions",          "baseline_rt_p99_us", "chaos_rt_p99_us",
+    "rt_p99_ratio",      "kills",              "delays",
+    "torn_frames",       "truncated_frames",   "garbage_frames",
+    "stalls_injected",   "frames_corrupt",     "victims",
+    "victims_recovered", "recoveries",         "recovery_retries",
+    "deadline_exceeded", "synthetic_responses", "workers_respawned",
+    "sessions_completed", "hangs",
+};
+
+int CheckFleet(const char* path) {
+  std::string text;
+  if (!ReadFile(path, &text)) return Complain(path, "cannot read");
+  JsonValue root;
+  JsonParser parser(text);
+  if (!parser.Parse(&root)) return Complain(path, parser.error());
+  if (root.kind != JsonValue::Kind::kObject)
+    return Complain(path, "expected a JSON object");
+  for (const char* key : kRequiredFleetKeys) {
+    const JsonValue* value = root.Find(key);
+    if (value == nullptr)
+      return Complain(path, std::string("missing key \"") + key + "\"");
+    if (value->kind != JsonValue::Kind::kNumber)
+      return Complain(path, std::string("key \"") + key +
+                                "\" is not a number");
+  }
+  const double hangs = root.Find("hangs")->number;
+  if (hangs != 0.0)
+    return Complain(path, "hangs != 0 — a client call never returned");
+  const double victims = root.Find("victims")->number;
+  const double recovered = root.Find("victims_recovered")->number;
+  if (recovered < victims)
+    return Complain(path, std::to_string(static_cast<long long>(
+                              victims - recovered)) +
+                              " victim session(s) never recovered");
+  std::printf("check_metrics: %s: ok (%zu fields, %lld victims all "
+              "recovered)\n",
+              path, root.object.size(), static_cast<long long>(victims));
+  return 0;
+}
+
 // ---- stats: MANAGER_STATS object ------------------------------------------
 
 // The counters every ManagerStats export must carry (a prefix of the full
@@ -367,6 +418,7 @@ int CheckTrace(const char* path, std::size_t min_events) {
 int Usage() {
   std::fprintf(stderr,
                "usage: check_metrics bench FILE...\n"
+               "       check_metrics fleet FILE...\n"
                "       check_metrics stats FILE...\n"
                "       check_metrics trace FILE [MIN_EVENTS]\n");
   return 2;
@@ -380,6 +432,11 @@ int main(int argc, char** argv) {
   if (mode == "bench") {
     for (int i = 2; i < argc; ++i)
       if (const int rc = CheckBench(argv[i])) return rc;
+    return 0;
+  }
+  if (mode == "fleet") {
+    for (int i = 2; i < argc; ++i)
+      if (const int rc = CheckFleet(argv[i])) return rc;
     return 0;
   }
   if (mode == "stats") {
