@@ -5,12 +5,19 @@
 //   chaos     — same fleet with worker SIGKILLs, a SIGSTOP delay, torn /
 //               truncated / garbage frames on the reserved chaos channel and
 //               one stalled (non-draining) tenant.
+// Both scenarios run a 2-device-per-worker fleet: sessions are placed
+// least-loaded across each worker's devices and may live-migrate under
+// queue-depth imbalance.
 // Emits one flat BENCH_fleet.json line (schema: docs/metrics.md) and exits
 // non-zero when the robustness gates fail:
 //   - hangs == 0 in both scenarios (every deadline-bounded call returned);
-//   - every victim session recovered via the grdLib retry path;
+//   - every victim session recovered via the grdLib retry path, and no
+//     victim burned all rebuild attempts (retry_exhausted == 0);
 //   - chaos landed: >= 2 kills, >= 1 stalled tenant, >= 1 corrupt frame
 //     contained by the ring;
+//   - SIGKILLed workers' sessions were adopted from their journals rather
+//     than failed (sessions_adopted >= 1), and at least one checkpointed
+//     kernel resumed mid-grid (checkpoint_kernels_resumed >= 1);
 //   - realtime survivor p99 within 2x of the no-chaos baseline (both
 //     percentiles are log2-bucket upper bounds, so one bucket of drift is
 //     exactly 2.0 — the gate uses <=).
@@ -39,12 +46,16 @@ FleetOptions BaseOptions(bool quick) {
   options.ring_bytes = 1u << 16;
   options.call_timeout = std::chrono::milliseconds(200);
   options.recovery_attempts = 8;
+  options.devices_per_worker = 2;
   return options;
 }
 
 FleetOptions ChaosOptionsFor(bool quick) {
   FleetOptions options = BaseOptions(quick);
   options.stalled_tenants = 1;
+  // Aggressive migration under chaos: any 2-deep queue next to an idle
+  // device moves the session, so the revoke-and-resume path gets exercised.
+  options.migrate_queue_threshold = 2;
   options.chaos.seed = 1234;
   options.chaos.worker_kills = quick ? 2 : 3;
   options.chaos.delays = 1;
@@ -126,8 +137,13 @@ int main() {
       .Add("frames_corrupt", faulted.frames_corrupt)
       .Add("victims", faulted.victims)
       .Add("victims_recovered", faulted.victims_recovered)
+      .Add("retry_exhausted", faulted.retry_exhausted)
       .Add("recoveries", faulted.recoveries)
       .Add("recovery_retries", faulted.recovery_retries)
+      .Add("resume_attaches", faulted.resume_attaches)
+      .Add("sessions_adopted", faulted.sessions_adopted)
+      .Add("sessions_migrated", faulted.sessions_migrated)
+      .Add("checkpoint_kernels_resumed", faulted.checkpoint_kernels_resumed)
       .Add("deadline_exceeded", faulted.deadline_exceeded)
       .Add("synthetic_responses", faulted.synthetic_responses)
       .Add("workers_respawned", faulted.workers_respawned)
@@ -149,6 +165,14 @@ int main() {
   if (faulted.victims_recovered < faulted.victims)
     rc |= Fail("every victim recovered", faulted.victims_recovered,
                faulted.victims);
+  if (faulted.retry_exhausted != 0)
+    rc |= Fail("no victim exhausted its retries", faulted.retry_exhausted, 0);
+  if (faulted.sessions_adopted < 1)
+    rc |= Fail("killed workers' sessions adopted >= 1",
+               faulted.sessions_adopted, 1);
+  if (faulted.checkpoint_kernels_resumed < 1)
+    rc |= Fail("checkpointed kernels resumed >= 1",
+               faulted.checkpoint_kernels_resumed, 1);
   if (faulted.sessions_completed < faulted.sessions)
     rc |= Fail("all sessions completed", faulted.sessions_completed,
                faulted.sessions);

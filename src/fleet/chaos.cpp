@@ -64,6 +64,64 @@ pid_t ChaosController::PickWorkerPid(Rng& rng) const {
   return -1;
 }
 
+pid_t ChaosController::PickMidGridWorkerPid(Rng& rng) const {
+  const std::uint32_t workers = server_->options().workers;
+  const std::uint32_t sessions = server_->options().layout.max_sessions;
+  if (workers == 0 || sessions == 0) return -1;
+  guardian::SharedServingState& state = server_->state();
+  const std::uint32_t start =
+      static_cast<std::uint32_t>(rng.NextBelow(sessions));
+  for (std::uint32_t i = 0; i < sessions; ++i) {
+    guardian::SharedSessionSlot& slot =
+        state.session_slot((start + i) % sessions);
+    if (slot.state.load(std::memory_order_acquire) !=
+        static_cast<std::uint32_t>(guardian::SessionSlotState::kActive))
+      continue;
+    if (slot.journal.pending_state.load(std::memory_order_acquire) != 1)
+      continue;
+    // Stable once armed (published before pending_state, single writer).
+    const std::uint64_t grid =
+        static_cast<std::uint64_t>(slot.journal.pending_grid[0]) *
+        slot.journal.pending_grid[1] * slot.journal.pending_grid[2];
+    std::uint64_t done = 0;
+    for (const auto& word : slot.journal.pending_done)
+      done += static_cast<std::uint64_t>(
+          __builtin_popcountll(word.load(std::memory_order_acquire)));
+    // EARLY grid only: at least one block journaled (so the resume has a
+    // checkpoint to rebuild) but no more than a quarter done (so the grid
+    // still has runway and the SIGKILL beats the kernel's completion).
+    if (done == 0 || done > grid / 4) continue;
+    const std::uint32_t owner =
+        slot.owner_worker.load(std::memory_order_acquire);
+    if (owner >= workers) continue;
+    const pid_t pid = server_->worker_pid(owner);
+    if (pid > 0) return pid;
+  }
+  return -1;
+}
+
+pid_t ChaosController::PickBusyWorkerPid(Rng& rng) const {
+  const std::uint32_t workers = server_->options().workers;
+  const std::uint32_t channels = server_->options().channels;
+  if (workers == 0 || channels == 0) return -1;
+  const std::uint32_t start =
+      static_cast<std::uint32_t>(rng.NextBelow(channels));
+  for (std::uint32_t i = 0; i < channels; ++i) {
+    const std::uint32_t ch = (start + i) % channels;
+    ipc::Channel& channel = server_->channel(ch);
+    // Consumed-but-unanswered request: the owning worker is inside
+    // HandleRequest right now (decoding, or parked in a synchronous kernel).
+    if (channel.request().messages_read() <=
+        channel.response().messages_written())
+      continue;
+    const std::uint32_t owner = server_->channel_owner(ch);
+    if (owner >= workers) continue;
+    const pid_t pid = server_->worker_pid(owner);
+    if (pid > 0) return pid;
+  }
+  return -1;
+}
+
 void ChaosController::Start(const std::atomic<std::uint64_t>* progress) {
   stop_.store(false, std::memory_order_release);
   injector_ = std::thread([this, progress] { Loop(progress); });
@@ -108,7 +166,20 @@ void ChaosController::Loop(const std::atomic<std::uint64_t>* progress) {
                    options_.min_requests_before_kill &&
                !stop_.load(std::memory_order_acquire))
           SleepMicros(200);
-        const pid_t pid = PickWorkerPid(rng);
+        // Prefer a worker whose session journal shows a kernel MID-GRID
+        // right now (armed pending mirror, >= 1 block done): that kill is
+        // the adoption / checkpoint-resume scenario this harness exists to
+        // exercise. Poll briefly; degrade to any mid-request worker, then to
+        // any live worker, so the kill always lands.
+        pid_t pid = -1;
+        for (int spin = 0; spin < 250 && pid <= 0 &&
+                           !stop_.load(std::memory_order_acquire);
+             ++spin) {
+          pid = PickMidGridWorkerPid(rng);
+          if (pid <= 0) SleepMicros(200);
+        }
+        if (pid <= 0) pid = PickBusyWorkerPid(rng);
+        if (pid <= 0) pid = PickWorkerPid(rng);
         if (pid <= 0) {
           skipped_.fetch_add(1, std::memory_order_relaxed);
           break;

@@ -84,6 +84,13 @@ class ChaosController {
   void Loop(const std::atomic<std::uint64_t>* progress);
   // A live worker's pid, or -1 when none is up right now.
   pid_t PickWorkerPid(Rng& rng) const;
+  // A live worker currently holding a consumed-but-unanswered request on one
+  // of its channels (it is mid-request — likely mid-kernel), or -1.
+  pid_t PickBusyWorkerPid(Rng& rng) const;
+  // A live worker owning a session whose shared journal shows an armed
+  // pending kernel with >= 1 completed block — i.e. mid-GRID right now, the
+  // strongest kill target for the checkpoint-resume path. -1 when none.
+  pid_t PickMidGridWorkerPid(Rng& rng) const;
 
   guardian::ProcessServer* server_;
   ChaosOptions options_;

@@ -97,8 +97,10 @@ void Fleet::BindTo(obs::MetricsRegistry& registry) const {
   registry.Counter("fleet_sessions_completed", &sessions_completed_);
   registry.Counter("fleet_victims", &victims_);
   registry.Counter("fleet_victims_recovered", &victims_recovered_);
+  registry.Counter("fleet_retry_exhausted", &retry_exhausted_);
   registry.Counter("fleet_recoveries", &recoveries_);
   registry.Counter("fleet_recovery_retries", &recovery_retries_);
+  registry.Counter("fleet_resume_attaches", &resume_attaches_);
   registry.Counter("fleet_connect_failures", &connect_failures_);
   registry.Counter("fleet_stalls_injected", &stalls_injected_);
 }
@@ -119,6 +121,12 @@ Status Fleet::Run() {
   server_opts.layout.max_sessions = options_.channels * 2 + 16;
   server_opts.layout.ring_bytes = options_.ring_bytes;
   server_opts.manager.tracing_enabled = options_.tracing;
+  // Multi-device fleet: each worker owns `devices_per_worker` replicas of
+  // the default device and places/migrates its sessions across them.
+  for (std::uint32_t d = 1; d < options_.devices_per_worker; ++d)
+    server_opts.extra_devices.push_back(server_opts.device);
+  server_opts.manager.migrate_queue_threshold =
+      options_.migrate_queue_threshold;
 
   GRD_ASSIGN_OR_RETURN(std::unique_ptr<guardian::ProcessServer> server,
                        guardian::ProcessServer::Create(server_opts));
@@ -178,14 +186,23 @@ Status Fleet::Run() {
               break;
             st = RunTenantSession(*lib, spec, rng, slo_, &progress_);
           }
-          if (st.ok())
+          if (st.ok()) {
             victims_recovered_.fetch_add(1, std::memory_order_relaxed);
+          } else if (st.code() == StatusCode::kUnavailable ||
+                     st.code() == StatusCode::kDeadlineExceeded) {
+            // All 4 rebuild attempts burned and the session is still on a
+            // retryable failure: terminal exhaustion, its own counter (and
+            // gate) so it cannot hide inside the recovered-vs-victims diff.
+            retry_exhausted_.fetch_add(1, std::memory_order_relaxed);
+          }
         }
         if (st.ok())
           sessions_completed_.fetch_add(1, std::memory_order_relaxed);
         recoveries_.fetch_add(lib->recoveries(), std::memory_order_relaxed);
         recovery_retries_.fetch_add(lib->recovery_retries(),
                                     std::memory_order_relaxed);
+        resume_attaches_.fetch_add(lib->resume_attaches(),
+                                   std::memory_order_relaxed);
         (void)lib->Disconnect();
         sessions_finished_.fetch_add(1, std::memory_order_relaxed);
       }
@@ -200,6 +217,12 @@ Status Fleet::Run() {
   report_.synthetic_responses = counters.synthetic_responses.load();
   report_.workers_respawned = counters.workers_respawned.load();
   report_.sessions_crash_failed = counters.sessions_crash_failed.load();
+  // Adoption/migration outcomes aggregate in the pool's shared ManagerStats.
+  const guardian::ManagerStats& pool_stats = server->state().stats();
+  report_.sessions_adopted = pool_stats.sessions_adopted.load();
+  report_.sessions_migrated = pool_stats.sessions_migrated.load();
+  report_.checkpoint_kernels_resumed =
+      pool_stats.checkpoint_kernels_resumed.load();
   report_.frames_corrupt = 0;
   for (std::uint32_t i = 0; i < server_opts.channels; ++i)
     report_.frames_corrupt += server->channel(i).request().frames_corrupt() +
@@ -234,8 +257,10 @@ Status Fleet::Run() {
   report_.sessions_completed = sessions_completed_.load();
   report_.victims = victims_.load();
   report_.victims_recovered = victims_recovered_.load();
+  report_.retry_exhausted = retry_exhausted_.load();
   report_.recoveries = recoveries_.load();
   report_.recovery_retries = recovery_retries_.load();
+  report_.resume_attaches = resume_attaches_.load();
   report_.connect_failures = connect_failures_.load();
   report_.stalls_injected = stalls_injected_.load();
   report_.hangs = sessions_started_.load() - sessions_finished_.load();

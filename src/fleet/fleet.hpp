@@ -29,6 +29,14 @@ namespace grd::fleet {
 struct FleetOptions {
   std::uint64_t seed = 42;
   std::uint32_t workers = 4;
+  // Devices EACH worker owns (multi-device fleet): sessions are placed
+  // least-loaded at registration and may live-migrate between a worker's
+  // devices under queue-depth imbalance. 1 = the historical single device.
+  std::uint32_t devices_per_worker = 1;
+  // Queue-depth imbalance that triggers an automatic live migration
+  // (ManagerOptions::migrate_queue_threshold); only meaningful with
+  // devices_per_worker > 1. 0 disables the trigger.
+  std::uint64_t migrate_queue_threshold = 8;
   std::uint32_t channels = 8;  // tenant channels (chaos channel is extra)
   std::uint32_t sessions_per_channel = 4;
   std::uint32_t requests_per_session = 24;
@@ -62,6 +70,13 @@ struct FleetReport {
   std::uint64_t sessions_completed = 0;
   std::uint64_t victims = 0;            // sessions that saw kUnavailable
   std::uint64_t victims_recovered = 0;  // ...and then finished their work
+  // Victim cycles that burned all 4 rebuild attempts and still failed with
+  // a retryable code. Distinct from (victims - victims_recovered): a victim
+  // whose retry loop exited on a NON-retryable code is a logic bug surfaced
+  // elsewhere, while exhaustion is the fleet quietly giving up — the gate
+  // requires this to be zero so it can never hide under the
+  // recovered-vs-victims comparison.
+  std::uint64_t retry_exhausted = 0;
   std::uint64_t recoveries = 0;         // grdLib session re-registrations
   std::uint64_t recovery_retries = 0;   // calls transparently re-sent
   std::uint64_t connect_failures = 0;
@@ -72,6 +87,14 @@ struct FleetReport {
   std::uint64_t synthetic_responses = 0;
   std::uint64_t workers_respawned = 0;
   std::uint64_t sessions_crash_failed = 0;
+  // Multi-device fleet outcomes: sessions adopted (rebuilt from their
+  // journal) after a worker death instead of failed, sessions live-migrated
+  // between devices, checkpointed kernels resumed mid-grid by either path,
+  // and client-side recoveries that attached to an adopted session.
+  std::uint64_t sessions_adopted = 0;
+  std::uint64_t sessions_migrated = 0;
+  std::uint64_t checkpoint_kernels_resumed = 0;
+  std::uint64_t resume_attaches = 0;
   // Chaos events actually landed.
   std::uint64_t kills = 0;
   std::uint64_t delays = 0;
@@ -108,8 +131,10 @@ class Fleet {
   std::atomic<std::uint64_t> sessions_completed_{0};
   std::atomic<std::uint64_t> victims_{0};
   std::atomic<std::uint64_t> victims_recovered_{0};
+  std::atomic<std::uint64_t> retry_exhausted_{0};
   std::atomic<std::uint64_t> recoveries_{0};
   std::atomic<std::uint64_t> recovery_retries_{0};
+  std::atomic<std::uint64_t> resume_attaches_{0};
   std::atomic<std::uint64_t> connect_failures_{0};
   std::atomic<std::uint64_t> stalls_injected_{0};
 };

@@ -76,7 +76,12 @@ TenantSpec MakeRealtimeInferenceSpec() {
   spec.arrivals.kind = ArrivalKind::kPoisson;
   spec.arrivals.rate_hz = 4000.0;
   spec.requests = 24;
-  spec.payload_bytes = 256;
+  // 64 blocks of 32 threads per launch: the synchronous kernel dominates the
+  // request cycle, so a worker SIGKILLed mid-request is usually mid-GRID with
+  // completed blocks in the session journal for the adoption resume-match
+  // path to pick up on retry — and enough blocks remain after the chaos
+  // controller spots one done that the kill reliably beats completion.
+  spec.payload_bytes = 8192;
   spec.threads = 32;
   return spec;
 }
@@ -138,6 +143,8 @@ Status RunTenantSession(guardian::GrdLib& lib, const TenantSpec& spec,
   for (std::uint32_t r = 0; r < spec.requests; ++r) {
     SleepNs(spec.arrivals.NextGapNs(rng, r));
     const std::uint64_t begin = NowNs();
+    const std::uint64_t recoveries_before =
+        lib.recoveries() + lib.resume_attaches();
     Status cycle = OkStatus();
     if (realtime) {
       cycle = lib.cudaMemcpyH2D(a, payload.data(), spec.payload_bytes);
@@ -172,7 +179,12 @@ Status RunTenantSession(guardian::GrdLib& lib, const TenantSpec& spec,
       // the batch buffer so backpressure is exercised, CUDA-style.
       if (cycle.ok() && (r + 1) % 8 == 0) cycle = lib.cudaStreamSynchronize(stream);
     }
-    slo.Record(spec.priority, NowNs() - begin, cycle);
+    // A cycle that transparently absorbed a worker crash (grdLib attached /
+    // re-registered mid-call) measures recovery, not serving latency: keep
+    // it out of the SLO histogram so the survivor-latency comparison stays
+    // honest. Recovery cost is visible in its own counters.
+    if (lib.recoveries() + lib.resume_attaches() == recoveries_before)
+      slo.Record(spec.priority, NowNs() - begin, cycle);
     if (progress != nullptr)
       progress->fetch_add(1, std::memory_order_relaxed);
     if (!cycle.ok()) {

@@ -101,4 +101,23 @@ class Dispatcher {
 // Populates `dispatcher` with every RPC of the wire protocol (handlers.cpp).
 void RegisterBuiltinHandlers(Dispatcher& dispatcher);
 
+// Session adoption (process mode): rebuilds client `client` from its
+// shared-slot journal after the supervisor re-homed the slot onto this
+// worker — partition at its exact prior bounds, live mallocs address-exact,
+// modules replayed from the shared PTX arena through the sandbox cache,
+// functions, streams, id counters. An armed pending-kernel mirror is left
+// in place: the client's retried launch resumes it from its completed-block
+// bitmap. NotFound when the slot was not promised to this worker.
+Result<std::shared_ptr<ClientSession>> AdoptJournaledSession(
+    ExecutionContext& exec, SessionRegistry& sessions, std::uint64_t client);
+
+// Live migration: moves `session` (mutex held by the caller) to
+// `target_device` — pauses its streams, revokes any running kernel at a
+// block boundary, detaches the partition with its sub-allocator state,
+// copies the partition bytes, re-admits the still-queued work on streams
+// recreated on the target scheduler. Tickets stay valid across the move.
+Status MigrateSession(ExecutionContext& exec, SessionRegistry& sessions,
+                      const std::shared_ptr<ClientSession>& session,
+                      std::uint32_t target_device);
+
 }  // namespace grd::guardian

@@ -52,6 +52,9 @@ void ManagerStats::BindTo(obs::MetricsRegistry* registry) const {
   registry->Counter("tier2_instructions", &tier_instructions[2]);
   registry->Counter("ring_messages_read", &ring_messages_read);
   registry->Counter("ring_messages_written", &ring_messages_written);
+  registry->Counter("sessions_adopted", &sessions_adopted);
+  registry->Counter("sessions_migrated", &sessions_migrated);
+  registry->Counter("checkpoint_kernels_resumed", &checkpoint_kernels_resumed);
   for (int cls = 0; cls < kPriorityClassCount; ++cls)
     registry->Histogram("wait_histograms",
                         std::string(PriorityClassName(

@@ -22,9 +22,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "guardian/bounds_table.hpp"
 #include "guardian/gpu_scheduler.hpp"
@@ -93,6 +95,18 @@ struct ManagerOptions {
   // genuinely overlap in wall-clock time (bench_stream_overlap). 0 =
   // functional-only execution, no sleeps.
   double device_time_ns_per_cycle = 0.0;
+  // Multi-device fleet: extra simulated devices this manager serves beyond
+  // the primary one handed to GrdManager. Each gets its own Gpu, partition
+  // space and GpuScheduler; sessions are placed at registration (least
+  // resident sessions, lowest id on ties) and carry their device id for the
+  // life of the session — unless live migration moves them.
+  std::vector<simgpu::DeviceSpec> extra_devices;
+  // Live migration: with more than one device, a kBatch arriving for a
+  // session whose device has at least this many ops queued while some other
+  // device sits idle triggers a migration (revoke running kernels at a block
+  // boundary, copy the partition, re-admit the checkpointed kernels on the
+  // target). 0 disables the automatic trigger.
+  std::uint64_t migrate_queue_threshold = 8;
   // End-to-end request tracing (obs/trace.hpp): grdLib stamps a
   // TraceContext into every request header and the manager emits spans for
   // dispatch, queueing, patch/compile, admission, preemption and per-tier
@@ -177,6 +191,14 @@ struct ManagerStats {
   // both stay 0 there.
   std::atomic<std::uint64_t> ring_messages_read{0};
   std::atomic<std::uint64_t> ring_messages_written{0};
+  // Multi-device fleet: sessions rebuilt from their shared-region journal
+  // after their worker died (adoption), sessions live-migrated to another
+  // device, and checkpointed kernels re-admitted mid-grid by either path
+  // (their completed blocks are skipped — kernel_blocks_executed staying at
+  // the launched grid totals is the exactness proof).
+  std::atomic<std::uint64_t> sessions_adopted{0};
+  std::atomic<std::uint64_t> sessions_migrated{0};
+  std::atomic<std::uint64_t> checkpoint_kernels_resumed{0};
   // Launch-to-first-run wait time per priority class.
   WaitHistogram wait_hist[kPriorityClassCount];
 
@@ -207,6 +229,36 @@ inline void BumpCounterMax(std::atomic<std::uint64_t>& counter,
   }
 }
 
+// One simulated device under this manager: its Gpu, its partition carve and
+// its scheduler. Device 0 wraps the Gpu the caller handed to GrdManager;
+// extras (ManagerOptions::extra_devices) are owned. Memory traffic and
+// kernel execution for a session go through its device's scheduler only, so
+// devices never serialize against each other.
+struct DeviceState {
+  DeviceState(std::uint32_t id_in, simcuda::Gpu* borrowed,
+              std::unique_ptr<simcuda::Gpu> owned,
+              const ManagerOptions& options, ManagerStats* stats)
+      : id(id_in),
+        owned_gpu(std::move(owned)),
+        gpu(owned_gpu != nullptr ? owned_gpu.get() : borrowed),
+        partitions(gpu->spec().global_mem_bytes),
+        scheduler(gpu->spec(), options.scheduler_executors, stats,
+                  PreemptionConfig{options.preemption_enabled,
+                                   options.preempt_check_interval,
+                                   options.aging_quantum_ns}) {}
+
+  const std::uint32_t id;
+  std::unique_ptr<simcuda::Gpu> owned_gpu;  // null for the borrowed primary
+  simcuda::Gpu* gpu;
+  std::mutex partition_mu;  // guards `partitions` + paired bounds updates
+  PartitionAllocator partitions;
+  // Sessions currently placed here (admission load signal; relaxed).
+  std::atomic<std::uint64_t> resident_sessions{0};
+  // Declared last: destroyed first, so executor threads are joined before
+  // any state they might touch goes away.
+  GpuScheduler scheduler;
+};
+
 struct ExecutionContext {
   // `shared_stats` (process mode) points the counters at a ManagerStats
   // living in the workers' SharedRegion, so the whole forked pool aggregates
@@ -214,34 +266,55 @@ struct ExecutionContext {
   // private `owned_stats` below.
   ExecutionContext(simcuda::Gpu* gpu_in, ManagerOptions options_in,
                    ManagerStats* shared_stats = nullptr)
-      : gpu(gpu_in),
-        options(options_in),
+      : options(std::move(options_in)),
         stats(shared_stats != nullptr ? *shared_stats : owned_stats),
-        sandbox_cache(options_in.sandbox_cache_capacity),
-        partitions(gpu_in->spec().global_mem_bytes),
-        scheduler(gpu_in->spec(), options_in.scheduler_executors, &stats,
-                  PreemptionConfig{options_in.preemption_enabled,
-                                   options_in.preempt_check_interval,
-                                   options_in.aging_quantum_ns}) {}
+        sandbox_cache(options.sandbox_cache_capacity) {
+    devices.push_back(
+        std::make_unique<DeviceState>(0, gpu_in, nullptr, options, &stats));
+    for (const simgpu::DeviceSpec& spec : options.extra_devices)
+      devices.push_back(std::make_unique<DeviceState>(
+          static_cast<std::uint32_t>(devices.size()), nullptr,
+          std::make_unique<simcuda::Gpu>(spec), options, &stats));
+  }
 
-  simcuda::Gpu* gpu;
+  // Out-of-range ids clamp to device 0 rather than fault: a journal recorded
+  // by a larger fleet must still replay (degraded) on a smaller one.
+  DeviceState& device(std::uint32_t id) noexcept {
+    return id < devices.size() ? *devices[id] : *devices[0];
+  }
+  std::uint32_t device_count() const noexcept {
+    return static_cast<std::uint32_t>(devices.size());
+  }
+  // Placement/admission: least resident sessions wins, lowest id on ties.
+  std::uint32_t PlaceSession() const noexcept {
+    std::uint32_t best = 0;
+    std::uint64_t best_load = ~std::uint64_t{0};
+    for (std::uint32_t i = 0; i < devices.size(); ++i) {
+      const std::uint64_t load =
+          devices[i]->resident_sessions.load(std::memory_order_relaxed);
+      if (load < best_load) {
+        best = i;
+        best_load = load;
+      }
+    }
+    return best;
+  }
+
   const ManagerOptions options;
   ManagerStats owned_stats;  // backing storage when no shared instance given
   ManagerStats& stats;
   SandboxCache sandbox_cache;  // internally locked
 
-  std::mutex partition_mu;  // guards `partitions` + paired `bounds` updates
-  PartitionAllocator partitions;
   PartitionBoundsTable bounds;  // internally locked (read-mostly)
 
   // Standalone fast-path fence (see file comment). Shared by an executing
   // native kernel, exclusive (empty critical section) by registration.
   std::shared_mutex native_mu;
 
-  // Declared last: destroyed first, so executor threads are joined before
-  // any state they might touch goes away. The manager also shuts it down
-  // explicitly before tearing down the session registry.
-  GpuScheduler scheduler;
+  // Declared last: destroyed first, so every device's executor pool is
+  // joined before the shared state above goes away. The manager also shuts
+  // them down explicitly before tearing down the session registry.
+  std::vector<std::unique_ptr<DeviceState>> devices;
 };
 
 }  // namespace grd::guardian

@@ -53,6 +53,7 @@ class GpuStream {
  private:
   std::deque<GpuTicket> queue_;
   bool active_ = false;     // one op of this stream is on an executor
+  bool paused_ = false;     // migration: scan skips this stream entirely
   bool destroyed_ = false;  // retired: enqueues fail
   PriorityClass priority_ = PriorityClass::kNormal;
   Status first_error_;      // sticky, reported by SynchronizeStream
@@ -219,6 +220,74 @@ void GpuScheduler::Shutdown() {
   executors_.clear();
 }
 
+void GpuScheduler::PauseStream(GpuStream& stream) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stream.paused_ = true;
+}
+
+void GpuScheduler::ResumeStream(GpuStream& stream) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stream.paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+bool GpuScheduler::RequestStreamPreemption(GpuStream& stream) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stream.queue_.empty()) return false;
+  const GpuTicket& head = stream.queue_.front();
+  if (head->kind == Kind::kKernel && head->state == State::kRunning &&
+      head->preemptible) {
+    head->preempt_requested.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void GpuScheduler::WaitStreamInactive(GpuStream& stream) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !stream.active_; });
+}
+
+std::vector<GpuTicket> GpuScheduler::ExtractQueued(GpuStream& stream) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<GpuTicket> items;
+  // Stop at a non-queued head: a still-running op owns its queue slot (the
+  // executor's requeue-on-preempt path relies on the item staying put).
+  while (!stream.queue_.empty() &&
+         stream.queue_.front()->state == State::kQueued) {
+    items.push_back(stream.queue_.front());
+    stream.queue_.pop_front();
+    if (queued_ops_ > 0) --queued_ops_;
+  }
+  return items;
+}
+
+GpuTicket GpuScheduler::Readmit(GpuStream& stream, GpuTicket op) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stream.destroyed_ || stopped_) {
+      op->state = State::kDone;
+      op->status = Aborted("target stream gone before re-admission");
+      cv_.notify_all();
+      return op;
+    }
+    // The target device may be smaller than the source; re-clamp so the
+    // occupancy scan can ever admit the kernel.
+    if (op->kind == GpuWorkItem::Kind::kKernel)
+      op->sm_footprint =
+          std::clamp(op->sm_footprint, 1, std::max(1, spec_.sms));
+    op->head_seen = false;  // aging restarts on the new device
+    stream.queue_.push_back(op);
+    ++queued_ops_;
+    if (stats_ != nullptr)
+      BumpCounterMax(stats_->peak_queue_depth, queued_ops_);
+  }
+  cv_.notify_all();
+  return op;
+}
+
 int GpuScheduler::sms_in_use() const {
   std::lock_guard<std::mutex> lock(mu_);
   return sms_in_use_;
@@ -227,6 +296,16 @@ int GpuScheduler::sms_in_use() const {
 int GpuScheduler::resident_kernels() const {
   std::lock_guard<std::mutex> lock(mu_);
   return resident_kernels_;
+}
+
+std::uint64_t GpuScheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_ops_;
+}
+
+PriorityClass GpuScheduler::StreamPriority(GpuStream& stream) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stream.priority_;
 }
 
 void GpuScheduler::UpdatePeaksLocked() {
@@ -297,7 +376,8 @@ bool GpuScheduler::ScanLocked(GpuTicket* op,
     progressed = false;
     for (std::size_t i = 0; i < n; ++i) {
       const auto s = streams_[(rotor_ + i) % n].lock();
-      if (s == nullptr || s->active_ || s->queue_.empty()) continue;
+      if (s == nullptr || s->active_ || s->paused_ || s->queue_.empty())
+        continue;
       const GpuTicket& head = s->queue_.front();
       if (head->kind == Kind::kEventRecord) {
         FinishLocked(*s, head, OkStatus());
@@ -327,7 +407,8 @@ bool GpuScheduler::ScanLocked(GpuTicket* op,
     for (std::size_t i = 0; i < n; ++i) {
       const std::size_t index = (rotor_ + i) % n;
       const auto s = streams_[index].lock();
-      if (s == nullptr || s->active_ || s->queue_.empty()) continue;
+      if (s == nullptr || s->active_ || s->paused_ || s->queue_.empty())
+        continue;
       const GpuTicket& head = s->queue_.front();
       if (head->kind != Kind::kKernel && head->kind != Kind::kCopy) continue;
       if (prioritized) {

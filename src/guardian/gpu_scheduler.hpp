@@ -143,9 +143,47 @@ class GpuScheduler {
   // before session state is torn down.
   void Shutdown();
 
+  // ---- live migration (execution layer, under the session mutex) ----
+  //
+  // Moving a session to another device is scheduler surgery: pause its
+  // streams (the scan stops admitting their heads, so nothing re-enters the
+  // device), revoke any running kernel at its next safe point, wait for the
+  // streams to go inactive, pull the still-queued items off, destroy the
+  // drained streams here and Readmit the items into fresh streams created
+  // on the target device's scheduler. Tickets remain valid throughout —
+  // waiters hold the same GpuWorkItem and see it complete on the target.
+
+  // Freezes admission for `stream`: queued ops stay queued (markers
+  // included), a running op finishes or vacates on its own.
+  void PauseStream(GpuStream& stream);
+  // Rollback for an aborted migration: lifts the pause.
+  void ResumeStream(GpuStream& stream);
+  // Asks the stream's running preemptible kernel (if any) to vacate at its
+  // next safe point; it requeues at the stream head with its checkpoint.
+  // Returns true when a running kernel was actually asked — i.e. a
+  // checkpointed kernel will resume mid-grid after re-admission.
+  bool RequestStreamPreemption(GpuStream& stream);
+  // Blocks until no op of `stream` is on an executor. Only meaningful after
+  // PauseStream (otherwise the scan may immediately re-admit).
+  void WaitStreamInactive(GpuStream& stream);
+  // Pops every queued item off `stream` (front first, order preserved) and
+  // returns them for re-admission elsewhere. The stream must be inactive.
+  std::vector<GpuTicket> ExtractQueued(GpuStream& stream);
+  // Appends a previously extracted item to `stream` on THIS scheduler,
+  // re-clamping its SM footprint to this device. Aging restarts; the
+  // item's checkpoint (captured in its body) is untouched.
+  GpuTicket Readmit(GpuStream& stream, GpuTicket op);
+
+  // The stream's current priority class (migration recreates the stream on
+  // the target scheduler with the same class).
+  PriorityClass StreamPriority(GpuStream& stream) const;
+
   // Introspection (benches/tests).
   int sms_in_use() const;
   int resident_kernels() const;
+  // Ops currently sitting in stream queues (admission-load signal for the
+  // migration trigger).
+  std::uint64_t queue_depth() const;
   std::size_t executors() const noexcept { return executor_count_; }
   const simgpu::DeviceSpec& spec() const noexcept { return spec_; }
   const PreemptionEngine& preemption() const noexcept { return engine_; }

@@ -62,6 +62,34 @@ bool GrdLib::IsRetryable(Op op) {
   }
 }
 
+bool GrdLib::IsRetryableAfterAttach(Op op) {
+  // After an attach the session kept its client id, partition, and every
+  // server-side module / function / stream handle (rebuilt from the shared
+  // journal with identical ids), so ops whose re-execution is idempotent IN
+  // EFFECT also re-send safely: an interrupted launch resumes from its
+  // journaled block checkpoint (or deterministically rewrites its own
+  // partition), copies and memsets rewrite the same bytes, syncs just wait.
+  // Handle-creating/destroying ops stay out — the crash may have landed
+  // after the side effect, and a second create would leak — as do event
+  // ops (events are not journaled, so they did not survive adoption).
+  switch (op) {
+    case Op::kLaunchKernel:
+    case Op::kMemcpyH2D:
+    case Op::kMemcpyH2DAsync:
+    case Op::kMemcpyD2H:
+    case Op::kMemcpyD2D:
+    case Op::kMemset:
+    case Op::kStreamSynchronize:
+    case Op::kStreamIsCapturing:
+    case Op::kStreamGetCaptureInfo:
+    case Op::kSetPriority:
+    case Op::kModuleGetFunction:
+      return true;
+    default:
+      return IsRetryable(op);
+  }
+}
+
 bool GrdLib::IsRecoverable(Op op) {
   // A failed registration has no session to recover; disconnecting a
   // session the crash already destroyed is complete as-is.
@@ -131,7 +159,9 @@ Result<Reader> GrdLib::Call(Writer request, Bytes* response_storage) const {
       ++recovery_failures_;
       continue;
     }
-    if (!IsRetryable(op))
+    const bool retryable =
+        last_recovery_attached_ ? IsRetryableAfterAttach(op) : IsRetryable(op);
+    if (!retryable)
       return Status(Unavailable(
           std::string("session re-registered after worker crash; ") +
           protocol::OpName(op) +
@@ -247,6 +277,23 @@ Status GrdLib::Register() const {
   GRD_ASSIGN_OR_RETURN(client_, reader->Get<std::uint64_t>());
   GRD_ASSIGN_OR_RETURN(partition_base_, reader->Get<std::uint64_t>());
   GRD_ASSIGN_OR_RETURN(partition_size_, reader->Get<std::uint64_t>());
+  GRD_ASSIGN_OR_RETURN(device_id_, reader->Get<std::uint32_t>());
+  return OkStatus();
+}
+
+Status GrdLib::ResumeAttach() const {
+  ScopedRecoveryFlag scope(recovering_);
+  Writer request;
+  protocol::WriteHeader(request, Op::kResumeSession, client_);
+  request.Put<std::uint64_t>(client_);
+  Bytes storage;
+  auto reader = Transact(std::move(request).Take(), &storage);
+  if (!reader.ok()) return reader.status();
+  GRD_ASSIGN_OR_RETURN(client_, reader->Get<std::uint64_t>());
+  GRD_ASSIGN_OR_RETURN(partition_base_, reader->Get<std::uint64_t>());
+  GRD_ASSIGN_OR_RETURN(partition_size_, reader->Get<std::uint64_t>());
+  GRD_ASSIGN_OR_RETURN(device_id_, reader->Get<std::uint32_t>());
+  ++resume_attaches_;
   return OkStatus();
 }
 
@@ -256,6 +303,15 @@ Status GrdLib::Recover() const {
   // would re-send launches against handles that no longer exist.
   pending_.clear();
   pending_bytes_ = 0;
+  // Attach-first: if the replacement worker adopted the session from its
+  // journal, the id, partition and every server-side handle survived —
+  // nothing to replay.
+  last_recovery_attached_ = false;
+  if (client_ != 0 && ResumeAttach().ok()) {
+    last_recovery_attached_ = true;
+    ++recoveries_;
+    return OkStatus();
+  }
   GRD_RETURN_IF_ERROR(Register());
   if (priority_set_) {
     Writer request;

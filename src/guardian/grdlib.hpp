@@ -32,13 +32,19 @@ namespace grd::guardian {
 // historical behavior (errors surface raw, no recovery) is `{}`.
 struct GrdLibOptions {
   // On kUnavailable (worker crashed, session failed, ring closed): run the
-  // recovery path — re-register the session, re-apply the session priority
-  // class, and replay every recorded module load / function lookup so the
-  // client-facing module and function handles stay valid — up to this many
-  // attempts per call. Idempotent calls are then retried transparently;
-  // non-idempotent ones still surface kUnavailable, but against an
-  // already-recovered session (old device pointers / streams / events are
-  // gone with the dead worker, so the caller must rebuild those anyway).
+  // recovery path, up to this many attempts per call. Recovery is
+  // attach-first: a kResumeSession with the old client id asks the
+  // replacement worker to adopt the session from its shared journal — same
+  // id, same partition (device pointers stay valid), modules / functions /
+  // streams rebuilt server-side with identical ids — and then retries any
+  // effect-idempotent call transparently (an interrupted launch resumes
+  // from its journaled block checkpoint). If adoption is impossible (journal
+  // overflowed, threaded mode) it falls back to a fresh registration, the
+  // session priority re-applied and every recorded module load / function
+  // lookup replayed so the client-facing handles stay valid; then only
+  // fully idempotent calls retry, and non-idempotent ones surface
+  // kUnavailable against the already-recovered session (old device
+  // pointers / streams / events are gone, so the caller rebuilds those).
   // 0 disables recovery entirely.
   int recovery_attempts = 0;
   // Exponential backoff between recovery attempts (doubled each attempt,
@@ -70,6 +76,9 @@ class GrdLib final : public simcuda::CudaApi {
   ClientId client_id() const noexcept { return client_; }
   std::uint64_t partition_base() const noexcept { return partition_base_; }
   std::uint64_t partition_size() const noexcept { return partition_size_; }
+  // Fleet device the session is currently placed on (from the register or
+  // resume reply; live migration may move it without notice).
+  std::uint32_t device_id() const noexcept { return device_id_; }
 
   // Fault-model observability (see GrdLibOptions): successful session
   // recoveries, calls transparently retried after one, and recovery
@@ -81,6 +90,9 @@ class GrdLib final : public simcuda::CudaApi {
   std::uint64_t recovery_failures() const noexcept {
     return recovery_failures_;
   }
+  // Recoveries that attached to an adopted session (kResumeSession) instead
+  // of re-registering from scratch.
+  std::uint64_t resume_attaches() const noexcept { return resume_attaches_; }
 
   Status Disconnect();
 
@@ -196,7 +208,12 @@ class GrdLib final : public simcuda::CudaApi {
   Status FetchDeviceSpec();
   // Fresh kRegisterClient; rebinds client_/partition on success.
   Status Register() const;
-  // Session re-registration + priority + module replay (see GrdLibOptions).
+  // kResumeSession with the current client id: attaches to a session the
+  // replacement worker adopted from its journal (id, partition and all
+  // server handles preserved). Any failure means "not adopted".
+  Status ResumeAttach() const;
+  // Attach-first session recovery; falls back to re-registration +
+  // priority + module replay (see GrdLibOptions).
   Status Recover() const;
   // Sleeps the exponential-backoff slice for recovery attempt `attempt`.
   void BackoffSleep(int attempt) const;
@@ -204,6 +221,9 @@ class GrdLib final : public simcuda::CudaApi {
   Result<std::uint64_t> TranslateFunction(std::uint64_t client_func) const;
   // Ops safe to re-send verbatim (client id re-patched) after a recovery.
   static bool IsRetryable(protocol::Op op);
+  // Wider retry set usable only after an attach recovery, where every
+  // server handle survived: effect-idempotent ops re-apply safely.
+  static bool IsRetryableAfterAttach(protocol::Op op);
   // Ops whose kUnavailable should NOT trigger recovery at all.
   static bool IsRecoverable(protocol::Op op);
 
@@ -214,6 +234,7 @@ class GrdLib final : public simcuda::CudaApi {
   mutable ClientId client_ = 0;
   mutable std::uint64_t partition_base_ = 0;
   mutable std::uint64_t partition_size_ = 0;
+  mutable std::uint32_t device_id_ = 0;
   simgpu::DeviceSpec device_spec_;
   // Virtual-handle tables (see ModuleRecord). Server ids are refreshed in
   // place by Recover().
@@ -225,9 +246,11 @@ class GrdLib final : public simcuda::CudaApi {
   protocol::PriorityClass priority_ = protocol::PriorityClass::kNormal;
   // Recovery state/counters (mutated under const Call).
   mutable bool recovering_ = false;
+  mutable bool last_recovery_attached_ = false;
   mutable std::uint64_t recoveries_ = 0;
   mutable std::uint64_t recovery_retries_ = 0;
   mutable std::uint64_t recovery_failures_ = 0;
+  mutable std::uint64_t resume_attaches_ = 0;
   // Batched-IPC state (mutable: buffering happens inside const Call paths).
   bool batching_enabled_ = false;
   std::size_t max_pending_ = 8;

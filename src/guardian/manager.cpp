@@ -29,9 +29,16 @@ GrdManager::GrdManager(simcuda::Gpu* gpu, ManagerOptions options,
 }
 
 GrdManager::~GrdManager() {
-  // Join the executor pool while the session registry is still intact:
-  // in-flight kernel bodies may read it (standalone fast-path check).
-  exec_.scheduler.Shutdown();
+  // Join every device's executor pool while the session registry is still
+  // intact: in-flight kernel bodies may read it (standalone fast-path check).
+  for (auto& device : exec_.devices) device->scheduler.Shutdown();
+}
+
+Status GrdManager::Migrate(ClientId client, std::uint32_t device) {
+  GRD_ASSIGN_OR_RETURN(std::shared_ptr<ClientSession> session,
+                       sessions_.Find(client));
+  std::lock_guard<std::mutex> session_lock(session->mu);
+  return MigrateSession(exec_, sessions_, session, device);
 }
 
 protocol::PriorityClass GrdManager::SessionPriority(ClientId client) const {
@@ -63,7 +70,14 @@ ipc::Bytes GrdManager::HandleRequest(const Bytes& request) {
   }
 
   auto found = sessions_.Find(header->client);
-  if (!found.ok()) return protocol::EncodeError(found.status());
+  if (!found.ok()) {
+    // Lazy adoption: a dead worker's session whose shared slot the
+    // supervisor reassigned to this worker is rebuilt from its journal on
+    // first touch, so the client keeps its id without re-registering.
+    auto adopted = AdoptJournaledSession(exec_, sessions_, header->client);
+    if (!adopted.ok()) return protocol::EncodeError(found.status());
+    found = std::move(adopted);
+  }
   const std::shared_ptr<ClientSession> session = std::move(*found);
 
   // Per-session serialization: one request at a time per client, while

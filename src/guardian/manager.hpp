@@ -64,7 +64,15 @@ class GrdManager {
   const SandboxCache& sandbox_cache() const noexcept {
     return exec_.sandbox_cache;
   }
-  GpuScheduler& scheduler() noexcept { return exec_.scheduler; }
+  // The primary device's scheduler (device 0) — the historical single-device
+  // accessor; multi-device callers go through `execution().device(id)`.
+  GpuScheduler& scheduler() noexcept { return exec_.device(0).scheduler; }
+  ExecutionContext& execution() noexcept { return exec_; }
+
+  // Deterministic live migration (tests/tools): moves `client` to
+  // `device` under its session mutex, exactly as the automatic batch-arrival
+  // trigger would. Thread-safe against concurrent requests of the session.
+  Status Migrate(ClientId client, std::uint32_t device);
 
   // Called by the transport when a response could not be delivered.
   void NoteDroppedResponse() noexcept { ++exec_.stats.responses_dropped; }
@@ -72,9 +80,13 @@ class GrdManager {
   // Transport-layer accounting: one shm-ring message consumed / produced on
   // behalf of this manager. Counted at the ring read/write sites themselves
   // (ManagerServer sweeps and the process-mode worker pump) so the shared
-  // process-mode stats aggregate exactly, message by message.
+  // process-mode stats aggregate exactly, message by message. The write
+  // counter is bumped BEFORE the ring publish: a client that consumed a
+  // response (and whoever it then unblocks) must never observe the shared
+  // counter lagging the ring's own. A failed publish takes the bump back.
   void NoteRingRead() noexcept { ++exec_.stats.ring_messages_read; }
   void NoteRingWritten() noexcept { ++exec_.stats.ring_messages_written; }
+  void NoteRingWriteAborted() noexcept { --exec_.stats.ring_messages_written; }
 
   // Session-scope priority class of `client` (kSetPriority scope 0), for the
   // ManagerServer's session-priority channel scheduling: ring pumping and

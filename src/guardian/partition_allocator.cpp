@@ -32,6 +32,25 @@ Result<PartitionBounds> PartitionAllocator::CreatePartition(
   return bounds;
 }
 
+Result<PartitionBounds> PartitionAllocator::CreatePartitionAt(
+    std::uint64_t base, std::uint64_t size) {
+  if (size == 0 || NextPowerOfTwo(size) != size)
+    return Status(InvalidArgument("partition size must be a power of two"));
+  if (!IsAligned(base, size))
+    return Status(InvalidArgument("partition base " + ToHex(base) +
+                                  " not aligned to its size"));
+  if (partitions_.count(base) != 0)
+    return Status(FailedPrecondition("partition already live at " +
+                                     ToHex(base)));
+  GRD_RETURN_IF_ERROR(carver_.AllocateAt(base, size));
+  Partition partition;
+  partition.bounds = PartitionBounds{base, size};
+  partition.suballocator = std::make_unique<simcuda::DeviceAllocator>(size);
+  const PartitionBounds bounds = partition.bounds;
+  partitions_.emplace(base, std::move(partition));
+  return bounds;
+}
+
 Status PartitionAllocator::ReleasePartition(std::uint64_t base) {
   const auto it = partitions_.find(base);
   if (it == partitions_.end())
@@ -66,6 +85,49 @@ Result<std::uint64_t> PartitionAllocator::AllocateIn(
   GRD_ASSIGN_OR_RETURN(std::uint64_t offset,
                        it->second.suballocator->Allocate(size));
   return partition_base + offset;
+}
+
+Status PartitionAllocator::AllocateExactIn(std::uint64_t partition_base,
+                                           std::uint64_t addr,
+                                           std::uint64_t size) {
+  const auto it = partitions_.find(partition_base);
+  if (it == partitions_.end())
+    return NotFound("no partition at " + ToHex(partition_base));
+  if (addr < partition_base ||
+      addr + size > partition_base + it->second.bounds.size)
+    return InvalidArgument("replayed block outside partition");
+  return it->second.suballocator->AllocateAt(addr - partition_base, size);
+}
+
+Result<PartitionAllocator::Detached> PartitionAllocator::Detach(
+    std::uint64_t base) {
+  const auto it = partitions_.find(base);
+  if (it == partitions_.end())
+    return Status(NotFound("no partition at " + ToHex(base)));
+  Detached out;
+  out.bounds = it->second.bounds;
+  out.suballocator = std::move(it->second.suballocator);
+  partitions_.erase(it);
+  GRD_RETURN_IF_ERROR(carver_.Free(base));
+  return out;
+}
+
+Status PartitionAllocator::Attach(Detached& partition) {
+  if (partitions_.count(partition.bounds.base) != 0)
+    return FailedPrecondition("partition already live at " +
+                              ToHex(partition.bounds.base));
+  GRD_RETURN_IF_ERROR(
+      carver_.AllocateAt(partition.bounds.base, partition.bounds.size));
+  Partition installed;
+  installed.bounds = partition.bounds;
+  installed.suballocator = std::move(partition.suballocator);
+  partitions_.emplace(installed.bounds.base, std::move(installed));
+  return OkStatus();
+}
+
+bool PartitionAllocator::CanAttachAt(std::uint64_t base,
+                                     std::uint64_t size) const noexcept {
+  return partitions_.count(base) == 0 && carver_.RangeFree(base, size);
 }
 
 Status PartitionAllocator::FreeIn(std::uint64_t partition_base,

@@ -34,6 +34,13 @@ class PartitionAllocator {
   Result<PartitionBounds> CreatePartition(std::uint64_t requested_bytes);
   Status ReleasePartition(std::uint64_t base);
 
+  // Session adoption / migration: re-creates a partition at its journaled
+  // bounds so client-held device pointers stay valid. `size` must be the
+  // power-of-two size the partition originally had; the exact range must be
+  // free on this device.
+  Result<PartitionBounds> CreatePartitionAt(std::uint64_t base,
+                                            std::uint64_t size);
+
   // Progressive allocation (the §4.4 future-work extension): doubles the
   // partition in place. Requires (a) the partition base to be aligned to
   // the doubled size — so the power-of-two mask invariant survives — and
@@ -44,6 +51,27 @@ class PartitionAllocator {
   Result<std::uint64_t> AllocateIn(std::uint64_t partition_base,
                                    std::uint64_t size);
   Status FreeIn(std::uint64_t partition_base, std::uint64_t addr);
+
+  // Journal replay: re-claims a cudaMalloc block at its exact prior device
+  // address inside a partition rebuilt by CreatePartitionAt.
+  Status AllocateExactIn(std::uint64_t partition_base, std::uint64_t addr,
+                         std::uint64_t size);
+
+  // Live migration: a partition lifted out of one device's allocator with
+  // its sub-allocator state (the live cudaMalloc map) intact, to be
+  // re-attached at the same bounds on the target device's allocator.
+  struct Detached {
+    PartitionBounds bounds;
+    std::unique_ptr<simcuda::DeviceAllocator> suballocator;
+  };
+  Result<Detached> Detach(std::uint64_t base);
+  // Consumes `partition` only on success, so a failed attach (range occupied
+  // on this device) leaves it intact for re-attaching elsewhere.
+  Status Attach(Detached& partition);
+  // Whether an Attach/CreatePartitionAt of [base, base+size) would succeed
+  // right now. Lets migration check the target BEFORE freezing the session's
+  // streams, so an infeasible move costs nothing.
+  bool CanAttachAt(std::uint64_t base, std::uint64_t size) const noexcept;
 
   std::uint64_t device_bytes() const noexcept { return device_bytes_; }
   std::size_t partition_count() const noexcept { return partitions_.size(); }

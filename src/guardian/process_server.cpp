@@ -103,11 +103,15 @@ Status ProcessServer::SpawnWorker(std::uint32_t index) {
 }
 
 void ProcessServer::WorkerMain(std::uint32_t index) {
-  // Fresh address space (post-fork): build this worker's own device and
-  // manager, bound to the pool's shared registry/bounds/stats.
+  // Fresh address space (post-fork): build this worker's own device fleet
+  // and manager, bound to the pool's shared registry/bounds/stats.
   {
     simcuda::Gpu gpu(options_.device);
-    GrdManager manager(&gpu, options_.manager, state_, index);
+    ManagerOptions manager_options = options_.manager;
+    // Per-worker fleet: the extra devices are constructed inside the child
+    // (ExecutionContext owns them), so device memory stays worker-private.
+    manager_options.extra_devices = options_.extra_devices;
+    GrdManager manager(&gpu, manager_options, state_, index);
 
     // Sticky claims: CAS our preferred channels; a channel claimed once is
     // pumped by this worker until it dies (the supervisor releases claims).
@@ -136,8 +140,11 @@ void ProcessServer::WorkerMain(std::uint32_t index) {
       std::size_t served = 0;
       for (std::size_t c = 0; c < owned.size(); ++c) {
         if (!parked[c].empty()) {
-          if (!owned[c]->response().TryWrite(parked[c]).ok()) continue;
-          manager.NoteRingWritten();
+          manager.NoteRingWritten();  // count-then-publish (see manager.hpp)
+          if (!owned[c]->response().TryWrite(parked[c]).ok()) {
+            manager.NoteRingWriteAborted();
+            continue;
+          }
           parked[c].clear();
           ++served;
         }
@@ -150,8 +157,9 @@ void ProcessServer::WorkerMain(std::uint32_t index) {
             // other session — keeps going.
             const ipc::Bytes error = protocol::EncodeError(Status(Aborted(
                 "corrupt request frame discarded; ring resynchronized")));
-            if (owned[c]->response().TryWrite(error).ok())
-              manager.NoteRingWritten();
+            manager.NoteRingWritten();
+            if (!owned[c]->response().TryWrite(error).ok())
+              manager.NoteRingWriteAborted();
             ++served;
           }
           continue;
@@ -168,16 +176,18 @@ void ProcessServer::WorkerMain(std::uint32_t index) {
                 .last_client.store(header->client, std::memory_order_relaxed);
         }
         const ipc::Bytes response = manager.HandleRequest(*request);
+        manager.NoteRingWritten();  // count-then-publish (see manager.hpp)
         Status wrote = owned[c]->response().TryWrite(response);
         if (!wrote.ok() && wrote.code() == StatusCode::kNotFound)
           wrote = owned[c]->response().WriteWithDeadline(response,
                                                          kResponsePark);
-        if (wrote.ok())
-          manager.NoteRingWritten();
-        else if (wrote.code() == StatusCode::kDeadlineExceeded)
-          parked[c] = response;  // stalled tenant; retried next sweeps
-        else
-          manager.NoteDroppedResponse();
+        if (!wrote.ok()) {
+          manager.NoteRingWriteAborted();
+          if (wrote.code() == StatusCode::kDeadlineExceeded)
+            parked[c] = response;  // stalled tenant; retried next sweeps
+          else
+            manager.NoteDroppedResponse();
+        }
       }
       if (served > 0) {
         backoff.Reset();
@@ -226,8 +236,8 @@ void ProcessServer::WriteSyntheticResponses(std::uint32_t worker) {
   // writing here cannot interleave with a live worker. Every request the
   // worker consumed without answering gets a clean error so blocked clients
   // unblock with kUnavailable instead of hanging on a silent ring.
-  const ipc::Bytes error = protocol::EncodeError(
-      Unavailable("manager worker crashed mid-request; session lost"));
+  const ipc::Bytes error = protocol::EncodeError(Unavailable(
+      "manager worker crashed mid-request; retry after recovery"));
   for (std::uint32_t i = 0; i < options_.channels; ++i) {
     if (state_->channel_slot(i).owner.load(std::memory_order_acquire) !=
         worker)
@@ -236,18 +246,21 @@ void ProcessServer::WriteSyntheticResponses(std::uint32_t worker) {
     const std::uint64_t consumed = channel.request().messages_read();
     const std::uint64_t answered = channel.response().messages_written();
     for (std::uint64_t n = answered; n < consumed; ++n) {
+      // The synthetic response is a ring message like any other; keep the
+      // shared write counter exact — and AHEAD of the publish, so the
+      // unblocked client can never observe it lagging the ring's own.
+      ++state_->stats().ring_messages_written;
       // Bounded write: a stalled client that never drains its response ring
       // must not wedge the SUPERVISOR (which still has other channels to
       // repair and a replacement worker to spawn).
       if (!channel.response()
                .WriteWithDeadline(error, std::chrono::milliseconds(100))
-               .ok())
+               .ok()) {
+        --state_->stats().ring_messages_written;
         break;
+      }
       state_->counters().synthetic_responses.fetch_add(
           1, std::memory_order_relaxed);
-      // The synthetic response is a ring message like any other; keep the
-      // shared write counter exact so the stats survive worker death.
-      ++state_->stats().ring_messages_written;
     }
   }
 }
@@ -262,11 +275,18 @@ void ProcessServer::HandleWorkerDeath(std::uint32_t index, int wait_status) {
   if (clean_exit || stopping_.load(std::memory_order_acquire)) return;
 
   // Crash containment, in dependency order: recover the registry mutex if
-  // the worker died holding it and sweep torn slots, fail the worker's
-  // sessions (so the replacement answers stragglers with the clean status),
-  // then unblock clients waiting on consumed requests, and only then hand
-  // the channels to a replacement.
+  // the worker died holding it and sweep torn slots, re-home journaled
+  // sessions onto the replacement worker (adoption), fail whatever could
+  // not be adopted (so the replacement answers stragglers with the clean
+  // status), then unblock clients waiting on consumed requests, and only
+  // then hand the channels to a replacement.
   state_->AuditAfterWorkerDeath();
+  // Adoption before the fail sweep: slots flagged adoption_pending are
+  // skipped by FailSessionsOfWorker. The replacement spawns into the SAME
+  // slot, so the dead worker's sessions re-home onto worker `index` and
+  // rebuild lazily from their journals on first touch.
+  const std::size_t adopted =
+      options_.respawn ? state_->AdoptSessionsOfWorker(index, index) : 0;
   const std::size_t failed = state_->FailSessionsOfWorker(index);
   WriteSyntheticResponses(index);
   // Marks the death in the trace next to whatever unterminated 'B' spans
@@ -279,7 +299,7 @@ void ProcessServer::HandleWorkerDeath(std::uint32_t index, int wait_status) {
       << (WIFSIGNALED(wait_status)
               ? "signal " + std::to_string(WTERMSIG(wait_status))
               : "exit " + std::to_string(WEXITSTATUS(wait_status)))
-      << "), failed " << failed << " session(s)";
+      << "), adopted " << adopted << ", failed " << failed << " session(s)";
 
   if (!options_.respawn) {
     state_->ReassignChannelsOfWorker(index, kNoWorker);

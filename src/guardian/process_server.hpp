@@ -23,10 +23,14 @@
 //    shared stop flag rises. A worker crash takes down only the sessions it
 //    owned: claims are sticky, so no other worker ever held state for them.
 //
-// Crash-containment contract (proven by tests/process_mode_test.cpp):
+// Crash-containment contract (proven by tests/process_mode_test.cpp and
+// tests/adoption_test.cpp):
 //  1. a SIGKILLed worker's in-flight requests answer with kUnavailable;
-//  2. its registered sessions move to kFailed — later requests for them get
-//     a clean "worker crashed" status from the replacement worker;
+//  2. with respawn enabled, its journaled sessions are re-homed onto the
+//     replacement worker (adoption_pending) and rebuilt from their shared
+//     journals on first touch — same client id, same partition bounds;
+//     sessions whose journal overflowed (or with respawn disabled) move to
+//     kFailed and later requests get a clean "worker crashed" status;
 //  3. sessions on surviving workers are untouched and keep serving;
 //  4. the replacement worker accepts fresh registrations on the orphaned
 //     channels.
@@ -57,6 +61,11 @@ struct ProcessServerOptions {
   // Device each worker simulates. Workers are replicas: device *memory* is
   // worker-private, the shared registry is the pool's control plane.
   simgpu::DeviceSpec device = simgpu::QuadroRtxA4000();
+  // Additional devices EACH worker owns beyond `device` (multi-device
+  // fleet): forwarded into ManagerOptions::extra_devices at fork time so
+  // every worker places sessions across its local fleet and can live-migrate
+  // between its devices.
+  std::vector<simgpu::DeviceSpec> extra_devices;
   // Respawn crashed workers (tests may disable to observe the bare failure).
   bool respawn = true;
 };

@@ -53,6 +53,12 @@ enum class Op : std::uint32_t {
   // Preemption engine: tag a session (scope 0) or one stream (scope 1) with
   // a PriorityClass. Payload: u8 scope, u64 stream id, u8 priority.
   kSetPriority,
+  // Multi-device fleet: re-attach to a session that survived its worker via
+  // the shared-region journal (adoption). Payload: u64 prior client id.
+  // Response: u64 client id, u64 partition base, u64 size, u32 device id.
+  // NotFound when no adoptable journal exists — the client falls back to a
+  // full re-register + module replay.
+  kResumeSession,
 };
 
 // Priority classes of the preemption engine, least to most preemptible.
@@ -115,6 +121,7 @@ inline const char* OpName(Op op) {
     case Op::kEventSynchronize: return "EventSynchronize";
     case Op::kBatch: return "Batch";
     case Op::kSetPriority: return "SetPriority";
+    case Op::kResumeSession: return "ResumeSession";
   }
   return "UnknownOp";
 }

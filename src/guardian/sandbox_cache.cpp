@@ -1,5 +1,7 @@
 #include "guardian/sandbox_cache.hpp"
 
+#include <algorithm>
+
 #include "obs/trace.hpp"
 
 namespace grd::guardian {
@@ -66,6 +68,7 @@ Result<SandboxCache::Lookup> SandboxCache::GetOrPatch(
   const Key key = MakeKey(source, options);
 
   std::shared_ptr<Slot> slot;
+  std::shared_ptr<ModuleTierState> revived;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto& chain = slots_[key];
@@ -85,6 +88,10 @@ Result<SandboxCache::Lookup> SandboxCache::GetOrPatch(
       slot->footprint_bytes = 3 * source.size();
       chain.push_back(slot);
       ++slot_count_;
+      // Re-insert after eviction: if any session still holds this module's
+      // tier state, adopt it — heat, fused program and promotion flags
+      // carry over instead of restarting (and re-promoting) from zero.
+      revived = ReviveTierStateLocked(key, source);
     }
     slot->last_use = ++use_tick_;
     EvictLocked();
@@ -126,7 +133,11 @@ Result<SandboxCache::Lookup> SandboxCache::GetOrPatch(
   ++stats_.compiles;
   // Launch heat lives with the cache slot so tier promotion is shared by
   // every tenant of this module (and survives re-loads served from cache).
-  slot->tier_state = std::make_shared<ModuleTierState>(slot->compiled);
+  // A state revived across eviction keeps ticking where it left off; its
+  // captured compiled/fused programs came from the identical source and
+  // options, so in-flight launches and this slot agree on the program.
+  slot->tier_state = revived ? std::move(revived)
+                             : std::make_shared<ModuleTierState>(slot->compiled);
   return Lookup{slot->module, slot->compiled, slot->tier_state,
                 slot->patch_stats, /*patched_now=*/true};
 }
@@ -152,7 +163,15 @@ void SandboxCache::EvictLocked() {
     }
     if (victim_it == slots_.end()) return;  // everything in flight
     auto& chain = victim_it->second;
-    stats_.bytes_reclaimed += chain[victim_index]->footprint_bytes;
+    // Park the victim's tier state for revival: sessions that loaded this
+    // module still hold it (and may have launches in flight against it), so
+    // a later re-insert of the same source must adopt it, not fork a fresh
+    // heat counter alongside.
+    Slot& victim = *chain[victim_index];
+    if (victim.tier_state)
+      evicted_tier_states_[victim_it->first].push_back(
+          EvictedTierState{victim.source, victim.tier_state});
+    stats_.bytes_reclaimed += victim.footprint_bytes;
     chain.erase(chain.begin() + victim_index);
     // Drop the emptied map node too, or unique-source churn would grow the
     // key map without bound while the slot count stays capped.
@@ -160,6 +179,37 @@ void SandboxCache::EvictLocked() {
     ++stats_.evictions;
     --slot_count_;
   }
+}
+
+std::shared_ptr<ModuleTierState> SandboxCache::ReviveTierStateLocked(
+    const Key& key, const std::string& source) {
+  std::shared_ptr<ModuleTierState> revived;
+  auto it = evicted_tier_states_.find(key);
+  if (it != evicted_tier_states_.end()) {
+    auto& chain = it->second;
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      if (chain[i].source != source) continue;
+      revived = chain[i].tier_state.lock();
+      // Claimed or expired, either way the parked entry is spent.
+      chain.erase(chain.begin() + i);
+      break;
+    }
+    if (chain.empty()) evicted_tier_states_.erase(it);
+  }
+  // Prune expired strays so the parking map tracks live holders only, not
+  // the history of every module ever evicted.
+  for (auto map_it = evicted_tier_states_.begin();
+       map_it != evicted_tier_states_.end();) {
+    auto& chain = map_it->second;
+    chain.erase(std::remove_if(chain.begin(), chain.end(),
+                               [](const EvictedTierState& entry) {
+                                 return entry.tier_state.expired();
+                               }),
+                chain.end());
+    map_it = chain.empty() ? evicted_tier_states_.erase(map_it)
+                           : std::next(map_it);
+  }
+  return revived;
 }
 
 std::size_t SandboxCache::size() const {

@@ -188,6 +188,19 @@ class SandboxCache {
     std::uint64_t footprint_bytes = 0;
   };
 
+  // Launch heat of evicted slots whose tier state still has live holders
+  // (sessions keep their module/tier-state shared_ptrs across eviction, so
+  // an in-flight launch may still be deciding tiers against it). Keyed like
+  // slots_ and matched by full source: a re-inserted module adopts the
+  // surviving state instead of a fresh one, so its heat is not split
+  // between old holders and new loads and tier promotion stays
+  // exactly-once. weak_ptr: once the last holder drops, the heat
+  // legitimately dies with it and the entry is pruned on the next eviction.
+  struct EvictedTierState {
+    std::string source;
+    std::weak_ptr<ModuleTierState> tier_state;
+  };
+
   static Key MakeKey(const std::string& source,
                      const ptxpatcher::PatchOptions& options) noexcept;
 
@@ -196,6 +209,12 @@ class SandboxCache {
   // never evicted — their use_count keeps them safe.
   void EvictLocked();
 
+  // Claims (and removes) the surviving tier state of a previously evicted
+  // slot with this exact key and source, if any holder kept it alive.
+  // Requires mu_ held.
+  std::shared_ptr<ModuleTierState> ReviveTierStateLocked(
+      const Key& key, const std::string& source);
+
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::uint64_t use_tick_ = 0;     // guarded by mu_
@@ -203,6 +222,8 @@ class SandboxCache {
   // Hash collisions chain into the vector; entries are matched by full
   // source comparison.
   std::unordered_map<Key, std::vector<std::shared_ptr<Slot>>, KeyHash> slots_;
+  std::unordered_map<Key, std::vector<EvictedTierState>, KeyHash>
+      evicted_tier_states_;  // guarded by mu_
   Stats stats_;
 };
 

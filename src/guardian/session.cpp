@@ -12,7 +12,8 @@ void SessionRegistry::BindShared(SharedServingState* shared,
 }
 
 Result<std::shared_ptr<ClientSession>> SessionRegistry::Create(
-    PartitionBounds partition, std::shared_ptr<GpuStream> default_stream) {
+    PartitionBounds partition, std::shared_ptr<GpuStream> default_stream,
+    std::uint32_t device) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   ClientId id = 0;
   if (shared_ != nullptr) {
@@ -20,13 +21,26 @@ Result<std::shared_ptr<ClientSession>> SessionRegistry::Create(
     // worker so the supervisor can fail exactly our sessions if we die.
     GRD_ASSIGN_OR_RETURN(
         id, shared_->AllocateSession(worker_index_, partition,
-                                     protocol::PriorityClass::kNormal));
+                                     protocol::PriorityClass::kNormal,
+                                     device));
   } else {
     id = next_id_++;
   }
   auto session = std::make_shared<ClientSession>(id, std::move(default_stream));
   session->partition = partition;
+  session->device_id.store(device, std::memory_order_relaxed);
   sessions_.emplace(id, session);
+  return session;
+}
+
+std::shared_ptr<ClientSession> SessionRegistry::Restore(
+    ClientId id, PartitionBounds partition,
+    std::shared_ptr<GpuStream> default_stream, std::uint32_t device) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto session = std::make_shared<ClientSession>(id, std::move(default_stream));
+  session->partition = partition;
+  session->device_id.store(device, std::memory_order_relaxed);
+  sessions_[id] = session;
   return session;
 }
 
@@ -70,6 +84,21 @@ void SessionRegistry::PublishPriority(ClientId id,
   if (slot != nullptr)
     slot->priority.store(static_cast<std::uint32_t>(priority),
                          std::memory_order_release);
+}
+
+void SessionRegistry::PublishDevice(ClientId id, std::uint32_t device) {
+  if (shared_ == nullptr) return;
+  SharedSessionSlot* slot = shared_->FindSession(id);
+  if (slot != nullptr)
+    slot->device.store(device, std::memory_order_release);
+}
+
+void SessionRegistry::PublishPartition(ClientId id, PartitionBounds bounds) {
+  if (shared_ == nullptr) return;
+  SharedSessionSlot* slot = shared_->FindSession(id);
+  if (slot == nullptr) return;
+  slot->partition_base.store(bounds.base, std::memory_order_relaxed);
+  slot->partition_size.store(bounds.size, std::memory_order_release);
 }
 
 std::size_t SessionRegistry::size() const {

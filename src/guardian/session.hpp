@@ -91,6 +91,16 @@ struct ClientSession {
   // ring pumping by tenant class.
   std::atomic<protocol::PriorityClass> default_priority{
       protocol::PriorityClass::kNormal};
+  // Device this session is placed on (multi-device fleet). Atomic because
+  // asynchronous kernel bodies resolve their device per invocation while
+  // live migration retargets it under `mu` — a checkpointed kernel
+  // re-admitted after migration must run against the target device.
+  std::atomic<std::uint32_t> device_id{0};
+  // Set by adoption when the journal carries an armed in-flight-kernel
+  // mirror: the next launch matching it resumes from the mirrored bitmap
+  // instead of starting fresh (the client retries the launch it saw fail
+  // when its worker died). Cleared by that launch either way (under `mu`).
+  bool resume_pending = false;
   std::uint64_t next_module = 1;
   std::uint64_t next_function = 1;
   std::uint64_t next_stream = 1;
@@ -113,11 +123,19 @@ class SessionRegistry {
   // exists (worker startup, pre-serving).
   void BindShared(SharedServingState* shared, std::uint32_t worker_index);
 
-  // Creates a session for a freshly assigned client id covering `partition`,
-  // with `default_stream` installed as stream 0. Fails only in process mode,
-  // when the shared registry is out of slots.
+  // Creates a session for a freshly assigned client id covering `partition`
+  // on `device`, with `default_stream` installed as stream 0. Fails only in
+  // process mode, when the shared registry is out of slots.
   Result<std::shared_ptr<ClientSession>> Create(
-      PartitionBounds partition, std::shared_ptr<GpuStream> default_stream);
+      PartitionBounds partition, std::shared_ptr<GpuStream> default_stream,
+      std::uint32_t device = 0);
+
+  // Adoption path: re-installs a session whose shared slot (and client id)
+  // already exists — the local map entry died with a crashed worker and is
+  // being rebuilt from the slot's journal. Never allocates a shared slot.
+  std::shared_ptr<ClientSession> Restore(
+      ClientId id, PartitionBounds partition,
+      std::shared_ptr<GpuStream> default_stream, std::uint32_t device);
 
   // NotFound for ids that never registered or already disconnected;
   // Unavailable for sessions lost to a crashed worker (process mode).
@@ -130,7 +148,20 @@ class SessionRegistry {
   // processes see the tenant's current class.
   void PublishPriority(ClientId id, protocol::PriorityClass priority);
 
+  // Mirrors a live migration's device change into the shared slot (no-op in
+  // threaded mode) so adoption after a later crash lands on the right device.
+  void PublishDevice(ClientId id, std::uint32_t device);
+
+  // Mirrors a GrowPartition into the shared slot (no-op in threaded mode) so
+  // adoption rebuilds the partition at its grown size.
+  void PublishPartition(ClientId id, PartitionBounds bounds);
+
   std::size_t size() const;
+
+  // Process-mode bindings (null / 0 in threaded mode); used by the adoption
+  // path to reach the journal of a slot this worker now owns.
+  SharedServingState* shared() const noexcept { return shared_; }
+  std::uint32_t worker_index() const noexcept { return worker_index_; }
 
  private:
   mutable std::shared_mutex mu_;

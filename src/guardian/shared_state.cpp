@@ -1,5 +1,6 @@
 #include "guardian/shared_state.hpp"
 
+#include <cstring>
 #include <new>
 
 #include "ipc/channel.hpp"
@@ -16,6 +17,17 @@ constexpr std::uint64_t AlignUp(std::uint64_t value, std::uint64_t align) {
 constexpr std::uint64_t kSlotAlign = 64;
 constexpr std::uint64_t kRingAlign = 4096;
 
+// FNV-1a — the intern arena dedupes on (hash, size) then byte-compares, so
+// collision quality only affects the number of compares, not correctness.
+std::uint64_t HashBytes(const char* data, std::size_t size) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<std::uint8_t>(data[i]);
+    hash *= 1099511628211ull;
+  }
+  return hash != 0 ? hash : 1;  // 0 means "slot free"
+}
+
 }  // namespace
 
 std::uint64_t SharedServingState::RegionSize(
@@ -29,7 +41,9 @@ std::uint64_t SharedServingState::RegionSize(
                  kSlotAlign);
   size = AlignUp(
       size + obs::SpanArenaHeader::RegionSize(layout.trace_span_capacity),
-      kRingAlign);
+      kSlotAlign);
+  size = AlignUp(size + layout.ptx_slots * sizeof(SharedPtxSlot), kSlotAlign);
+  size = AlignUp(size + layout.ptx_arena_bytes, kRingAlign);
   size += layout.max_channels *
           AlignUp(ipc::Channel::RegionSize(layout.ring_bytes), kRingAlign);
   return size;
@@ -53,7 +67,12 @@ SharedServingState* SharedServingState::Initialize(
   state->span_arena_offset_ = offset;
   offset = AlignUp(
       offset + obs::SpanArenaHeader::RegionSize(layout.trace_span_capacity),
-      kRingAlign);
+      kSlotAlign);
+  state->ptx_slots_offset_ = offset;
+  offset = AlignUp(offset + layout.ptx_slots * sizeof(SharedPtxSlot),
+                   kSlotAlign);
+  state->ptx_arena_offset_ = offset;
+  offset = AlignUp(offset + layout.ptx_arena_bytes, kRingAlign);
 
   for (std::uint32_t i = 0; i < layout.max_sessions; ++i)
     new (&state->session_slot(i)) SharedSessionSlot();
@@ -65,6 +84,9 @@ SharedServingState* SharedServingState::Initialize(
   }
   for (std::uint32_t i = 0; i < layout.max_workers; ++i)
     new (&state->worker_slot(i)) SharedWorkerSlot();
+  for (std::uint32_t i = 0; i < layout.ptx_slots; ++i)
+    new (state->At<SharedPtxSlot>(state->ptx_slots_offset_) + i)
+        SharedPtxSlot();
   obs::SpanArenaHeader::Initialize(
       state->At<std::uint8_t>(state->span_arena_offset_),
       layout.trace_span_capacity);
@@ -85,7 +107,7 @@ Result<SharedServingState*> SharedServingState::Attach(void* region) {
 
 Result<ClientId> SharedServingState::AllocateSession(
     std::uint32_t worker, PartitionBounds bounds,
-    protocol::PriorityClass priority) {
+    protocol::PriorityClass priority, std::uint32_t device) {
   ipc::RobustLock lock(registry_mu_);
   if (lock.recovered()) RepairRegistry();
 
@@ -108,6 +130,9 @@ Result<ClientId> SharedServingState::AllocateSession(
   slot->partition_size.store(bounds.size, std::memory_order_relaxed);
   slot->priority.store(static_cast<std::uint32_t>(priority),
                        std::memory_order_relaxed);
+  slot->device.store(device, std::memory_order_relaxed);
+  slot->adoption_pending.store(0, std::memory_order_relaxed);
+  slot->journal.Clear();
   slot->state.store(kActiveRaw, std::memory_order_relaxed);
   // Client id last (release): FindSession matches on it without the mutex.
   slot->client.store(id, std::memory_order_release);
@@ -181,6 +206,8 @@ std::size_t SharedServingState::FailSessionsOfWorker(
   for (std::uint32_t i = 0; i < layout_.max_sessions; ++i) {
     SharedSessionSlot& slot = session_slot(i);
     if (slot.owner_worker.load(std::memory_order_acquire) != worker) continue;
+    // Promised to a respawned worker by AdoptSessionsOfWorker: leave alive.
+    if (slot.adoption_pending.load(std::memory_order_acquire) != 0) continue;
     std::uint32_t expected = kActiveRaw;
     if (slot.state.compare_exchange_strong(expected, kFailedRaw,
                                            std::memory_order_acq_rel)) {
@@ -189,6 +216,65 @@ std::size_t SharedServingState::FailSessionsOfWorker(
     }
   }
   return failed;
+}
+
+std::size_t SharedServingState::AdoptSessionsOfWorker(
+    std::uint32_t from, std::uint32_t to) noexcept {
+  std::size_t adopted = 0;
+  for (std::uint32_t i = 0; i < layout_.max_sessions; ++i) {
+    SharedSessionSlot& slot = session_slot(i);
+    if (slot.owner_worker.load(std::memory_order_acquire) != from) continue;
+    if (slot.state.load(std::memory_order_acquire) != kActiveRaw) continue;
+    if (slot.journal.truncated.load(std::memory_order_acquire) != 0) continue;
+    // adoption_pending before owner_worker: once the owner flips, the slot
+    // must already be invisible to the FailSessionsOfWorker sweep (the
+    // supervisor runs both from one thread, but keep the shape safe).
+    slot.adoption_pending.store(1, std::memory_order_release);
+    slot.owner_worker.store(to, std::memory_order_release);
+    ++adopted;
+  }
+  if (adopted > 0)
+    counters_.sessions_adopted.fetch_add(adopted, std::memory_order_relaxed);
+  return adopted;
+}
+
+Result<std::uint64_t> SharedServingState::InternPtx(const std::string& source) {
+  const std::uint64_t hash = HashBytes(source.data(), source.size());
+  ipc::RobustLock lock(registry_mu_);
+  if (lock.recovered()) RepairRegistry();
+  auto* slots = At<SharedPtxSlot>(ptx_slots_offset_);
+  auto* arena = At<char>(ptx_arena_offset_);
+  for (std::uint32_t i = 0; i < layout_.ptx_slots; ++i) {
+    SharedPtxSlot& slot = slots[i];
+    if (slot.hash.load(std::memory_order_acquire) == 0) {
+      // First free slot ends the scan: slots fill in order under the mutex.
+      if (ptx_arena_used_.load(std::memory_order_relaxed) + source.size() >
+          layout_.ptx_arena_bytes)
+        return Status(OutOfMemory("shared PTX arena bytes exhausted"));
+      slot.offset = ptx_arena_used_.load(std::memory_order_relaxed);
+      slot.size = source.size();
+      std::memcpy(arena + slot.offset, source.data(), source.size());
+      ptx_arena_used_.fetch_add(source.size(), std::memory_order_relaxed);
+      slot.hash.store(hash, std::memory_order_relaxed);
+      slot.ready.store(1, std::memory_order_release);
+      return static_cast<std::uint64_t>(i);
+    }
+    if (slot.ready.load(std::memory_order_acquire) != 0 &&
+        slot.hash.load(std::memory_order_relaxed) == hash &&
+        slot.size == source.size() &&
+        std::memcmp(arena + slot.offset, source.data(), source.size()) == 0)
+      return static_cast<std::uint64_t>(i);
+  }
+  return Status(OutOfMemory("shared PTX arena slots exhausted"));
+}
+
+Result<std::string> SharedServingState::PtxAt(std::uint64_t slot_index) noexcept {
+  if (slot_index >= layout_.ptx_slots)
+    return Status(InvalidArgument("PTX arena slot out of range"));
+  SharedPtxSlot& slot = At<SharedPtxSlot>(ptx_slots_offset_)[slot_index];
+  if (slot.ready.load(std::memory_order_acquire) == 0)
+    return Status(InvalidArgument("PTX arena slot not published"));
+  return std::string(At<char>(ptx_arena_offset_) + slot.offset, slot.size);
 }
 
 bool SharedServingState::ClaimChannel(std::uint32_t i,

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/status.hpp"
 #include "guardian/execution.hpp"
@@ -52,6 +53,97 @@ enum class SessionSlotState : std::uint32_t {
   kFailed = 2,
 };
 
+// Replayable record of one session's control-plane state, embedded in its
+// shared slot so it survives the owning worker's death. Written only by the
+// owner while it holds the session mutex (single writer); read by the
+// adopting worker strictly after the supervisor observed the owner's death,
+// so no torn read is possible on the plain fields. Bounded on purpose: a
+// session that outgrows any cap sets `truncated` and simply stops being
+// adoptable — it fails over to the legacy crash-fail + client-rebuild path.
+//
+// PTX sources are NOT stored here: modules record an index into the shared
+// PTX arena (deduplicated across sessions), and the adopter replays them
+// through the SandboxCache, which re-derives the patched/compiled programs
+// content-addressed — the journal only needs the hash-sized pointer.
+struct SharedSessionJournal {
+  static constexpr std::uint32_t kMaxModules = 8;
+  static constexpr std::uint32_t kMaxFunctions = 16;
+  static constexpr std::uint32_t kMaxStreams = 8;
+  static constexpr std::uint32_t kMaxAllocs = 32;
+  static constexpr std::uint32_t kNameCap = 64;
+  static constexpr std::uint32_t kMaxPendingArgs = 12;
+  static constexpr std::uint32_t kMaxBitmapWords = 16;  // <= 1024 blocks
+
+  std::atomic<std::uint32_t> truncated{0};
+
+  std::atomic<std::uint32_t> module_count{0};
+  struct Module {
+    std::uint64_t id;
+    std::uint64_t ptx_slot;  // index into the shared PTX arena
+  };
+  Module modules[kMaxModules];
+
+  std::atomic<std::uint32_t> function_count{0};
+  struct Function {
+    std::uint64_t id;
+    std::uint64_t module_id;
+    char name[kNameCap];  // NUL-terminated kernel symbol
+  };
+  Function functions[kMaxFunctions];
+
+  std::atomic<std::uint32_t> stream_count{0};
+  struct Stream {
+    std::uint64_t id;
+    std::uint32_t priority;  // protocol::PriorityClass
+  };
+  Stream streams[kMaxStreams];
+
+  // Live cudaMalloc ranges (partition-relative-absolute device addresses):
+  // the adopter re-claims them address-exact so handles the client still
+  // holds stay valid and later mallocs cannot overlap them.
+  std::atomic<std::uint32_t> alloc_count{0};
+  struct Alloc {
+    std::uint64_t addr;
+    std::uint64_t size;
+  };
+  Alloc allocs[kMaxAllocs];
+
+  // Id allocators, mirrored so a rebuilt session never reissues a live id.
+  std::uint64_t next_module = 1;
+  std::uint64_t next_function = 1;
+  std::uint64_t next_stream = 1;
+  std::uint64_t next_event = 1;
+
+  // At most one in-flight preemptible kernel is mirrored per session: its
+  // launch descriptor plus a completed-block bitmap the executor body keeps
+  // current (RunGrid marks a block done before after_block fires, so the
+  // mirror is always conservative-exact). Adoption re-admits the kernel
+  // with a checkpoint rebuilt from the bitmap: finished blocks are skipped,
+  // which is what keeps kernel_blocks_executed at the exact grid totals.
+  std::atomic<std::uint32_t> pending_state{0};  // 0 idle, 1 armed
+  std::uint64_t pending_fn = 0;
+  std::uint64_t pending_stream = 0;
+  std::uint32_t pending_grid[3] = {};
+  std::uint32_t pending_block[3] = {};
+  std::uint32_t pending_argc = 0;
+  std::uint64_t pending_arg_bits[kMaxPendingArgs] = {};
+  std::uint8_t pending_arg_size[kMaxPendingArgs] = {};
+  std::atomic<std::uint64_t> pending_done[kMaxBitmapWords] = {};
+
+  // Slot-recycle reset (allocation holds the registry mutex).
+  void Clear() noexcept {
+    truncated.store(0, std::memory_order_relaxed);
+    module_count.store(0, std::memory_order_relaxed);
+    function_count.store(0, std::memory_order_relaxed);
+    stream_count.store(0, std::memory_order_relaxed);
+    alloc_count.store(0, std::memory_order_relaxed);
+    next_module = next_function = next_stream = next_event = 1;
+    pending_state.store(0, std::memory_order_relaxed);
+    for (auto& word : pending_done)
+      word.store(0, std::memory_order_relaxed);
+  }
+};
+
 struct SharedSessionSlot {
   std::atomic<std::uint64_t> client{0};  // published last on allocation
   std::atomic<std::uint32_t> state{0};   // SessionSlotState
@@ -62,6 +154,24 @@ struct SharedSessionSlot {
   std::atomic<std::uint64_t> partition_size{0};
   std::atomic<std::uint32_t> priority{
       static_cast<std::uint32_t>(protocol::PriorityClass::kNormal)};
+  // Device the session is placed on (multi-device fleet); updated by live
+  // migration so adoption rebuilds on the device the session last ran on.
+  std::atomic<std::uint32_t> device{0};
+  // Set by the supervisor when it reassigns this slot to an adopting worker
+  // instead of failing it; cleared by the adopter once the rebuild lands.
+  // FailSessionsOfWorker skips slots marked pending.
+  std::atomic<std::uint32_t> adoption_pending{0};
+  SharedSessionJournal journal;
+};
+
+// One interned PTX source in the shared arena (deduplicated by FNV hash +
+// full byte compare). Slots are write-once under the registry mutex;
+// `ready` is published last so lock-free readers never see a half copy.
+struct SharedPtxSlot {
+  std::atomic<std::uint64_t> hash{0};
+  std::uint64_t offset = 0;  // into the arena bytes, state-relative
+  std::uint64_t size = 0;
+  std::atomic<std::uint32_t> ready{0};
 };
 
 struct SharedChannelSlot {
@@ -97,6 +207,10 @@ struct SharedPoolCounters {
   std::atomic<std::uint64_t> synthetic_responses{0};
   // Registry repairs performed after a robust-mutex owner death.
   std::atomic<std::uint64_t> registry_repairs{0};
+  // Sessions handed to a respawned worker via the journal instead of being
+  // crash-failed (supervisor-side count; the adopting worker additionally
+  // bumps ManagerStats::sessions_adopted when the rebuild lands).
+  std::atomic<std::uint64_t> sessions_adopted{0};
 };
 
 struct SharedServingLayout {
@@ -108,6 +222,12 @@ struct SharedServingLayout {
   // spans here when tracing is on, so the parent can flush the spans of a
   // SIGKILLed worker — the in-process thread rings die with the process.
   std::uint32_t trace_span_capacity = 4096;
+  // PTX intern arena (session adoption): distinct sources the pool can hold
+  // and the byte budget backing them. Exhaustion is non-fatal — the journal
+  // of the loading session is marked truncated and adoption falls back to
+  // the crash-fail path for that session only.
+  std::uint32_t ptx_slots = 32;
+  std::uint64_t ptx_arena_bytes = 1u << 20;
 };
 
 class SharedServingState {
@@ -151,11 +271,12 @@ class SharedServingState {
   // ---- session registry (any process) ----
 
   // Allocates a slot, assigns a pool-unique client id and publishes the
-  // session as kActive owned by `worker`. ResourceExhausted when all slots
-  // are active.
+  // session as kActive owned by `worker` on `device`. ResourceExhausted when
+  // all slots are active.
   Result<ClientId> AllocateSession(std::uint32_t worker,
                                    PartitionBounds bounds,
-                                   protocol::PriorityClass priority);
+                                   protocol::PriorityClass priority,
+                                   std::uint32_t device = 0);
 
   // The slot currently holding `client` (active or crash-failed); null when
   // the id was never registered or its slot has been recycled.
@@ -167,11 +288,30 @@ class SharedServingState {
   std::size_t ActiveSessions() noexcept { return CountState(kActiveRaw); }
   std::size_t FailedSessions() noexcept { return CountState(kFailedRaw); }
 
+  // ---- PTX intern arena (any process) ----
+
+  // Interns `source` (deduplicating on content) and returns its slot index,
+  // or ResourceExhausted when slots/bytes run out. Takes the registry mutex.
+  Result<std::uint64_t> InternPtx(const std::string& source);
+
+  // The bytes of a previously interned source; InvalidArgument for an
+  // out-of-range or unpublished slot.
+  Result<std::string> PtxAt(std::uint64_t slot) noexcept;
+
   // ---- supervision (parent) ----
 
   // Marks every active session owned by `worker` as crash-failed; returns
-  // how many were failed.
+  // how many were failed. Slots flagged adoption_pending are skipped — the
+  // supervisor already promised them to a respawned worker.
   std::size_t FailSessionsOfWorker(std::uint32_t worker) noexcept;
+
+  // Re-homes the journaled (non-truncated) active sessions of dead worker
+  // `from` onto worker `to`: sets adoption_pending and flips owner_worker so
+  // the subsequent FailSessionsOfWorker sweep leaves them alive. The
+  // adopting worker rebuilds each lazily from its journal on first touch.
+  // Returns the number of sessions re-homed.
+  std::size_t AdoptSessionsOfWorker(std::uint32_t from,
+                                    std::uint32_t to) noexcept;
 
   // Post-mortem registry audit: taking the robust mutex recovers it if the
   // dead worker was holding it (EOWNERDEAD), and the sweep releases any
@@ -197,7 +337,9 @@ class SharedServingState {
   static constexpr std::uint64_t kMagic = 0x5247'4453'4852'4431ull;
   // v2: trace-span arena appended between the worker slots and the channel
   // ring regions (observability).
-  static constexpr std::uint32_t kVersion = 2;
+  // v3: per-slot session journal + device/adoption fields, and the PTX
+  // intern arena appended after the span arena (multi-device adoption).
+  static constexpr std::uint32_t kVersion = 3;
   static constexpr std::uint32_t kActiveRaw =
       static_cast<std::uint32_t>(SessionSlotState::kActive);
   static constexpr std::uint32_t kFailedRaw =
@@ -223,7 +365,10 @@ class SharedServingState {
   std::uint64_t channel_slots_offset_ = 0;
   std::uint64_t worker_slots_offset_ = 0;
   std::uint64_t span_arena_offset_ = 0;
+  std::uint64_t ptx_slots_offset_ = 0;
+  std::uint64_t ptx_arena_offset_ = 0;
 
+  std::atomic<std::uint64_t> ptx_arena_used_{0};
   std::atomic<std::uint64_t> next_client_{1};
   std::atomic<std::uint32_t> stop_{0};
   ipc::RobustMutex registry_mu_;

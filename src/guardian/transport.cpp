@@ -27,8 +27,11 @@ bool ManagerServer::ServeOne(Entry& entry) {
     // A previous response is still waiting for this (stalled) client to
     // drain its ring; deliver it before consuming anything new so strict
     // request/response pairing holds.
-    if (!entry.channel->response().TryWrite(entry.parked).ok()) return false;
-    manager_->NoteRingWritten();
+    manager_->NoteRingWritten();  // count-then-publish (see manager.hpp)
+    if (!entry.channel->response().TryWrite(entry.parked).ok()) {
+      manager_->NoteRingWriteAborted();
+      return false;
+    }
     entry.parked.clear();
     return true;
   }
@@ -40,8 +43,9 @@ bool ManagerServer::ServeOne(Entry& entry) {
       // the ring stays usable for whatever the client sends next.
       const ipc::Bytes error = protocol::EncodeError(Status(
           Aborted("corrupt request frame discarded; ring resynchronized")));
-      if (entry.channel->response().TryWrite(error).ok())
-        manager_->NoteRingWritten();
+      manager_->NoteRingWritten();
+      if (!entry.channel->response().TryWrite(error).ok())
+        manager_->NoteRingWriteAborted();
       return true;
     }
     return false;
@@ -57,15 +61,15 @@ bool ManagerServer::ServeOne(Entry& entry) {
       entry.last_client.store(header->client, std::memory_order_relaxed);
   }
   const ipc::Bytes response = manager_->HandleRequest(*request);
+  manager_->NoteRingWritten();  // count-then-publish (see manager.hpp)
   Status written = entry.channel->response().TryWrite(response);
   if (!written.ok() && written.code() == StatusCode::kNotFound)
     written = entry.channel->response().WriteWithDeadline(
         response, std::chrono::milliseconds(2));
-  if (written.ok()) {
-    manager_->NoteRingWritten();
-  } else if (written.code() == StatusCode::kDeadlineExceeded) {
+  if (!written.ok()) manager_->NoteRingWriteAborted();
+  if (written.code() == StatusCode::kDeadlineExceeded) {
     entry.parked = response;  // stalled tenant; retried on later sweeps
-  } else {
+  } else if (!written.ok()) {
     // The client vanished mid-call. The work is done and cannot be undone;
     // account for the undeliverable response instead of dropping silently.
     manager_->NoteDroppedResponse();

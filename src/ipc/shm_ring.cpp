@@ -61,23 +61,24 @@ void SleepSliceUntil(const timespec& now, const timespec& deadline) {
   }
 }
 
-#if defined(__linux__) && (__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__)
-// The futex word is the low 32 bits of the 64-bit tail counter (the "ring
-// write index" of the doorbell). Plain FUTEX_WAIT/WAKE — not _PRIVATE —
-// because the ring may be a MAP_SHARED mapping spanning forked processes.
-std::uint32_t* FutexWord(std::atomic<std::uint64_t>* tail) {
-  return reinterpret_cast<std::uint32_t*>(tail);
+#if defined(__linux__)
+// The futex word is the dedicated 32-bit doorbell sequence counter (one
+// bump per publish; see Header::doorbell for why it is not the low half of
+// the byte-counted tail). Plain FUTEX_WAIT/WAKE — not _PRIVATE — because
+// the ring may be a MAP_SHARED mapping spanning forked processes.
+std::uint32_t* FutexWord(std::atomic<std::uint32_t>* doorbell) {
+  return reinterpret_cast<std::uint32_t*>(doorbell);
 }
 
-void FutexWait(std::atomic<std::uint64_t>* tail, std::uint32_t expected,
+void FutexWait(std::atomic<std::uint32_t>* doorbell, std::uint32_t expected,
                const timespec* rel_timeout) {
-  ::syscall(SYS_futex, FutexWord(tail), FUTEX_WAIT, expected, rel_timeout,
+  ::syscall(SYS_futex, FutexWord(doorbell), FUTEX_WAIT, expected, rel_timeout,
             nullptr, 0);
 }
 
-void FutexWakeAll(std::atomic<std::uint64_t>* tail) {
-  ::syscall(SYS_futex, FutexWord(tail), FUTEX_WAKE, INT_MAX, nullptr, nullptr,
-            0);
+void FutexWakeAll(std::atomic<std::uint32_t>* doorbell) {
+  ::syscall(SYS_futex, FutexWord(doorbell), FUTEX_WAKE, INT_MAX, nullptr,
+            nullptr, 0);
 }
 #endif
 }  // namespace
@@ -133,14 +134,20 @@ Status ShmRing::WaitForSpace(std::uint64_t needed) {
 }
 
 void ShmRing::WakeDoorbell() {
-#if defined(__linux__) && (__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__)
-  // Store-buffer litmus with WaitForMessage: the tail publish (release)
+#if defined(__linux__)
+  // Ring the doorbell for every publish (and close), even with no waiter
+  // registered yet: a consumer that snapshots the sequence BEFORE its empty
+  // check can then never miss a publish — any publish after the snapshot
+  // leaves the word != snapshot and its FUTEX_WAIT returns EAGAIN.
+  header_->doorbell.fetch_add(1, std::memory_order_release);
+  // Store-buffer litmus with WaitForMessage: the doorbell bump (RMW above)
   // must be globally ordered before this waiters load, and the waiter's
-  // registration (seq_cst RMW) before its tail re-check — otherwise both
-  // sides could miss each other and the waiter sleeps through a publish.
+  // registration (seq_cst RMW) before its doorbell re-check — otherwise
+  // both sides could miss each other and the waiter sleeps through a
+  // publish.
   std::atomic_thread_fence(std::memory_order_seq_cst);
   if (header_->waiters.load(std::memory_order_relaxed) > 0)
-    FutexWakeAll(&header_->tail);
+    FutexWakeAll(&header_->doorbell);
 #endif
 }
 
@@ -188,8 +195,18 @@ Status ShmRing::WriteWithDeadline(const Bytes& message,
     if (probe.code() != StatusCode::kNotFound) return probe;
     timespec now;
     clock_gettime(CLOCK_MONOTONIC, &now);
-    if (PastDeadline(now, deadline))
+    if (PastDeadline(now, deadline)) {
+      // Deadline-edge re-probe: space freed between the probe above and the
+      // clock read was still freed BEFORE the deadline — report the write,
+      // not a spurious timeout.
+      const Status last = ProbeSpace(sizeof(std::uint32_t) + message.size());
+      if (last.ok()) {
+        PublishFrame(message);
+        return OkStatus();
+      }
+      if (last.code() != StatusCode::kNotFound) return last;
       return DeadlineExceeded("ring write timed out");
+    }
     if (++spins < kSpinsBeforeYield) continue;
     // No doorbell on the head word (space frees rarely relative to message
     // publishes); sleep in short EINTR-safe slices toward the deadline.
@@ -243,16 +260,23 @@ Result<Bytes> ShmRing::TryRead() {
 }
 
 bool ShmRing::WaitForMessage(std::chrono::nanoseconds timeout) {
-#if defined(__linux__) && (__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__)
+#if defined(__linux__)
+  // Snapshot the doorbell BEFORE the emptiness check: any publish that
+  // lands after this load bumps the word away from `seq`, so the later
+  // FUTEX_WAIT(seq) returns EAGAIN instead of sleeping through it. (The
+  // previous scheme waited on the low 32 bits of the byte-counted tail,
+  // which aliases after a 4 GiB wrap of the write index.)
+  const std::uint32_t seq =
+      header_->doorbell.load(std::memory_order_acquire);
   const std::uint64_t head = header_->head.load(std::memory_order_relaxed);
   const std::uint64_t tail = header_->tail.load(std::memory_order_acquire);
   if (tail != head || header_->closed.load(std::memory_order_acquire))
     return true;
   header_->waiters.fetch_add(1, std::memory_order_seq_cst);
   // Re-check AFTER registering (pairs with WakeDoorbell's fence): either
-  // this load sees the new tail, or the producer sees our registration and
-  // wakes the futex.
-  bool ready = header_->tail.load(std::memory_order_seq_cst) != tail ||
+  // this load sees the new doorbell, or the producer sees our registration
+  // and wakes the futex.
+  bool ready = header_->doorbell.load(std::memory_order_seq_cst) != seq ||
                header_->closed.load(std::memory_order_acquire) != 0;
   if (!ready) {
     timespec rel;
@@ -261,8 +285,8 @@ bool ShmRing::WaitForMessage(std::chrono::nanoseconds timeout) {
     // EINTR / EAGAIN / timeout all fall through to the re-check; the
     // caller loops against its own absolute deadline, so an interrupted
     // wait can only shorten this one slice, never a whole wait.
-    FutexWait(&header_->tail, static_cast<std::uint32_t>(tail), &rel);
-    ready = header_->tail.load(std::memory_order_acquire) != tail ||
+    FutexWait(&header_->doorbell, seq, &rel);
+    ready = header_->doorbell.load(std::memory_order_acquire) != seq ||
             header_->closed.load(std::memory_order_acquire) != 0;
   }
   header_->waiters.fetch_sub(1, std::memory_order_release);
@@ -283,8 +307,15 @@ Result<Bytes> ShmRing::ReadWithDeadline(std::chrono::nanoseconds timeout) {
       return message.status();  // closed, or a corrupt frame was discarded
     timespec now;
     clock_gettime(CLOCK_MONOTONIC, &now);
-    if (PastDeadline(now, deadline))
+    if (PastDeadline(now, deadline)) {
+      // Deadline-edge re-probe: a frame published between the TryRead above
+      // and the clock read landed BEFORE the deadline — a doorbell wake (or
+      // publish) racing the deadline must deliver the message, never lose
+      // it behind a spurious DeadlineExceeded.
+      message = TryRead();
+      if (message.status().code() != StatusCode::kNotFound) return message;
       return Status(DeadlineExceeded("ring read timed out"));
+    }
     if (++spins < kSpinsBeforeYield) continue;
     // Prefer the futex doorbell (wakes on the next publish); fall back to
     // EINTR-safe sleep slices toward the absolute deadline elsewhere.

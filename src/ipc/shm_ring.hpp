@@ -41,11 +41,11 @@ namespace grd::ipc {
 
 class ShmRing {
  public:
-  // True when the platform supports the futex doorbell (Linux,
-  // little-endian: the futex word is the low half of the 64-bit tail).
+  // True when the platform supports the futex doorbell (Linux: the futex
+  // word is a dedicated 32-bit publish-sequence counter, see Header).
   // Elsewhere WaitForMessage returns false immediately and callers fall
   // back to their spin/yield/sleep backoff.
-#if defined(__linux__) && (__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__)
+#if defined(__linux__)
   static constexpr bool kFutexDoorbell = true;
 #else
   static constexpr bool kFutexDoorbell = false;
@@ -57,9 +57,17 @@ class ShmRing {
     std::uint64_t capacity = 0;          // data bytes
     std::atomic<std::uint32_t> closed{0};
     // Consumers registered on the futex doorbell (sleeping, or about to, on
-    // the tail word). Producers skip the futex syscall entirely while this
-    // is zero, which is the common loaded case.
+    // the doorbell word). Producers skip the futex syscall entirely while
+    // this is zero, which is the common loaded case.
     std::atomic<std::uint32_t> waiters{0};
+    // Futex doorbell word: bumped once per publish (and on close). A
+    // dedicated sequence counter rather than the low half of the 64-bit
+    // byte-counted tail, which can alias (ABA) after exactly 4 GiB of
+    // writes land between a waiter's snapshot and its futex wait — the
+    // waiter would then sleep through a published message. The counter
+    // advances by one per publish, so aliasing needs 2^32 whole messages
+    // inside one bounded wait slice, which cannot happen.
+    std::atomic<std::uint32_t> doorbell{0};
     // Whole messages published / consumed, for crash supervision: diffing
     // request-ring reads against response-ring writes tells a supervisor
     // how many requests a dead worker consumed without answering (crash
@@ -114,7 +122,10 @@ class ShmRing {
   // Blocking read bounded by `timeout`: DeadlineExceeded when the ring
   // stays empty past an absolute CLOCK_MONOTONIC deadline computed on
   // entry. EINTR-safe by construction — an interrupted sleep retries
-  // against the same absolute deadline (see the file-comment audit).
+  // against the same absolute deadline (see the file-comment audit). A
+  // message published at or before the deadline is always delivered, never
+  // timed out: the deadline path re-probes once before reporting
+  // DeadlineExceeded (same guarantee on the write side).
   Result<Bytes> ReadWithDeadline(std::chrono::nanoseconds timeout);
 
   // Futex doorbell (consumer side): block until the producer publishes a
@@ -153,7 +164,7 @@ class ShmRing {
   Status ProbeSpace(std::uint64_t needed);
   // Copies the frame in and publishes tail (+ doorbell wake).
   void PublishFrame(const Bytes& message);
-  // FUTEX_WAKE on the tail word when any consumer is registered.
+  // FUTEX_WAKE on the doorbell word when any consumer is registered.
   void WakeDoorbell();
 
   void CopyIn(std::uint64_t pos, const void* src, std::uint64_t len);

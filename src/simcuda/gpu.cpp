@@ -50,6 +50,15 @@ Status DeviceAllocator::AllocateAt(std::uint64_t addr, std::uint64_t size) {
                        " is not free");
 }
 
+bool DeviceAllocator::RangeFree(std::uint64_t addr,
+                                std::uint64_t size) const {
+  if (size == 0) return false;
+  for (const auto& [block_addr, block_size] : free_by_addr_)
+    if (addr >= block_addr && addr + size <= block_addr + block_size)
+      return true;
+  return false;
+}
+
 Status DeviceAllocator::GrowInPlace(std::uint64_t addr, std::uint64_t extra) {
   const auto alloc_it = allocations_.find(addr);
   if (alloc_it == allocations_.end())

@@ -29,6 +29,9 @@ class DeviceAllocator {
   // Claims exactly [addr, addr+size) if that range is currently free
   // (partition growth needs the block adjacent to an existing partition).
   Status AllocateAt(std::uint64_t addr, std::uint64_t size);
+  // Whether [addr, addr+size) lies entirely inside one free block — i.e.
+  // AllocateAt would succeed right now. Migration feasibility pre-check.
+  bool RangeFree(std::uint64_t addr, std::uint64_t size) const;
   Status Free(std::uint64_t addr);
   // Enlarges the allocation at `addr` by `extra` bytes by claiming the
   // directly adjacent free range (fails if it is not free).

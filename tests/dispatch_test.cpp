@@ -19,16 +19,16 @@ TEST(DispatcherTest, BuiltinRegistryCoversEveryProtocolOp) {
   Dispatcher dispatcher;
   RegisterBuiltinHandlers(dispatcher);
   // Every op of the wire protocol has a handler — the enum is contiguous
-  // from kRegisterClient to kSetPriority (the last opcode).
+  // from kRegisterClient to kResumeSession (the last opcode).
   for (auto raw = static_cast<std::uint32_t>(Op::kRegisterClient);
-       raw <= static_cast<std::uint32_t>(Op::kSetPriority); ++raw) {
+       raw <= static_cast<std::uint32_t>(Op::kResumeSession); ++raw) {
     const auto* descriptor = dispatcher.Find(static_cast<Op>(raw));
     ASSERT_NE(descriptor, nullptr) << "op " << raw;
     EXPECT_FALSE(descriptor->name.empty());
     EXPECT_TRUE(static_cast<bool>(descriptor->run));
   }
   EXPECT_EQ(dispatcher.size(),
-            static_cast<std::size_t>(Op::kSetPriority) -
+            static_cast<std::size_t>(Op::kResumeSession) -
                 static_cast<std::size_t>(Op::kRegisterClient) + 1);
 }
 
@@ -44,10 +44,13 @@ TEST(DispatcherTest, HandlerNamesAreUnique) {
 TEST(DispatcherTest, OnlyRegistrationRunsWithoutASession) {
   Dispatcher dispatcher;
   RegisterBuiltinHandlers(dispatcher);
+  // Registration and crash-recovery attach are the only ops a client may
+  // issue before (or instead of) owning a live local session.
   for (const Op op : dispatcher.RegisteredOps()) {
     const auto* descriptor = dispatcher.Find(op);
-    if (op == Op::kRegisterClient) {
-      EXPECT_EQ(descriptor->session, SessionPolicy::kNotRequired);
+    if (op == Op::kRegisterClient || op == Op::kResumeSession) {
+      EXPECT_EQ(descriptor->session, SessionPolicy::kNotRequired)
+          << descriptor->name;
     } else {
       EXPECT_EQ(descriptor->session, SessionPolicy::kRequired)
           << descriptor->name;

@@ -223,6 +223,105 @@ TEST(ShmRing, ReadWithDeadlineIsNotShortenedBySignalStorm) {
       200);
 }
 
+TEST(ShmRing, MessagePublishedBeforeDeadlineIsNeverTimedOut) {
+  // Deadline-edge race regression: ReadWithDeadline used to probe the ring
+  // and THEN read the clock, so a frame published in that window — before
+  // the deadline — was reported as DeadlineExceeded and the message sat
+  // unconsumed (lost to this call; a retry would double-consume a later
+  // pairing). The fix re-probes once on the deadline path, making the
+  // invariant deterministic: a Write that RETURNS at or before the reader's
+  // entry-time deadline estimate can never be timed out, because the
+  // reader's internal deadline is at least that estimate and the final
+  // probe happens after it. The producer aims its publish a few hundred
+  // nanoseconds before the deadline to land in the danger window.
+  std::vector<std::uint8_t> region(ShmRing::RegionSize(4096));
+  ShmRing ring(region.data(), 4096, /*initialize=*/true);
+
+  auto now_ns = [] {
+    timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+  };
+
+  constexpr int kTrials = 4000;
+  // Short enough that the reader is still in its dense spin-probe phase
+  // when the deadline expires (the window the bug lives in).
+  constexpr std::int64_t kTimeoutNs = 20'000;
+  std::atomic<int> armed{0};
+  std::atomic<int> published{0};
+  std::atomic<std::int64_t> deadline_estimate{0};
+  std::atomic<std::int64_t> published_at{0};
+
+  std::thread producer([&] {
+    std::uint64_t salt = 0x9E3779B97F4A7C15ull;
+    for (int trial = 1; trial <= kTrials; ++trial) {
+      while (armed.load(std::memory_order_acquire) < trial) {
+      }
+      const std::int64_t deadline =
+          deadline_estimate.load(std::memory_order_acquire);
+      salt = salt * 6364136223846793005ull + 1442695040888963407ull;
+      const std::int64_t lead = static_cast<std::int64_t>(salt % 1200);
+      while (now_ns() < deadline - lead) {
+      }
+      ASSERT_TRUE(ring.Write(Bytes(4, 0x5A)).ok());
+      published_at.store(now_ns(), std::memory_order_release);
+      published.store(trial, std::memory_order_release);
+    }
+  });
+
+  int violations = 0;
+  for (int trial = 1; trial <= kTrials; ++trial) {
+    const std::int64_t estimate = now_ns() + kTimeoutNs;
+    deadline_estimate.store(estimate, std::memory_order_release);
+    armed.store(trial, std::memory_order_release);
+    auto result = ring.ReadWithDeadline(std::chrono::nanoseconds(kTimeoutNs));
+    while (published.load(std::memory_order_acquire) < trial) {
+    }
+    if (!result.ok()) {
+      ASSERT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+      // A publish whose Write RETURNED before the entry-time deadline
+      // estimate must have been delivered, not timed out.
+      if (published_at.load(std::memory_order_acquire) <= estimate)
+        ++violations;
+      // The frame is still in the ring (that is the bug's signature when it
+      // fires, and the legitimate state when the publish was genuinely
+      // late); drain it so the next trial starts empty.
+      ASSERT_TRUE(ring.Read().ok());
+    }
+  }
+  producer.join();
+  EXPECT_EQ(violations, 0);
+}
+
+TEST(ShmRing, DoorbellSurvivesWriteIndexWrap) {
+  // The futex doorbell used to wait on the low 32 bits of the byte-counted
+  // tail, which aliases (ABA) when the write index crosses a 4 GiB
+  // boundary; the doorbell is now a dedicated per-publish sequence counter.
+  // Start the ring just below the 2^32 mark so this stream of messages
+  // crosses it while a deadline reader sleeps on the doorbell.
+  std::vector<std::uint8_t> region(ShmRing::RegionSize(4096));
+  ShmRing ring(region.data(), 4096, /*initialize=*/true);
+  auto* header = reinterpret_cast<ShmRing::Header*>(region.data());
+  const std::uint64_t near_wrap = (1ull << 32) - 64;
+  header->head.store(near_wrap, std::memory_order_relaxed);
+  header->tail.store(near_wrap, std::memory_order_relaxed);
+
+  std::thread producer([&] {
+    for (int i = 0; i < 64; ++i) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      ASSERT_TRUE(ring.Write(Bytes(12, static_cast<std::uint8_t>(i))).ok());
+    }
+  });
+  for (int i = 0; i < 64; ++i) {
+    auto out = ring.ReadWithDeadline(std::chrono::seconds(5));
+    ASSERT_TRUE(out.ok());
+    ASSERT_EQ(out->size(), 12u);
+    EXPECT_EQ((*out)[0], static_cast<std::uint8_t>(i));
+  }
+  producer.join();
+  EXPECT_GT(header->tail.load(std::memory_order_acquire), 1ull << 32);
+}
+
 TEST(Channel, CrossProcessViaForkAndSharedRegion) {
   // The paper's real deployment shape: client and manager in different
   // address spaces sharing a memory segment.

@@ -157,6 +157,64 @@ TEST(SandboxCacheTest, CapacityIsEnforcedWithLruEviction) {
   EXPECT_EQ(cache.stats().evictions, 2u);
 }
 
+TEST(SandboxCacheTest, TierStateSurvivesEvictReinsertWhileHeld) {
+  // ModuleTierState lifetime across eviction: sessions keep their module
+  // and tier-state shared_ptrs, so evicting the slot must not fork a fresh
+  // heat counter on re-insert. Pre-fix, the re-patched slot made a new
+  // ModuleTierState: the module's heat restarted at zero (splitting future
+  // launches between the old holders' state and the new one) and the fusion
+  // pass ran — and was counted — a second time for the same logical module.
+  SandboxCache cache(/*capacity=*/1);
+  ptxpatcher::PatchOptions options;
+  const std::string source_a = SamplePtx() + "\n// tier-revival A";
+  const std::string source_b = SamplePtx() + "\n// tier-revival B";
+  auto parsed_a = ptx::Parse(source_a);
+  auto parsed_b = ptx::Parse(source_b);
+  ASSERT_TRUE(parsed_a.ok() && parsed_b.ok());
+  TierPolicy policy;
+  policy.tier1_launch_threshold = 2;
+  policy.tier2_launch_threshold = 0;
+
+  // A session loads module A and keeps it hot: launch 2 promotes to tier 1.
+  auto held = cache.GetOrPatch(source_a, *parsed_a, options);
+  ASSERT_TRUE(held.ok()) << held.status();
+  ASSERT_NE(held->tier_state, nullptr);
+  EXPECT_FALSE(held->tier_state->OnLaunch(policy).promoted_tier1);
+  auto promoted = held->tier_state->OnLaunch(policy);
+  EXPECT_TRUE(promoted.promoted_tier1);
+  EXPECT_EQ(promoted.tier, ptxexec::ExecTier::kFused);
+
+  // Loading B evicts A's slot (capacity 1) while the session above still
+  // holds A's module and tier state.
+  ASSERT_TRUE(cache.GetOrPatch(source_b, *parsed_b, options).ok());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  // Re-inserting A re-patches it, but the surviving tier state is adopted:
+  // same object, heat intact, promotion not repeated.
+  auto reloaded = cache.GetOrPatch(source_a, *parsed_a, options);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_TRUE(reloaded->patched_now);
+  ASSERT_NE(reloaded->tier_state, nullptr);
+  EXPECT_EQ(reloaded->tier_state.get(), held->tier_state.get())
+      << "evict/reinsert recycled the module's tier state";
+  auto after = reloaded->tier_state->OnLaunch(policy);
+  EXPECT_EQ(reloaded->tier_state->launches(), 3u)
+      << "launch heat restarted across eviction";
+  EXPECT_EQ(after.tier, ptxexec::ExecTier::kFused);
+  EXPECT_FALSE(after.promoted_tier1) << "fusion pass re-ran after eviction";
+  EXPECT_EQ(after.program.get(), promoted.program.get());
+
+  // Once no session holds the tier state, eviction really retires it: the
+  // next re-insert starts cold instead of reviving a dead module's heat.
+  held = Result<SandboxCache::Lookup>(Status(NotFound("released")));
+  reloaded = Result<SandboxCache::Lookup>(Status(NotFound("released")));
+  ASSERT_TRUE(cache.GetOrPatch(source_b, *parsed_b, options).ok());  // evict A
+  auto cold = cache.GetOrPatch(source_a, *parsed_a, options);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_NE(cold->tier_state, nullptr);
+  EXPECT_EQ(cold->tier_state->launches(), 0u);
+}
+
 TEST(SandboxCacheTest, HashPtxSourceIsStableAndDiscriminating) {
   const std::string a = SamplePtx();
   EXPECT_EQ(HashPtxSource(a), HashPtxSource(a));

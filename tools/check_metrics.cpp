@@ -271,7 +271,9 @@ constexpr const char* kRequiredFleetKeys[] = {
     "rt_p99_ratio",      "kills",              "delays",
     "torn_frames",       "truncated_frames",   "garbage_frames",
     "stalls_injected",   "frames_corrupt",     "victims",
-    "victims_recovered", "recoveries",         "recovery_retries",
+    "victims_recovered", "retry_exhausted",    "recoveries",
+    "recovery_retries",  "resume_attaches",    "sessions_adopted",
+    "sessions_migrated", "checkpoint_kernels_resumed",
     "deadline_exceeded", "synthetic_responses", "workers_respawned",
     "sessions_completed", "hangs",
 };
@@ -301,6 +303,17 @@ int CheckFleet(const char* path) {
     return Complain(path, std::to_string(static_cast<long long>(
                               victims - recovered)) +
                               " victim session(s) never recovered");
+  if (root.Find("retry_exhausted")->number != 0.0)
+    return Complain(path,
+                    "retry_exhausted != 0 — a victim burned every rebuild "
+                    "attempt and gave up");
+  // Adoption invariant: once any worker was killed, at least one of its
+  // sessions must have been adopted from its journal instead of failed.
+  const double kills = root.Find("kills")->number;
+  if (kills > 0.0 && root.Find("sessions_adopted")->number < 1.0)
+    return Complain(path,
+                    "workers were killed but no session was adopted — the "
+                    "journal/adoption path regressed");
   std::printf("check_metrics: %s: ok (%zu fields, %lld victims all "
               "recovered)\n",
               path, root.object.size(), static_cast<long long>(victims));
@@ -318,6 +331,8 @@ constexpr const char* kRequiredStatsKeys[] = {
     "preemptions",        "preemption_resumes",    "tier1_promotions",
     "tier2_promotions",   "tier0_instructions",    "tier1_instructions",
     "tier2_instructions", "ring_messages_read",    "ring_messages_written",
+    "sessions_adopted",   "sessions_migrated",
+    "checkpoint_kernels_resumed",
 };
 
 int CheckStatsObject(const char* path, const std::string& text) {
